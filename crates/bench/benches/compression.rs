@@ -1,0 +1,51 @@
+//! Ablation: compressed posting tier — encode cost, per-word decode cost
+//! (the unit touched by a query), and full decompression; space savings
+//! are printed alongside (criterion measures time, the harness's
+//! `experiments ablation` section reports the ratio table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_index::compress::CompressedPathIndexes;
+use patternkb_index::{build_indexes, BuildConfig};
+use patternkb_text::{SynonymTable, TextIndex};
+
+fn bench_compression(c: &mut Criterion) {
+    let g = wiki_graph(Scale::Small);
+    let text = TextIndex::build(&g, SynonymTable::new());
+    let idx = build_indexes(&g, &text, &BuildConfig { d: 3, threads: 1 });
+    let comp = CompressedPathIndexes::compress(&idx);
+    eprintln!(
+        "compression: {} postings, {} -> {} bytes (ratio {:.3})",
+        idx.num_postings(),
+        idx.heap_bytes(),
+        comp.heap_bytes(),
+        comp.ratio_against(&idx)
+    );
+    // The most common word = heaviest per-word decode.
+    let (hot_word, _) = idx
+        .iter_words()
+        .max_by_key(|(_, w)| w.len())
+        .expect("non-empty index");
+
+    let mut group = c.benchmark_group("compressed_tier");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("encode_all", |b| {
+        b.iter(|| criterion::black_box(CompressedPathIndexes::compress(&idx).num_postings()));
+    });
+    group.bench_function("decode_hot_word", |b| {
+        b.iter(|| {
+            let w = comp.decompress_word(hot_word).unwrap().unwrap();
+            criterion::black_box(w.len())
+        });
+    });
+    group.bench_function("decode_all", |b| {
+        b.iter(|| criterion::black_box(comp.decompress().unwrap().num_postings()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

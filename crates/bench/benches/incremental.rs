@@ -1,0 +1,63 @@
+//! Ablation: incremental index refresh vs full rebuild after a graph
+//! mutation, across delta sizes. The refresh re-enumerates only roots
+//! within reverse distance `d − 1` of the touched nodes, so its cost
+//! tracks the delta's neighbourhood, not the knowledge-base size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+use patternkb_graph::KnowledgeGraph;
+use patternkb_index::{build_indexes, refresh_indexes, BuildConfig, PathIndexes};
+use patternkb_text::{SynonymTable, TextIndex};
+
+/// A delta adding `batch` entities, each linked to an existing node.
+fn make_delta(g: &KnowledgeGraph, batch: usize) -> GraphDelta {
+    let comp = g.types().iter().nth(1).map(|(t, _)| t).expect("a type");
+    let attr = g.attrs().iter().next().map(|(a, _)| a).expect("an attr");
+    let mut d = GraphDelta::new(g);
+    for i in 0..batch {
+        let v = d
+            .add_node(comp, &format!("streamed entity number {i}"))
+            .unwrap();
+        let anchor = patternkb_graph::NodeId((i * 97 % g.num_nodes()) as u32);
+        d.add_edge(anchor, attr, v).unwrap();
+    }
+    d
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let cfg = BuildConfig { d: 3, threads: 1 };
+    let g = wiki_graph(Scale::Small);
+    let text = TextIndex::build(&g, SynonymTable::new());
+    let idx = build_indexes(&g, &text, &cfg);
+
+    let mut group = c.benchmark_group("incremental_vs_rebuild");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for batch in [1usize, 16, 128] {
+        let delta = make_delta(&g, batch);
+        let g2 = delta.apply(&g, PagerankMode::Frozen).unwrap();
+        let text2 = TextIndex::build(&g2, SynonymTable::new());
+        let dirty = delta.dirty_nodes();
+
+        group.bench_with_input(BenchmarkId::new("refresh", batch), &batch, |b, _| {
+            b.iter(|| {
+                let (idx2, _): (PathIndexes, _) =
+                    refresh_indexes(&idx, &g, &g2, &text, &text2, &dirty, false);
+                criterion::black_box(idx2.num_postings())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", batch), &batch, |b, _| {
+            b.iter(|| {
+                let idx2 = build_indexes(&g2, &text2, &cfg);
+                criterion::black_box(idx2.num_postings())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

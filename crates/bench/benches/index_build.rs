@@ -1,0 +1,24 @@
+//! Figure 6: index construction time for height thresholds d = 2, 3, 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_index::{build_indexes, BuildConfig};
+use patternkb_text::{SynonymTable, TextIndex};
+
+fn bench_index_build(c: &mut Criterion) {
+    let g = wiki_graph(Scale::Small);
+    let text = TextIndex::build(&g, SynonymTable::default_english());
+    let mut group = c.benchmark_group("fig6_index_build");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for d in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| build_indexes(&g, &text, &BuildConfig { d, threads: 0 }));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation: `PATTERNENUM` with vs without admissible upper-bound pruning
+//! (`search::bound`), on a realistic workload and on the §4.1 adversarial
+//! construction. Answers are identical (asserted in tests); the question
+//! here is the wall-clock effect of skipping provably-unranked
+//! combinations at small k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_datagen::queries::QueryGenerator;
+use patternkb_datagen::worstcase::{worstcase, W1, W2};
+use patternkb_index::BuildConfig;
+use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
+use patternkb_text::SynonymTable;
+
+fn bench_pruning_wiki(c: &mut Criterion) {
+    let e = SearchEngine::build(
+        wiki_graph(Scale::Small),
+        SynonymTable::new(),
+        &BuildConfig { d: 3, threads: 0 },
+    );
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 41);
+    let queries: Vec<Query> = (0..12)
+        .filter_map(|i| qg.anchored(2 + (i % 3)))
+        .map(|s| Query::from_ids(s.keywords))
+        .collect();
+
+    let mut group = c.benchmark_group("pruning_wiki");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for k in [1usize, 10, 100] {
+        let cfg = SearchConfig {
+            max_rows: 4,
+            ..SearchConfig::top(k)
+        };
+        group.bench_with_input(BenchmarkId::new("exact", k), &k, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    criterion::black_box(e.search_with(q, &cfg, Algorithm::PatternEnum));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", k), &k, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    criterion::black_box(e.search_with(q, &cfg, Algorithm::PatternEnumPruned));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning_worstcase(c: &mut Criterion) {
+    // §4.1: all p² combinations are *empty*, so the bound (which only
+    // prunes against found scores) cannot help — this guards against
+    // regressions where "pruned" pays overhead without wins.
+    let p = 64usize;
+    let e = SearchEngine::build(
+        worstcase(p),
+        SynonymTable::new(),
+        &BuildConfig { d: 2, threads: 1 },
+    );
+    let q = e.parse(&format!("{W1} {W2}")).unwrap();
+    let cfg = SearchConfig::top(10);
+
+    let mut group = c.benchmark_group("pruning_worstcase");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("exact", |b| {
+        b.iter(|| criterion::black_box(e.search_with(&q, &cfg, Algorithm::PatternEnum)));
+    });
+    group.bench_function("pruned", |b| {
+        b.iter(|| criterion::black_box(e.search_with(&q, &cfg, Algorithm::PatternEnumPruned)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning_wiki, bench_pruning_worstcase);
+criterion_main!(benches);

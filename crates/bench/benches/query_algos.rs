@@ -1,0 +1,65 @@
+//! Figures 7–9: the three query algorithms on Wiki-like and IMDB-like KBs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patternkb_bench::datasets::{imdb_graph, wiki_graph, Scale};
+use patternkb_datagen::queries::QueryGenerator;
+use patternkb_index::BuildConfig;
+use patternkb_search::topk::SamplingConfig;
+use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
+use patternkb_text::SynonymTable;
+
+fn queries_for(e: &SearchEngine, n: usize, seed: u64) -> Vec<Query> {
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), e.d(), seed);
+    let mut out = Vec::new();
+    for m in [2usize, 3, 4].iter().cycle() {
+        if out.len() >= n {
+            break;
+        }
+        if let Some(spec) = qg.anchored(*m) {
+            out.push(Query::from_ids(spec.keywords));
+        }
+    }
+    out
+}
+
+fn bench_dataset(c: &mut Criterion, name: &str, e: &SearchEngine) {
+    let queries = queries_for(e, 12, 17);
+    let cfg = SearchConfig::top(100);
+    let algos: [(&str, Algorithm); 3] = [
+        ("baseline", Algorithm::Baseline),
+        ("letopk", Algorithm::LinearEnumTopK(SamplingConfig::exact())),
+        ("petopk", Algorithm::PatternEnum),
+    ];
+    let mut group = c.benchmark_group(format!("query_algos_{name}"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (aname, algo) in algos {
+        group.bench_with_input(BenchmarkId::from_parameter(aname), &algo, |b, algo| {
+            b.iter(|| {
+                for q in &queries {
+                    criterion::black_box(e.search_with(q, &cfg, *algo));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_algos(c: &mut Criterion) {
+    let wiki = SearchEngine::build(
+        wiki_graph(Scale::Small),
+        SynonymTable::default_english(),
+        &BuildConfig { d: 3, threads: 0 },
+    );
+    bench_dataset(c, "wiki", &wiki);
+    let imdb = SearchEngine::build(
+        imdb_graph(Scale::Small),
+        SynonymTable::default_english(),
+        &BuildConfig { d: 3, threads: 0 },
+    );
+    bench_dataset(c, "imdb", &imdb);
+}
+
+criterion_group!(benches, bench_query_algos);
+criterion_main!(benches);

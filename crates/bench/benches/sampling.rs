@@ -1,0 +1,79 @@
+//! Figures 11–12: LETopK sampling — threshold and rate sweeps on a heavy
+//! query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_datagen::queries::QueryGenerator;
+use patternkb_index::BuildConfig;
+use patternkb_search::topk::SamplingConfig;
+use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
+use patternkb_text::SynonymTable;
+
+fn heavy_query(e: &SearchEngine) -> Query {
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 53);
+    let mut best: Option<(Query, u64)> = None;
+    for _ in 0..200 {
+        if let Some(spec) = qg.anchored(2) {
+            let q = Query::from_ids(spec.keywords);
+            let n = e.count_subtrees(&q);
+            if best.as_ref().map(|(_, b)| n > *b).unwrap_or(true) {
+                best = Some((q, n));
+            }
+        }
+    }
+    best.expect("heavy query").0
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let e = SearchEngine::build(
+        wiki_graph(Scale::Small),
+        SynonymTable::default_english(),
+        &BuildConfig { d: 3, threads: 0 },
+    );
+    let q = heavy_query(&e);
+    let cfg = SearchConfig::top(100);
+
+    let mut group = c.benchmark_group("fig12_sampling_rate");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for rho in [0.05f64, 0.1, 0.2, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, &rho| {
+            b.iter(|| {
+                criterion::black_box(e.search_with(
+                    &q,
+                    &cfg,
+                    Algorithm::LinearEnumTopK(SamplingConfig::new(0, rho, 77)),
+                ))
+            });
+        });
+    }
+    group.bench_function("petopk_reference", |b| {
+        b.iter(|| criterion::black_box(e.search_with(&q, &cfg, Algorithm::PatternEnum)));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig11_sampling_threshold");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for lambda in [100u64, 10_000, 1_000_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lambda),
+            &lambda,
+            |b, &lambda| {
+                b.iter(|| {
+                    criterion::black_box(e.search_with(
+                        &q,
+                        &cfg,
+                        Algorithm::LinearEnumTopK(SamplingConfig::new(lambda, 0.1, 77)),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 10: execution time on induced subgraphs (fractions of entities).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_datagen::queries::QueryGenerator;
+use patternkb_graph::subgraph;
+use patternkb_index::BuildConfig;
+use patternkb_search::{Query, SearchConfig, SearchEngine};
+use patternkb_text::SynonymTable;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_scalability(c: &mut Criterion) {
+    let g = wiki_graph(Scale::Small);
+    let mut group = c.benchmark_group("fig10_scalability");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for pct in [25usize, 50, 75, 100] {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let frac = pct as f64 / 100.0;
+        let sub = subgraph::induced_by(&g, |_| rng.gen::<f64>() < frac);
+        let e = SearchEngine::build(
+            sub.graph,
+            SynonymTable::default_english(),
+            &BuildConfig { d: 3, threads: 0 },
+        );
+        let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 37);
+        let queries: Vec<Query> = (0..8)
+            .filter_map(|_| qg.anchored(3))
+            .map(|s| Query::from_ids(s.keywords))
+            .collect();
+        if queries.is_empty() {
+            continue;
+        }
+        let cfg = SearchConfig::top(100);
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    criterion::black_box(e.search(q, &cfg));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

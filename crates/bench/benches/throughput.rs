@@ -1,0 +1,83 @@
+//! Service-level throughput: a repeated query workload through (a) the
+//! engine directly, (b) the version-aware result cache, and (c) the
+//! parallel batch API. Keyword search is an online service (§2.2.4 argues
+//! `d` exists for "in-time response"), so requests/second matters as much
+//! as single-query latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_datagen::queries::QueryGenerator;
+use patternkb_index::BuildConfig;
+use patternkb_search::cache::QueryCache;
+use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
+use patternkb_text::SynonymTable;
+
+fn bench_throughput(c: &mut Criterion) {
+    let e = SearchEngine::build(
+        wiki_graph(Scale::Small),
+        SynonymTable::new(),
+        &BuildConfig { d: 3, threads: 0 },
+    );
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 53);
+    // A workload with repetition (Zipf-ish): 8 distinct queries cycled.
+    let distinct: Vec<Query> = (0..8)
+        .filter_map(|i| qg.anchored(1 + (i % 3)))
+        .map(|s| Query::from_ids(s.keywords))
+        .collect();
+    let workload: Vec<Query> = (0..64)
+        .map(|i| distinct[i % distinct.len()].clone())
+        .collect();
+    let cfg = SearchConfig {
+        max_rows: 4,
+        ..SearchConfig::top(10)
+    };
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(workload.len() as u64));
+
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            for q in &workload {
+                criterion::black_box(e.search_with(q, &cfg, Algorithm::PatternEnumPruned));
+            }
+        });
+    });
+
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let cache = QueryCache::new(32);
+            for q in &workload {
+                criterion::black_box(cache.get_or_compute(
+                    &e,
+                    q,
+                    &cfg,
+                    Algorithm::PatternEnumPruned,
+                ));
+            }
+        });
+    });
+
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("batch_parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    criterion::black_box(e.search_batch(
+                        &workload,
+                        &cfg,
+                        Algorithm::PatternEnumPruned,
+                        threads,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

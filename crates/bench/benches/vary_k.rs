@@ -1,0 +1,51 @@
+//! Exp-IV: the result size k barely affects execution time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_datagen::queries::QueryGenerator;
+use patternkb_index::BuildConfig;
+use patternkb_search::topk::SamplingConfig;
+use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
+use patternkb_text::SynonymTable;
+
+fn bench_vary_k(c: &mut Criterion) {
+    let e = SearchEngine::build(
+        wiki_graph(Scale::Small),
+        SynonymTable::default_english(),
+        &BuildConfig { d: 3, threads: 0 },
+    );
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 41);
+    let queries: Vec<Query> = (0..8)
+        .filter_map(|_| qg.anchored(3))
+        .map(|s| Query::from_ids(s.keywords))
+        .collect();
+    let mut group = c.benchmark_group("expIV_vary_k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [10usize, 50, 100] {
+        let cfg = SearchConfig::top(k);
+        group.bench_with_input(BenchmarkId::new("letopk", k), &k, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    criterion::black_box(e.search_with(
+                        q,
+                        &cfg,
+                        Algorithm::LinearEnumTopK(SamplingConfig::exact()),
+                    ));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("petopk", k), &k, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    criterion::black_box(e.search_with(q, &cfg, Algorithm::PatternEnum));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_k);
+criterion_main!(benches);

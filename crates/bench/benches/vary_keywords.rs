@@ -1,0 +1,42 @@
+//! Figure 16 (appendix): execution time vs number of keywords.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_datagen::queries::QueryGenerator;
+use patternkb_index::BuildConfig;
+use patternkb_search::{Query, SearchConfig, SearchEngine};
+use patternkb_text::SynonymTable;
+
+fn bench_vary_keywords(c: &mut Criterion) {
+    let e = SearchEngine::build(
+        wiki_graph(Scale::Small),
+        SynonymTable::default_english(),
+        &BuildConfig { d: 3, threads: 0 },
+    );
+    let mut group = c.benchmark_group("fig16_vary_keywords");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for m in [1usize, 2, 4, 6] {
+        let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 67);
+        let queries: Vec<Query> = (0..6)
+            .filter_map(|_| qg.anchored(m))
+            .map(|s| Query::from_ids(s.keywords))
+            .collect();
+        if queries.is_empty() {
+            continue;
+        }
+        let cfg = SearchConfig::top(100);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    criterion::black_box(e.search(q, &cfg));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_keywords);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! The §4.1 adversarial construction: PATTERNENUM's Θ(p²) empty joins vs
+//! LINEARENUM's immediate exit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patternkb_datagen::worstcase::{worstcase, W1, W2};
+use patternkb_index::BuildConfig;
+use patternkb_search::topk::SamplingConfig;
+use patternkb_search::{Algorithm, SearchConfig, SearchEngine};
+use patternkb_text::SynonymTable;
+
+fn bench_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec41_worst_case");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for p in [16usize, 64, 256] {
+        let e = SearchEngine::build(
+            worstcase(p),
+            SynonymTable::new(),
+            &BuildConfig { d: 2, threads: 1 },
+        );
+        let q = e.parse(&format!("{W1} {W2}")).unwrap();
+        let cfg = SearchConfig::top(10);
+        group.bench_with_input(BenchmarkId::new("petopk", p), &p, |b, _| {
+            b.iter(|| criterion::black_box(e.search_with(&q, &cfg, Algorithm::PatternEnum)));
+        });
+        group.bench_with_input(BenchmarkId::new("letopk", p), &p, |b, _| {
+            b.iter(|| {
+                criterion::black_box(e.search_with(
+                    &q,
+                    &cfg,
+                    Algorithm::LinearEnumTopK(SamplingConfig::exact()),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worst_case);
+criterion_main!(benches);

@@ -1,0 +1,959 @@
+//! Regenerate every table and figure of the paper's evaluation (§5).
+//!
+//! ```text
+//! experiments [--scale small|full] [fig6 fig7 fig8 fig9 fig10 expk fig11
+//!              fig12 fig13 fig16 case worstcase | all]
+//! ```
+//!
+//! Each experiment prints a paper-style table; `all` runs everything in
+//! figure order. Absolute times differ from the paper's C#/Xeon setup —
+//! the reproduced quantities are the *shapes*: who wins, scaling slopes,
+//! and the sampling trade-off (see EXPERIMENTS.md).
+
+use patternkb_bench::datasets::{imdb_graph, wiki_graph, Scale};
+use patternkb_bench::{bucket_of, ErrorBar, Report};
+use patternkb_datagen::queries::QueryGenerator;
+use patternkb_graph::{subgraph, KnowledgeGraph};
+use patternkb_index::{build_indexes, BuildConfig, IndexStats};
+use patternkb_search::topk::SamplingConfig;
+use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
+use patternkb_text::{SynonymTable, TextIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut picks: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use small|full");
+                    std::process::exit(2);
+                });
+            }
+            other => picks.push(other.to_string()),
+        }
+    }
+    if picks.is_empty() || picks.iter().any(|p| p == "all") {
+        picks = [
+            "fig6", "fig7", "fig8", "fig9", "fig10", "expk", "fig11", "fig12", "fig13", "fig16",
+            "case", "worstcase", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let mut report = Report::new();
+    report.line(&format!("patternkb experiments — scale {scale:?}"));
+    for pick in &picks {
+        match pick.as_str() {
+            "fig6" => fig6(&mut report, scale),
+            "fig7" => fig7(&mut report, scale),
+            "fig8" => fig8(&mut report, scale),
+            "fig9" => fig9(&mut report, scale),
+            "fig10" => fig10(&mut report, scale),
+            "expk" => expk(&mut report, scale),
+            "fig11" => fig11(&mut report, scale),
+            "fig12" => fig12(&mut report, scale),
+            "fig13" => fig13(&mut report, scale),
+            "fig16" => fig16(&mut report, scale),
+            "case" => case_study(&mut report, scale),
+            "worstcase" => worst_case(&mut report),
+            "ablation" => ablation(&mut report, scale),
+            other => eprintln!("unknown experiment {other:?}"),
+        }
+    }
+    report.print();
+}
+
+fn engine_for(g: KnowledgeGraph, d: usize) -> SearchEngine {
+    SearchEngine::build(
+        g,
+        SynonymTable::default_english(),
+        &BuildConfig { d, threads: 0 },
+    )
+}
+
+fn query_batch(e: &SearchEngine, scale: Scale, max_m: usize, seed: u64) -> Vec<Query> {
+    let per_m = match scale {
+        Scale::Small => 8,
+        Scale::Full => 50,
+    };
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), e.d(), seed);
+    qg.batch(per_m, max_m)
+        .into_iter()
+        .map(|s| Query::from_ids(s.keywords))
+        .collect()
+}
+
+/// Per-query measurement shared by Figures 7–9 and 16.
+struct Measurement {
+    m: usize,
+    n_patterns: u64,
+    n_subtrees: u64,
+    times: BTreeMap<&'static str, Duration>,
+}
+
+const ALGOS: [(&str, fn() -> Algorithm); 3] = [
+    ("Baseline", || Algorithm::Baseline),
+    ("LETopK", || {
+        Algorithm::LinearEnumTopK(SamplingConfig::exact())
+    }),
+    ("PETopK", || Algorithm::PatternEnum),
+];
+
+fn sweep(e: &SearchEngine, queries: &[Query], cfg: &SearchConfig) -> Vec<Measurement> {
+    queries
+        .iter()
+        .map(|q| {
+            let mut times = BTreeMap::new();
+            for (name, make) in ALGOS {
+                let t0 = Instant::now();
+                let _ = e.search_with(q, cfg, make());
+                times.insert(name, t0.elapsed());
+            }
+            Measurement {
+                m: q.len(),
+                n_patterns: e.count_patterns(q),
+                n_subtrees: e.count_subtrees(q),
+                times,
+            }
+        })
+        .collect()
+}
+
+fn bucket_table(report: &mut Report, ms: &[Measurement], by_subtrees: bool) {
+    let mut buckets: BTreeMap<u64, Vec<&Measurement>> = BTreeMap::new();
+    for m in ms {
+        let key = bucket_of(if by_subtrees { m.n_subtrees } else { m.n_patterns });
+        buckets.entry(key).or_default().push(m);
+    }
+    let mut rows = vec![vec![
+        if by_subtrees { "#subtrees<" } else { "#patterns<" }.to_string(),
+        "queries".to_string(),
+        "Baseline min/geo/max (ms)".to_string(),
+        "LETopK min/geo/max (ms)".to_string(),
+        "PETopK min/geo/max (ms)".to_string(),
+    ]];
+    for (bucket, group) in &buckets {
+        let mut row = vec![format!("{bucket}"), format!("{}", group.len())];
+        for (name, _) in ALGOS {
+            let ds: Vec<Duration> = group.iter().map(|m| m.times[name]).collect();
+            let eb = ErrorBar::of(&ds).unwrap();
+            row.push(format!(
+                "{:.2}/{:.2}/{:.2}",
+                eb.min_ms, eb.geo_ms, eb.max_ms
+            ));
+        }
+        rows.push(row);
+    }
+    report.table(&rows);
+}
+
+// ------------------------------------------------------------------
+// Figure 6: index construction cost on Wiki for different d.
+// ------------------------------------------------------------------
+fn fig6(report: &mut Report, scale: Scale) {
+    report.section("Figure 6: index construction cost on Wiki (time & size vs d)");
+    let g = wiki_graph(scale);
+    report.line(&format!("graph: {g:?}"));
+    let text = TextIndex::build(&g, SynonymTable::default_english());
+    let mut rows = vec![vec![
+        "d".into(),
+        "build time (s)".into(),
+        "size (MB)".into(),
+        "postings".into(),
+        "patterns".into(),
+    ]];
+    for d in [2, 3, 4] {
+        let t0 = Instant::now();
+        let idx = build_indexes(&g, &text, &BuildConfig { d, threads: 0 });
+        let secs = t0.elapsed().as_secs_f64();
+        let stats = IndexStats::of(&idx);
+        rows.push(vec![
+            format!("{d}"),
+            format!("{secs:.2}"),
+            format!("{:.1}", stats.megabytes()),
+            format!("{}", stats.postings),
+            format!("{}", stats.patterns),
+        ]);
+    }
+    report.table(&rows);
+    report.line("(paper: 43s/229MB, 502s/2.6GB, 7011s/34GB at 1.89M entities — same exponential-in-d shape)");
+}
+
+// ------------------------------------------------------------------
+// Figure 7: execution time vs #patterns, d = 2, 3, 4, Wiki.
+// ------------------------------------------------------------------
+fn fig7(report: &mut Report, scale: Scale) {
+    report.section("Figure 7: execution time vs #tree patterns on Wiki (d = 2, 3, 4)");
+    let g = wiki_graph(scale);
+    for d in [2, 3, 4] {
+        let e = engine_for(g.clone(), d);
+        let queries = query_batch(&e, scale, 6, 17);
+        let ms = sweep(&e, &queries, &SearchConfig::top(100));
+        report.line(&format!("-- d = {d} ({} queries) --", queries.len()));
+        bucket_table(report, &ms, false);
+    }
+    report.line("(expected shape: PETopK fastest, LETopK <= Baseline, all growing with #patterns)");
+}
+
+// ------------------------------------------------------------------
+// Figure 8: the same on IMDB, d = 3.
+// ------------------------------------------------------------------
+fn fig8(report: &mut Report, scale: Scale) {
+    report.section("Figure 8: execution time vs #tree patterns on IMDB (d = 3)");
+    let e = engine_for(imdb_graph(scale), 3);
+    let queries = query_batch(&e, scale, 6, 19);
+    let ms = sweep(&e, &queries, &SearchConfig::top(100));
+    report.line(&format!("({} queries)", queries.len()));
+    bucket_table(report, &ms, false);
+}
+
+// ------------------------------------------------------------------
+// Figure 9: execution time vs #valid subtrees, Wiki & IMDB.
+// ------------------------------------------------------------------
+fn fig9(report: &mut Report, scale: Scale) {
+    report.section("Figure 9(a): execution time vs #valid subtrees on Wiki (d = 3)");
+    let e = engine_for(wiki_graph(scale), 3);
+    let queries = query_batch(&e, scale, 6, 23);
+    let ms = sweep(&e, &queries, &SearchConfig::top(100));
+    bucket_table(report, &ms, true);
+
+    report.section("Figure 9(b): execution time vs #valid subtrees on IMDB (d = 3)");
+    let e = engine_for(imdb_graph(scale), 3);
+    let queries = query_batch(&e, scale, 6, 29);
+    let ms = sweep(&e, &queries, &SearchConfig::top(100));
+    bucket_table(report, &ms, true);
+}
+
+// ------------------------------------------------------------------
+// Figure 10: scalability — induced subgraphs of 10%..100% of entities.
+// ------------------------------------------------------------------
+fn fig10(report: &mut Report, scale: Scale) {
+    report.section("Figure 10: execution time on Wiki subsets (10%-100% of entities)");
+    let g = wiki_graph(scale);
+    let fractions: &[f64] = match scale {
+        Scale::Small => &[0.25, 0.5, 0.75, 1.0],
+        Scale::Full => &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+    };
+    let mut rows = vec![vec![
+        "entities %".into(),
+        "nodes".into(),
+        "Baseline geo (ms)".into(),
+        "LETopK geo (ms)".into(),
+        "PETopK geo (ms)".into(),
+    ]];
+    for &frac in fractions {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let sub = subgraph::induced_by(&g, |_| rng.gen::<f64>() < frac);
+        let n = sub.graph.num_nodes();
+        let e = engine_for(sub.graph, 3);
+        let queries = query_batch(&e, scale, 4, 37);
+        if queries.is_empty() {
+            continue;
+        }
+        let ms = sweep(&e, &queries, &SearchConfig::top(100));
+        let mut row = vec![format!("{:.0}%", frac * 100.0), format!("{n}")];
+        for (name, _) in ALGOS {
+            let ds: Vec<Duration> = ms.iter().map(|m| m.times[name]).collect();
+            row.push(format!("{:.2}", ErrorBar::of(&ds).unwrap().geo_ms));
+        }
+        rows.push(row);
+    }
+    report.table(&rows);
+    report.line("(paper: near-linear growth in the number of entities)");
+}
+
+// ------------------------------------------------------------------
+// Exp-IV: varying k has little impact.
+// ------------------------------------------------------------------
+fn expk(report: &mut Report, scale: Scale) {
+    report.section("Exp-IV: execution time vs k (should be flat)");
+    let e = engine_for(wiki_graph(scale), 3);
+    let queries = query_batch(&e, scale, 4, 41);
+    let mut rows = vec![vec![
+        "k".into(),
+        "LETopK geo (ms)".into(),
+        "PETopK geo (ms)".into(),
+    ]];
+    for k in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let cfg = SearchConfig::top(k);
+        let mut le = Vec::new();
+        let mut pe = Vec::new();
+        for q in &queries {
+            let t0 = Instant::now();
+            let _ = e.search_with(q, &cfg, Algorithm::LinearEnumTopK(SamplingConfig::exact()));
+            le.push(t0.elapsed());
+            let t0 = Instant::now();
+            let _ = e.search_with(q, &cfg, Algorithm::PatternEnum);
+            pe.push(t0.elapsed());
+        }
+        rows.push(vec![
+            format!("{k}"),
+            format!("{:.2}", ErrorBar::of(&le).unwrap().geo_ms),
+            format!("{:.2}", ErrorBar::of(&pe).unwrap().geo_ms),
+        ]);
+    }
+    report.table(&rows);
+}
+
+/// The heaviest 2–3 keyword queries by #subtrees (mirrors §5.2's query 1–3
+/// selection).
+fn heavy_queries(e: &SearchEngine, count: usize) -> Vec<(Query, u64)> {
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), e.d(), 53);
+    let mut seen: Vec<(Query, u64)> = Vec::new();
+    for m in [2usize, 3] {
+        for _ in 0..200 {
+            if let Some(spec) = qg.anchored(m) {
+                let q = Query::from_ids(spec.keywords);
+                let n = e.count_subtrees(&q);
+                if !seen.iter().any(|(existing, _)| existing == &q) {
+                    seen.push((q, n));
+                }
+            }
+        }
+    }
+    seen.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    seen.truncate(count);
+    seen
+}
+
+fn precision_against(exact_keys: &[Vec<u32>], approx: &patternkb_search::SearchResult) -> f64 {
+    let approx_keys: Vec<Vec<u32>> = approx.patterns.iter().map(|p| p.key()).collect();
+    patternkb_search::metrics::precision(exact_keys, &approx_keys)
+}
+
+// ------------------------------------------------------------------
+// Figure 11: varying sampling threshold Λ (ρ = 0.01, 0.1).
+// ------------------------------------------------------------------
+fn fig11(report: &mut Report, scale: Scale) {
+    report.section("Figure 11: LETopK with varying sampling threshold (k = 100)");
+    let e = engine_for(wiki_graph(scale), 3);
+    let cfg = SearchConfig::top(100);
+    let heavy = heavy_queries(&e, 3);
+    let mut rows = vec![vec![
+        "query".into(),
+        "N subtrees".into(),
+        "lambda".into(),
+        "rho".into(),
+        "time (ms)".into(),
+        "precision".into(),
+        "PETopK (ms)".into(),
+    ]];
+    for (qi, (q, n)) in heavy.iter().enumerate() {
+        let exact = e.search_with(q, &cfg, Algorithm::LinearEnumTopK(SamplingConfig::exact()));
+        let exact_keys: Vec<Vec<u32>> = exact.patterns.iter().map(|p| p.key()).collect();
+        let t0 = Instant::now();
+        let _ = e.search_with(q, &cfg, Algorithm::PatternEnum);
+        let pe_ms = t0.elapsed().as_secs_f64() * 1e3;
+        for rho in [0.01, 0.1] {
+            for lambda in [100u64, 1_000, 10_000, 100_000, 1_000_000, 10_000_000] {
+                let t0 = Instant::now();
+                let approx = e.search_with(
+                    q,
+                    &cfg,
+                    Algorithm::LinearEnumTopK(SamplingConfig::new(lambda, rho, 77)),
+                );
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                rows.push(vec![
+                    format!("q{}", qi + 1),
+                    format!("{n}"),
+                    format!("{lambda}"),
+                    format!("{rho}"),
+                    format!("{ms:.2}"),
+                    format!("{:.3}", precision_against(&exact_keys, &approx)),
+                    format!("{pe_ms:.2}"),
+                ]);
+            }
+        }
+    }
+    report.table(&rows);
+    report.line("(expected: time and precision both rise with the threshold)");
+}
+
+// ------------------------------------------------------------------
+// Figure 12: varying sampling rate ρ (Λ fixed).
+// ------------------------------------------------------------------
+fn fig12(report: &mut Report, scale: Scale) {
+    report.section("Figure 12: LETopK with varying sampling rate (k = 100)");
+    let e = engine_for(wiki_graph(scale), 3);
+    let cfg = SearchConfig::top(100);
+    // Λ: the paper uses 1e5 on queries with ~5e5–2.5e6 subtrees; scale it to
+    // sit below our heavy queries' N the same way.
+    let heavy = heavy_queries(&e, 3);
+    let lambda = match scale {
+        Scale::Small => 1_000,
+        Scale::Full => 100_000,
+    };
+    let mut rows = vec![vec![
+        "query".into(),
+        "N subtrees".into(),
+        "rho".into(),
+        "time (ms)".into(),
+        "precision".into(),
+        "PETopK (ms)".into(),
+    ]];
+    for (qi, (q, n)) in heavy.iter().enumerate() {
+        let exact = e.search_with(q, &cfg, Algorithm::LinearEnumTopK(SamplingConfig::exact()));
+        let exact_keys: Vec<Vec<u32>> = exact.patterns.iter().map(|p| p.key()).collect();
+        let t0 = Instant::now();
+        let _ = e.search_with(q, &cfg, Algorithm::PatternEnum);
+        let pe_ms = t0.elapsed().as_secs_f64() * 1e3;
+        for rho in [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let t0 = Instant::now();
+            let approx = e.search_with(
+                q,
+                &cfg,
+                Algorithm::LinearEnumTopK(SamplingConfig::new(lambda, rho, 77)),
+            );
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            rows.push(vec![
+                format!("q{}", qi + 1),
+                format!("{n}"),
+                format!("{rho}"),
+                format!("{ms:.2}"),
+                format!("{:.3}", precision_against(&exact_keys, &approx)),
+                format!("{pe_ms:.2}"),
+            ]);
+        }
+    }
+    report.table(&rows);
+    report.line("(expected: smaller rho → faster, lower precision; precision high already at moderate rho)");
+}
+
+// ------------------------------------------------------------------
+// Figure 13: individual trees vs tree patterns.
+// ------------------------------------------------------------------
+fn fig13(report: &mut Report, scale: Scale) {
+    report.section("Figure 13: coverage of top-k individual subtrees in top-k patterns");
+    let e = engine_for(wiki_graph(scale), 3);
+    let queries = query_batch(&e, scale, 4, 61);
+    let mut rows = vec![vec![
+        "k".into(),
+        "avg coverage %".into(),
+        "avg new patterns %".into(),
+        "queries".into(),
+    ]];
+    for k in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let cfg = SearchConfig::top(k);
+        let mut cov = Vec::new();
+        let mut new = Vec::new();
+        for q in &queries {
+            let patterns = e.search_with(q, &cfg, Algorithm::PatternEnum);
+            if patterns.patterns.is_empty() {
+                continue;
+            }
+            let keys: Vec<Vec<u32>> = patterns
+                .patterns
+                .iter()
+                .filter_map(|p| {
+                    let mut key = Vec::with_capacity(p.pattern.len());
+                    for pat in &p.pattern {
+                        key.push(e.index().patterns().get_key(&pat.encode())?.0);
+                    }
+                    Some(key)
+                })
+                .collect();
+            let trees = e.top_individual(q, &cfg, k);
+            if trees.is_empty() {
+                continue;
+            }
+            let covered = trees
+                .iter()
+                .filter(|t| keys.contains(&t.pattern_key))
+                .count();
+            cov.push(covered as f64 / trees.len() as f64);
+            let fresh = keys
+                .iter()
+                .filter(|key| trees.iter().all(|t| &t.pattern_key != *key))
+                .count();
+            new.push(fresh as f64 / keys.len().max(1) as f64);
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        rows.push(vec![
+            format!("{k}"),
+            format!("{:.1}", avg(&cov) * 100.0),
+            format!("{:.1}", avg(&new) * 100.0),
+            format!("{}", cov.len()),
+        ]);
+    }
+    report.table(&rows);
+    report.line("(paper: coverage ~42-50%, new patterns ~30-70%)");
+}
+
+// ------------------------------------------------------------------
+// Figure 16 (appendix): execution time vs number of keywords.
+// ------------------------------------------------------------------
+fn fig16(report: &mut Report, scale: Scale) {
+    report.section("Figure 16: execution time vs number of keywords on Wiki (d = 3)");
+    let e = engine_for(wiki_graph(scale), 3);
+    let max_m = match scale {
+        Scale::Small => 6,
+        Scale::Full => 10,
+    };
+    let queries = query_batch(&e, scale, max_m, 67);
+    let ms = sweep(&e, &queries, &SearchConfig::top(100));
+    let mut by_m: BTreeMap<usize, Vec<&Measurement>> = BTreeMap::new();
+    for m in &ms {
+        by_m.entry(m.m).or_default().push(m);
+    }
+    let mut rows = vec![vec![
+        "#keywords".into(),
+        "queries".into(),
+        "Baseline min/geo/max (ms)".into(),
+        "LETopK min/geo/max (ms)".into(),
+        "PETopK min/geo/max (ms)".into(),
+    ]];
+    for (m, group) in &by_m {
+        let mut row = vec![format!("{m}"), format!("{}", group.len())];
+        for (name, _) in ALGOS {
+            let ds: Vec<Duration> = group.iter().map(|x| x.times[name]).collect();
+            let eb = ErrorBar::of(&ds).unwrap();
+            row.push(format!(
+                "{:.2}/{:.2}/{:.2}",
+                eb.min_ms, eb.geo_ms, eb.max_ms
+            ));
+        }
+        rows.push(row);
+    }
+    report.table(&rows);
+    report.line("(paper: performance does not deteriorate with more keywords)");
+}
+
+// ------------------------------------------------------------------
+// Case study (Figures 14–15): individual subtrees vs the table answer.
+// ------------------------------------------------------------------
+fn case_study(report: &mut Report, scale: Scale) {
+    report.section("Case study (Figures 14-15): top individual subtrees vs top-1 pattern");
+    let e = engine_for(wiki_graph(scale), 3);
+    let heavy = heavy_queries(&e, 1);
+    let Some((q, _)) = heavy.into_iter().next() else {
+        report.line("no suitable query found");
+        return;
+    };
+    let words: Vec<&str> = q
+        .keywords
+        .iter()
+        .map(|&w| e.text().vocab().resolve(w))
+        .collect();
+    report.line(&format!("query: {:?}", words.join(" ")));
+
+    report.line("\nTop individual valid subtrees:");
+    for (rank, t) in e
+        .top_individual(&q, &SearchConfig::default(), 3)
+        .iter()
+        .enumerate()
+    {
+        let g = e.graph();
+        let paths: Vec<String> = t
+            .tree
+            .paths
+            .iter()
+            .map(|p| {
+                p.nodes
+                    .iter()
+                    .map(|&n| g.node_text(n).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            })
+            .collect();
+        report.line(&format!(
+            "  top-{} (score {:.4}): {}",
+            rank + 1,
+            t.tree.score,
+            paths.join("  |  ")
+        ));
+    }
+
+    let r = e.search(&q, &SearchConfig::top(1));
+    if let Some(top) = r.top() {
+        report.line(&format!(
+            "\nTop-1 tree pattern ({} rows): {}",
+            top.num_trees,
+            top.display(e.graph())
+        ));
+        report.line(&e.table(top).render());
+    }
+}
+
+// ------------------------------------------------------------------
+// §4.1 worst case: PETopK's Θ(p²) empty joins vs LETopK.
+// ------------------------------------------------------------------
+fn worst_case(report: &mut Report) {
+    report.section("Section 4.1 worst case: PETopK wastes p^2 empty pattern joins");
+    let mut rows = vec![vec![
+        "p".into(),
+        "PETopK combos".into(),
+        "PETopK (us)".into(),
+        "LETopK (us)".into(),
+    ]];
+    for p in [8usize, 16, 32, 64, 128] {
+        let g = patternkb_datagen::worstcase::worstcase(p);
+        let e = SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 2, threads: 1 });
+        let q = e
+            .parse(&format!(
+                "{} {}",
+                patternkb_datagen::worstcase::W1,
+                patternkb_datagen::worstcase::W2
+            ))
+            .unwrap();
+        let cfg = SearchConfig::top(10);
+        let t0 = Instant::now();
+        let pe = e.search_with(&q, &cfg, Algorithm::PatternEnum);
+        let pe_us = t0.elapsed().as_micros();
+        let t0 = Instant::now();
+        let le = e.search_with(&q, &cfg, Algorithm::LinearEnumTopK(SamplingConfig::exact()));
+        let le_us = t0.elapsed().as_micros();
+        assert!(pe.patterns.is_empty() && le.patterns.is_empty());
+        rows.push(vec![
+            format!("{p}"),
+            format!("{}", pe.stats.combos_tried),
+            format!("{pe_us}"),
+            format!("{le_us}"),
+        ]);
+    }
+    report.table(&rows);
+    report.line("(combos grow as p^2; LETopK sees zero candidate roots and exits immediately)");
+}
+
+// ------------------------------------------------------------------
+// Ablations called out in DESIGN.md: aggregation functions, strict tree
+// filtering, and d-sensitivity on a citation graph.
+// ------------------------------------------------------------------
+fn ablation(report: &mut Report, scale: Scale) {
+    use patternkb_search::{Aggregation, ScoringConfig};
+
+    report.section("Ablation A: pattern-aggregation functions (top-10 overlap vs Sum)");
+    let e = engine_for(wiki_graph(scale), 3);
+    let queries = query_batch(&e, scale, 3, 71);
+    let aggs = [
+        ("Sum", Aggregation::Sum),
+        ("Avg", Aggregation::Avg),
+        ("Max", Aggregation::Max),
+        ("Count", Aggregation::Count),
+    ];
+    let mut rows = vec![vec![
+        "aggregation".into(),
+        "avg top-10 overlap with Sum".into(),
+        "queries".into(),
+    ]];
+    for (name, agg) in aggs {
+        let mut overlaps = Vec::new();
+        for q in &queries {
+            let base_cfg = SearchConfig::top(10);
+            let base = e.search_with(q, &base_cfg, Algorithm::PatternEnum);
+            if base.patterns.is_empty() {
+                continue;
+            }
+            let cfg = SearchConfig {
+                scoring: ScoringConfig {
+                    aggregation: agg,
+                    ..ScoringConfig::default()
+                },
+                ..SearchConfig::top(10)
+            };
+            let alt = e.search_with(q, &cfg, Algorithm::PatternEnum);
+            let base_keys: Vec<Vec<u32>> = base.patterns.iter().map(|p| p.key()).collect();
+            let hits = alt
+                .patterns
+                .iter()
+                .filter(|p| base_keys.contains(&p.key()))
+                .count();
+            overlaps.push(hits as f64 / base_keys.len() as f64);
+        }
+        let avg = overlaps.iter().sum::<f64>() / overlaps.len().max(1) as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", avg),
+            format!("{}", overlaps.len()),
+        ]);
+    }
+    report.table(&rows);
+    report.line("(Sum vs Count agree when subtree scores are homogeneous; Avg/Max reorder toward singular patterns)");
+
+    report.section("Ablation B: strict tree filtering (non-tree path tuples)");
+    let mut rows = vec![vec![
+        "mode".into(),
+        "total subtrees".into(),
+        "total patterns".into(),
+        "geo time (ms)".into(),
+    ]];
+    for strict in [false, true] {
+        let cfg = SearchConfig {
+            strict_trees: strict,
+            ..SearchConfig::top(100)
+        };
+        let mut subtrees = 0usize;
+        let mut patterns = 0usize;
+        let mut times = Vec::new();
+        for q in &queries {
+            let t0 = Instant::now();
+            let r = e.search_with(q, &cfg, Algorithm::LinearEnum);
+            times.push(t0.elapsed());
+            subtrees += r.stats.subtrees;
+            patterns += r.stats.patterns;
+        }
+        rows.push(vec![
+            if strict { "strict" } else { "paper (lax)" }.to_string(),
+            format!("{subtrees}"),
+            format!("{patterns}"),
+            format!("{:.2}", ErrorBar::of(&times).unwrap().geo_ms),
+        ]);
+    }
+    report.table(&rows);
+    report.line("(strict mode drops tuples whose path union converges; the paper's products keep them)");
+
+    report.section("Ablation C: d-sensitivity on a citation graph (DBLP-like)");
+    let g = patternkb_datagen::dblp::dblp(&patternkb_datagen::DblpConfig {
+        papers: match scale {
+            Scale::Small => 1_500,
+            Scale::Full => 10_000,
+        },
+        avg_citations: 3.0,
+        seed: 5,
+    });
+    let mut rows = vec![vec![
+        "d".into(),
+        "avg #patterns".into(),
+        "avg #subtrees".into(),
+        "PETopK geo (ms)".into(),
+    ]];
+    for d in [2usize, 3, 4] {
+        let e = engine_for(g.clone(), d);
+        let queries = query_batch(&e, scale, 2, 73);
+        if queries.is_empty() {
+            continue;
+        }
+        let mut pats = 0u64;
+        let mut subs = 0u64;
+        let mut times = Vec::new();
+        for q in &queries {
+            pats += e.count_patterns(q);
+            subs += e.count_subtrees(q);
+            let t0 = Instant::now();
+            let _ = e.search_with(q, &SearchConfig::top(100), Algorithm::PatternEnum);
+            times.push(t0.elapsed());
+        }
+        let n = queries.len() as u64;
+        rows.push(vec![
+            format!("{d}"),
+            format!("{}", pats / n),
+            format!("{}", subs / n),
+            format!("{:.2}", ErrorBar::of(&times).unwrap().geo_ms),
+        ]);
+    }
+    report.table(&rows);
+    report.line("(citation chains keep adding interpretations with d, unlike the IMDB schema)");
+
+    ablation_pruning(report, scale);
+    ablation_incremental(report, scale);
+    ablation_compression(report, scale);
+    ablation_stemmer(report, scale);
+}
+
+/// Ablation G: stemmer choice (Lite vs full Porter vs none).
+///
+/// The synthetic KB vocabularies are uninflected base forms, so index
+/// sizes barely move; what the stemmer determines is whether *inflected
+/// queries* ("movies", "publishing") reach the index entries of their base
+/// forms (§3: word, stemmed version and synonyms share entries). We
+/// measure that directly: inflect the KB vocabulary with the common
+/// English suffixes and count how many variant forms collapse onto an
+/// existing canonical word under each stemmer.
+fn ablation_stemmer(report: &mut Report, scale: Scale) {
+    use patternkb_text::{Stemmer, Vocabulary};
+
+    report.section("Ablation G: stemmer choice (inflected-query reachability)");
+    let g = wiki_graph(scale);
+    let base_text = TextIndex::build(&g, SynonymTable::new());
+    let base_words: Vec<String> = base_text
+        .vocab()
+        .iter()
+        .map(|(_, s)| s.to_string())
+        .filter(|s| s.len() >= 4 && s.bytes().all(|b| b.is_ascii_lowercase()))
+        .take(300)
+        .collect();
+    let inflect = |w: &str| -> Vec<String> {
+        let mut v = vec![format!("{w}s")];
+        if w.ends_with('e') {
+            v.push(format!("{}ing", &w[..w.len() - 1]));
+            v.push(format!("{w}d"));
+        } else {
+            v.push(format!("{w}ing"));
+            v.push(format!("{w}ed"));
+        }
+        v
+    };
+
+    let mut rows = vec![vec![
+        "stemmer".into(),
+        "distinct canonicals".into(),
+        "variants reaching base".into(),
+        "variant forms".into(),
+    ]];
+    for (name, stemmer) in [
+        ("none", Stemmer::None),
+        ("lite (default)", Stemmer::Lite),
+        ("porter", Stemmer::Porter),
+    ] {
+        let mut vocab = Vocabulary::with_stemmer(SynonymTable::new(), stemmer);
+        for w in &base_words {
+            vocab.intern(w);
+        }
+        let mut total = 0usize;
+        let mut reached = 0usize;
+        for w in &base_words {
+            let base_id = vocab.lookup(w).expect("base interned");
+            for form in inflect(w) {
+                total += 1;
+                if vocab.lookup(&form) == Some(base_id) {
+                    reached += 1;
+                }
+            }
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", vocab.len()),
+            format!("{:.1}%", 100.0 * reached as f64 / total.max(1) as f64),
+            format!("{total}"),
+        ]);
+    }
+    report.table(&rows);
+    report.line("(Porter reaches the most inflected variants; Lite trades some recall to keep entity nouns distinct; None requires exact surface forms)");
+}
+
+/// Ablation D: admissible upper-bound pruning for PATTERNENUM.
+fn ablation_pruning(report: &mut Report, scale: Scale) {
+    report.section("Ablation D: PATTERNENUM upper-bound pruning (identical answers)");
+    let e = engine_for(wiki_graph(scale), 3);
+    let queries = query_batch(&e, scale, 4, 79);
+    let mut rows = vec![vec![
+        "k".into(),
+        "exact geo (ms)".into(),
+        "pruned geo (ms)".into(),
+        "combos tried".into(),
+        "combos pruned".into(),
+    ]];
+    for k in [1usize, 10, 100] {
+        let cfg = SearchConfig {
+            max_rows: 4,
+            ..SearchConfig::top(k)
+        };
+        let mut t_exact = Vec::new();
+        let mut t_pruned = Vec::new();
+        let mut tried = 0usize;
+        let mut pruned = 0usize;
+        for q in &queries {
+            let t0 = Instant::now();
+            let _ = e.search_with(q, &cfg, Algorithm::PatternEnum);
+            t_exact.push(t0.elapsed());
+            let t0 = Instant::now();
+            let r = e.search_with(q, &cfg, Algorithm::PatternEnumPruned);
+            t_pruned.push(t0.elapsed());
+            tried += r.stats.combos_tried;
+            pruned += r.stats.combos_pruned;
+        }
+        rows.push(vec![
+            format!("{k}"),
+            format!("{:.3}", ErrorBar::of(&t_exact).unwrap().geo_ms),
+            format!("{:.3}", ErrorBar::of(&t_pruned).unwrap().geo_ms),
+            format!("{tried}"),
+            format!("{pruned}"),
+        ]);
+    }
+    report.table(&rows);
+    report.line("(small k lets the threshold bite early; the pruner skips intersections, never answers)");
+}
+
+/// Ablation E: incremental index refresh vs full rebuild.
+fn ablation_incremental(report: &mut Report, scale: Scale) {
+    use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+    use patternkb_index::refresh_indexes;
+
+    report.section("Ablation E: incremental index refresh vs full rebuild");
+    let cfg = BuildConfig { d: 3, threads: 0 };
+    let g = wiki_graph(scale);
+    let text = TextIndex::build(&g, SynonymTable::default_english());
+    let idx = build_indexes(&g, &text, &cfg);
+    let mut rows = vec![vec![
+        "delta (entities)".into(),
+        "affected roots".into(),
+        "refresh (ms)".into(),
+        "rebuild (ms)".into(),
+        "speedup".into(),
+    ]];
+    for batch in [1usize, 16, 128] {
+        let comp = g.types().iter().nth(1).map(|(t, _)| t).unwrap();
+        let attr = g.attrs().iter().next().map(|(a, _)| a).unwrap();
+        let mut delta = GraphDelta::new(&g);
+        for i in 0..batch {
+            let v = delta
+                .add_node(comp, &format!("streamed entity number {i}"))
+                .unwrap();
+            let anchor = patternkb_graph::NodeId((i * 97 % g.num_nodes()) as u32);
+            delta.add_edge(anchor, attr, v).unwrap();
+        }
+        let g2 = delta.apply(&g, PagerankMode::Frozen).unwrap();
+        let text2 = TextIndex::build(&g2, SynonymTable::default_english());
+        let dirty = delta.dirty_nodes();
+
+        let t0 = Instant::now();
+        let (_, stats) = refresh_indexes(&idx, &g, &g2, &text, &text2, &dirty, false);
+        let t_refresh = t0.elapsed();
+        let t0 = Instant::now();
+        let _ = build_indexes(&g2, &text2, &cfg);
+        let t_rebuild = t0.elapsed();
+        rows.push(vec![
+            format!("{batch}"),
+            format!("{}", stats.affected_roots),
+            format!("{:.2}", t_refresh.as_secs_f64() * 1e3),
+            format!("{:.2}", t_rebuild.as_secs_f64() * 1e3),
+            format!("{:.1}x", t_rebuild.as_secs_f64() / t_refresh.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    report.table(&rows);
+    report.line("(refresh cost tracks the delta's d-neighbourhood, not the KB size — Fig. 6's build cost amortizes away)");
+}
+
+/// Ablation F: compressed posting tier.
+fn ablation_compression(report: &mut Report, scale: Scale) {
+    use patternkb_index::compress::CompressedPathIndexes;
+
+    report.section("Ablation F: compressed posting tier (delta+varint)");
+    let g = wiki_graph(scale);
+    let text = TextIndex::build(&g, SynonymTable::default_english());
+    let mut rows = vec![vec![
+        "d".into(),
+        "postings".into(),
+        "raw (MB)".into(),
+        "compressed (MB)".into(),
+        "ratio".into(),
+        "decode-all (ms)".into(),
+    ]];
+    for d in [2usize, 3] {
+        let idx = build_indexes(&g, &text, &BuildConfig { d, threads: 0 });
+        let comp = CompressedPathIndexes::compress(&idx);
+        let t0 = Instant::now();
+        let back = comp.decompress().expect("decodes");
+        let decode = t0.elapsed();
+        assert_eq!(back.num_postings(), idx.num_postings());
+        rows.push(vec![
+            format!("{d}"),
+            format!("{}", idx.num_postings()),
+            format!("{:.2}", idx.heap_bytes() as f64 / 1048576.0),
+            format!("{:.2}", comp.heap_bytes() as f64 / 1048576.0),
+            format!("{:.3}", comp.ratio_against(&idx)),
+            format!("{:.2}", decode.as_secs_f64() * 1e3),
+        ]);
+    }
+    report.table(&rows);
+    report.line("(the cold tier trades one per-word decode for >2x memory headroom at the paper's d=3/4 blowup)");
+}

@@ -1,0 +1,15 @@
+//! # patternkb-bench
+//!
+//! Harness utilities shared by the Criterion benches and the `experiments`
+//! binary that regenerates every table and figure of the paper's §5.
+
+#![warn(missing_docs)]
+
+pub mod buckets;
+pub mod datasets;
+pub mod report;
+pub mod timing;
+
+pub use buckets::{bucket_of, Bucketed};
+pub use report::Report;
+pub use timing::{time_it, ErrorBar};

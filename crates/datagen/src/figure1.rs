@@ -1,0 +1,175 @@
+//! The exact running example of the paper: Figure 1(d).
+//!
+//! Fourteen nodes (`v1`–`v14`, here 0-indexed in insertion order), the
+//! query *"database software company revenue"*, subtrees `T1`–`T3`, tree
+//! patterns `P1`/`P2`, and the Example 2.4 score arithmetic are all pinned
+//! down by unit tests against this graph.
+//!
+//! One deliberate deviation: the paper's node `v9` is labeled
+//! `"O-R database"`, which tokenizes to three tokens (`o`, `r`,
+//! `database`), yet Example 2.4 computes its similarity as 1/2. We label it
+//! `"OR database"` (two tokens) so the example's arithmetic holds exactly;
+//! see DESIGN.md.
+
+use patternkb_graph::{GraphBuilder, KnowledgeGraph, NodeId};
+
+/// Handles to the interesting nodes of the Figure-1 graph.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure1 {
+    /// `v1` — Software "SQL Server".
+    pub sql_server: NodeId,
+    /// `v2` — Model "Relational database".
+    pub relational_db: NodeId,
+    /// `v3` — Company "Microsoft".
+    pub microsoft: NodeId,
+    /// `v4` — text "US$ 77 billion".
+    pub ms_revenue: NodeId,
+    /// `v6` — Programming Language "C++".
+    pub cpp: NodeId,
+    /// `v7` — Software "Oracle DB".
+    pub oracle_db: NodeId,
+    /// `v8` — Company "Oracle Corp".
+    pub oracle_corp: NodeId,
+    /// `v9` — Model "OR database".
+    pub or_db: NodeId,
+    /// `v10` — text "US$ 37 billion".
+    pub oracle_revenue: NodeId,
+    /// `v11` — Person "Bill Gates".
+    pub bill_gates: NodeId,
+    /// `v12` — Book "handbook of database and software systems".
+    pub book: NodeId,
+    /// `v13` — Company "Springer".
+    pub springer: NodeId,
+    /// `v14` — text "US$ 1 billion".
+    pub springer_revenue: NodeId,
+}
+
+/// Build the Figure-1(d) knowledge graph.
+///
+/// PageRank is set **uniformly to 1.0** per Example 2.4's assumption
+/// ("assuming every node has the same PageRank score 1"), so the example's
+/// score arithmetic can be asserted exactly.
+pub fn figure1() -> (KnowledgeGraph, Figure1) {
+    let mut b = GraphBuilder::new();
+    b.skip_pagerank();
+
+    let software = b.add_type("Software");
+    let company = b.add_type("Company");
+    let model = b.add_type("Model");
+    let person = b.add_type("Person");
+    let book_t = b.add_type("Book");
+    let lang = b.add_type("Programming Language");
+
+    let genre = b.add_attr("Genre");
+    let developer = b.add_attr("Developer");
+    let revenue = b.add_attr("Revenue");
+    let written_in = b.add_attr("Written in");
+    let founder = b.add_attr("Founder");
+    let reference = b.add_attr("Reference");
+    let publisher = b.add_attr("Publisher");
+
+    let sql_server = b.add_node(software, "SQL Server");
+    let relational_db = b.add_node(model, "Relational database");
+    let microsoft = b.add_node(company, "Microsoft");
+    let cpp = b.add_node(lang, "C++");
+    let oracle_db = b.add_node(software, "Oracle DB");
+    let oracle_corp = b.add_node(company, "Oracle Corp");
+    let or_db = b.add_node(model, "OR database");
+    let bill_gates = b.add_node(person, "Bill Gates");
+    // Six distinct tokens containing both "database" and "software", so
+    // Example 2.4's sim of 1/6 holds for both keywords.
+    let book = b.add_node(book_t, "handbook of database and software systems");
+    let springer = b.add_node(company, "Springer");
+
+    b.add_edge(sql_server, genre, relational_db);
+    b.add_edge(sql_server, developer, microsoft);
+    b.add_edge(sql_server, written_in, cpp);
+    b.add_edge(sql_server, reference, book);
+    let ms_revenue = b.add_text_edge(microsoft, revenue, "US$ 77 billion");
+    b.add_edge(microsoft, founder, bill_gates);
+    b.add_edge(oracle_db, genre, or_db);
+    b.add_edge(oracle_db, developer, oracle_corp);
+    b.add_edge(oracle_db, written_in, cpp);
+    let oracle_revenue = b.add_text_edge(oracle_corp, revenue, "US$ 37 billion");
+    b.add_edge(book, publisher, springer);
+    let springer_revenue = b.add_text_edge(springer, revenue, "US$ 1 billion");
+
+    let mut g = b.build();
+    let n = g.num_nodes();
+    g.set_pagerank(vec![1.0; n]);
+
+    (
+        g,
+        Figure1 {
+            sql_server,
+            relational_db,
+            microsoft,
+            ms_revenue,
+            cpp,
+            oracle_db,
+            oracle_corp,
+            or_db,
+            oracle_revenue,
+            bill_gates,
+            book,
+            springer,
+            springer_revenue,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    #[test]
+    fn shape() {
+        let (g, f) = figure1();
+        assert_eq!(g.num_nodes(), 13); // 10 entities + 3 text values
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.type_text(g.node_type(f.sql_server)), "Software");
+        assert_eq!(g.node_text(f.ms_revenue), "US$ 77 billion");
+        assert!(g.is_text_node(f.springer_revenue));
+        assert_eq!(g.pagerank(f.microsoft), 1.0);
+    }
+
+    #[test]
+    fn keyword_matches_reproduce_figure5_roots() {
+        // Figure 5(b): Roots("database") = {v1, v7, v12} — SQL Server,
+        // Oracle DB, and the book (plus the matched nodes themselves are
+        // within the roots through trivial paths; here we check the text
+        // matches directly).
+        let (g, f) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let db = t.lookup_word("database").unwrap();
+        let matched = t.nodes_matching(db);
+        assert!(matched.contains(&f.relational_db));
+        assert!(matched.contains(&f.or_db));
+        assert!(matched.contains(&f.book));
+        assert_eq!(matched.len(), 3);
+    }
+
+    #[test]
+    fn example_24_similarities() {
+        let (g, f) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let db = t.lookup_word("database").unwrap();
+        // "Relational database": 2 tokens → 1/2.
+        assert_eq!(t.sim_node(db, f.relational_db, g.node_type(f.relational_db)), 0.5);
+        // "OR database": 2 tokens → 1/2 (paper's T2 arithmetic).
+        assert_eq!(t.sim_node(db, f.or_db, g.node_type(f.or_db)), 0.5);
+        // book title: 6 tokens → 1/6.
+        let sim = t.sim_node(db, f.book, g.node_type(f.book));
+        assert!((sim - 1.0 / 6.0).abs() < 1e-12);
+        let sw = t.lookup_word("software").unwrap();
+        let sim = t.sim_node(sw, f.book, g.node_type(f.book));
+        assert!((sim - 1.0 / 6.0).abs() < 1e-12);
+        // "software" on the type of SQL Server → 1.
+        assert_eq!(t.sim_node(sw, f.sql_server, g.node_type(f.sql_server)), 1.0);
+        // "revenue" on the attribute → 1.
+        let rev = t.lookup_word("revenue").unwrap();
+        let rev_attr = g.attr_by_text("Revenue").unwrap();
+        assert_eq!(t.sim_attr(rev, rev_attr), 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # patternkb-datagen
+//!
+//! Synthetic knowledge bases and query workloads standing in for the
+//! resources the paper evaluates on but does not publish:
+//!
+//! * [`mod@wiki`] — a Wikipedia-infobox-like KB (the paper: 1.89M entities,
+//!   3,424 types, 35M edges) scaled to laptop size, with per-type attribute
+//!   schemas, Zipf-skewed types/degrees/vocabulary and plain-text values;
+//! * [`mod@imdb`] — an IMDB-like KB with exactly 7 entity types whose schema
+//!   has no directed path longer than 3 nodes (the structural property the
+//!   paper exploits: `d = 3` saturates on IMDB);
+//! * [`mod@figure1`] — the exact running example of Figure 1(d), used by unit
+//!   tests to pin down Example 2.x arithmetic and by the quickstart;
+//! * [`worstcase`] — the §4.1 adversarial construction on which
+//!   `PATTERNENUM` wastes `Θ(p²)` empty pattern joins;
+//! * [`theorem1`] — the #P-hardness reduction graphs of Appendix A;
+//! * [`queries`] — query generators mirroring §5 ("randomly selected
+//!   queries … the numbers of keywords vary from 1 to 10, and for each we
+//!   have 50 queries").
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod figure1;
+pub mod imdb;
+pub mod names;
+pub mod queries;
+pub mod theorem1;
+pub mod wiki;
+pub mod worstcase;
+pub mod zipf;
+
+pub use dblp::{dblp, DblpConfig};
+pub use figure1::figure1;
+pub use imdb::{imdb, ImdbConfig};
+pub use queries::{QueryGenerator, QuerySpec};
+pub use wiki::{wiki, WikiConfig};

@@ -1,0 +1,106 @@
+//! Deterministic pseudo-English word generation.
+//!
+//! Synthetic entities need text that behaves like real labels under the
+//! tokenizer and stemmer (multi-word, shared head words, distinct tails).
+//! Words are built from syllables so `word(i)` is a stable bijection from
+//! indices to pronounceable strings.
+
+const SYLLABLES: [&str; 20] = [
+    "ba", "ce", "di", "fo", "gu", "ka", "le", "mi", "no", "pu", "ra", "se", "ti", "vo", "zu",
+    "lan", "mer", "nis", "tor", "vel",
+];
+
+/// The `i`-th pseudo-word: 2–4 syllables, deterministic, injective.
+pub fn word(i: usize) -> String {
+    // Base-20 digits of i, always at least two syllables.
+    let mut digits = Vec::with_capacity(4);
+    let mut v = i;
+    loop {
+        digits.push(v % SYLLABLES.len());
+        v /= SYLLABLES.len();
+        if v == 0 {
+            break;
+        }
+    }
+    let mut out = String::with_capacity(3 * digits.len() + 1);
+    for &d in digits.iter().rev() {
+        out.push_str(SYLLABLES[d]);
+    }
+    if digits.len() == 1 {
+        // Disambiguate single-syllable words from multi-syllable ones: 'q'
+        // never occurs in the syllable table, so this keeps `word` injective.
+        out.push('q');
+    }
+    out
+}
+
+/// A multi-word phrase from explicit word indices.
+pub fn phrase(indices: &[usize]) -> String {
+    let mut out = String::new();
+    for (k, &i) in indices.iter().enumerate() {
+        if k > 0 {
+            out.push(' ');
+        }
+        out.push_str(&word(i));
+    }
+    out
+}
+
+/// A capitalized variant for type names ("Kace Tor" style).
+pub fn title(indices: &[usize]) -> String {
+    let mut out = String::new();
+    for (k, &i) in indices.iter().enumerate() {
+        if k > 0 {
+            out.push(' ');
+        }
+        let w = word(i);
+        let mut chars = w.chars();
+        if let Some(first) = chars.next() {
+            out.push(first.to_ascii_uppercase());
+            out.push_str(chars.as_str());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_distinct() {
+        let mut seen = HashSet::new();
+        for i in 0..5000 {
+            assert!(seen.insert(word(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn words_are_deterministic() {
+        assert_eq!(word(42), word(42));
+        assert_ne!(word(1), word(2));
+    }
+
+    #[test]
+    fn words_survive_tokenization() {
+        // A generated word must tokenize to itself (single lowercase token).
+        for i in [0, 7, 123, 4567] {
+            let w = word(i);
+            let toks = patternkb_text::tokenize::tokens(&w);
+            assert_eq!(toks, vec![w.clone()]);
+        }
+    }
+
+    #[test]
+    fn phrases_and_titles() {
+        let p = phrase(&[1, 2, 3]);
+        assert_eq!(p.split(' ').count(), 3);
+        let t = title(&[1, 2]);
+        assert!(t.chars().next().unwrap().is_ascii_uppercase());
+        assert_eq!(
+            patternkb_text::tokenize::tokens(&t),
+            patternkb_text::tokenize::tokens(&phrase(&[1, 2]))
+        );
+    }
+}

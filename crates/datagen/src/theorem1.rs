@@ -1,0 +1,136 @@
+//! The #P-hardness reduction of Theorem 1 (Appendix A).
+//!
+//! From an s-t PATHS instance `(G, s, t)` the reduction builds a knowledge
+//! graph `G2` with two disjoint copies of `G` hanging off a fresh root, all
+//! node/edge types and texts unique. With the 2-keyword query naming the two
+//! copies of `t` and `d = |V| + 1`,
+//!
+//! ```text
+//! #tree-patterns(G2, q, d)  =  (#simple s-t paths in G)²
+//! ```
+//!
+//! because the only candidate root reaching both keywords is the fresh root,
+//! and every simple `s→t` path yields a distinct pattern (types are unique).
+//! The search crate's counting tests assert this identity against a brute-
+//! force simple-path counter.
+
+use crate::names;
+use patternkb_graph::{GraphBuilder, KnowledgeGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Output of [`reduce`].
+pub struct Reduction {
+    /// The constructed knowledge graph `G2`.
+    pub graph: KnowledgeGraph,
+    /// The two query keywords (texts of `t'` and `t''`).
+    pub query: [String; 2],
+    /// The height threshold `d = |V| + 1` to use.
+    pub d: usize,
+    /// The fresh root node.
+    pub root: NodeId,
+}
+
+/// Build the reduction for the digraph on `n` nodes with the given edge
+/// list, source `s` and target `t`.
+///
+/// # Panics
+/// If `s`/`t` or any edge endpoint is out of range, or `s == t` is fine but
+/// self-loops in `edges` are rejected.
+pub fn reduce(n: usize, edges: &[(usize, usize)], s: usize, t: usize) -> Reduction {
+    assert!(s < n && t < n);
+    let mut b = GraphBuilder::with_capacity(2 * n + 1, 2 * edges.len() + 2);
+
+    // Unique types/texts per node and copy; unique attrs per edge and copy.
+    let copy_nodes = |b: &mut GraphBuilder, base: usize| -> Vec<NodeId> {
+        (0..n)
+            .map(|i| {
+                let ty = b.add_type(&names::title(&[7_000_000 + base + i]));
+                b.add_node(ty, &names::word(7_100_000 + base + i))
+            })
+            .collect()
+    };
+    let c1 = copy_nodes(&mut b, 0);
+    let c2 = copy_nodes(&mut b, 10_000);
+    for (k, &(u, v)) in edges.iter().enumerate() {
+        assert!(u < n && v < n && u != v, "bad edge ({u},{v})");
+        let a1 = b.add_attr(&names::title(&[7_200_000 + k]));
+        let a2 = b.add_attr(&names::title(&[7_210_000 + k]));
+        b.add_edge(c1[u], a1, c1[v]);
+        b.add_edge(c2[u], a2, c2[v]);
+    }
+    let root_ty = b.add_type("Reductionroot");
+    let root = b.add_node(root_ty, "reductionroot");
+    let ra1 = b.add_attr(&names::title(&[7_300_000]));
+    let ra2 = b.add_attr(&names::title(&[7_300_001]));
+    b.add_edge(root, ra1, c1[s]);
+    b.add_edge(root, ra2, c2[s]);
+
+    let q1 = names::word(7_100_000 + t);
+    let q2 = names::word(7_100_000 + 10_000 + t);
+    Reduction {
+        graph: b.build(),
+        query: [q1, q2],
+        d: n + 1,
+        root,
+    }
+}
+
+/// A random simple digraph on `n` nodes with edge probability `density`,
+/// for property tests. Self-loops excluded; may contain cycles.
+pub fn random_digraph(n: usize, density: f64, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen::<f64>() < density {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternkb_graph::traversal::count_simple_paths;
+
+    #[test]
+    fn reduction_shape() {
+        // Diamond: 0→1→3, 0→2→3.
+        let edges = [(0, 1), (0, 2), (1, 3), (2, 3)];
+        let r = reduce(4, &edges, 0, 3);
+        assert_eq!(r.graph.num_nodes(), 9); // 2×4 + root
+        assert_eq!(r.graph.num_edges(), 10); // 2×4 + 2
+        assert_eq!(r.d, 5);
+        assert_ne!(r.query[0], r.query[1]);
+    }
+
+    #[test]
+    fn paths_from_root_mirror_original() {
+        let edges = [(0, 1), (0, 2), (1, 3), (2, 3)];
+        let r = reduce(4, &edges, 0, 3);
+        // In G: 2 simple 0→3 paths. From the reduction root, each copy's t
+        // is reachable by 2 simple paths.
+        let g = &r.graph;
+        let targets: Vec<NodeId> = g
+            .nodes()
+            .filter(|&v| {
+                let txt = g.node_text(v);
+                txt == r.query[0] || txt == r.query[1]
+            })
+            .collect();
+        assert_eq!(targets.len(), 2);
+        for &t in &targets {
+            assert_eq!(count_simple_paths(g, r.root, t), 2);
+        }
+    }
+
+    #[test]
+    fn random_digraph_is_deterministic() {
+        assert_eq!(random_digraph(5, 0.4, 3), random_digraph(5, 0.4, 3));
+        assert!(random_digraph(5, 1.0, 0).len() == 20);
+        assert!(random_digraph(5, 0.0, 0).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Synthetic Wikipedia-infobox-like knowledge base.
+//!
+//! The paper's Wiki dataset (1.89M entities, 3,424 types, 35M edges,
+//! extracted from infoboxes) is not redistributable; this generator builds a
+//! laptop-scale KB with the *structural properties the algorithms are
+//! sensitive to* (see DESIGN.md §5):
+//!
+//! * **per-type attribute schemas** — each entity type has a fixed slate of
+//!   attributes, each with a designated target type or plain-text values;
+//!   this is what makes many subtrees share one tree pattern, exactly like
+//!   infobox templates do;
+//! * **Zipf skew everywhere** — type popularity, hub entities inside each
+//!   type, head words in labels, and repeated text values;
+//! * **shared attribute names across types** (a global attribute pool), so
+//!   one keyword can match edges in many schemas — the source of pattern
+//!   blowup as `d` grows (Figures 6–7).
+
+use crate::names;
+use crate::zipf::Zipf;
+use patternkb_graph::{GraphBuilder, KnowledgeGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Word-index bases carving up the pseudo-word space so entity words, type
+/// names, attribute names and value words never collide by construction.
+const TYPE_WORD_BASE: usize = 1_000_000;
+const ATTR_WORD_BASE: usize = 2_000_000;
+const VALUE_WORD_BASE: usize = 3_000_000;
+
+/// Generator parameters; the defaults produce the dataset used by the
+/// experiment harness (`experiments` binary).
+#[derive(Clone, Debug)]
+pub struct WikiConfig {
+    /// Number of entities (excluding dummy text-value nodes).
+    pub entities: usize,
+    /// Number of entity types.
+    pub types: usize,
+    /// Schema slots (attributes) per type.
+    pub attrs_per_type: usize,
+    /// Size of the global attribute-name pool shared across schemas.
+    pub attr_pool: usize,
+    /// Entity-label vocabulary size.
+    pub vocab: usize,
+    /// Mean out-degree per entity.
+    pub avg_degree: f64,
+    /// Fraction of schema slots whose values are plain text.
+    pub text_value_ratio: f64,
+    /// Pool of distinct text values (repeated values share dummy nodes).
+    pub value_pool: usize,
+    /// Zipf exponent for type popularity.
+    pub type_theta: f64,
+    /// Zipf exponent for hub selection inside a target type.
+    pub target_theta: f64,
+    /// Zipf exponent over the label vocabulary.
+    pub word_theta: f64,
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for WikiConfig {
+    fn default() -> Self {
+        WikiConfig {
+            entities: 20_000,
+            types: 100,
+            attrs_per_type: 4,
+            attr_pool: 60,
+            vocab: 1_200,
+            avg_degree: 4.0,
+            text_value_ratio: 0.35,
+            value_pool: 400,
+            type_theta: 0.8,
+            target_theta: 0.7,
+            word_theta: 0.9,
+            seed: 42,
+        }
+    }
+}
+
+impl WikiConfig {
+    /// A small config for unit tests (fast to index even at `d = 4`).
+    pub fn tiny(seed: u64) -> Self {
+        WikiConfig {
+            entities: 600,
+            types: 12,
+            attrs_per_type: 3,
+            attr_pool: 10,
+            vocab: 80,
+            avg_degree: 3.0,
+            value_pool: 40,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// One schema slot of a type.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    attr: usize,
+    /// `None` = plain-text value; `Some(t)` = entities of type `t`.
+    target_type: Option<usize>,
+}
+
+/// Generate the knowledge graph.
+pub fn wiki(cfg: &WikiConfig) -> KnowledgeGraph {
+    assert!(cfg.entities > 0 && cfg.types > 0 && cfg.vocab > 0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::with_capacity(
+        cfg.entities + cfg.value_pool,
+        (cfg.entities as f64 * cfg.avg_degree) as usize,
+    );
+
+    // --- types and the shared attribute pool ---
+    let type_ids: Vec<_> = (0..cfg.types)
+        .map(|t| b.add_type(&names::title(&[TYPE_WORD_BASE + t])))
+        .collect();
+    let attr_ids: Vec<_> = (0..cfg.attr_pool)
+        .map(|a| b.add_attr(&names::title(&[ATTR_WORD_BASE + a])))
+        .collect();
+
+    // --- schemas: each type gets `attrs_per_type` slots ---
+    let attr_zipf = Zipf::new(cfg.attr_pool, 0.6);
+    let type_zipf = Zipf::new(cfg.types, cfg.type_theta);
+    let schemas: Vec<Vec<Slot>> = (0..cfg.types)
+        .map(|_| {
+            let mut slots = Vec::with_capacity(cfg.attrs_per_type);
+            for _ in 0..cfg.attrs_per_type {
+                let attr = attr_zipf.sample(&mut rng);
+                let target_type = if rng.gen::<f64>() < cfg.text_value_ratio {
+                    None
+                } else {
+                    Some(type_zipf.sample(&mut rng))
+                };
+                slots.push(Slot { attr, target_type });
+            }
+            slots
+        })
+        .collect();
+
+    // --- entities with Zipf types and 1–3 word labels ---
+    let word_zipf = Zipf::new(cfg.vocab, cfg.word_theta);
+    let mut entity_type: Vec<usize> = Vec::with_capacity(cfg.entities);
+    let mut by_type: Vec<Vec<NodeId>> = vec![Vec::new(); cfg.types];
+    let mut entities: Vec<NodeId> = Vec::with_capacity(cfg.entities);
+    for _ in 0..cfg.entities {
+        let t = type_zipf.sample(&mut rng);
+        let nwords = 1 + rng.gen_range(0..3);
+        let words: Vec<usize> = (0..nwords).map(|_| word_zipf.sample(&mut rng)).collect();
+        let node = b.add_node(type_ids[t], &names::title(&words));
+        entity_type.push(t);
+        by_type[t].push(node);
+        entities.push(node);
+    }
+
+    // --- text-value pool (1–3 words each) ---
+    let value_texts: Vec<String> = (0..cfg.value_pool.max(1))
+        .map(|i| {
+            let nwords = 1 + (i % 3);
+            let words: Vec<usize> = (0..nwords).map(|k| VALUE_WORD_BASE + (i * 3 + k) % (cfg.value_pool.max(1) * 2)).collect();
+            names::phrase(&words)
+        })
+        .collect();
+    let value_zipf = Zipf::new(value_texts.len(), 0.9);
+
+    // --- edges per schema slot ---
+    // Each slot fires a number of times so the expected total per entity is
+    // `avg_degree`: per-slot mean = avg_degree / attrs_per_type, realized as
+    // floor + Bernoulli(frac).
+    let per_slot = cfg.avg_degree / cfg.attrs_per_type as f64;
+    let base_count = per_slot.floor() as usize;
+    let frac = per_slot - per_slot.floor();
+    for (i, &e) in entities.iter().enumerate() {
+        let t = entity_type[i];
+        for slot in &schemas[t] {
+            let mut k = base_count;
+            if rng.gen::<f64>() < frac {
+                k += 1;
+            }
+            for _ in 0..k {
+                match slot.target_type {
+                    None => {
+                        let v = value_zipf.sample(&mut rng);
+                        b.add_text_edge(e, attr_ids[slot.attr], &value_texts[v]);
+                    }
+                    Some(tt) => {
+                        if by_type[tt].is_empty() {
+                            continue;
+                        }
+                        let hub = Zipf::new(by_type[tt].len(), cfg.target_theta);
+                        let target = by_type[tt][hub.sample(&mut rng)];
+                        if target != e {
+                            b.add_edge(e, attr_ids[slot.attr], target);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternkb_graph::GraphStats;
+
+    #[test]
+    fn deterministic() {
+        let a = wiki(&WikiConfig::tiny(7));
+        let b = wiki(&WikiConfig::tiny(7));
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in a.nodes() {
+            assert_eq!(a.node_text(v), b.node_text(v));
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = wiki(&WikiConfig::tiny(1));
+        let b = wiki(&WikiConfig::tiny(2));
+        // Same node count (entities fixed) but different wiring.
+        let ea: Vec<_> = a.edges().map(|e| (e.source, e.attr.0, e.target)).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.source, e.attr.0, e.target)).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn shape_is_plausible() {
+        let cfg = WikiConfig::tiny(42);
+        let g = wiki(&cfg);
+        let s = GraphStats::of(&g);
+        assert!(s.nodes >= cfg.entities);
+        assert!(s.text_nodes > 0, "text values present");
+        assert!(s.edges > cfg.entities, "avg degree > 1");
+        assert_eq!(s.types, cfg.types + 1); // + reserved text type
+        // Hubs exist: max in-degree well above the average.
+        assert!(s.max_in_degree > 5);
+        // PageRank computed by default.
+        assert!(g.nodes().any(|v| g.pagerank(v) > 0.0));
+    }
+
+    #[test]
+    fn type_skew_present() {
+        let g = wiki(&WikiConfig::tiny(42));
+        let mut counts = vec![0usize; g.num_types()];
+        for v in g.nodes() {
+            counts[patternkb_graph::ids::Id::index(g.node_type(v))] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // Head type at least 3× the median type.
+        let median = counts[g.num_types() / 2].max(1);
+        assert!(counts[0] >= 3 * median, "head {} median {}", counts[0], median);
+    }
+}

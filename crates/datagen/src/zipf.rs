@@ -1,0 +1,107 @@
+//! A small Zipf(θ) sampler over `0..n`.
+//!
+//! Knowledge-base skew — a few huge types, hub entities, and head words —
+//! is what makes the paper's bucketed experiments interesting; all the
+//! generators drive their choices through this sampler.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `theta`
+/// (`P(k) ∝ 1/(k+1)^theta`). Uses a precomputed CDF; sampling is a binary
+/// search.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution. `n` must be positive; `theta = 0` is the
+    /// uniform distribution.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1500..2500).contains(&c), "uniform counts skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_positive() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Head rank gets a large share under θ=1.
+        assert!(counts[0] as f64 / 50_000.0 > 0.1);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+}

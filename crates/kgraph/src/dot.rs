@@ -1,0 +1,105 @@
+//! Graphviz (DOT) export of knowledge graphs and node-induced fragments.
+//!
+//! Useful for inspecting generated datasets and for documenting answers:
+//! `dot -Tsvg graph.dot -o graph.svg`.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::{Id, NodeId};
+
+/// Escape a string for a DOT double-quoted label.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the whole graph in DOT format. Intended for small graphs (the
+/// Figure-1 example, reductions, worst cases); dataset-scale graphs will
+/// produce unreadably large output.
+pub fn to_dot(g: &KnowledgeGraph) -> String {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    fragment_dot(g, &nodes)
+}
+
+/// Render the subgraph induced by `nodes` (plus all edges among them).
+pub fn fragment_dot(g: &KnowledgeGraph, nodes: &[NodeId]) -> String {
+    let mut keep = vec![false; g.num_nodes()];
+    for &v in nodes {
+        keep[v.index()] = true;
+    }
+    let mut out = String::from("digraph patternkb {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    for &v in nodes {
+        let t = g.node_type(v);
+        let label = if t == KnowledgeGraph::TEXT_TYPE {
+            escape(g.node_text(v)).to_string()
+        } else {
+            format!("{}\\n({})", escape(g.node_text(v)), escape(g.type_text(t)))
+        };
+        let style = if t == KnowledgeGraph::TEXT_TYPE {
+            ", style=dashed"
+        } else {
+            ""
+        };
+        out.push_str(&format!("  n{} [label=\"{}\"{}];\n", v.0, label, style));
+    }
+    for &v in nodes {
+        for (attr, target) in g.out_edges(v) {
+            if keep[target.index()] {
+                out.push_str(&format!(
+                    "  n{} -> n{} [label=\"{}\", fontsize=9];\n",
+                    v.0,
+                    target.0,
+                    escape(g.attr_text(attr))
+                ));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t = b.add_type("Software");
+        let a = b.add_attr("Developer");
+        let x = b.add_node(t, "SQL \"Server\"");
+        let y = b.add_node(t, "Microsoft");
+        b.add_edge(x, a, y);
+        b.add_text_edge(y, a, "text value");
+        b.build()
+    }
+
+    #[test]
+    fn whole_graph() {
+        let g = sample();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("Developer"));
+        // Quotes escaped.
+        assert!(dot.contains("SQL \\\"Server\\\""));
+        // Text node dashed.
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn fragment_excludes_outside_edges() {
+        let g = sample();
+        let dot = fragment_dot(&g, &[NodeId(0), NodeId(1)]);
+        assert!(dot.contains("n0 -> n1"));
+        assert!(!dot.contains("n1 -> n2"), "edge to excluded node dropped");
+    }
+
+    #[test]
+    fn empty_fragment() {
+        let g = sample();
+        let dot = fragment_dot(&g, &[]);
+        assert!(dot.contains("digraph"));
+        assert!(!dot.contains("->"));
+    }
+}

@@ -1,0 +1,141 @@
+//! A fast, non-cryptographic hasher for interned-id keys.
+//!
+//! The default `SipHash 1-3` used by `std::collections::HashMap` is robust
+//! against HashDoS but slow for the short integer keys that dominate this
+//! workload (node ids, pattern ids, `(word, root)` pairs). This module
+//! hand-rolls the well-known *Fx* multiply-rotate hash (the algorithm used
+//! inside rustc and popularized by the `rustc-hash` crate) so that we get the
+//! speed without adding an external dependency.
+//!
+//! HashDoS is not a concern here: all hashed keys are internally generated
+//! ids, never attacker-controlled strings.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiply-rotate [`Hasher`] for short keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement keyed with the Fx hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement keyed with the Fx hash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Convenience constructor mirroring `HashMap::with_capacity`.
+pub fn map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+/// Convenience constructor mirroring `HashSet::with_capacity`.
+pub fn set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+        // Tuples of ids — the hot key shape in the search crate.
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = map_with_capacity(4);
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u32> = set_with_capacity(4);
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn byte_tail_handling() {
+        // Strings of length not divisible by 8 exercise the remainder path.
+        for len in 0..20 {
+            let s: String = "x".repeat(len);
+            let _ = hash_of(&s.as_str());
+        }
+        assert_ne!(hash_of(&"abcdefg"), hash_of(&"abcdefgh"));
+    }
+}

@@ -1,0 +1,407 @@
+//! The knowledge graph `G = (V, E, τ, α)` in CSR form.
+//!
+//! Storage layout (all arrays indexed by raw ids):
+//!
+//! * `node_types[v]` — entity type `τ(v)`;
+//! * `node_texts[v]` — free-text description of the entity;
+//! * forward CSR `out_offsets` / `out_attrs` / `out_targets` — out-edges of
+//!   `v` live in `out_offsets[v] .. out_offsets[v+1]`, sorted by
+//!   `(attr, target)`;
+//! * reverse CSR `in_offsets` / `in_attrs` / `in_sources` — mirror image used
+//!   by the baseline's backward search and by PageRank;
+//! * `pagerank[v]` — filled in by [`crate::pagerank::compute`].
+//!
+//! Plain-text attribute values are dummy nodes with the reserved
+//! [`KnowledgeGraph::TEXT_TYPE`] whose type text is empty, so a keyword can
+//! never match "the type of a text node" (the paper omits types for such
+//! nodes in Figure 1(d)).
+
+use crate::ids::{AttrId, Id, NodeId, TypeId};
+use crate::interner::Interner;
+
+/// A single labeled directed edge `(source) -attr-> (target)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Source entity (the entity owning the attribute).
+    pub source: NodeId,
+    /// Attribute type `α(e)`.
+    pub attr: AttrId,
+    /// Target entity (the attribute value).
+    pub target: NodeId,
+}
+
+/// Forward + reverse CSR adjacency assembled from a sorted edge list.
+/// Shared by [`crate::GraphBuilder::build`] and
+/// [`crate::mutate::GraphDelta::apply`].
+pub(crate) struct Csr {
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_attrs: Vec<AttrId>,
+    pub(crate) out_targets: Vec<NodeId>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_attrs: Vec<AttrId>,
+    pub(crate) in_sources: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Build both CSR directions for `n` nodes from edges sorted by
+    /// `(source, attr, target)` with no duplicates.
+    pub(crate) fn from_sorted_edges(n: usize, edges: &[(NodeId, AttrId, NodeId)]) -> Csr {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges sorted+deduped");
+        let m = edges.len();
+
+        // Forward CSR.
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(s, _, _) in edges {
+            out_offsets[s.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_attrs = Vec::with_capacity(m);
+        let mut out_targets = Vec::with_capacity(m);
+        for &(_, a, t) in edges {
+            out_attrs.push(a);
+            out_targets.push(t);
+        }
+
+        // Reverse CSR: counting sort by target.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, _, t) in edges {
+            in_offsets[t.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_attrs = vec![AttrId(0); m];
+        let mut in_sources = vec![NodeId(0); m];
+        for &(s, a, t) in edges {
+            let pos = cursor[t.index()] as usize;
+            in_attrs[pos] = a;
+            in_sources[pos] = s;
+            cursor[t.index()] += 1;
+        }
+        // Sort each in-bucket by (attr, source) for determinism.
+        for v in 0..n {
+            let lo = in_offsets[v] as usize;
+            let hi = in_offsets[v + 1] as usize;
+            let mut pairs: Vec<(AttrId, NodeId)> = in_attrs[lo..hi]
+                .iter()
+                .copied()
+                .zip(in_sources[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable();
+            for (i, (a, s)) in pairs.into_iter().enumerate() {
+                in_attrs[lo + i] = a;
+                in_sources[lo + i] = s;
+            }
+        }
+
+        Csr {
+            out_offsets,
+            out_attrs,
+            out_targets,
+            in_offsets,
+            in_attrs,
+            in_sources,
+        }
+    }
+}
+
+/// The immutable knowledge graph. Construct with [`crate::GraphBuilder`].
+#[derive(Clone)]
+pub struct KnowledgeGraph {
+    pub(crate) node_types: Vec<TypeId>,
+    pub(crate) node_texts: Vec<Box<str>>,
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_attrs: Vec<AttrId>,
+    pub(crate) out_targets: Vec<NodeId>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_attrs: Vec<AttrId>,
+    pub(crate) in_sources: Vec<NodeId>,
+    pub(crate) types: Interner<TypeId>,
+    pub(crate) attrs: Interner<AttrId>,
+    pub(crate) pagerank: Vec<f64>,
+}
+
+impl KnowledgeGraph {
+    /// The reserved type id for dummy plain-text entities. Always interned
+    /// first by the builder, with empty type text.
+    pub const TEXT_TYPE: TypeId = TypeId(0);
+
+    /// Number of entities `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of attribute edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Number of distinct entity types `|C|` (including the text type).
+    #[inline]
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of distinct attribute types `|A|`.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Entity type `τ(v)`.
+    #[inline]
+    pub fn node_type(&self, v: NodeId) -> TypeId {
+        self.node_types[v.index()]
+    }
+
+    /// Free-text description of entity `v`.
+    #[inline]
+    pub fn node_text(&self, v: NodeId) -> &str {
+        &self.node_texts[v.index()]
+    }
+
+    /// Text of an entity type (`C.text`); empty for [`Self::TEXT_TYPE`].
+    #[inline]
+    pub fn type_text(&self, t: TypeId) -> &str {
+        self.types.resolve(t)
+    }
+
+    /// Text of an attribute type (`A.text`).
+    #[inline]
+    pub fn attr_text(&self, a: AttrId) -> &str {
+        self.attrs.resolve(a)
+    }
+
+    /// Whether `v` is a dummy plain-text entity.
+    #[inline]
+    pub fn is_text_node(&self, v: NodeId) -> bool {
+        self.node_types[v.index()] == Self::TEXT_TYPE
+    }
+
+    /// Iterate all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Out-edges of `v`, sorted by `(attr, target)`.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = (AttrId, NodeId)> + '_ {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        self.out_attrs[lo..hi]
+            .iter()
+            .zip(&self.out_targets[lo..hi])
+            .map(|(&a, &t)| (a, t))
+    }
+
+    /// In-edges of `v` as `(attr, source)`, sorted by `(attr, source)`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (AttrId, NodeId)> + '_ {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        self.in_attrs[lo..hi]
+            .iter()
+            .zip(&self.in_sources[lo..hi])
+            .map(|(&a, &s)| (a, s))
+    }
+
+    /// Whether the edge `(source) -attr-> (target)` exists. O(log deg) —
+    /// out-edges are stored sorted by `(attr, target)`.
+    pub fn has_edge(&self, source: NodeId, attr: AttrId, target: NodeId) -> bool {
+        if source.index() >= self.num_nodes() {
+            return false;
+        }
+        let lo = self.out_offsets[source.index()] as usize;
+        let hi = self.out_offsets[source.index() + 1] as usize;
+        let attrs = &self.out_attrs[lo..hi];
+        let targets = &self.out_targets[lo..hi];
+        // Binary search on the (attr, target) pairs.
+        let mut left = 0usize;
+        let mut right = attrs.len();
+        while left < right {
+            let mid = (left + right) / 2;
+            match (attrs[mid], targets[mid]).cmp(&(attr, target)) {
+                std::cmp::Ordering::Less => left = mid + 1,
+                std::cmp::Ordering::Greater => right = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        (self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]) as usize
+    }
+
+    /// All edges in `(source, attr, target)` order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |v| {
+            self.out_edges(v).map(move |(attr, target)| Edge {
+                source: v,
+                attr,
+                target,
+            })
+        })
+    }
+
+    /// PageRank score `PR(v)` per Eq. (5). Zero until
+    /// [`crate::pagerank::compute`] has been run (the builder runs it by
+    /// default).
+    #[inline]
+    pub fn pagerank(&self, v: NodeId) -> f64 {
+        self.pagerank[v.index()]
+    }
+
+    /// Overwrite the PageRank vector (used by [`crate::pagerank`]).
+    ///
+    /// # Panics
+    /// If `pr.len() != self.num_nodes()`.
+    pub fn set_pagerank(&mut self, pr: Vec<f64>) {
+        assert_eq!(pr.len(), self.num_nodes(), "pagerank length mismatch");
+        self.pagerank = pr;
+    }
+
+    /// The type interner (shared with snapshot/codegen helpers).
+    pub fn types(&self) -> &Interner<TypeId> {
+        &self.types
+    }
+
+    /// The attribute interner.
+    pub fn attrs(&self) -> &Interner<AttrId> {
+        &self.attrs
+    }
+
+    /// Look up a type by its exact text.
+    pub fn type_by_text(&self, text: &str) -> Option<TypeId> {
+        self.types.get(text)
+    }
+
+    /// Look up an attribute by its exact text.
+    pub fn attr_by_text(&self, text: &str) -> Option<AttrId> {
+        self.attrs.get(text)
+    }
+
+    /// Nodes of a given type, in id order. O(|V|); use sparingly (the search
+    /// crate maintains its own type partitions).
+    pub fn nodes_of_type(&self, t: TypeId) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.node_type(v) == t).collect()
+    }
+
+    /// Approximate resident bytes of the graph arrays (for reporting).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.node_types.len() * size_of::<TypeId>()
+            + self.node_texts.iter().map(|t| t.len()).sum::<usize>()
+            + self.node_texts.len() * size_of::<Box<str>>()
+            + self.out_offsets.len() * 4
+            + self.out_attrs.len() * 4
+            + self.out_targets.len() * 4
+            + self.in_offsets.len() * 4
+            + self.in_attrs.len() * 4
+            + self.in_sources.len() * 4
+            + self.types.text_bytes()
+            + self.attrs.text_bytes()
+            + self.pagerank.len() * 8
+    }
+}
+
+impl std::fmt::Debug for KnowledgeGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KnowledgeGraph {{ nodes: {}, edges: {}, types: {}, attrs: {} }}",
+            self.num_nodes(),
+            self.num_edges(),
+            self.num_types(),
+            self.num_attrs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::ids::NodeId;
+
+    fn tiny() -> crate::KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let soft = b.add_type("Software");
+        let comp = b.add_type("Company");
+        let dev = b.add_attr("Developer");
+        let rev = b.add_attr("Revenue");
+        let sql = b.add_node(soft, "SQL Server");
+        let ms = b.add_node(comp, "Microsoft");
+        b.add_edge(sql, dev, ms);
+        b.add_text_edge(ms, rev, "US$ 77 billion");
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = tiny();
+        assert_eq!(g.num_nodes(), 3); // 2 entities + 1 text node
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.node_text(NodeId(0)), "SQL Server");
+        assert_eq!(g.type_text(g.node_type(NodeId(0))), "Software");
+        assert!(g.is_text_node(NodeId(2)));
+        assert_eq!(g.node_text(NodeId(2)), "US$ 77 billion");
+        assert_eq!(g.type_text(crate::KnowledgeGraph::TEXT_TYPE), "");
+    }
+
+    #[test]
+    fn forward_and_reverse_adjacency_agree() {
+        let g = tiny();
+        let fwd: Vec<_> = g.edges().collect();
+        let mut rev = Vec::new();
+        for v in g.nodes() {
+            for (attr, src) in g.in_edges(v) {
+                rev.push(crate::graph::Edge {
+                    source: src,
+                    attr,
+                    target: v,
+                });
+            }
+        }
+        rev.sort_by_key(|e| (e.source, e.attr, e.target));
+        let mut fwd_sorted = fwd.clone();
+        fwd_sorted.sort_by_key(|e| (e.source, e.attr, e.target));
+        assert_eq!(fwd_sorted, rev);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = tiny();
+        assert_eq!(g.out_degree(NodeId(0)), 1);
+        assert_eq!(g.out_degree(NodeId(1)), 1);
+        assert_eq!(g.out_degree(NodeId(2)), 0);
+        assert_eq!(g.in_degree(NodeId(2)), 1);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn nodes_of_type() {
+        let g = tiny();
+        let soft = g.type_by_text("Software").unwrap();
+        assert_eq!(g.nodes_of_type(soft), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn pagerank_present_after_build() {
+        let g = tiny();
+        let total: f64 = g.nodes().map(|v| g.pagerank(v)).sum();
+        assert!(total > 0.0, "builder should compute pagerank");
+    }
+}

@@ -1,0 +1,314 @@
+//! Plain-text (TSV) knowledge-base import.
+//!
+//! Real deployments rarely start from a programmatic builder; they load
+//! dumps. The format is two tab-separated files:
+//!
+//! **nodes.tsv** — one entity per line:
+//! ```text
+//! id <TAB> type-text <TAB> entity-text
+//! ```
+//!
+//! **edges.tsv** — one attribute per line:
+//! ```text
+//! src-id <TAB> attr-text <TAB> node <TAB> dst-id        (entity value)
+//! src-id <TAB> attr-text <TAB> text <TAB> literal text  (plain-text value)
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. Ids are arbitrary
+//! non-empty strings, unique within the node file. Plain-text values
+//! become dummy text entities exactly like
+//! [`crate::GraphBuilder::add_text_edge`].
+
+use crate::builder::GraphBuilder;
+use crate::fxhash::FxHashMap;
+use crate::graph::KnowledgeGraph;
+use crate::ids::NodeId;
+
+/// Import failure, with the 1-based line number where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// A line did not have the expected number of tab-separated fields.
+    BadArity {
+        /// Which file.
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+    /// Two node lines used the same id.
+    DuplicateId {
+        /// 1-based line number of the duplicate.
+        line: usize,
+        /// The offending id.
+        id: String,
+    },
+    /// An edge referenced an id with no node line.
+    UnknownId {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved id.
+        id: String,
+    },
+    /// The edge kind column was neither `node` nor `text`.
+    BadKind {
+        /// 1-based line number.
+        line: usize,
+        /// The value found.
+        kind: String,
+    },
+    /// A node line had an empty type (reserved for text dummies).
+    EmptyType {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::BadArity { file, line, found } => {
+                write!(f, "{file}:{line}: expected tab-separated fields, found {found}")
+            }
+            ImportError::DuplicateId { line, id } => {
+                write!(f, "nodes:{line}: duplicate id {id:?}")
+            }
+            ImportError::UnknownId { line, id } => {
+                write!(f, "edges:{line}: unknown node id {id:?}")
+            }
+            ImportError::BadKind { line, kind } => {
+                write!(f, "edges:{line}: kind must be 'node' or 'text', got {kind:?}")
+            }
+            ImportError::EmptyType { line } => {
+                write!(f, "nodes:{line}: empty type text is reserved")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Parse the two TSV documents into a knowledge graph (PageRank computed).
+pub fn from_tsv(nodes_tsv: &str, edges_tsv: &str) -> Result<KnowledgeGraph, ImportError> {
+    let mut b = GraphBuilder::new();
+    let mut ids: FxHashMap<String, NodeId> = FxHashMap::default();
+
+    for (lineno, raw) in nodes_tsv.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim_end_matches('\r');
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('\t').collect();
+        if fields.len() != 3 {
+            return Err(ImportError::BadArity {
+                file: "nodes",
+                line,
+                found: fields.len(),
+            });
+        }
+        let (id, type_text, text) = (fields[0], fields[1], fields[2]);
+        if type_text.is_empty() {
+            return Err(ImportError::EmptyType { line });
+        }
+        if ids.contains_key(id) {
+            return Err(ImportError::DuplicateId {
+                line,
+                id: id.to_string(),
+            });
+        }
+        let ty = b.add_type(type_text);
+        let node = b.add_node(ty, text);
+        ids.insert(id.to_string(), node);
+    }
+
+    for (lineno, raw) in edges_tsv.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim_end_matches('\r');
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('\t').collect();
+        if fields.len() != 4 {
+            return Err(ImportError::BadArity {
+                file: "edges",
+                line,
+                found: fields.len(),
+            });
+        }
+        let (src_id, attr_text, kind, value) = (fields[0], fields[1], fields[2], fields[3]);
+        let &src = ids.get(src_id).ok_or_else(|| ImportError::UnknownId {
+            line,
+            id: src_id.to_string(),
+        })?;
+        let attr = b.add_attr(attr_text);
+        match kind {
+            "node" => {
+                let &dst = ids.get(value).ok_or_else(|| ImportError::UnknownId {
+                    line,
+                    id: value.to_string(),
+                })?;
+                b.add_edge(src, attr, dst);
+            }
+            "text" => {
+                b.add_text_edge(src, attr, value);
+            }
+            other => {
+                return Err(ImportError::BadKind {
+                    line,
+                    kind: other.to_string(),
+                })
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Load from two files on disk.
+pub fn load_tsv(
+    nodes_path: &std::path::Path,
+    edges_path: &std::path::Path,
+) -> std::io::Result<KnowledgeGraph> {
+    let nodes = std::fs::read_to_string(nodes_path)?;
+    let edges = std::fs::read_to_string(edges_path)?;
+    from_tsv(&nodes, &edges)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Export a graph back to the TSV pair (node ids are `n{index}`; text
+/// dummies are re-inlined as `text` edges, so `export ∘ import` is the
+/// identity up to node renaming).
+pub fn to_tsv(g: &KnowledgeGraph) -> (String, String) {
+    use std::fmt::Write as _;
+    let mut nodes = String::new();
+    let mut edges = String::new();
+    for v in g.nodes() {
+        if !g.is_text_node(v) {
+            let _ = writeln!(
+                nodes,
+                "n{}\t{}\t{}",
+                v.0,
+                g.type_text(g.node_type(v)),
+                g.node_text(v)
+            );
+        }
+    }
+    for e in g.edges() {
+        if g.is_text_node(e.target) {
+            let _ = writeln!(
+                edges,
+                "n{}\t{}\ttext\t{}",
+                e.source.0,
+                g.attr_text(e.attr),
+                g.node_text(e.target)
+            );
+        } else {
+            let _ = writeln!(
+                edges,
+                "n{}\t{}\tnode\tn{}",
+                e.source.0,
+                g.attr_text(e.attr),
+                e.target.0
+            );
+        }
+    }
+    (nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODES: &str = "\
+# the Figure-1 core
+sql\tSoftware\tSQL Server
+ms\tCompany\tMicrosoft
+";
+    const EDGES: &str = "\
+sql\tDeveloper\tnode\tms
+ms\tRevenue\ttext\tUS$ 77 billion
+";
+
+    #[test]
+    fn happy_path() {
+        let g = from_tsv(NODES, EDGES).unwrap();
+        assert_eq!(g.num_nodes(), 3); // 2 entities + 1 text value
+        assert_eq!(g.num_edges(), 2);
+        let sql = g.nodes().find(|&v| g.node_text(v) == "SQL Server").unwrap();
+        assert_eq!(g.type_text(g.node_type(sql)), "Software");
+        crate::validate::assert_valid(&g);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let g = from_tsv("# only comments\n\n", "").unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let nodes = "a\tT\tx\na\tT\ty\n";
+        match from_tsv(nodes, "") {
+            Err(ImportError::DuplicateId { line, id }) => {
+                assert_eq!(line, 2);
+                assert_eq!(id, "a");
+            }
+            other => panic!("expected DuplicateId, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_ref_rejected() {
+        let err = from_tsv("a\tT\tx\n", "a\trel\tnode\tghost\n").unwrap_err();
+        assert!(matches!(err, ImportError::UnknownId { .. }));
+        let shown = format!("{err}");
+        assert!(shown.contains("ghost"));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        assert!(matches!(
+            from_tsv("a\tT\n", "").unwrap_err(),
+            ImportError::BadArity { file: "nodes", line: 1, found: 2 }
+        ));
+        assert!(matches!(
+            from_tsv("a\tT\tx\n", "a\trel\tnode\n").unwrap_err(),
+            ImportError::BadArity { file: "edges", .. }
+        ));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let err = from_tsv("a\tT\tx\nb\tT\ty\n", "a\trel\tedge\tb\n").unwrap_err();
+        assert!(matches!(err, ImportError::BadKind { .. }));
+    }
+
+    #[test]
+    fn empty_type_rejected() {
+        assert!(matches!(
+            from_tsv("a\t\tx\n", "").unwrap_err(),
+            ImportError::EmptyType { line: 1 }
+        ));
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let g = from_tsv(NODES, EDGES).unwrap();
+        let (n2, e2) = to_tsv(&g);
+        let g2 = from_tsv(&n2, &e2).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        let mut texts1: Vec<&str> = g.nodes().map(|v| g.node_text(v)).collect();
+        let mut texts2: Vec<&str> = g2.nodes().map(|v| g2.node_text(v)).collect();
+        texts1.sort_unstable();
+        texts2.sort_unstable();
+        assert_eq!(texts1, texts2);
+    }
+
+    #[test]
+    fn windows_line_endings() {
+        let g = from_tsv("a\tT\tx\r\n", "a\trel\ttext\tv\r\n").unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.node_text(crate::NodeId(1)), "v");
+    }
+}

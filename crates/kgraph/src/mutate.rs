@@ -1,0 +1,645 @@
+//! Incremental mutation of a frozen [`KnowledgeGraph`].
+//!
+//! Knowledge bases evolve: new entities are extracted, attributes are
+//! corrected, stale links are dropped. The CSR layout of
+//! [`KnowledgeGraph`] is deliberately immutable, so mutation is expressed
+//! as a [`GraphDelta`] — a batch of additions/removals validated against a
+//! base graph — that [`GraphDelta::apply`] freezes into a *new* CSR graph
+//! with all existing [`NodeId`]s preserved.
+//!
+//! The delta also reports its [`GraphDelta::dirty_nodes`]: the endpoints of
+//! every added/removed edge plus every new node. Downstream, the path
+//! indexes only need to re-enumerate paths from roots within reverse
+//! distance `d − 1` of a dirty node (`patternkb-index`'s incremental
+//! refresh), which is what makes online maintenance affordable.
+//!
+//! PageRank is global — a single new edge perturbs every node's score — so
+//! the caller chooses a [`PagerankMode`]: `Frozen` keeps the base scores
+//! (new nodes get the uniform prior `1/|V|`), matching how production
+//! systems refresh centrality offline on a schedule; `Recompute` reruns the
+//! paper's iterative method on the new graph.
+
+use crate::fxhash::FxHashMap;
+use crate::graph::KnowledgeGraph;
+use crate::ids::{AttrId, Id, NodeId, TypeId};
+use crate::interner::Interner;
+
+/// How [`GraphDelta::apply`] fills the new graph's PageRank vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PagerankMode {
+    /// Keep the base graph's scores; new nodes get the uniform prior
+    /// `1/|V_new|`. Cheap, and the usual operational choice between
+    /// scheduled offline recomputations.
+    Frozen,
+    /// Recompute PageRank on the mutated graph (Eq. (5) of the paper).
+    Recompute,
+}
+
+/// A mutation rejected by [`GraphDelta`] validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An edge endpoint is neither a base node nor a node added by this
+    /// delta.
+    UnknownNode(NodeId),
+    /// The type id was never interned (by the base graph or this delta).
+    UnknownType(TypeId),
+    /// The attribute id was never interned (by the base graph or this
+    /// delta).
+    UnknownAttr(AttrId),
+    /// `remove_edge` named an edge the base graph does not contain (or
+    /// named the same edge twice).
+    EdgeNotFound {
+        /// Source of the missing edge.
+        source: NodeId,
+        /// Attribute of the missing edge.
+        attr: AttrId,
+        /// Target of the missing edge.
+        target: NodeId,
+    },
+    /// `add_edge` named an edge that already exists (in the base graph and
+    /// not removed by this delta, or added twice by this delta). The graph
+    /// stores at most one edge per `(source, attr, target)` triple.
+    DuplicateEdge {
+        /// Source of the duplicate edge.
+        source: NodeId,
+        /// Attribute of the duplicate edge.
+        attr: AttrId,
+        /// Target of the duplicate edge.
+        target: NodeId,
+    },
+    /// The delta was applied to a different graph than it was created
+    /// against (e.g. another ingest landed in between). Rebuild the delta
+    /// from the current graph and retry.
+    BaseMismatch {
+        /// Node count the delta was created against.
+        expected_nodes: usize,
+        /// Node count of the graph it was applied to.
+        actual_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownNode(v) => write!(f, "unknown node id {}", v.0),
+            DeltaError::UnknownType(t) => write!(f, "unknown type id {}", t.0),
+            DeltaError::UnknownAttr(a) => write!(f, "unknown attribute id {}", a.0),
+            DeltaError::EdgeNotFound {
+                source,
+                attr,
+                target,
+            } => write!(
+                f,
+                "edge ({} -{}-> {}) not present in the base graph",
+                source.0, attr.0, target.0
+            ),
+            DeltaError::DuplicateEdge {
+                source,
+                attr,
+                target,
+            } => write!(
+                f,
+                "edge ({} -{}-> {}) already exists",
+                source.0, attr.0, target.0
+            ),
+            DeltaError::BaseMismatch {
+                expected_nodes,
+                actual_nodes,
+            } => write!(
+                f,
+                "delta built against a {expected_nodes}-node graph applied to a \
+                 {actual_nodes}-node graph; rebuild the delta and retry"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// A validated batch of mutations against one base [`KnowledgeGraph`].
+///
+/// Build it with the same vocabulary of operations as
+/// [`crate::GraphBuilder`] (types, attributes, nodes, entity edges,
+/// plain-text edges) plus [`GraphDelta::remove_edge`], then freeze with
+/// [`GraphDelta::apply`].
+///
+/// ```
+/// use patternkb_graph::{GraphBuilder, mutate::{GraphDelta, PagerankMode}};
+///
+/// let mut b = GraphBuilder::new();
+/// let company = b.add_type("Company");
+/// let founded = b.add_attr("Founded");
+/// let ms = b.add_node(company, "Microsoft");
+/// let base = b.build();
+///
+/// let mut delta = GraphDelta::new(&base);
+/// let oracle = delta.add_node(company, "Oracle Corp").unwrap();
+/// delta.add_text_edge(oracle, founded, "1977").unwrap();
+/// let g2 = delta.apply(&base, PagerankMode::Recompute).unwrap();
+/// assert_eq!(g2.num_nodes(), base.num_nodes() + 2); // Oracle + text node
+/// assert_eq!(g2.node_text(ms), "Microsoft");        // ids preserved
+/// ```
+pub struct GraphDelta {
+    base_nodes: usize,
+    /// Clone of the base interner, possibly extended by `add_type`.
+    types: Interner<TypeId>,
+    /// Clone of the base interner, possibly extended by `add_attr`.
+    attrs: Interner<AttrId>,
+    new_nodes: Vec<(TypeId, Box<str>)>,
+    added: Vec<(NodeId, AttrId, NodeId)>,
+    removed: Vec<(NodeId, AttrId, NodeId)>,
+    /// Delta-local dedup of plain-text value nodes (mirrors the builder).
+    text_nodes: FxHashMap<Box<str>, NodeId>,
+}
+
+impl GraphDelta {
+    /// An empty delta against `base`.
+    pub fn new(base: &KnowledgeGraph) -> Self {
+        GraphDelta {
+            base_nodes: base.num_nodes(),
+            types: base.types().clone(),
+            attrs: base.attrs().clone(),
+            new_nodes: Vec::new(),
+            added: Vec::new(),
+            removed: Vec::new(),
+            text_nodes: FxHashMap::default(),
+        }
+    }
+
+    /// Total nodes after this delta (base plus additions).
+    #[inline]
+    fn total_nodes(&self) -> usize {
+        self.base_nodes + self.new_nodes.len()
+    }
+
+    /// Intern a (possibly new) entity type.
+    pub fn add_type(&mut self, text: &str) -> TypeId {
+        self.types.get_or_intern(text)
+    }
+
+    /// Intern a (possibly new) attribute type.
+    pub fn add_attr(&mut self, text: &str) -> AttrId {
+        self.attrs.get_or_intern(text)
+    }
+
+    /// Add a new entity; its id continues the base graph's id space.
+    pub fn add_node(&mut self, t: TypeId, text: &str) -> Result<NodeId, DeltaError> {
+        if t.index() >= self.types.len() {
+            return Err(DeltaError::UnknownType(t));
+        }
+        let id = NodeId::from_usize(self.total_nodes());
+        self.new_nodes.push((t, text.into()));
+        Ok(id)
+    }
+
+    /// Add an attribute edge between two (base or new) entities.
+    ///
+    /// Duplicate detection against the base graph happens at
+    /// [`GraphDelta::apply`] time; id-range validation happens here.
+    pub fn add_edge(
+        &mut self,
+        source: NodeId,
+        attr: AttrId,
+        target: NodeId,
+    ) -> Result<(), DeltaError> {
+        self.check_node(source)?;
+        self.check_node(target)?;
+        if attr.index() >= self.attrs.len() {
+            return Err(DeltaError::UnknownAttr(attr));
+        }
+        self.added.push((source, attr, target));
+        Ok(())
+    }
+
+    /// Add an attribute whose value is plain text: creates (or reuses, for
+    /// identical text added through this delta) a dummy
+    /// [`KnowledgeGraph::TEXT_TYPE`] entity and links to it.
+    pub fn add_text_edge(
+        &mut self,
+        source: NodeId,
+        attr: AttrId,
+        value: &str,
+    ) -> Result<NodeId, DeltaError> {
+        let node = if let Some(&v) = self.text_nodes.get(value) {
+            v
+        } else {
+            let v = self.add_node(KnowledgeGraph::TEXT_TYPE, value)?;
+            self.text_nodes.insert(value.into(), v);
+            v
+        };
+        self.add_edge(source, attr, node)?;
+        Ok(node)
+    }
+
+    /// Remove an existing base-graph edge. Existence is checked at
+    /// [`GraphDelta::apply`] time.
+    pub fn remove_edge(
+        &mut self,
+        source: NodeId,
+        attr: AttrId,
+        target: NodeId,
+    ) -> Result<(), DeltaError> {
+        self.check_node(source)?;
+        self.check_node(target)?;
+        if attr.index() >= self.attrs.len() {
+            return Err(DeltaError::UnknownAttr(attr));
+        }
+        self.removed.push((source, attr, target));
+        Ok(())
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), DeltaError> {
+        if v.index() >= self.total_nodes() {
+            return Err(DeltaError::UnknownNode(v));
+        }
+        Ok(())
+    }
+
+    /// Whether the delta contains no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.new_nodes.is_empty() && self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Number of entities added.
+    pub fn num_new_nodes(&self) -> usize {
+        self.new_nodes.len()
+    }
+
+    /// Number of edges added.
+    pub fn num_added_edges(&self) -> usize {
+        self.added.len()
+    }
+
+    /// Number of edges removed.
+    pub fn num_removed_edges(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// The nodes whose `d`-bounded path neighbourhood may have changed:
+    /// endpoints of every added/removed edge plus every new node. Sorted
+    /// and deduplicated.
+    ///
+    /// A root's set of index paths can only change if the root reaches one
+    /// of these nodes within `d − 1` hops (every changed path contains a
+    /// changed edge or a new node), which is exactly the seed set the
+    /// incremental index refresh expands backwards.
+    pub fn dirty_nodes(&self) -> Vec<NodeId> {
+        let mut dirty: Vec<NodeId> = Vec::with_capacity(
+            2 * (self.added.len() + self.removed.len()) + self.new_nodes.len(),
+        );
+        for &(s, _, t) in self.added.iter().chain(self.removed.iter()) {
+            dirty.push(s);
+            dirty.push(t);
+        }
+        for i in 0..self.new_nodes.len() {
+            dirty.push(NodeId::from_usize(self.base_nodes + i));
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
+    /// Validate the batch against `base` and freeze a new CSR graph.
+    ///
+    /// All base node/type/attribute ids keep their meaning; new nodes get
+    /// the next ids. Fails without side effects on the first invalid
+    /// operation (an edge removal that names a missing edge, or an edge
+    /// addition that duplicates a surviving edge).
+    pub fn apply(
+        &self,
+        base: &KnowledgeGraph,
+        mode: PagerankMode,
+    ) -> Result<KnowledgeGraph, DeltaError> {
+        if base.num_nodes() != self.base_nodes {
+            return Err(DeltaError::BaseMismatch {
+                expected_nodes: self.base_nodes,
+                actual_nodes: base.num_nodes(),
+            });
+        }
+        let n2 = self.total_nodes();
+
+        // Removal set; the CSR stores at most one edge per triple, so a
+        // plain set suffices and a second removal of the same triple is an
+        // error.
+        let mut removed: FxHashMap<(NodeId, AttrId, NodeId), bool> = FxHashMap::default();
+        for &(s, a, t) in &self.removed {
+            if !base.has_edge(s, a, t) {
+                return Err(DeltaError::EdgeNotFound {
+                    source: s,
+                    attr: a,
+                    target: t,
+                });
+            }
+            // `false` = not yet consumed by the filter pass below.
+            if removed.insert((s, a, t), false).is_some() {
+                return Err(DeltaError::EdgeNotFound {
+                    source: s,
+                    attr: a,
+                    target: t,
+                });
+            }
+        }
+
+        // Duplicate check for additions: against surviving base edges and
+        // against each other.
+        let mut seen_added: FxHashMap<(NodeId, AttrId, NodeId), ()> = FxHashMap::default();
+        for &(s, a, t) in &self.added {
+            let survives_in_base = base.has_edge(s, a, t) && !removed.contains_key(&(s, a, t));
+            if survives_in_base || seen_added.insert((s, a, t), ()).is_some() {
+                return Err(DeltaError::DuplicateEdge {
+                    source: s,
+                    attr: a,
+                    target: t,
+                });
+            }
+        }
+
+        // Assemble the surviving edge list.
+        let m2 = base.num_edges() - self.removed.len() + self.added.len();
+        let mut edges: Vec<(NodeId, AttrId, NodeId)> = Vec::with_capacity(m2);
+        for e in base.edges() {
+            if !removed.contains_key(&(e.source, e.attr, e.target)) {
+                edges.push((e.source, e.attr, e.target));
+            }
+        }
+        edges.extend_from_slice(&self.added);
+        edges.sort_unstable();
+        debug_assert_eq!(edges.len(), m2);
+
+        let mut node_types = base.node_types.clone();
+        let mut node_texts = base.node_texts.clone();
+        node_types.reserve(self.new_nodes.len());
+        node_texts.reserve(self.new_nodes.len());
+        for (t, text) in &self.new_nodes {
+            node_types.push(*t);
+            node_texts.push(text.clone());
+        }
+
+        let csr = crate::graph::Csr::from_sorted_edges(n2, &edges);
+        let mut g = KnowledgeGraph {
+            node_types,
+            node_texts,
+            out_offsets: csr.out_offsets,
+            out_attrs: csr.out_attrs,
+            out_targets: csr.out_targets,
+            in_offsets: csr.in_offsets,
+            in_attrs: csr.in_attrs,
+            in_sources: csr.in_sources,
+            types: self.types.clone(),
+            attrs: self.attrs.clone(),
+            pagerank: Vec::new(),
+        };
+        match mode {
+            PagerankMode::Frozen => {
+                let mut pr = base.pagerank.clone();
+                pr.resize(n2, if n2 > 0 { 1.0 / n2 as f64 } else { 0.0 });
+                g.pagerank = pr;
+            }
+            PagerankMode::Recompute => {
+                let pr =
+                    crate::pagerank::compute(&g, &crate::pagerank::PageRankConfig::default());
+                g.set_pagerank(pr);
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn base() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let soft = b.add_type("Software");
+        let comp = b.add_type("Company");
+        let dev = b.add_attr("Developer");
+        let rev = b.add_attr("Revenue");
+        let sql = b.add_node(soft, "SQL Server");
+        let ms = b.add_node(comp, "Microsoft");
+        b.add_edge(sql, dev, ms);
+        b.add_text_edge(ms, rev, "US$ 77 billion");
+        b.build()
+    }
+
+    #[test]
+    fn add_node_and_edge_preserves_base() {
+        let g = base();
+        let comp = g.type_by_text("Company").unwrap();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(&g);
+        let soft = d.add_type("Software");
+        let ora_db = d.add_node(soft, "Oracle DB").unwrap();
+        let ora = d.add_node(comp, "Oracle Corp").unwrap();
+        d.add_edge(ora_db, dev, ora).unwrap();
+        let g2 = d.apply(&g, PagerankMode::Recompute).unwrap();
+
+        assert_eq!(g2.num_nodes(), g.num_nodes() + 2);
+        assert_eq!(g2.num_edges(), g.num_edges() + 1);
+        for v in g.nodes() {
+            assert_eq!(g2.node_text(v), g.node_text(v));
+            assert_eq!(g2.node_type(v), g.node_type(v));
+        }
+        let out: Vec<_> = g2.out_edges(ora_db).collect();
+        assert_eq!(out, vec![(dev, ora)]);
+    }
+
+    #[test]
+    fn remove_edge_works() {
+        let g = base();
+        let sql = NodeId(0);
+        let ms = NodeId(1);
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(&g);
+        d.remove_edge(sql, dev, ms).unwrap();
+        let g2 = d.apply(&g, PagerankMode::Frozen).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges() - 1);
+        assert_eq!(g2.out_degree(sql), g.out_degree(sql) - 1);
+        assert!(!g2.has_edge(sql, dev, ms));
+    }
+
+    #[test]
+    fn remove_missing_edge_rejected() {
+        let g = base();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(&g);
+        // Reversed direction: not present.
+        d.remove_edge(NodeId(1), dev, NodeId(0)).unwrap();
+        let err = d.apply(&g, PagerankMode::Frozen).unwrap_err();
+        assert!(matches!(err, DeltaError::EdgeNotFound { .. }));
+    }
+
+    #[test]
+    fn double_remove_rejected() {
+        let g = base();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(&g);
+        d.remove_edge(NodeId(0), dev, NodeId(1)).unwrap();
+        d.remove_edge(NodeId(0), dev, NodeId(1)).unwrap();
+        assert!(matches!(
+            d.apply(&g, PagerankMode::Frozen),
+            Err(DeltaError::EdgeNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_add_rejected() {
+        let g = base();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(&g);
+        d.add_edge(NodeId(0), dev, NodeId(1)).unwrap();
+        assert!(matches!(
+            d.apply(&g, PagerankMode::Frozen),
+            Err(DeltaError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_then_readd_is_noop() {
+        let g = base();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(&g);
+        d.remove_edge(NodeId(0), dev, NodeId(1)).unwrap();
+        d.add_edge(NodeId(0), dev, NodeId(1)).unwrap();
+        let g2 = d.apply(&g, PagerankMode::Frozen).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert!(g2.has_edge(NodeId(0), dev, NodeId(1)));
+    }
+
+    #[test]
+    fn out_of_range_ids_rejected_eagerly() {
+        let g = base();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(&g);
+        assert_eq!(
+            d.add_edge(NodeId(99), dev, NodeId(0)),
+            Err(DeltaError::UnknownNode(NodeId(99)))
+        );
+        assert_eq!(
+            d.add_edge(NodeId(0), AttrId(99), NodeId(1)),
+            Err(DeltaError::UnknownAttr(AttrId(99)))
+        );
+        assert_eq!(
+            d.add_node(TypeId(99), "x"),
+            Err(DeltaError::UnknownType(TypeId(99)))
+        );
+    }
+
+    #[test]
+    fn dirty_nodes_cover_all_touched() {
+        let g = base();
+        let comp = g.type_by_text("Company").unwrap();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(&g);
+        let ora = d.add_node(comp, "Oracle Corp").unwrap();
+        d.add_edge(NodeId(0), dev, ora).unwrap();
+        d.remove_edge(NodeId(0), dev, NodeId(1)).unwrap();
+        let dirty = d.dirty_nodes();
+        assert_eq!(dirty, vec![NodeId(0), NodeId(1), ora]);
+    }
+
+    #[test]
+    fn frozen_pagerank_extends_with_uniform_prior() {
+        let g = base();
+        let comp = g.type_by_text("Company").unwrap();
+        let mut d = GraphDelta::new(&g);
+        let ora = d.add_node(comp, "Oracle Corp").unwrap();
+        let g2 = d.apply(&g, PagerankMode::Frozen).unwrap();
+        for v in g.nodes() {
+            assert_eq!(g2.pagerank(v), g.pagerank(v));
+        }
+        assert!((g2.pagerank(ora) - 1.0 / g2.num_nodes() as f64).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recompute_matches_fresh_build() {
+        // Applying a delta and building the same graph from scratch must
+        // produce identical CSR layouts and PageRank.
+        let g = base();
+        let comp = g.type_by_text("Company").unwrap();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let rev = g.attr_by_text("Revenue").unwrap();
+        let mut d = GraphDelta::new(&g);
+        let ora = d.add_node(comp, "Oracle Corp").unwrap();
+        let soft = d.add_type("Software");
+        let odb = d.add_node(soft, "Oracle DB").unwrap();
+        d.add_edge(odb, dev, ora).unwrap();
+        d.add_text_edge(ora, rev, "US$ 37 billion").unwrap();
+        d.remove_edge(NodeId(0), dev, NodeId(1)).unwrap();
+        let g2 = d.apply(&g, PagerankMode::Recompute).unwrap();
+
+        let mut b = GraphBuilder::new();
+        let soft_b = b.add_type("Software");
+        let comp_b = b.add_type("Company");
+        let dev_b = b.add_attr("Developer");
+        let rev_b = b.add_attr("Revenue");
+        let sql_b = b.add_node(soft_b, "SQL Server");
+        let ms_b = b.add_node(comp_b, "Microsoft");
+        b.add_text_edge(ms_b, rev_b, "US$ 77 billion");
+        let ora_b = b.add_node(comp_b, "Oracle Corp");
+        let odb_b = b.add_node(soft_b, "Oracle DB");
+        b.add_edge(odb_b, dev_b, ora_b);
+        b.add_text_edge(ora_b, rev_b, "US$ 37 billion");
+        let _ = sql_b;
+        let fresh = b.build();
+
+        assert_eq!(g2.num_nodes(), fresh.num_nodes());
+        assert_eq!(g2.num_edges(), fresh.num_edges());
+        // Node ids may differ between the two constructions (the delta
+        // appends, the fresh build interleaves), so compare edge multisets
+        // by text.
+        let canon = |g: &KnowledgeGraph| {
+            let mut v: Vec<(String, String, String)> = g
+                .edges()
+                .map(|e| {
+                    (
+                        g.node_text(e.source).to_string(),
+                        g.attr_text(e.attr).to_string(),
+                        g.node_text(e.target).to_string(),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&g2), canon(&fresh));
+        // PageRank of matching nodes agrees.
+        let pr_by_text = |g: &KnowledgeGraph| {
+            let mut v: Vec<(String, u64)> = g
+                .nodes()
+                .map(|n| (g.node_text(n).to_string(), g.pagerank(n).to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(pr_by_text(&g2), pr_by_text(&fresh));
+    }
+
+    #[test]
+    fn empty_delta_roundtrips() {
+        let g = base();
+        let d = GraphDelta::new(&g);
+        assert!(d.is_empty());
+        assert!(d.dirty_nodes().is_empty());
+        let g2 = d.apply(&g, PagerankMode::Frozen).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn text_edge_dedup_within_delta() {
+        let g = base();
+        let rev = g.attr_by_text("Revenue").unwrap();
+        let mut d = GraphDelta::new(&g);
+        let a = d.add_text_edge(NodeId(0), rev, "same text").unwrap();
+        let b = d.add_text_edge(NodeId(1), rev, "same text").unwrap();
+        assert_eq!(a, b);
+        let g2 = d.apply(&g, PagerankMode::Frozen).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes() + 1);
+        assert!(g2.is_text_node(a));
+    }
+}

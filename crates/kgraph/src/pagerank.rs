@@ -1,0 +1,287 @@
+//! PageRank exactly as specified in Eq. (5) of the paper.
+//!
+//! > The PageRank score `PR(v)` of a node `v` is computed using the iterative
+//! > method: the initial value of `PR(v)` is set to `1/|V|` for all `v ∈ V`;
+//! > and in each iteration, `PR(v) ← (1−a)/|V| + a Σ_{(u,v)∈E} PR(u)/OutDeg(u)`
+//! > where `a = 0.85` is the damping factor. The computation ends when
+//! > `PR(v)` changes less than `1e-8` during an iteration for all `v ∈ V`.
+//!
+//! Note the paper's formulation does **not** redistribute the rank of
+//! dangling nodes (out-degree 0); we reproduce that faithfully, so ranks need
+//! not sum to exactly 1 on graphs with sinks. An optional
+//! [`PageRankConfig::redistribute_dangling`] switch provides the textbook
+//! variant for users who want a proper probability distribution.
+//!
+//! The per-iteration work is parallelized over node ranges with crossbeam
+//! scoped threads; each iteration reads the previous vector and writes a
+//! fresh one, so threads never race.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::{Id, NodeId};
+
+/// Tunables for [`compute`]. Defaults match the paper.
+#[derive(Clone, Debug)]
+pub struct PageRankConfig {
+    /// Damping factor `a`; paper uses 0.85.
+    pub damping: f64,
+    /// Convergence threshold on the per-node change; paper uses 1e-8.
+    pub tolerance: f64,
+    /// Hard cap on iterations (safety net; the paper iterates to
+    /// convergence).
+    pub max_iterations: usize,
+    /// Redistribute dangling-node mass uniformly (off = faithful to Eq. (5)).
+    pub redistribute_dangling: bool,
+    /// Number of worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-8,
+            max_iterations: 200,
+            redistribute_dangling: false,
+            threads: 0,
+        }
+    }
+}
+
+/// Compute the PageRank vector of `g`. Returns one `f64` per node; does not
+/// mutate the graph (use [`KnowledgeGraph::set_pagerank`] to install it).
+pub fn compute(g: &KnowledgeGraph, cfg: &PageRankConfig) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let a = cfg.damping;
+    let base = (1.0 - a) / n as f64;
+    let mut prev = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    // Small graphs are faster single-threaded.
+    let threads = if n < 50_000 { 1 } else { threads.max(1) };
+
+    // Precompute 1/out_degree for non-dangling nodes.
+    let inv_deg: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = g.out_degree(NodeId::from_usize(i));
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect();
+
+    for _ in 0..cfg.max_iterations {
+        let dangling_mass = if cfg.redistribute_dangling {
+            let mass: f64 = (0..n)
+                .filter(|&i| inv_deg[i] == 0.0)
+                .map(|i| prev[i])
+                .sum();
+            a * mass / n as f64
+        } else {
+            0.0
+        };
+
+        let chunk = n.div_ceil(threads);
+        let max_delta = if threads == 1 {
+            sweep(g, &prev, &inv_deg, &mut next, 0, n, a, base + dangling_mass)
+        } else {
+            let mut deltas = vec![0.0f64; threads];
+            let next_chunks: Vec<&mut [f64]> = next.chunks_mut(chunk).collect();
+            crossbeam::thread::scope(|scope| {
+                for ((t, out), delta) in next_chunks.into_iter().enumerate().zip(deltas.iter_mut())
+                {
+                    let prev = &prev;
+                    let inv_deg = &inv_deg;
+                    scope.spawn(move |_| {
+                        let lo = t * chunk;
+                        let hi = (lo + out.len()).min(n);
+                        *delta =
+                            sweep_into(g, prev, inv_deg, out, lo, hi, a, base + dangling_mass);
+                    });
+                }
+            })
+            .expect("pagerank worker panicked");
+            deltas.into_iter().fold(0.0, f64::max)
+        };
+
+        std::mem::swap(&mut prev, &mut next);
+        if max_delta < cfg.tolerance {
+            break;
+        }
+    }
+    prev
+}
+
+/// One Jacobi sweep over `[lo, hi)`, writing into `next[lo..hi]` (a full
+/// vector); returns the max per-node change.
+fn sweep(
+    g: &KnowledgeGraph,
+    prev: &[f64],
+    inv_deg: &[f64],
+    next: &mut [f64],
+    lo: usize,
+    hi: usize,
+    a: f64,
+    base: f64,
+) -> f64 {
+    let mut max_delta = 0.0f64;
+    for v in lo..hi {
+        let node = NodeId::from_usize(v);
+        let mut sum = 0.0;
+        for (_, u) in g.in_edges(node) {
+            sum += prev[u.index()] * inv_deg[u.index()];
+        }
+        let new = base + a * sum;
+        max_delta = max_delta.max((new - prev[v]).abs());
+        next[v] = new;
+    }
+    max_delta
+}
+
+/// Like [`sweep`] but writing into a slice that starts at `lo`.
+fn sweep_into(
+    g: &KnowledgeGraph,
+    prev: &[f64],
+    inv_deg: &[f64],
+    out: &mut [f64],
+    lo: usize,
+    hi: usize,
+    a: f64,
+    base: f64,
+) -> f64 {
+    let mut max_delta = 0.0f64;
+    for v in lo..hi {
+        let node = NodeId::from_usize(v);
+        let mut sum = 0.0;
+        for (_, u) in g.in_edges(node) {
+            sum += prev[u.index()] * inv_deg[u.index()];
+        }
+        let new = base + a * sum;
+        max_delta = max_delta.max((new - prev[v]).abs());
+        out[v - lo] = new;
+    }
+    max_delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn cycle(n: usize) -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t = b.add_type("T");
+        let a = b.add_attr("next");
+        let nodes: Vec<_> = (0..n).map(|i| b.add_node(t, &format!("n{i}"))).collect();
+        for i in 0..n {
+            b.add_edge(nodes[i], a, nodes[(i + 1) % n]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn uniform_on_cycle() {
+        let g = cycle(5);
+        let pr = compute(&g, &PageRankConfig::default());
+        for &p in &pr {
+            assert!((p - 0.2).abs() < 1e-6, "cycle pagerank should be uniform");
+        }
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hub_attracts_rank() {
+        // star: many nodes point at a hub.
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t = b.add_type("T");
+        let a = b.add_attr("to");
+        let hub = b.add_node(t, "hub");
+        for i in 0..10 {
+            let v = b.add_node(t, &format!("leaf{i}"));
+            b.add_edge(v, a, hub);
+        }
+        let g = b.build();
+        let pr = compute(&g, &PageRankConfig::default());
+        for i in 1..=10 {
+            assert!(pr[0] > pr[i], "hub must out-rank leaves");
+        }
+    }
+
+    #[test]
+    fn redistribute_dangling_sums_to_one() {
+        // chain with a sink.
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t = b.add_type("T");
+        let a = b.add_attr("to");
+        let x = b.add_node(t, "x");
+        let y = b.add_node(t, "y");
+        b.add_edge(x, a, y);
+        let g = b.build();
+        let cfg = PageRankConfig {
+            redistribute_dangling: true,
+            ..Default::default()
+        };
+        let pr = compute(&g, &cfg);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn faithful_mode_loses_dangling_mass() {
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t = b.add_type("T");
+        let a = b.add_attr("to");
+        let x = b.add_node(t, "x");
+        let y = b.add_node(t, "y");
+        b.add_edge(x, a, y);
+        let g = b.build();
+        let pr = compute(&g, &PageRankConfig::default());
+        let total: f64 = pr.iter().sum();
+        assert!(total < 1.0, "paper's Eq.(5) loses sink mass; total {total}");
+        assert!(pr.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = cycle(60_000); // above the single-thread cutoff
+        let serial = compute(
+            &g,
+            &PageRankConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = compute(
+            &g,
+            &PageRankConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert!((s - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert!(compute(&g, &PageRankConfig::default()).is_empty());
+    }
+}

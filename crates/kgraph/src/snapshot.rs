@@ -1,0 +1,281 @@
+//! Versioned binary snapshots of a [`KnowledgeGraph`].
+//!
+//! Large synthetic datasets are expensive to regenerate, so the experiment
+//! harness persists them. The codec is hand-written over [`bytes`]: a small,
+//! dependency-light length-prefixed format.
+//!
+//! Layout (little endian):
+//!
+//! ```text
+//! magic "PKBG" | u32 version | types | attrs |
+//! u32 n | n × (u32 type, str text) |
+//! u32 m | m × (u32 src, u32 attr, u32 dst) |
+//! u8 has_pagerank | n × f64
+//! ```
+//!
+//! where an interner is `u32 count | count × str` and `str` is
+//! `u32 len | bytes`.
+
+use crate::builder::GraphBuilder;
+use crate::graph::KnowledgeGraph;
+use crate::ids::Id;
+use crate::interner::Interner;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"PKBG";
+const VERSION: u32 = 1;
+
+/// Errors from [`decode`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Input does not start with the `PKBG` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// Input ended early or a length prefix overruns the buffer.
+    Truncated,
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// An id referenced an out-of-range interner slot or node.
+    BadReference,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a patternkb graph snapshot"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot is truncated"),
+            SnapshotError::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
+            SnapshotError::BadReference => write!(f, "snapshot contains out-of-range id"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, SnapshotError> {
+    if buf.remaining() < 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(SnapshotError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| SnapshotError::BadUtf8)
+}
+
+fn put_interner<I: Id>(buf: &mut BytesMut, interner: &Interner<I>) {
+    buf.put_u32_le(interner.len() as u32);
+    for (_, s) in interner.iter() {
+        put_str(buf, s);
+    }
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, SnapshotError> {
+    if buf.remaining() < 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Serialize `g` to a byte buffer.
+pub fn encode(g: &KnowledgeGraph) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64 + g.heap_bytes());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    put_interner(&mut buf, g.types());
+    put_interner(&mut buf, g.attrs());
+    buf.put_u32_le(g.num_nodes() as u32);
+    for v in g.nodes() {
+        buf.put_u32_le(g.node_type(v).as_u32());
+        put_str(&mut buf, g.node_text(v));
+    }
+    buf.put_u32_le(g.num_edges() as u32);
+    for e in g.edges() {
+        buf.put_u32_le(e.source.as_u32());
+        buf.put_u32_le(e.attr.as_u32());
+        buf.put_u32_le(e.target.as_u32());
+    }
+    let has_pr = g.nodes().any(|v| g.pagerank(v) != 0.0);
+    buf.put_u8(has_pr as u8);
+    if has_pr {
+        for v in g.nodes() {
+            buf.put_f64_le(g.pagerank(v));
+        }
+    }
+    buf.to_vec()
+}
+
+/// Deserialize a graph previously produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<KnowledgeGraph, SnapshotError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+
+    let ntypes = get_u32(&mut buf)? as usize;
+    let mut type_texts = Vec::with_capacity(ntypes);
+    for _ in 0..ntypes {
+        type_texts.push(get_str(&mut buf)?);
+    }
+    if type_texts.first().map(String::as_str) != Some("") {
+        return Err(SnapshotError::BadReference);
+    }
+    let nattrs = get_u32(&mut buf)? as usize;
+    let mut attr_texts = Vec::with_capacity(nattrs);
+    for _ in 0..nattrs {
+        attr_texts.push(get_str(&mut buf)?);
+    }
+
+    let mut b = GraphBuilder::new();
+    b.skip_pagerank();
+    let mut type_ids = Vec::with_capacity(ntypes);
+    type_ids.push(KnowledgeGraph::TEXT_TYPE);
+    for t in type_texts.iter().skip(1) {
+        type_ids.push(b.add_type(t));
+    }
+    let mut attr_ids = Vec::with_capacity(nattrs);
+    for a in &attr_texts {
+        attr_ids.push(b.add_attr(a));
+    }
+
+    let n = get_u32(&mut buf)? as usize;
+    let mut node_ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = get_u32(&mut buf)? as usize;
+        let text = get_str(&mut buf)?;
+        let &tid = type_ids.get(t).ok_or(SnapshotError::BadReference)?;
+        node_ids.push(b.add_node(tid, &text));
+    }
+    let m = get_u32(&mut buf)? as usize;
+    for _ in 0..m {
+        let s = get_u32(&mut buf)? as usize;
+        let a = get_u32(&mut buf)? as usize;
+        let t = get_u32(&mut buf)? as usize;
+        let &src = node_ids.get(s).ok_or(SnapshotError::BadReference)?;
+        let &attr = attr_ids.get(a).ok_or(SnapshotError::BadReference)?;
+        let &dst = node_ids.get(t).ok_or(SnapshotError::BadReference)?;
+        b.add_edge(src, attr, dst);
+    }
+    let mut g = b.build();
+    if buf.remaining() < 1 {
+        return Err(SnapshotError::Truncated);
+    }
+    if buf.get_u8() == 1 {
+        if buf.remaining() < 8 * n {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut pr = Vec::with_capacity(n);
+        for _ in 0..n {
+            pr.push(buf.get_f64_le());
+        }
+        g.set_pagerank(pr);
+    }
+    Ok(g)
+}
+
+/// Write a snapshot to `path`.
+pub fn save(g: &KnowledgeGraph, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(g))
+}
+
+/// Read a snapshot from `path`.
+pub fn load(path: &std::path::Path) -> std::io::Result<KnowledgeGraph> {
+    let data = std::fs::read(path)?;
+    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let t1 = b.add_type("Software");
+        let t2 = b.add_type("Company");
+        let dev = b.add_attr("Developer");
+        let rev = b.add_attr("Revenue");
+        let sql = b.add_node(t1, "SQL Server");
+        let ms = b.add_node(t2, "Microsoft");
+        b.add_edge(sql, dev, ms);
+        b.add_text_edge(ms, rev, "US$ 77 billion");
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let decoded = decode(&encode(&g)).expect("decode");
+        assert_eq!(decoded.num_nodes(), g.num_nodes());
+        assert_eq!(decoded.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(decoded.node_text(v), g.node_text(v));
+            assert_eq!(
+                decoded.type_text(decoded.node_type(v)),
+                g.type_text(g.node_type(v))
+            );
+            assert!((decoded.pagerank(v) - g.pagerank(v)).abs() < 1e-15);
+        }
+        let ge: Vec<_> = g.edges().collect();
+        let de: Vec<_> = decoded.edges().collect();
+        assert_eq!(ge.len(), de.len());
+        for (a, b) in ge.iter().zip(&de) {
+            assert_eq!(g.attr_text(a.attr), decoded.attr_text(b.attr));
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.target, b.target);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode(b"nope").unwrap_err(), SnapshotError::Truncated);
+        assert_eq!(
+            decode(b"XXXX\x01\x00\x00\x00").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut data = encode(&sample());
+        data[4] = 99;
+        assert_eq!(decode(&data).unwrap_err(), SnapshotError::BadVersion(99));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let data = encode(&sample());
+        // Chop the buffer at a few places; decoding must error, not panic.
+        for cut in [5, 10, 20, data.len() / 2, data.len() - 1] {
+            assert!(decode(&data[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("patternkb_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.pkbg");
+        save(&g, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.num_nodes(), g.num_nodes());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,116 @@
+//! Summary statistics of a knowledge graph (reported by the experiment
+//! harness next to each dataset, mirroring the dataset table in §5).
+
+use crate::graph::KnowledgeGraph;
+
+/// Aggregate statistics; produce with [`GraphStats::of`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|` including dummy text entities.
+    pub nodes: usize,
+    /// Number of dummy plain-text entities.
+    pub text_nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// `|C|` including the reserved text type.
+    pub types: usize,
+    /// `|A|`.
+    pub attrs: usize,
+    /// Mean out-degree over all nodes.
+    pub avg_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Approximate resident bytes of the graph arrays.
+    pub heap_bytes: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`.
+    pub fn of(g: &KnowledgeGraph) -> Self {
+        let nodes = g.num_nodes();
+        let mut text_nodes = 0;
+        let mut max_out = 0;
+        let mut max_in = 0;
+        for v in g.nodes() {
+            if g.is_text_node(v) {
+                text_nodes += 1;
+            }
+            max_out = max_out.max(g.out_degree(v));
+            max_in = max_in.max(g.in_degree(v));
+        }
+        GraphStats {
+            nodes,
+            text_nodes,
+            edges: g.num_edges(),
+            types: g.num_types(),
+            attrs: g.num_attrs(),
+            avg_out_degree: if nodes == 0 {
+                0.0
+            } else {
+                g.num_edges() as f64 / nodes as f64
+            },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            heap_bytes: g.heap_bytes(),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} text), {} edges, {} types, {} attrs, avg out-deg {:.2}, max out/in-deg {}/{}, ~{:.1} MB",
+            self.nodes,
+            self.text_nodes,
+            self.edges,
+            self.types,
+            self.attrs,
+            self.avg_out_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.heap_bytes as f64 / (1024.0 * 1024.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t = b.add_type("T");
+        let a = b.add_attr("a");
+        let x = b.add_node(t, "x");
+        let y = b.add_node(t, "y");
+        b.add_edge(x, a, y);
+        b.add_text_edge(x, a, "hello");
+        let g = b.build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.text_nodes, 1);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.types, 2); // text type + T
+        assert_eq!(s.attrs, 1);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.avg_out_degree - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.heap_bytes > 0);
+        let shown = format!("{s}");
+        assert!(shown.contains("3 nodes"));
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = GraphBuilder::new().build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_out_degree, 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Induced subgraphs, for the scalability experiment (paper §5.1 Exp-III /
+//! Figure 10: "randomly select a subset of entities … and construct the
+//! induced subgraph of the original knowledge graph").
+
+use crate::builder::GraphBuilder;
+use crate::graph::KnowledgeGraph;
+use crate::ids::{Id, NodeId};
+
+/// Result of [`induced`]: the subgraph plus the node-id mapping.
+pub struct InducedSubgraph {
+    /// The induced knowledge graph (types/attributes re-interned to keep the
+    /// reserved text type at id 0).
+    pub graph: KnowledgeGraph,
+    /// `old_to_new[old.index()]` is the new id, if the node was kept.
+    pub old_to_new: Vec<Option<NodeId>>,
+    /// `new_to_old[new.index()]` is the original id.
+    pub new_to_old: Vec<NodeId>,
+}
+
+/// Build the subgraph induced by the nodes with `keep[v.index()] == true`.
+/// Edges survive iff both endpoints are kept. PageRank is recomputed on the
+/// subgraph (the experiment treats each induced graph as a standalone KB).
+pub fn induced(g: &KnowledgeGraph, keep: &[bool]) -> InducedSubgraph {
+    assert_eq!(keep.len(), g.num_nodes(), "mask length mismatch");
+    let kept = keep.iter().filter(|&&k| k).count();
+    let mut b = GraphBuilder::with_capacity(kept, g.num_edges());
+
+    // Re-intern types/attrs in original id order so ids are stable across
+    // different masks of the same graph (handy for tests).
+    for (_, text) in g.types.iter().skip(1) {
+        b.add_type(text);
+    }
+    for (_, text) in g.attrs.iter() {
+        b.add_attr(text);
+    }
+
+    let mut old_to_new = vec![None; g.num_nodes()];
+    let mut new_to_old = Vec::with_capacity(kept);
+    for v in g.nodes() {
+        if keep[v.index()] {
+            let t = g.node_type(v);
+            let new = if t == KnowledgeGraph::TEXT_TYPE {
+                b.add_node(KnowledgeGraph::TEXT_TYPE, g.node_text(v))
+            } else {
+                let nt = b.add_type(g.type_text(t));
+                b.add_node(nt, g.node_text(v))
+            };
+            old_to_new[v.index()] = Some(new);
+            new_to_old.push(v);
+        }
+    }
+    for e in g.edges() {
+        if let (Some(s), Some(t)) = (old_to_new[e.source.index()], old_to_new[e.target.index()]) {
+            let attr = b.add_attr(g.attr_text(e.attr));
+            b.add_edge(s, attr, t);
+        }
+    }
+    InducedSubgraph {
+        graph: b.build(),
+        old_to_new,
+        new_to_old,
+    }
+}
+
+/// Convenience: keep a uniformly random fraction `frac ∈ (0, 1]` of the
+/// nodes, using the caller-supplied `pick(v) -> bool` decision (callers
+/// typically close over an RNG; keeping randomness outside this crate avoids
+/// a `rand` dependency here).
+pub fn induced_by<F: FnMut(NodeId) -> bool>(g: &KnowledgeGraph, pick: F) -> InducedSubgraph {
+    let keep: Vec<bool> = g.nodes().map(pick).collect();
+    induced(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t1 = b.add_type("Alpha");
+        let t2 = b.add_type("Beta");
+        let a = b.add_attr("rel");
+        let n0 = b.add_node(t1, "zero");
+        let n1 = b.add_node(t2, "one");
+        let n2 = b.add_node(t1, "two");
+        b.add_edge(n0, a, n1);
+        b.add_edge(n1, a, n2);
+        b.add_text_edge(n2, a, "some text");
+        b.build()
+    }
+
+    #[test]
+    fn full_mask_is_isomorphic() {
+        let g = sample();
+        let sub = induced(&g, &vec![true; g.num_nodes()]);
+        assert_eq!(sub.graph.num_nodes(), g.num_nodes());
+        assert_eq!(sub.graph.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            let nv = sub.old_to_new[v.index()].unwrap();
+            assert_eq!(g.node_text(v), sub.graph.node_text(nv));
+            assert_eq!(
+                g.type_text(g.node_type(v)),
+                sub.graph.type_text(sub.graph.node_type(nv))
+            );
+        }
+    }
+
+    #[test]
+    fn edges_require_both_endpoints() {
+        let g = sample();
+        // Drop node 1 (the middle of the chain).
+        let mut keep = vec![true; g.num_nodes()];
+        keep[1] = false;
+        let sub = induced(&g, &keep);
+        assert_eq!(sub.graph.num_nodes(), g.num_nodes() - 1);
+        // Edges 0->1 and 1->2 vanish, 2->text survives.
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn text_nodes_keep_reserved_type() {
+        let g = sample();
+        let sub = induced(&g, &vec![true; g.num_nodes()]);
+        let text_nodes: Vec<_> = sub
+            .graph
+            .nodes()
+            .filter(|&v| sub.graph.is_text_node(v))
+            .collect();
+        assert_eq!(text_nodes.len(), 1);
+        assert_eq!(sub.graph.node_text(text_nodes[0]), "some text");
+    }
+
+    #[test]
+    fn mapping_is_consistent() {
+        let g = sample();
+        let mut keep = vec![true; g.num_nodes()];
+        keep[0] = false;
+        let sub = induced(&g, &keep);
+        for (new_idx, &old) in sub.new_to_old.iter().enumerate() {
+            assert_eq!(sub.old_to_new[old.index()], Some(NodeId(new_idx as u32)));
+        }
+        assert_eq!(sub.old_to_new[0], None);
+    }
+
+    #[test]
+    fn empty_mask() {
+        let g = sample();
+        let sub = induced(&g, &vec![false; g.num_nodes()]);
+        assert_eq!(sub.graph.num_nodes(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Jaccard similarity over sorted token-id sets (Eq. (6)).
+//!
+//! The paper scores `sim(w, f(w))` — the Jaccard similarity between a query
+//! keyword and the text description of the matched element. A single-token
+//! keyword `w` against an element with `t` distinct tokens containing `w`
+//! yields `1/t` (cf. Example 2.4: "database" vs "Relational database" = 1/2;
+//! vs a 6-token book title = 1/6). The general set-vs-set form is provided
+//! for completeness and for multi-token similarity experiments.
+
+use patternkb_graph::WordId;
+
+/// Jaccard similarity `|a ∩ b| / |a ∪ b|` of two sorted, deduplicated id
+/// slices. Returns 0 for two empty sets.
+pub fn jaccard(a: &[WordId], b: &[WordId]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]));
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Similarity of one keyword against a token set: `1/|set|` when the word is
+/// a member, else 0. Equivalent to `jaccard(&[w], set)` but O(log n).
+pub fn single_word_sim(w: WordId, set: &[WordId]) -> f64 {
+    if set.binary_search(&w).is_ok() {
+        1.0 / set.len() as f64
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<WordId> {
+        v.iter().map(|&i| WordId(i)).collect()
+    }
+
+    #[test]
+    fn identical_sets() {
+        let a = ids(&[1, 2, 3]);
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(jaccard(&ids(&[1, 2]), &ids(&[3, 4])), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // {1,2} vs {2,3}: 1/3.
+        assert!((jaccard(&ids(&[1, 2]), &ids(&[2, 3])) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_values() {
+        // "database" vs 2-token description = 1/2 (Example 2.4).
+        assert_eq!(single_word_sim(WordId(5), &ids(&[5, 9])), 0.5);
+        // vs 6-token description = 1/6.
+        let six = ids(&[1, 2, 3, 4, 5, 6]);
+        assert!((single_word_sim(WordId(3), &six) - 1.0 / 6.0).abs() < 1e-12);
+        // no match = 0.
+        assert_eq!(single_word_sim(WordId(7), &ids(&[1, 2])), 0.0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert_eq!(jaccard(&[], &[]), 0.0);
+        assert_eq!(jaccard(&ids(&[1]), &[]), 0.0);
+        assert_eq!(single_word_sim(WordId(1), &[]), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sorted_set(v: Vec<u32>) -> Vec<WordId> {
+        let mut v: Vec<WordId> = v.into_iter().map(WordId).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    proptest! {
+        /// single_word_sim agrees with the general jaccard.
+        #[test]
+        fn single_matches_general(w in 0u32..20, set in proptest::collection::vec(0u32..20, 0..15)) {
+            let set = sorted_set(set);
+            let fast = single_word_sim(WordId(w), &set);
+            let general = jaccard(&[WordId(w)], &set);
+            prop_assert!((fast - general).abs() < 1e-12);
+        }
+
+        /// Jaccard is symmetric and within [0, 1].
+        #[test]
+        fn symmetric_bounded(a in proptest::collection::vec(0u32..30, 0..15),
+                             b in proptest::collection::vec(0u32..30, 0..15)) {
+            let a = sorted_set(a);
+            let b = sorted_set(b);
+            let ab = jaccard(&a, &b);
+            let ba = jaccard(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-15);
+            prop_assert!((0.0..=1.0).contains(&ab));
+        }
+    }
+}

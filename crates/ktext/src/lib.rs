@@ -1,0 +1,32 @@
+//! # patternkb-text
+//!
+//! Text substrate for keyword search over knowledge graphs: tokenization,
+//! a lightweight suffix stemmer, synonym canonicalization, Jaccard
+//! similarity (Eq. (6) of the VLDB'14 paper), and a per-graph
+//! [`TextIndex`] that answers
+//!
+//! * which nodes/attribute-types contain a given keyword (the paper's
+//!   "node, node type, or edge type" match, §2.2.1 condition ii), and
+//! * the Jaccard similarity `sim(w, f(w))` between a keyword and the text
+//!   description of a matched element.
+//!
+//! Stemming and synonyms implement the remark at the end of §3: *"to handle
+//! synonyms, every word has its stemmed version and synonyms in our index
+//! pointing to the same path-pattern entry"* — both map into one canonical
+//! [`patternkb_graph::WordId`] space, so downstream indexes are shared.
+
+#![warn(missing_docs)]
+
+pub mod jaccard;
+pub mod porter;
+pub mod stem;
+pub mod suggest;
+pub mod synonyms;
+pub mod text_index;
+pub mod tokenize;
+pub mod vocab;
+
+pub use stem::Stemmer;
+pub use synonyms::SynonymTable;
+pub use text_index::TextIndex;
+pub use vocab::Vocabulary;

@@ -1,0 +1,426 @@
+//! The classic Porter stemming algorithm (M. F. Porter, *An algorithm for
+//! suffix stripping*, 1980) — the standard alternative to the default
+//! Porter-lite stemmer in [`crate::stem`].
+//!
+//! The paper's index shares entries between "every word, its stemmed
+//! version and synonyms" (§3) without prescribing a stemmer, so the choice
+//! is a deployment knob: the lite stemmer is conservative (keeps entity
+//! nouns like "server" intact), Porter is aggressive (collapses more
+//! variants, smaller vocabulary, more recall, less precision). Both are
+//! selectable through [`crate::stem::Stemmer`].
+//!
+//! This is a faithful transcription of the five-step rule tables operating
+//! on ASCII bytes. Non-ASCII or digit-bearing tokens are returned
+//! unchanged, matching the tokenizer's contract.
+
+/// Stem one lowercase token with the Porter algorithm.
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2
+        || !word.bytes().all(|b| b.is_ascii_lowercase())
+    {
+        return word.to_string();
+    }
+    let mut w = word.as_bytes().to_vec();
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("ascii in, ascii out")
+}
+
+/// Is `w[i]` a consonant under Porter's definition (`y` is a consonant
+/// when at the start or after a vowel)?
+fn cons(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !cons(w, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure `m` of `w[..len]`: the number of vowel→consonant
+/// transitions `(VC)^m` in the form `[C](VC)^m[V]`.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && cons(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !cons(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        m += 1;
+        // Skip consonants.
+        while i < len && cons(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// `*v*` — the stem `w[..len]` contains a vowel.
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !cons(w, i))
+}
+
+/// `*d` — `w[..len]` ends with a double consonant.
+fn double_cons(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && cons(w, len - 1)
+}
+
+/// `*o` — `w[..len]` ends consonant–vowel–consonant where the final
+/// consonant is not `w`, `x` or `y`.
+fn cvc(w: &[u8], len: usize) -> bool {
+    len >= 3
+        && cons(w, len - 3)
+        && !cons(w, len - 2)
+        && cons(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// Replace `suffix` (must be present) with `repl`.
+fn set_suffix(w: &mut Vec<u8>, suffix: &str, repl: &str) {
+    let stem_len = w.len() - suffix.len();
+    w.truncate(stem_len);
+    w.extend_from_slice(repl.as_bytes());
+}
+
+/// If `w` ends with `suffix` and the remaining stem has `measure > min_m`,
+/// replace it with `repl` and report success.
+fn replace_if_m(w: &mut Vec<u8>, suffix: &str, repl: &str, min_m: usize) -> bool {
+    if ends_with(w, suffix) {
+        let stem_len = w.len() - suffix.len();
+        if measure(w, stem_len) > min_m {
+            set_suffix(w, suffix, repl);
+        }
+        true // suffix matched: stop scanning the rule table either way
+    } else {
+        false
+    }
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") {
+        set_suffix(w, "sses", "ss");
+    } else if ends_with(w, "ies") {
+        set_suffix(w, "ies", "i");
+    } else if ends_with(w, "ss") {
+        // unchanged
+    } else if ends_with(w, "s") {
+        set_suffix(w, "s", "");
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 0 {
+            set_suffix(w, "eed", "ee");
+        }
+        return;
+    }
+    let stripped = if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        set_suffix(w, "ed", "");
+        true
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        set_suffix(w, "ing", "");
+        true
+    } else {
+        false
+    };
+    if stripped {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e');
+        } else if double_cons(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+            w.pop();
+        } else if measure(w, w.len()) == 1 && cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut [u8]) {
+    if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
+        let last = w.len() - 1;
+        w[last] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for &(suffix, repl) in RULES {
+        if replace_if_m(w, suffix, repl, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for &(suffix, repl) in RULES {
+        if replace_if_m(w, suffix, repl, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const RULES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" requires the stem to end in s or t.
+    if ends_with(w, "ion") {
+        let stem_len = w.len() - 3;
+        if stem_len >= 1 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
+            w.truncate(stem_len);
+        }
+        return;
+    }
+    for suffix in RULES {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && double_cons(w, w.len()) && w[w.len() - 1] == b'l' {
+        w.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical (input, output) pairs from Porter's 1980 paper.
+    const VECTORS: &[(&str, &str)] = &[
+        // step 1a
+        ("caresses", "caress"),
+        ("ponies", "poni"),
+        ("caress", "caress"),
+        ("cats", "cat"),
+        // step 1b
+        ("feed", "feed"),
+        ("agreed", "agre"),
+        ("plastered", "plaster"),
+        ("bled", "bled"),
+        ("motoring", "motor"),
+        ("sing", "sing"),
+        ("conflated", "conflat"),
+        ("troubled", "troubl"),
+        ("sized", "size"),
+        ("hopping", "hop"),
+        ("tanned", "tan"),
+        ("falling", "fall"),
+        ("hissing", "hiss"),
+        ("fizzed", "fizz"),
+        ("failing", "fail"),
+        ("filing", "file"),
+        // step 1c
+        ("happy", "happi"),
+        ("sky", "sky"),
+        // step 2
+        ("relational", "relat"),
+        ("conditional", "condit"),
+        ("rational", "ration"),
+        ("valenci", "valenc"),
+        ("digitizer", "digit"),
+        ("radically", "radic"),
+        ("differently", "differ"),
+        ("analogously", "analog"),
+        ("vietnamization", "vietnam"),
+        ("predication", "predic"),
+        ("operator", "oper"),
+        ("feudalism", "feudal"),
+        ("decisiveness", "decis"),
+        ("hopefulness", "hope"),
+        ("callousness", "callous"),
+        ("formality", "formal"),
+        ("sensitivity", "sensit"),
+        ("sensibility", "sensibl"),
+        // step 3
+        ("triplicate", "triplic"),
+        ("formative", "form"),
+        ("formalize", "formal"),
+        ("electricity", "electr"),
+        ("electrical", "electr"),
+        ("hopeful", "hope"),
+        ("goodness", "good"),
+        // step 4
+        ("revival", "reviv"),
+        ("allowance", "allow"),
+        ("inference", "infer"),
+        ("airliner", "airlin"),
+        ("gyroscopic", "gyroscop"),
+        ("adjustable", "adjust"),
+        ("defensible", "defens"),
+        ("irritant", "irrit"),
+        ("replacement", "replac"),
+        ("adjustment", "adjust"),
+        ("dependent", "depend"),
+        ("adoption", "adopt"),
+        ("communism", "commun"),
+        ("activate", "activ"),
+        ("angularity", "angular"),
+        ("effective", "effect"),
+        ("bowdlerize", "bowdler"),
+        // step 5
+        ("probate", "probat"),
+        ("rate", "rate"),
+        ("cease", "ceas"),
+        ("controlling", "control"),
+        ("rolling", "roll"),
+        // the domain words the paper's examples revolve around
+        ("databases", "databas"),
+        ("database", "databas"),
+        ("companies", "compani"),
+        ("company", "compani"),
+        ("movies", "movi"),
+        ("movie", "movi"),
+        ("revenues", "revenu"),
+        ("revenue", "revenu"),
+    ];
+
+    #[test]
+    fn canonical_vectors() {
+        for (input, expected) in VECTORS {
+            assert_eq!(
+                porter_stem(input),
+                *expected,
+                "porter_stem({input:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn variants_collapse_together() {
+        for group in [
+            &["database", "databases"][..],
+            &["company", "companies"],
+            &["movie", "movies"],
+            &["publish", "published", "publishing"],
+            &["relate", "related", "relating"],
+        ] {
+            let stems: Vec<String> = group.iter().map(|w| porter_stem(w)).collect();
+            assert!(
+                stems.windows(2).all(|p| p[0] == p[1]),
+                "group {group:?} produced {stems:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_and_nonascii_untouched() {
+        assert_eq!(porter_stem("db"), "db");
+        assert_eq!(porter_stem("c"), "c");
+        assert_eq!(porter_stem("db2"), "db2");
+        assert_eq!(porter_stem("naïve"), "naïve");
+        assert_eq!(porter_stem("US77"), "US77");
+    }
+
+    #[test]
+    fn measure_examples() {
+        // From the paper: tr=0, ee=0 ... tree m=0, trouble(s)…
+        let m = |s: &str| measure(s.as_bytes(), s.len());
+        assert_eq!(m("tr"), 0);
+        assert_eq!(m("ee"), 0);
+        assert_eq!(m("tree"), 0);
+        assert_eq!(m("y"), 0);
+        assert_eq!(m("by"), 0);
+        assert_eq!(m("trouble"), 1);
+        assert_eq!(m("oats"), 1);
+        assert_eq!(m("trees"), 1);
+        assert_eq!(m("ivy"), 1);
+        assert_eq!(m("troubles"), 2);
+        assert_eq!(m("private"), 2);
+        assert_eq!(m("oaten"), 2);
+    }
+
+    #[test]
+    fn cvc_edge_cases() {
+        assert!(cvc(b"hop", 3));
+        assert!(!cvc(b"box", 3), "x excluded");
+        assert!(!cvc(b"low", 3), "w excluded");
+        assert!(!cvc(b"ee", 2));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn never_panics_and_never_grows(s in "[a-z]{0,24}") {
+                let out = porter_stem(&s);
+                prop_assert!(out.len() <= s.len());
+                prop_assert!(out.is_ascii());
+            }
+
+            #[test]
+            fn deterministic(s in "[a-z]{1,16}") {
+                prop_assert_eq!(porter_stem(&s), porter_stem(&s));
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! A small deterministic suffix stemmer (Porter-lite).
+//!
+//! The paper only requires that morphological variants ("movie"/"movies",
+//! "publish"/"publisher"/"publishing") collapse into one index entry. A full
+//! Porter implementation is overkill; this stemmer iterates a fixed rule
+//! list to a fixpoint, so it is **idempotent by construction** — the
+//! property the shared index entries rely on (§3 of the paper): any two
+//! variants it maps together share all downstream index entries.
+//!
+//! The stemmer is applied to *both* the indexed text and the query
+//! keywords, so linguistic perfection is unnecessary; determinism and
+//! idempotence are what matter.
+
+/// Which stemmer the normalization pipeline applies. The paper's index
+/// shares entries between "every word, its stemmed version and synonyms"
+/// (§3) without prescribing an algorithm, so this is a deployment knob:
+/// `Lite` (default) is conservative and keeps entity nouns searchable by
+/// surface form; `Porter` collapses more variants (smaller vocabulary,
+/// more recall); `None` indexes exact surface forms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Stemmer {
+    /// The conservative Porter-lite fixpoint stemmer in this module.
+    #[default]
+    Lite,
+    /// The classic Porter (1980) algorithm ([`crate::porter`]).
+    Porter,
+    /// No stemming.
+    None,
+}
+
+impl Stemmer {
+    /// Apply this stemmer to one lowercase token.
+    pub fn apply(&self, word: &str) -> String {
+        match self {
+            Stemmer::Lite => stem(word),
+            Stemmer::Porter => crate::porter::porter_stem(word),
+            Stemmer::None => word.to_string(),
+        }
+    }
+}
+
+/// Stem one lowercase token. Input is assumed to be a tokenizer output
+/// (lowercase ASCII alphanumeric); other input is returned unchanged.
+pub fn stem(word: &str) -> String {
+    let mut cur = word.to_string();
+    // Each productive rule strictly shrinks the word, so this terminates in
+    // at most `word.len()` steps.
+    loop {
+        let next = stem_step(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+/// One rewrite pass: apply the first matching rule, or return the input.
+fn stem_step(w: &str) -> String {
+    // Numbers and very short words are left alone.
+    if w.len() <= 3 || w.chars().any(|c| c.is_ascii_digit()) {
+        return w.to_string();
+    }
+
+    // Words that must never be stripped further (identity classes).
+    // "-ss" guards "class", "business"; "-er" keeps entity nouns like
+    // "server"/"developer" searchable by surface form.
+    if w.ends_with("ss") || w.ends_with("er") {
+        return w.to_string();
+    }
+
+    // Ordered rewrite rules; first applicable wins.
+    // (suffix, replacement, min chars that must precede the suffix)
+    const RULES: &[(&str, &str, usize)] = &[
+        ("sses", "ss", 1),
+        ("ies", "y", 2),
+        ("ie", "y", 2),
+        ("ives", "ive", 1),
+        ("ations", "ate", 2),
+        ("ation", "ate", 2),
+        ("ingly", "", 3),
+        ("edly", "", 3),
+        ("fully", "ful", 2),
+        ("ness", "", 3),
+        ("ments", "ment", 2),
+        ("ing", "", 3),
+        ("ed", "", 3),
+        ("ly", "", 3),
+        ("s", "", 3),
+    ];
+
+    for &(suffix, replacement, min_stem) in RULES {
+        if let Some(stripped) = w.strip_suffix(suffix) {
+            if stripped.len() >= min_stem && stripped.len() + replacement.len() >= 3 {
+                let mut out = String::with_capacity(stripped.len() + replacement.len());
+                out.push_str(stripped);
+                out.push_str(replacement);
+                // Undouble trailing consonant after -ing/-ed stripping
+                // ("running" -> "runn" -> "run").
+                if (suffix == "ing" || suffix == "ed") && has_double_consonant_tail(&out) {
+                    out.pop();
+                }
+                return out;
+            }
+        }
+    }
+    w.to_string()
+}
+
+fn has_double_consonant_tail(s: &str) -> bool {
+    let b = s.as_bytes();
+    if b.len() < 2 {
+        return false;
+    }
+    let (a, z) = (b[b.len() - 2], b[b.len() - 1]);
+    a == z && !matches!(z, b'a' | b'e' | b'i' | b'o' | b'u' | b'l' | b's' | b'z')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals() {
+        assert_eq!(stem("movies"), "movy");
+        assert_eq!(stem("cities"), "city");
+        assert_eq!(stem("databases"), "database");
+        assert_eq!(stem("classes"), "class");
+        assert_eq!(stem("games"), "game");
+    }
+
+    #[test]
+    fn verb_forms() {
+        assert_eq!(stem("running"), "run");
+        assert_eq!(stem("publishing"), "publish");
+        assert_eq!(stem("directed"), "direct");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("sql"), "sql");
+        assert_eq!(stem("db"), "db");
+        assert_eq!(stem("as"), "as");
+    }
+
+    #[test]
+    fn numbers_untouched() {
+        assert_eq!(stem("77"), "77");
+        assert_eq!(stem("b2b"), "b2b");
+        assert_eq!(stem("2014s"), "2014s");
+    }
+
+    #[test]
+    fn variants_collapse() {
+        // The property the index relies on: variants share a stem.
+        assert_eq!(stem("movie"), stem("movies"));
+        assert_eq!(stem("revenues"), stem("revenue"));
+        assert_eq!(stem("films"), stem("film"));
+        assert_eq!(stem("buildings"), stem("building"));
+    }
+
+    #[test]
+    fn er_and_ss_words_preserved() {
+        assert_eq!(stem("server"), "server");
+        assert_eq!(stem("developer"), "developer");
+        assert_eq!(stem("class"), "class");
+        assert_eq!(stem("business"), "business");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Stemming is idempotent: stem(stem(w)) == stem(w).
+        #[test]
+        fn idempotent(w in "[a-z]{1,12}") {
+            let once = stem(&w);
+            prop_assert_eq!(stem(&once), once.clone());
+        }
+
+        /// Stems are never empty and never grow.
+        #[test]
+        fn bounded(w in "[a-z0-9]{1,12}") {
+            let s = stem(&w);
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.len() <= w.len());
+        }
+    }
+}

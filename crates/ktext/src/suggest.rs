@@ -1,0 +1,165 @@
+//! "Did you mean …?" keyword suggestions.
+//!
+//! Query parsing rejects keywords absent from the knowledge base
+//! ([`crate::vocab`]); a production search box should offer corrections.
+//! Candidates are all vocabulary words within **edit distance 1** of the
+//! (canonicalized) input — deletion, insertion, substitution, or adjacent
+//! transposition over `[a-z0-9]` — computed by candidate generation plus
+//! vocabulary lookup, which at keyword lengths (≤ ~15 chars) beats a scan
+//! of the whole vocabulary.
+
+use crate::vocab::Vocabulary;
+use patternkb_graph::WordId;
+
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+
+/// All vocabulary words within edit distance 1 of `input`, canonicalized,
+/// deduplicated, sorted by canonical text. The input's own canonical form
+/// is excluded (if it were in the vocabulary, no suggestion is needed).
+pub fn suggest(vocab: &Vocabulary, input: &str) -> Vec<(WordId, String)> {
+    let canon = vocab.canonical_form(input);
+    let mut found: Vec<(WordId, String)> = Vec::new();
+    let push = |vocab: &Vocabulary, candidate: &str, found: &mut Vec<(WordId, String)>| {
+        // Candidates go through the same canonicalization as real queries.
+        if let Some(id) = vocab.lookup(candidate) {
+            let text = vocab.resolve(id).to_string();
+            if text != canon && !found.iter().any(|(i, _)| *i == id) {
+                found.push((id, text));
+            }
+        }
+    };
+
+    let bytes = canon.as_bytes();
+    let n = bytes.len();
+    let mut buf = String::with_capacity(n + 1);
+
+    // Deletions.
+    for i in 0..n {
+        buf.clear();
+        buf.push_str(&canon[..i]);
+        buf.push_str(&canon[i + 1..]);
+        if !buf.is_empty() {
+            push(vocab, &buf, &mut found);
+        }
+    }
+    // Transpositions.
+    for i in 0..n.saturating_sub(1) {
+        let mut b = bytes.to_vec();
+        b.swap(i, i + 1);
+        if let Ok(s) = std::str::from_utf8(&b) {
+            push(vocab, s, &mut found);
+        }
+    }
+    // Substitutions.
+    for i in 0..n {
+        for &c in ALPHABET {
+            if c == bytes[i] {
+                continue;
+            }
+            let mut b = bytes.to_vec();
+            b[i] = c;
+            if let Ok(s) = std::str::from_utf8(&b) {
+                push(vocab, s, &mut found);
+            }
+        }
+    }
+    // Insertions.
+    for i in 0..=n {
+        for &c in ALPHABET {
+            buf.clear();
+            buf.push_str(&canon[..i]);
+            buf.push(c as char);
+            buf.push_str(&canon[i..]);
+            push(vocab, &buf, &mut found);
+        }
+    }
+
+    found.sort_by(|a, b| a.1.cmp(&b.1));
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synonyms::SynonymTable;
+
+    fn vocab_with(words: &[&str]) -> Vocabulary {
+        let mut v = Vocabulary::new(SynonymTable::new());
+        for w in words {
+            v.intern(w);
+        }
+        v
+    }
+
+    #[test]
+    fn substitution() {
+        let v = vocab_with(&["database", "software"]);
+        let s = suggest(&v, "databese");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].1, "database");
+    }
+
+    #[test]
+    fn insertion_completes_a_truncated_word() {
+        let v = vocab_with(&["oracle"]);
+        let s = suggest(&v, "oracl");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].1, "oracle");
+    }
+
+    #[test]
+    fn transposition() {
+        let v = vocab_with(&["revenue"]);
+        let s = suggest(&v, "reevnue");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].1, "revenue");
+    }
+
+    #[test]
+    fn missing_letter() {
+        let v = vocab_with(&["company"]);
+        let s = suggest(&v, "compny");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].1, "company");
+    }
+
+    #[test]
+    fn extra_letter() {
+        let v = vocab_with(&["oracle"]);
+        let s = suggest(&v, "oracble");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].1, "oracle");
+    }
+
+    #[test]
+    fn exact_word_yields_nothing_of_itself() {
+        let v = vocab_with(&["database"]);
+        let s = suggest(&v, "database");
+        assert!(s.iter().all(|(_, t)| t != "database"));
+    }
+
+    #[test]
+    fn no_candidates_for_distant_words() {
+        let v = vocab_with(&["database"]);
+        assert!(suggest(&v, "zzzzzzz").is_empty());
+    }
+
+    #[test]
+    fn multiple_candidates_sorted() {
+        let v = vocab_with(&["cat", "car", "can", "cab"]);
+        let s = suggest(&v, "caq");
+        let texts: Vec<&str> = s.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["cab", "can", "car", "cat"]);
+    }
+
+    #[test]
+    fn stemming_applies_before_matching() {
+        // "databses" canonicalizes via stem("databses") = "databse"(s-strip),
+        // one substitution-insertion away from "database": the pipeline runs
+        // on canonical forms, so the suggestion still lands.
+        let v = vocab_with(&["databases"]);
+        let s = suggest(&v, "databse");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].1, "database");
+    }
+}

@@ -1,0 +1,101 @@
+//! Synonym canonicalization.
+//!
+//! A [`SynonymTable`] maps surface forms to one canonical representative so
+//! that, per §3 of the paper, synonyms "point to the same path-pattern
+//! entry". Synonyms are applied *after* stemming, on stemmed forms.
+
+use std::collections::BTreeMap;
+
+/// Maps stemmed surface forms to canonical stemmed forms.
+#[derive(Clone, Debug, Default)]
+pub struct SynonymTable {
+    /// surface (stemmed) -> canonical (stemmed). Absent = identity.
+    map: BTreeMap<String, String>,
+}
+
+impl SynonymTable {
+    /// An empty table (identity mapping).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A small default table suitable for the synthetic datasets: common
+    /// knowledge-base aliases.
+    pub fn default_english() -> Self {
+        let mut t = Self::new();
+        t.add_group(&["movie", "film"]);
+        t.add_group(&["company", "corporation", "firm"]);
+        t.add_group(&["car", "automobile"]);
+        t.add_group(&["author", "writer"]);
+        t.add_group(&["picture", "photo", "image"]);
+        t
+    }
+
+    /// Declare that every word in `group` is equivalent; the first member
+    /// (after stemming) becomes the canonical form. Words are stemmed before
+    /// insertion so callers may pass surface forms.
+    pub fn add_group(&mut self, group: &[&str]) {
+        let Some(first) = group.first() else { return };
+        let canon = crate::stem::stem(&first.to_ascii_lowercase());
+        for w in group {
+            let s = crate::stem::stem(&w.to_ascii_lowercase());
+            if s != canon {
+                self.map.insert(s, canon.clone());
+            }
+        }
+    }
+
+    /// Canonicalize a stemmed word: returns the canonical representative, or
+    /// the input itself if it has no synonym group.
+    pub fn canonical<'a>(&'a self, stemmed: &'a str) -> &'a str {
+        self.map.get(stemmed).map(String::as_str).unwrap_or(stemmed)
+    }
+
+    /// Number of non-identity mappings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table holds no mappings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_by_default() {
+        let t = SynonymTable::new();
+        assert_eq!(t.canonical("database"), "database");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn group_collapses_to_first() {
+        let mut t = SynonymTable::new();
+        t.add_group(&["movie", "film"]);
+        assert_eq!(t.canonical("film"), "movy"); // both stemmed; canon = stem("movie")
+        assert_eq!(t.canonical(&crate::stem::stem("films")), "movy");
+    }
+
+    #[test]
+    fn default_table_has_groups() {
+        let t = SynonymTable::default_english();
+        assert!(!t.is_empty());
+        assert_eq!(t.canonical("film"), t.canonical(&crate::stem::stem("movies")));
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let t = SynonymTable::default_english();
+        for w in ["film", "corporation", "automobile", "writer", "photo"] {
+            let s = crate::stem::stem(w);
+            let c1 = t.canonical(&s).to_string();
+            let c2 = t.canonical(&c1).to_string();
+            assert_eq!(c1, c2, "canonical must be idempotent for {w}");
+        }
+    }
+}

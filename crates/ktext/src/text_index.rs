@@ -1,0 +1,403 @@
+//! Keyword match index over a knowledge graph.
+//!
+//! For every node, entity type and attribute type the index stores the
+//! sorted set of canonical token ids of its text, plus inverted lists
+//!
+//! * `word → nodes` whose text **or** type text contains the word
+//!   (condition ii of §2.2.1: a keyword may appear "in the text description
+//!   of a node or node type"), and
+//! * `word → attribute types` whose text contains the word.
+//!
+//! It also answers the Jaccard term `sim(w, f(w))` of Eq. (6). When a word
+//! occurs both in a node's own text and in its type text the paper's `sim`
+//! is ambiguous; we resolve it as the **maximum** over the matching sources
+//! (see DESIGN.md §2 — the only reading consistent with Example 2.4).
+
+use crate::synonyms::SynonymTable;
+use crate::vocab::Vocabulary;
+use patternkb_graph::ids::Id;
+use patternkb_graph::{AttrId, FxHashMap, KnowledgeGraph, NodeId, TypeId, WordId};
+
+/// Immutable keyword match index; build once per graph with
+/// [`TextIndex::build`].
+pub struct TextIndex {
+    vocab: Vocabulary,
+    /// CSR: distinct sorted token ids of each node's text.
+    node_tok_offsets: Vec<u32>,
+    node_toks: Vec<WordId>,
+    /// Distinct sorted token ids of each entity type's text.
+    type_toks: Vec<Vec<WordId>>,
+    /// Distinct sorted token ids of each attribute type's text.
+    attr_toks: Vec<Vec<WordId>>,
+    /// word → sorted node ids matching via node text or type text.
+    word_nodes: FxHashMap<WordId, Vec<NodeId>>,
+    /// word → sorted attribute ids whose text contains the word.
+    word_attrs: FxHashMap<WordId, Vec<AttrId>>,
+    /// attr → sorted distinct source nodes having an out-edge of this attr
+    /// (used by the baseline's backward search over edge matches).
+    attr_sources: Vec<Vec<NodeId>>,
+}
+
+impl TextIndex {
+    /// Build the index for `g`, canonicalizing through `synonyms` with the
+    /// default ([`crate::stem::Stemmer::Lite`]) stemmer.
+    pub fn build(g: &KnowledgeGraph, synonyms: SynonymTable) -> Self {
+        Self::build_with(g, synonyms, crate::stem::Stemmer::Lite)
+    }
+
+    /// Build the index with an explicit stemmer (see
+    /// [`crate::stem::Stemmer`] for the trade-offs).
+    pub fn build_with(
+        g: &KnowledgeGraph,
+        synonyms: SynonymTable,
+        stemmer: crate::stem::Stemmer,
+    ) -> Self {
+        let mut vocab = Vocabulary::with_stemmer(synonyms, stemmer);
+        let n = g.num_nodes();
+
+        let type_toks: Vec<Vec<WordId>> = (0..g.num_types())
+            .map(|t| vocab.intern_token_set(g.type_text(TypeId(t as u32))))
+            .collect();
+        let attr_toks: Vec<Vec<WordId>> = (0..g.num_attrs())
+            .map(|a| vocab.intern_token_set(g.attr_text(AttrId(a as u32))))
+            .collect();
+
+        let mut node_tok_offsets = Vec::with_capacity(n + 1);
+        node_tok_offsets.push(0u32);
+        let mut node_toks = Vec::new();
+        for v in g.nodes() {
+            let set = vocab.intern_token_set(g.node_text(v));
+            node_toks.extend_from_slice(&set);
+            node_tok_offsets.push(node_toks.len() as u32);
+        }
+
+        // Inverted word → nodes (text ∪ type text).
+        let mut word_nodes: FxHashMap<WordId, Vec<NodeId>> = FxHashMap::default();
+        let mut scratch: Vec<WordId> = Vec::new();
+        for v in g.nodes() {
+            let lo = node_tok_offsets[v.index()] as usize;
+            let hi = node_tok_offsets[v.index() + 1] as usize;
+            scratch.clear();
+            scratch.extend_from_slice(&node_toks[lo..hi]);
+            scratch.extend_from_slice(&type_toks[g.node_type(v).index()]);
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &w in &scratch {
+                word_nodes.entry(w).or_default().push(v);
+            }
+        }
+        // Node ids were visited in order, so the lists are already sorted.
+
+        let mut word_attrs: FxHashMap<WordId, Vec<AttrId>> = FxHashMap::default();
+        for (a, toks) in attr_toks.iter().enumerate() {
+            for &w in toks {
+                word_attrs.entry(w).or_default().push(AttrId(a as u32));
+            }
+        }
+        for list in word_attrs.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        let mut attr_sources: Vec<Vec<NodeId>> = vec![Vec::new(); g.num_attrs()];
+        for v in g.nodes() {
+            for (a, _) in g.out_edges(v) {
+                let list = &mut attr_sources[a.index()];
+                if list.last() != Some(&v) {
+                    list.push(v);
+                }
+            }
+        }
+
+        TextIndex {
+            vocab,
+            node_tok_offsets,
+            node_toks,
+            type_toks,
+            attr_toks,
+            word_nodes,
+            word_attrs,
+            attr_sources,
+        }
+    }
+
+    /// The canonical vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Canonical id of a raw query token, if it occurs anywhere in the KB.
+    pub fn lookup_word(&self, token: &str) -> Option<WordId> {
+        self.vocab.lookup(token)
+    }
+
+    /// Distinct sorted canonical token ids of node `v`'s text.
+    pub fn node_tokens(&self, v: NodeId) -> &[WordId] {
+        let lo = self.node_tok_offsets[v.index()] as usize;
+        let hi = self.node_tok_offsets[v.index() + 1] as usize;
+        &self.node_toks[lo..hi]
+    }
+
+    /// Token set of a type's text (empty for the reserved text type).
+    pub fn type_tokens(&self, t: TypeId) -> &[WordId] {
+        &self.type_toks[t.index()]
+    }
+
+    /// Token set of an attribute type's text.
+    pub fn attr_tokens(&self, a: AttrId) -> &[WordId] {
+        &self.attr_toks[a.index()]
+    }
+
+    /// Sorted nodes whose text or type text contains `w`.
+    pub fn nodes_matching(&self, w: WordId) -> &[NodeId] {
+        self.word_nodes.get(&w).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Sorted attribute types whose text contains `w`.
+    pub fn attrs_matching(&self, w: WordId) -> &[AttrId] {
+        self.word_attrs.get(&w).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether node `v` (text or type text) contains `w`.
+    pub fn node_matches(&self, w: WordId, v: NodeId, node_type: TypeId) -> bool {
+        self.node_tokens(v).binary_search(&w).is_ok()
+            || self.type_toks[node_type.index()].binary_search(&w).is_ok()
+    }
+
+    /// Whether attribute `a` contains `w`.
+    pub fn attr_matches(&self, w: WordId, a: AttrId) -> bool {
+        self.attr_toks[a.index()].binary_search(&w).is_ok()
+    }
+
+    /// `sim(w, v)` per Eq. (6): max Jaccard over the node-text and type-text
+    /// matching sources; 0 when `w` matches neither.
+    pub fn sim_node(&self, w: WordId, v: NodeId, node_type: TypeId) -> f64 {
+        let via_text = crate::jaccard::single_word_sim(w, self.node_tokens(v));
+        let via_type = crate::jaccard::single_word_sim(w, &self.type_toks[node_type.index()]);
+        via_text.max(via_type)
+    }
+
+    /// `sim(w, e)` for an edge match: Jaccard against the attribute text.
+    pub fn sim_attr(&self, w: WordId, a: AttrId) -> f64 {
+        crate::jaccard::single_word_sim(w, &self.attr_toks[a.index()])
+    }
+
+    /// Sorted distinct nodes that own at least one out-edge of attribute
+    /// `a` (backward-search entry points for edge matches).
+    pub fn attr_sources(&self, a: AttrId) -> &[NodeId] {
+        &self.attr_sources[a.index()]
+    }
+
+    /// Approximate resident bytes (for Figure-6-style size accounting).
+    pub fn heap_bytes(&self) -> usize {
+        let mut total = self.node_tok_offsets.len() * 4 + self.node_toks.len() * 4;
+        total += self.type_toks.iter().map(|v| v.len() * 4 + 24).sum::<usize>();
+        total += self.attr_toks.iter().map(|v| v.len() * 4 + 24).sum::<usize>();
+        total += self
+            .word_nodes
+            .values()
+            .map(|v| v.len() * 4 + 40)
+            .sum::<usize>();
+        total += self
+            .word_attrs
+            .values()
+            .map(|v| v.len() * 4 + 40)
+            .sum::<usize>();
+        total += self
+            .attr_sources
+            .iter()
+            .map(|v| v.len() * 4 + 24)
+            .sum::<usize>();
+        total
+    }
+}
+
+impl std::fmt::Debug for TextIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TextIndex {{ words: {}, node_tokens: {} }}",
+            self.vocab.len(),
+            self.node_toks.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternkb_graph::GraphBuilder;
+
+    /// SQL Server --Developer--> Microsoft --Revenue--> "US$ 77 billion"
+    fn sample() -> (KnowledgeGraph, TextIndex) {
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let soft = b.add_type("Software");
+        let comp = b.add_type("Company");
+        let dev = b.add_attr("Developer");
+        let rev = b.add_attr("Revenue");
+        let sql = b.add_node(soft, "SQL Server");
+        let ms = b.add_node(comp, "Microsoft");
+        b.add_edge(sql, dev, ms);
+        b.add_text_edge(ms, rev, "US$ 77 billion");
+        let g = b.build();
+        let idx = TextIndex::build(&g, SynonymTable::new());
+        (g, idx)
+    }
+
+    #[test]
+    fn node_match_via_text() {
+        let (g, idx) = sample();
+        let w = idx.lookup_word("sql").unwrap();
+        assert_eq!(idx.nodes_matching(w), &[NodeId(0)]);
+        assert!(idx.node_matches(w, NodeId(0), g.node_type(NodeId(0))));
+    }
+
+    #[test]
+    fn node_match_via_type() {
+        let (g, idx) = sample();
+        let w = idx.lookup_word("company").unwrap();
+        assert_eq!(idx.nodes_matching(w), &[NodeId(1)]);
+        assert!(idx.node_matches(w, NodeId(1), g.node_type(NodeId(1))));
+        // sim via type text (single token) = 1.0
+        assert_eq!(idx.sim_node(w, NodeId(1), g.node_type(NodeId(1))), 1.0);
+    }
+
+    #[test]
+    fn attr_match() {
+        let (_, idx) = sample();
+        let w = idx.lookup_word("revenue").unwrap();
+        let rev = idx.attrs_matching(w);
+        assert_eq!(rev.len(), 1);
+        assert_eq!(idx.sim_attr(w, rev[0]), 1.0);
+        assert_eq!(idx.attr_sources(rev[0]), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn sim_uses_max_of_sources() {
+        // Node text "software tools" (2 tokens) and type "Software"
+        // (1 token): sim("software") must be max(1/2, 1) = 1.
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t = b.add_type("Software");
+        let v = b.add_node(t, "software tools");
+        let g = b.build();
+        let idx = TextIndex::build(&g, SynonymTable::new());
+        let w = idx.lookup_word("software").unwrap();
+        assert_eq!(idx.sim_node(w, v, t), 1.0);
+        let w2 = idx.lookup_word("tools").unwrap();
+        assert_eq!(idx.sim_node(w2, v, t), 0.5);
+    }
+
+    #[test]
+    fn text_nodes_match_their_text() {
+        let (g, idx) = sample();
+        let w = idx.lookup_word("billion").unwrap();
+        let matches = idx.nodes_matching(w);
+        assert_eq!(matches.len(), 1);
+        assert!(g.is_text_node(matches[0]));
+        // 3 tokens: us, 77, billion → sim 1/3.
+        let sim = idx.sim_node(w, matches[0], g.node_type(matches[0]));
+        assert!((sim - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_word() {
+        let (_, idx) = sample();
+        assert_eq!(idx.lookup_word("zzzz"), None);
+    }
+
+    #[test]
+    fn stemmed_query_matches() {
+        let (_, idx) = sample();
+        // "servers" stems to "server".
+        let w = idx.lookup_word("servers").unwrap();
+        assert_eq!(idx.nodes_matching(w).len(), 1);
+    }
+
+    #[test]
+    fn match_lists_are_sorted() {
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t = b.add_type("Thing");
+        for i in 0..20 {
+            b.add_node(t, &format!("item {i}"));
+        }
+        let g = b.build();
+        let idx = TextIndex::build(&g, SynonymTable::new());
+        let w = idx.lookup_word("item").unwrap();
+        let nodes = idx.nodes_matching(w);
+        assert_eq!(nodes.len(), 20);
+        assert!(nodes.windows(2).all(|p| p[0] < p[1]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use patternkb_graph::GraphBuilder;
+    use proptest::prelude::*;
+
+    fn random_graph(labels: &[String], nedges: usize) -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t1 = b.add_type("Alpha Kind");
+        let t2 = b.add_type("Beta Kind");
+        let a1 = b.add_attr("First Link");
+        let a2 = b.add_attr("Second Link");
+        let nodes: Vec<_> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| b.add_node(if i % 2 == 0 { t1 } else { t2 }, l))
+            .collect();
+        for i in 0..nedges.min(labels.len().saturating_sub(1)) {
+            let a = if i % 2 == 0 { a1 } else { a2 };
+            b.add_edge(nodes[i], a, nodes[(i + 1) % nodes.len()]);
+        }
+        b.build()
+    }
+
+    proptest! {
+        /// The inverted list and the membership predicate agree for every
+        /// (word, node) pair, and sim is positive exactly on matches.
+        #[test]
+        fn inverted_list_matches_predicate(
+            labels in proptest::collection::vec("[a-z]{1,6}( [a-z]{1,6}){0,2}", 1..12),
+            nedges in 0usize..12,
+        ) {
+            let g = random_graph(&labels, nedges);
+            let idx = TextIndex::build(&g, SynonymTable::new());
+            let words: Vec<WordId> = idx.vocab().iter().map(|(w, _)| w).collect();
+            for &w in &words {
+                let listed: Vec<NodeId> = idx.nodes_matching(w).to_vec();
+                for v in g.nodes() {
+                    let t = g.node_type(v);
+                    let member = listed.binary_search(&v).is_ok();
+                    prop_assert_eq!(member, idx.node_matches(w, v, t));
+                    let sim = idx.sim_node(w, v, t);
+                    prop_assert_eq!(member, sim > 0.0);
+                    prop_assert!((0.0..=1.0).contains(&sim));
+                }
+            }
+        }
+
+        /// attr_sources lists exactly the distinct sources of each attr.
+        #[test]
+        fn attr_sources_are_exact(
+            labels in proptest::collection::vec("[a-z]{1,5}", 2..10),
+            nedges in 1usize..10,
+        ) {
+            let g = random_graph(&labels, nedges);
+            let idx = TextIndex::build(&g, SynonymTable::new());
+            for a in 0..g.num_attrs() {
+                let attr = patternkb_graph::AttrId(a as u32);
+                let mut expected: Vec<NodeId> = g
+                    .nodes()
+                    .filter(|&v| g.out_edges(v).any(|(x, _)| x == attr))
+                    .collect();
+                expected.sort_unstable();
+                prop_assert_eq!(idx.attr_sources(attr), expected.as_slice());
+            }
+        }
+    }
+}

@@ -1,0 +1,644 @@
+//! Compressed posting tier: delta + LEB128 coded path postings.
+//!
+//! The uncompressed [`WordPathIndex`] stores both sort orders of every
+//! posting as fixed-width structs (fast, but ≈56 bytes per posting plus the
+//! node arena). For large `d` the index grows steeply — the paper's
+//! Figure 6 reports 34 GB at `d = 4` — so this module provides a cold tier
+//! that keeps one word's postings as a compact byte stream and decodes on
+//! demand:
+//!
+//! * postings are stored once, in pattern-first order, grouped by pattern;
+//! * pattern ids and in-group roots are delta-coded ([`crate::varint`]);
+//! * the leading path node is implicit (it equals the root);
+//! * the two cached scores stay as raw little-endian `f64`s, so a
+//!   compress → decompress round trip is **bit-exact** (asserted by tests).
+//!
+//! [`CompressedPathIndexes::decompress_word`] rebuilds a single word's
+//! queryable index — the natural unit, since query processing touches only
+//! the query's keywords. Decoding validates the stream and reports
+//! [`CompressError`] on truncation or corruption instead of panicking.
+
+use crate::pattern::{PatternId, PatternSet};
+use crate::posting::Posting;
+use crate::varint;
+use crate::word_index::{PathIndexes, WordPathIndex};
+use patternkb_graph::{FxHashMap, NodeId, WordId};
+
+/// A corrupt or truncated compressed posting stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompressError {
+    /// The stream ended before all declared postings were decoded.
+    Truncated,
+    /// A decoded value was out of range (e.g. a path length of zero or
+    /// beyond the supported maximum).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Truncated => write!(f, "compressed posting stream truncated"),
+            CompressError::Corrupt(what) => {
+                write!(f, "compressed posting stream corrupt: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// One word's postings as a delta/varint-coded byte stream.
+#[derive(Clone, Debug, Default)]
+pub struct CompressedWordIndex {
+    bytes: Box<[u8]>,
+    num_postings: u32,
+}
+
+impl CompressedWordIndex {
+    /// Encode all postings of `widx` (pattern-first order).
+    pub fn from_word_index(widx: &WordPathIndex) -> Self {
+        let postings = widx.postings_pattern_first();
+        let mut bytes: Vec<u8> = Vec::with_capacity(postings.len() * 12);
+
+        // Group boundaries: postings are sorted by (pattern, root).
+        let mut groups: Vec<(PatternId, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < postings.len() {
+            let pat = postings[i].pattern;
+            let start = i;
+            while i < postings.len() && postings[i].pattern == pat {
+                i += 1;
+            }
+            groups.push((pat, start, i));
+        }
+
+        varint::put_u32(&mut bytes, groups.len() as u32);
+        let mut prev_pat = 0u32;
+        for &(pat, lo, hi) in &groups {
+            varint::put_u32(&mut bytes, pat.0 - prev_pat);
+            prev_pat = pat.0;
+            varint::put_u32(&mut bytes, (hi - lo) as u32);
+            let mut prev_root = 0u32;
+            for p in &postings[lo..hi] {
+                varint::put_u32(&mut bytes, p.root.0 - prev_root);
+                prev_root = p.root.0;
+                let header = ((p.nodes_len as u32) << 1) | u32::from(p.edge_terminal);
+                varint::put_u32(&mut bytes, header);
+                let nodes = widx.nodes_of(p);
+                debug_assert_eq!(nodes[0], p.root, "paths start at their root");
+                for &v in &nodes[1..] {
+                    varint::put_u32(&mut bytes, v.0);
+                }
+                bytes.extend_from_slice(&p.pagerank.to_le_bytes());
+                bytes.extend_from_slice(&p.sim.to_le_bytes());
+            }
+        }
+
+        CompressedWordIndex {
+            bytes: bytes.into_boxed_slice(),
+            num_postings: postings.len() as u32,
+        }
+    }
+
+    /// Decode back into a queryable [`WordPathIndex`].
+    pub fn decode(&self) -> Result<WordPathIndex, CompressError> {
+        let mut postings: Vec<Posting> = Vec::with_capacity(self.num_postings as usize);
+        let mut arena: Vec<NodeId> = Vec::new();
+        let buf = &self.bytes;
+        let mut pos = 0usize;
+
+        let num_groups =
+            varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
+        let mut pat = 0u32;
+        for gi in 0..num_groups {
+            let delta = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+            pat = if gi == 0 { delta } else { pat + delta };
+            let count = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+            let mut root = 0u32;
+            for pi in 0..count {
+                let rdelta = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+                root = if pi == 0 { rdelta } else { root + rdelta };
+                let header = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+                let edge_terminal = header & 1 == 1;
+                let nodes_len = (header >> 1) as usize;
+                if nodes_len == 0 || nodes_len > crate::build::MAX_D + 1 {
+                    return Err(CompressError::Corrupt("path length out of range"));
+                }
+                let start = arena.len() as u32;
+                arena.push(NodeId(root));
+                for _ in 1..nodes_len {
+                    let v = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+                    arena.push(NodeId(v));
+                }
+                if pos + 16 > buf.len() {
+                    return Err(CompressError::Truncated);
+                }
+                let pagerank = f64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+                let sim = f64::from_le_bytes(buf[pos + 8..pos + 16].try_into().unwrap());
+                pos += 16;
+                if !pagerank.is_finite() || !sim.is_finite() {
+                    return Err(CompressError::Corrupt("non-finite cached score"));
+                }
+                postings.push(Posting {
+                    pattern: PatternId(pat),
+                    root: NodeId(root),
+                    nodes_start: start,
+                    nodes_len: nodes_len as u16,
+                    edge_terminal,
+                    pagerank,
+                    sim,
+                });
+            }
+        }
+        if postings.len() != self.num_postings as usize {
+            return Err(CompressError::Corrupt("posting count mismatch"));
+        }
+        if pos != buf.len() {
+            return Err(CompressError::Corrupt("trailing bytes"));
+        }
+        Ok(WordPathIndex::new(postings, arena))
+    }
+
+    /// Number of postings in the stream.
+    pub fn len(&self) -> usize {
+        self.num_postings as usize
+    }
+
+    /// Whether the stream holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.num_postings == 0
+    }
+
+    /// Resident bytes of the compressed stream.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// All per-word compressed streams plus the (uncompressed — it is tiny)
+/// shared pattern set. A cold-storage drop-in for [`PathIndexes`].
+pub struct CompressedPathIndexes {
+    d: usize,
+    patterns: PatternSet,
+    words: FxHashMap<WordId, CompressedWordIndex>,
+}
+
+impl CompressedPathIndexes {
+    /// Compress every word of `idx`.
+    pub fn compress(idx: &PathIndexes) -> Self {
+        let words = idx
+            .iter_words()
+            .map(|(w, widx)| (w, CompressedWordIndex::from_word_index(widx)))
+            .collect();
+        CompressedPathIndexes {
+            d: idx.d(),
+            patterns: idx.patterns().clone(),
+            words,
+        }
+    }
+
+    /// The height threshold `d` the source index was built for.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The shared pattern interner.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// Decode one word's postings into a queryable index — the unit of
+    /// work for query processing, which touches only the query keywords.
+    pub fn decompress_word(&self, w: WordId) -> Option<Result<WordPathIndex, CompressError>> {
+        self.words.get(&w).map(|c| c.decode())
+    }
+
+    /// Decode everything back into a full [`PathIndexes`].
+    pub fn decompress(&self) -> Result<PathIndexes, CompressError> {
+        let mut words = FxHashMap::default();
+        for (&w, c) in &self.words {
+            words.insert(w, c.decode()?);
+        }
+        Ok(PathIndexes::new(self.d, self.patterns.clone(), words))
+    }
+
+    /// Number of words with postings.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Total postings across all words.
+    pub fn num_postings(&self) -> usize {
+        self.words.values().map(|c| c.len()).sum()
+    }
+
+    /// Resident bytes: streams plus the pattern set.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.values().map(|c| c.heap_bytes()).sum::<usize>()
+            + self.patterns.heap_bytes()
+            + self.words.len() * (std::mem::size_of::<WordId>() + std::mem::size_of::<CompressedWordIndex>())
+    }
+
+    /// `compressed bytes / uncompressed bytes` for the posting payload.
+    pub fn ratio_against(&self, idx: &PathIndexes) -> f64 {
+        self.heap_bytes() as f64 / idx.heap_bytes() as f64
+    }
+
+    /// Test/diagnostic hook: flip one byte of one word's stream, returning
+    /// `false` if the word is absent or empty. Used by failure-injection
+    /// tests to prove corrupted streams surface errors instead of garbage.
+    #[doc(hidden)]
+    pub fn corrupt_for_test(&mut self, w: WordId, byte: usize) -> bool {
+        match self.words.get_mut(&w) {
+            Some(c) if !c.bytes.is_empty() => {
+                let i = byte % c.bytes.len();
+                c.bytes[i] ^= 0xa5;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Persistence: the compressed tier is also the compact on-disk format.
+// ---------------------------------------------------------------------
+
+const MAGIC: &[u8; 4] = b"PKBC";
+const VERSION: u32 = 1;
+
+impl CompressedPathIndexes {
+    /// Serialize to a versioned byte image. Typically ~4–5× smaller than
+    /// the raw [`crate::snapshot`] image, since the posting payload *is*
+    /// the compressed stream.
+    pub fn encode(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = Vec::with_capacity(self.heap_bytes() + 1024);
+        buf.extend_from_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.d as u32);
+        buf.put_u32_le(self.patterns.len() as u32);
+        for i in 0..self.patterns.len() {
+            let key = self.patterns.key(PatternId(i as u32));
+            buf.put_u32_le(key.len() as u32);
+            for &v in key {
+                buf.put_u32_le(v);
+            }
+        }
+        // Deterministic word order for reproducible images.
+        let mut words: Vec<(&WordId, &CompressedWordIndex)> = self.words.iter().collect();
+        words.sort_by_key(|(w, _)| **w);
+        buf.put_u32_le(words.len() as u32);
+        for (w, c) in words {
+            buf.put_u32_le(w.0);
+            buf.put_u32_le(c.num_postings);
+            buf.put_u32_le(c.bytes.len() as u32);
+            buf.extend_from_slice(&c.bytes);
+        }
+        buf
+    }
+
+    /// Deserialize an [`Self::encode`] image. Validates framing eagerly
+    /// and every posting stream lazily (on first decode).
+    pub fn decode(data: &[u8]) -> Result<Self, CompressError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], CompressError> {
+            if *pos + n > data.len() {
+                return Err(CompressError::Truncated);
+            }
+            let s = &data[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let get_u32 = |pos: &mut usize| -> Result<u32, CompressError> {
+            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
+        };
+
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(CompressError::Corrupt("bad magic"));
+        }
+        let version = get_u32(&mut pos)?;
+        if version != VERSION {
+            return Err(CompressError::Corrupt("unsupported version"));
+        }
+        let d = get_u32(&mut pos)? as usize;
+        if d == 0 || d > crate::build::MAX_D {
+            return Err(CompressError::Corrupt("height threshold out of range"));
+        }
+        let npat = get_u32(&mut pos)? as usize;
+        let mut patterns = PatternSet::new();
+        let mut key: Vec<u32> = Vec::new();
+        for _ in 0..npat {
+            let len = get_u32(&mut pos)? as usize;
+            if len == 0 || len > 2 * crate::build::MAX_D + 2 {
+                return Err(CompressError::Corrupt("pattern key length"));
+            }
+            key.clear();
+            for _ in 0..len {
+                key.push(get_u32(&mut pos)?);
+            }
+            patterns.intern_key(&key);
+        }
+        let nwords = get_u32(&mut pos)? as usize;
+        let mut words = FxHashMap::default();
+        for _ in 0..nwords {
+            let w = WordId(get_u32(&mut pos)?);
+            let num_postings = get_u32(&mut pos)?;
+            let nbytes = get_u32(&mut pos)? as usize;
+            let stream = take(&mut pos, nbytes)?.to_vec().into_boxed_slice();
+            words.insert(
+                w,
+                CompressedWordIndex {
+                    bytes: stream,
+                    num_postings,
+                },
+            );
+        }
+        if pos != data.len() {
+            return Err(CompressError::Corrupt("trailing bytes"));
+        }
+        Ok(CompressedPathIndexes { d, patterns, words })
+    }
+
+    /// Write the encoded image to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Read an image from `path`.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_indexes, BuildConfig};
+    use patternkb_graph::{GraphBuilder, KnowledgeGraph};
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    fn sample(n: usize) -> (KnowledgeGraph, TextIndex) {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_type("Device");
+        let t1 = b.add_type("Vendor");
+        let mk = b.add_attr("maker");
+        let rel = b.add_attr("related");
+        let names = ["alpha", "beta", "gamma", "delta"];
+        let nodes: Vec<_> = (0..n)
+            .map(|i| b.add_node(if i % 2 == 0 { t0 } else { t1 }, names[i % names.len()]))
+            .collect();
+        for i in 0..n {
+            b.add_edge(nodes[i], mk, nodes[(i * 5 + 1) % n]);
+            b.add_edge(nodes[i], rel, nodes[(i * 3 + 2) % n]);
+        }
+        let g = b.build();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        (g, t)
+    }
+
+    fn canon_word(idx_pats: &PatternSet, widx: &WordPathIndex) -> Vec<(Vec<u32>, Vec<NodeId>, bool, u64, u64)> {
+        let mut v: Vec<_> = widx
+            .postings_pattern_first()
+            .iter()
+            .map(|p| {
+                (
+                    idx_pats.key(p.pattern).to_vec(),
+                    widx.nodes_of(p).to_vec(),
+                    p.edge_terminal,
+                    p.pagerank.to_bits(),
+                    p.sim.to_bits(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let (g, t) = sample(40);
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let comp = CompressedPathIndexes::compress(&idx);
+        let back = comp.decompress().expect("decodes");
+        assert_eq!(back.num_postings(), idx.num_postings());
+        for (w, widx) in idx.iter_words() {
+            let bw = back.word(w).expect("word survives");
+            assert_eq!(
+                canon_word(idx.patterns(), widx),
+                canon_word(back.patterns(), bw),
+                "word {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_word_decode_matches() {
+        let (g, t) = sample(24);
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let comp = CompressedPathIndexes::compress(&idx);
+        let w = t.lookup_word("alpha").unwrap();
+        let one = comp.decompress_word(w).expect("present").expect("decodes");
+        assert_eq!(
+            canon_word(idx.patterns(), idx.word(w).unwrap()),
+            canon_word(comp.patterns(), &one)
+        );
+        assert!(comp.decompress_word(WordId(9999)).is_none());
+    }
+
+    #[test]
+    fn compression_shrinks_realistic_lists() {
+        let (g, t) = sample(200);
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let comp = CompressedPathIndexes::compress(&idx);
+        let ratio = comp.ratio_against(&idx);
+        assert!(
+            ratio < 0.6,
+            "expected ≥40% savings, got ratio {ratio:.3} ({} vs {} bytes)",
+            comp.heap_bytes(),
+            idx.heap_bytes()
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let (g, t) = sample(16);
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let comp = CompressedPathIndexes::compress(&idx);
+        let w = t.lookup_word("alpha").unwrap();
+        let full = &comp.words[&w];
+        for cut in [0, 1, full.bytes.len() / 2, full.bytes.len().saturating_sub(1)] {
+            let truncated = CompressedWordIndex {
+                bytes: full.bytes[..cut].to_vec().into_boxed_slice(),
+                num_postings: full.num_postings,
+            };
+            assert!(truncated.decode().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let (g, t) = sample(16);
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let w = t.lookup_word("alpha").unwrap();
+        let reference = canon_word(idx.patterns(), idx.word(w).unwrap());
+        let base = CompressedPathIndexes::compress(&idx);
+        let stream_len = base.words[&w].heap_bytes();
+        for byte in 0..stream_len {
+            let mut comp = CompressedPathIndexes::compress(&idx);
+            assert!(comp.corrupt_for_test(w, byte));
+            // Either an error, or a decode to *different* postings that the
+            // checksum-free format cannot distinguish — but never a panic.
+            match comp.decompress_word(w).unwrap() {
+                Err(_) => {}
+                Ok(widx) => {
+                    // Flipping a score byte yields valid-but-different
+                    // floats; structural bytes usually error out.
+                    let _ = canon_word(comp.patterns(), &widx) == reference;
+                }
+            }
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random raw postings: arbitrary pattern ids, roots, path shapes,
+        /// and finite scores — a superset of what construction produces.
+        fn posting_strategy() -> impl Strategy<Value = (u32, Vec<u32>, bool, f64, f64)> {
+            (
+                0u32..50,                                       // pattern
+                proptest::collection::vec(0u32..10_000, 1..=crate::build::MAX_D + 1),
+                proptest::bool::ANY,                            // edge_terminal
+                0.0f64..1.0,                                    // pagerank
+                0.0f64..1.0,                                    // sim
+            )
+        }
+
+        proptest! {
+            #[test]
+            fn roundtrip_arbitrary_postings(
+                raw in proptest::collection::vec(posting_strategy(), 0..80)
+            ) {
+                let mut postings = Vec::new();
+                let mut arena = Vec::new();
+                for (pat, nodes, edge_terminal, pr, sim) in &raw {
+                    let start = arena.len() as u32;
+                    arena.extend(nodes.iter().map(|&v| NodeId(v)));
+                    postings.push(Posting {
+                        pattern: PatternId(*pat),
+                        root: NodeId(nodes[0]),
+                        nodes_start: start,
+                        nodes_len: nodes.len() as u16,
+                        edge_terminal: *edge_terminal,
+                        pagerank: *pr,
+                        sim: *sim,
+                    });
+                }
+                let widx = WordPathIndex::new(postings, arena);
+                let comp = CompressedWordIndex::from_word_index(&widx);
+                let back = comp.decode().expect("well-formed stream decodes");
+                prop_assert_eq!(back.len(), widx.len());
+                let project = |w: &WordPathIndex| {
+                    let mut v: Vec<(u32, Vec<NodeId>, bool, u64, u64)> = w
+                        .postings_pattern_first()
+                        .iter()
+                        .map(|p| (
+                            p.pattern.0,
+                            w.nodes_of(p).to_vec(),
+                            p.edge_terminal,
+                            p.pagerank.to_bits(),
+                            p.sim.to_bits(),
+                        ))
+                        .collect();
+                    v.sort();
+                    v
+                };
+                prop_assert_eq!(project(&widx), project(&back));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_size() {
+        let (g, t) = sample(120);
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let comp = CompressedPathIndexes::compress(&idx);
+        let image = comp.encode();
+        let raw_image = crate::snapshot::encode(&idx);
+        assert!(
+            image.len() * 2 < raw_image.len(),
+            "compressed image {} vs raw image {}",
+            image.len(),
+            raw_image.len()
+        );
+        let back = CompressedPathIndexes::decode(&image).expect("decodes");
+        assert_eq!(back.d(), comp.d());
+        assert_eq!(back.num_postings(), comp.num_postings());
+        let full = back.decompress().expect("streams valid");
+        assert_eq!(full.num_postings(), idx.num_postings());
+        for (w, widx) in idx.iter_words() {
+            let bw = full.word(w).expect("word survives");
+            assert_eq!(
+                canon_word(idx.patterns(), widx),
+                canon_word(full.patterns(), bw)
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_truncation_and_corruption_rejected() {
+        let (g, t) = sample(24);
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let image = CompressedPathIndexes::compress(&idx).encode();
+        for cut in [0usize, 3, 7, image.len() / 2, image.len() - 1] {
+            assert!(
+                CompressedPathIndexes::decode(&image[..cut]).is_err(),
+                "prefix {cut} must fail"
+            );
+        }
+        let mut bad_magic = image.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            CompressedPathIndexes::decode(&bad_magic),
+            Err(CompressError::Corrupt("bad magic"))
+        ));
+        let mut bad_version = image.clone();
+        bad_version[4] = 0x7f;
+        assert!(CompressedPathIndexes::decode(&bad_version).is_err());
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let (g, t) = sample(16);
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let comp = CompressedPathIndexes::compress(&idx);
+        let dir = std::env::temp_dir().join("patternkb_compress_snapshot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tier.pkbc");
+        comp.save(&path).unwrap();
+        let back = CompressedPathIndexes::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.num_postings(), comp.num_postings());
+        assert_eq!(
+            back.decompress().unwrap().num_postings(),
+            idx.num_postings()
+        );
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_type("T");
+        b.add_node(t0, "solo");
+        let g = b.build();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let comp = CompressedPathIndexes::compress(&idx);
+        let back = comp.decompress().unwrap();
+        assert_eq!(back.num_postings(), idx.num_postings());
+        assert_eq!(comp.d(), 2);
+    }
+}

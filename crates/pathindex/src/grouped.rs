@@ -1,0 +1,315 @@
+//! Two-level grouped posting storage.
+//!
+//! Both index orders of Figure 4 share one layout: postings sorted by a
+//! primary key and a secondary key, with offset arrays for both levels.
+//! For the pattern-first index the primary key is the pattern and the
+//! secondary key is the root; the root-first index swaps them. Every access
+//! method of §3 then becomes: binary-search the primary key, optionally
+//! binary-search the secondary key inside its run range, return a slice.
+
+use crate::posting::Posting;
+
+/// Postings grouped by `(primary, secondary)` keys.
+///
+/// Invariants (checked in debug builds by [`GroupedPostings::validate`]):
+/// * `g1_keys` is strictly increasing;
+/// * within each level-1 group, its level-2 run keys are strictly
+///   increasing;
+/// * run offsets partition `postings` contiguously.
+#[derive(Clone, Debug, Default)]
+pub struct GroupedPostings {
+    /// All postings, sorted by `(primary, secondary)`.
+    postings: Vec<Posting>,
+    /// Distinct primary keys, ascending.
+    g1_keys: Vec<u32>,
+    /// For level-1 group `i`, its level-2 runs are
+    /// `g2_keys[g1_run_start[i] .. g1_run_start[i+1]]`. Length
+    /// `g1_keys.len() + 1`.
+    g1_run_start: Vec<u32>,
+    /// Secondary key of each run.
+    g2_keys: Vec<u32>,
+    /// Posting range of run `j` is `g2_post_start[j] .. g2_post_start[j+1]`.
+    /// Length `g2_keys.len() + 1`.
+    g2_post_start: Vec<u32>,
+}
+
+impl GroupedPostings {
+    /// Build from postings already sorted by `(primary(p), secondary(p))`.
+    pub fn from_sorted<FP, FS>(postings: Vec<Posting>, primary: FP, secondary: FS) -> Self
+    where
+        FP: Fn(&Posting) -> u32,
+        FS: Fn(&Posting) -> u32,
+    {
+        let mut g1_keys = Vec::new();
+        let mut g1_run_start = vec![0u32];
+        let mut g2_keys = Vec::new();
+        let mut g2_post_start = vec![0u32];
+        let mut i = 0;
+        while i < postings.len() {
+            let pk = primary(&postings[i]);
+            g1_keys.push(pk);
+            while i < postings.len() && primary(&postings[i]) == pk {
+                let sk = secondary(&postings[i]);
+                g2_keys.push(sk);
+                while i < postings.len() && primary(&postings[i]) == pk && secondary(&postings[i]) == sk
+                {
+                    i += 1;
+                }
+                g2_post_start.push(i as u32);
+            }
+            g1_run_start.push(g2_keys.len() as u32);
+        }
+        let out = GroupedPostings {
+            postings,
+            g1_keys,
+            g1_run_start,
+            g2_keys,
+            g2_post_start,
+        };
+        debug_assert!(out.validate());
+        out
+    }
+
+    /// All postings in `(primary, secondary)` order.
+    #[inline]
+    pub fn postings(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Distinct primary keys, ascending.
+    #[inline]
+    pub fn primary_keys(&self) -> &[u32] {
+        &self.g1_keys
+    }
+
+    /// Index of a primary key, if present.
+    #[inline]
+    pub fn find_primary(&self, key: u32) -> Option<usize> {
+        self.g1_keys.binary_search(&key).ok()
+    }
+
+    /// Distinct secondary keys under the `i`-th primary group, ascending.
+    pub fn secondary_keys(&self, i: usize) -> &[u32] {
+        let lo = self.g1_run_start[i] as usize;
+        let hi = self.g1_run_start[i + 1] as usize;
+        &self.g2_keys[lo..hi]
+    }
+
+    /// All postings under the `i`-th primary group.
+    pub fn group_postings(&self, i: usize) -> &[Posting] {
+        let run_lo = self.g1_run_start[i] as usize;
+        let run_hi = self.g1_run_start[i + 1] as usize;
+        let lo = self.g2_post_start[run_lo] as usize;
+        let hi = self.g2_post_start[run_hi] as usize;
+        &self.postings[lo..hi]
+    }
+
+    /// Number of postings under the `i`-th primary group (O(1)).
+    pub fn group_len(&self, i: usize) -> usize {
+        let run_lo = self.g1_run_start[i] as usize;
+        let run_hi = self.g1_run_start[i + 1] as usize;
+        (self.g2_post_start[run_hi] - self.g2_post_start[run_lo]) as usize
+    }
+
+    /// Postings of the run with secondary key `sec` inside the `i`-th
+    /// primary group; empty if absent.
+    pub fn run_postings(&self, i: usize, sec: u32) -> &[Posting] {
+        let run_lo = self.g1_run_start[i] as usize;
+        let run_hi = self.g1_run_start[i + 1] as usize;
+        match self.g2_keys[run_lo..run_hi].binary_search(&sec) {
+            Ok(off) => {
+                let j = run_lo + off;
+                let lo = self.g2_post_start[j] as usize;
+                let hi = self.g2_post_start[j + 1] as usize;
+                &self.postings[lo..hi]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterate `(secondary key, postings)` runs of the `i`-th primary group.
+    pub fn runs(&self, i: usize) -> impl Iterator<Item = (u32, &[Posting])> {
+        let run_lo = self.g1_run_start[i] as usize;
+        let run_hi = self.g1_run_start[i + 1] as usize;
+        (run_lo..run_hi).map(move |j| {
+            let lo = self.g2_post_start[j] as usize;
+            let hi = self.g2_post_start[j + 1] as usize;
+            (self.g2_keys[j], &self.postings[lo..hi])
+        })
+    }
+
+    /// Number of distinct primary keys.
+    pub fn num_primary(&self) -> usize {
+        self.g1_keys.len()
+    }
+
+    /// Total number of postings.
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Whether there are no postings.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Approximate resident bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.postings.len() * std::mem::size_of::<Posting>()
+            + (self.g1_keys.len() + self.g1_run_start.len() + self.g2_keys.len() + self.g2_post_start.len())
+                * 4
+    }
+
+    /// Check the structural invariants (used in debug assertions/tests).
+    pub fn validate(&self) -> bool {
+        if self.g1_run_start.len() != self.g1_keys.len() + 1 {
+            return false;
+        }
+        if self.g2_post_start.len() != self.g2_keys.len() + 1 {
+            return false;
+        }
+        if self.g1_keys.windows(2).any(|w| w[0] >= w[1]) {
+            return false;
+        }
+        for i in 0..self.g1_keys.len() {
+            let runs = self.secondary_keys(i);
+            if runs.windows(2).any(|w| w[0] >= w[1]) {
+                return false;
+            }
+        }
+        self.g2_post_start.last().copied().unwrap_or(0) as usize == self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternId;
+    use patternkb_graph::NodeId;
+
+    fn posting(pattern: u32, root: u32) -> Posting {
+        Posting {
+            pattern: PatternId(pattern),
+            root: NodeId(root),
+            nodes_start: 0,
+            nodes_len: 1,
+            edge_terminal: false,
+            pagerank: 0.0,
+            sim: 0.0,
+        }
+    }
+
+    fn by_pattern(p: &Posting) -> u32 {
+        p.pattern.0
+    }
+    fn by_root(p: &Posting) -> u32 {
+        p.root.0
+    }
+
+    fn sample() -> GroupedPostings {
+        // Sorted by (pattern, root).
+        let postings = vec![
+            posting(1, 5),
+            posting(1, 5),
+            posting(1, 9),
+            posting(3, 2),
+            posting(3, 5),
+            posting(3, 5),
+            posting(3, 5),
+        ];
+        GroupedPostings::from_sorted(postings, by_pattern, by_root)
+    }
+
+    #[test]
+    fn structure() {
+        let g = sample();
+        assert!(g.validate());
+        assert_eq!(g.primary_keys(), &[1, 3]);
+        assert_eq!(g.num_primary(), 2);
+        assert_eq!(g.len(), 7);
+    }
+
+    #[test]
+    fn group_access() {
+        let g = sample();
+        let i1 = g.find_primary(1).unwrap();
+        assert_eq!(g.secondary_keys(i1), &[5, 9]);
+        assert_eq!(g.group_postings(i1).len(), 3);
+        assert_eq!(g.group_len(i1), 3);
+        let i3 = g.find_primary(3).unwrap();
+        assert_eq!(g.secondary_keys(i3), &[2, 5]);
+        assert_eq!(g.group_len(i3), 4);
+        assert_eq!(g.find_primary(2), None);
+    }
+
+    #[test]
+    fn run_access() {
+        let g = sample();
+        let i3 = g.find_primary(3).unwrap();
+        assert_eq!(g.run_postings(i3, 5).len(), 3);
+        assert_eq!(g.run_postings(i3, 2).len(), 1);
+        assert!(g.run_postings(i3, 7).is_empty());
+    }
+
+    #[test]
+    fn runs_iteration() {
+        let g = sample();
+        let i1 = g.find_primary(1).unwrap();
+        let runs: Vec<(u32, usize)> = g.runs(i1).map(|(k, ps)| (k, ps.len())).collect();
+        assert_eq!(runs, vec![(5, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn empty() {
+        let g = GroupedPostings::from_sorted(vec![], by_pattern, by_root);
+        assert!(g.validate());
+        assert!(g.is_empty());
+        assert_eq!(g.find_primary(0), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::pattern::PatternId;
+    use patternkb_graph::NodeId;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// from_sorted over any sorted input yields a structure whose
+        /// group/run slices reproduce exactly the original postings.
+        #[test]
+        fn partition_is_lossless(pairs in proptest::collection::vec((0u32..8, 0u32..8), 0..40)) {
+            let mut pairs = pairs;
+            pairs.sort_unstable();
+            let postings: Vec<Posting> = pairs.iter().map(|&(p, r)| Posting {
+                pattern: PatternId(p),
+                root: NodeId(r),
+                nodes_start: 0,
+                nodes_len: 1,
+                edge_terminal: false,
+                pagerank: 0.0,
+                sim: 0.0,
+            }).collect();
+            let g = GroupedPostings::from_sorted(postings.clone(),
+                |p| p.pattern.0, |p| p.root.0);
+            prop_assert!(g.validate());
+            // Reassemble from runs.
+            let mut rebuilt = Vec::new();
+            for i in 0..g.num_primary() {
+                for (_, ps) in g.runs(i) {
+                    rebuilt.extend_from_slice(ps);
+                }
+            }
+            prop_assert_eq!(rebuilt, postings.clone());
+            // Every (pattern, root) pair can be found through run_postings.
+            for &(p, r) in &pairs {
+                let i = g.find_primary(p).unwrap();
+                let run = g.run_postings(i, r);
+                prop_assert!(run.iter().all(|x| x.pattern.0 == p && x.root.0 == r));
+                let expected = pairs.iter().filter(|&&(a, b)| a == p && b == r).count();
+                prop_assert_eq!(run.len(), expected);
+            }
+        }
+    }
+}

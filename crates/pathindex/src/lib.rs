@@ -1,0 +1,42 @@
+//! # patternkb-index
+//!
+//! Path-pattern based inverted indexes, reproducing Section 3 of the VLDB'14
+//! paper. For each (canonical) keyword `w` the index materializes **all
+//! paths** in the knowledge graph that start at some root `r`, follow a path
+//! pattern `P`, and end at a node or edge containing `w`, with length at most
+//! `d`. The same postings are stored in two sort orders:
+//!
+//! * the **pattern-first** order (Figure 4(a)) — `(pattern, root)` — serving
+//!   `Patterns(w)`, `Roots(w, P)`, `Paths(w, P, r)`;
+//! * the **root-first** order (Figure 4(b)) — `(root, pattern)` — serving
+//!   `Roots(w)`, `Patterns(w, r)`, `Paths(w, r)`, `Paths(w, r, P)`.
+//!
+//! Postings are stored contiguously and sorted, with two-level group-offset
+//! arrays, so every access method is a binary search plus a slice — the
+//! in-memory analogue of the paper's "sort and store paths sequentially in
+//! memory … store pointers pointing to the beginning of a list of paths".
+//!
+//! Per the end of §3, the scoring terms `|T(w)|`, `PR(f(w))` and
+//! `sim(w, f(w))` are **precomputed into each posting**, so online scoring
+//! never touches the graph.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod compress;
+pub mod grouped;
+pub mod incremental;
+pub mod pattern;
+pub mod posting;
+pub mod snapshot;
+pub mod stats;
+pub mod varint;
+pub mod word_index;
+
+pub use build::{build_indexes, BuildConfig};
+pub use compress::{CompressedPathIndexes, CompressedWordIndex};
+pub use incremental::{refresh_indexes, RefreshStats};
+pub use pattern::{PathPattern, PatternId, PatternSet};
+pub use posting::Posting;
+pub use stats::IndexStats;
+pub use word_index::{PathIndexes, WordPathIndex};

@@ -1,0 +1,68 @@
+//! A single index posting: one path, for one word, with precomputed scores.
+
+use crate::pattern::PatternId;
+use patternkb_graph::NodeId;
+
+/// One materialized path ending at a node/edge containing some word.
+///
+/// The concrete node sequence lives in the owning word index's arena
+/// (`nodes_start .. nodes_start + nodes_len`); for edge-terminal paths the
+/// arena slice is `v1 … v_l, leaf` — the leaf is the matched edge's target
+/// and is included so table answers can show the value column (e.g. the
+/// "US$ 77 billion" cell of Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Posting {
+    /// Interned path pattern.
+    pub pattern: PatternId,
+    /// The path's starting node `r`.
+    pub root: NodeId,
+    /// Start of the node sequence in the word arena.
+    pub nodes_start: u32,
+    /// Length of the node sequence (explicit nodes, plus leaf if
+    /// edge-terminal). Equals the paper's `|T(w)|` scoring length.
+    pub nodes_len: u16,
+    /// Whether the word is matched on the final edge.
+    pub edge_terminal: bool,
+    /// Precomputed `PR(f(w))` — PageRank of the matched node, or of the
+    /// edge's source node for edge matches (Eq. (5)).
+    pub pagerank: f64,
+    /// Precomputed `sim(w, f(w))` — Jaccard of the keyword against the
+    /// matched element's text (Eq. (6)).
+    pub sim: f64,
+}
+
+impl Posting {
+    /// The scoring length `|T(w)|` (number of nodes on the path, counting
+    /// the implied leaf of an edge match; DESIGN.md §2).
+    #[inline]
+    pub fn score_len(&self) -> u32 {
+        self.nodes_len as u32
+    }
+
+    /// Range into the word arena.
+    #[inline]
+    pub fn node_range(&self) -> std::ops::Range<usize> {
+        let s = self.nodes_start as usize;
+        s..s + self.nodes_len as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges() {
+        let p = Posting {
+            pattern: PatternId(0),
+            root: NodeId(3),
+            nodes_start: 10,
+            nodes_len: 3,
+            edge_terminal: true,
+            pagerank: 0.5,
+            sim: 1.0,
+        };
+        assert_eq!(p.node_range(), 10..13);
+        assert_eq!(p.score_len(), 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Versioned binary snapshots of built [`PathIndexes`].
+//!
+//! Figure 6 shows index construction dominating setup cost (hours at the
+//! paper's scale), so a production deployment builds once and reloads. The
+//! codec stores the pattern interner and, per word, the arena plus the
+//! postings in pattern-first order; the root-first order is re-derived on
+//! load (a sort is ~50× cheaper than the DFS enumeration and keeps the two
+//! orders impossible to desynchronize).
+//!
+//! Layout (little endian):
+//!
+//! ```text
+//! magic "PKBI" | u32 version | u32 d |
+//! u32 npatterns | npatterns × (u32 len | len × u32)      -- pattern keys
+//! u32 nwords | nwords × word block
+//! word block = u32 word | u32 arena_len | arena_len × u32 |
+//!              u32 nposts | nposts × posting
+//! posting = u32 pattern | u32 root | u32 nodes_start | u16 nodes_len |
+//!           u8 edge_terminal | f64 pagerank | f64 sim
+//! ```
+
+use crate::pattern::{PatternId, PatternSet};
+use crate::posting::Posting;
+use crate::word_index::{PathIndexes, WordPathIndex};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use patternkb_graph::{FxHashMap, NodeId, WordId};
+
+const MAGIC: &[u8; 4] = b"PKBI";
+const VERSION: u32 = 1;
+
+/// Errors from [`decode`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Input does not start with the `PKBI` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// Input ended early or a length prefix overruns the buffer.
+    Truncated,
+    /// A posting referenced an out-of-range pattern or arena slot.
+    BadReference,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a patternkb index snapshot"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported index snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "index snapshot is truncated"),
+            SnapshotError::BadReference => write!(f, "index snapshot contains out-of-range id"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), SnapshotError> {
+    if buf.remaining() < n {
+        Err(SnapshotError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Serialize built indexes to a byte buffer.
+pub fn encode(idx: &PathIndexes) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64 + idx.heap_bytes());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(idx.d() as u32);
+
+    let patterns = idx.patterns();
+    buf.put_u32_le(patterns.len() as u32);
+    for i in 0..patterns.len() {
+        let key = patterns.key(PatternId(i as u32));
+        buf.put_u32_le(key.len() as u32);
+        for &v in key {
+            buf.put_u32_le(v);
+        }
+    }
+
+    let mut words: Vec<(WordId, &WordPathIndex)> = idx.iter_words().collect();
+    words.sort_by_key(|(w, _)| *w);
+    buf.put_u32_le(words.len() as u32);
+    for (w, widx) in words {
+        buf.put_u32_le(w.0);
+        let arena = widx.arena();
+        buf.put_u32_le(arena.len() as u32);
+        for &n in arena {
+            buf.put_u32_le(n.0);
+        }
+        let postings = widx.postings_pattern_first();
+        buf.put_u32_le(postings.len() as u32);
+        for p in postings {
+            buf.put_u32_le(p.pattern.0);
+            buf.put_u32_le(p.root.0);
+            buf.put_u32_le(p.nodes_start);
+            buf.put_u16_le(p.nodes_len);
+            buf.put_u8(p.edge_terminal as u8);
+            buf.put_f64_le(p.pagerank);
+            buf.put_f64_le(p.sim);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Deserialize indexes previously produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<PathIndexes, SnapshotError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    need(&buf, 12)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let d = buf.get_u32_le() as usize;
+
+    need(&buf, 4)?;
+    let npatterns = buf.get_u32_le() as usize;
+    let mut patterns = PatternSet::new();
+    let mut key = Vec::new();
+    for expected in 0..npatterns {
+        need(&buf, 4)?;
+        let len = buf.get_u32_le() as usize;
+        need(&buf, 4 * len)?;
+        key.clear();
+        for _ in 0..len {
+            key.push(buf.get_u32_le());
+        }
+        let id = patterns.intern_key(&key);
+        if id.0 as usize != expected {
+            // Duplicate keys would permute ids and corrupt postings.
+            return Err(SnapshotError::BadReference);
+        }
+    }
+
+    need(&buf, 4)?;
+    let nwords = buf.get_u32_le() as usize;
+    let mut words: FxHashMap<WordId, WordPathIndex> =
+        patternkb_graph::fxhash::map_with_capacity(nwords);
+    for _ in 0..nwords {
+        need(&buf, 8)?;
+        let w = WordId(buf.get_u32_le());
+        let arena_len = buf.get_u32_le() as usize;
+        need(&buf, 4 * arena_len + 4)?;
+        let mut arena = Vec::with_capacity(arena_len);
+        for _ in 0..arena_len {
+            arena.push(NodeId(buf.get_u32_le()));
+        }
+        let nposts = buf.get_u32_le() as usize;
+        let mut postings = Vec::with_capacity(nposts);
+        for _ in 0..nposts {
+            need(&buf, 4 + 4 + 4 + 2 + 1 + 8 + 8)?;
+            let pattern = PatternId(buf.get_u32_le());
+            let root = NodeId(buf.get_u32_le());
+            let nodes_start = buf.get_u32_le();
+            let nodes_len = buf.get_u16_le();
+            let edge_terminal = buf.get_u8() != 0;
+            let pagerank = buf.get_f64_le();
+            let sim = buf.get_f64_le();
+            if pattern.0 as usize >= npatterns
+                || (nodes_start as usize + nodes_len as usize) > arena_len
+            {
+                return Err(SnapshotError::BadReference);
+            }
+            postings.push(Posting {
+                pattern,
+                root,
+                nodes_start,
+                nodes_len,
+                edge_terminal,
+                pagerank,
+                sim,
+            });
+        }
+        words.insert(w, WordPathIndex::new(postings, arena));
+    }
+    Ok(PathIndexes::new(d, patterns, words))
+}
+
+/// Write an index snapshot to `path`.
+pub fn save(idx: &PathIndexes, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(idx))
+}
+
+/// Read an index snapshot from `path`.
+pub fn load(path: &std::path::Path) -> std::io::Result<PathIndexes> {
+    let data = std::fs::read(path)?;
+    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_indexes, BuildConfig};
+    use patternkb_graph::GraphBuilder;
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    fn sample() -> PathIndexes {
+        let mut b = GraphBuilder::new();
+        let soft = b.add_type("Software");
+        let comp = b.add_type("Company");
+        let dev = b.add_attr("Developer");
+        let rev = b.add_attr("Revenue");
+        let sql = b.add_node(soft, "SQL Server");
+        let ms = b.add_node(comp, "Microsoft");
+        b.add_edge(sql, dev, ms);
+        b.add_text_edge(ms, rev, "US$ 77 billion");
+        let g = b.build();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 })
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let idx = sample();
+        let decoded = decode(&encode(&idx)).expect("decode");
+        assert_eq!(decoded.d(), idx.d());
+        assert_eq!(decoded.num_words(), idx.num_words());
+        assert_eq!(decoded.num_postings(), idx.num_postings());
+        assert_eq!(decoded.patterns().len(), idx.patterns().len());
+        for (w, widx) in idx.iter_words() {
+            let dw = decoded.word(w).expect("word survives");
+            assert_eq!(dw.len(), widx.len());
+            assert_eq!(dw.arena(), widx.arena());
+            assert_eq!(dw.postings_pattern_first(), widx.postings_pattern_first());
+            // Both access orders behave identically.
+            assert_eq!(dw.roots(), widx.roots());
+            let pats_a: Vec<_> = widx.patterns().collect();
+            let pats_b: Vec<_> = dw.patterns().collect();
+            assert_eq!(pats_a, pats_b);
+        }
+        // Pattern keys identical.
+        for i in 0..idx.patterns().len() {
+            let id = PatternId(i as u32);
+            assert_eq!(idx.patterns().key(id), decoded.patterns().key(id));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode(b"xx").unwrap_err(), SnapshotError::Truncated);
+        assert_eq!(
+            decode(b"XXXXaaaaaaaaaaaa").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut data = encode(&sample());
+        data[4] = 99;
+        assert_eq!(decode(&data).unwrap_err(), SnapshotError::BadVersion(99));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let data = encode(&sample());
+        for cut in [4, 13, 30, data.len() / 3, data.len() - 3] {
+            assert!(decode(&data[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let idx = sample();
+        let dir = std::env::temp_dir().join("patternkb_index_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.pkbi");
+        save(&idx, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.num_postings(), idx.num_postings());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,288 @@
+//! The per-word path index and the top-level [`PathIndexes`] handle.
+
+use crate::grouped::GroupedPostings;
+use crate::pattern::{PatternId, PatternSet};
+use crate::posting::Posting;
+use patternkb_graph::{FxHashMap, NodeId, WordId};
+
+/// Both sort orders of the postings of one word, sharing one node arena.
+#[derive(Clone, Debug, Default)]
+pub struct WordPathIndex {
+    /// Node sequences of all paths, referenced by `Posting::nodes_start`.
+    arena: Vec<NodeId>,
+    /// Pattern-first order: primary = pattern, secondary = root (Fig. 4(a)).
+    pattern_first: GroupedPostings,
+    /// Root-first order: primary = root, secondary = pattern (Fig. 4(b)).
+    root_first: GroupedPostings,
+}
+
+impl WordPathIndex {
+    /// Assemble from unsorted postings plus their shared arena.
+    pub fn new(mut postings: Vec<Posting>, arena: Vec<NodeId>) -> Self {
+        postings.sort_unstable_by_key(|p| (p.pattern.0, p.root.0, p.nodes_start));
+        let pattern_first =
+            GroupedPostings::from_sorted(postings.clone(), |p| p.pattern.0, |p| p.root.0);
+        postings.sort_unstable_by_key(|p| (p.root.0, p.pattern.0, p.nodes_start));
+        let root_first = GroupedPostings::from_sorted(postings, |p| p.root.0, |p| p.pattern.0);
+        WordPathIndex {
+            arena,
+            pattern_first,
+            root_first,
+        }
+    }
+
+    /// The node sequence of a posting.
+    #[inline]
+    pub fn nodes_of(&self, p: &Posting) -> &[NodeId] {
+        &self.arena[p.node_range()]
+    }
+
+    // --- Pattern-first access methods (Figure 4(a)) --------------------
+
+    /// `Patterns(w)`: all patterns following which some root reaches the
+    /// word, ascending by pattern id.
+    pub fn patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
+        self.pattern_first.primary_keys().iter().map(|&k| PatternId(k))
+    }
+
+    /// `Roots(w, P)`: all roots reaching the word through pattern `p`,
+    /// ascending. Empty iterator if the pattern is absent.
+    pub fn roots_of_pattern(&self, p: PatternId) -> &[u32] {
+        match self.pattern_first.find_primary(p.0) {
+            Some(i) => self.pattern_first.secondary_keys(i),
+            None => &[],
+        }
+    }
+
+    /// `Paths(w, P, r)`: all paths with pattern `p` starting at `root`.
+    pub fn paths_of_pattern_root(&self, p: PatternId, root: NodeId) -> &[Posting] {
+        match self.pattern_first.find_primary(p.0) {
+            Some(i) => self.pattern_first.run_postings(i, root.0),
+            None => &[],
+        }
+    }
+
+    /// All paths with pattern `p` (any root), in root order.
+    pub fn paths_of_pattern(&self, p: PatternId) -> &[Posting] {
+        match self.pattern_first.find_primary(p.0) {
+            Some(i) => self.pattern_first.group_postings(i),
+            None => &[],
+        }
+    }
+
+    // --- Root-first access methods (Figure 4(b)) -----------------------
+
+    /// `Roots(w)`: all roots that can reach the word, ascending.
+    pub fn roots(&self) -> &[u32] {
+        self.root_first.primary_keys()
+    }
+
+    /// `Patterns(w, r)`: all patterns through which `root` reaches the word.
+    pub fn patterns_of_root(&self, root: NodeId) -> &[u32] {
+        match self.root_first.find_primary(root.0) {
+            Some(i) => self.root_first.secondary_keys(i),
+            None => &[],
+        }
+    }
+
+    /// `Paths(w, r)`: all paths from `root` to the word (any pattern), in
+    /// pattern order.
+    pub fn paths_of_root(&self, root: NodeId) -> &[Posting] {
+        match self.root_first.find_primary(root.0) {
+            Some(i) => self.root_first.group_postings(i),
+            None => &[],
+        }
+    }
+
+    /// `|Paths(w, r)|` in O(log): used by Algorithm 4 line 4 to compute
+    /// `N_R` without enumerating subtrees.
+    pub fn num_paths_of_root(&self, root: NodeId) -> usize {
+        match self.root_first.find_primary(root.0) {
+            Some(i) => self.root_first.group_len(i),
+            None => 0,
+        }
+    }
+
+    /// `Paths(w, r, P)`: all paths from `root` with pattern `p`.
+    pub fn paths_of_root_pattern(&self, root: NodeId, p: PatternId) -> &[Posting] {
+        match self.root_first.find_primary(root.0) {
+            Some(i) => self.root_first.run_postings(i, p.0),
+            None => &[],
+        }
+    }
+
+    /// Iterate `(pattern, paths)` runs of one root.
+    pub fn root_runs(&self, root: NodeId) -> impl Iterator<Item = (PatternId, &[Posting])> {
+        let idx = self.root_first.find_primary(root.0);
+        idx.into_iter()
+            .flat_map(move |i| self.root_first.runs(i).map(|(k, ps)| (PatternId(k), ps)))
+    }
+
+    /// All postings in pattern-first order (used by the snapshot codec).
+    pub fn postings_pattern_first(&self) -> &[Posting] {
+        self.pattern_first.postings()
+    }
+
+    /// The shared node arena (used by the snapshot codec).
+    pub fn arena(&self) -> &[NodeId] {
+        &self.arena
+    }
+
+    /// Total number of postings (identical in both orders).
+    pub fn len(&self) -> usize {
+        self.pattern_first.len()
+    }
+
+    /// Whether the word has no paths.
+    pub fn is_empty(&self) -> bool {
+        self.pattern_first.is_empty()
+    }
+
+    /// Approximate resident bytes (both orders + arena).
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.len() * 4 + self.pattern_first.heap_bytes() + self.root_first.heap_bytes()
+    }
+}
+
+/// All per-word indexes plus the shared pattern set: the queryable handle
+/// produced by [`crate::build::build_indexes`].
+pub struct PathIndexes {
+    /// Height threshold `d` the index was built for.
+    d: usize,
+    patterns: PatternSet,
+    words: FxHashMap<WordId, WordPathIndex>,
+}
+
+impl PathIndexes {
+    pub(crate) fn new(d: usize, patterns: PatternSet, words: FxHashMap<WordId, WordPathIndex>) -> Self {
+        PathIndexes { d, patterns, words }
+    }
+
+    /// The height threshold `d` this index supports.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The shared pattern interner.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// The per-word index for `w`; `None` when the word never occurs within
+    /// distance `d` of any root (which, since every node is a root of its
+    /// own trivial path, means the word is absent from the KB).
+    pub fn word(&self, w: WordId) -> Option<&WordPathIndex> {
+        self.words.get(&w)
+    }
+
+    /// Iterate all `(word, index)` pairs.
+    pub fn iter_words(&self) -> impl Iterator<Item = (WordId, &WordPathIndex)> {
+        self.words.iter().map(|(&w, idx)| (w, idx))
+    }
+
+    /// Number of indexed words.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Total postings over all words.
+    pub fn num_postings(&self) -> usize {
+        self.words.values().map(WordPathIndex::len).sum()
+    }
+
+    /// Approximate resident bytes of everything.
+    pub fn heap_bytes(&self) -> usize {
+        self.patterns.heap_bytes()
+            + self
+                .words
+                .values()
+                .map(WordPathIndex::heap_bytes)
+                .sum::<usize>()
+            + self.words.len() * 48
+    }
+}
+
+impl std::fmt::Debug for PathIndexes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PathIndexes {{ d: {}, words: {}, postings: {}, patterns: {} }}",
+            self.d,
+            self.num_words(),
+            self.num_postings(),
+            self.patterns.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posting(pattern: u32, root: u32, start: u32, len: u16) -> Posting {
+        Posting {
+            pattern: PatternId(pattern),
+            root: NodeId(root),
+            nodes_start: start,
+            nodes_len: len,
+            edge_terminal: false,
+            pagerank: 1.0,
+            sim: 1.0,
+        }
+    }
+
+    fn sample() -> WordPathIndex {
+        // Arena: [n0, n1 | n2 | n3, n4]
+        let arena = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        let postings = vec![
+            posting(2, 0, 0, 2), // pattern 2, root 0
+            posting(1, 2, 2, 1), // pattern 1, root 2
+            posting(2, 3, 3, 2), // pattern 2, root 3
+        ];
+        WordPathIndex::new(postings, arena)
+    }
+
+    #[test]
+    fn pattern_first_access() {
+        let idx = sample();
+        let pats: Vec<_> = idx.patterns().collect();
+        assert_eq!(pats, vec![PatternId(1), PatternId(2)]);
+        assert_eq!(idx.roots_of_pattern(PatternId(2)), &[0, 3]);
+        assert_eq!(idx.roots_of_pattern(PatternId(9)), &[] as &[u32]);
+        let paths = idx.paths_of_pattern_root(PatternId(2), NodeId(3));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(idx.nodes_of(&paths[0]), &[NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn root_first_access() {
+        let idx = sample();
+        assert_eq!(idx.roots(), &[0, 2, 3]);
+        assert_eq!(idx.patterns_of_root(NodeId(0)), &[2]);
+        assert_eq!(idx.patterns_of_root(NodeId(7)), &[] as &[u32]);
+        assert_eq!(idx.paths_of_root(NodeId(2)).len(), 1);
+        assert_eq!(idx.num_paths_of_root(NodeId(2)), 1);
+        assert_eq!(idx.num_paths_of_root(NodeId(9)), 0);
+        let runs: Vec<_> = idx.root_runs(NodeId(0)).map(|(p, ps)| (p, ps.len())).collect();
+        assert_eq!(runs, vec![(PatternId(2), 1)]);
+    }
+
+    #[test]
+    fn both_orders_hold_same_postings() {
+        let idx = sample();
+        assert_eq!(idx.len(), 3);
+        let mut via_pattern: Vec<_> = idx
+            .patterns()
+            .flat_map(|p| idx.paths_of_pattern(p).to_vec())
+            .collect();
+        let mut via_root: Vec<_> = idx
+            .roots()
+            .iter()
+            .flat_map(|&r| idx.paths_of_root(NodeId(r)).to_vec())
+            .collect();
+        let key = |p: &Posting| (p.pattern.0, p.root.0, p.nodes_start);
+        via_pattern.sort_unstable_by_key(key);
+        via_root.sort_unstable_by_key(key);
+        assert_eq!(via_pattern, via_root);
+    }
+}

@@ -1,0 +1,192 @@
+//! Index correctness against a brute-force oracle.
+//!
+//! For random Wiki-like graphs, the set of `(word, pattern, root, path)`
+//! postings produced by Algorithm 1 must equal an independent brute-force
+//! enumeration straight off the graph, and the two sort orders (Figure
+//! 4(a) and 4(b)) must expose exactly the same postings through their
+//! access methods.
+
+use patternkb_datagen::wiki::{wiki, WikiConfig};
+use patternkb_graph::ids::Id;
+use patternkb_graph::{traversal, KnowledgeGraph, NodeId, WordId};
+use patternkb_index::{build_indexes, BuildConfig, PathIndexes};
+use patternkb_text::{SynonymTable, TextIndex};
+use std::collections::BTreeSet;
+
+/// Canonical form of one posting: (word, encoded pattern, root, node
+/// sequence, edge-terminal flag).
+type Canon = (u32, Vec<u32>, u32, Vec<u32>, bool);
+
+/// Brute-force enumeration of every expected posting.
+fn brute_force(g: &KnowledgeGraph, text: &TextIndex, d: usize) -> BTreeSet<Canon> {
+    let mut out = BTreeSet::new();
+    for root in g.nodes() {
+        traversal::for_each_path(g, root, d, |nodes, attrs| {
+            let l = nodes.len();
+            let t = *nodes.last().unwrap();
+            let t_type = g.node_type(t);
+            // Node-terminal postings.
+            let mut words: Vec<WordId> = text
+                .node_tokens(t)
+                .iter()
+                .chain(text.type_tokens(t_type))
+                .copied()
+                .collect();
+            words.sort_unstable();
+            words.dedup();
+            let mut key = vec![(l as u32) << 1];
+            for j in 0..l {
+                key.push(g.node_type(nodes[j]).as_u32() );
+                if j < attrs.len() {
+                    key.push(attrs[j].as_u32());
+                }
+            }
+            for &w in &words {
+                out.insert((
+                    w.as_u32(),
+                    key.clone(),
+                    root.as_u32(),
+                    nodes.iter().map(|n| n.as_u32()).collect(),
+                    false,
+                ));
+            }
+            // Edge-terminal postings.
+            if l < d {
+                for (attr, target) in g.out_edges(t) {
+                    if nodes.contains(&target) {
+                        continue;
+                    }
+                    let attr_words = text.attr_tokens(attr);
+                    if attr_words.is_empty() {
+                        continue;
+                    }
+                    let mut ekey = vec![((l as u32) << 1) | 1];
+                    for j in 0..l {
+                        ekey.push(g.node_type(nodes[j]).as_u32());
+                        if j < attrs.len() {
+                            ekey.push(attrs[j].as_u32());
+                        }
+                    }
+                    ekey.push(attr.as_u32());
+                    let mut enodes: Vec<u32> = nodes.iter().map(|n| n.as_u32()).collect();
+                    enodes.push(target.as_u32());
+                    for &w in attr_words {
+                        out.insert((w.as_u32(), ekey.clone(), root.as_u32(), enodes.clone(), true));
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Extract the canonical posting set through the pattern-first order.
+fn via_pattern_first(idx: &PathIndexes) -> BTreeSet<Canon> {
+    let mut out = BTreeSet::new();
+    for (w, widx) in idx.iter_words() {
+        for pat in widx.patterns() {
+            let key = idx.patterns().key(pat).to_vec();
+            for &r in widx.roots_of_pattern(pat) {
+                for p in widx.paths_of_pattern_root(pat, NodeId(r)) {
+                    out.insert((
+                        w.as_u32(),
+                        key.clone(),
+                        r,
+                        widx.nodes_of(p).iter().map(|n| n.as_u32()).collect(),
+                        p.edge_terminal,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extract the canonical posting set through the root-first order.
+fn via_root_first(idx: &PathIndexes) -> BTreeSet<Canon> {
+    let mut out = BTreeSet::new();
+    for (w, widx) in idx.iter_words() {
+        for &r in widx.roots() {
+            for (pat, paths) in widx.root_runs(NodeId(r)) {
+                let key = idx.patterns().key(pat).to_vec();
+                for p in paths {
+                    out.insert((
+                        w.as_u32(),
+                        key.clone(),
+                        r,
+                        widx.nodes_of(p).iter().map(|n| n.as_u32()).collect(),
+                        p.edge_terminal,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check(seed: u64, d: usize) {
+    let g = wiki(&WikiConfig {
+        entities: 150,
+        types: 6,
+        attrs_per_type: 3,
+        attr_pool: 6,
+        vocab: 40,
+        avg_degree: 3.0,
+        value_pool: 15,
+        seed,
+        ..WikiConfig::default()
+    });
+    let text = TextIndex::build(&g, SynonymTable::new());
+    let idx = build_indexes(&g, &text, &BuildConfig { d, threads: 2 });
+    let expected = brute_force(&g, &text, d);
+    let pf = via_pattern_first(&idx);
+    let rf = via_root_first(&idx);
+    assert_eq!(pf.len(), idx.num_postings(), "seed {seed} d {d}");
+    assert_eq!(pf, expected, "pattern-first vs brute force, seed {seed} d {d}");
+    assert_eq!(rf, expected, "root-first vs brute force, seed {seed} d {d}");
+}
+
+#[test]
+fn indexes_match_brute_force_d2() {
+    for seed in 0..4 {
+        check(seed, 2);
+    }
+}
+
+#[test]
+fn indexes_match_brute_force_d3() {
+    for seed in 0..4 {
+        check(seed, 3);
+    }
+}
+
+#[test]
+fn indexes_match_brute_force_d4() {
+    check(7, 4);
+}
+
+#[test]
+fn num_paths_of_root_is_consistent() {
+    let g = wiki(&WikiConfig::tiny(5));
+    let text = TextIndex::build(&g, SynonymTable::new());
+    let idx = build_indexes(&g, &text, &BuildConfig { d: 3, threads: 0 });
+    for (_, widx) in idx.iter_words() {
+        for &r in widx.roots() {
+            let counted = widx.paths_of_root(NodeId(r)).len();
+            assert_eq!(widx.num_paths_of_root(NodeId(r)), counted);
+            let via_runs: usize = widx.root_runs(NodeId(r)).map(|(_, ps)| ps.len()).sum();
+            assert_eq!(via_runs, counted);
+        }
+    }
+}
+
+#[test]
+fn snapshot_of_real_index_roundtrips() {
+    let g = wiki(&WikiConfig::tiny(11));
+    let text = TextIndex::build(&g, SynonymTable::new());
+    let idx = build_indexes(&g, &text, &BuildConfig { d: 3, threads: 0 });
+    let decoded = patternkb_index::snapshot::decode(&patternkb_index::snapshot::encode(&idx))
+        .expect("decode");
+    assert_eq!(via_pattern_first(&idx), via_pattern_first(&decoded));
+    assert_eq!(via_root_first(&idx), via_root_first(&decoded));
+}

@@ -1,0 +1,168 @@
+//! Property test: incremental index refresh is semantically identical to a
+//! full rebuild, for arbitrary small graphs and arbitrary mutation batches.
+
+use proptest::prelude::*;
+
+use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+use patternkb_graph::{GraphBuilder, KnowledgeGraph, NodeId};
+use patternkb_index::{build_indexes, refresh_indexes, BuildConfig, PathIndexes};
+use patternkb_text::{SynonymTable, TextIndex};
+
+/// A word pool small enough that keywords collide across nodes, exercising
+/// multi-root posting lists.
+const WORDS: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "omega", "kernel", "driver", "engine",
+];
+const TYPES: &[&str] = &["Device", "Vendor", "Protocol"];
+const ATTRS: &[&str] = &["maker", "speaks", "replaces"];
+
+#[derive(Clone, Debug)]
+struct RandomGraph {
+    nodes: Vec<(usize, usize)>,         // (type idx, word idx)
+    edges: Vec<(usize, usize, usize)>,  // (source, attr idx, target)
+}
+
+fn graph_strategy() -> impl Strategy<Value = RandomGraph> {
+    (2usize..10).prop_flat_map(|n| {
+        let nodes = proptest::collection::vec((0..TYPES.len(), 0..WORDS.len()), n);
+        let edges = proptest::collection::vec((0..n, 0..ATTRS.len(), 0..n), 0..(2 * n));
+        (nodes, edges).prop_map(|(nodes, edges)| RandomGraph { nodes, edges })
+    })
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Add a node of TYPES[t] with text WORDS[w].
+    AddNode { t: usize, w: usize },
+    /// Add edge between node indices (mod current node count).
+    AddEdge { s: usize, a: usize, t: usize },
+    /// Remove the i-th existing edge (mod edge count), if any.
+    RemoveEdge { i: usize },
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..TYPES.len(), 0..WORDS.len()).prop_map(|(t, w)| Op::AddNode { t, w }),
+            (0..64usize, 0..ATTRS.len(), 0..64usize)
+                .prop_map(|(s, a, t)| Op::AddEdge { s, a, t }),
+            (0..64usize).prop_map(|i| Op::RemoveEdge { i }),
+        ],
+        1..8,
+    )
+}
+
+fn build_graph(rg: &RandomGraph) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    let types: Vec<_> = TYPES.iter().map(|t| b.add_type(t)).collect();
+    let attrs: Vec<_> = ATTRS.iter().map(|a| b.add_attr(a)).collect();
+    let nodes: Vec<_> = rg
+        .nodes
+        .iter()
+        .map(|&(t, w)| b.add_node(types[t], WORDS[w]))
+        .collect();
+    for &(s, a, t) in &rg.edges {
+        b.add_edge(nodes[s], attrs[a], nodes[t]);
+    }
+    b.build()
+}
+
+/// Apply the op list as a delta, skipping ops the validator rejects (the
+/// point here is index equivalence, not delta validation, which has its own
+/// unit tests).
+fn build_delta(g: &KnowledgeGraph, ops: &[Op]) -> GraphDelta {
+    let mut d = GraphDelta::new(g);
+    let mut nodes = g.num_nodes();
+    let existing: Vec<_> = g.edges().collect();
+    let mut removed: Vec<(NodeId, patternkb_graph::AttrId, NodeId)> = Vec::new();
+    let mut added: Vec<(NodeId, patternkb_graph::AttrId, NodeId)> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::AddNode { t, w } => {
+                let tid = g.type_by_text(TYPES[t]).unwrap();
+                d.add_node(tid, WORDS[w]).unwrap();
+                nodes += 1;
+            }
+            Op::AddEdge { s, a, t } => {
+                let s = NodeId((s % nodes) as u32);
+                let t = NodeId((t % nodes) as u32);
+                let a = g.attr_by_text(ATTRS[a]).unwrap();
+                let survives = g.has_edge(s, a, t) && !removed.contains(&(s, a, t));
+                if !survives && !added.contains(&(s, a, t)) {
+                    d.add_edge(s, a, t).unwrap();
+                    added.push((s, a, t));
+                }
+            }
+            Op::RemoveEdge { i } => {
+                if existing.is_empty() {
+                    continue;
+                }
+                let e = existing[i % existing.len()];
+                if !removed.contains(&(e.source, e.attr, e.target))
+                    && !added.contains(&(e.source, e.attr, e.target))
+                {
+                    d.remove_edge(e.source, e.attr, e.target).unwrap();
+                    removed.push((e.source, e.attr, e.target));
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Project an index to a canonical, id-free form.
+fn canon(
+    idx: &PathIndexes,
+    text: &TextIndex,
+) -> Vec<(String, Vec<(Vec<u32>, Vec<NodeId>, bool, u64, u64)>)> {
+    let mut v: Vec<_> = idx
+        .iter_words()
+        .map(|(w, widx)| {
+            let mut rows: Vec<_> = widx
+                .postings_pattern_first()
+                .iter()
+                .map(|p| {
+                    (
+                        idx.patterns().key(p.pattern).to_vec(),
+                        widx.nodes_of(p).to_vec(),
+                        p.edge_terminal,
+                        p.pagerank.to_bits(),
+                        p.sim.to_bits(),
+                    )
+                })
+                .collect();
+            rows.sort();
+            (text.vocab().resolve(w).to_string(), rows)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_refresh_equals_full_rebuild(
+        rg in graph_strategy(),
+        ops in ops_strategy(),
+        d in 2usize..5,
+        recompute in proptest::bool::ANY,
+    ) {
+        let cfg = BuildConfig { d, threads: 1 };
+        let g = build_graph(&rg);
+        let old_text = TextIndex::build(&g, SynonymTable::new());
+        let old_idx = build_indexes(&g, &old_text, &cfg);
+
+        let delta = build_delta(&g, &ops);
+        let mode = if recompute { PagerankMode::Recompute } else { PagerankMode::Frozen };
+        let g2 = delta.apply(&g, mode).expect("filtered delta always applies");
+        let new_text = TextIndex::build(&g2, SynonymTable::new());
+
+        let full = build_indexes(&g2, &new_text, &cfg);
+        let (incr, _) = refresh_indexes(
+            &old_idx, &g, &g2, &old_text, &new_text, &delta.dirty_nodes(), recompute,
+        );
+        prop_assert_eq!(canon(&full, &new_text), canon(&incr, &new_text));
+    }
+}

@@ -1,0 +1,462 @@
+//! Admissible score upper bounds for pruning `PATTERNENUM`.
+//!
+//! Algorithm 2's weakness is the `Θ(p^m)` pattern combinations it
+//! intersects (§4.1); most are empty or low-scoring. This module extends it
+//! with a classic top-k device the paper leaves on the table: before
+//! intersecting a combination `P = (P₁ … P_m)`, compute a cheap **upper
+//! bound** on `score(P, q)` from per-`(keyword, path-pattern)` aggregates,
+//! and skip the combination outright when the bound cannot beat the current
+//! k-th best score.
+//!
+//! The bound is *admissible* for the whole scoring class of §2.2.3:
+//!
+//! * every subtree score is `len_sum^z1 · pr_sum^z2 · sim_sum^z3` with each
+//!   factor sum decomposing over keywords, so replacing each per-keyword
+//!   term with its per-`(word, pattern)` extreme (min for negative
+//!   exponents, max for positive ones) bounds any single subtree's score;
+//! * `|trees(P)| = Σ_r Π_i |Paths(wᵢ, Pᵢ, r)|` is bounded by
+//!   `min_i(nᵢ · Π_{j≠i} max_per_root_j)` where `nᵢ` is pattern `Pᵢ`'s total
+//!   path count and `max_per_root_j` the largest per-root group;
+//! * `Sum ≤ count·max`, `Avg ≤ max`, `Max ≤ max`, `Count ≤ count`.
+//!
+//! A `1 + 1e-9` slack factor absorbs floating-point non-associativity, so
+//! pruning never changes the reported top-k (asserted by agreement tests
+//! and the workload test below). The win is largest exactly where
+//! `PATTERNENUM` hurts: many-pattern queries where most combinations are
+//! empty yet each costs an intersection.
+
+use crate::common::{for_each_path_tuple, intersect_sorted, materialize_tree, QueryContext};
+use crate::result::{QueryStats, RankedPattern, SearchResult};
+use crate::score::{Aggregation, ScoreAcc};
+use crate::subtree::node_slices_form_tree;
+use crate::SearchConfig;
+use patternkb_graph::{FxHashMap, NodeId, TypeId};
+use patternkb_index::{PatternId, Posting, WordPathIndex};
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Multiplicative slack absorbing float rounding between the bound
+/// arithmetic and the exact score arithmetic.
+const SLACK: f64 = 1.0 + 1e-9;
+
+/// Per-`(keyword, path-pattern)` aggregates backing the bound.
+#[derive(Clone, Copy, Debug)]
+pub struct PatternAggregates {
+    /// Total paths with this pattern (over all roots).
+    pub num_paths: u32,
+    /// Largest number of paths under a single root.
+    pub max_per_root: u32,
+    /// Extremes of the per-path scoring terms.
+    pub min_len: f64,
+    /// Maximum path length.
+    pub max_len: f64,
+    /// Minimum cached PageRank.
+    pub min_pr: f64,
+    /// Maximum cached PageRank.
+    pub max_pr: f64,
+    /// Minimum cached similarity.
+    pub min_sim: f64,
+    /// Maximum cached similarity.
+    pub max_sim: f64,
+}
+
+impl PatternAggregates {
+    /// Scan one pattern's postings (sorted by root) once.
+    fn scan(widx: &WordPathIndex, p: PatternId) -> Self {
+        let paths = widx.paths_of_pattern(p);
+        debug_assert!(!paths.is_empty());
+        let mut agg = PatternAggregates {
+            num_paths: paths.len() as u32,
+            max_per_root: 0,
+            min_len: f64::INFINITY,
+            max_len: 0.0,
+            min_pr: f64::INFINITY,
+            max_pr: 0.0,
+            min_sim: f64::INFINITY,
+            max_sim: 0.0,
+        };
+        let mut run = 0u32;
+        let mut prev_root = u32::MAX;
+        for post in paths {
+            let len = post.score_len() as f64;
+            agg.min_len = agg.min_len.min(len);
+            agg.max_len = agg.max_len.max(len);
+            agg.min_pr = agg.min_pr.min(post.pagerank);
+            agg.max_pr = agg.max_pr.max(post.pagerank);
+            agg.min_sim = agg.min_sim.min(post.sim);
+            agg.max_sim = agg.max_sim.max(post.sim);
+            if post.root.0 == prev_root {
+                run += 1;
+            } else {
+                prev_root = post.root.0;
+                run = 1;
+            }
+            agg.max_per_root = agg.max_per_root.max(run);
+        }
+        agg
+    }
+}
+
+/// `x^z` picking the interval endpoint that maximizes the factor.
+#[inline]
+fn factor_bound(min: f64, max: f64, z: f64) -> f64 {
+    let x = if z >= 0.0 { max } else { min };
+    crate::score::powz(x, z)
+}
+
+/// Upper-bound `score(P, q)` for the combination described by `aggs`
+/// (one entry per keyword) under `cfg.scoring`.
+fn combination_bound(aggs: &[&PatternAggregates], cfg: &SearchConfig) -> f64 {
+    // Factor sums over keywords, at their extremes.
+    let (mut len_min, mut len_max) = (0.0f64, 0.0f64);
+    let (mut pr_min, mut pr_max) = (0.0f64, 0.0f64);
+    let (mut sim_min, mut sim_max) = (0.0f64, 0.0f64);
+    for a in aggs {
+        len_min += a.min_len;
+        len_max += a.max_len;
+        pr_min += a.min_pr;
+        pr_max += a.max_pr;
+        sim_min += a.min_sim;
+        sim_max += a.max_sim;
+    }
+    let s = cfg.scoring;
+    let tree_bound = factor_bound(len_min, len_max, s.z1)
+        * factor_bound(pr_min, pr_max, s.z2)
+        * factor_bound(sim_min, sim_max, s.z3);
+
+    // |trees(P)| ≤ min over i of nᵢ · Π_{j≠i} max_per_root_j.
+    let mut count_bound = f64::INFINITY;
+    for i in 0..aggs.len() {
+        let mut b = aggs[i].num_paths as f64;
+        for (j, a) in aggs.iter().enumerate() {
+            if j != i {
+                b *= a.max_per_root as f64;
+            }
+        }
+        count_bound = count_bound.min(b);
+    }
+
+    match s.aggregation {
+        Aggregation::Sum => count_bound * tree_bound,
+        Aggregation::Avg | Aggregation::Max => tree_bound,
+        Aggregation::Count => count_bound,
+    }
+}
+
+/// Monotone threshold tracker: the k-th best pattern score seen so far.
+struct TopKThreshold {
+    heap: BinaryHeap<std::cmp::Reverse<u64>>, // score bits (non-negative f64s order like u64)
+    k: usize,
+}
+
+impl TopKThreshold {
+    fn new(k: usize) -> Self {
+        TopKThreshold {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+        }
+    }
+
+    fn push(&mut self, score: f64) {
+        debug_assert!(score >= 0.0);
+        self.heap.push(std::cmp::Reverse(score.to_bits()));
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// `None` until k scores have been seen.
+    fn kth(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|r| f64::from_bits(r.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// `PATTERNENUM` with admissible upper-bound pruning. Returns exactly the
+/// same top-k as [`crate::pattern_enum::pattern_enum`], with
+/// `stats.combos_pruned` counting the combinations skipped before any
+/// intersection.
+pub fn pattern_enum_pruned(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
+    let t0 = Instant::now();
+    let m = ctx.m();
+
+    // Per keyword: patterns grouped by root type, plus aggregates.
+    let mut by_type: Vec<FxHashMap<TypeId, Vec<PatternId>>> = Vec::with_capacity(m);
+    let mut aggs: Vec<FxHashMap<PatternId, PatternAggregates>> = Vec::with_capacity(m);
+    for w in &ctx.words {
+        let mut map: FxHashMap<TypeId, Vec<PatternId>> = FxHashMap::default();
+        let mut agg: FxHashMap<PatternId, PatternAggregates> = FxHashMap::default();
+        for p in w.patterns() {
+            map.entry(ctx.idx.patterns().root_type(p)).or_default().push(p);
+            agg.insert(p, PatternAggregates::scan(w, p));
+        }
+        by_type.push(map);
+        aggs.push(agg);
+    }
+
+    let mut types: Vec<TypeId> = by_type[0].keys().copied().collect();
+    types.sort_unstable();
+    types.retain(|c| by_type.iter().all(|map| map.contains_key(c)));
+
+    let mut best: Vec<RankedPattern> = Vec::new();
+    let mut threshold = TopKThreshold::new(cfg.k.max(1));
+    let mut combos_tried = 0usize;
+    let mut combos_pruned = 0usize;
+    let mut subtrees = 0usize;
+    let mut patterns_found = 0usize;
+    let mut candidate_roots_seen: Vec<u32> = Vec::new();
+
+    let mut combo = vec![0usize; m];
+    let mut chosen: Vec<PatternId> = vec![PatternId(0); m];
+    let mut chosen_aggs: Vec<&PatternAggregates> = Vec::with_capacity(m);
+    let mut root_lists: Vec<&[u32]> = Vec::with_capacity(m);
+    let mut slices: Vec<&[Posting]> = Vec::with_capacity(m);
+    let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
+    let mut node_scratch: Vec<&[NodeId]> = Vec::with_capacity(m);
+
+    for &c in &types {
+        let lists: Vec<&Vec<PatternId>> = by_type.iter().map(|map| &map[&c]).collect();
+        combo.iter_mut().for_each(|x| *x = 0);
+
+        loop {
+            combos_tried += 1;
+            chosen_aggs.clear();
+            for i in 0..m {
+                chosen[i] = lists[i][combo[i]];
+                chosen_aggs.push(&aggs[i][&chosen[i]]);
+            }
+
+            // The pruning test: O(m), no index access.
+            let pruned = match threshold.kth() {
+                Some(kth) => combination_bound(&chosen_aggs, cfg) * SLACK < kth,
+                None => false,
+            };
+            if pruned {
+                combos_pruned += 1;
+            } else {
+                root_lists.clear();
+                for i in 0..m {
+                    root_lists.push(ctx.words[i].roots_of_pattern(chosen[i]));
+                }
+                let roots = intersect_sorted(&root_lists);
+                if !roots.is_empty() {
+                    let mut acc = ScoreAcc::new();
+                    let mut trees = Vec::new();
+                    for &r in &roots {
+                        let root = NodeId(r);
+                        slices.clear();
+                        for i in 0..m {
+                            slices.push(ctx.words[i].paths_of_pattern_root(chosen[i], root));
+                        }
+                        subtrees += for_each_path_tuple(&slices, &mut scratch, |tuple| {
+                            if cfg.strict_trees {
+                                node_scratch.clear();
+                                for (i, p) in tuple.iter().enumerate() {
+                                    node_scratch.push(ctx.words[i].nodes_of(p));
+                                }
+                                if !node_slices_form_tree(root, &node_scratch) {
+                                    return;
+                                }
+                            }
+                            let score = cfg.scoring.tree_score_of(tuple);
+                            acc.push(score);
+                            if trees.len() < cfg.max_rows {
+                                trees.push(materialize_tree(&ctx.words, root, tuple, score));
+                            }
+                        });
+                    }
+                    if acc.count > 0 {
+                        patterns_found += 1;
+                        candidate_roots_seen.extend_from_slice(&roots);
+                        let score = acc.finish(cfg.scoring.aggregation);
+                        threshold.push(score);
+                        let key_patterns =
+                            chosen.iter().map(|p| ctx.idx.patterns().decode(*p)).collect();
+                        best.push(RankedPattern {
+                            pattern: key_patterns,
+                            score,
+                            num_trees: acc.count as usize,
+                            trees,
+                        });
+                        if best.len() >= 2 * cfg.k.max(8) {
+                            compact(&mut best, cfg.k);
+                        }
+                    }
+                }
+            }
+
+            // Odometer over pattern combos.
+            let mut pos = m;
+            let mut done = false;
+            loop {
+                if pos == 0 {
+                    done = true;
+                    break;
+                }
+                pos -= 1;
+                combo[pos] += 1;
+                if combo[pos] < lists[pos].len() {
+                    break;
+                }
+                combo[pos] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+
+    candidate_roots_seen.sort_unstable();
+    candidate_roots_seen.dedup();
+    SearchResult {
+        patterns: best,
+        stats: QueryStats {
+            candidate_roots: candidate_roots_seen.len(),
+            subtrees,
+            patterns: patterns_found,
+            combos_tried,
+            combos_pruned,
+            elapsed: t0.elapsed(),
+        },
+    }
+    .finalize(cfg.k)
+}
+
+fn compact(best: &mut Vec<RankedPattern>, k: usize) {
+    best.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.key().cmp(&b.key()))
+    });
+    best.truncate(k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern_enum::pattern_enum;
+    use crate::score::ScoringConfig;
+    use crate::Query;
+    use patternkb_datagen::figure1;
+    use patternkb_index::{build_indexes, BuildConfig, PathIndexes};
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    fn setup() -> (patternkb_graph::KnowledgeGraph, TextIndex, PathIndexes) {
+        let (g, _) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        (g, t, idx)
+    }
+
+    fn assert_same(a: &SearchResult, b: &SearchResult, label: &str) {
+        assert_eq!(a.patterns.len(), b.patterns.len(), "{label}: k size");
+        for (x, y) in a.patterns.iter().zip(&b.patterns) {
+            assert_eq!(x.key(), y.key(), "{label}: pattern identity");
+            assert!((x.score - y.score).abs() < 1e-9, "{label}: score");
+            assert_eq!(x.num_trees, y.num_trees, "{label}: tree count");
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exact_on_figure1() {
+        let (g, t, idx) = setup();
+        for query in [
+            "database software company revenue",
+            "database company",
+            "revenue",
+            "bill gates",
+        ] {
+            let q = Query::parse(&t, query).unwrap();
+            let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+            for k in [1, 2, 5, 100] {
+                let cfg = SearchConfig::top(k);
+                let exact = pattern_enum(&ctx, &cfg);
+                let pruned = pattern_enum_pruned(&ctx, &cfg);
+                assert_same(&exact, &pruned, &format!("{query} k={k}"));
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_fires_for_small_k() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        // k = 1 on a query with 9 patterns: some combination must be
+        // prunable once the best pattern is found.
+        let r = pattern_enum_pruned(&ctx, &SearchConfig::top(1));
+        assert!(
+            r.stats.combos_pruned > 0,
+            "expected pruned combos, stats = {:?}",
+            r.stats
+        );
+        assert_eq!(r.patterns.len(), 1);
+        assert!((r.patterns[0].score - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_under_all_aggregations() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        for agg in [
+            Aggregation::Sum,
+            Aggregation::Avg,
+            Aggregation::Max,
+            Aggregation::Count,
+        ] {
+            let cfg = SearchConfig {
+                scoring: ScoringConfig {
+                    aggregation: agg,
+                    ..ScoringConfig::default()
+                },
+                ..SearchConfig::top(3)
+            };
+            let exact = pattern_enum(&ctx, &cfg);
+            let pruned = pattern_enum_pruned(&ctx, &cfg);
+            assert_same(&exact, &pruned, &format!("{agg:?}"));
+        }
+    }
+
+    #[test]
+    fn agrees_with_positive_size_exponent() {
+        // z1 = +1 flips which length extreme the bound must take.
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database company").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let cfg = SearchConfig {
+            scoring: ScoringConfig {
+                z1: 1.0,
+                ..ScoringConfig::default()
+            },
+            ..SearchConfig::top(2)
+        };
+        assert_same(
+            &pattern_enum(&ctx, &cfg),
+            &pattern_enum_pruned(&ctx, &cfg),
+            "z1=+1",
+        );
+    }
+
+    #[test]
+    fn aggregates_are_correct() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let w = ctx.words[0];
+        for p in w.patterns() {
+            let agg = PatternAggregates::scan(w, p);
+            let paths = w.paths_of_pattern(p);
+            assert_eq!(agg.num_paths as usize, paths.len());
+            let min_len = paths.iter().map(|x| x.score_len()).min().unwrap() as f64;
+            let max_sim = paths.iter().map(|x| x.sim).fold(0.0f64, f64::max);
+            assert_eq!(agg.min_len, min_len);
+            assert_eq!(agg.max_sim, max_sim);
+            assert!(agg.max_per_root as usize <= paths.len());
+        }
+    }
+}

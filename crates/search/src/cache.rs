@@ -1,0 +1,355 @@
+//! Version-aware LRU cache for query results.
+//!
+//! Keyword search is an online service with heavily repeated queries, so a
+//! result cache sits naturally in front of the engine. The subtlety is
+//! correctness under mutation: [`crate::engine::SearchEngine::apply_delta`]
+//! changes answers, so every cache entry records the engine **version** it
+//! was computed at and is rejected once the engine moves on (the engine
+//! bumps its version on every applied delta). There is no time-based
+//! expiry — versions are exact.
+//!
+//! The key covers everything that determines a result: the keyword-id
+//! sequence (order matters — tree patterns are keyword-indexed vectors),
+//! the algorithm (including sampling parameters, which change answers),
+//! and the full [`SearchConfig`]. Results are shared via [`Arc`], so a hit
+//! never clones row data.
+//!
+//! The cache is internally synchronized (`parking_lot::Mutex`) and can be
+//! shared across query threads alongside the immutable engine.
+
+use crate::engine::{Algorithm, SearchEngine};
+use crate::result::SearchResult;
+use crate::{Query, SearchConfig};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything that determines a query's answer, in hashable form.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    words: Vec<u32>,
+    /// Algorithm discriminant plus sampling parameters when applicable.
+    algo: u8,
+    sampling: Option<(u64, u64, u64)>,
+    k: usize,
+    z: (u64, u64, u64),
+    aggregation: u8,
+    strict_trees: bool,
+    max_rows: usize,
+}
+
+impl CacheKey {
+    fn new(query: &Query, cfg: &SearchConfig, algo: Algorithm) -> Self {
+        let (algo_tag, sampling) = match algo {
+            Algorithm::Baseline => (0u8, None),
+            Algorithm::PatternEnum => (1, None),
+            Algorithm::PatternEnumPruned => (2, None),
+            Algorithm::LinearEnum => (3, None),
+            Algorithm::LinearEnumTopK(s) => {
+                (4, Some((s.lambda, s.rho.to_bits(), s.seed)))
+            }
+        };
+        let s = cfg.scoring;
+        CacheKey {
+            words: query.keywords.iter().map(|w| w.0).collect(),
+            algo: algo_tag,
+            sampling,
+            k: cfg.k,
+            z: (s.z1.to_bits(), s.z2.to_bits(), s.z3.to_bits()),
+            aggregation: match s.aggregation {
+                crate::score::Aggregation::Sum => 0,
+                crate::score::Aggregation::Avg => 1,
+                crate::score::Aggregation::Max => 2,
+                crate::score::Aggregation::Count => 3,
+            },
+            strict_trees: cfg.strict_trees,
+            max_rows: cfg.max_rows,
+        }
+    }
+}
+
+struct Entry {
+    result: Arc<SearchResult>,
+    version: u64,
+    /// Monotone access stamp for LRU eviction.
+    last_used: u64,
+}
+
+/// Cache hit/miss counters (cumulative).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Entries rejected because the engine version moved on.
+    pub stale_rejections: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// A bounded, version-aware result cache. See the module docs.
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` results (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::with_capacity(capacity.max(1)),
+                clock: 0,
+                stats: CacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Answer `query` from the cache, or run `engine.search_with` and
+    /// remember the result at the engine's current version.
+    pub fn get_or_compute(
+        &self,
+        engine: &SearchEngine,
+        query: &Query,
+        cfg: &SearchConfig,
+        algo: Algorithm,
+    ) -> Arc<SearchResult> {
+        let key = CacheKey::new(query, cfg, algo);
+        let version = engine.version();
+        enum Lookup {
+            Hit(Arc<SearchResult>),
+            Stale,
+            Miss,
+        }
+        {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            let lookup = match inner.map.get_mut(&key) {
+                Some(e) if e.version == version => {
+                    e.last_used = clock;
+                    Lookup::Hit(Arc::clone(&e.result))
+                }
+                Some(_) => Lookup::Stale,
+                None => Lookup::Miss,
+            };
+            match lookup {
+                Lookup::Hit(r) => {
+                    inner.stats.hits += 1;
+                    return r;
+                }
+                Lookup::Stale => {
+                    inner.map.remove(&key);
+                    inner.stats.stale_rejections += 1;
+                    inner.stats.misses += 1;
+                }
+                Lookup::Miss => inner.stats.misses += 1,
+            }
+        } // release the lock while computing
+        let result = Arc::new(engine.search_with(query, cfg, algo));
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            // Evict the least recently used entry. Linear scan: capacities
+            // are small (hundreds) and eviction is off the hit path.
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                result: Arc::clone(&result),
+                version,
+                last_used: clock,
+            },
+        );
+        result
+    }
+
+    /// Drop every entry (e.g. ahead of a bulk mutation).
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternkb_datagen::figure1;
+    use patternkb_index::BuildConfig;
+    use patternkb_text::SynonymTable;
+
+    fn engine() -> SearchEngine {
+        let (g, _) = figure1();
+        SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 })
+    }
+
+    #[test]
+    fn hit_returns_shared_result() {
+        let e = engine();
+        let cache = QueryCache::new(8);
+        let q = e.parse("database company").unwrap();
+        let cfg = SearchConfig::top(10);
+        let a = cache.get_or_compute(&e, &q, &cfg, Algorithm::PatternEnum);
+        let b = cache.get_or_compute(&e, &q, &cfg, Algorithm::PatternEnum);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn different_config_is_different_entry() {
+        let e = engine();
+        let cache = QueryCache::new(8);
+        let q = e.parse("database company").unwrap();
+        let a = cache.get_or_compute(&e, &q, &SearchConfig::top(10), Algorithm::PatternEnum);
+        let b = cache.get_or_compute(&e, &q, &SearchConfig::top(5), Algorithm::PatternEnum);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 2);
+        // Same query, different algorithm: also distinct.
+        let _ = cache.get_or_compute(&e, &q, &SearchConfig::top(10), Algorithm::LinearEnum);
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn keyword_order_matters() {
+        let e = engine();
+        let cache = QueryCache::new(8);
+        let q1 = e.parse("database company").unwrap();
+        let q2 = e.parse("company database").unwrap();
+        let _ = cache.get_or_compute(&e, &q1, &SearchConfig::top(10), Algorithm::PatternEnum);
+        let _ = cache.get_or_compute(&e, &q2, &SearchConfig::top(10), Algorithm::PatternEnum);
+        assert_eq!(cache.stats().misses, 2, "permuted keywords are distinct keys");
+    }
+
+    #[test]
+    fn mutation_invalidates() {
+        use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+        let mut e = engine();
+        let cache = QueryCache::new(8);
+        let q = e.parse("database software company revenue").unwrap();
+        let cfg = SearchConfig::top(10);
+        let before = cache.get_or_compute(&e, &q, &cfg, Algorithm::PatternEnum);
+        let before_table_rows = before.top().unwrap().num_trees;
+        assert_eq!(before_table_rows, 2);
+
+        // Mutate: add DB2/IBM as a third row of the Figure-3 table.
+        let g = e.graph();
+        let soft = g.type_by_text("Software").unwrap();
+        let comp = g.type_by_text("Company").unwrap();
+        let model = g.type_by_text("Model").unwrap();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let rev = g.attr_by_text("Revenue").unwrap();
+        let genre = g.attr_by_text("Genre").unwrap();
+        let mut d = GraphDelta::new(g);
+        let db2 = d.add_node(soft, "DB2").unwrap();
+        let ibm = d.add_node(comp, "IBM").unwrap();
+        let rdb = d.add_node(model, "Relational database").unwrap();
+        d.add_edge(db2, dev, ibm).unwrap();
+        d.add_edge(db2, genre, rdb).unwrap();
+        d.add_text_edge(ibm, rev, "US$ 57 billion").unwrap();
+        e.apply_delta(&d, PagerankMode::Recompute).unwrap();
+
+        let q = e.parse("database software company revenue").unwrap();
+        let after = cache.get_or_compute(&e, &q, &cfg, Algorithm::PatternEnum);
+        assert_eq!(
+            after.top().unwrap().num_trees,
+            3,
+            "stale cached answer served after mutation"
+        );
+        assert_eq!(cache.stats().stale_rejections, 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let e = engine();
+        let cache = QueryCache::new(2);
+        let q1 = e.parse("database").unwrap();
+        let q2 = e.parse("company").unwrap();
+        let q3 = e.parse("revenue").unwrap();
+        let cfg = SearchConfig::top(10);
+        let _ = cache.get_or_compute(&e, &q1, &cfg, Algorithm::PatternEnum);
+        let _ = cache.get_or_compute(&e, &q2, &cfg, Algorithm::PatternEnum);
+        // Touch q1 so q2 becomes LRU.
+        let _ = cache.get_or_compute(&e, &q1, &cfg, Algorithm::PatternEnum);
+        let _ = cache.get_or_compute(&e, &q3, &cfg, Algorithm::PatternEnum);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // q1 must still hit; q2 was evicted.
+        let hits_before = cache.stats().hits;
+        let _ = cache.get_or_compute(&e, &q1, &cfg, Algorithm::PatternEnum);
+        assert_eq!(cache.stats().hits, hits_before + 1);
+        let misses_before = cache.stats().misses;
+        let _ = cache.get_or_compute(&e, &q2, &cfg, Algorithm::PatternEnum);
+        assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let e = engine();
+        let cache = QueryCache::new(4);
+        let q = e.parse("database").unwrap();
+        let _ = cache.get_or_compute(&e, &q, &SearchConfig::top(10), Algorithm::PatternEnum);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lookups_are_safe() {
+        let e = engine();
+        let cache = QueryCache::new(16);
+        let queries: Vec<Query> = ["database", "company", "revenue", "software"]
+            .iter()
+            .map(|s| e.parse(s).unwrap())
+            .collect();
+        let cfg = SearchConfig::top(10);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        for q in &queries {
+                            let r = cache.get_or_compute(&e, q, &cfg, Algorithm::PatternEnum);
+                            assert!(!r.patterns.is_empty());
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 4 * 25 * 4);
+        assert!(s.hits > s.misses, "steady state must be hit-dominated");
+    }
+}

@@ -1,0 +1,292 @@
+//! Shared machinery of the three index-based algorithms: the query
+//! context, sorted-list intersection, the `EXPANDROOT` subroutine of
+//! Algorithm 3, and path-tuple products.
+
+use crate::score::ScoreAcc;
+use crate::subtree::{node_slices_form_tree, TreePath, ValidSubtree};
+use crate::{Query, SearchConfig};
+use patternkb_graph::{FxHashMap, KnowledgeGraph, NodeId};
+use patternkb_index::{PathIndexes, PathPattern, PatternId, Posting, WordPathIndex};
+
+/// Immutable per-query view: the graph, the indexes, and one
+/// [`WordPathIndex`] per keyword.
+pub struct QueryContext<'a> {
+    /// The knowledge graph.
+    pub g: &'a KnowledgeGraph,
+    /// The path indexes (both orders + pattern set).
+    pub idx: &'a PathIndexes,
+    /// Per-keyword word indexes, in query order.
+    pub words: Vec<&'a WordPathIndex>,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Build the context; `None` when some keyword has no paths at all (the
+    /// query then provably has zero answers).
+    pub fn new(g: &'a KnowledgeGraph, idx: &'a PathIndexes, query: &Query) -> Option<Self> {
+        let mut words = Vec::with_capacity(query.keywords.len());
+        for &w in &query.keywords {
+            words.push(idx.word(w)?);
+        }
+        if words.is_empty() {
+            return None;
+        }
+        Some(QueryContext { g, idx, words })
+    }
+
+    /// Number of keywords `m`.
+    pub fn m(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `R = ∩ᵢ Roots(wᵢ)` — line 1 of Algorithm 3.
+    pub fn candidate_roots(&self) -> Vec<NodeId> {
+        let lists: Vec<&[u32]> = self.words.iter().map(|w| w.roots()).collect();
+        intersect_sorted(&lists).into_iter().map(NodeId).collect()
+    }
+
+    /// Decode a tree-pattern key (one pattern id per keyword) into
+    /// self-contained patterns for the result type.
+    pub fn decode_key(&self, key: &[u32]) -> Vec<PathPattern> {
+        key.iter()
+            .map(|&p| self.idx.patterns().decode(PatternId(p)))
+            .collect()
+    }
+}
+
+/// Intersect k sorted ascending `u32` slices. Starts from the shortest list
+/// and galloping-checks membership in the others, so the cost is near
+/// `O(min_len · k · log)`.
+pub fn intersect_sorted(lists: &[&[u32]]) -> Vec<u32> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    let shortest = lists
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, l)| l.len())
+        .map(|(i, _)| i)
+        .expect("non-empty lists");
+    let mut out = Vec::with_capacity(lists[shortest].len());
+    'outer: for &x in lists[shortest] {
+        for (i, l) in lists.iter().enumerate() {
+            if i != shortest && l.binary_search(&x).is_err() {
+                continue 'outer;
+            }
+        }
+        out.push(x);
+    }
+    out
+}
+
+/// A pattern's accumulated answer during enumeration.
+#[derive(Clone, Debug, Default)]
+pub struct PatternGroup {
+    /// Streaming score aggregation over all subtrees.
+    pub acc: ScoreAcc,
+    /// Materialized subtrees, capped at `SearchConfig::max_rows`.
+    pub trees: Vec<ValidSubtree>,
+}
+
+/// The `TreeDict` of Algorithm 3: tree-pattern key (one pattern id per
+/// keyword, flattened) → group.
+pub type TreeDict = FxHashMap<Box<[u32]>, PatternGroup>;
+
+/// Iterate the cartesian product of posting slices, calling `f` with one
+/// posting per keyword. Never allocates per tuple.
+///
+/// Returns the number of tuples visited.
+pub fn for_each_path_tuple<'p>(
+    slices: &[&'p [Posting]],
+    scratch: &mut Vec<&'p Posting>,
+    mut f: impl FnMut(&[&'p Posting]),
+) -> usize {
+    debug_assert!(!slices.is_empty());
+    if slices.iter().any(|s| s.is_empty()) {
+        return 0;
+    }
+    let m = slices.len();
+    let mut idx = vec![0usize; m];
+    scratch.clear();
+    for s in slices {
+        scratch.push(&s[0]);
+    }
+    let mut count = 0;
+    loop {
+        f(scratch);
+        count += 1;
+        // Odometer increment.
+        let mut pos = m;
+        loop {
+            if pos == 0 {
+                return count;
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < slices[pos].len() {
+                scratch[pos] = &slices[pos][idx[pos]];
+                break;
+            }
+            idx[pos] = 0;
+            scratch[pos] = &slices[pos][0];
+        }
+    }
+}
+
+/// Materialize a [`ValidSubtree`] from the chosen postings.
+pub fn materialize_tree(
+    words: &[&WordPathIndex],
+    root: NodeId,
+    postings: &[&Posting],
+    score: f64,
+) -> ValidSubtree {
+    let paths = postings
+        .iter()
+        .enumerate()
+        .map(|(i, p)| TreePath {
+            nodes: words[i].nodes_of(p).to_vec(),
+            edge_terminal: p.edge_terminal,
+        })
+        .collect();
+    ValidSubtree {
+        root,
+        paths,
+        score,
+    }
+}
+
+/// The `EXPANDROOT(r, TreeDict)` subroutine of Algorithm 3: enumerate the
+/// pattern product `Patterns(w1, r) × … × Patterns(wm, r)` and, within each
+/// tree pattern, the path product, folding every valid subtree into `dict`.
+///
+/// Returns the number of subtrees enumerated under this root.
+pub fn expand_root(
+    ctx: &QueryContext<'_>,
+    cfg: &SearchConfig,
+    r: NodeId,
+    dict: &mut TreeDict,
+) -> usize {
+    let m = ctx.m();
+    // Per-keyword (pattern, paths) runs under this root.
+    let runs: Vec<Vec<(PatternId, &[Posting])>> = ctx
+        .words
+        .iter()
+        .map(|w| w.root_runs(r).collect())
+        .collect();
+    debug_assert!(
+        runs.iter().all(|r| !r.is_empty()),
+        "candidate roots reach every keyword"
+    );
+    if runs.iter().any(|r| r.is_empty()) {
+        return 0;
+    }
+
+    let mut key: Vec<u32> = vec![0; m];
+    let mut combo = vec![0usize; m];
+    let mut slices: Vec<&[Posting]> = Vec::with_capacity(m);
+    let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
+    let mut node_scratch: Vec<&[NodeId]> = Vec::with_capacity(m);
+    let mut total = 0usize;
+
+    // Pattern product (line 7).
+    loop {
+        slices.clear();
+        for i in 0..m {
+            let (pat, paths) = runs[i][combo[i]];
+            key[i] = pat.0;
+            slices.push(paths);
+        }
+        let group = dict.entry(key.as_slice().into()).or_default();
+        // Path product (line 9).
+        total += for_each_path_tuple(&slices, &mut scratch, |tuple| {
+            if cfg.strict_trees {
+                node_scratch.clear();
+                for (i, p) in tuple.iter().enumerate() {
+                    node_scratch.push(ctx.words[i].nodes_of(p));
+                }
+                if !node_slices_form_tree(r, &node_scratch) {
+                    return;
+                }
+            }
+            let score = cfg.scoring.tree_score_of(tuple);
+            group.acc.push(score);
+            if group.trees.len() < cfg.max_rows {
+                group
+                    .trees
+                    .push(materialize_tree(&ctx.words, r, tuple, score));
+            }
+        });
+        if group.acc.count == 0 && group.trees.is_empty() {
+            // Strict mode may have rejected every tuple; drop empty groups.
+            dict.remove(key.as_slice());
+        }
+
+        // Odometer over pattern combos.
+        let mut pos = m;
+        loop {
+            if pos == 0 {
+                return total;
+            }
+            pos -= 1;
+            combo[pos] += 1;
+            if combo[pos] < runs[pos].len() {
+                break;
+            }
+            combo[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_basic() {
+        let a = [1u32, 3, 5, 7];
+        let b = [2u32, 3, 5, 8];
+        let c = [3u32, 5, 9];
+        assert_eq!(intersect_sorted(&[&a, &b, &c]), vec![3, 5]);
+    }
+
+    #[test]
+    fn intersect_empty_cases() {
+        let a = [1u32, 2];
+        let empty: [u32; 0] = [];
+        assert!(intersect_sorted(&[&a, &empty]).is_empty());
+        assert!(intersect_sorted(&[]).is_empty());
+        assert_eq!(intersect_sorted(&[&a]), vec![1, 2]);
+    }
+
+    #[test]
+    fn tuple_product_counts() {
+        let p = |pat: u32| Posting {
+            pattern: PatternId(pat),
+            root: NodeId(0),
+            nodes_start: 0,
+            nodes_len: 1,
+            edge_terminal: false,
+            pagerank: 1.0,
+            sim: 1.0,
+        };
+        let a = [p(1), p(2)];
+        let b = [p(3), p(4), p(5)];
+        let mut seen = Vec::new();
+        let mut scratch = Vec::new();
+        let n = for_each_path_tuple(&[&a, &b], &mut scratch, |t| {
+            seen.push((t[0].pattern.0, t[1].pattern.0));
+        });
+        assert_eq!(n, 6);
+        assert_eq!(seen.len(), 6);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "all tuples distinct");
+    }
+
+    #[test]
+    fn tuple_product_empty_slice() {
+        let a: [Posting; 0] = [];
+        let mut scratch = Vec::new();
+        let n = for_each_path_tuple(&[&a], &mut scratch, |_| panic!("no tuples"));
+        assert_eq!(n, 0);
+    }
+}

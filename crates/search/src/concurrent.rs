@@ -1,0 +1,214 @@
+//! Serving queries concurrently with mutation: snapshot-swap around the
+//! immutable [`SearchEngine`].
+//!
+//! The engine itself is immutable after build, so any number of threads
+//! can query one instance. Mutation, however, replaces the whole state
+//! (graph + text index + path indexes). [`SharedEngine`] reconciles the
+//! two with the classic read-copy-update shape:
+//!
+//! * **readers** take a cheap [`Arc`] snapshot ([`SharedEngine::snapshot`])
+//!   and run any number of queries against it — a snapshot is internally
+//!   consistent forever, even across concurrent ingests;
+//! * **writers** compute the post-delta engine *outside* any lock
+//!   ([`SearchEngine::with_delta`] — the expensive incremental refresh),
+//!   then swap the shared pointer under a short critical section. A writer
+//!   mutex serializes ingests so two concurrent deltas (both derived from
+//!   the same base) cannot silently lose one another's writes.
+//!
+//! Readers never block writers and writers never block readers; the only
+//! contention is the pointer swap. Old snapshots are freed when their last
+//! reader drops them.
+
+use crate::engine::SearchEngine;
+use parking_lot::{Mutex, RwLock};
+use patternkb_graph::mutate::{DeltaError, GraphDelta, PagerankMode};
+use patternkb_index::RefreshStats;
+use std::sync::Arc;
+
+/// A queryable, mutable-by-swap handle shared across threads.
+pub struct SharedEngine {
+    current: RwLock<Arc<SearchEngine>>,
+    /// Serializes writers; held across the (long) delta computation so a
+    /// second ingest starts from the first one's result.
+    writer: Mutex<()>,
+}
+
+impl SharedEngine {
+    /// Wrap a freshly built engine.
+    pub fn new(engine: SearchEngine) -> Self {
+        SharedEngine {
+            current: RwLock::new(Arc::new(engine)),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// An immutable snapshot of the current state. Queries, parsing, table
+    /// composition — everything on [`SearchEngine`] — runs against it;
+    /// it stays valid (and consistent) across later ingests.
+    pub fn snapshot(&self) -> Arc<SearchEngine> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The current data version (see [`SearchEngine::version`]).
+    pub fn version(&self) -> u64 {
+        self.current.read().version()
+    }
+
+    /// Ingest a delta: compute the post-delta engine off-lock, then swap.
+    ///
+    /// The delta must be built against [`Self::snapshot`]'s graph. If
+    /// another ingest landed in between, the graphs no longer line up and
+    /// the delta is rejected by validation, so build deltas under your own
+    /// coordination or immediately before calling this.
+    pub fn apply_delta(
+        &self,
+        delta: &GraphDelta,
+        mode: PagerankMode,
+    ) -> Result<RefreshStats, DeltaError> {
+        let _writing = self.writer.lock();
+        // Base state: the latest snapshot (stable while `writer` is held).
+        let base = self.snapshot();
+        let (next, stats) = base.with_delta(delta, mode)?; // expensive, off the read lock
+        *self.current.write() = Arc::new(next); // the only blocking moment
+        Ok(stats)
+    }
+}
+
+impl std::fmt::Debug for SharedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedEngine {{ version: {} }}", self.version())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchConfig;
+    use patternkb_datagen::figure1;
+    use patternkb_index::BuildConfig;
+    use patternkb_text::SynonymTable;
+
+    fn shared() -> SharedEngine {
+        let (g, _) = figure1();
+        SharedEngine::new(SearchEngine::build(
+            g,
+            SynonymTable::new(),
+            &BuildConfig { d: 3, threads: 1 },
+        ))
+    }
+
+    fn ingest_vendor(s: &SharedEngine, step: usize) {
+        let snap = s.snapshot();
+        let g = snap.graph();
+        let comp = g.type_by_text("Company").unwrap();
+        let rev = g.attr_by_text("Revenue").unwrap();
+        let mut d = GraphDelta::new(g);
+        let v = d.add_node(comp, &format!("shared vendor {step}")).unwrap();
+        d.add_text_edge(v, rev, &format!("US$ {step} million")).unwrap();
+        s.apply_delta(&d, PagerankMode::Frozen).unwrap();
+    }
+
+    #[test]
+    fn snapshots_stay_consistent_across_ingest() {
+        let s = shared();
+        let before = s.snapshot();
+        let q_before = before.parse("company revenue").unwrap();
+        let r_before = before.search(&q_before, &SearchConfig::top(100));
+
+        ingest_vendor(&s, 1);
+        assert_eq!(s.version(), 1);
+
+        // The old snapshot still answers exactly as before.
+        let r_again = before.search(&q_before, &SearchConfig::top(100));
+        assert_eq!(r_before.patterns.len(), r_again.patterns.len());
+
+        // A fresh snapshot sees the new vendor.
+        let after = s.snapshot();
+        let q_after = after.parse("vendor revenue").unwrap();
+        let r_after = after.search(&q_after, &SearchConfig::top(100));
+        assert_eq!(r_after.top().unwrap().num_trees, 1);
+    }
+
+    #[test]
+    fn stale_delta_is_rejected_not_lost() {
+        let s = shared();
+        // Build a delta against version 0 …
+        let old_snap = s.snapshot();
+        let g = old_snap.graph();
+        let comp = g.type_by_text("Company").unwrap();
+        let mut stale = GraphDelta::new(g);
+        stale.add_node(comp, "stale corp").unwrap();
+        // … then let another ingest land first.
+        ingest_vendor(&s, 7);
+        // The stale delta's node-count bookkeeping no longer matches:
+        // a typed error, never a silent lost-update.
+        let err = s.apply_delta(&stale, PagerankMode::Frozen).unwrap_err();
+        assert!(matches!(err, DeltaError::BaseMismatch { .. }));
+        assert_eq!(s.version(), 1, "stale delta left the state untouched");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let s = shared();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            // Readers hammer snapshots while the writer ingests.
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let snap = s.snapshot();
+                        let q = snap.parse("company revenue").unwrap();
+                        let r = snap.search(&q, &SearchConfig::top(10));
+                        // Every consistent state answers this query.
+                        assert!(!r.patterns.is_empty());
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for step in 0..5 {
+                    ingest_vendor(&s, step);
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        assert_eq!(s.version(), 5);
+        let snap = s.snapshot();
+        let q = snap.parse("vendor").unwrap();
+        let r = snap.search(&q, &SearchConfig::top(100));
+        assert_eq!(r.top().unwrap().num_trees, 5);
+    }
+
+    #[test]
+    fn writers_serialize() {
+        // Two threads each ingest 3 entities; all 6 must land.
+        let s = shared();
+        std::thread::scope(|scope| {
+            for t in 0..2 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..3 {
+                        // Retry on conflict: the delta is rebuilt from the
+                        // latest snapshot each attempt.
+                        loop {
+                            let snap = s.snapshot();
+                            let g = snap.graph();
+                            let comp = g.type_by_text("Company").unwrap();
+                            let mut d = GraphDelta::new(g);
+                            d.add_node(comp, &format!("writer {t} entity {i}")).unwrap();
+                            match s.apply_delta(&d, PagerankMode::Frozen) {
+                                Ok(_) => break,
+                                Err(DeltaError::BaseMismatch { .. }) => continue,
+                                Err(e) => panic!("unexpected delta error {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(s.version(), 6);
+        let snap = s.snapshot();
+        let q = snap.parse("writer entity").unwrap();
+        let r = snap.search(&q, &SearchConfig::top(100));
+        assert_eq!(r.top().unwrap().num_trees, 6);
+    }
+}

@@ -1,0 +1,563 @@
+//! The batteries-included facade: build once, query many times.
+
+use crate::baseline::baseline;
+use crate::common::QueryContext;
+use crate::counting::{count_patterns, count_subtrees};
+use crate::individual::{top_individual, ScoredTree};
+use crate::linear_enum::linear_enum;
+use crate::pattern_enum::pattern_enum;
+use crate::result::SearchResult;
+use crate::table::TableAnswer;
+use crate::topk::{linear_enum_topk, SamplingConfig};
+use crate::{ParseError, Query, SearchConfig};
+use patternkb_graph::KnowledgeGraph;
+use patternkb_index::{build_indexes, BuildConfig, PathIndexes};
+use patternkb_text::{SynonymTable, TextIndex};
+
+/// Which query algorithm to run (§5's Baseline / PETopK / LETopK).
+#[derive(Clone, Copy, Debug, Default)]
+pub enum Algorithm {
+    /// Enumeration–aggregation over the raw graph (§2.3).
+    Baseline,
+    /// `PATTERNENUM` over the pattern-first index (Algorithm 2).
+    #[default]
+    PatternEnum,
+    /// `PATTERNENUM` with admissible upper-bound pruning
+    /// ([`crate::bound`]) — identical answers, fewer intersections.
+    PatternEnumPruned,
+    /// `LINEARENUM` over the root-first index (Algorithm 3), global dict.
+    LinearEnum,
+    /// `LINEARENUM-TOPK` with type partitioning and optional sampling
+    /// (Algorithm 4).
+    LinearEnumTopK(SamplingConfig),
+}
+
+/// A knowledge graph plus its text index and path indexes, ready to answer
+/// keyword queries with table answers.
+pub struct SearchEngine {
+    g: KnowledgeGraph,
+    text: TextIndex,
+    idx: PathIndexes,
+    /// Monotone data version; bumped by [`Self::apply_delta`]. Lets result
+    /// caches ([`crate::cache`]) detect staleness.
+    version: u64,
+}
+
+impl SearchEngine {
+    /// Build the engine: text index, then both path indexes with height
+    /// threshold `build_cfg.d`.
+    pub fn build(g: KnowledgeGraph, synonyms: SynonymTable, build_cfg: &BuildConfig) -> Self {
+        Self::build_with_stemmer(g, synonyms, patternkb_text::Stemmer::Lite, build_cfg)
+    }
+
+    /// Build with an explicit stemmer (see [`patternkb_text::Stemmer`] for
+    /// the Lite/Porter/None trade-offs). The same stemmer is reused when
+    /// the text index is rebuilt after [`Self::apply_delta`].
+    pub fn build_with_stemmer(
+        g: KnowledgeGraph,
+        synonyms: SynonymTable,
+        stemmer: patternkb_text::Stemmer,
+        build_cfg: &BuildConfig,
+    ) -> Self {
+        let text = TextIndex::build_with(&g, synonyms, stemmer);
+        let idx = build_indexes(&g, &text, build_cfg);
+        SearchEngine {
+            g,
+            text,
+            idx,
+            version: 0,
+        }
+    }
+
+    /// Build from pre-constructed parts (used by the bench harness to time
+    /// index construction separately).
+    pub fn from_parts(g: KnowledgeGraph, text: TextIndex, idx: PathIndexes) -> Self {
+        SearchEngine {
+            g,
+            text,
+            idx,
+            version: 0,
+        }
+    }
+
+    /// The current data version: 0 after build, +1 per applied delta.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Mutate the knowledge graph and incrementally refresh the indexes.
+    ///
+    /// The graph is replaced by `delta.apply(..)`, the text index is
+    /// rebuilt (linear in the text), and the path indexes are refreshed by
+    /// re-enumerating only roots within reverse distance `d − 1` of the
+    /// delta's dirty nodes ([`patternkb_index::incremental`]). All existing
+    /// node ids keep their meaning; the engine version is bumped so caches
+    /// invalidate.
+    ///
+    /// Queries parsed *before* the mutation hold word ids from the old
+    /// vocabulary and must be re-parsed.
+    pub fn apply_delta(
+        &mut self,
+        delta: &patternkb_graph::mutate::GraphDelta,
+        mode: patternkb_graph::mutate::PagerankMode,
+    ) -> Result<patternkb_index::RefreshStats, patternkb_graph::mutate::DeltaError> {
+        let (next, stats) = self.with_delta(delta, mode)?;
+        *self = next;
+        Ok(stats)
+    }
+
+    /// Non-mutating form of [`Self::apply_delta`]: computes the post-delta
+    /// engine as a *new value* (version bumped), leaving `self` untouched.
+    /// This is what lets [`crate::concurrent::SharedEngine`] keep serving
+    /// queries from the old state while the refresh runs.
+    pub fn with_delta(
+        &self,
+        delta: &patternkb_graph::mutate::GraphDelta,
+        mode: patternkb_graph::mutate::PagerankMode,
+    ) -> Result<(SearchEngine, patternkb_index::RefreshStats), patternkb_graph::mutate::DeltaError>
+    {
+        use patternkb_graph::mutate::PagerankMode as Pm;
+        let new_g = delta.apply(&self.g, mode)?;
+        let synonyms = self.text.vocab().synonyms().clone();
+        let stemmer = self.text.vocab().stemmer();
+        let new_text = TextIndex::build_with(&new_g, synonyms, stemmer);
+        let (new_idx, stats) = patternkb_index::refresh_indexes(
+            &self.idx,
+            &self.g,
+            &new_g,
+            &self.text,
+            &new_text,
+            &delta.dirty_nodes(),
+            mode == Pm::Recompute,
+        );
+        Ok((
+            SearchEngine {
+                g: new_g,
+                text: new_text,
+                idx: new_idx,
+                version: self.version + 1,
+            },
+            stats,
+        ))
+    }
+
+    /// The underlying knowledge graph.
+    pub fn graph(&self) -> &KnowledgeGraph {
+        &self.g
+    }
+
+    /// The text/keyword-match index.
+    pub fn text(&self) -> &TextIndex {
+        &self.text
+    }
+
+    /// The path indexes.
+    pub fn index(&self) -> &PathIndexes {
+        &self.idx
+    }
+
+    /// The height threshold `d` the engine was built for.
+    pub fn d(&self) -> usize {
+        self.idx.d()
+    }
+
+    /// Parse raw query text.
+    pub fn parse(&self, input: &str) -> Result<Query, ParseError> {
+        Query::parse(&self.text, input)
+    }
+
+    /// Run the default algorithm (`PATTERNENUM`, the paper's fastest in
+    /// practice).
+    pub fn search(&self, query: &Query, cfg: &SearchConfig) -> SearchResult {
+        self.search_with(query, cfg, Algorithm::PatternEnum)
+    }
+
+    /// Run a specific algorithm.
+    pub fn search_with(&self, query: &Query, cfg: &SearchConfig, algo: Algorithm) -> SearchResult {
+        match algo {
+            Algorithm::Baseline => baseline(&self.g, &self.text, query, cfg, self.idx.d()),
+            _ => {
+                let Some(ctx) = QueryContext::new(&self.g, &self.idx, query) else {
+                    return SearchResult::default();
+                };
+                match algo {
+                    Algorithm::PatternEnum => pattern_enum(&ctx, cfg),
+                    Algorithm::PatternEnumPruned => crate::bound::pattern_enum_pruned(&ctx, cfg),
+                    Algorithm::LinearEnum => linear_enum(&ctx, cfg),
+                    Algorithm::LinearEnumTopK(samp) => linear_enum_topk(&ctx, cfg, &samp),
+                    Algorithm::Baseline => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Estimate the query's cost drivers and run the algorithm the planner
+    /// picks ([`crate::plan`]); returns the decision next to the result so
+    /// callers can log or override it.
+    pub fn search_auto(&self, query: &Query, cfg: &SearchConfig) -> (SearchResult, Algorithm) {
+        self.search_auto_with(query, cfg, &crate::plan::PlannerConfig::default())
+    }
+
+    /// [`Self::search_auto`] with explicit planner thresholds.
+    pub fn search_auto_with(
+        &self,
+        query: &Query,
+        cfg: &SearchConfig,
+        planner: &crate::plan::PlannerConfig,
+    ) -> (SearchResult, Algorithm) {
+        let algo = match QueryContext::new(&self.g, &self.idx, query) {
+            Some(ctx) => crate::plan::choose(&crate::plan::estimate(&ctx), planner),
+            None => Algorithm::PatternEnumPruned, // provably empty; any algorithm is O(1)
+        };
+        (self.search_with(query, cfg, algo), algo)
+    }
+
+    /// Run a whole query workload in parallel over `threads` OS threads
+    /// (0 = available parallelism). The engine is immutable after build, so
+    /// queries share it freely; results come back in input order.
+    pub fn search_batch(
+        &self,
+        queries: &[Query],
+        cfg: &SearchConfig,
+        algo: Algorithm,
+        threads: usize,
+    ) -> Vec<SearchResult> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads == 1 {
+            return queries
+                .iter()
+                .map(|q| self.search_with(q, cfg, algo))
+                .collect();
+        }
+        let mut results: Vec<Option<SearchResult>> = (0..queries.len()).map(|_| None).collect();
+        let chunk = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (q, slot) in qs.iter().zip(out.iter_mut()) {
+                        *slot = Some(self.search_with(q, cfg, algo));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Persist the built path indexes; reload with [`Self::load_index`] to
+    /// skip the expensive Algorithm-1 construction (cf. Figure 6).
+    pub fn save_index(&self, path: &std::path::Path) -> std::io::Result<()> {
+        patternkb_index::snapshot::save(&self.idx, path)
+    }
+
+    /// Rebuild an engine from a graph plus a previously saved index
+    /// snapshot. The synonym table must match the one used at build time
+    /// (word ids are derived from it).
+    pub fn load_index(
+        g: KnowledgeGraph,
+        synonyms: SynonymTable,
+        path: &std::path::Path,
+    ) -> std::io::Result<Self> {
+        let text = TextIndex::build(&g, synonyms);
+        let idx = patternkb_index::snapshot::load(path)?;
+        Ok(SearchEngine {
+            g,
+            text,
+            idx,
+            version: 0,
+        })
+    }
+
+    /// Top-k *individual* valid subtrees (§5.3).
+    pub fn top_individual(&self, query: &Query, cfg: &SearchConfig, k: usize) -> Vec<ScoredTree> {
+        match QueryContext::new(&self.g, &self.idx, query) {
+            Some(ctx) => top_individual(&ctx, cfg, k),
+            None => Vec::new(),
+        }
+    }
+
+    /// Unified ranking mixing table answers with singular subtrees
+    /// (§5.3 future work; see [`crate::unified`]).
+    pub fn unified(
+        &self,
+        query: &Query,
+        cfg: &SearchConfig,
+        ucfg: &crate::unified::UnifiedConfig,
+    ) -> Vec<crate::unified::UnifiedAnswer> {
+        match QueryContext::new(&self.g, &self.idx, query) {
+            Some(ctx) => crate::unified::unified_ranking(&ctx, cfg, ucfg),
+            None => Vec::new(),
+        }
+    }
+
+    /// Maximal answerable sub-queries of an unanswerable query
+    /// ([`crate::relax`]). Empty when the query already has answers.
+    pub fn relax(&self, query: &Query) -> Vec<crate::relax::Relaxation> {
+        match QueryContext::new(&self.g, &self.idx, query) {
+            Some(ctx) => crate::relax::relax(&ctx, query),
+            None => Vec::new(),
+        }
+    }
+
+    /// Exact number of d-height tree patterns for the query.
+    pub fn count_patterns(&self, query: &Query) -> u64 {
+        QueryContext::new(&self.g, &self.idx, query)
+            .map(|ctx| count_patterns(&ctx))
+            .unwrap_or(0)
+    }
+
+    /// Exact number of valid subtrees for the query.
+    pub fn count_subtrees(&self, query: &Query) -> u64 {
+        QueryContext::new(&self.g, &self.idx, query)
+            .map(|ctx| count_subtrees(&ctx))
+            .unwrap_or(0)
+    }
+
+    /// Compose the table answer for one ranked pattern.
+    pub fn table(&self, pattern: &crate::result::RankedPattern) -> TableAnswer {
+        TableAnswer::from_pattern(&self.g, pattern)
+    }
+}
+
+impl std::fmt::Debug for SearchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SearchEngine {{ graph: {:?}, index: {:?} }}",
+            self.g, self.idx
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternkb_datagen::figure1;
+    use patternkb_graph::NodeId;
+
+    fn engine() -> SearchEngine {
+        let (g, _) = figure1();
+        SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 })
+    }
+
+    #[test]
+    fn end_to_end_figure1() {
+        let e = engine();
+        let q = e.parse("database software company revenue").unwrap();
+        let r = e.search(&q, &SearchConfig::top(10));
+        assert_eq!(r.patterns.len(), 9);
+        let table = e.table(r.top().unwrap());
+        assert_eq!(table.rows.len(), 2);
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        let e = engine();
+        let q = e.parse("database company").unwrap();
+        let cfg = SearchConfig::top(100);
+        let results: Vec<SearchResult> = [
+            Algorithm::Baseline,
+            Algorithm::PatternEnum,
+            Algorithm::LinearEnum,
+            Algorithm::LinearEnumTopK(SamplingConfig::exact()),
+        ]
+        .into_iter()
+        .map(|a| e.search_with(&q, &cfg, a))
+        .collect();
+        for r in &results[1..] {
+            assert_eq!(r.patterns.len(), results[0].patterns.len());
+            for (a, b) in results[0].patterns.iter().zip(&r.patterns) {
+                assert_eq!(a.key(), b.key());
+                assert!((a.score - b.score).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_exposed() {
+        let e = engine();
+        let q = e.parse("database software company revenue").unwrap();
+        assert_eq!(e.count_patterns(&q), 9);
+        assert_eq!(e.count_subtrees(&q), 10);
+    }
+
+    #[test]
+    fn individual_exposed() {
+        let e = engine();
+        let q = e.parse("database software company revenue").unwrap();
+        let trees = e.top_individual(&q, &SearchConfig::default(), 3);
+        assert_eq!(trees.len(), 3);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let e = engine();
+        let queries: Vec<Query> = ["database company", "revenue", "bill gates", "software"]
+            .iter()
+            .map(|s| e.parse(s).unwrap())
+            .collect();
+        let cfg = SearchConfig::top(10);
+        let seq: Vec<SearchResult> = queries
+            .iter()
+            .map(|q| e.search_with(q, &cfg, Algorithm::PatternEnum))
+            .collect();
+        let par = e.search_batch(&queries, &cfg, Algorithm::PatternEnum, 3);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.patterns.len(), b.patterns.len());
+            for (x, y) in a.patterns.iter().zip(&b.patterns) {
+                assert_eq!(x.key(), y.key());
+                assert!((x.score - y.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn index_snapshot_roundtrip_through_engine() {
+        let e = engine();
+        let dir = std::env::temp_dir().join("patternkb_engine_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.pkbi");
+        e.save_index(&path).unwrap();
+        let (g, _) = figure1();
+        let reloaded = SearchEngine::load_index(g, SynonymTable::new(), &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let q = reloaded.parse("database software company revenue").unwrap();
+        let r = reloaded.search(&q, &SearchConfig::top(10));
+        assert_eq!(r.patterns.len(), 9);
+        assert!((r.patterns[0].score - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relax_and_unified_exposed() {
+        let e = engine();
+        // Unanswerable: no root reaches both oracle and gates.
+        let q = e.parse("oracle gates").unwrap();
+        let r = e.search(&q, &SearchConfig::top(10));
+        assert!(r.patterns.is_empty());
+        let relaxations = e.relax(&q);
+        assert_eq!(relaxations.len(), 2);
+        // Unified ranking on an answerable query.
+        let q = e.parse("database company").unwrap();
+        let unified = e.unified(
+            &q,
+            &SearchConfig::default(),
+            &crate::unified::UnifiedConfig { blend: 1.0, k: 5 },
+        );
+        assert!(!unified.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let e = engine();
+        assert!(e.parse("qqqqzzzz").is_err());
+        assert!(e.parse("").is_err());
+    }
+
+    #[test]
+    fn porter_stemmer_engine_answers() {
+        let (g, _) = figure1();
+        let e = SearchEngine::build_with_stemmer(
+            g,
+            SynonymTable::new(),
+            patternkb_text::Stemmer::Porter,
+            &BuildConfig { d: 3, threads: 1 },
+        );
+        // Porter collapses "companies"/"company" and "databases"/"database".
+        let q = e.parse("databases companies").unwrap();
+        let r = e.search(&q, &SearchConfig::top(10));
+        assert!(!r.patterns.is_empty());
+        let q2 = e.parse("database company").unwrap();
+        let r2 = e.search(&q2, &SearchConfig::top(10));
+        assert_eq!(r.patterns.len(), r2.patterns.len());
+    }
+
+    #[test]
+    fn apply_delta_updates_answers() {
+        use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+        let mut e = engine();
+        let q = e.parse("database software company revenue").unwrap();
+        let before = e.search(&q, &SearchConfig::top(10));
+        assert_eq!(before.patterns.len(), 9);
+        assert_eq!(e.version(), 0);
+
+        // Add a third database company: IBM with DB2.
+        let g = e.graph();
+        let soft = g.type_by_text("Software").unwrap();
+        let comp = g.type_by_text("Company").unwrap();
+        let model = g.type_by_text("Model").unwrap();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let rev = g.attr_by_text("Revenue").unwrap();
+        let genre = g.attr_by_text("Genre").unwrap();
+        let mut d = GraphDelta::new(g);
+        let db2 = d.add_node(soft, "DB2").unwrap();
+        let ibm = d.add_node(comp, "IBM").unwrap();
+        let rdb = d.add_node(model, "Relational database").unwrap();
+        d.add_edge(db2, dev, ibm).unwrap();
+        d.add_edge(db2, genre, rdb).unwrap();
+        d.add_text_edge(ibm, rev, "US$ 57 billion").unwrap();
+        let stats = e.apply_delta(&d, PagerankMode::Recompute).unwrap();
+        assert!(stats.postings_added > 0);
+        assert_eq!(e.version(), 1);
+
+        // The top pattern's table gains a row for DB2/IBM.
+        let q = e.parse("database software company revenue").unwrap();
+        let after = e.search(&q, &SearchConfig::top(10));
+        let table = e.table(after.top().unwrap());
+        assert_eq!(table.rows.len(), 3);
+    }
+
+    #[test]
+    fn apply_delta_matches_fresh_engine() {
+        use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+        let mut e = engine();
+        let g = e.graph();
+        let comp = g.type_by_text("Company").unwrap();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(g);
+        let v = d.add_node(comp, "Sybase").unwrap();
+        d.add_edge(NodeId(0), dev, v).unwrap();
+        let mutated_graph = d.apply(g, PagerankMode::Recompute).unwrap();
+        e.apply_delta(&d, PagerankMode::Recompute).unwrap();
+
+        let fresh = SearchEngine::build(
+            mutated_graph,
+            SynonymTable::new(),
+            &BuildConfig { d: 3, threads: 1 },
+        );
+        for text in ["database software company revenue", "company", "database"] {
+            let q1 = e.parse(text).unwrap();
+            let q2 = fresh.parse(text).unwrap();
+            let r1 = e.search(&q1, &SearchConfig::top(50));
+            let r2 = fresh.search(&q2, &SearchConfig::top(50));
+            assert_eq!(r1.patterns.len(), r2.patterns.len(), "query {text:?}");
+            for (a, b) in r1.patterns.iter().zip(&r2.patterns) {
+                assert!((a.score - b.score).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_error_leaves_engine_untouched() {
+        use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+        let mut e = engine();
+        let g = e.graph();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(g);
+        // Removing a non-existent edge fails at apply time.
+        d.remove_edge(NodeId(1), dev, NodeId(0)).unwrap();
+        assert!(e.apply_delta(&d, PagerankMode::Frozen).is_err());
+        assert_eq!(e.version(), 0);
+        let q = e.parse("database software company revenue").unwrap();
+        assert_eq!(e.search(&q, &SearchConfig::top(10)).patterns.len(), 9);
+    }
+}

@@ -1,0 +1,168 @@
+//! Human-readable explanations of answers: valid subtrees rendered as
+//! indented trees, with the matched keyword annotated on each path.
+//!
+//! Table answers (Figure 3) are the primary output, but debugging a
+//! ranking — "why is this pattern #1?" — needs the subtree structure and
+//! the per-factor score breakdown, which this module renders.
+
+use crate::result::RankedPattern;
+use crate::subtree::ValidSubtree;
+use patternkb_graph::{FxHashMap, KnowledgeGraph, NodeId};
+
+/// Render one subtree as an indented tree rooted at its root node.
+///
+/// ```text
+/// SQL Server [Software]
+/// ├─ Genre → Relational database [Model]   ⟵ database
+/// └─ Developer → Microsoft [Company]        ⟵ company
+///    └─ Revenue → US$ 77 billion            ⟵ revenue
+/// ```
+pub fn explain_tree(g: &KnowledgeGraph, tree: &ValidSubtree, keywords: &[&str]) -> String {
+    // Reassemble the union tree: parent → ordered children with the edge
+    // position along each contributing path, and per-node keyword marks.
+    let mut children: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+    let mut marks: FxHashMap<NodeId, Vec<usize>> = FxHashMap::default();
+    for (i, path) in tree.paths.iter().enumerate() {
+        for w in path.nodes.windows(2) {
+            let kids = children.entry(w[0]).or_default();
+            if !kids.contains(&w[1]) {
+                kids.push(w[1]);
+            }
+        }
+        let matched = *path.nodes.last().expect("non-empty path");
+        marks.entry(matched).or_default().push(i);
+    }
+
+    let mut out = String::new();
+    out.push_str(&node_label(g, tree.root));
+    if let Some(is) = marks.get(&tree.root) {
+        annotate(&mut out, is, keywords);
+    }
+    out.push('\n');
+    render_children(g, &children, &marks, keywords, tree.root, String::new(), &mut out);
+    out
+}
+
+fn render_children(
+    g: &KnowledgeGraph,
+    children: &FxHashMap<NodeId, Vec<NodeId>>,
+    marks: &FxHashMap<NodeId, Vec<usize>>,
+    keywords: &[&str],
+    node: NodeId,
+    prefix: String,
+    out: &mut String,
+) {
+    let Some(kids) = children.get(&node) else {
+        return;
+    };
+    for (i, &kid) in kids.iter().enumerate() {
+        let last = i + 1 == kids.len();
+        out.push_str(&prefix);
+        out.push_str(if last { "└─ " } else { "├─ " });
+        // Edge label: find the attribute of (node, kid) in the graph.
+        if let Some((attr, _)) = g.out_edges(node).find(|&(_, t)| t == kid) {
+            out.push_str(g.attr_text(attr));
+            out.push_str(" → ");
+        }
+        out.push_str(&node_label(g, kid));
+        if let Some(is) = marks.get(&kid) {
+            annotate(out, is, keywords);
+        }
+        out.push('\n');
+        let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+        render_children(g, children, marks, keywords, kid, child_prefix, out);
+    }
+}
+
+fn node_label(g: &KnowledgeGraph, v: NodeId) -> String {
+    let t = g.node_type(v);
+    if t == KnowledgeGraph::TEXT_TYPE {
+        format!("{:?}", g.node_text(v))
+    } else {
+        format!("{} [{}]", g.node_text(v), g.type_text(t))
+    }
+}
+
+fn annotate(out: &mut String, keyword_indices: &[usize], keywords: &[&str]) {
+    out.push_str("   ⟵ ");
+    let names: Vec<&str> = keyword_indices
+        .iter()
+        .map(|&i| keywords.get(i).copied().unwrap_or("?"))
+        .collect();
+    out.push_str(&names.join(", "));
+}
+
+/// Per-factor score breakdown of a pattern's aggregation (Eq. (2)/(3)).
+pub fn explain_score(p: &RankedPattern) -> String {
+    let mut out = format!(
+        "pattern score {:.6} over {} subtree(s)\n",
+        p.score, p.num_trees
+    );
+    for (i, t) in p.trees.iter().enumerate() {
+        out.push_str(&format!(
+            "  row {:>3}: score(T) = {:.6} (root node {})\n",
+            i + 1,
+            t.score,
+            t.root
+        ));
+    }
+    if p.trees.len() < p.num_trees {
+        out.push_str(&format!(
+            "  … {} more subtree(s) not materialized\n",
+            p.num_trees - p.trees.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::QueryContext;
+    use crate::linear_enum::linear_enum;
+    use crate::{Query, SearchConfig};
+    use patternkb_datagen::figure1;
+    use patternkb_index::{build_indexes, BuildConfig};
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    fn top_tree() -> (patternkb_graph::KnowledgeGraph, RankedPattern) {
+        let (g, _) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let r = linear_enum(&ctx, &SearchConfig::top(10));
+        (g, r.patterns[0].clone())
+    }
+
+    #[test]
+    fn tree_rendering_contains_structure() {
+        let (g, p) = top_tree();
+        let kw = ["database", "software", "company", "revenue"];
+        let shown = explain_tree(&g, &p.trees[0], &kw);
+        assert!(shown.contains("SQL Server [Software]"), "{shown}");
+        assert!(shown.contains("Genre → Relational database"), "{shown}");
+        assert!(shown.contains("Developer → Microsoft"), "{shown}");
+        assert!(shown.contains("US$ 77 billion"), "{shown}");
+        // Keyword annotations present.
+        assert!(shown.contains("⟵"), "{shown}");
+        assert!(shown.contains("database"), "{shown}");
+    }
+
+    #[test]
+    fn score_breakdown() {
+        let (_, p) = top_tree();
+        let shown = explain_score(&p);
+        assert!(shown.contains("2 subtree(s)"));
+        assert!(shown.contains("row   1"));
+        assert!(shown.contains("row   2"));
+    }
+
+    #[test]
+    fn breakdown_reports_unmaterialized_rows() {
+        let (_, mut p) = top_tree();
+        p.trees.truncate(1);
+        let shown = explain_score(&p);
+        assert!(shown.contains("1 more subtree"));
+    }
+}

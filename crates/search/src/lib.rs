@@ -1,0 +1,109 @@
+//! # patternkb-search
+//!
+//! The core contribution of the VLDB'14 paper: given a keyword query over a
+//! knowledge graph, find the **top-k d-height tree patterns** — aggregations
+//! of valid subtrees sharing one structural/type signature — and compose
+//! each into a table answer.
+//!
+//! The crate provides:
+//!
+//! * the scoring-function class of §2.2.3 ([`score`]);
+//! * valid subtrees and tree patterns ([`subtree`], [`result`]);
+//! * the **enumeration–aggregation baseline** of §2.3 ([`baseline`]) that
+//!   works straight off the graph (no path indexes);
+//! * **`PATTERNENUM`** (Algorithm 2, [`pattern_enum`]) over the
+//!   pattern-first index;
+//! * **`LINEARENUM`** (Algorithm 3, [`linear_enum`]) over the root-first
+//!   index, with output-linear running time (Theorem 3);
+//! * **`LINEARENUM-TOPK`** (Algorithm 4, [`topk`]) adding type partitioning
+//!   (§4.2.1) and root sampling with Hoeffding-bounded error (§4.2.2,
+//!   Theorem 5);
+//! * **`PATTERNENUM` with admissible upper-bound pruning** ([`bound`]) —
+//!   an extension beyond the paper that skips provably-unranked pattern
+//!   combinations before their set intersections;
+//! * individual-subtree ranking for the §5.3 comparison ([`individual`]);
+//! * exact pattern counting for the Theorem-1 experiments ([`counting`]);
+//! * table-answer composition per §2.2.2 ([`table`]) with user-facing
+//!   presentation — friendly column names, ordering, Markdown/CSV
+//!   ([`presentation`]);
+//! * a cost-based planner routing each query to the cheapest algorithm
+//!   ([`plan`], `SearchEngine::search_auto`);
+//! * MMR diversification of near-duplicate interpretations ([`mod@diversify`]);
+//! * a version-aware LRU result cache ([`cache`]) and snapshot-swap
+//!   concurrent serving under live mutation ([`concurrent`]);
+//! * a batteries-included [`engine::SearchEngine`] facade with incremental
+//!   mutation (`apply_delta`).
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod bound;
+pub mod cache;
+pub mod common;
+pub mod concurrent;
+pub mod counting;
+pub mod diversify;
+pub mod engine;
+pub mod explain;
+pub mod individual;
+pub mod linear_enum;
+pub mod metrics;
+pub mod pattern_enum;
+pub mod plan;
+pub mod presentation;
+pub mod query;
+pub mod relax;
+pub mod result;
+pub mod score;
+pub mod subtree;
+pub mod table;
+pub mod topk;
+pub mod unified;
+
+pub use cache::QueryCache;
+pub use concurrent::SharedEngine;
+pub use diversify::{diversify, DiversifyConfig};
+pub use engine::{Algorithm, SearchEngine};
+pub use plan::{PlannerConfig, QueryEstimate};
+pub use query::{ParseError, Query};
+pub use result::{QueryStats, RankedPattern, SearchResult};
+pub use score::{Aggregation, ScoringConfig};
+pub use subtree::{TreePath, ValidSubtree};
+pub use table::TableAnswer;
+
+/// Knobs shared by every search algorithm.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Number of tree patterns to return (the paper defaults to 100).
+    pub k: usize,
+    /// The scoring function (Eqs. (2)–(6)).
+    pub scoring: ScoringConfig,
+    /// Reject path tuples whose union is not a tree (two paths converging
+    /// on one node via different routes). The paper's algorithms do **not**
+    /// perform this check (see DESIGN.md §2); enable it as an ablation.
+    pub strict_trees: bool,
+    /// Materialize at most this many example subtrees (table rows) per
+    /// returned pattern. Scores always aggregate over *all* subtrees.
+    pub max_rows: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            k: 100,
+            scoring: ScoringConfig::default(),
+            strict_trees: false,
+            max_rows: 64,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Config returning the top `k` with otherwise default settings.
+    pub fn top(k: usize) -> Self {
+        SearchConfig {
+            k,
+            ..Default::default()
+        }
+    }
+}

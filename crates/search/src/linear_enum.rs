@@ -1,0 +1,180 @@
+//! `LINEARENUM` — Algorithm 3.
+//!
+//! Instead of enumerating tree patterns directly, find all candidate roots
+//! (`R = ∩ Roots(wᵢ)` from the root-first index), then `EXPANDROOT` each:
+//! the pattern product × path product under a root only ever visits
+//! **nonempty** tree patterns, so the running time is linear in the index
+//! size plus the output size (Theorem 3):
+//! `O(N · d · m + Σᵢ Sᵢ)`.
+
+use crate::common::{expand_root, QueryContext, TreeDict};
+use crate::result::{QueryStats, RankedPattern, SearchResult};
+use crate::SearchConfig;
+use std::time::Instant;
+
+/// Run `LINEARENUM`, returning all tree patterns ranked and truncated to
+/// `cfg.k`. (The type-partitioned, sampled top-k variant is
+/// [`crate::topk::linear_enum_topk`].)
+pub fn linear_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
+    let t0 = Instant::now();
+    let roots = ctx.candidate_roots();
+    let mut dict = TreeDict::default();
+    let mut subtrees = 0usize;
+    for &r in &roots {
+        subtrees += expand_root(ctx, cfg, r, &mut dict);
+    }
+    let patterns_found = dict.len();
+    let patterns: Vec<RankedPattern> = dict
+        .into_iter()
+        .map(|(key, group)| RankedPattern {
+            pattern: ctx.decode_key(&key),
+            score: group.acc.finish(cfg.scoring.aggregation),
+            num_trees: group.acc.count as usize,
+            trees: group.trees,
+        })
+        .collect();
+    SearchResult {
+        patterns,
+        stats: QueryStats {
+            candidate_roots: roots.len(),
+            subtrees,
+            patterns: patterns_found,
+            combos_tried: patterns_found,
+            combos_pruned: 0,
+            elapsed: t0.elapsed(),
+        },
+    }
+    .finalize(cfg.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Query;
+    use patternkb_datagen::figure1;
+    use patternkb_index::{build_indexes, BuildConfig};
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    fn setup() -> (
+        patternkb_graph::KnowledgeGraph,
+        TextIndex,
+        patternkb_index::PathIndexes,
+    ) {
+        let (g, _) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        (g, t, idx)
+    }
+
+    #[test]
+    fn figure1_query_finds_nine_patterns() {
+        // "database software company revenue" on Figure 1(d) with d = 3:
+        // root v1 contributes 8 pattern combos (database via Genre/Model or
+        // Reference/Book × software via self or Reference/Book × company via
+        // Developer or Reference/Publisher), v7 shares P1, v12 contributes
+        // P2 → 9 distinct patterns, 10 subtrees.
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let r = linear_enum(&ctx, &SearchConfig::top(100));
+        assert_eq!(r.stats.candidate_roots, 3); // v1, v7, v12
+        assert_eq!(r.stats.subtrees, 10);
+        assert_eq!(r.patterns.len(), 9);
+        let total_trees: usize = r.patterns.iter().map(|p| p.num_trees).sum();
+        assert_eq!(total_trees, 10);
+    }
+
+    #[test]
+    fn figure1_top_pattern_is_p1() {
+        // Example 2.4: P1 (the Genre/Model interpretation with 2 subtrees)
+        // outscores P2 (the Book interpretation).
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let r = linear_enum(&ctx, &SearchConfig::top(100));
+        let top = r.top().unwrap();
+        assert_eq!(top.num_trees, 2, "P1 aggregates T1 and T2");
+        let shown = top.display(&g);
+        assert!(shown.contains("(Software) (Genre) (Model)"), "{shown}");
+        assert!(shown.contains("(Software) (Developer) (Company) (Revenue)"), "{shown}");
+        // Example 2.4 arithmetic: score(T1) = 4·3.5/8 = 1.75, so
+        // score(P1) = 3.5 under Sum aggregation.
+        assert!((top.score - 3.5).abs() < 1e-9, "score {}", top.score);
+    }
+
+    #[test]
+    fn p2_score_matches_example() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let r = linear_enum(&ctx, &SearchConfig::top(100));
+        // P2: single subtree rooted at the Book.
+        let p2 = r
+            .patterns
+            .iter()
+            .find(|p| g.type_text(p.pattern[0].root_type()) == "Book")
+            .expect("P2 present");
+        assert_eq!(p2.num_trees, 1);
+        // score(T3) = score2 · score3 / score1 = 4 · (1/6+1/6+1+1) / 7.
+        let expected = 4.0 * (1.0 / 6.0 + 1.0 / 6.0 + 1.0 + 1.0) / 7.0;
+        assert!((p2.score - expected).abs() < 1e-9, "score {}", p2.score);
+    }
+
+    #[test]
+    fn single_keyword_query() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let r = linear_enum(&ctx, &SearchConfig::top(100));
+        // Revenue edges exist under Microsoft, Oracle Corp, Springer; roots
+        // reaching them within d=3: each company itself, plus SQL Server /
+        // Oracle DB (via Developer), plus the Book (via Publisher).
+        assert_eq!(r.stats.candidate_roots, 6);
+        assert!(r.patterns.iter().all(|p| p.height() <= 3));
+        // Every pattern is edge-terminal in its only keyword path.
+        for p in &r.patterns {
+            assert!(p.pattern[0].edge_terminal);
+        }
+    }
+
+    #[test]
+    fn unanswerable_context_is_none() {
+        let (g, t, idx) = setup();
+        // "gates" exists; craft a query with a word that exists in vocab
+        // but — actually unknown words fail at parse; a context is None only
+        // for words absent from the index, which parse already rejects.
+        let q = Query::parse(&t, "gates").unwrap();
+        assert!(QueryContext::new(&g, &idx, &q).is_some());
+    }
+
+    #[test]
+    fn k_truncation() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let r = linear_enum(&ctx, &SearchConfig::top(2));
+        assert_eq!(r.patterns.len(), 2);
+        assert!(r.patterns[0].score >= r.patterns[1].score);
+    }
+
+    #[test]
+    fn strict_trees_on_figure1_changes_nothing() {
+        // Figure 1(d) path tuples never converge, so strict mode must agree.
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let lax = linear_enum(&ctx, &SearchConfig::top(100));
+        let strict = linear_enum(
+            &ctx,
+            &SearchConfig {
+                strict_trees: true,
+                ..SearchConfig::top(100)
+            },
+        );
+        assert_eq!(lax.patterns.len(), strict.patterns.len());
+        for (a, b) in lax.patterns.iter().zip(&strict.patterns) {
+            assert_eq!(a.key(), b.key());
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! `PATTERNENUM` — Algorithm 2.
+//!
+//! For each root type `C`, enumerate every combination of per-keyword path
+//! patterns rooted at `C` (from the pattern-first index), intersect the
+//! pattern's root lists to test emptiness (line 5), and for nonempty
+//! combinations join the paths at their shared roots into valid subtrees.
+//!
+//! Only `k` patterns (plus their materialized rows) are ever held in
+//! memory, so the footprint is small; the price is the worst-case `Θ(p^m)`
+//! joins wasted on **empty** pattern combinations (§4.1's adversarial
+//! construction, reproduced in `datagen::worstcase` and the `worst_case`
+//! bench).
+
+use crate::common::{
+    for_each_path_tuple, intersect_sorted, materialize_tree, QueryContext,
+};
+use crate::result::{QueryStats, RankedPattern, SearchResult};
+use crate::score::ScoreAcc;
+use crate::subtree::node_slices_form_tree;
+use crate::SearchConfig;
+use patternkb_graph::{FxHashMap, NodeId, TypeId};
+use patternkb_index::{PatternId, Posting};
+use std::time::Instant;
+
+/// Run `PATTERNENUM`.
+pub fn pattern_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
+    let t0 = Instant::now();
+    let m = ctx.m();
+
+    // Per keyword: patterns grouped by root type (PatternsC(wᵢ), line 3).
+    let by_type: Vec<FxHashMap<TypeId, Vec<PatternId>>> = ctx
+        .words
+        .iter()
+        .map(|w| {
+            let mut map: FxHashMap<TypeId, Vec<PatternId>> = FxHashMap::default();
+            for p in w.patterns() {
+                map.entry(ctx.idx.patterns().root_type(p)).or_default().push(p);
+            }
+            map
+        })
+        .collect();
+
+    // Root types present for *every* keyword, in id order for determinism.
+    let mut types: Vec<TypeId> = by_type[0].keys().copied().collect();
+    types.sort_unstable();
+    types.retain(|c| by_type.iter().all(|map| map.contains_key(c)));
+
+    let mut best: Vec<RankedPattern> = Vec::new();
+    let mut combos_tried = 0usize;
+    let mut subtrees = 0usize;
+    let mut patterns_found = 0usize;
+    let mut candidate_roots_seen: Vec<u32> = Vec::new();
+
+    let mut combo = vec![0usize; m];
+    let mut chosen: Vec<PatternId> = vec![PatternId(0); m];
+    let mut root_lists: Vec<&[u32]> = Vec::with_capacity(m);
+    let mut slices: Vec<&[Posting]> = Vec::with_capacity(m);
+    let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
+    let mut node_scratch: Vec<&[NodeId]> = Vec::with_capacity(m);
+
+    for &c in &types {
+        let lists: Vec<&Vec<PatternId>> = by_type.iter().map(|map| &map[&c]).collect();
+        combo.iter_mut().for_each(|x| *x = 0);
+
+        // Line 4: the pattern product for this root type.
+        loop {
+            combos_tried += 1;
+            root_lists.clear();
+            for i in 0..m {
+                chosen[i] = lists[i][combo[i]];
+                root_lists.push(ctx.words[i].roots_of_pattern(chosen[i]));
+            }
+            // Line 5: candidate roots of this tree pattern.
+            let roots = intersect_sorted(&root_lists);
+            if !roots.is_empty() {
+                // Lines 7–8: join paths at each shared root.
+                let mut acc = ScoreAcc::new();
+                let mut trees = Vec::new();
+                for &r in &roots {
+                    let root = NodeId(r);
+                    slices.clear();
+                    for i in 0..m {
+                        slices.push(ctx.words[i].paths_of_pattern_root(chosen[i], root));
+                    }
+                    subtrees += for_each_path_tuple(&slices, &mut scratch, |tuple| {
+                        if cfg.strict_trees {
+                            node_scratch.clear();
+                            for (i, p) in tuple.iter().enumerate() {
+                                node_scratch.push(ctx.words[i].nodes_of(p));
+                            }
+                            if !node_slices_form_tree(root, &node_scratch) {
+                                return;
+                            }
+                        }
+                        let score = cfg.scoring.tree_score_of(tuple);
+                        acc.push(score);
+                        if trees.len() < cfg.max_rows {
+                            trees.push(materialize_tree(&ctx.words, root, tuple, score));
+                        }
+                    });
+                }
+                if acc.count > 0 {
+                    patterns_found += 1;
+                    candidate_roots_seen.extend_from_slice(&roots);
+                    let key_patterns = chosen.iter().map(|p| ctx.idx.patterns().decode(*p)).collect();
+                    best.push(RankedPattern {
+                        pattern: key_patterns,
+                        score: acc.finish(cfg.scoring.aggregation),
+                        num_trees: acc.count as usize,
+                        trees,
+                    });
+                    // Keep at most ~k patterns in memory (paper: queue Q of
+                    // size k), amortizing the compaction.
+                    if best.len() >= 2 * cfg.k.max(8) {
+                        compact(&mut best, cfg.k);
+                    }
+                }
+            }
+
+            // Odometer over pattern combos.
+            let mut pos = m;
+            let mut done = false;
+            loop {
+                if pos == 0 {
+                    done = true;
+                    break;
+                }
+                pos -= 1;
+                combo[pos] += 1;
+                if combo[pos] < lists[pos].len() {
+                    break;
+                }
+                combo[pos] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+
+    candidate_roots_seen.sort_unstable();
+    candidate_roots_seen.dedup();
+    SearchResult {
+        patterns: best,
+        stats: QueryStats {
+            candidate_roots: candidate_roots_seen.len(),
+            subtrees,
+            patterns: patterns_found,
+            combos_tried,
+            combos_pruned: 0,
+            elapsed: t0.elapsed(),
+        },
+    }
+    .finalize(cfg.k)
+}
+
+fn compact(best: &mut Vec<RankedPattern>, k: usize) {
+    best.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.key().cmp(&b.key()))
+    });
+    best.truncate(k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_enum::linear_enum;
+    use crate::Query;
+    use patternkb_datagen::{figure1, worstcase};
+    use patternkb_index::{build_indexes, BuildConfig};
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    fn setup() -> (
+        patternkb_graph::KnowledgeGraph,
+        TextIndex,
+        patternkb_index::PathIndexes,
+    ) {
+        let (g, _) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        (g, t, idx)
+    }
+
+    #[test]
+    fn agrees_with_linear_enum_on_figure1() {
+        let (g, t, idx) = setup();
+        for query in [
+            "database software company revenue",
+            "revenue",
+            "database company",
+            "bill gates",
+        ] {
+            let q = Query::parse(&t, query).unwrap();
+            let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+            let cfg = SearchConfig::top(100);
+            let le = linear_enum(&ctx, &cfg);
+            let pe = pattern_enum(&ctx, &cfg);
+            assert_eq!(le.patterns.len(), pe.patterns.len(), "query {query}");
+            for (a, b) in le.patterns.iter().zip(&pe.patterns) {
+                assert_eq!(a.key(), b.key(), "query {query}");
+                assert!((a.score - b.score).abs() < 1e-9);
+                assert_eq!(a.num_trees, b.num_trees);
+            }
+        }
+    }
+
+    #[test]
+    fn wastes_quadratic_combos_on_worstcase() {
+        // §4.1: p² combos tried, zero patterns found.
+        let p = 12;
+        let g = worstcase::worstcase(p);
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let q = Query::parse(&t, &format!("{} {}", worstcase::W1, worstcase::W2)).unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let pe = pattern_enum(&ctx, &SearchConfig::top(10));
+        assert_eq!(pe.patterns.len(), 0);
+        assert!(
+            pe.stats.combos_tried >= p * p,
+            "tried {} combos, expected ≥ {}",
+            pe.stats.combos_tried,
+            p * p
+        );
+        // LINEARENUM finds the empty answer without trying any combo.
+        let le = linear_enum(&ctx, &SearchConfig::top(10));
+        assert_eq!(le.patterns.len(), 0);
+        assert_eq!(le.stats.combos_tried, 0);
+        assert_eq!(le.stats.candidate_roots, 0);
+    }
+
+    #[test]
+    fn stats_subtree_counts_match() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let cfg = SearchConfig::top(100);
+        let pe = pattern_enum(&ctx, &cfg);
+        let le = linear_enum(&ctx, &cfg);
+        assert_eq!(pe.stats.subtrees, le.stats.subtrees);
+        assert_eq!(pe.stats.candidate_roots, le.stats.candidate_roots);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cost-based algorithm selection.
+//!
+//! The paper leaves the operator with a tension: `PATTERNENUM` is "fast in
+//! practice most of the time" but `Θ(pᵐ)` in the worst case (§4.1), while
+//! `LINEARENUM-TOPK` is output-linear (Theorem 3) and sampleable
+//! (Theorem 5) but pays dictionary aggregation. A production service
+//! should not make the user choose. This module estimates the two cost
+//! drivers **from the index alone** — both are exact counts obtained
+//! without enumerating a single subtree — and picks:
+//!
+//! * the **pattern-combination count** `Πᵢ |Patterns(wᵢ)|`, the size of
+//!   the product `PATTERNENUM` iterates (its §4.1 failure mode); and
+//! * the **valid-subtree count** `N = Σ_r Πᵢ |Paths(wᵢ, r)|` (Algorithm 4
+//!   line 4), the term `LINEARENUM`'s Theorem-3 running time is linear in.
+//!
+//! Policy: small combination space → pruned `PATTERNENUM` (no dictionary,
+//! tiny footprint, admissible pruning caps the tail); otherwise exact
+//! `LINEARENUM-TOPK` while `N` is affordable; otherwise `LINEARENUM-TOPK`
+//! with root sampling (Hoeffding-bounded error). Thresholds are exposed in
+//! [`PlannerConfig`] and the decision is returned next to the result, so
+//! callers can log or override it.
+
+use crate::common::QueryContext;
+use crate::counting::count_subtrees;
+use crate::engine::Algorithm;
+use crate::topk::SamplingConfig;
+
+/// The two cost drivers, measured exactly from the per-word indexes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryEstimate {
+    /// `|∩ᵢ Roots(wᵢ)|` — candidate roots (Algorithm 3 line 1).
+    pub candidate_roots: usize,
+    /// `N = Σ_r Πᵢ |Paths(wᵢ, r)|` — valid subtrees, without enumeration
+    /// (saturating).
+    pub subtrees: u64,
+    /// `Πᵢ |Patterns(wᵢ)|` — the pattern product `PATTERNENUM` iterates in
+    /// the worst case (saturating).
+    pub pattern_combos: u64,
+    /// `Σᵢ Sᵢ` — total postings behind the query's keywords.
+    pub index_postings: usize,
+}
+
+/// Measure both cost drivers. Cost: one sorted-list intersection plus a
+/// per-root group-size scan — the same work `LINEARENUM` line 1 and
+/// Algorithm 4 line 4 do before any enumeration.
+pub fn estimate(ctx: &QueryContext<'_>) -> QueryEstimate {
+    let candidate_roots = ctx.candidate_roots().len();
+    let subtrees = count_subtrees(ctx);
+    let mut combos: u64 = 1;
+    for w in &ctx.words {
+        combos = combos.saturating_mul(w.patterns().count() as u64);
+    }
+    QueryEstimate {
+        candidate_roots,
+        subtrees,
+        pattern_combos: combos,
+        index_postings: ctx.words.iter().map(|w| w.len()).sum(),
+    }
+}
+
+/// Planner thresholds. Defaults favor the paper's observations: the join
+/// algorithm until its combination space could bite, exact linear
+/// enumeration until `N` gets heavy, sampling beyond.
+#[derive(Clone, Debug)]
+pub struct PlannerConfig {
+    /// Run pruned `PATTERNENUM` while `pattern_combos` ≤ this.
+    pub max_combos: u64,
+    /// Run exact `LINEARENUM-TOPK` while `subtrees` ≤ this.
+    pub max_subtrees_exact: u64,
+    /// Sampling parameters once `subtrees` exceeds the exact budget.
+    pub sampling: SamplingConfig,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            max_combos: 4_096,
+            max_subtrees_exact: 1_000_000,
+            sampling: SamplingConfig::new(100_000, 0.1, 42),
+        }
+    }
+}
+
+/// Pick an algorithm for the measured costs.
+pub fn choose(est: &QueryEstimate, cfg: &PlannerConfig) -> Algorithm {
+    if est.pattern_combos <= cfg.max_combos {
+        Algorithm::PatternEnumPruned
+    } else if est.subtrees <= cfg.max_subtrees_exact {
+        Algorithm::LinearEnumTopK(SamplingConfig::exact())
+    } else {
+        Algorithm::LinearEnumTopK(cfg.sampling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Query, SearchConfig, SearchEngine};
+    use patternkb_datagen::worstcase::{worstcase, W1, W2};
+    use patternkb_datagen::figure1;
+    use patternkb_index::BuildConfig;
+    use patternkb_text::SynonymTable;
+
+    fn fig1_engine() -> SearchEngine {
+        let (g, _) = figure1();
+        SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 })
+    }
+
+    #[test]
+    fn estimate_matches_exact_counters() {
+        let e = fig1_engine();
+        let q = e.parse("database software company revenue").unwrap();
+        let ctx = QueryContext::new(e.graph(), e.index(), &q).unwrap();
+        let est = estimate(&ctx);
+        assert_eq!(est.subtrees, e.count_subtrees(&q));
+        assert_eq!(est.subtrees, 10);
+        assert!(est.candidate_roots >= 2);
+        assert!(est.pattern_combos >= 9, "at least the 9 nonempty patterns");
+    }
+
+    #[test]
+    fn small_queries_take_the_join_path() {
+        let e = fig1_engine();
+        let q = e.parse("database company").unwrap();
+        let ctx = QueryContext::new(e.graph(), e.index(), &q).unwrap();
+        let algo = choose(&estimate(&ctx), &PlannerConfig::default());
+        assert!(matches!(algo, Algorithm::PatternEnumPruned));
+    }
+
+    #[test]
+    fn worstcase_avoids_the_combination_blowup() {
+        // §4.1: p² empty combinations. The planner must see the product
+        // coming and route to LINEARENUM, which exits immediately.
+        let p = 128usize;
+        let e = SearchEngine::build(
+            worstcase(p),
+            SynonymTable::new(),
+            &BuildConfig { d: 2, threads: 1 },
+        );
+        let q = e.parse(&format!("{W1} {W2}")).unwrap();
+        let ctx = QueryContext::new(e.graph(), e.index(), &q).unwrap();
+        let est = estimate(&ctx);
+        assert!(est.pattern_combos >= (p * p) as u64);
+        assert_eq!(est.subtrees, 0, "no shared roots in the §4.1 graph");
+        let algo = choose(&est, &PlannerConfig::default());
+        assert!(
+            matches!(algo, Algorithm::LinearEnumTopK(s) if s.rho == 1.0),
+            "expected exact linear enumeration, got {algo:?}"
+        );
+    }
+
+    #[test]
+    fn heavy_queries_get_sampling() {
+        let est = QueryEstimate {
+            candidate_roots: 50_000,
+            subtrees: 5_000_000,
+            pattern_combos: 1 << 40,
+            index_postings: 1_000_000,
+        };
+        let algo = choose(&est, &PlannerConfig::default());
+        assert!(matches!(algo, Algorithm::LinearEnumTopK(s) if s.rho < 1.0));
+    }
+
+    #[test]
+    fn search_auto_equals_manual_choice() {
+        let e = fig1_engine();
+        let cfg = SearchConfig::top(10);
+        for text in ["database software company revenue", "revenue", "bill gates"] {
+            let q = e.parse(text).unwrap();
+            let (auto, algo) = e.search_auto(&q, &cfg);
+            let manual = e.search_with(&q, &cfg, algo);
+            assert_eq!(auto.patterns.len(), manual.patterns.len(), "{text}");
+            for (a, b) in auto.patterns.iter().zip(&manual.patterns) {
+                assert_eq!(a.key(), b.key());
+                assert!((a.score - b.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn search_auto_on_unanswerable_query() {
+        let e = fig1_engine();
+        let q = Query::from_ids([patternkb_graph::WordId(u32::MAX)]);
+        let (r, algo) = e.search_auto(&q, &SearchConfig::top(10));
+        assert!(r.patterns.is_empty());
+        // Default decision on an unindexable query.
+        assert!(matches!(algo, Algorithm::PatternEnumPruned));
+    }
+
+    #[test]
+    fn custom_thresholds_flip_decisions() {
+        let e = fig1_engine();
+        let q = e.parse("database company").unwrap();
+        let ctx = QueryContext::new(e.graph(), e.index(), &q).unwrap();
+        let est = estimate(&ctx);
+        // Forbid the join path entirely.
+        let cfg = PlannerConfig {
+            max_combos: 0,
+            ..PlannerConfig::default()
+        };
+        assert!(matches!(
+            choose(&est, &cfg),
+            Algorithm::LinearEnumTopK(s) if s.rho == 1.0
+        ));
+        // Forbid exact enumeration too.
+        let cfg = PlannerConfig {
+            max_combos: 0,
+            max_subtrees_exact: 0,
+            ..PlannerConfig::default()
+        };
+        assert!(matches!(
+            choose(&est, &cfg),
+            Algorithm::LinearEnumTopK(s) if s.rho < 1.0
+        ));
+    }
+}

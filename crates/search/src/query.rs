@@ -1,0 +1,147 @@
+//! Keyword queries.
+//!
+//! A query is a set of canonical word ids `q = {w1, …, wm}` (§2.2). Parsing
+//! runs raw user text through the same tokenize→stem→synonym pipeline as
+//! indexing, so "Mel Gibson movies" and "movie mel gibson" are the same
+//! query.
+
+use patternkb_graph::WordId;
+use patternkb_text::TextIndex;
+
+/// A parsed keyword query (distinct canonical words, in first-seen order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Canonical keyword ids.
+    pub keywords: Vec<WordId>,
+}
+
+/// Why parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input contained no tokens at all.
+    Empty,
+    /// Some tokens never occur in the knowledge base (canonical forms
+    /// listed); such a keyword can match nothing, so the query would have
+    /// zero answers.
+    UnknownWords(Vec<String>),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty query"),
+            ParseError::UnknownWords(ws) => {
+                write!(f, "keywords not found in the knowledge base: {}", ws.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Query {
+    /// Build from pre-canonicalized ids (deduplicated, order preserved).
+    pub fn from_ids(ids: impl IntoIterator<Item = WordId>) -> Self {
+        let mut keywords = Vec::new();
+        for id in ids {
+            if !keywords.contains(&id) {
+                keywords.push(id);
+            }
+        }
+        Query { keywords }
+    }
+
+    /// Parse raw text against a knowledge base's text index.
+    pub fn parse(text: &TextIndex, input: &str) -> Result<Self, ParseError> {
+        let mut keywords = Vec::new();
+        let mut unknown = Vec::new();
+        let mut any = false;
+        patternkb_text::tokenize::for_each_token(input, |tok| {
+            any = true;
+            match text.lookup_word(tok) {
+                Some(w) => {
+                    if !keywords.contains(&w) {
+                        keywords.push(w);
+                    }
+                }
+                None => {
+                    let canon = text.vocab().canonical_form(tok);
+                    if !unknown.contains(&canon) {
+                        unknown.push(canon);
+                    }
+                }
+            }
+        });
+        if !any {
+            return Err(ParseError::Empty);
+        }
+        if !unknown.is_empty() {
+            return Err(ParseError::UnknownWords(unknown));
+        }
+        Ok(Query { keywords })
+    }
+
+    /// Number of keywords `m`.
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Whether the query has no keywords.
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternkb_graph::GraphBuilder;
+    use patternkb_text::SynonymTable;
+
+    fn text_index() -> TextIndex {
+        let mut b = GraphBuilder::new();
+        b.skip_pagerank();
+        let t = b.add_type("Software");
+        let a = b.add_attr("Revenue");
+        let v = b.add_node(t, "SQL Server database");
+        b.add_text_edge(v, a, "lots");
+        TextIndex::build(&b.build(), SynonymTable::new())
+    }
+
+    #[test]
+    fn parse_happy_path() {
+        let t = text_index();
+        let q = Query::parse(&t, "database software").unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn parse_dedups_variants() {
+        let t = text_index();
+        let q = Query::parse(&t, "database databases DATABASE").unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let t = text_index();
+        match Query::parse(&t, "database zebra") {
+            Err(ParseError::UnknownWords(ws)) => assert_eq!(ws, vec!["zebra".to_string()]),
+            other => panic!("expected UnknownWords, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_empty() {
+        let t = text_index();
+        assert_eq!(Query::parse(&t, "  ...  "), Err(ParseError::Empty));
+        let err = format!("{}", Query::parse(&t, "").unwrap_err());
+        assert!(err.contains("empty"));
+    }
+
+    #[test]
+    fn from_ids_dedups() {
+        let q = Query::from_ids([WordId(3), WordId(1), WordId(3)]);
+        assert_eq!(q.keywords, vec![WordId(3), WordId(1)]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Query relaxation for empty results.
+//!
+//! A keyword query has answers iff the intersection of the per-keyword
+//! root sets is non-empty (§4.2, line 1 of Algorithm 3). When a user query
+//! comes back empty, the productive next step is to tell them *which
+//! keywords to drop*: this module finds all **maximal answerable
+//! sub-queries** — subsets of the keywords whose root intersection is
+//! non-empty and that are not contained in any larger answerable subset.
+//!
+//! The search is a lattice walk from the full query downward, pruning
+//! subsets of already-answerable sets; with the paper's m ≤ 10 keywords
+//! the worst case (2^m intersections) is trivially affordable, and each
+//! intersection is a sorted-list walk over the root-first index.
+
+use crate::common::{intersect_sorted, QueryContext};
+use crate::Query;
+use patternkb_graph::WordId;
+
+/// One maximal answerable sub-query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relaxation {
+    /// The keywords kept (in original query order).
+    pub keywords: Vec<WordId>,
+    /// The keywords that had to be dropped.
+    pub dropped: Vec<WordId>,
+    /// Number of candidate roots of the kept sub-query.
+    pub candidate_roots: usize,
+}
+
+/// Find all maximal answerable sub-queries of `query`. Returns an empty
+/// vector when the full query is already answerable (no relaxation
+/// needed), and also when *no* single keyword matches anything.
+pub fn relax(ctx: &QueryContext<'_>, query: &Query) -> Vec<Relaxation> {
+    let m = query.keywords.len();
+    debug_assert_eq!(m, ctx.words.len());
+    if m == 0 {
+        return Vec::new();
+    }
+    let roots_of = |mask: u32| -> usize {
+        let lists: Vec<&[u32]> = (0..m)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| ctx.words[i].roots())
+            .collect();
+        if lists.is_empty() {
+            0
+        } else {
+            intersect_sorted(&lists).len()
+        }
+    };
+
+    let full: u32 = if m >= 32 { u32::MAX } else { (1u32 << m) - 1 };
+    if roots_of(full) > 0 {
+        return Vec::new(); // already answerable
+    }
+
+    // Enumerate subsets by descending popcount; keep answerable ones that
+    // are not subsets of an already-kept set.
+    let mut kept: Vec<(u32, usize)> = Vec::new();
+    let mut subsets: Vec<u32> = (1..full).collect();
+    subsets.sort_by_key(|s| std::cmp::Reverse(s.count_ones()));
+    for s in subsets {
+        if kept.iter().any(|&(k, _)| k & s == s) {
+            continue; // contained in a maximal answerable superset
+        }
+        let roots = roots_of(s);
+        if roots > 0 {
+            kept.push((s, roots));
+        }
+    }
+
+    kept.sort_by_key(|&(s, roots)| (std::cmp::Reverse(s.count_ones()), std::cmp::Reverse(roots)));
+    kept.into_iter()
+        .map(|(s, candidate_roots)| {
+            let mut keywords = Vec::new();
+            let mut dropped = Vec::new();
+            for (i, &w) in query.keywords.iter().enumerate() {
+                if s & (1 << i) != 0 {
+                    keywords.push(w);
+                } else {
+                    dropped.push(w);
+                }
+            }
+            Relaxation {
+                keywords,
+                dropped,
+                candidate_roots,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternkb_datagen::worstcase::{self, W1, W2};
+    use patternkb_datagen::figure1;
+    use patternkb_index::{build_indexes, BuildConfig};
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    #[test]
+    fn answerable_query_needs_no_relaxation() {
+        let (g, _) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        assert!(relax(&ctx, &q).is_empty());
+    }
+
+    #[test]
+    fn worstcase_query_splits_into_singletons() {
+        // {w1, w2} has no shared root; each singleton is answerable.
+        let g = worstcase::worstcase(3);
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let q = Query::parse(&t, &format!("{W1} {W2}")).unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let rs = relax(&ctx, &q);
+        assert_eq!(rs.len(), 2);
+        for r in &rs {
+            assert_eq!(r.keywords.len(), 1);
+            assert_eq!(r.dropped.len(), 1);
+            assert!(r.candidate_roots > 0);
+        }
+    }
+
+    #[test]
+    fn drops_only_the_offending_keyword() {
+        // "database oracle gates" on Figure 1(d): no root reaches all three
+        // ("oracle" lives under v7/v8, "gates" under v1/v3/v11; the only
+        // shared root candidates don't overlap). The maximal relaxations are
+        // {database, oracle} (root v7) and {database, gates} (root v1) —
+        // each dropping exactly one keyword.
+        let (g, _) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let q = Query::parse(&t, "database oracle gates").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let rs = relax(&ctx, &q);
+        assert_eq!(rs.len(), 2, "{rs:?}");
+        let oracle = t.lookup_word("oracle").unwrap();
+        let gates = t.lookup_word("gates").unwrap();
+        for r in &rs {
+            assert_eq!(r.keywords.len(), 2);
+            assert_eq!(r.dropped.len(), 1);
+            assert!(r.dropped == vec![oracle] || r.dropped == vec![gates]);
+            assert!(r.candidate_roots > 0);
+        }
+        // All results are maximal: no result's keyword set is a subset of
+        // another's.
+        for a in &rs {
+            for b in &rs {
+                if a != b {
+                    let a_set: std::collections::BTreeSet<_> = a.keywords.iter().collect();
+                    let b_set: std::collections::BTreeSet<_> = b.keywords.iter().collect();
+                    assert!(!a_set.is_subset(&b_set));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_prefers_larger_then_more_roots() {
+        let g = worstcase::worstcase(4);
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let q = Query::parse(&t, &format!("{W1} {W2} rootone")).unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let rs = relax(&ctx, &q);
+        assert!(!rs.is_empty());
+        for w in rs.windows(2) {
+            assert!(w[0].keywords.len() >= w[1].keywords.len());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Search results: ranked tree patterns with their aggregated subtrees.
+
+use crate::subtree::ValidSubtree;
+use patternkb_graph::KnowledgeGraph;
+use patternkb_index::PathPattern;
+use std::time::Duration;
+
+/// One answer: a tree pattern, its relevance score, and (a sample of) the
+/// valid subtrees satisfying it — one table row each.
+#[derive(Clone, Debug)]
+pub struct RankedPattern {
+    /// Per-keyword path patterns (Eq. (1)), decoded and self-contained so
+    /// results from different algorithms (with different interners) compare
+    /// structurally.
+    pub pattern: Vec<PathPattern>,
+    /// `score(P, q)` under the aggregation in effect.
+    pub score: f64,
+    /// Total number of valid subtrees `|trees(P)|`.
+    pub num_trees: usize,
+    /// Materialized subtrees, up to `SearchConfig::max_rows`, in discovery
+    /// order (root ascending).
+    pub trees: Vec<ValidSubtree>,
+}
+
+impl RankedPattern {
+    /// Height of the tree pattern — the max path-pattern height (§2.2.2).
+    pub fn height(&self) -> usize {
+        self.pattern.iter().map(PathPattern::height).max().unwrap_or(0)
+    }
+
+    /// Paper-style rendering, e.g.
+    /// `[(Software) (Genre) (Model) | (Software) | …]`.
+    pub fn display(&self, g: &KnowledgeGraph) -> String {
+        let parts: Vec<String> = self.pattern.iter().map(|p| p.display(g)).collect();
+        format!("[{}]", parts.join(" | "))
+    }
+
+    /// A canonical sort/equality key for deterministic ordering and
+    /// cross-algorithm comparison.
+    pub fn key(&self) -> Vec<u32> {
+        let mut key = Vec::new();
+        for p in &self.pattern {
+            key.extend(p.encode());
+        }
+        key
+    }
+}
+
+/// Execution counters reported next to the answers (drives the §5 plots).
+#[derive(Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Candidate roots considered (`|R|`).
+    pub candidate_roots: usize,
+    /// Valid subtrees enumerated (`N`, or the sampled subset for
+    /// `LINEARENUM-TOPK`).
+    pub subtrees: usize,
+    /// Non-empty tree patterns discovered.
+    pub patterns: usize,
+    /// Pattern combinations *tried* — for `PATTERNENUM` this includes the
+    /// empty ones it wastes joins on (§4.1's `Θ(p^m)` term).
+    pub combos_tried: usize,
+    /// Pattern combinations skipped by an admissible score upper bound
+    /// before any intersection work (only [`crate::bound`] sets this).
+    pub combos_pruned: usize,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// The outcome of one query execution.
+#[derive(Clone, Debug, Default)]
+pub struct SearchResult {
+    /// Top-k patterns, best first; ties broken by pattern key for
+    /// determinism.
+    pub patterns: Vec<RankedPattern>,
+    /// Execution counters.
+    pub stats: QueryStats,
+}
+
+impl SearchResult {
+    /// Sort patterns by `(score desc, key asc)` and truncate to `k`.
+    pub fn finalize(mut self, k: usize) -> Self {
+        self.patterns.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.key().cmp(&b.key()))
+        });
+        self.patterns.truncate(k);
+        self
+    }
+
+    /// The best pattern, if any.
+    pub fn top(&self) -> Option<&RankedPattern> {
+        self.patterns.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patternkb_graph::TypeId;
+
+    fn pat(score: f64, t: u32) -> RankedPattern {
+        RankedPattern {
+            pattern: vec![PathPattern {
+                types: vec![TypeId(t)],
+                attrs: vec![],
+                edge_terminal: false,
+            }],
+            score,
+            num_trees: 1,
+            trees: vec![],
+        }
+    }
+
+    #[test]
+    fn finalize_sorts_and_truncates() {
+        let r = SearchResult {
+            patterns: vec![pat(1.0, 5), pat(3.0, 1), pat(2.0, 9)],
+            stats: QueryStats::default(),
+        };
+        let r = r.finalize(2);
+        assert_eq!(r.patterns.len(), 2);
+        assert_eq!(r.patterns[0].score, 3.0);
+        assert_eq!(r.patterns[1].score, 2.0);
+        assert_eq!(r.top().unwrap().score, 3.0);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let r = SearchResult {
+            patterns: vec![pat(1.0, 9), pat(1.0, 2)],
+            stats: QueryStats::default(),
+        }
+        .finalize(10);
+        assert_eq!(r.patterns[0].pattern[0].types[0], TypeId(2));
+    }
+
+    #[test]
+    fn height_of_pattern() {
+        let p = pat(1.0, 0);
+        assert_eq!(p.height(), 1);
+    }
+}

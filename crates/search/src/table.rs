@@ -1,0 +1,348 @@
+//! Table-answer composition (§2.2.2, "Convert tree patterns into table
+//! answers" and Figure 3).
+//!
+//! Each subtree of a pattern becomes one row. Columns come from the
+//! per-keyword path patterns: one column per node position plus a value
+//! column for edge matches. Per the paper, columns reached through the same
+//! edge signature are created **once** even when shared by several
+//! keywords' paths; column identity is the *pattern prefix* (the paper's
+//! column name `τ(v1)α(e1)…`). In the rare case where two keyword paths of
+//! one subtree share a pattern prefix but diverge in actual nodes, the cell
+//! shows all distinct values joined by `" / "` (the paper leaves this case
+//! unspecified; see DESIGN.md §2).
+
+use crate::result::RankedPattern;
+use patternkb_graph::{AttrId, KnowledgeGraph, NodeId, TypeId};
+
+/// Provenance of one table column — which pattern position created it.
+/// Drives the friendly renaming/reordering in [`crate::presentation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnMeta {
+    /// Nodes between the root and this column (0 = the root column).
+    pub depth: usize,
+    /// Whether this is the *value* column of an edge-terminal match (the
+    /// paper's "Revenue" cell in Figure 3).
+    pub is_value: bool,
+    /// The attribute traversed into this column (`None` for the root).
+    pub attr: Option<AttrId>,
+    /// The entity type shown in the column (`None` for value columns,
+    /// whose pattern deliberately omits the leaf type).
+    pub node_type: Option<TypeId>,
+    /// Index of the keyword whose path first created the column.
+    pub first_keyword: usize,
+}
+
+/// A rendered table answer: column headers plus one row per subtree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableAnswer {
+    /// Column headers, root first, then in keyword/depth order of first
+    /// appearance.
+    pub columns: Vec<String>,
+    /// One row per materialized subtree, cells aligned with `columns`.
+    pub rows: Vec<Vec<String>>,
+    /// Per-column provenance, aligned with `columns`.
+    pub meta: Vec<ColumnMeta>,
+}
+
+impl TableAnswer {
+    /// Compose the table for a ranked pattern.
+    pub fn from_pattern(g: &KnowledgeGraph, p: &RankedPattern) -> Self {
+        // --- column layout from the pattern ---
+        let mut col_keys: Vec<Vec<u32>> = Vec::new();
+        let mut columns: Vec<String> = Vec::new();
+        let mut meta: Vec<ColumnMeta> = Vec::new();
+        // slots[i][j] = column index of keyword i's j-th value (node
+        // positions, then the leaf for edge-terminal patterns).
+        let mut slots: Vec<Vec<usize>> = Vec::with_capacity(p.pattern.len());
+
+        for (kw, pat) in p.pattern.iter().enumerate() {
+            let l = pat.types.len();
+            let mut my_slots = Vec::with_capacity(l + 1);
+            let mut prefix: Vec<u32> = Vec::with_capacity(2 * l + 1);
+            for j in 0..l {
+                prefix.push(pat.types[j].0);
+                let col = find_or_insert(
+                    &mut col_keys,
+                    &prefix,
+                    || {
+                        (
+                            if j == 0 {
+                                root_name(g, pat.types[0])
+                            } else {
+                                node_name(g, pat.attrs[j - 1], pat.types[j])
+                            },
+                            ColumnMeta {
+                                depth: j,
+                                is_value: false,
+                                attr: (j > 0).then(|| pat.attrs[j - 1]),
+                                node_type: Some(pat.types[j]),
+                                first_keyword: kw,
+                            },
+                        )
+                    },
+                    &mut columns,
+                    &mut meta,
+                );
+                my_slots.push(col);
+                if j + 1 < l {
+                    prefix.push(pat.attrs[j].0);
+                }
+            }
+            if pat.edge_terminal {
+                prefix.push(pat.attrs[l - 1].0);
+                let col = find_or_insert(
+                    &mut col_keys,
+                    &prefix,
+                    || {
+                        (
+                            g.attr_text(pat.attrs[l - 1]).to_string(),
+                            ColumnMeta {
+                                depth: l,
+                                is_value: true,
+                                attr: Some(pat.attrs[l - 1]),
+                                node_type: None,
+                                first_keyword: kw,
+                            },
+                        )
+                    },
+                    &mut columns,
+                    &mut meta,
+                );
+                my_slots.push(col);
+            }
+            slots.push(my_slots);
+        }
+
+        // --- rows from the materialized subtrees ---
+        let mut rows = Vec::with_capacity(p.trees.len());
+        for tree in &p.trees {
+            let mut row: Vec<String> = vec![String::new(); columns.len()];
+            for (i, path) in tree.paths.iter().enumerate() {
+                for (j, &node) in path.nodes.iter().enumerate() {
+                    let col = slots[i][j];
+                    push_cell(&mut row[col], g, node);
+                }
+            }
+            rows.push(row);
+        }
+
+        TableAnswer {
+            columns,
+            rows,
+            meta,
+        }
+    }
+
+    /// A copy keeping only the first `n` rows (for previews; scores and
+    /// columns are unaffected).
+    pub fn truncate_rows(&self, n: usize) -> TableAnswer {
+        TableAnswer {
+            columns: self.columns.clone(),
+            rows: self.rows.iter().take(n).cloned().collect(),
+            meta: self.meta.clone(),
+        }
+    }
+
+    /// Render as a fixed-width ASCII table (for the examples and the case
+    /// study of Figures 14–15).
+    pub fn render(&self) -> String {
+        let ncols = self.columns.len();
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let sep = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let render_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for c in 0..ncols {
+                let cell = cells.get(c).map(String::as_str).unwrap_or("");
+                s.push(' ');
+                s.push_str(cell);
+                s.push_str(&" ".repeat(widths[c] - cell.len() + 1));
+                s.push('|');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&render_row(&self.columns));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+fn find_or_insert(
+    keys: &mut Vec<Vec<u32>>,
+    prefix: &[u32],
+    make: impl FnOnce() -> (String, ColumnMeta),
+    columns: &mut Vec<String>,
+    meta: &mut Vec<ColumnMeta>,
+) -> usize {
+    if let Some(i) = keys.iter().position(|k| k == prefix) {
+        return i;
+    }
+    keys.push(prefix.to_vec());
+    let (name, m) = make();
+    columns.push(name);
+    meta.push(m);
+    keys.len() - 1
+}
+
+fn root_name(g: &KnowledgeGraph, t: patternkb_graph::TypeId) -> String {
+    if t == KnowledgeGraph::TEXT_TYPE {
+        "*".to_string()
+    } else {
+        g.type_text(t).to_string()
+    }
+}
+
+fn node_name(g: &KnowledgeGraph, a: patternkb_graph::AttrId, t: patternkb_graph::TypeId) -> String {
+    if t == KnowledgeGraph::TEXT_TYPE {
+        g.attr_text(a).to_string()
+    } else {
+        format!("{} ({})", g.attr_text(a), g.type_text(t))
+    }
+}
+
+fn push_cell(cell: &mut String, g: &KnowledgeGraph, node: NodeId) {
+    let text = g.node_text(node);
+    if cell.is_empty() {
+        cell.push_str(text);
+    } else if cell != text && !cell.split(" / ").any(|part| part == text) {
+        cell.push_str(" / ");
+        cell.push_str(text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::QueryContext;
+    use crate::linear_enum::linear_enum;
+    use crate::{Query, SearchConfig};
+    use patternkb_datagen::figure1;
+    use patternkb_index::{build_indexes, BuildConfig};
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    fn top_pattern_table() -> (TableAnswer, patternkb_graph::KnowledgeGraph) {
+        let (g, _) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let r = linear_enum(&ctx, &SearchConfig::top(10));
+        let table = TableAnswer::from_pattern(&g, r.top().unwrap());
+        (table, g)
+    }
+
+    #[test]
+    fn figure3_shape() {
+        // The paper's Figure 3: columns Software / Genre→Model / Developer→
+        // Company / Revenue; rows SQL Server and Oracle DB.
+        let (table, _) = top_pattern_table();
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.columns.len(), 4, "{:?}", table.columns);
+        assert!(table.columns[0].contains("Software"));
+        assert!(table.columns.iter().any(|c| c.contains("Genre")));
+        assert!(table.columns.iter().any(|c| c.contains("Company")));
+        assert!(table.columns.iter().any(|c| c == "Revenue"));
+    }
+
+    #[test]
+    fn figure3_values() {
+        let (table, _) = top_pattern_table();
+        let flat: Vec<String> = table.rows.iter().flatten().cloned().collect();
+        assert!(flat.iter().any(|c| c == "SQL Server"));
+        assert!(flat.iter().any(|c| c == "Oracle DB"));
+        assert!(flat.iter().any(|c| c == "Relational database"));
+        assert!(flat.iter().any(|c| c == "US$ 77 billion"));
+        assert!(flat.iter().any(|c| c == "US$ 37 billion"));
+    }
+
+    #[test]
+    fn shared_root_column_is_deduped() {
+        // All four keyword paths start at the Software root; the root
+        // column must appear exactly once.
+        let (table, _) = top_pattern_table();
+        let roots = table.columns.iter().filter(|c| *c == "Software").count();
+        assert_eq!(roots, 1);
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let (table, _) = top_pattern_table();
+        let shown = table.render();
+        let lines: Vec<&str> = shown.lines().collect();
+        assert!(lines.len() >= 5);
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "all lines same width");
+        assert!(shown.contains("SQL Server"));
+    }
+
+    #[test]
+    fn divergent_values_under_one_column_are_joined() {
+        // Two keywords matched through the *same* pattern prefix but
+        // different actual nodes: root -A-> "left leaf" and root -A-> "right
+        // leaf", both of type T. The merged column shows both values.
+        let mut b = patternkb_graph::GraphBuilder::new();
+        let root_t = b.add_type("Root");
+        let leaf_t = b.add_type("Leaf");
+        let a = b.add_attr("Link");
+        let r = b.add_node(root_t, "origin");
+        let x = b.add_node(leaf_t, "left leaf");
+        let y = b.add_node(leaf_t, "right leaf");
+        b.add_edge(r, a, x);
+        b.add_edge(r, a, y);
+        let g = b.build();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let q = Query::parse(&t, "left right").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let res = linear_enum(&ctx, &SearchConfig::top(10));
+        let p = res
+            .patterns
+            .iter()
+            .find(|p| p.num_trees == 1 && p.pattern.iter().all(|pp| pp.num_nodes() == 2))
+            .expect("the (Root)(Link)(Leaf)² pattern exists");
+        let table = TableAnswer::from_pattern(&g, p);
+        // Root column + one merged Leaf column.
+        assert_eq!(table.columns.len(), 2, "{:?}", table.columns);
+        let cell = &table.rows[0][1];
+        assert!(
+            cell == "left leaf / right leaf" || cell == "right leaf / left leaf",
+            "divergent values joined, got {cell:?}"
+        );
+    }
+
+    #[test]
+    fn empty_pattern_renders() {
+        let p = RankedPattern {
+            pattern: vec![],
+            score: 0.0,
+            num_trees: 0,
+            trees: vec![],
+        };
+        let (g, _) = figure1();
+        let table = TableAnswer::from_pattern(&g, &p);
+        assert!(table.columns.is_empty());
+        assert!(table.rows.is_empty());
+        let _ = table.render();
+    }
+}

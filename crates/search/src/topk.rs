@@ -1,0 +1,320 @@
+//! `LINEARENUM-TOPK` — Algorithm 4: type partitioning (§4.2.1) plus
+//! root sampling (§4.2.2).
+//!
+//! Candidate roots are processed one root **type** at a time, bounding the
+//! `TreeDict` to a single partition. Per type `C`:
+//!
+//! 1. the number of valid subtrees rooted in the partition is computed
+//!    *without enumeration* as `N_R = Σ_r Πᵢ |Paths(wᵢ, r)|` (line 4);
+//! 2. if `N_R ≥ Λ`, each root is expanded only with probability `ρ`
+//!    (lines 5–8) and pattern scores are estimated from the sample
+//!    (Horvitz–Thompson for `Sum`/`Count`);
+//! 3. only the partition's estimated top-k patterns get their exact scores
+//!    and subtrees recomputed (line 11) before entering the global queue.
+//!
+//! With `Λ = ∞` or `ρ = 1` the result is the exact top-k (Theorem 4); with
+//! sampling, the pairwise error probability decays as
+//! `exp(−2·((s1−s2)/(s1+s2))²·ρ²)` (Theorem 5).
+
+use crate::common::{expand_root, for_each_path_tuple, materialize_tree, QueryContext, TreeDict};
+use crate::result::{QueryStats, RankedPattern, SearchResult};
+use crate::score::ScoreAcc;
+use crate::subtree::node_slices_form_tree;
+use crate::SearchConfig;
+use patternkb_graph::{FxHashMap, NodeId, TypeId};
+use patternkb_index::{PatternId, Posting};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Sampling parameters (`Λ`, `ρ`) of Algorithm 4.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplingConfig {
+    /// Sampling threshold `Λ`: partitions with at least this many valid
+    /// subtrees are sampled. `u64::MAX` disables sampling entirely.
+    pub lambda: u64,
+    /// Sampling rate `ρ ∈ (0, 1]`.
+    pub rho: f64,
+    /// RNG seed for the Bernoulli root selection.
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            lambda: u64::MAX,
+            rho: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl SamplingConfig {
+    /// No sampling: exact top-k (`Λ = ∞, ρ = 1`).
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// Sample at threshold `lambda` with rate `rho`.
+    pub fn new(lambda: u64, rho: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rho) && rho > 0.0, "rho must be in (0,1]");
+        SamplingConfig { lambda, rho, seed }
+    }
+}
+
+/// Run `LINEARENUM-TOPK`.
+pub fn linear_enum_topk(
+    ctx: &QueryContext<'_>,
+    cfg: &SearchConfig,
+    samp: &SamplingConfig,
+) -> SearchResult {
+    let t0 = Instant::now();
+    let roots = ctx.candidate_roots();
+    let mut rng = SmallRng::seed_from_u64(samp.seed);
+
+    // Partition candidate roots by type (iteration in type-id order for
+    // determinism).
+    let mut by_type: FxHashMap<TypeId, Vec<NodeId>> = FxHashMap::default();
+    for &r in &roots {
+        by_type.entry(ctx.g.node_type(r)).or_default().push(r);
+    }
+    let mut types: Vec<TypeId> = by_type.keys().copied().collect();
+    types.sort_unstable();
+
+    let mut global: Vec<RankedPattern> = Vec::new();
+    let mut subtrees_expanded = 0usize;
+    let mut patterns_seen = 0usize;
+
+    for c in types {
+        let part = &by_type[&c];
+
+        // Line 4: N_R without enumeration.
+        let mut n_r: u64 = 0;
+        for &r in part {
+            let mut prod: u64 = 1;
+            for w in &ctx.words {
+                prod = prod.saturating_mul(w.num_paths_of_root(r) as u64);
+            }
+            n_r = n_r.saturating_add(prod);
+        }
+        // Line 5.
+        let rate = if n_r >= samp.lambda { samp.rho } else { 1.0 };
+
+        // Lines 6–8: expand (a sample of) the partition's roots.
+        let mut dict = TreeDict::default();
+        for &r in part {
+            if rate >= 1.0 || rng.gen::<f64>() < rate {
+                subtrees_expanded += expand_root(ctx, cfg, r, &mut dict);
+            }
+        }
+        patterns_seen += dict.len();
+
+        // Lines 9–10: estimated scores; keep the partition's top-k.
+        let mut local: Vec<(Box<[u32]>, crate::common::PatternGroup, f64)> = dict
+            .into_iter()
+            .map(|(key, group)| {
+                let est = group.acc.finish_estimated(cfg.scoring.aggregation, rate);
+                (key, group, est)
+            })
+            .collect();
+        local.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        local.truncate(cfg.k);
+
+        // Line 11: exact re-scoring for the estimated winners.
+        for (key, group, _est) in local {
+            let (score, num_trees, trees) = if rate >= 1.0 {
+                (
+                    group.acc.finish(cfg.scoring.aggregation),
+                    group.acc.count as usize,
+                    group.trees,
+                )
+            } else {
+                let pattern_ids: Vec<PatternId> = key.iter().map(|&p| PatternId(p)).collect();
+                let (acc, trees) = exact_pattern_score(ctx, cfg, part, &pattern_ids);
+                subtrees_expanded += acc.count as usize;
+                (acc.finish(cfg.scoring.aggregation), acc.count as usize, trees)
+            };
+            if num_trees == 0 {
+                continue;
+            }
+            global.push(RankedPattern {
+                pattern: ctx.decode_key(&key),
+                score,
+                num_trees,
+                trees,
+            });
+        }
+        // Keep the global queue bounded (paper: queue of size k).
+        if global.len() > 4 * cfg.k.max(4) {
+            global.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.key().cmp(&b.key()))
+            });
+            global.truncate(cfg.k);
+        }
+    }
+
+    SearchResult {
+        patterns: global,
+        stats: QueryStats {
+            candidate_roots: roots.len(),
+            subtrees: subtrees_expanded,
+            patterns: patterns_seen,
+            combos_tried: patterns_seen,
+            combos_pruned: 0,
+            elapsed: t0.elapsed(),
+        },
+    }
+    .finalize(cfg.k)
+}
+
+/// Exact score and subtrees of one tree pattern over a root partition,
+/// via `Paths(wᵢ, r, Pᵢ)` lookups (root-first index).
+fn exact_pattern_score(
+    ctx: &QueryContext<'_>,
+    cfg: &SearchConfig,
+    part: &[NodeId],
+    pattern: &[PatternId],
+) -> (ScoreAcc, Vec<crate::subtree::ValidSubtree>) {
+    let m = ctx.m();
+    let mut acc = ScoreAcc::new();
+    let mut trees = Vec::new();
+    let mut slices: Vec<&[Posting]> = Vec::with_capacity(m);
+    let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
+    let mut node_scratch: Vec<&[NodeId]> = Vec::with_capacity(m);
+    for &r in part {
+        slices.clear();
+        let mut empty = false;
+        for (i, w) in ctx.words.iter().enumerate() {
+            let s = w.paths_of_root_pattern(r, pattern[i]);
+            if s.is_empty() {
+                empty = true;
+                break;
+            }
+            slices.push(s);
+        }
+        if empty {
+            continue;
+        }
+        for_each_path_tuple(&slices, &mut scratch, |tuple| {
+            if cfg.strict_trees {
+                node_scratch.clear();
+                for (i, p) in tuple.iter().enumerate() {
+                    node_scratch.push(ctx.words[i].nodes_of(p));
+                }
+                if !node_slices_form_tree(r, &node_scratch) {
+                    return;
+                }
+            }
+            let score = cfg.scoring.tree_score_of(tuple);
+            acc.push(score);
+            if trees.len() < cfg.max_rows {
+                trees.push(materialize_tree(&ctx.words, r, tuple, score));
+            }
+        });
+    }
+    (acc, trees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_enum::linear_enum;
+    use crate::Query;
+    use patternkb_datagen::figure1;
+    use patternkb_index::{build_indexes, BuildConfig};
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    fn setup() -> (
+        patternkb_graph::KnowledgeGraph,
+        TextIndex,
+        patternkb_index::PathIndexes,
+    ) {
+        let (g, _) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        (g, t, idx)
+    }
+
+    #[test]
+    fn exact_mode_matches_linear_enum() {
+        let (g, t, idx) = setup();
+        for query in ["database software company revenue", "revenue", "database company"] {
+            let q = Query::parse(&t, query).unwrap();
+            let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+            let cfg = SearchConfig::top(100);
+            let le = linear_enum(&ctx, &cfg);
+            let tk = linear_enum_topk(&ctx, &cfg, &SamplingConfig::exact());
+            assert_eq!(le.patterns.len(), tk.patterns.len(), "query {query}");
+            for (a, b) in le.patterns.iter().zip(&tk.patterns) {
+                assert_eq!(a.key(), b.key());
+                assert!((a.score - b.score).abs() < 1e-9);
+                assert_eq!(a.num_trees, b.num_trees);
+            }
+        }
+    }
+
+    #[test]
+    fn always_sampling_rho_one_is_exact() {
+        // Λ = 0 forces the sampling code path; ρ = 1 keeps every root, and
+        // estimated == exact.
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let cfg = SearchConfig::top(100);
+        let le = linear_enum(&ctx, &cfg);
+        let tk = linear_enum_topk(&ctx, &cfg, &SamplingConfig::new(0, 1.0, 1));
+        assert_eq!(le.patterns.len(), tk.patterns.len());
+        for (a, b) in le.patterns.iter().zip(&tk.patterns) {
+            assert_eq!(a.key(), b.key());
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_scores_are_exact_for_reported_patterns() {
+        // Whatever sampling does to the *selection*, reported scores are
+        // recomputed exactly (line 11).
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let cfg = SearchConfig::top(100);
+        let exact = linear_enum(&ctx, &cfg);
+        let sampled = linear_enum_topk(&ctx, &cfg, &SamplingConfig::new(0, 0.5, 7));
+        for p in &sampled.patterns {
+            let reference = exact
+                .patterns
+                .iter()
+                .find(|e| e.key() == p.key())
+                .expect("sampled pattern exists exactly");
+            assert!((reference.score - p.score).abs() < 1e-9);
+            assert_eq!(reference.num_trees, p.num_trees);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let cfg = SearchConfig::top(10);
+        let a = linear_enum_topk(&ctx, &cfg, &SamplingConfig::new(0, 0.4, 99));
+        let b = linear_enum_topk(&ctx, &cfg, &SamplingConfig::new(0, 0.4, 99));
+        assert_eq!(a.patterns.len(), b.patterns.len());
+        for (x, y) in a.patterns.iter().zip(&b.patterns) {
+            assert_eq!(x.key(), y.key());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be")]
+    fn rejects_zero_rho() {
+        SamplingConfig::new(10, 0.0, 1);
+    }
+}

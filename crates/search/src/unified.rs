@@ -1,0 +1,202 @@
+//! Unified ranking of tree patterns *and* individual subtrees.
+//!
+//! §5.3 of the paper leaves open "how to mix individual valid subtrees
+//! with tree patterns to provide a universal ranking". This module
+//! implements the natural first candidate the section's own analysis
+//! suggests:
+//!
+//! * a tree pattern competes with its aggregate score `score(P, q)`;
+//! * an individual subtree competes with `blend · score(T, q)` — the blend
+//!   factor trades off list answers against singular answers;
+//! * an individual subtree whose pattern already appears as a pattern
+//!   answer is **absorbed** into it (it would be row duplication), exactly
+//!   the "coverage" overlap measured in Figure 13.
+//!
+//! With `blend → 0` the ranking degenerates to pure pattern answers; with
+//! `blend → ∞` the top of the list is pure individual-subtree ranking with
+//! pattern answers below — the two extremes the paper compares.
+
+use crate::common::QueryContext;
+use crate::individual::{top_individual, ScoredTree};
+use crate::linear_enum::linear_enum;
+use crate::result::RankedPattern;
+use crate::subtree::ValidSubtree;
+use crate::SearchConfig;
+
+/// One entry of the unified list.
+#[derive(Clone, Debug)]
+pub enum UnifiedAnswer {
+    /// A table answer (aggregation of subtrees).
+    Pattern(RankedPattern),
+    /// A singular subtree whose pattern did not make the pattern top-k.
+    Tree {
+        /// The subtree.
+        tree: ValidSubtree,
+        /// Its blended competition score.
+        blended_score: f64,
+    },
+}
+
+impl UnifiedAnswer {
+    /// The score this answer competed with.
+    pub fn score(&self) -> f64 {
+        match self {
+            UnifiedAnswer::Pattern(p) => p.score,
+            UnifiedAnswer::Tree { blended_score, .. } => *blended_score,
+        }
+    }
+
+    /// Whether this is a table (pattern) answer.
+    pub fn is_pattern(&self) -> bool {
+        matches!(self, UnifiedAnswer::Pattern(_))
+    }
+}
+
+/// Parameters of the unified ranking.
+#[derive(Clone, Copy, Debug)]
+pub struct UnifiedConfig {
+    /// Multiplier applied to individual subtree scores before they compete
+    /// with pattern scores. 1.0 treats a singular subtree like a 1-row
+    /// pattern (the neutral choice under `Sum` aggregation).
+    pub blend: f64,
+    /// Answers to return.
+    pub k: usize,
+}
+
+impl Default for UnifiedConfig {
+    fn default() -> Self {
+        UnifiedConfig { blend: 1.0, k: 10 }
+    }
+}
+
+/// Produce the unified top-k.
+pub fn unified_ranking(
+    ctx: &QueryContext<'_>,
+    cfg: &SearchConfig,
+    ucfg: &UnifiedConfig,
+) -> Vec<UnifiedAnswer> {
+    // Candidate patterns and candidate individual subtrees, both k-deep.
+    let patterns = linear_enum(ctx, &SearchConfig { k: ucfg.k, ..cfg.clone() });
+    let trees: Vec<ScoredTree> = top_individual(ctx, cfg, ucfg.k);
+
+    // Pattern keys present among the pattern answers (for absorption).
+    let pattern_keys: Vec<Vec<u32>> = patterns
+        .patterns
+        .iter()
+        .filter_map(|p| crate::individual::pattern_key_of(ctx, p))
+        .collect();
+
+    let mut out: Vec<UnifiedAnswer> = patterns
+        .patterns
+        .into_iter()
+        .map(UnifiedAnswer::Pattern)
+        .collect();
+    for t in trees {
+        if pattern_keys.contains(&t.pattern_key) {
+            continue; // absorbed into its pattern's table
+        }
+        out.push(UnifiedAnswer::Tree {
+            blended_score: ucfg.blend * t.tree.score,
+            tree: t.tree,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.score()
+            .partial_cmp(&a.score())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.is_pattern().cmp(&b.is_pattern()).reverse())
+    });
+    out.truncate(ucfg.k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Query;
+    use patternkb_datagen::figure1;
+    use patternkb_index::{build_indexes, BuildConfig};
+    use patternkb_text::{SynonymTable, TextIndex};
+
+    fn setup() -> (
+        patternkb_graph::KnowledgeGraph,
+        TextIndex,
+        patternkb_index::PathIndexes,
+    ) {
+        let (g, _) = figure1();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        (g, t, idx)
+    }
+
+    #[test]
+    fn unified_is_sorted_and_bounded() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let answers = unified_ranking(
+            &ctx,
+            &SearchConfig::default(),
+            &UnifiedConfig { blend: 1.0, k: 5 },
+        );
+        assert!(answers.len() <= 5);
+        for w in answers.windows(2) {
+            assert!(w[0].score() >= w[1].score());
+        }
+    }
+
+    #[test]
+    fn absorbed_trees_do_not_duplicate_patterns() {
+        // With k large enough to include every pattern, every individual
+        // subtree's pattern is present, so no Tree entries survive.
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let answers = unified_ranking(
+            &ctx,
+            &SearchConfig::default(),
+            &UnifiedConfig { blend: 1.0, k: 100 },
+        );
+        assert!(answers.iter().all(UnifiedAnswer::is_pattern));
+    }
+
+    #[test]
+    fn small_k_surfaces_singular_trees() {
+        // "database company", k = 1: the top pattern is the 2-subtree
+        // Genre/Model interpretation (score 1.5), but the single best
+        // *individual* subtree is the Book root (score ≈ 0.78) whose
+        // pattern did NOT make the pattern top-1 — with a generous blend it
+        // enters the unified list as a Tree answer.
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database company").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let answers = unified_ranking(
+            &ctx,
+            &SearchConfig::default(),
+            &UnifiedConfig { blend: 100.0, k: 1 },
+        );
+        assert_eq!(answers.len(), 1);
+        assert!(
+            !answers[0].is_pattern(),
+            "the blended singular subtree should win at k = 1"
+        );
+    }
+
+    #[test]
+    fn blend_zero_is_pure_patterns() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database company").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let answers = unified_ranking(
+            &ctx,
+            &SearchConfig::default(),
+            &UnifiedConfig { blend: 0.0, k: 4 },
+        );
+        // Tree entries score 0 and sort below every positive pattern.
+        let first_tree = answers.iter().position(|a| !a.is_pattern());
+        let last_pattern = answers.iter().rposition(UnifiedAnswer::is_pattern);
+        if let (Some(ft), Some(lp)) = (first_tree, last_pattern) {
+            assert!(lp < ft, "patterns first under blend 0");
+        }
+    }
+}

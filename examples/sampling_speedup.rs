@@ -1,0 +1,85 @@
+//! The §4.2.2 sampling trade-off, live.
+//!
+//! Generates a Wiki-like KB, finds a query with many valid subtrees, and
+//! runs `LINEARENUM-TOPK` at several sampling rates `ρ`, reporting
+//! execution time and top-k precision against the exact answer — the
+//! experiment of Figure 12 in miniature.
+//!
+//! Run with: `cargo run --release --example sampling_speedup`
+
+use patternkb::datagen::{queries::QueryGenerator, wiki, WikiConfig};
+use patternkb::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let graph = wiki::wiki(&WikiConfig {
+        entities: 20_000,
+        types: 80,
+        attrs_per_type: 4,
+        attr_pool: 50,
+        vocab: 900,
+        avg_degree: 4.0,
+        value_pool: 300,
+        seed: 11,
+        ..WikiConfig::default()
+    });
+    println!(
+        "Wiki-like KB: {} entities, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    let engine = SearchEngine::build(graph, SynonymTable::new(), &BuildConfig { d: 3, threads: 0 });
+
+    // Find a heavy query: many valid subtrees (like §5.2's query 1–3).
+    let mut qgen = QueryGenerator::new(engine.graph(), engine.text(), 3, 5);
+    let mut heavy: Option<(Query, u64)> = None;
+    for _ in 0..600 {
+        if let Some(spec) = qgen.anchored(3) {
+            let q = Query::from_ids(spec.keywords.iter().copied());
+            let n = engine.count_subtrees(&q);
+            if heavy.as_ref().map(|(_, best)| n > *best).unwrap_or(true) {
+                heavy = Some((q, n));
+            }
+        }
+    }
+    let (query, n_subtrees) = heavy.expect("found a query");
+    println!("Heaviest sampled query has {n_subtrees} valid subtrees\n");
+
+    let k = 10;
+    let cfg = SearchConfig::top(k);
+
+    // Exact reference.
+    let t0 = Instant::now();
+    let exact = engine.search_with(&query, &cfg, Algorithm::LinearEnumTopK(SamplingConfig::exact()));
+    let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let exact_keys: Vec<Vec<u32>> = exact.patterns.iter().map(|p| p.key()).collect();
+    println!("exact LETopK: {exact_ms:8.2} ms, {} patterns", exact.patterns.len());
+
+    println!("\n{:>6}  {:>10}  {:>9}", "rho", "time (ms)", "precision");
+    for rho in [1.0, 0.5, 0.2, 0.1, 0.05] {
+        let t0 = Instant::now();
+        let approx = engine.search_with(
+            &query,
+            &cfg,
+            Algorithm::LinearEnumTopK(SamplingConfig::new(0, rho, 99)),
+        );
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let hits = approx
+            .patterns
+            .iter()
+            .filter(|p| exact_keys.contains(&p.key()))
+            .count();
+        let precision = hits as f64 / exact_keys.len().max(1) as f64;
+        println!("{rho:>6.2}  {ms:>10.2}  {precision:>9.2}");
+    }
+
+    println!(
+        "\nSmaller rho trades precision for speed; with rho = 1 the result\n\
+         is exact (Theorem 4), and the pairwise error probability shrinks as\n\
+         exp(-2((s1-s2)/(s1+s2))^2 rho^2) (Theorem 5). Note the bound is per\n\
+         score *gap*: on a KB this small the candidate-root population per\n\
+         type is tiny, so near-tied patterns reorder quickly as rho drops —\n\
+         at the paper's scale (millions of entities) precision stays high\n\
+         far longer."
+    );
+}

@@ -1,0 +1,463 @@
+//! Interactive keyword-search shell over a knowledge base.
+//!
+//! ```text
+//! patternkb-cli figure1                 # the paper's running example
+//! patternkb-cli wiki  [--entities N]    # synthetic Wiki-like KB
+//! patternkb-cli imdb  [--movies N]      # synthetic IMDB-like KB
+//! patternkb-cli load  <graph.pkbg>      # a saved graph snapshot
+//!   options: --d <2..5>  --seed <u64>
+//! ```
+//!
+//! Then type keyword queries; commands start with `:`
+//!
+//! ```text
+//! :k 10            answers per query
+//! :algo pe|pruned|le|topk|baseline|auto
+//! :rho 0.1         sampling rate for topk
+//! :lambda 1000     sampling threshold for topk
+//! :rows 5          table rows shown
+//! :mmr 0.7         diversify answers (MMR λ; `:mmr off` disables)
+//! :explain 1       show the subtrees behind answer #1 of the last query
+//! :stats           dataset and index statistics
+//! :quit
+//! ```
+
+use patternkb::graph::{snapshot, GraphStats, KnowledgeGraph};
+use patternkb::prelude::*;
+use patternkb::search::explain;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (graph, label) = match build_graph(&args) {
+        Ok(pair) => pair,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: patternkb-cli figure1|wiki|imdb|load <file> [--d N] [--entities N] [--movies N] [--seed N]");
+            std::process::exit(2);
+        }
+    };
+    let d = flag_value(&args, "--d").unwrap_or(3);
+    eprintln!("[{label}] {}", GraphStats::of(&graph));
+    eprintln!("building indexes (d = {d}) …");
+    let t0 = std::time::Instant::now();
+    let engine = SearchEngine::build(
+        graph,
+        SynonymTable::default_english(),
+        &BuildConfig { d, threads: 0 },
+    );
+    eprintln!(
+        "indexes ready in {:.2}s: {:?}",
+        t0.elapsed().as_secs_f64(),
+        engine.index()
+    );
+    repl(&engine);
+}
+
+/// Session state mutated by `:commands`.
+struct Session {
+    k: usize,
+    rows: usize,
+    algo: AlgoChoice,
+    rho: f64,
+    lambda: u64,
+    /// MMR diversification trade-off; `None` = off.
+    mmr: Option<f64>,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum AlgoChoice {
+    Pe,
+    PePruned,
+    Le,
+    TopK,
+    Baseline,
+    Auto,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session {
+            k: 5,
+            rows: 8,
+            algo: AlgoChoice::Pe,
+            rho: 0.1,
+            lambda: 100_000,
+            mmr: None,
+        }
+    }
+}
+
+impl Session {
+    fn algorithm(&self) -> Option<Algorithm> {
+        match self.algo {
+            AlgoChoice::Pe => Some(Algorithm::PatternEnum),
+            AlgoChoice::PePruned => Some(Algorithm::PatternEnumPruned),
+            AlgoChoice::Le => Some(Algorithm::LinearEnum),
+            AlgoChoice::TopK => Some(Algorithm::LinearEnumTopK(SamplingConfig::new(
+                self.lambda,
+                self.rho,
+                42,
+            ))),
+            AlgoChoice::Baseline => Some(Algorithm::Baseline),
+            AlgoChoice::Auto => None, // planner decides per query
+        }
+    }
+}
+
+/// Outcome of applying one `:command` line to the session.
+enum CommandResult {
+    Applied(String),
+    Explain(usize),
+    Stats,
+    Quit,
+    Error(String),
+}
+
+/// Parse and apply a `:command`; pure so it is unit-testable.
+fn apply_command(session: &mut Session, line: &str) -> CommandResult {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().unwrap_or("");
+    let arg = parts.next();
+    match (cmd, arg) {
+        (":quit" | ":q" | ":exit", _) => CommandResult::Quit,
+        (":stats", _) => CommandResult::Stats,
+        (":k", Some(v)) => match v.parse::<usize>() {
+            Ok(k) if k >= 1 => {
+                session.k = k;
+                CommandResult::Applied(format!("k = {k}"))
+            }
+            _ => CommandResult::Error("k must be a positive integer".into()),
+        },
+        (":rows", Some(v)) => match v.parse::<usize>() {
+            Ok(r) => {
+                session.rows = r;
+                CommandResult::Applied(format!("rows = {r}"))
+            }
+            _ => CommandResult::Error("rows must be an integer".into()),
+        },
+        (":rho", Some(v)) => match v.parse::<f64>() {
+            Ok(r) if r > 0.0 && r <= 1.0 => {
+                session.rho = r;
+                CommandResult::Applied(format!("rho = {r}"))
+            }
+            _ => CommandResult::Error("rho must be in (0, 1]".into()),
+        },
+        (":lambda", Some(v)) => match v.parse::<u64>() {
+            Ok(l) => {
+                session.lambda = l;
+                CommandResult::Applied(format!("lambda = {l}"))
+            }
+            _ => CommandResult::Error("lambda must be an integer".into()),
+        },
+        (":algo", Some(v)) => {
+            let algo = match v {
+                "pe" => AlgoChoice::Pe,
+                "pruned" => AlgoChoice::PePruned,
+                "le" => AlgoChoice::Le,
+                "topk" => AlgoChoice::TopK,
+                "baseline" => AlgoChoice::Baseline,
+                "auto" => AlgoChoice::Auto,
+                _ => {
+                    return CommandResult::Error(
+                        "algo must be pe|pruned|le|topk|baseline|auto".into(),
+                    )
+                }
+            };
+            session.algo = algo;
+            CommandResult::Applied(format!("algo = {v}"))
+        }
+        (":mmr", Some("off")) => {
+            session.mmr = None;
+            CommandResult::Applied("mmr = off".into())
+        }
+        (":mmr", Some(v)) => match v.parse::<f64>() {
+            Ok(l) if (0.0..=1.0).contains(&l) => {
+                session.mmr = Some(l);
+                CommandResult::Applied(format!("mmr = {l}"))
+            }
+            _ => CommandResult::Error("mmr takes a λ in [0,1] or `off`".into()),
+        },
+        (":explain", Some(v)) => match v.parse::<usize>() {
+            Ok(i) if i >= 1 => CommandResult::Explain(i - 1),
+            _ => CommandResult::Error("explain takes an answer rank (1-based)".into()),
+        },
+        _ => CommandResult::Error(format!(
+            "unknown command {cmd:?}; commands: :k :rows :algo :rho :lambda :mmr :explain :stats :quit"
+        )),
+    }
+}
+
+fn repl(engine: &SearchEngine) {
+    let mut session = Session::default();
+    let mut last: Option<(Query, SearchResult)> = None;
+    let stdin = std::io::stdin();
+    loop {
+        print!("patternkb> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with(':') {
+            match apply_command(&mut session, line) {
+                CommandResult::Quit => break,
+                CommandResult::Applied(msg) => println!("{msg}"),
+                CommandResult::Error(msg) => println!("error: {msg}"),
+                CommandResult::Stats => {
+                    println!("graph: {}", GraphStats::of(engine.graph()));
+                    println!("index: {:?}", engine.index());
+                }
+                CommandResult::Explain(i) => match &last {
+                    Some((q, r)) => match r.patterns.get(i) {
+                        Some(p) => {
+                            let keywords: Vec<&str> = q
+                                .keywords
+                                .iter()
+                                .map(|&w| engine.text().vocab().resolve(w))
+                                .collect();
+                            println!("{}", explain::explain_score(p));
+                            if let Some(tree) = p.trees.first() {
+                                println!("{}", explain::explain_tree(engine.graph(), tree, &keywords));
+                            }
+                        }
+                        None => println!("error: last query had {} answers", r.patterns.len()),
+                    },
+                    None => println!("error: run a query first"),
+                },
+            }
+            continue;
+        }
+
+        // A keyword query.
+        let query = match engine.parse(line) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("error: {e}");
+                if let patternkb::search::ParseError::UnknownWords(ref ws) = e {
+                    for w in ws {
+                        let hints = patternkb::text::suggest::suggest(engine.text().vocab(), w);
+                        if !hints.is_empty() {
+                            let names: Vec<&str> =
+                                hints.iter().take(5).map(|(_, t)| t.as_str()).collect();
+                            println!("  did you mean ({w}): {}?", names.join(", "));
+                        }
+                    }
+                }
+                continue;
+            }
+        };
+        let cfg = SearchConfig {
+            max_rows: session.rows.max(1),
+            ..SearchConfig::top(session.k)
+        };
+        let mut result = match session.algorithm() {
+            Some(algo) => engine.search_with(&query, &cfg, algo),
+            None => {
+                let (result, chosen) = engine.search_auto(&query, &cfg);
+                println!("(planner chose {chosen:?})");
+                result
+            }
+        };
+        if let Some(lambda) = session.mmr {
+            result.patterns = patternkb::search::diversify::diversify(
+                &result.patterns,
+                &patternkb::search::diversify::DiversifyConfig {
+                    lambda,
+                    k: session.k,
+                },
+            );
+        }
+        if result.patterns.is_empty() {
+            let relaxations = engine.relax(&query);
+            if !relaxations.is_empty() {
+                println!("no answers; try dropping keywords:");
+                for r in relaxations.iter().take(3) {
+                    let kept: Vec<&str> = r
+                        .keywords
+                        .iter()
+                        .map(|&w| engine.text().vocab().resolve(w))
+                        .collect();
+                    println!(
+                        "  {:?} ({} candidate roots)",
+                        kept.join(" "),
+                        r.candidate_roots
+                    );
+                }
+            }
+        }
+        println!(
+            "{} pattern(s) from {} subtree(s), {} candidate roots, {:.2} ms",
+            result.patterns.len(),
+            result.stats.subtrees,
+            result.stats.candidate_roots,
+            result.stats.elapsed.as_secs_f64() * 1e3
+        );
+        for (rank, p) in result.patterns.iter().enumerate() {
+            println!(
+                "\n#{} score={:.5} rows={}  {}",
+                rank + 1,
+                p.score,
+                p.num_trees,
+                p.display(engine.graph())
+            );
+            let table = engine.table(p);
+            let preview = table.truncate_rows(session.rows);
+            println!("{}", preview.render());
+        }
+        last = Some((query, result));
+    }
+}
+
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn build_graph(args: &[String]) -> Result<(KnowledgeGraph, String), String> {
+    let mode = args.first().map(String::as_str).unwrap_or("figure1");
+    let seed: u64 = flag_value(args, "--seed").unwrap_or(42);
+    match mode {
+        "figure1" => Ok((patternkb::datagen::figure1().0, "figure1".into())),
+        "wiki" => {
+            let entities = flag_value(args, "--entities").unwrap_or(10_000);
+            let cfg = patternkb::datagen::WikiConfig {
+                entities,
+                seed,
+                ..patternkb::datagen::WikiConfig::default()
+            };
+            Ok((
+                patternkb::datagen::wiki::wiki(&cfg),
+                format!("wiki/{entities}"),
+            ))
+        }
+        "imdb" => {
+            let movies = flag_value(args, "--movies").unwrap_or(5_000);
+            let cfg = patternkb::datagen::ImdbConfig { movies, seed };
+            Ok((
+                patternkb::datagen::imdb::imdb(&cfg),
+                format!("imdb/{movies}"),
+            ))
+        }
+        "load" => {
+            let path = args.get(1).ok_or("load needs a file path")?;
+            let g = snapshot::load(std::path::Path::new(path))
+                .map_err(|e| format!("cannot load {path}: {e}"))?;
+            Ok((g, format!("load/{path}")))
+        }
+        other => Err(format!("unknown dataset {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_mutate_session() {
+        let mut s = Session::default();
+        assert!(matches!(
+            apply_command(&mut s, ":k 25"),
+            CommandResult::Applied(_)
+        ));
+        assert_eq!(s.k, 25);
+        assert!(matches!(
+            apply_command(&mut s, ":algo topk"),
+            CommandResult::Applied(_)
+        ));
+        assert_eq!(s.algo, AlgoChoice::TopK);
+        assert!(matches!(
+            apply_command(&mut s, ":rho 0.25"),
+            CommandResult::Applied(_)
+        ));
+        assert!(matches!(
+            apply_command(&mut s, ":lambda 500"),
+            CommandResult::Applied(_)
+        ));
+        assert!(matches!(apply_command(&mut s, ":quit"), CommandResult::Quit));
+    }
+
+    #[test]
+    fn mmr_command() {
+        let mut s = Session::default();
+        assert!(matches!(
+            apply_command(&mut s, ":mmr 0.5"),
+            CommandResult::Applied(_)
+        ));
+        assert_eq!(s.mmr, Some(0.5));
+        assert!(matches!(
+            apply_command(&mut s, ":mmr off"),
+            CommandResult::Applied(_)
+        ));
+        assert_eq!(s.mmr, None);
+        assert!(matches!(
+            apply_command(&mut s, ":mmr 1.5"),
+            CommandResult::Error(_)
+        ));
+        assert!(matches!(
+            apply_command(&mut s, ":mmr banana"),
+            CommandResult::Error(_)
+        ));
+    }
+
+    #[test]
+    fn bad_commands_error() {
+        let mut s = Session::default();
+        assert!(matches!(
+            apply_command(&mut s, ":k zero"),
+            CommandResult::Error(_)
+        ));
+        assert!(matches!(
+            apply_command(&mut s, ":rho 2.0"),
+            CommandResult::Error(_)
+        ));
+        assert!(matches!(
+            apply_command(&mut s, ":algo quantum"),
+            CommandResult::Error(_)
+        ));
+        assert!(matches!(
+            apply_command(&mut s, ":frobnicate"),
+            CommandResult::Error(_)
+        ));
+    }
+
+    #[test]
+    fn explain_is_one_based() {
+        let mut s = Session::default();
+        match apply_command(&mut s, ":explain 3") {
+            CommandResult::Explain(i) => assert_eq!(i, 2),
+            _ => panic!("expected Explain"),
+        }
+        assert!(matches!(
+            apply_command(&mut s, ":explain 0"),
+            CommandResult::Error(_)
+        ));
+    }
+
+    #[test]
+    fn graph_modes() {
+        let (g, label) = build_graph(&["figure1".to_string()]).unwrap();
+        assert_eq!(g.num_nodes(), 13);
+        assert_eq!(label, "figure1");
+        assert!(build_graph(&["marsian".to_string()]).is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["wiki", "--d", "4", "--entities", "99"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value::<usize>(&args, "--d"), Some(4));
+        assert_eq!(flag_value::<usize>(&args, "--entities"), Some(99));
+        assert_eq!(flag_value::<usize>(&args, "--seed"), None);
+    }
+}

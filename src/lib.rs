@@ -1,0 +1,42 @@
+//! # patternkb
+//!
+//! Facade crate re-exporting the whole stack: keyword search over knowledge
+//! graphs that composes **table answers** from d-height tree patterns,
+//! reproducing *"Finding Patterns in a Knowledge Base using Keywords to
+//! Compose Table Answers"* (VLDB 2014).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use patternkb::prelude::*;
+//!
+//! // The paper's Figure-1 running example.
+//! let (graph, _) = patternkb::datagen::figure1();
+//! let engine = SearchEngine::build(graph, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 });
+//! let query = engine.parse("database software company revenue").unwrap();
+//! let result = engine.search(&query, &SearchConfig::top(10));
+//! let top = result.top().unwrap();
+//! assert_eq!(top.num_trees, 2); // SQL Server and Oracle DB rows
+//! println!("{}", engine.table(top).render());
+//! ```
+
+pub use patternkb_datagen as datagen;
+pub use patternkb_graph as graph;
+pub use patternkb_index as index;
+pub use patternkb_search as search;
+pub use patternkb_text as text;
+
+/// The items most applications need.
+pub mod prelude {
+    pub use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+    pub use patternkb_graph::{GraphBuilder, KnowledgeGraph, NodeId};
+    pub use patternkb_index::{BuildConfig, IndexStats};
+    pub use patternkb_search::cache::QueryCache;
+    pub use patternkb_search::concurrent::SharedEngine;
+    pub use patternkb_search::presentation::{present, ColumnOrder, PresentationConfig};
+    pub use patternkb_search::topk::SamplingConfig;
+    pub use patternkb_search::{
+        Algorithm, Query, SearchConfig, SearchEngine, SearchResult, TableAnswer,
+    };
+    pub use patternkb_text::{Stemmer, SynonymTable};
+}

@@ -1,0 +1,380 @@
+//! Failure injection and adversarial edge cases across the whole stack:
+//! corrupted snapshots must surface typed errors (never panics, never
+//! silently-wrong graphs), and degenerate graph/query shapes must be
+//! answered correctly.
+
+use patternkb::graph::mutate::{GraphDelta, PagerankMode};
+use patternkb::graph::snapshot as gsnap;
+use patternkb::index::compress::CompressedPathIndexes;
+use patternkb::index::BuildConfig;
+use patternkb::prelude::*;
+
+fn figure1_engine() -> SearchEngine {
+    let (g, _) = patternkb::datagen::figure1();
+    SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 })
+}
+
+// ---------------------------------------------------------------------
+// Graph snapshot corruption
+// ---------------------------------------------------------------------
+
+#[test]
+fn graph_snapshot_truncation_every_prefix() {
+    let (g, _) = patternkb::datagen::figure1();
+    let bytes = gsnap::encode(&g);
+    // Every strict prefix must decode to a typed error, not a panic.
+    for cut in 0..bytes.len() {
+        if let Ok(g2) = gsnap::decode(&bytes[..cut]) {
+            // The only acceptable "success" on a prefix would be an
+            // identical graph, which is impossible for a strict prefix of
+            // a non-trivial snapshot.
+            panic!(
+                "prefix of {cut}/{} bytes decoded to a graph with {} nodes",
+                bytes.len(),
+                g2.num_nodes()
+            );
+        }
+    }
+}
+
+#[test]
+fn graph_snapshot_bad_magic_and_version() {
+    let (g, _) = patternkb::datagen::figure1();
+    let mut bytes = gsnap::encode(&g);
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] ^= 0xff;
+    assert!(matches!(
+        gsnap::decode(&wrong_magic),
+        Err(gsnap::SnapshotError::BadMagic)
+    ));
+    // Version field follows the 4-byte magic (little-endian u32).
+    bytes[4] = 0xee;
+    assert!(matches!(
+        gsnap::decode(&bytes),
+        Err(gsnap::SnapshotError::BadVersion(_))
+    ));
+}
+
+#[test]
+fn graph_snapshot_single_bit_flips_never_panic() {
+    let (g, _) = patternkb::datagen::figure1();
+    let bytes = gsnap::encode(&g);
+    for i in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[i] ^= 0x01;
+        // Either a typed error or a structurally valid graph (flips inside
+        // text payloads produce different-but-valid graphs). Crucially:
+        // no panic and no out-of-range ids.
+        if let Ok(g2) = gsnap::decode(&corrupted) {
+            for v in g2.nodes() {
+                for (_, t) in g2.out_edges(v) {
+                    assert!(t.0 < g2.num_nodes() as u32, "dangling edge after flip {i}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn graph_snapshot_roundtrip_after_mutation() {
+    // Snapshots of delta-produced graphs are as valid as built ones.
+    let (g, _) = patternkb::datagen::figure1();
+    let comp = g.type_by_text("Company").unwrap();
+    let mut d = GraphDelta::new(&g);
+    d.add_node(comp, "Snapshot Corp").unwrap();
+    let g2 = d.apply(&g, PagerankMode::Recompute).unwrap();
+    let back = gsnap::decode(&gsnap::encode(&g2)).unwrap();
+    assert_eq!(back.num_nodes(), g2.num_nodes());
+    assert_eq!(back.num_edges(), g2.num_edges());
+    let last = NodeId((back.num_nodes() - 1) as u32);
+    assert_eq!(back.node_text(last), "Snapshot Corp");
+}
+
+// ---------------------------------------------------------------------
+// Index snapshot / compressed-stream corruption
+// ---------------------------------------------------------------------
+
+#[test]
+fn index_snapshot_truncation_is_an_error() {
+    let e = figure1_engine();
+    let dir = std::env::temp_dir().join("patternkb_failure_injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("idx.pkbi");
+    e.save_index(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    for cut in [0, 1, 4, bytes.len() / 3, bytes.len() - 1] {
+        let tpath = dir.join(format!("idx_cut_{cut}.pkbi"));
+        std::fs::write(&tpath, &bytes[..cut]).unwrap();
+        let (g, _) = patternkb::datagen::figure1();
+        let res = SearchEngine::load_index(g, SynonymTable::new(), &tpath);
+        assert!(res.is_err(), "truncated index at {cut} bytes must not load");
+        std::fs::remove_file(&tpath).ok();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compressed_tier_detects_or_survives_corruption() {
+    let e = figure1_engine();
+    let mut comp = CompressedPathIndexes::compress(e.index());
+    let w = e.text().lookup_word("database").unwrap();
+    assert!(comp.corrupt_for_test(w, 3));
+    // Must be an error or a decodable (different) list — never a panic.
+    let _ = comp.decompress_word(w).expect("word exists");
+}
+
+// ---------------------------------------------------------------------
+// Degenerate graphs
+// ---------------------------------------------------------------------
+
+#[test]
+fn single_node_graph() {
+    let mut b = GraphBuilder::new();
+    let t = b.add_type("Lonely");
+    b.add_node(t, "only one here");
+    let e = SearchEngine::build(b.build(), SynonymTable::new(), &BuildConfig { d: 3, threads: 1 });
+    let q = e.parse("lonely").unwrap();
+    let r = e.search(&q, &SearchConfig::top(10));
+    assert_eq!(r.patterns.len(), 1);
+    assert_eq!(r.patterns[0].num_trees, 1);
+    let q = e.parse("only one").unwrap();
+    let r = e.search(&q, &SearchConfig::top(10));
+    assert_eq!(r.patterns.len(), 1, "two keywords on one node still answer");
+}
+
+#[test]
+fn self_loop_paths_stay_simple() {
+    let mut b = GraphBuilder::new();
+    let t = b.add_type("Node");
+    let a = b.add_attr("loops to");
+    let v = b.add_node(t, "ouroboros");
+    b.add_edge(v, a, v);
+    let e = SearchEngine::build(b.build(), SynonymTable::new(), &BuildConfig { d: 4, threads: 1 });
+    // The self loop must not create infinite or repeated-node paths.
+    let q = e.parse("ouroboros").unwrap();
+    let r = e.search(&q, &SearchConfig::top(10));
+    for p in &r.patterns {
+        for pat in &p.pattern {
+            assert!(pat.num_nodes() <= 1, "self-loop leaked into a path: {pat:?}");
+        }
+    }
+    // The only occurrence of "loops" is on the self-loop edge, whose
+    // edge-terminal "subtree" (v → v) is not a tree; the paper's subtrees
+    // are simple, so the query correctly has zero answers.
+    let q = e.parse("loops").unwrap();
+    let r = e.search(&q, &SearchConfig::top(10));
+    assert!(r.patterns.is_empty());
+    assert_eq!(e.count_subtrees(&q), 0);
+}
+
+#[test]
+fn two_cycle_answers_bounded() {
+    let mut b = GraphBuilder::new();
+    let t = b.add_type("Station");
+    let a = b.add_attr("next");
+    let x = b.add_node(t, "alpha stop");
+    let y = b.add_node(t, "beta stop");
+    b.add_edge(x, a, y);
+    b.add_edge(y, a, x);
+    let e = SearchEngine::build(b.build(), SynonymTable::new(), &BuildConfig { d: 4, threads: 1 });
+    let q = e.parse("alpha beta").unwrap();
+    let r = e.search(&q, &SearchConfig::top(100));
+    // Paths are simple, so patterns have at most 2 nodes per path.
+    assert!(!r.patterns.is_empty());
+    for p in &r.patterns {
+        for pat in &p.pattern {
+            assert!(pat.num_nodes() <= 2);
+        }
+    }
+    assert_eq!(e.count_patterns(&q), r.patterns.len() as u64);
+}
+
+#[test]
+fn parallel_attribute_values() {
+    // "Products: Windows, Bing" — one attribute, several edges.
+    let mut b = GraphBuilder::new();
+    let company = b.add_type("Company");
+    let product = b.add_type("Product");
+    let products = b.add_attr("products");
+    let ms = b.add_node(company, "Redmond Giant");
+    let win = b.add_node(product, "window system");
+    let bing = b.add_node(product, "bing search");
+    b.add_edge(ms, products, win);
+    b.add_edge(ms, products, bing);
+    let e = SearchEngine::build(b.build(), SynonymTable::new(), &BuildConfig { d: 2, threads: 1 });
+    let q = e.parse("giant products").unwrap();
+    let r = e.search(&q, &SearchConfig::top(10));
+    // One pattern (Company)(products); both product edges are subtrees.
+    let top = r.top().unwrap();
+    assert_eq!(top.num_trees, 2);
+}
+
+#[test]
+fn unicode_text_is_searchable_by_ascii_tokens() {
+    let mut b = GraphBuilder::new();
+    let t = b.add_type("Künstler");
+    let v = b.add_node(t, "Dvořák — composer (Antonín)");
+    let a = b.add_attr("née");
+    b.add_text_edge(v, a, "Zlonice čtyři");
+    let e = SearchEngine::build(b.build(), SynonymTable::new(), &BuildConfig { d: 2, threads: 1 });
+    // The tokenizer treats non-ASCII as separators; ASCII runs remain.
+    let q = e.parse("composer").unwrap();
+    let r = e.search(&q, &SearchConfig::top(10));
+    assert_eq!(r.patterns.len(), 1);
+    let table = e.table(r.top().unwrap());
+    assert!(table.rows[0].iter().any(|c| c.contains("Dvořák")));
+}
+
+#[test]
+fn duplicate_keywords_are_honest() {
+    // "database database" — the same word twice maps both query positions
+    // to (possibly) the same path; answers must exist and agree across
+    // algorithms.
+    let e = figure1_engine();
+    let q = e.parse("database database").unwrap();
+    let cfg = SearchConfig::top(100);
+    let a = e.search_with(&q, &cfg, Algorithm::LinearEnum);
+    let b = e.search_with(&q, &cfg, Algorithm::PatternEnum);
+    let c = e.search_with(&q, &cfg, Algorithm::Baseline);
+    assert!(!a.patterns.is_empty());
+    assert_eq!(a.patterns.len(), b.patterns.len());
+    assert_eq!(a.patterns.len(), c.patterns.len());
+    for (x, y) in a.patterns.iter().zip(&b.patterns) {
+        assert_eq!(x.key(), y.key());
+    }
+}
+
+#[test]
+fn d_equals_one_only_trivial_paths() {
+    let e_d1 = {
+        let (g, _) = patternkb::datagen::figure1();
+        SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 1, threads: 1 })
+    };
+    // With d = 1 only single-node (node-terminal) paths exist: no
+    // edge-terminal matches (they'd imply a 2-node height), so "revenue"
+    // (attribute-only) has no paths at all.
+    // Parse may fail (keyword absent from the d=1 index) — also acceptable.
+    if let Ok(q) = e_d1.parse("database software company revenue") {
+        assert!(e_d1.search(&q, &SearchConfig::top(10)).patterns.is_empty());
+    }
+    let q = e_d1.parse("database").unwrap();
+    let r = e_d1.search(&q, &SearchConfig::top(10));
+    for p in &r.patterns {
+        for pat in &p.pattern {
+            assert_eq!(pat.height(), 1);
+        }
+    }
+}
+
+#[test]
+fn k_zero_returns_nothing_gracefully() {
+    let e = figure1_engine();
+    let q = e.parse("database company").unwrap();
+    for algo in [
+        Algorithm::Baseline,
+        Algorithm::PatternEnum,
+        Algorithm::PatternEnumPruned,
+        Algorithm::LinearEnum,
+    ] {
+        let r = e.search_with(&q, &SearchConfig::top(0), algo);
+        assert!(r.patterns.is_empty(), "{algo:?} must honor k = 0");
+    }
+}
+
+#[test]
+fn unanswerable_multi_keyword_query() {
+    let e = figure1_engine();
+    // Both words exist, but no root reaches both.
+    let q = e.parse("oracle gates").unwrap();
+    for algo in [
+        Algorithm::Baseline,
+        Algorithm::PatternEnum,
+        Algorithm::PatternEnumPruned,
+        Algorithm::LinearEnum,
+    ] {
+        let r = e.search_with(&q, &SearchConfig::top(10), algo);
+        assert!(r.patterns.is_empty(), "{algo:?}");
+    }
+    assert_eq!(e.count_patterns(&q), 0);
+    assert_eq!(e.count_subtrees(&q), 0);
+}
+
+// ---------------------------------------------------------------------
+// Mutation edge cases through the engine
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_to_empty_answers_and_back() {
+    let mut e = figure1_engine();
+    let dev = e.graph().attr_by_text("Developer").unwrap();
+    // Remove a Developer edge (an anchor of pattern P1), then restore it.
+    let edges: Vec<_> = e.graph().edges().collect();
+    let dev_edge = edges.iter().find(|ed| ed.attr == dev).copied().unwrap();
+    let mut d = GraphDelta::new(e.graph());
+    d.remove_edge(dev_edge.source, dev_edge.attr, dev_edge.target)
+        .unwrap();
+    let stats = e.apply_delta(&d, PagerankMode::Frozen).unwrap();
+    assert!(stats.postings_dropped > 0);
+
+    // Re-add it: answers must return.
+    let mut d = GraphDelta::new(e.graph());
+    d.add_edge(dev_edge.source, dev_edge.attr, dev_edge.target)
+        .unwrap();
+    e.apply_delta(&d, PagerankMode::Frozen).unwrap();
+    let q = e.parse("database software company revenue").unwrap();
+    let r = e.search(&q, &SearchConfig::top(10));
+    assert_eq!(r.patterns.len(), 9, "round-trip mutation restored answers");
+}
+
+#[test]
+fn many_chained_deltas_stay_queryable() {
+    let mut e = figure1_engine();
+    for step in 0..8 {
+        let g = e.graph();
+        let comp = g.type_by_text("Company").unwrap();
+        let rev = g.attr_by_text("Revenue").unwrap();
+        let mut d = GraphDelta::new(g);
+        let v = d.add_node(comp, &format!("database vendor {step}")).unwrap();
+        d.add_text_edge(v, rev, &format!("US$ {step} billion")).unwrap();
+        e.apply_delta(&d, PagerankMode::Frozen).unwrap();
+    }
+    assert_eq!(e.version(), 8);
+    let q = e.parse("vendor revenue").unwrap();
+    let r = e.search(&q, &SearchConfig::top(100));
+    assert!(!r.patterns.is_empty());
+    let top = r.top().unwrap();
+    assert_eq!(top.num_trees, 8, "every delta's vendor row answers");
+}
+
+#[test]
+fn index_rebuild_equals_incremental_through_engine() {
+    // End-to-end: after a batch of engine deltas, a from-scratch engine
+    // over the same graph returns identical answers.
+    let mut e = figure1_engine();
+    let g = e.graph();
+    let soft = g.type_by_text("Software").unwrap();
+    let dev = g.attr_by_text("Developer").unwrap();
+    let comp = g.type_by_text("Company").unwrap();
+    let mut d = GraphDelta::new(g);
+    let pg = d.add_node(soft, "PostgreSQL database").unwrap();
+    let org = d.add_node(comp, "Global Dev Group").unwrap();
+    d.add_edge(pg, dev, org).unwrap();
+    e.apply_delta(&d, PagerankMode::Recompute).unwrap();
+
+    let fresh = SearchEngine::build(
+        e.graph().clone(),
+        SynonymTable::new(),
+        &BuildConfig { d: 3, threads: 1 },
+    );
+    for text in ["database software", "database developer", "group"] {
+        let q1 = e.parse(text).unwrap();
+        let q2 = fresh.parse(text).unwrap();
+        let r1 = e.search(&q1, &SearchConfig::top(100));
+        let r2 = fresh.search(&q2, &SearchConfig::top(100));
+        assert_eq!(r1.patterns.len(), r2.patterns.len(), "{text}");
+        for (a, b) in r1.patterns.iter().zip(&r2.patterns) {
+            assert!((a.score - b.score).abs() < 1e-9, "{text}");
+            assert_eq!(a.num_trees, b.num_trees, "{text}");
+        }
+    }
+}
