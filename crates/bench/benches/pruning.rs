@@ -6,18 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_bench::harness::{engine_plain, respond_algo};
 use patternkb_datagen::queries::QueryGenerator;
 use patternkb_datagen::worstcase::{worstcase, W1, W2};
-use patternkb_index::BuildConfig;
-use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
-use patternkb_text::SynonymTable;
+use patternkb_search::{AlgorithmChoice, Query, SearchRequest};
 
 fn bench_pruning_wiki(c: &mut Criterion) {
-    let e = SearchEngine::build(
-        wiki_graph(Scale::Small),
-        SynonymTable::new(),
-        &BuildConfig { d: 3, threads: 0 },
-    );
+    let e = engine_plain(wiki_graph(Scale::Small), 3);
     let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 41);
     let queries: Vec<Query> = (0..12)
         .filter_map(|i| qg.anchored(2 + (i % 3)))
@@ -29,23 +24,25 @@ fn bench_pruning_wiki(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
     for k in [1usize, 10, 100] {
-        let cfg = SearchConfig {
-            max_rows: 4,
-            ..SearchConfig::top(k)
+        let run = |algo: AlgorithmChoice| {
+            let e = &e;
+            let queries = &queries;
+            move || {
+                for q in queries {
+                    let req = SearchRequest::query(q.clone())
+                        .k(k)
+                        .max_rows(4)
+                        .compose_tables(false)
+                        .algorithm(algo);
+                    criterion::black_box(e.respond(&req).expect("pre-parsed"));
+                }
+            }
         };
         group.bench_with_input(BenchmarkId::new("exact", k), &k, |b, _| {
-            b.iter(|| {
-                for q in &queries {
-                    criterion::black_box(e.search_with(q, &cfg, Algorithm::PatternEnum));
-                }
-            });
+            b.iter(run(AlgorithmChoice::PatternEnum));
         });
         group.bench_with_input(BenchmarkId::new("pruned", k), &k, |b, _| {
-            b.iter(|| {
-                for q in &queries {
-                    criterion::black_box(e.search_with(q, &cfg, Algorithm::PatternEnumPruned));
-                }
-            });
+            b.iter(run(AlgorithmChoice::PatternEnumPruned));
         });
     }
     group.finish();
@@ -56,23 +53,28 @@ fn bench_pruning_worstcase(c: &mut Criterion) {
     // prunes against found scores) cannot help — this guards against
     // regressions where "pruned" pays overhead without wins.
     let p = 64usize;
-    let e = SearchEngine::build(
-        worstcase(p),
-        SynonymTable::new(),
-        &BuildConfig { d: 2, threads: 1 },
-    );
+    let e = engine_plain(worstcase(p), 2);
     let q = e.parse(&format!("{W1} {W2}")).unwrap();
-    let cfg = SearchConfig::top(10);
 
     let mut group = c.benchmark_group("pruning_worstcase");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("exact", |b| {
-        b.iter(|| criterion::black_box(e.search_with(&q, &cfg, Algorithm::PatternEnum)));
+        b.iter(|| {
+            criterion::black_box(respond_algo(&e, &q, 10, AlgorithmChoice::PatternEnum, None))
+        });
     });
     group.bench_function("pruned", |b| {
-        b.iter(|| criterion::black_box(e.search_with(&q, &cfg, Algorithm::PatternEnumPruned)));
+        b.iter(|| {
+            criterion::black_box(respond_algo(
+                &e,
+                &q,
+                10,
+                AlgorithmChoice::PatternEnumPruned,
+                None,
+            ))
+        });
     });
     group.finish();
 }

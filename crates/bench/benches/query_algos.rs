@@ -2,11 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patternkb_bench::datasets::{imdb_graph, wiki_graph, Scale};
+use patternkb_bench::harness::{engine, respond_algo};
 use patternkb_datagen::queries::QueryGenerator;
-use patternkb_index::BuildConfig;
-use patternkb_search::topk::SamplingConfig;
-use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
-use patternkb_text::SynonymTable;
+use patternkb_search::{AlgorithmChoice, Query, SearchEngine};
 
 fn queries_for(e: &SearchEngine, n: usize, seed: u64) -> Vec<Query> {
     let mut qg = QueryGenerator::new(e.graph(), e.text(), e.d(), seed);
@@ -24,11 +22,10 @@ fn queries_for(e: &SearchEngine, n: usize, seed: u64) -> Vec<Query> {
 
 fn bench_dataset(c: &mut Criterion, name: &str, e: &SearchEngine) {
     let queries = queries_for(e, 12, 17);
-    let cfg = SearchConfig::top(100);
-    let algos: [(&str, Algorithm); 3] = [
-        ("baseline", Algorithm::Baseline),
-        ("letopk", Algorithm::LinearEnumTopK(SamplingConfig::exact())),
-        ("petopk", Algorithm::PatternEnum),
+    let algos: [(&str, AlgorithmChoice); 3] = [
+        ("baseline", AlgorithmChoice::Baseline),
+        ("letopk", AlgorithmChoice::LinearEnumTopK),
+        ("petopk", AlgorithmChoice::PatternEnum),
     ];
     let mut group = c.benchmark_group(format!("query_algos_{name}"));
     group.sample_size(10);
@@ -38,7 +35,7 @@ fn bench_dataset(c: &mut Criterion, name: &str, e: &SearchEngine) {
         group.bench_with_input(BenchmarkId::from_parameter(aname), &algo, |b, algo| {
             b.iter(|| {
                 for q in &queries {
-                    criterion::black_box(e.search_with(q, &cfg, *algo));
+                    criterion::black_box(respond_algo(e, q, 100, *algo, None));
                 }
             });
         });
@@ -47,17 +44,9 @@ fn bench_dataset(c: &mut Criterion, name: &str, e: &SearchEngine) {
 }
 
 fn bench_query_algos(c: &mut Criterion) {
-    let wiki = SearchEngine::build(
-        wiki_graph(Scale::Small),
-        SynonymTable::default_english(),
-        &BuildConfig { d: 3, threads: 0 },
-    );
+    let wiki = engine(wiki_graph(Scale::Small), 3);
     bench_dataset(c, "wiki", &wiki);
-    let imdb = SearchEngine::build(
-        imdb_graph(Scale::Small),
-        SynonymTable::default_english(),
-        &BuildConfig { d: 3, threads: 0 },
-    );
+    let imdb = engine(imdb_graph(Scale::Small), 3);
     bench_dataset(c, "imdb", &imdb);
 }
 

@@ -3,11 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_bench::harness::{engine, respond_algo};
 use patternkb_datagen::queries::QueryGenerator;
-use patternkb_index::BuildConfig;
 use patternkb_search::topk::SamplingConfig;
-use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
-use patternkb_text::SynonymTable;
+use patternkb_search::{AlgorithmChoice, Query, SearchEngine};
 
 fn heavy_query(e: &SearchEngine) -> Query {
     let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 53);
@@ -25,13 +24,8 @@ fn heavy_query(e: &SearchEngine) -> Query {
 }
 
 fn bench_sampling(c: &mut Criterion) {
-    let e = SearchEngine::build(
-        wiki_graph(Scale::Small),
-        SynonymTable::default_english(),
-        &BuildConfig { d: 3, threads: 0 },
-    );
+    let e = engine(wiki_graph(Scale::Small), 3);
     let q = heavy_query(&e);
-    let cfg = SearchConfig::top(100);
 
     let mut group = c.benchmark_group("fig12_sampling_rate");
     group.sample_size(10);
@@ -40,16 +34,26 @@ fn bench_sampling(c: &mut Criterion) {
     for rho in [0.05f64, 0.1, 0.2, 0.5, 1.0] {
         group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, &rho| {
             b.iter(|| {
-                criterion::black_box(e.search_with(
+                criterion::black_box(respond_algo(
+                    &e,
                     &q,
-                    &cfg,
-                    Algorithm::LinearEnumTopK(SamplingConfig::new(0, rho, 77)),
+                    100,
+                    AlgorithmChoice::LinearEnumTopK,
+                    Some(SamplingConfig::new(0, rho, 77)),
                 ))
             });
         });
     }
     group.bench_function("petopk_reference", |b| {
-        b.iter(|| criterion::black_box(e.search_with(&q, &cfg, Algorithm::PatternEnum)));
+        b.iter(|| {
+            criterion::black_box(respond_algo(
+                &e,
+                &q,
+                100,
+                AlgorithmChoice::PatternEnum,
+                None,
+            ))
+        });
     });
     group.finish();
 
@@ -63,10 +67,12 @@ fn bench_sampling(c: &mut Criterion) {
             &lambda,
             |b, &lambda| {
                 b.iter(|| {
-                    criterion::black_box(e.search_with(
+                    criterion::black_box(respond_algo(
+                        &e,
                         &q,
-                        &cfg,
-                        Algorithm::LinearEnumTopK(SamplingConfig::new(lambda, 0.1, 77)),
+                        100,
+                        AlgorithmChoice::LinearEnumTopK,
+                        Some(SamplingConfig::new(lambda, 0.1, 77)),
                     ))
                 });
             },

@@ -2,11 +2,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_bench::harness::{engine, respond_algo};
 use patternkb_datagen::queries::QueryGenerator;
 use patternkb_graph::subgraph;
-use patternkb_index::BuildConfig;
-use patternkb_search::{Query, SearchConfig, SearchEngine};
-use patternkb_text::SynonymTable;
+use patternkb_search::{AlgorithmChoice, Query};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -20,11 +19,7 @@ fn bench_scalability(c: &mut Criterion) {
         let mut rng = SmallRng::seed_from_u64(31);
         let frac = pct as f64 / 100.0;
         let sub = subgraph::induced_by(&g, |_| rng.gen::<f64>() < frac);
-        let e = SearchEngine::build(
-            sub.graph,
-            SynonymTable::default_english(),
-            &BuildConfig { d: 3, threads: 0 },
-        );
+        let e = engine(sub.graph, 3);
         let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 37);
         let queries: Vec<Query> = (0..8)
             .filter_map(|_| qg.anchored(3))
@@ -33,11 +28,16 @@ fn bench_scalability(c: &mut Criterion) {
         if queries.is_empty() {
             continue;
         }
-        let cfg = SearchConfig::top(100);
         group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, _| {
             b.iter(|| {
                 for q in &queries {
-                    criterion::black_box(e.search(q, &cfg));
+                    criterion::black_box(respond_algo(
+                        &e,
+                        q,
+                        100,
+                        AlgorithmChoice::PatternEnum,
+                        None,
+                    ));
                 }
             });
         });

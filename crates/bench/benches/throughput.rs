@@ -1,36 +1,38 @@
-//! Service-level throughput: a repeated query workload through (a) the
-//! engine directly, (b) the version-aware result cache, and (c) the
-//! parallel batch API. Keyword search is an online service (§2.2.4 argues
-//! `d` exists for "in-time response"), so requests/second matters as much
-//! as single-query latency.
+//! Service-level throughput: a repeated request workload through (a) the
+//! engine directly, (b) the serving handle's built-in version-aware
+//! cache, and (c) the parallel batch API. Keyword search is an online
+//! service (§2.2.4 argues `d` exists for "in-time response"), so
+//! requests/second matters as much as single-query latency.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use patternkb_bench::datasets::{wiki_graph, Scale};
 use patternkb_datagen::queries::QueryGenerator;
-use patternkb_index::BuildConfig;
-use patternkb_search::cache::QueryCache;
-use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
+use patternkb_search::{AlgorithmChoice, EngineBuilder, Query, SearchRequest};
 use patternkb_text::SynonymTable;
 
 fn bench_throughput(c: &mut Criterion) {
-    let e = SearchEngine::build(
-        wiki_graph(Scale::Small),
-        SynonymTable::new(),
-        &BuildConfig { d: 3, threads: 0 },
-    );
-    let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 53);
+    let shared = EngineBuilder::new()
+        .graph(wiki_graph(Scale::Small))
+        .synonyms(SynonymTable::new())
+        .height(3)
+        .cache_capacity(32)
+        .build_shared()
+        .expect("bench engine builds");
+    let snapshot = shared.snapshot();
+    let mut qg = QueryGenerator::new(snapshot.graph(), snapshot.text(), 3, 53);
     // A workload with repetition (Zipf-ish): 8 distinct queries cycled.
     let distinct: Vec<Query> = (0..8)
         .filter_map(|i| qg.anchored(1 + (i % 3)))
         .map(|s| Query::from_ids(s.keywords))
         .collect();
-    let workload: Vec<Query> = (0..64)
-        .map(|i| distinct[i % distinct.len()].clone())
+    let workload: Vec<SearchRequest> = (0..64)
+        .map(|i| {
+            SearchRequest::query(distinct[i % distinct.len()].clone())
+                .k(10)
+                .max_rows(4)
+                .algorithm(AlgorithmChoice::PatternEnumPruned)
+        })
         .collect();
-    let cfg = SearchConfig {
-        max_rows: 4,
-        ..SearchConfig::top(10)
-    };
 
     let mut group = c.benchmark_group("service_throughput");
     group.sample_size(10);
@@ -40,22 +42,18 @@ fn bench_throughput(c: &mut Criterion) {
 
     group.bench_function("direct", |b| {
         b.iter(|| {
-            for q in &workload {
-                criterion::black_box(e.search_with(q, &cfg, Algorithm::PatternEnumPruned));
+            for req in &workload {
+                criterion::black_box(snapshot.respond(req).expect("pre-parsed"));
             }
         });
     });
 
+    // Steady-state cached serving: after the first pass every distinct
+    // request is a version-checked cache hit.
     group.bench_function("cached", |b| {
         b.iter(|| {
-            let cache = QueryCache::new(32);
-            for q in &workload {
-                criterion::black_box(cache.get_or_compute(
-                    &e,
-                    q,
-                    &cfg,
-                    Algorithm::PatternEnumPruned,
-                ));
+            for req in &workload {
+                criterion::black_box(shared.respond(req).expect("pre-parsed"));
             }
         });
     });
@@ -65,14 +63,7 @@ fn bench_throughput(c: &mut Criterion) {
             BenchmarkId::new("batch_parallel", threads),
             &threads,
             |b, &threads| {
-                b.iter(|| {
-                    criterion::black_box(e.search_batch(
-                        &workload,
-                        &cfg,
-                        Algorithm::PatternEnumPruned,
-                        threads,
-                    ))
-                });
+                b.iter(|| criterion::black_box(snapshot.respond_batch(&workload, threads)));
             },
         );
     }

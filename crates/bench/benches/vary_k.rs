@@ -2,18 +2,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_bench::harness::{engine, respond_algo};
 use patternkb_datagen::queries::QueryGenerator;
-use patternkb_index::BuildConfig;
-use patternkb_search::topk::SamplingConfig;
-use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
-use patternkb_text::SynonymTable;
+use patternkb_search::{AlgorithmChoice, Query};
 
 fn bench_vary_k(c: &mut Criterion) {
-    let e = SearchEngine::build(
-        wiki_graph(Scale::Small),
-        SynonymTable::default_english(),
-        &BuildConfig { d: 3, threads: 0 },
-    );
+    let e = engine(wiki_graph(Scale::Small), 3);
     let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 41);
     let queries: Vec<Query> = (0..8)
         .filter_map(|_| qg.anchored(3))
@@ -24,22 +18,29 @@ fn bench_vary_k(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for k in [10usize, 50, 100] {
-        let cfg = SearchConfig::top(k);
-        group.bench_with_input(BenchmarkId::new("letopk", k), &k, |b, _| {
+        group.bench_with_input(BenchmarkId::new("letopk", k), &k, |b, &k| {
             b.iter(|| {
                 for q in &queries {
-                    criterion::black_box(e.search_with(
+                    criterion::black_box(respond_algo(
+                        &e,
                         q,
-                        &cfg,
-                        Algorithm::LinearEnumTopK(SamplingConfig::exact()),
+                        k,
+                        AlgorithmChoice::LinearEnumTopK,
+                        None,
                     ));
                 }
             });
         });
-        group.bench_with_input(BenchmarkId::new("petopk", k), &k, |b, _| {
+        group.bench_with_input(BenchmarkId::new("petopk", k), &k, |b, &k| {
             b.iter(|| {
                 for q in &queries {
-                    criterion::black_box(e.search_with(q, &cfg, Algorithm::PatternEnum));
+                    criterion::black_box(respond_algo(
+                        &e,
+                        q,
+                        k,
+                        AlgorithmChoice::PatternEnum,
+                        None,
+                    ));
                 }
             });
         });

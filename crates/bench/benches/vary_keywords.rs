@@ -2,17 +2,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patternkb_bench::datasets::{wiki_graph, Scale};
+use patternkb_bench::harness::{engine, respond_algo};
 use patternkb_datagen::queries::QueryGenerator;
-use patternkb_index::BuildConfig;
-use patternkb_search::{Query, SearchConfig, SearchEngine};
-use patternkb_text::SynonymTable;
+use patternkb_search::{AlgorithmChoice, Query};
 
 fn bench_vary_keywords(c: &mut Criterion) {
-    let e = SearchEngine::build(
-        wiki_graph(Scale::Small),
-        SynonymTable::default_english(),
-        &BuildConfig { d: 3, threads: 0 },
-    );
+    let e = engine(wiki_graph(Scale::Small), 3);
     let mut group = c.benchmark_group("fig16_vary_keywords");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
@@ -26,11 +21,16 @@ fn bench_vary_keywords(c: &mut Criterion) {
         if queries.is_empty() {
             continue;
         }
-        let cfg = SearchConfig::top(100);
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
             b.iter(|| {
                 for q in &queries {
-                    criterion::black_box(e.search(q, &cfg));
+                    criterion::black_box(respond_algo(
+                        &e,
+                        q,
+                        100,
+                        AlgorithmChoice::PatternEnum,
+                        None,
+                    ));
                 }
             });
         });

@@ -2,11 +2,9 @@
 //! LINEARENUM's immediate exit.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patternkb_bench::harness::{engine_plain, respond_algo};
 use patternkb_datagen::worstcase::{worstcase, W1, W2};
-use patternkb_index::BuildConfig;
-use patternkb_search::topk::SamplingConfig;
-use patternkb_search::{Algorithm, SearchConfig, SearchEngine};
-use patternkb_text::SynonymTable;
+use patternkb_search::AlgorithmChoice;
 
 fn bench_worst_case(c: &mut Criterion) {
     let mut group = c.benchmark_group("sec41_worst_case");
@@ -14,22 +12,21 @@ fn bench_worst_case(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for p in [16usize, 64, 256] {
-        let e = SearchEngine::build(
-            worstcase(p),
-            SynonymTable::new(),
-            &BuildConfig { d: 2, threads: 1 },
-        );
+        let e = engine_plain(worstcase(p), 2);
         let q = e.parse(&format!("{W1} {W2}")).unwrap();
-        let cfg = SearchConfig::top(10);
         group.bench_with_input(BenchmarkId::new("petopk", p), &p, |b, _| {
-            b.iter(|| criterion::black_box(e.search_with(&q, &cfg, Algorithm::PatternEnum)));
+            b.iter(|| {
+                criterion::black_box(respond_algo(&e, &q, 10, AlgorithmChoice::PatternEnum, None))
+            });
         });
         group.bench_with_input(BenchmarkId::new("letopk", p), &p, |b, _| {
             b.iter(|| {
-                criterion::black_box(e.search_with(
+                criterion::black_box(respond_algo(
+                    &e,
                     &q,
-                    &cfg,
-                    Algorithm::LinearEnumTopK(SamplingConfig::exact()),
+                    10,
+                    AlgorithmChoice::LinearEnumTopK,
+                    None,
                 ))
             });
         });

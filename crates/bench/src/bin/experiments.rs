@@ -16,7 +16,10 @@ use patternkb_datagen::queries::QueryGenerator;
 use patternkb_graph::{subgraph, KnowledgeGraph};
 use patternkb_index::{build_indexes, BuildConfig, IndexStats};
 use patternkb_search::topk::SamplingConfig;
-use patternkb_search::{Algorithm, Query, SearchConfig, SearchEngine};
+use patternkb_search::{
+    AlgorithmChoice, EngineBuilder, Query, SearchConfig, SearchEngine, SearchRequest,
+    SearchResponse,
+};
 use patternkb_text::{SynonymTable, TextIndex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -42,8 +45,19 @@ fn main() {
     }
     if picks.is_empty() || picks.iter().any(|p| p == "all") {
         picks = [
-            "fig6", "fig7", "fig8", "fig9", "fig10", "expk", "fig11", "fig12", "fig13", "fig16",
-            "case", "worstcase", "ablation",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "expk",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig16",
+            "case",
+            "worstcase",
+            "ablation",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -74,11 +88,35 @@ fn main() {
 }
 
 fn engine_for(g: KnowledgeGraph, d: usize) -> SearchEngine {
-    SearchEngine::build(
-        g,
-        SynonymTable::default_english(),
-        &BuildConfig { d, threads: 0 },
-    )
+    EngineBuilder::new()
+        .graph(g)
+        .synonyms(SynonymTable::default_english())
+        .height(d)
+        .build()
+        .expect("d in range")
+}
+
+/// One measured request: a pre-parsed query run under `cfg` with an
+/// explicit algorithm (and optional sampling). Times reported by callers
+/// use `response.stats.elapsed` — the search proper, measured inside each
+/// algorithm — so the figures stay comparable to the pre-0.2 harness.
+fn respond_algo(
+    e: &SearchEngine,
+    q: &Query,
+    cfg: &SearchConfig,
+    algo: AlgorithmChoice,
+    sampling: Option<SamplingConfig>,
+) -> SearchResponse {
+    let mut req = SearchRequest::query(q.clone())
+        .k(cfg.k)
+        .scoring(cfg.scoring)
+        .strict_trees(cfg.strict_trees)
+        .max_rows(cfg.max_rows)
+        .algorithm(algo);
+    if let Some(s) = sampling {
+        req = req.sampling(s);
+    }
+    e.respond(&req).expect("pre-parsed query always responds")
 }
 
 fn query_batch(e: &SearchEngine, scale: Scale, max_m: usize, seed: u64) -> Vec<Query> {
@@ -101,12 +139,10 @@ struct Measurement {
     times: BTreeMap<&'static str, Duration>,
 }
 
-const ALGOS: [(&str, fn() -> Algorithm); 3] = [
-    ("Baseline", || Algorithm::Baseline),
-    ("LETopK", || {
-        Algorithm::LinearEnumTopK(SamplingConfig::exact())
-    }),
-    ("PETopK", || Algorithm::PatternEnum),
+const ALGOS: [(&str, AlgorithmChoice); 3] = [
+    ("Baseline", AlgorithmChoice::Baseline),
+    ("LETopK", AlgorithmChoice::LinearEnumTopK),
+    ("PETopK", AlgorithmChoice::PatternEnum),
 ];
 
 fn sweep(e: &SearchEngine, queries: &[Query], cfg: &SearchConfig) -> Vec<Measurement> {
@@ -114,10 +150,9 @@ fn sweep(e: &SearchEngine, queries: &[Query], cfg: &SearchConfig) -> Vec<Measure
         .iter()
         .map(|q| {
             let mut times = BTreeMap::new();
-            for (name, make) in ALGOS {
-                let t0 = Instant::now();
-                let _ = e.search_with(q, cfg, make());
-                times.insert(name, t0.elapsed());
+            for (name, algo) in ALGOS {
+                let r = respond_algo(e, q, cfg, algo, None);
+                times.insert(name, r.stats.elapsed);
             }
             Measurement {
                 m: q.len(),
@@ -132,11 +167,20 @@ fn sweep(e: &SearchEngine, queries: &[Query], cfg: &SearchConfig) -> Vec<Measure
 fn bucket_table(report: &mut Report, ms: &[Measurement], by_subtrees: bool) {
     let mut buckets: BTreeMap<u64, Vec<&Measurement>> = BTreeMap::new();
     for m in ms {
-        let key = bucket_of(if by_subtrees { m.n_subtrees } else { m.n_patterns });
+        let key = bucket_of(if by_subtrees {
+            m.n_subtrees
+        } else {
+            m.n_patterns
+        });
         buckets.entry(key).or_default().push(m);
     }
     let mut rows = vec![vec![
-        if by_subtrees { "#subtrees<" } else { "#patterns<" }.to_string(),
+        if by_subtrees {
+            "#subtrees<"
+        } else {
+            "#patterns<"
+        }
+        .to_string(),
         "queries".to_string(),
         "Baseline min/geo/max (ms)".to_string(),
         "LETopK min/geo/max (ms)".to_string(),
@@ -289,12 +333,10 @@ fn expk(report: &mut Report, scale: Scale) {
         let mut le = Vec::new();
         let mut pe = Vec::new();
         for q in &queries {
-            let t0 = Instant::now();
-            let _ = e.search_with(q, &cfg, Algorithm::LinearEnumTopK(SamplingConfig::exact()));
-            le.push(t0.elapsed());
-            let t0 = Instant::now();
-            let _ = e.search_with(q, &cfg, Algorithm::PatternEnum);
-            pe.push(t0.elapsed());
+            let r = respond_algo(&e, q, &cfg, AlgorithmChoice::LinearEnumTopK, None);
+            le.push(r.stats.elapsed);
+            let r = respond_algo(&e, q, &cfg, AlgorithmChoice::PatternEnum, None);
+            pe.push(r.stats.elapsed);
         }
         rows.push(vec![
             format!("{k}"),
@@ -326,7 +368,7 @@ fn heavy_queries(e: &SearchEngine, count: usize) -> Vec<(Query, u64)> {
     seen
 }
 
-fn precision_against(exact_keys: &[Vec<u32>], approx: &patternkb_search::SearchResult) -> f64 {
+fn precision_against(exact_keys: &[Vec<u32>], approx: &SearchResponse) -> f64 {
     let approx_keys: Vec<Vec<u32>> = approx.patterns.iter().map(|p| p.key()).collect();
     patternkb_search::metrics::precision(exact_keys, &approx_keys)
 }
@@ -349,20 +391,20 @@ fn fig11(report: &mut Report, scale: Scale) {
         "PETopK (ms)".into(),
     ]];
     for (qi, (q, n)) in heavy.iter().enumerate() {
-        let exact = e.search_with(q, &cfg, Algorithm::LinearEnumTopK(SamplingConfig::exact()));
+        let exact = respond_algo(&e, q, &cfg, AlgorithmChoice::LinearEnumTopK, None);
         let exact_keys: Vec<Vec<u32>> = exact.patterns.iter().map(|p| p.key()).collect();
-        let t0 = Instant::now();
-        let _ = e.search_with(q, &cfg, Algorithm::PatternEnum);
-        let pe_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let pe = respond_algo(&e, q, &cfg, AlgorithmChoice::PatternEnum, None);
+        let pe_ms = pe.stats.elapsed.as_secs_f64() * 1e3;
         for rho in [0.01, 0.1] {
             for lambda in [100u64, 1_000, 10_000, 100_000, 1_000_000, 10_000_000] {
-                let t0 = Instant::now();
-                let approx = e.search_with(
+                let approx = respond_algo(
+                    &e,
                     q,
                     &cfg,
-                    Algorithm::LinearEnumTopK(SamplingConfig::new(lambda, rho, 77)),
+                    AlgorithmChoice::LinearEnumTopK,
+                    Some(SamplingConfig::new(lambda, rho, 77)),
                 );
-                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                let ms = approx.stats.elapsed.as_secs_f64() * 1e3;
                 rows.push(vec![
                     format!("q{}", qi + 1),
                     format!("{n}"),
@@ -402,19 +444,19 @@ fn fig12(report: &mut Report, scale: Scale) {
         "PETopK (ms)".into(),
     ]];
     for (qi, (q, n)) in heavy.iter().enumerate() {
-        let exact = e.search_with(q, &cfg, Algorithm::LinearEnumTopK(SamplingConfig::exact()));
+        let exact = respond_algo(&e, q, &cfg, AlgorithmChoice::LinearEnumTopK, None);
         let exact_keys: Vec<Vec<u32>> = exact.patterns.iter().map(|p| p.key()).collect();
-        let t0 = Instant::now();
-        let _ = e.search_with(q, &cfg, Algorithm::PatternEnum);
-        let pe_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let pe = respond_algo(&e, q, &cfg, AlgorithmChoice::PatternEnum, None);
+        let pe_ms = pe.stats.elapsed.as_secs_f64() * 1e3;
         for rho in [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
-            let t0 = Instant::now();
-            let approx = e.search_with(
+            let approx = respond_algo(
+                &e,
                 q,
                 &cfg,
-                Algorithm::LinearEnumTopK(SamplingConfig::new(lambda, rho, 77)),
+                AlgorithmChoice::LinearEnumTopK,
+                Some(SamplingConfig::new(lambda, rho, 77)),
             );
-            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let ms = approx.stats.elapsed.as_secs_f64() * 1e3;
             rows.push(vec![
                 format!("q{}", qi + 1),
                 format!("{n}"),
@@ -426,7 +468,9 @@ fn fig12(report: &mut Report, scale: Scale) {
         }
     }
     report.table(&rows);
-    report.line("(expected: smaller rho → faster, lower precision; precision high already at moderate rho)");
+    report.line(
+        "(expected: smaller rho → faster, lower precision; precision high already at moderate rho)",
+    );
 }
 
 // ------------------------------------------------------------------
@@ -447,7 +491,7 @@ fn fig13(report: &mut Report, scale: Scale) {
         let mut cov = Vec::new();
         let mut new = Vec::new();
         for q in &queries {
-            let patterns = e.search_with(q, &cfg, Algorithm::PatternEnum);
+            let patterns = respond_algo(&e, q, &cfg, AlgorithmChoice::PatternEnum, None);
             if patterns.patterns.is_empty() {
                 continue;
             }
@@ -573,14 +617,20 @@ fn case_study(report: &mut Report, scale: Scale) {
         ));
     }
 
-    let r = e.search(&q, &SearchConfig::top(1));
-    if let Some(top) = r.top() {
+    let r = respond_algo(
+        &e,
+        &q,
+        &SearchConfig::top(1),
+        AlgorithmChoice::PatternEnum,
+        None,
+    );
+    if let (Some(top), Some(table)) = (r.top(), r.top_table()) {
         report.line(&format!(
             "\nTop-1 tree pattern ({} rows): {}",
             top.num_trees,
             top.display(e.graph())
         ));
-        report.line(&e.table(top).render());
+        report.line(&table.render());
     }
 }
 
@@ -597,7 +647,12 @@ fn worst_case(report: &mut Report) {
     ]];
     for p in [8usize, 16, 32, 64, 128] {
         let g = patternkb_datagen::worstcase::worstcase(p);
-        let e = SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 2, threads: 1 });
+        let e = EngineBuilder::new()
+            .graph(g)
+            .height(2)
+            .threads(1)
+            .build()
+            .expect("d in range");
         let q = e
             .parse(&format!(
                 "{} {}",
@@ -606,12 +661,10 @@ fn worst_case(report: &mut Report) {
             ))
             .unwrap();
         let cfg = SearchConfig::top(10);
-        let t0 = Instant::now();
-        let pe = e.search_with(&q, &cfg, Algorithm::PatternEnum);
-        let pe_us = t0.elapsed().as_micros();
-        let t0 = Instant::now();
-        let le = e.search_with(&q, &cfg, Algorithm::LinearEnumTopK(SamplingConfig::exact()));
-        let le_us = t0.elapsed().as_micros();
+        let pe = respond_algo(&e, &q, &cfg, AlgorithmChoice::PatternEnum, None);
+        let pe_us = pe.stats.elapsed.as_micros();
+        let le = respond_algo(&e, &q, &cfg, AlgorithmChoice::LinearEnumTopK, None);
+        let le_us = le.stats.elapsed.as_micros();
         assert!(pe.patterns.is_empty() && le.patterns.is_empty());
         rows.push(vec![
             format!("{p}"),
@@ -649,7 +702,7 @@ fn ablation(report: &mut Report, scale: Scale) {
         let mut overlaps = Vec::new();
         for q in &queries {
             let base_cfg = SearchConfig::top(10);
-            let base = e.search_with(q, &base_cfg, Algorithm::PatternEnum);
+            let base = respond_algo(&e, q, &base_cfg, AlgorithmChoice::PatternEnum, None);
             if base.patterns.is_empty() {
                 continue;
             }
@@ -660,7 +713,7 @@ fn ablation(report: &mut Report, scale: Scale) {
                 },
                 ..SearchConfig::top(10)
             };
-            let alt = e.search_with(q, &cfg, Algorithm::PatternEnum);
+            let alt = respond_algo(&e, q, &cfg, AlgorithmChoice::PatternEnum, None);
             let base_keys: Vec<Vec<u32>> = base.patterns.iter().map(|p| p.key()).collect();
             let hits = alt
                 .patterns
@@ -695,9 +748,8 @@ fn ablation(report: &mut Report, scale: Scale) {
         let mut patterns = 0usize;
         let mut times = Vec::new();
         for q in &queries {
-            let t0 = Instant::now();
-            let r = e.search_with(q, &cfg, Algorithm::LinearEnum);
-            times.push(t0.elapsed());
+            let r = respond_algo(&e, q, &cfg, AlgorithmChoice::LinearEnum, None);
+            times.push(r.stats.elapsed);
             subtrees += r.stats.subtrees;
             patterns += r.stats.patterns;
         }
@@ -709,7 +761,9 @@ fn ablation(report: &mut Report, scale: Scale) {
         ]);
     }
     report.table(&rows);
-    report.line("(strict mode drops tuples whose path union converges; the paper's products keep them)");
+    report.line(
+        "(strict mode drops tuples whose path union converges; the paper's products keep them)",
+    );
 
     report.section("Ablation C: d-sensitivity on a citation graph (DBLP-like)");
     let g = patternkb_datagen::dblp::dblp(&patternkb_datagen::DblpConfig {
@@ -738,9 +792,14 @@ fn ablation(report: &mut Report, scale: Scale) {
         for q in &queries {
             pats += e.count_patterns(q);
             subs += e.count_subtrees(q);
-            let t0 = Instant::now();
-            let _ = e.search_with(q, &SearchConfig::top(100), Algorithm::PatternEnum);
-            times.push(t0.elapsed());
+            let r = respond_algo(
+                &e,
+                q,
+                &SearchConfig::top(100),
+                AlgorithmChoice::PatternEnum,
+                None,
+            );
+            times.push(r.stats.elapsed);
         }
         let n = queries.len() as u64;
         rows.push(vec![
@@ -783,8 +842,8 @@ fn ablation_stemmer(report: &mut Report, scale: Scale) {
         .collect();
     let inflect = |w: &str| -> Vec<String> {
         let mut v = vec![format!("{w}s")];
-        if w.ends_with('e') {
-            v.push(format!("{}ing", &w[..w.len() - 1]));
+        if let Some(stem) = w.strip_suffix('e') {
+            v.push(format!("{stem}ing"));
             v.push(format!("{w}d"));
         } else {
             v.push(format!("{w}ing"));
@@ -852,12 +911,10 @@ fn ablation_pruning(report: &mut Report, scale: Scale) {
         let mut tried = 0usize;
         let mut pruned = 0usize;
         for q in &queries {
-            let t0 = Instant::now();
-            let _ = e.search_with(q, &cfg, Algorithm::PatternEnum);
-            t_exact.push(t0.elapsed());
-            let t0 = Instant::now();
-            let r = e.search_with(q, &cfg, Algorithm::PatternEnumPruned);
-            t_pruned.push(t0.elapsed());
+            let r = respond_algo(&e, q, &cfg, AlgorithmChoice::PatternEnum, None);
+            t_exact.push(r.stats.elapsed);
+            let r = respond_algo(&e, q, &cfg, AlgorithmChoice::PatternEnumPruned, None);
+            t_pruned.push(r.stats.elapsed);
             tried += r.stats.combos_tried;
             pruned += r.stats.combos_pruned;
         }
@@ -870,7 +927,9 @@ fn ablation_pruning(report: &mut Report, scale: Scale) {
         ]);
     }
     report.table(&rows);
-    report.line("(small k lets the threshold bite early; the pruner skips intersections, never answers)");
+    report.line(
+        "(small k lets the threshold bite early; the pruner skips intersections, never answers)",
+    );
 }
 
 /// Ablation E: incremental index refresh vs full rebuild.
@@ -916,7 +975,10 @@ fn ablation_incremental(report: &mut Report, scale: Scale) {
             format!("{}", stats.affected_roots),
             format!("{:.2}", t_refresh.as_secs_f64() * 1e3),
             format!("{:.2}", t_rebuild.as_secs_f64() * 1e3),
-            format!("{:.1}x", t_rebuild.as_secs_f64() / t_refresh.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                t_rebuild.as_secs_f64() / t_refresh.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     report.table(&rows);

@@ -73,19 +73,15 @@ fn cached(name: &str, make: impl FnOnce() -> KnowledgeGraph) -> KnowledgeGraph {
 /// The Wiki-like dataset at `scale` (cached under the system temp dir).
 pub fn wiki_graph(scale: Scale) -> KnowledgeGraph {
     let cfg = wiki_config(scale);
-    cached(
-        &format!("wiki-{}-{}", cfg.entities, cfg.seed),
-        || wiki(&cfg),
-    )
+    cached(&format!("wiki-{}-{}", cfg.entities, cfg.seed), || {
+        wiki(&cfg)
+    })
 }
 
 /// The IMDB-like dataset at `scale`.
 pub fn imdb_graph(scale: Scale) -> KnowledgeGraph {
     let cfg = imdb_config(scale);
-    cached(
-        &format!("imdb-{}-{}", cfg.movies, cfg.seed),
-        || imdb(&cfg),
-    )
+    cached(&format!("imdb-{}-{}", cfg.movies, cfg.seed), || imdb(&cfg))
 }
 
 #[cfg(test)]

@@ -1,0 +1,69 @@
+//! Shared request/response plumbing for the Criterion benches and the
+//! experiments binary: engine construction through [`EngineBuilder`] and
+//! one-call execution of a pre-parsed query under an explicit algorithm.
+
+use patternkb_graph::KnowledgeGraph;
+use patternkb_search::topk::SamplingConfig;
+use patternkb_search::{
+    AlgorithmChoice, EngineBuilder, Query, SearchEngine, SearchRequest, SearchResponse,
+};
+use patternkb_text::SynonymTable;
+
+/// Build a bench engine: English synonyms, height `d`, all cores.
+pub fn engine(g: KnowledgeGraph, d: usize) -> SearchEngine {
+    EngineBuilder::new()
+        .graph(g)
+        .synonyms(SynonymTable::default_english())
+        .height(d)
+        .build()
+        .expect("bench d in range")
+}
+
+/// Build a bench engine with an empty synonym table (adversarial graphs
+/// whose tokens must not canonicalize).
+pub fn engine_plain(g: KnowledgeGraph, d: usize) -> SearchEngine {
+    EngineBuilder::new()
+        .graph(g)
+        .synonyms(SynonymTable::new())
+        .height(d)
+        .build()
+        .expect("bench d in range")
+}
+
+/// Run one pre-parsed query at `k` under an explicit algorithm. Exact
+/// (non-sampled) unless `sampling` is given. Table composition is turned
+/// off so the Criterion loops time the paper's algorithms, not response
+/// rendering.
+pub fn respond_algo(
+    e: &SearchEngine,
+    q: &Query,
+    k: usize,
+    algo: AlgorithmChoice,
+    sampling: Option<SamplingConfig>,
+) -> SearchResponse {
+    let mut req = SearchRequest::query(q.clone())
+        .k(k)
+        .algorithm(algo)
+        .compose_tables(false);
+    if let Some(s) = sampling {
+        req = req.sampling(s);
+    }
+    e.respond(&req).expect("pre-parsed query always responds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{wiki_graph, Scale};
+
+    #[test]
+    fn harness_round_trips() {
+        let e = engine(wiki_graph(Scale::Small), 2);
+        let mut qg = patternkb_datagen::queries::QueryGenerator::new(e.graph(), e.text(), 2, 3);
+        let spec = qg.anchored(2).expect("small wiki has queries");
+        let q = Query::from_ids(spec.keywords);
+        let r = respond_algo(&e, &q, 10, AlgorithmChoice::LinearEnum, None);
+        let r2 = respond_algo(&e, &q, 10, AlgorithmChoice::PatternEnum, None);
+        assert_eq!(r.patterns.len(), r2.patterns.len());
+    }
+}

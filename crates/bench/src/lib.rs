@@ -7,9 +7,11 @@
 
 pub mod buckets;
 pub mod datasets;
+pub mod harness;
 pub mod report;
 pub mod timing;
 
 pub use buckets::{bucket_of, Bucketed};
+pub use harness::{engine, engine_plain, respond_algo};
 pub use report::Report;
 pub use timing::{time_it, ErrorBar};

@@ -30,10 +30,7 @@ impl ErrorBar {
         if durations.is_empty() {
             return None;
         }
-        let ms: Vec<f64> = durations
-            .iter()
-            .map(|d| d.as_secs_f64() * 1e3)
-            .collect();
+        let ms: Vec<f64> = durations.iter().map(|d| d.as_secs_f64() * 1e3).collect();
         let min = ms.iter().copied().fold(f64::INFINITY, f64::min);
         let max = ms.iter().copied().fold(0.0f64, f64::max);
         // Geometric mean over max(x, tiny) to tolerate sub-microsecond zeros.
@@ -70,10 +67,7 @@ mod tests {
 
     #[test]
     fn error_bar_math() {
-        let ds = [
-            Duration::from_millis(1),
-            Duration::from_millis(100),
-        ];
+        let ds = [Duration::from_millis(1), Duration::from_millis(100)];
         let eb = ErrorBar::of(&ds).unwrap();
         assert_eq!(eb.min_ms, 1.0);
         assert_eq!(eb.max_ms, 100.0);

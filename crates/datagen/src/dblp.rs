@@ -182,6 +182,9 @@ mod tests {
             .map(|v| g.in_degree(v))
             .max()
             .unwrap();
-        assert!(max_papers > 10, "zipf authorship should create prolific authors");
+        assert!(
+            max_papers > 10,
+            "zipf authorship should create prolific authors"
+        );
     }
 }

@@ -156,7 +156,10 @@ mod tests {
         let t = TextIndex::build(&g, SynonymTable::new());
         let db = t.lookup_word("database").unwrap();
         // "Relational database": 2 tokens → 1/2.
-        assert_eq!(t.sim_node(db, f.relational_db, g.node_type(f.relational_db)), 0.5);
+        assert_eq!(
+            t.sim_node(db, f.relational_db, g.node_type(f.relational_db)),
+            0.5
+        );
         // "OR database": 2 tokens → 1/2 (paper's T2 arithmetic).
         assert_eq!(t.sim_node(db, f.or_db, g.node_type(f.or_db)), 0.5);
         // book title: 6 tokens → 1/6.

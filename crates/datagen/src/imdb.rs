@@ -134,8 +134,16 @@ pub fn imdb(cfg: &ImdbConfig) -> KnowledgeGraph {
             b.add_edge(m, genre_a, genres[genre_zipf.sample(&mut rng)]);
         }
         b.add_edge(m, country_a, countries[country_zipf.sample(&mut rng)]);
-        b.add_text_edge(m, released, &format!("{}", 1950 + (i * 7 + rng.gen_range(0..5)) % 75));
-        b.add_text_edge(m, runtime, &format!("{} minutes", 70 + rng.gen_range(0..90)));
+        b.add_text_edge(
+            m,
+            released,
+            &format!("{}", 1950 + (i * 7 + rng.gen_range(0..5usize)) % 75),
+        );
+        b.add_text_edge(
+            m,
+            runtime,
+            &format!("{} minutes", 70 + rng.gen_range(0..90)),
+        );
         if rng.gen::<f64>() < 0.15 {
             b.add_edge(m, won, awards[award_zipf.sample(&mut rng)]);
         }
@@ -206,8 +214,14 @@ mod tests {
         let a = imdb(&ImdbConfig::tiny(9));
         let b = imdb(&ImdbConfig::tiny(9));
         assert_eq!(a.num_edges(), b.num_edges());
-        let ea: Vec<_> = a.edges().map(|e| (e.source.index(), e.attr.index(), e.target.index())).collect();
-        let eb: Vec<_> = b.edges().map(|e| (e.source.index(), e.attr.index(), e.target.index())).collect();
+        let ea: Vec<_> = a
+            .edges()
+            .map(|e| (e.source.index(), e.attr.index(), e.target.index()))
+            .collect();
+        let eb: Vec<_> = b
+            .edges()
+            .map(|e| (e.source.index(), e.attr.index(), e.target.index()))
+            .collect();
         assert_eq!(ea, eb);
     }
 

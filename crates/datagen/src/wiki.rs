@@ -156,7 +156,9 @@ pub fn wiki(cfg: &WikiConfig) -> KnowledgeGraph {
     let value_texts: Vec<String> = (0..cfg.value_pool.max(1))
         .map(|i| {
             let nwords = 1 + (i % 3);
-            let words: Vec<usize> = (0..nwords).map(|k| VALUE_WORD_BASE + (i * 3 + k) % (cfg.value_pool.max(1) * 2)).collect();
+            let words: Vec<usize> = (0..nwords)
+                .map(|k| VALUE_WORD_BASE + (i * 3 + k) % (cfg.value_pool.max(1) * 2))
+                .collect();
             names::phrase(&words)
         })
         .collect();
@@ -235,7 +237,7 @@ mod tests {
         assert!(s.text_nodes > 0, "text values present");
         assert!(s.edges > cfg.entities, "avg degree > 1");
         assert_eq!(s.types, cfg.types + 1); // + reserved text type
-        // Hubs exist: max in-degree well above the average.
+                                            // Hubs exist: max in-degree well above the average.
         assert!(s.max_in_degree > 5);
         // PageRank computed by default.
         assert!(g.nodes().any(|v| g.pagerank(v) > 0.0));
@@ -251,6 +253,11 @@ mod tests {
         counts.sort_unstable_by(|a, b| b.cmp(a));
         // Head type at least 3× the median type.
         let median = counts[g.num_types() / 2].max(1);
-        assert!(counts[0] >= 3 * median, "head {} median {}", counts[0], median);
+        assert!(
+            counts[0] >= 3 * median,
+            "head {} median {}",
+            counts[0],
+            median
+        );
     }
 }

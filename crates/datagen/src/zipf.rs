@@ -66,7 +66,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((1500..2500).contains(&c), "uniform counts skewed: {counts:?}");
+            assert!(
+                (1500..2500).contains(&c),
+                "uniform counts skewed: {counts:?}"
+            );
         }
     }
 

@@ -25,7 +25,8 @@ pub fn fragment_dot(g: &KnowledgeGraph, nodes: &[NodeId]) -> String {
     for &v in nodes {
         keep[v.index()] = true;
     }
-    let mut out = String::from("digraph patternkb {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    let mut out =
+        String::from("digraph patternkb {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
     for &v in nodes {
         let t = g.node_type(v);
         let label = if t == KnowledgeGraph::TEXT_TYPE {

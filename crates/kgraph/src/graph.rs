@@ -46,7 +46,10 @@ impl Csr {
     /// Build both CSR directions for `n` nodes from edges sorted by
     /// `(source, attr, target)` with no duplicates.
     pub(crate) fn from_sorted_edges(n: usize, edges: &[(NodeId, AttrId, NodeId)]) -> Csr {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges sorted+deduped");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges sorted+deduped"
+        );
         let m = edges.len();
 
         // Forward CSR.

@@ -68,7 +68,10 @@ impl std::fmt::Display for ImportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ImportError::BadArity { file, line, found } => {
-                write!(f, "{file}:{line}: expected tab-separated fields, found {found}")
+                write!(
+                    f,
+                    "{file}:{line}: expected tab-separated fields, found {found}"
+                )
             }
             ImportError::DuplicateId { line, id } => {
                 write!(f, "nodes:{line}: duplicate id {id:?}")
@@ -77,7 +80,10 @@ impl std::fmt::Display for ImportError {
                 write!(f, "edges:{line}: unknown node id {id:?}")
             }
             ImportError::BadKind { line, kind } => {
-                write!(f, "edges:{line}: kind must be 'node' or 'text', got {kind:?}")
+                write!(
+                    f,
+                    "edges:{line}: kind must be 'node' or 'text', got {kind:?}"
+                )
             }
             ImportError::EmptyType { line } => {
                 write!(f, "nodes:{line}: empty type text is reserved")
@@ -171,8 +177,7 @@ pub fn load_tsv(
 ) -> std::io::Result<KnowledgeGraph> {
     let nodes = std::fs::read_to_string(nodes_path)?;
     let edges = std::fs::read_to_string(edges_path)?;
-    from_tsv(&nodes, &edges)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    from_tsv(&nodes, &edges).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// Export a graph back to the TSV pair (node ids are `n{index}`; text
@@ -269,7 +274,11 @@ ms\tRevenue\ttext\tUS$ 77 billion
     fn bad_arity_rejected() {
         assert!(matches!(
             from_tsv("a\tT\n", "").unwrap_err(),
-            ImportError::BadArity { file: "nodes", line: 1, found: 2 }
+            ImportError::BadArity {
+                file: "nodes",
+                line: 1,
+                found: 2
+            }
         ));
         assert!(matches!(
             from_tsv("a\tT\tx\n", "a\trel\tnode\n").unwrap_err(),

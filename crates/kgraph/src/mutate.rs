@@ -284,9 +284,8 @@ impl GraphDelta {
     /// changed edge or a new node), which is exactly the seed set the
     /// incremental index refresh expands backwards.
     pub fn dirty_nodes(&self) -> Vec<NodeId> {
-        let mut dirty: Vec<NodeId> = Vec::with_capacity(
-            2 * (self.added.len() + self.removed.len()) + self.new_nodes.len(),
-        );
+        let mut dirty: Vec<NodeId> =
+            Vec::with_capacity(2 * (self.added.len() + self.removed.len()) + self.new_nodes.len());
         for &(s, _, t) in self.added.iter().chain(self.removed.iter()) {
             dirty.push(s);
             dirty.push(t);
@@ -396,8 +395,7 @@ impl GraphDelta {
                 g.pagerank = pr;
             }
             PagerankMode::Recompute => {
-                let pr =
-                    crate::pagerank::compute(&g, &crate::pagerank::PageRankConfig::default());
+                let pr = crate::pagerank::compute(&g, &crate::pagerank::PageRankConfig::default());
                 g.set_pagerank(pr);
             }
         }

@@ -12,7 +12,7 @@
 //! [`PageRankConfig::redistribute_dangling`] switch provides the textbook
 //! variant for users who want a proper probability distribution.
 //!
-//! The per-iteration work is parallelized over node ranges with crossbeam
+//! The per-iteration work is parallelized over node ranges with scoped
 //! scoped threads; each iteration reads the previous vector and writes a
 //! fresh one, so threads never race.
 
@@ -83,10 +83,7 @@ pub fn compute(g: &KnowledgeGraph, cfg: &PageRankConfig) -> Vec<f64> {
 
     for _ in 0..cfg.max_iterations {
         let dangling_mass = if cfg.redistribute_dangling {
-            let mass: f64 = (0..n)
-                .filter(|&i| inv_deg[i] == 0.0)
-                .map(|i| prev[i])
-                .sum();
+            let mass: f64 = (0..n).filter(|&i| inv_deg[i] == 0.0).map(|i| prev[i]).sum();
             a * mass / n as f64
         } else {
             0.0
@@ -98,20 +95,18 @@ pub fn compute(g: &KnowledgeGraph, cfg: &PageRankConfig) -> Vec<f64> {
         } else {
             let mut deltas = vec![0.0f64; threads];
             let next_chunks: Vec<&mut [f64]> = next.chunks_mut(chunk).collect();
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for ((t, out), delta) in next_chunks.into_iter().enumerate().zip(deltas.iter_mut())
                 {
                     let prev = &prev;
                     let inv_deg = &inv_deg;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let lo = t * chunk;
                         let hi = (lo + out.len()).min(n);
-                        *delta =
-                            sweep_into(g, prev, inv_deg, out, lo, hi, a, base + dangling_mass);
+                        *delta = sweep_into(g, prev, inv_deg, out, lo, hi, a, base + dangling_mass);
                     });
                 }
-            })
-            .expect("pagerank worker panicked");
+            });
             deltas.into_iter().fold(0.0, f64::max)
         };
 

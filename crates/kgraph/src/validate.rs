@@ -62,7 +62,10 @@ pub fn validate(g: &KnowledgeGraph) -> Vec<Violation> {
             }
             if let Some(p) = prev {
                 if p > (a, t) {
-                    out.push(Violation::BucketNotSorted { which: "out", node: v });
+                    out.push(Violation::BucketNotSorted {
+                        which: "out",
+                        node: v,
+                    });
                     break;
                 }
             }
@@ -78,7 +81,10 @@ pub fn validate(g: &KnowledgeGraph) -> Vec<Violation> {
             }
             if let Some(p) = prev {
                 if p > (a, s) {
-                    out.push(Violation::BucketNotSorted { which: "in", node: v });
+                    out.push(Violation::BucketNotSorted {
+                        which: "in",
+                        node: v,
+                    });
                     break;
                 }
             }
@@ -121,7 +127,10 @@ pub fn validate(g: &KnowledgeGraph) -> Vec<Violation> {
 /// Assert-style wrapper used in tests and after snapshot loads.
 pub fn assert_valid(g: &KnowledgeGraph) {
     let violations = validate(g);
-    assert!(violations.is_empty(), "graph invariants violated: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "graph invariants violated: {violations:?}"
+    );
 }
 
 #[cfg(test)]

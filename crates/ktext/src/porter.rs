@@ -15,9 +15,7 @@
 
 /// Stem one lowercase token with the Porter algorithm.
 pub fn porter_stem(word: &str) -> String {
-    if word.len() <= 2
-        || !word.bytes().all(|b| b.is_ascii_lowercase())
-    {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
         return word.to_string();
     }
     let mut w = word.as_bytes().to_vec();
@@ -211,8 +209,8 @@ fn step3(w: &mut Vec<u8>) {
 
 fn step4(w: &mut Vec<u8>) {
     const RULES: &[&str] = &[
-        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
     ];
     // "ion" requires the stem to end in s or t.
     if ends_with(w, "ion") {
@@ -345,11 +343,7 @@ mod tests {
     #[test]
     fn canonical_vectors() {
         for (input, expected) in VECTORS {
-            assert_eq!(
-                porter_stem(input),
-                *expected,
-                "porter_stem({input:?})"
-            );
+            assert_eq!(porter_stem(input), *expected, "porter_stem({input:?})");
         }
     }
 

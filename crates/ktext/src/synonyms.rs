@@ -85,7 +85,10 @@ mod tests {
     fn default_table_has_groups() {
         let t = SynonymTable::default_english();
         assert!(!t.is_empty());
-        assert_eq!(t.canonical("film"), t.canonical(&crate::stem::stem("movies")));
+        assert_eq!(
+            t.canonical("film"),
+            t.canonical(&crate::stem::stem("movies"))
+        );
     }
 
     #[test]

@@ -191,8 +191,16 @@ impl TextIndex {
     /// Approximate resident bytes (for Figure-6-style size accounting).
     pub fn heap_bytes(&self) -> usize {
         let mut total = self.node_tok_offsets.len() * 4 + self.node_toks.len() * 4;
-        total += self.type_toks.iter().map(|v| v.len() * 4 + 24).sum::<usize>();
-        total += self.attr_toks.iter().map(|v| v.len() * 4 + 24).sum::<usize>();
+        total += self
+            .type_toks
+            .iter()
+            .map(|v| v.len() * 4 + 24)
+            .sum::<usize>();
+        total += self
+            .attr_toks
+            .iter()
+            .map(|v| v.len() * 4 + 24)
+            .sum::<usize>();
         total += self
             .word_nodes
             .values()

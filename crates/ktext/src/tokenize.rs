@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn duplicates_preserved() {
-        assert_eq!(tokens("to be or not to be"), vec!["to", "be", "or", "not", "to", "be"]);
+        assert_eq!(
+            tokens("to be or not to be"),
+            vec!["to", "be", "or", "not", "to", "be"]
+        );
         assert_eq!(token_count("a a a"), 3);
     }
 }

@@ -15,7 +15,7 @@
 //! The scoring terms `|T(w)|`, `PR(f(w))` and `sim(w, f(w))` are computed
 //! here and stored in the posting (paper §3, last paragraph).
 //!
-//! Construction parallelizes over disjoint root ranges with crossbeam
+//! Construction parallelizes over disjoint root ranges with scoped
 //! scoped threads; each worker interns patterns locally and the merge step
 //! re-interns into the global [`PatternSet`] (pattern counts are tiny
 //! compared to posting counts, so the remap is cheap).
@@ -90,17 +90,18 @@ pub fn build_indexes(g: &KnowledgeGraph, text: &TextIndex, cfg: &BuildConfig) ->
     } else {
         let chunk = n.div_ceil(threads);
         let mut outs: Vec<Option<WorkerOut>> = (0..threads).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, slot) in outs.iter_mut().enumerate() {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = Some(build_range(g, text, cfg.d, lo, hi));
                 });
             }
-        })
-        .expect("index build worker panicked");
-        outs.into_iter().map(|o| o.expect("worker output")).collect()
+        });
+        outs.into_iter()
+            .map(|o| o.expect("worker output"))
+            .collect()
     };
 
     merge(cfg.d, outs)
@@ -134,11 +135,7 @@ pub(crate) fn build_roots(
 
             // --- node-terminal postings ---
             // Words in the terminal node's text or type text (sorted merge).
-            merge_sorted(
-                text.node_tokens(t),
-                text.type_tokens(t_type),
-                &mut words,
-            );
+            merge_sorted(text.node_tokens(t), text.type_tokens(t_type), &mut words);
             if !words.is_empty() {
                 key.clear();
                 key.push((l as u32) << 1);
@@ -323,10 +320,7 @@ mod tests {
         // Ending at the Revenue edge: from Microsoft (2 nodes incl leaf) and
         // from SQL Server via Developer (3 nodes incl leaf).
         assert_eq!(widx.len(), 2);
-        for p in widx
-            .patterns()
-            .flat_map(|pat| widx.paths_of_pattern(pat))
-        {
+        for p in widx.patterns().flat_map(|pat| widx.paths_of_pattern(pat)) {
             assert!(p.edge_terminal);
             let nodes = widx.nodes_of(p);
             // Leaf stored: last node is the text node.

@@ -107,8 +107,7 @@ impl CompressedWordIndex {
         let buf = &self.bytes;
         let mut pos = 0usize;
 
-        let num_groups =
-            varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
+        let num_groups = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
         let mut pat = 0u32;
         for gi in 0..num_groups {
             let delta = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
@@ -236,7 +235,8 @@ impl CompressedPathIndexes {
     pub fn heap_bytes(&self) -> usize {
         self.words.values().map(|c| c.heap_bytes()).sum::<usize>()
             + self.patterns.heap_bytes()
-            + self.words.len() * (std::mem::size_of::<WordId>() + std::mem::size_of::<CompressedWordIndex>())
+            + self.words.len()
+                * (std::mem::size_of::<WordId>() + std::mem::size_of::<CompressedWordIndex>())
     }
 
     /// `compressed bytes / uncompressed bytes` for the posting payload.
@@ -398,7 +398,10 @@ mod tests {
         (g, t)
     }
 
-    fn canon_word(idx_pats: &PatternSet, widx: &WordPathIndex) -> Vec<(Vec<u32>, Vec<NodeId>, bool, u64, u64)> {
+    fn canon_word(
+        idx_pats: &PatternSet,
+        widx: &WordPathIndex,
+    ) -> Vec<(Vec<u32>, Vec<NodeId>, bool, u64, u64)> {
         let mut v: Vec<_> = widx
             .postings_pattern_first()
             .iter()
@@ -468,7 +471,12 @@ mod tests {
         let comp = CompressedPathIndexes::compress(&idx);
         let w = t.lookup_word("alpha").unwrap();
         let full = &comp.words[&w];
-        for cut in [0, 1, full.bytes.len() / 2, full.bytes.len().saturating_sub(1)] {
+        for cut in [
+            0,
+            1,
+            full.bytes.len() / 2,
+            full.bytes.len().saturating_sub(1),
+        ] {
             let truncated = CompressedWordIndex {
                 bytes: full.bytes[..cut].to_vec().into_boxed_slice(),
                 num_postings: full.num_postings,
@@ -509,11 +517,11 @@ mod tests {
         /// and finite scores — a superset of what construction produces.
         fn posting_strategy() -> impl Strategy<Value = (u32, Vec<u32>, bool, f64, f64)> {
             (
-                0u32..50,                                       // pattern
+                0u32..50, // pattern
                 proptest::collection::vec(0u32..10_000, 1..=crate::build::MAX_D + 1),
-                proptest::bool::ANY,                            // edge_terminal
-                0.0f64..1.0,                                    // pagerank
-                0.0f64..1.0,                                    // sim
+                proptest::bool::ANY, // edge_terminal
+                0.0f64..1.0,         // pagerank
+                0.0f64..1.0,         // sim
             )
         }
 

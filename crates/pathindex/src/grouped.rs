@@ -51,7 +51,9 @@ impl GroupedPostings {
             while i < postings.len() && primary(&postings[i]) == pk {
                 let sk = secondary(&postings[i]);
                 g2_keys.push(sk);
-                while i < postings.len() && primary(&postings[i]) == pk && secondary(&postings[i]) == sk
+                while i < postings.len()
+                    && primary(&postings[i]) == pk
+                    && secondary(&postings[i]) == sk
                 {
                     i += 1;
                 }
@@ -156,7 +158,10 @@ impl GroupedPostings {
     /// Approximate resident bytes.
     pub fn heap_bytes(&self) -> usize {
         self.postings.len() * std::mem::size_of::<Posting>()
-            + (self.g1_keys.len() + self.g1_run_start.len() + self.g2_keys.len() + self.g2_post_start.len())
+            + (self.g1_keys.len()
+                + self.g1_run_start.len()
+                + self.g2_keys.len()
+                + self.g2_post_start.len())
                 * 4
     }
 

@@ -383,8 +383,7 @@ mod tests {
             d.add_edge(NodeId(0), dev, v).unwrap();
             let g2 = d.apply(&g, PagerankMode::Recompute).unwrap();
             let text2 = TextIndex::build(&g2, SynonymTable::new());
-            let (idx2, _) =
-                refresh_indexes(&idx, &g, &g2, &text, &text2, &d.dirty_nodes(), true);
+            let (idx2, _) = refresh_indexes(&idx, &g, &g2, &text, &text2, &d.dirty_nodes(), true);
             g = g2;
             text = text2;
             idx = idx2;

@@ -346,8 +346,12 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_pattern() -> impl Strategy<Value = PathPattern> {
-        (1usize..5, any::<bool>(), proptest::collection::vec(0u32..50, 10)).prop_map(
-            |(l, edge_terminal, raw)| {
+        (
+            1usize..5,
+            any::<bool>(),
+            proptest::collection::vec(0u32..50, 10),
+        )
+            .prop_map(|(l, edge_terminal, raw)| {
                 let types: Vec<TypeId> = raw[..l].iter().map(|&x| TypeId(x)).collect();
                 let nattrs = if edge_terminal { l } else { l - 1 };
                 let attrs: Vec<AttrId> = raw[5..5 + nattrs].iter().map(|&x| AttrId(x)).collect();
@@ -356,8 +360,7 @@ mod proptests {
                     attrs,
                     edge_terminal,
                 }
-            },
-        )
+            })
     }
 
     proptest! {

@@ -62,7 +62,9 @@ mod tests {
         let mut b = GraphBuilder::new();
         let t = b.add_type("Thing");
         let a = b.add_attr("next");
-        let nodes: Vec<_> = (0..n).map(|i| b.add_node(t, &format!("item {i}"))).collect();
+        let nodes: Vec<_> = (0..n)
+            .map(|i| b.add_node(t, &format!("item {i}")))
+            .collect();
         for i in 0..n - 1 {
             b.add_edge(nodes[i], a, nodes[i + 1]);
         }

@@ -42,7 +42,10 @@ impl WordPathIndex {
     /// `Patterns(w)`: all patterns following which some root reaches the
     /// word, ascending by pattern id.
     pub fn patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
-        self.pattern_first.primary_keys().iter().map(|&k| PatternId(k))
+        self.pattern_first
+            .primary_keys()
+            .iter()
+            .map(|&k| PatternId(k))
     }
 
     /// `Roots(w, P)`: all roots reaching the word through pattern `p`,
@@ -154,7 +157,11 @@ pub struct PathIndexes {
 }
 
 impl PathIndexes {
-    pub(crate) fn new(d: usize, patterns: PatternSet, words: FxHashMap<WordId, WordPathIndex>) -> Self {
+    pub(crate) fn new(
+        d: usize,
+        patterns: PatternSet,
+        words: FxHashMap<WordId, WordPathIndex>,
+    ) -> Self {
         PathIndexes { d, patterns, words }
     }
 
@@ -263,7 +270,10 @@ mod tests {
         assert_eq!(idx.paths_of_root(NodeId(2)).len(), 1);
         assert_eq!(idx.num_paths_of_root(NodeId(2)), 1);
         assert_eq!(idx.num_paths_of_root(NodeId(9)), 0);
-        let runs: Vec<_> = idx.root_runs(NodeId(0)).map(|(p, ps)| (p, ps.len())).collect();
+        let runs: Vec<_> = idx
+            .root_runs(NodeId(0))
+            .map(|(p, ps)| (p, ps.len()))
+            .collect();
         assert_eq!(runs, vec![(PatternId(2), 1)]);
     }
 

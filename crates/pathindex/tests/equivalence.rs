@@ -36,7 +36,7 @@ fn brute_force(g: &KnowledgeGraph, text: &TextIndex, d: usize) -> BTreeSet<Canon
             words.dedup();
             let mut key = vec![(l as u32) << 1];
             for j in 0..l {
-                key.push(g.node_type(nodes[j]).as_u32() );
+                key.push(g.node_type(nodes[j]).as_u32());
                 if j < attrs.len() {
                     key.push(attrs[j].as_u32());
                 }
@@ -71,7 +71,13 @@ fn brute_force(g: &KnowledgeGraph, text: &TextIndex, d: usize) -> BTreeSet<Canon
                     let mut enodes: Vec<u32> = nodes.iter().map(|n| n.as_u32()).collect();
                     enodes.push(target.as_u32());
                     for &w in attr_words {
-                        out.insert((w.as_u32(), ekey.clone(), root.as_u32(), enodes.clone(), true));
+                        out.insert((
+                            w.as_u32(),
+                            ekey.clone(),
+                            root.as_u32(),
+                            enodes.clone(),
+                            true,
+                        ));
                     }
                 }
             }
@@ -142,7 +148,10 @@ fn check(seed: u64, d: usize) {
     let pf = via_pattern_first(&idx);
     let rf = via_root_first(&idx);
     assert_eq!(pf.len(), idx.num_postings(), "seed {seed} d {d}");
-    assert_eq!(pf, expected, "pattern-first vs brute force, seed {seed} d {d}");
+    assert_eq!(
+        pf, expected,
+        "pattern-first vs brute force, seed {seed} d {d}"
+    );
     assert_eq!(rf, expected, "root-first vs brute force, seed {seed} d {d}");
 }
 

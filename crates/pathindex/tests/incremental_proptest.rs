@@ -18,8 +18,8 @@ const ATTRS: &[&str] = &["maker", "speaks", "replaces"];
 
 #[derive(Clone, Debug)]
 struct RandomGraph {
-    nodes: Vec<(usize, usize)>,         // (type idx, word idx)
-    edges: Vec<(usize, usize, usize)>,  // (source, attr idx, target)
+    nodes: Vec<(usize, usize)>,        // (type idx, word idx)
+    edges: Vec<(usize, usize, usize)>, // (source, attr idx, target)
 }
 
 fn graph_strategy() -> impl Strategy<Value = RandomGraph> {
@@ -44,8 +44,7 @@ fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
         prop_oneof![
             (0..TYPES.len(), 0..WORDS.len()).prop_map(|(t, w)| Op::AddNode { t, w }),
-            (0..64usize, 0..ATTRS.len(), 0..64usize)
-                .prop_map(|(s, a, t)| Op::AddEdge { s, a, t }),
+            (0..64usize, 0..ATTRS.len(), 0..64usize).prop_map(|(s, a, t)| Op::AddEdge { s, a, t }),
             (0..64usize).prop_map(|i| Op::RemoveEdge { i }),
         ],
         1..8,

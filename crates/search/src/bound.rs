@@ -190,7 +190,9 @@ pub fn pattern_enum_pruned(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> Search
         let mut map: FxHashMap<TypeId, Vec<PatternId>> = FxHashMap::default();
         let mut agg: FxHashMap<PatternId, PatternAggregates> = FxHashMap::default();
         for p in w.patterns() {
-            map.entry(ctx.idx.patterns().root_type(p)).or_default().push(p);
+            map.entry(ctx.idx.patterns().root_type(p))
+                .or_default()
+                .push(p);
             agg.insert(p, PatternAggregates::scan(w, p));
         }
         by_type.push(map);
@@ -273,8 +275,10 @@ pub fn pattern_enum_pruned(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> Search
                         candidate_roots_seen.extend_from_slice(&roots);
                         let score = acc.finish(cfg.scoring.aggregation);
                         threshold.push(score);
-                        let key_patterns =
-                            chosen.iter().map(|p| ctx.idx.patterns().decode(*p)).collect();
+                        let key_patterns = chosen
+                            .iter()
+                            .map(|p| ctx.idx.patterns().decode(*p))
+                            .collect();
                         best.push(RankedPattern {
                             pattern: key_patterns,
                             score,

@@ -1,0 +1,254 @@
+//! Fluent engine construction.
+//!
+//! [`EngineBuilder`] gathers everything the old free-floating constructors
+//! (`SearchEngine::build`, `build_with_stemmer`, `load_index`,
+//! `SharedEngine::new` + caller-managed `QueryCache`) took as positional
+//! arguments: the graph, the text pipeline (stemmer, synonyms), the index
+//! height `d`, build parallelism, planner thresholds, result-cache
+//! capacity, and an optional index-snapshot path to skip Algorithm-1
+//! construction. `build()` yields an immutable [`SearchEngine`];
+//! `build_shared()` yields the [`SharedEngine`] serving handle with its
+//! version-aware cache built in.
+//!
+//! ```
+//! # use patternkb_search::EngineBuilder;
+//! # use patternkb_datagen::figure1;
+//! let (graph, _) = figure1();
+//! let engine = EngineBuilder::new()
+//!     .graph(graph)
+//!     .height(3)
+//!     .threads(1)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(engine.d(), 3);
+//! ```
+
+use crate::concurrent::SharedEngine;
+use crate::engine::SearchEngine;
+use crate::error::Error;
+use crate::plan::PlannerConfig;
+use patternkb_graph::KnowledgeGraph;
+use patternkb_index::{build_indexes, BuildConfig};
+use patternkb_text::{Stemmer, SynonymTable, TextIndex};
+use std::path::PathBuf;
+
+/// Builds a [`SearchEngine`] or [`SharedEngine`]. See the module docs.
+#[derive(Debug)]
+pub struct EngineBuilder {
+    graph: Option<KnowledgeGraph>,
+    synonyms: SynonymTable,
+    stemmer: Stemmer,
+    d: usize,
+    threads: usize,
+    planner: PlannerConfig,
+    cache_capacity: usize,
+    index_snapshot: Option<PathBuf>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineBuilder {
+    /// A builder with the paper's defaults: `d = 3`, lite stemmer, no
+    /// synonyms, all available cores for index construction, default
+    /// planner thresholds, a 256-entry result cache.
+    pub fn new() -> Self {
+        EngineBuilder {
+            graph: None,
+            synonyms: SynonymTable::new(),
+            stemmer: Stemmer::Lite,
+            d: 3,
+            threads: 0,
+            planner: PlannerConfig::default(),
+            cache_capacity: 256,
+            index_snapshot: None,
+        }
+    }
+
+    /// The knowledge graph to index (required).
+    pub fn graph(mut self, graph: KnowledgeGraph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Synonym table folded into the canonical word-id space.
+    pub fn synonyms(mut self, synonyms: SynonymTable) -> Self {
+        self.synonyms = synonyms;
+        self
+    }
+
+    /// Stemmer used at index and query time (see [`Stemmer`] for the
+    /// Lite/Porter/None trade-offs).
+    pub fn stemmer(mut self, stemmer: Stemmer) -> Self {
+        self.stemmer = stemmer;
+        self
+    }
+
+    /// Height threshold `d` for the path indexes (the paper uses 3–5).
+    pub fn height(mut self, d: usize) -> Self {
+        self.d = d;
+        self
+    }
+
+    /// OS threads for index construction; 0 = available parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Cost-based planner thresholds used by `Auto` algorithm routing.
+    pub fn planner(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Capacity of the [`SharedEngine`] result cache (entries). Only
+    /// `build_shared` uses it.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Load the path indexes from a previously saved snapshot instead of
+    /// building them (cf. Figure 6 — construction dominates). The synonym
+    /// table and stemmer must match the ones used at save time, and the
+    /// stored height overrides [`Self::height`].
+    pub fn index_snapshot(mut self, path: impl Into<PathBuf>) -> Self {
+        self.index_snapshot = Some(path.into());
+        self
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        if self.graph.is_none() {
+            return Err(Error::MissingGraph);
+        }
+        let max_d = patternkb_index::build::MAX_D;
+        if self.index_snapshot.is_none() && !(1..=max_d).contains(&self.d) {
+            return Err(Error::InvalidRequest(format!(
+                "height d must be in 1..={max_d}, got {}",
+                self.d
+            )));
+        }
+        let rho = self.planner.sampling.rho;
+        // NaN-rejecting form: `rho <= 0.0 || rho > 1.0` would let NaN
+        // through and silently sample zero roots.
+        if !(rho > 0.0 && rho <= 1.0) {
+            return Err(Error::Planner(format!(
+                "sampling rho must be in (0, 1], got {rho}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Build the immutable engine.
+    pub fn build(self) -> Result<SearchEngine, Error> {
+        self.validate()?;
+        let EngineBuilder {
+            graph,
+            synonyms,
+            stemmer,
+            d,
+            threads,
+            planner,
+            index_snapshot,
+            ..
+        } = self;
+        let graph = graph.expect("validated above");
+        let text = TextIndex::build_with(&graph, synonyms, stemmer);
+        let idx = match index_snapshot {
+            Some(path) => patternkb_index::snapshot::load(&path)?,
+            None => build_indexes(&graph, &text, &BuildConfig { d, threads }),
+        };
+        Ok(SearchEngine::from_parts(graph, text, idx).with_planner(planner))
+    }
+
+    /// Build the concurrent serving handle: the engine behind a
+    /// snapshot-swap pointer plus a version-aware result cache of
+    /// [`Self::cache_capacity`] entries.
+    pub fn build_shared(self) -> Result<SharedEngine, Error> {
+        let capacity = self.cache_capacity;
+        Ok(SharedEngine::with_cache_capacity(self.build()?, capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchRequest;
+    use patternkb_datagen::figure1;
+
+    #[test]
+    fn builder_defaults_answer_figure1() {
+        let (g, _) = figure1();
+        let e = EngineBuilder::new().graph(g).threads(1).build().unwrap();
+        let resp = e
+            .respond(&SearchRequest::text("database software company revenue"))
+            .unwrap();
+        assert_eq!(resp.patterns.len(), 9);
+    }
+
+    #[test]
+    fn missing_graph_is_typed() {
+        assert!(matches!(
+            EngineBuilder::new().build(),
+            Err(Error::MissingGraph)
+        ));
+    }
+
+    #[test]
+    fn bad_height_is_typed() {
+        let (g, _) = figure1();
+        match EngineBuilder::new().graph(g).height(0).build() {
+            Err(Error::InvalidRequest(msg)) => assert!(msg.contains("height")),
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_planner_is_typed() {
+        for bad_rho in [0.0, -1.0, 2.0, f64::NAN] {
+            let (g, _) = figure1();
+            let mut planner = PlannerConfig::default();
+            planner.sampling.rho = bad_rho;
+            match EngineBuilder::new().graph(g).planner(planner).build() {
+                Err(Error::Planner(msg)) => assert!(msg.contains("rho")),
+                other => panic!("expected Planner error for rho {bad_rho}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_through_builder() {
+        let (g, _) = figure1();
+        let e = EngineBuilder::new().graph(g).threads(1).build().unwrap();
+        let dir = std::env::temp_dir().join("patternkb_builder_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("builder.pkbi");
+        e.save_index(&path).unwrap();
+
+        let (g, _) = figure1();
+        let reloaded = EngineBuilder::new()
+            .graph(g)
+            .index_snapshot(&path)
+            .build()
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        let resp = reloaded
+            .respond(&SearchRequest::text("database software company revenue"))
+            .unwrap();
+        assert_eq!(resp.patterns.len(), 9);
+
+        let (g, _) = figure1();
+        match EngineBuilder::new()
+            .graph(g)
+            .index_snapshot(dir.join("missing.pkbi"))
+            .build()
+        {
+            Err(Error::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

@@ -18,8 +18,10 @@
 //! shared across query threads alongside the immutable engine.
 
 use crate::engine::{Algorithm, SearchEngine};
+use crate::request::AlgorithmChoice;
 use crate::result::SearchResult;
-use crate::{Query, SearchConfig};
+use crate::topk::SamplingConfig;
+use crate::{PlannerConfig, Query, SearchConfig};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -29,8 +31,14 @@ use std::sync::Arc;
 struct CacheKey {
     words: Vec<u32>,
     /// Algorithm discriminant plus sampling parameters when applicable.
+    /// Tags 0–4 are resolved algorithms; tag 5 is an `Auto` request,
+    /// whose answer additionally depends on the planner thresholds.
     algo: u8,
     sampling: Option<(u64, u64, u64)>,
+    /// Planner thresholds, set only for `Auto` keys (tag 5): the decision
+    /// is deterministic per engine version, so (query, thresholds) fully
+    /// determines the answer.
+    planner: Option<(u64, u64, u64, u64, u64)>,
     k: usize,
     z: (u64, u64, u64),
     aggregation: u8,
@@ -39,21 +47,13 @@ struct CacheKey {
 }
 
 impl CacheKey {
-    fn new(query: &Query, cfg: &SearchConfig, algo: Algorithm) -> Self {
-        let (algo_tag, sampling) = match algo {
-            Algorithm::Baseline => (0u8, None),
-            Algorithm::PatternEnum => (1, None),
-            Algorithm::PatternEnumPruned => (2, None),
-            Algorithm::LinearEnum => (3, None),
-            Algorithm::LinearEnumTopK(s) => {
-                (4, Some((s.lambda, s.rho.to_bits(), s.seed)))
-            }
-        };
+    fn with_algo(query: &Query, cfg: &SearchConfig, algo_tag: u8) -> Self {
         let s = cfg.scoring;
         CacheKey {
             words: query.keywords.iter().map(|w| w.0).collect(),
             algo: algo_tag,
-            sampling,
+            sampling: None,
+            planner: None,
             k: cfg.k,
             z: (s.z1.to_bits(), s.z2.to_bits(), s.z3.to_bits()),
             aggregation: match s.aggregation {
@@ -66,10 +66,61 @@ impl CacheKey {
             max_rows: cfg.max_rows,
         }
     }
+
+    fn new(query: &Query, cfg: &SearchConfig, algo: Algorithm) -> Self {
+        let (algo_tag, sampling) = match algo {
+            Algorithm::Baseline => (0u8, None),
+            Algorithm::PatternEnum => (1, None),
+            Algorithm::PatternEnumPruned => (2, None),
+            Algorithm::LinearEnum => (3, None),
+            Algorithm::LinearEnumTopK(s) => (4, Some((s.lambda, s.rho.to_bits(), s.seed))),
+        };
+        let mut key = Self::with_algo(query, cfg, algo_tag);
+        key.sampling = sampling;
+        key
+    }
+
+    /// Key for a request-level algorithm choice. Non-`Auto` choices share
+    /// keys (and therefore entries) with the equivalent resolved
+    /// algorithm; `Auto` keys carry the planner thresholds instead of a
+    /// resolved decision, so hits skip planning entirely.
+    fn for_choice(
+        query: &Query,
+        cfg: &SearchConfig,
+        choice: AlgorithmChoice,
+        sampling: &SamplingConfig,
+        planner: &PlannerConfig,
+    ) -> Self {
+        match choice {
+            AlgorithmChoice::Baseline => Self::new(query, cfg, Algorithm::Baseline),
+            AlgorithmChoice::PatternEnum => Self::new(query, cfg, Algorithm::PatternEnum),
+            AlgorithmChoice::PatternEnumPruned => {
+                Self::new(query, cfg, Algorithm::PatternEnumPruned)
+            }
+            AlgorithmChoice::LinearEnum => Self::new(query, cfg, Algorithm::LinearEnum),
+            AlgorithmChoice::LinearEnumTopK => {
+                Self::new(query, cfg, Algorithm::LinearEnumTopK(*sampling))
+            }
+            AlgorithmChoice::Auto => {
+                let mut key = Self::with_algo(query, cfg, 5);
+                key.planner = Some((
+                    planner.max_combos,
+                    planner.max_subtrees_exact,
+                    planner.sampling.lambda,
+                    planner.sampling.rho.to_bits(),
+                    planner.sampling.seed,
+                ));
+                key
+            }
+        }
+    }
 }
 
 struct Entry {
     result: Arc<SearchResult>,
+    /// The algorithm that produced the result (the planner's pick for
+    /// `Auto` keys — reported on cached responses without re-planning).
+    algorithm: Algorithm,
     version: u64,
     /// Monotone access stamp for LRU eviction.
     last_used: u64,
@@ -113,8 +164,8 @@ impl QueryCache {
         }
     }
 
-    /// Answer `query` from the cache, or run `engine.search_with` and
-    /// remember the result at the engine's current version.
+    /// Answer `query` from the cache, or run the engine and remember the
+    /// result at the engine's current version.
     pub fn get_or_compute(
         &self,
         engine: &SearchEngine,
@@ -122,10 +173,52 @@ impl QueryCache {
         cfg: &SearchConfig,
         algo: Algorithm,
     ) -> Arc<SearchResult> {
+        self.lookup_or_compute(engine, query, cfg, algo).0
+    }
+
+    /// [`Self::get_or_compute`] plus whether the answer was a cache hit —
+    /// the [`crate::concurrent::SharedEngine`] respond route reports this
+    /// in [`crate::SearchResponse::cache`].
+    pub fn lookup_or_compute(
+        &self,
+        engine: &SearchEngine,
+        query: &Query,
+        cfg: &SearchConfig,
+        algo: Algorithm,
+    ) -> (Arc<SearchResult>, bool) {
         let key = CacheKey::new(query, cfg, algo);
-        let version = engine.version();
+        let (result, _, hit) = self.lookup_with(key, engine.version(), || {
+            (engine.execute(query, cfg, algo), algo)
+        });
+        (result, hit)
+    }
+
+    /// The respond route's lookup: keyed by the request's algorithm
+    /// *choice* so `Auto` hits skip planning. `resolve_and_run` is only
+    /// called on a miss; its resolved algorithm is stored with the entry
+    /// and reported back on hits.
+    pub(crate) fn lookup_for_request(
+        &self,
+        engine: &SearchEngine,
+        query: &Query,
+        cfg: &SearchConfig,
+        choice: AlgorithmChoice,
+        sampling: &SamplingConfig,
+        planner: &PlannerConfig,
+        resolve_and_run: impl FnOnce() -> (SearchResult, Algorithm),
+    ) -> (Arc<SearchResult>, Algorithm, bool) {
+        let key = CacheKey::for_choice(query, cfg, choice, sampling, planner);
+        self.lookup_with(key, engine.version(), resolve_and_run)
+    }
+
+    fn lookup_with(
+        &self,
+        key: CacheKey,
+        version: u64,
+        compute: impl FnOnce() -> (SearchResult, Algorithm),
+    ) -> (Arc<SearchResult>, Algorithm, bool) {
         enum Lookup {
-            Hit(Arc<SearchResult>),
+            Hit(Arc<SearchResult>, Algorithm),
             Stale,
             Miss,
         }
@@ -136,15 +229,15 @@ impl QueryCache {
             let lookup = match inner.map.get_mut(&key) {
                 Some(e) if e.version == version => {
                     e.last_used = clock;
-                    Lookup::Hit(Arc::clone(&e.result))
+                    Lookup::Hit(Arc::clone(&e.result), e.algorithm)
                 }
                 Some(_) => Lookup::Stale,
                 None => Lookup::Miss,
             };
             match lookup {
-                Lookup::Hit(r) => {
+                Lookup::Hit(r, algorithm) => {
                     inner.stats.hits += 1;
-                    return r;
+                    return (r, algorithm, true);
                 }
                 Lookup::Stale => {
                     inner.map.remove(&key);
@@ -154,7 +247,8 @@ impl QueryCache {
                 Lookup::Miss => inner.stats.misses += 1,
             }
         } // release the lock while computing
-        let result = Arc::new(engine.search_with(query, cfg, algo));
+        let (result, algorithm) = compute();
+        let result = Arc::new(result);
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
@@ -175,11 +269,12 @@ impl QueryCache {
             key,
             Entry {
                 result: Arc::clone(&result),
+                algorithm,
                 version,
                 last_used: clock,
             },
         );
-        result
+        (result, algorithm, false)
     }
 
     /// Drop every entry (e.g. ahead of a bulk mutation).
@@ -207,12 +302,14 @@ impl QueryCache {
 mod tests {
     use super::*;
     use patternkb_datagen::figure1;
-    use patternkb_index::BuildConfig;
-    use patternkb_text::SynonymTable;
 
     fn engine() -> SearchEngine {
         let (g, _) = figure1();
-        SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 })
+        crate::EngineBuilder::new()
+            .graph(g)
+            .threads(1)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -251,7 +348,11 @@ mod tests {
         let q2 = e.parse("company database").unwrap();
         let _ = cache.get_or_compute(&e, &q1, &SearchConfig::top(10), Algorithm::PatternEnum);
         let _ = cache.get_or_compute(&e, &q2, &SearchConfig::top(10), Algorithm::PatternEnum);
-        assert_eq!(cache.stats().misses, 2, "permuted keywords are distinct keys");
+        assert_eq!(
+            cache.stats().misses,
+            2,
+            "permuted keywords are distinct keys"
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct QueryContext<'a> {
     pub idx: &'a PathIndexes,
     /// Per-keyword word indexes, in query order.
     pub words: Vec<&'a WordPathIndex>,
+    /// Memoized `R = ∩ᵢ Roots(wᵢ)`: the planner and the chosen algorithm
+    /// share one context on the respond route, so the sorted-list
+    /// intersection runs once per query, not once per consumer.
+    roots: std::cell::OnceCell<Vec<NodeId>>,
 }
 
 impl<'a> QueryContext<'a> {
@@ -30,7 +34,12 @@ impl<'a> QueryContext<'a> {
         if words.is_empty() {
             return None;
         }
-        Some(QueryContext { g, idx, words })
+        Some(QueryContext {
+            g,
+            idx,
+            words,
+            roots: std::cell::OnceCell::new(),
+        })
     }
 
     /// Number of keywords `m`.
@@ -38,10 +47,15 @@ impl<'a> QueryContext<'a> {
         self.words.len()
     }
 
-    /// `R = ∩ᵢ Roots(wᵢ)` — line 1 of Algorithm 3.
+    /// `R = ∩ᵢ Roots(wᵢ)` — line 1 of Algorithm 3. Computed once per
+    /// context; repeat callers get a copy of the memoized set.
     pub fn candidate_roots(&self) -> Vec<NodeId> {
-        let lists: Vec<&[u32]> = self.words.iter().map(|w| w.roots()).collect();
-        intersect_sorted(&lists).into_iter().map(NodeId).collect()
+        self.roots
+            .get_or_init(|| {
+                let lists: Vec<&[u32]> = self.words.iter().map(|w| w.roots()).collect();
+                intersect_sorted(&lists).into_iter().map(NodeId).collect()
+            })
+            .clone()
     }
 
     /// Decode a tree-pattern key (one pattern id per keyword) into
@@ -147,11 +161,7 @@ pub fn materialize_tree(
             edge_terminal: p.edge_terminal,
         })
         .collect();
-    ValidSubtree {
-        root,
-        paths,
-        score,
-    }
+    ValidSubtree { root, paths, score }
 }
 
 /// The `EXPANDROOT(r, TreeDict)` subroutine of Algorithm 3: enumerate the
@@ -167,11 +177,8 @@ pub fn expand_root(
 ) -> usize {
     let m = ctx.m();
     // Per-keyword (pattern, paths) runs under this root.
-    let runs: Vec<Vec<(PatternId, &[Posting])>> = ctx
-        .words
-        .iter()
-        .map(|w| w.root_runs(r).collect())
-        .collect();
+    let runs: Vec<Vec<(PatternId, &[Posting])>> =
+        ctx.words.iter().map(|w| w.root_runs(r).collect()).collect();
     debug_assert!(
         runs.iter().all(|r| !r.is_empty()),
         "candidate roots reach every keyword"

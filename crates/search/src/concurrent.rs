@@ -1,14 +1,15 @@
-//! Serving queries concurrently with mutation: snapshot-swap around the
-//! immutable [`SearchEngine`].
+//! The concurrent serving handle: snapshot-swap around the immutable
+//! [`SearchEngine`], with the version-aware result cache built in.
 //!
 //! The engine itself is immutable after build, so any number of threads
 //! can query one instance. Mutation, however, replaces the whole state
 //! (graph + text index + path indexes). [`SharedEngine`] reconciles the
 //! two with the classic read-copy-update shape:
 //!
-//! * **readers** take a cheap [`Arc`] snapshot ([`SharedEngine::snapshot`])
-//!   and run any number of queries against it — a snapshot is internally
-//!   consistent forever, even across concurrent ingests;
+//! * **readers** call [`SharedEngine::respond`], which takes a cheap
+//!   [`Arc`] snapshot and serves the request through the built-in
+//!   [`QueryCache`] — entries record the engine version they were computed
+//!   at, so a swap invalidates them exactly (no time-based expiry);
 //! * **writers** compute the post-delta engine *outside* any lock
 //!   ([`SearchEngine::with_delta`] — the expensive incremental refresh),
 //!   then swap the shared pointer under a short critical section. A writer
@@ -17,29 +18,59 @@
 //!
 //! Readers never block writers and writers never block readers; the only
 //! contention is the pointer swap. Old snapshots are freed when their last
-//! reader drops them.
+//! reader drops them. [`SharedEngine::snapshot`] remains available for
+//! callers that need many queries against one consistent state.
 
+use crate::cache::{CacheStats, QueryCache};
 use crate::engine::SearchEngine;
+use crate::error::Error;
+use crate::request::{SearchRequest, SearchResponse};
 use parking_lot::{Mutex, RwLock};
 use patternkb_graph::mutate::{DeltaError, GraphDelta, PagerankMode};
 use patternkb_index::RefreshStats;
 use std::sync::Arc;
 
-/// A queryable, mutable-by-swap handle shared across threads.
+/// A queryable, mutable-by-swap handle shared across threads. Built by
+/// [`crate::EngineBuilder::build_shared`].
 pub struct SharedEngine {
     current: RwLock<Arc<SearchEngine>>,
     /// Serializes writers; held across the (long) delta computation so a
     /// second ingest starts from the first one's result.
     writer: Mutex<()>,
+    /// Version-aware result cache consulted by [`Self::respond`].
+    cache: QueryCache,
 }
 
 impl SharedEngine {
-    /// Wrap a freshly built engine.
+    /// Default capacity of the built-in result cache.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+    /// Wrap a freshly built engine with the default cache capacity.
     pub fn new(engine: SearchEngine) -> Self {
+        Self::with_cache_capacity(engine, Self::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wrap a freshly built engine with an explicit result-cache capacity
+    /// (entries; ≥ 1).
+    pub fn with_cache_capacity(engine: SearchEngine, capacity: usize) -> Self {
         SharedEngine {
             current: RwLock::new(Arc::new(engine)),
             writer: Mutex::new(()),
+            cache: QueryCache::new(capacity),
         }
+    }
+
+    /// Serve one request against the current state, through the built-in
+    /// cache. [`SearchResponse::cache`] reports whether the search step
+    /// was a hit; post-processing (tables, presentation, explain) is
+    /// computed fresh per call.
+    ///
+    /// Concurrent [`Self::apply_delta`] calls are safe: the request runs
+    /// against the snapshot current at its start, and cached entries from
+    /// older versions are rejected, never served.
+    pub fn respond(&self, request: &SearchRequest) -> Result<SearchResponse, Error> {
+        let snapshot = self.snapshot();
+        snapshot.respond_with_cache(request, Some(&self.cache))
     }
 
     /// An immutable snapshot of the current state. Queries, parsing, table
@@ -52,6 +83,11 @@ impl SharedEngine {
     /// The current data version (see [`SearchEngine::version`]).
     pub fn version(&self) -> u64 {
         self.current.read().version()
+    }
+
+    /// Cumulative hit/miss/eviction counters of the built-in cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Ingest a delta: compute the post-delta engine off-lock, then swap.
@@ -83,18 +119,17 @@ impl std::fmt::Debug for SharedEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SearchConfig;
+    use crate::request::CacheOutcome;
+    use crate::EngineBuilder;
     use patternkb_datagen::figure1;
-    use patternkb_index::BuildConfig;
-    use patternkb_text::SynonymTable;
 
     fn shared() -> SharedEngine {
         let (g, _) = figure1();
-        SharedEngine::new(SearchEngine::build(
-            g,
-            SynonymTable::new(),
-            &BuildConfig { d: 3, threads: 1 },
-        ))
+        EngineBuilder::new()
+            .graph(g)
+            .threads(1)
+            .build_shared()
+            .unwrap()
     }
 
     fn ingest_vendor(s: &SharedEngine, step: usize) {
@@ -104,28 +139,97 @@ mod tests {
         let rev = g.attr_by_text("Revenue").unwrap();
         let mut d = GraphDelta::new(g);
         let v = d.add_node(comp, &format!("shared vendor {step}")).unwrap();
-        d.add_text_edge(v, rev, &format!("US$ {step} million")).unwrap();
+        d.add_text_edge(v, rev, &format!("US$ {step} million"))
+            .unwrap();
         s.apply_delta(&d, PagerankMode::Frozen).unwrap();
+    }
+
+    #[test]
+    fn respond_caches_and_invalidates() {
+        let s = shared();
+        let req = SearchRequest::text("company revenue").k(10);
+        let first = s.respond(&req).unwrap();
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        let second = s.respond(&req).unwrap();
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        assert_eq!(first.patterns.len(), second.patterns.len());
+
+        ingest_vendor(&s, 1);
+        // The engine moved on: the cached entry is stale, never served.
+        let third = s.respond(&req).unwrap();
+        assert_eq!(third.cache, CacheOutcome::Miss);
+        let stats = s.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.stale_rejections, 1);
+    }
+
+    #[test]
+    fn auto_requests_cache_and_report_planner_choice() {
+        // Auto requests are keyed by choice + planner thresholds, so a
+        // hit skips planning but still reports the resolved algorithm.
+        let s = shared();
+        let req = SearchRequest::text("database company").k(10);
+        let first = s.respond(&req).unwrap();
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        assert!(first.planned);
+        let second = s.respond(&req).unwrap();
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        assert!(second.planned);
+        assert_eq!(
+            format!("{:?}", first.algorithm),
+            format!("{:?}", second.algorithm),
+            "cached response reports the same resolved algorithm"
+        );
+        // A different planner override is a different entry.
+        let strict = crate::PlannerConfig {
+            max_combos: 0,
+            ..Default::default()
+        };
+        let third = s.respond(&req.clone().planner(strict)).unwrap();
+        assert_eq!(third.cache, CacheOutcome::Miss);
+        assert!(!matches!(
+            third.algorithm,
+            crate::Algorithm::PatternEnumPruned
+        ));
+    }
+
+    #[test]
+    fn respond_errors_are_typed_not_cached() {
+        let s = shared();
+        assert!(matches!(
+            s.respond(&SearchRequest::text("")),
+            Err(Error::EmptyQuery)
+        ));
+        assert!(matches!(
+            s.respond(&SearchRequest::text("qqqqzzzz")),
+            Err(Error::UnknownWords(_))
+        ));
+        let stats = s.cache_stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            0,
+            "errors must not touch the cache"
+        );
     }
 
     #[test]
     fn snapshots_stay_consistent_across_ingest() {
         let s = shared();
         let before = s.snapshot();
-        let q_before = before.parse("company revenue").unwrap();
-        let r_before = before.search(&q_before, &SearchConfig::top(100));
+        let req = SearchRequest::text("company revenue").k(100);
+        let r_before = before.respond(&req).unwrap();
 
         ingest_vendor(&s, 1);
         assert_eq!(s.version(), 1);
 
         // The old snapshot still answers exactly as before.
-        let r_again = before.search(&q_before, &SearchConfig::top(100));
+        let r_again = before.respond(&req).unwrap();
         assert_eq!(r_before.patterns.len(), r_again.patterns.len());
 
-        // A fresh snapshot sees the new vendor.
-        let after = s.snapshot();
-        let q_after = after.parse("vendor revenue").unwrap();
-        let r_after = after.search(&q_after, &SearchConfig::top(100));
+        // A fresh respond sees the new vendor.
+        let r_after = s
+            .respond(&SearchRequest::text("vendor revenue").k(100))
+            .unwrap();
         assert_eq!(r_after.top().unwrap().num_trees, 1);
     }
 
@@ -148,18 +252,18 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_readers_and_writer() {
+    fn concurrent_responders_and_writer() {
         let s = shared();
         let stop = std::sync::atomic::AtomicBool::new(false);
         std::thread::scope(|scope| {
-            // Readers hammer snapshots while the writer ingests.
+            // Readers hammer respond (cached and uncached) while the
+            // writer ingests.
             for _ in 0..3 {
                 scope.spawn(|| {
+                    let req = SearchRequest::text("company revenue").k(10);
                     while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                        let snap = s.snapshot();
-                        let q = snap.parse("company revenue").unwrap();
-                        let r = snap.search(&q, &SearchConfig::top(10));
                         // Every consistent state answers this query.
+                        let r = s.respond(&req).unwrap();
                         assert!(!r.patterns.is_empty());
                     }
                 });
@@ -172,9 +276,7 @@ mod tests {
             });
         });
         assert_eq!(s.version(), 5);
-        let snap = s.snapshot();
-        let q = snap.parse("vendor").unwrap();
-        let r = snap.search(&q, &SearchConfig::top(100));
+        let r = s.respond(&SearchRequest::text("vendor").k(100)).unwrap();
         assert_eq!(r.top().unwrap().num_trees, 5);
     }
 
@@ -206,9 +308,9 @@ mod tests {
             }
         });
         assert_eq!(s.version(), 6);
-        let snap = s.snapshot();
-        let q = snap.parse("writer entity").unwrap();
-        let r = snap.search(&q, &SearchConfig::top(100));
+        let r = s
+            .respond(&SearchRequest::text("writer entity").k(100))
+            .unwrap();
         assert_eq!(r.top().unwrap().num_trees, 6);
     }
 }

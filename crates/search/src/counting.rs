@@ -120,7 +120,14 @@ mod tests {
         let red = theorem1::reduce(n, edges, s, t);
         let g = &red.graph;
         let text = TextIndex::build(g, SynonymTable::new());
-        let idx = build_indexes(g, &text, &BuildConfig { d: red.d, threads: 1 });
+        let idx = build_indexes(
+            g,
+            &text,
+            &BuildConfig {
+                d: red.d,
+                threads: 1,
+            },
+        );
         let q = Query::parse(&text, &format!("{} {}", red.query[0], red.query[1]));
         // Brute-force simple path count in one copy.
         let target = g

@@ -145,13 +145,7 @@ mod tests {
     #[test]
     fn lambda_one_keeps_input_order() {
         let input = vec![pat(9.0, &[1, 2]), pat(5.0, &[1, 2]), pat(1.0, &[3])];
-        let out = diversify(
-            &input,
-            &DiversifyConfig {
-                lambda: 1.0,
-                k: 3,
-            },
-        );
+        let out = diversify(&input, &DiversifyConfig { lambda: 1.0, k: 3 });
         let scores: Vec<f64> = out.iter().map(|p| p.score).collect();
         assert_eq!(scores, vec![9.0, 5.0, 1.0]);
     }
@@ -164,13 +158,7 @@ mod tests {
             pat(9.0, &[1, 2, 3]),
             pat(5.0, &[7, 8]),
         ];
-        let out = diversify(
-            &input,
-            &DiversifyConfig {
-                lambda: 0.5,
-                k: 2,
-            },
-        );
+        let out = diversify(&input, &DiversifyConfig { lambda: 0.5, k: 2 });
         assert_eq!(out[0].score, 10.0);
         assert_eq!(out[1].score, 5.0, "the disjoint pattern beats the clone");
     }
@@ -183,13 +171,7 @@ mod tests {
             pat(8.5, &[3, 4, 5, 6]), // half overlap
             pat(8.0, &[9, 10]),      // disjoint
         ];
-        let out = diversify(
-            &input,
-            &DiversifyConfig {
-                lambda: 0.5,
-                k: 4,
-            },
-        );
+        let out = diversify(&input, &DiversifyConfig { lambda: 0.5, k: 4 });
         let scores: Vec<f64> = out.iter().map(|p| p.score).collect();
         assert_eq!(scores[0], 10.0);
         assert_eq!(scores[1], 8.0, "disjoint first");
@@ -201,13 +183,7 @@ mod tests {
     fn k_bounds_and_empty_input() {
         assert!(diversify(&[], &DiversifyConfig::default()).is_empty());
         let input = vec![pat(1.0, &[1])];
-        let out = diversify(
-            &input,
-            &DiversifyConfig {
-                lambda: 0.3,
-                k: 10,
-            },
-        );
+        let out = diversify(&input, &DiversifyConfig { lambda: 0.3, k: 10 });
         assert_eq!(out.len(), 1);
         let none = diversify(&input, &DiversifyConfig { lambda: 0.3, k: 0 });
         assert!(none.is_empty());
@@ -234,21 +210,18 @@ mod tests {
 
     #[test]
     fn end_to_end_on_figure1() {
-        use crate::{SearchConfig, SearchEngine};
+        use crate::{AlgorithmChoice, EngineBuilder, SearchRequest};
         use patternkb_datagen::figure1;
-        use patternkb_index::BuildConfig;
-        use patternkb_text::SynonymTable;
         let (g, _) = figure1();
-        let e = SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 });
-        let q = e.parse("database software company revenue").unwrap();
-        let r = e.search(&q, &SearchConfig::top(9));
-        let out = diversify(
-            &r.patterns,
-            &DiversifyConfig {
-                lambda: 0.5,
-                k: 5,
-            },
-        );
+        let e = EngineBuilder::new().graph(g).threads(1).build().unwrap();
+        let r = e
+            .respond(
+                &SearchRequest::text("database software company revenue")
+                    .k(9)
+                    .algorithm(AlgorithmChoice::PatternEnum),
+            )
+            .unwrap();
+        let out = diversify(&r.patterns, &DiversifyConfig { lambda: 0.5, k: 5 });
         assert_eq!(out.len(), 5);
         // Top answer is stable; selected scores are a subset of the input.
         assert_eq!(out[0].key(), r.patterns[0].key());

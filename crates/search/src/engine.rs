@@ -1,15 +1,24 @@
-//! The batteries-included facade: build once, query many times.
+//! The engine: build once (via [`crate::EngineBuilder`]), answer
+//! [`crate::SearchRequest`]s many times.
+//!
+//! [`SearchEngine::respond`] is the one entry point of the query route:
+//! parse → plan → enumerate → rank → compose tables, with every failure
+//! surfaced as a typed [`Error`]. The pre-0.2 `search_*` facade methods
+//! remain as thin deprecated shims for one release.
 
 use crate::baseline::baseline;
 use crate::common::QueryContext;
 use crate::counting::{count_patterns, count_subtrees};
+use crate::diversify::{diversify, DiversifyConfig};
+use crate::error::Error;
 use crate::individual::{top_individual, ScoredTree};
 use crate::linear_enum::linear_enum;
 use crate::pattern_enum::pattern_enum;
+use crate::request::{AlgorithmChoice, CacheOutcome, QueryInput, SearchRequest, SearchResponse};
 use crate::result::SearchResult;
 use crate::table::TableAnswer;
 use crate::topk::{linear_enum_topk, SamplingConfig};
-use crate::{ParseError, Query, SearchConfig};
+use crate::{ParseError, PlannerConfig, Query, SearchConfig};
 use patternkb_graph::KnowledgeGraph;
 use patternkb_index::{build_indexes, BuildConfig, PathIndexes};
 use patternkb_text::{SynonymTable, TextIndex};
@@ -41,18 +50,26 @@ pub struct SearchEngine {
     /// Monotone data version; bumped by [`Self::apply_delta`]. Lets result
     /// caches ([`crate::cache`]) detect staleness.
     version: u64,
+    /// Default planner thresholds for [`AlgorithmChoice::Auto`] routing;
+    /// set by [`crate::EngineBuilder::planner`], overridable per request.
+    planner: PlannerConfig,
 }
 
 impl SearchEngine {
     /// Build the engine: text index, then both path indexes with height
     /// threshold `build_cfg.d`.
+    #[deprecated(since = "0.2.0", note = "use EngineBuilder::new().graph(g).build()")]
     pub fn build(g: KnowledgeGraph, synonyms: SynonymTable, build_cfg: &BuildConfig) -> Self {
-        Self::build_with_stemmer(g, synonyms, patternkb_text::Stemmer::Lite, build_cfg)
+        let text = TextIndex::build_with(&g, synonyms, patternkb_text::Stemmer::Lite);
+        let idx = build_indexes(&g, &text, build_cfg);
+        SearchEngine::from_parts(g, text, idx)
     }
 
-    /// Build with an explicit stemmer (see [`patternkb_text::Stemmer`] for
-    /// the Lite/Porter/None trade-offs). The same stemmer is reused when
-    /// the text index is rebuilt after [`Self::apply_delta`].
+    /// Build with an explicit stemmer.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EngineBuilder::new().graph(g).stemmer(s).build()"
+    )]
     pub fn build_with_stemmer(
         g: KnowledgeGraph,
         synonyms: SynonymTable,
@@ -61,23 +78,25 @@ impl SearchEngine {
     ) -> Self {
         let text = TextIndex::build_with(&g, synonyms, stemmer);
         let idx = build_indexes(&g, &text, build_cfg);
-        SearchEngine {
-            g,
-            text,
-            idx,
-            version: 0,
-        }
+        SearchEngine::from_parts(g, text, idx)
     }
 
-    /// Build from pre-constructed parts (used by the bench harness to time
-    /// index construction separately).
+    /// Build from pre-constructed parts (used by [`crate::EngineBuilder`]
+    /// and by the bench harness to time index construction separately).
     pub fn from_parts(g: KnowledgeGraph, text: TextIndex, idx: PathIndexes) -> Self {
         SearchEngine {
             g,
             text,
             idx,
             version: 0,
+            planner: PlannerConfig::default(),
         }
+    }
+
+    /// Replace the default planner thresholds (builder plumbing).
+    pub(crate) fn with_planner(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
+        self
     }
 
     /// The current data version: 0 after build, +1 per applied delta.
@@ -136,6 +155,7 @@ impl SearchEngine {
                 text: new_text,
                 idx: new_idx,
                 version: self.version + 1,
+                planner: self.planner.clone(),
             },
             stats,
         ))
@@ -166,14 +186,288 @@ impl SearchEngine {
         Query::parse(&self.text, input)
     }
 
-    /// Run the default algorithm (`PATTERNENUM`, the paper's fastest in
-    /// practice).
-    pub fn search(&self, query: &Query, cfg: &SearchConfig) -> SearchResult {
-        self.search_with(query, cfg, Algorithm::PatternEnum)
+    // ------------------------------------------------------------------
+    // The unified query route.
+    // ------------------------------------------------------------------
+
+    /// Serve one request end to end: parse (or adopt) the query, resolve
+    /// the algorithm (planner under [`AlgorithmChoice::Auto`]), run the
+    /// search, then apply the requested post-processing — diversification,
+    /// table composition, presentation, relaxation, explain traces.
+    ///
+    /// Never panics on user input; every failure is a typed [`Error`].
+    pub fn respond(&self, request: &SearchRequest) -> Result<SearchResponse, Error> {
+        self.respond_with_cache(request, None)
     }
 
-    /// Run a specific algorithm.
-    pub fn search_with(&self, query: &Query, cfg: &SearchConfig, algo: Algorithm) -> SearchResult {
+    /// [`Self::respond`] with an optional result cache in front of the
+    /// search step ([`crate::concurrent::SharedEngine`]'s route).
+    pub(crate) fn respond_with_cache(
+        &self,
+        request: &SearchRequest,
+        cache: Option<&crate::cache::QueryCache>,
+    ) -> Result<SearchResponse, Error> {
+        let t0 = std::time::Instant::now();
+        Self::validate_request(request)?;
+        let planner_cfg = request.planner.as_ref().unwrap_or(&self.planner);
+        let planner_rho = planner_cfg.sampling.rho;
+        // NaN-rejecting form: `rho <= 0.0 || rho > 1.0` would let NaN
+        // through and silently sample zero roots.
+        if !(planner_rho > 0.0 && planner_rho <= 1.0) {
+            return Err(Error::Planner(format!(
+                "sampling rho must be in (0, 1], got {planner_rho}"
+            )));
+        }
+
+        let query = match &request.input {
+            QueryInput::Text(text) => self.parse(text)?,
+            QueryInput::Parsed(q) if q.is_empty() => return Err(Error::EmptyQuery),
+            QueryInput::Parsed(q) => q.clone(),
+        };
+
+        let cfg = SearchConfig {
+            k: request.k,
+            scoring: request.scoring,
+            strict_trees: request.strict_trees,
+            max_rows: request.max_rows,
+        };
+
+        let planned = request.algorithm == AlgorithmChoice::Auto;
+        let (mut patterns, stats, algorithm, cache_outcome) = match cache {
+            Some(cache) => {
+                // Keyed by the request's *choice* (plus planner thresholds
+                // under Auto — the decision is deterministic per engine
+                // version), so cache hits skip planning entirely.
+                let (result, algorithm, hit) = cache.lookup_for_request(
+                    self,
+                    &query,
+                    &cfg,
+                    request.algorithm,
+                    &request.sampling,
+                    planner_cfg,
+                    || {
+                        self.plan_and_run(
+                            &query,
+                            &cfg,
+                            request.algorithm,
+                            &request.sampling,
+                            planner_cfg,
+                        )
+                    },
+                );
+                let outcome = if hit {
+                    CacheOutcome::Hit
+                } else {
+                    CacheOutcome::Miss
+                };
+                (
+                    result.patterns.clone(),
+                    result.stats.clone(),
+                    algorithm,
+                    outcome,
+                )
+            }
+            None => {
+                let (result, algorithm) = self.plan_and_run(
+                    &query,
+                    &cfg,
+                    request.algorithm,
+                    &request.sampling,
+                    planner_cfg,
+                );
+                (
+                    result.patterns,
+                    result.stats,
+                    algorithm,
+                    CacheOutcome::Uncached,
+                )
+            }
+        };
+
+        if let Some(lambda) = request.diversify {
+            patterns = diversify(
+                &patterns,
+                &DiversifyConfig {
+                    lambda,
+                    k: request.k,
+                },
+            );
+        }
+
+        // Presentation implies tables even when composition is opted out.
+        let tables: Vec<TableAnswer> = if request.compose_tables || request.presentation.is_some() {
+            patterns
+                .iter()
+                .map(|p| TableAnswer::from_pattern(&self.g, p))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let presented = request.presentation.as_ref().map(|pc| {
+            tables
+                .iter()
+                .map(|t| crate::presentation::present(&self.g, t, pc))
+                .collect()
+        });
+
+        let relaxations = if request.relax && patterns.is_empty() {
+            self.relax(&query)
+        } else {
+            Vec::new()
+        };
+
+        let explain = request.explain.then(|| {
+            // Pre-parsed queries may carry word ids foreign to this
+            // engine's vocabulary (e.g. held across a mutation); resolve
+            // defensively instead of indexing out of bounds.
+            let vocab = self.text.vocab();
+            let keywords: Vec<&str> = query
+                .keywords
+                .iter()
+                .map(|&w| {
+                    if (w.0 as usize) < vocab.len() {
+                        vocab.resolve(w)
+                    } else {
+                        "<unknown>"
+                    }
+                })
+                .collect();
+            patterns
+                .iter()
+                .map(|p| {
+                    let mut out = crate::explain::explain_score(p);
+                    if let Some(tree) = p.trees.first() {
+                        out.push('\n');
+                        out.push_str(&crate::explain::explain_tree(&self.g, tree, &keywords));
+                    }
+                    out
+                })
+                .collect()
+        });
+
+        Ok(SearchResponse {
+            query,
+            patterns,
+            tables,
+            presented,
+            algorithm,
+            planned,
+            stats,
+            relaxations,
+            explain,
+            cache: cache_outcome,
+            elapsed: t0.elapsed(),
+        })
+    }
+
+    fn validate_request(request: &SearchRequest) -> Result<(), Error> {
+        if request.k == 0 {
+            return Err(Error::InvalidRequest("k must be >= 1".into()));
+        }
+        let rho = request.sampling.rho;
+        if !(rho > 0.0 && rho <= 1.0) {
+            return Err(Error::InvalidRequest(format!(
+                "sampling rho must be in (0, 1], got {rho}"
+            )));
+        }
+        if let Some(lambda) = request.diversify {
+            if !(0.0..=1.0).contains(&lambda) {
+                return Err(Error::InvalidRequest(format!(
+                    "diversify lambda must be in [0, 1], got {lambda}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serve a whole request batch in parallel over `threads` OS threads
+    /// (0 = available parallelism). The engine is immutable, so requests
+    /// share it freely; responses come back in input order.
+    pub fn respond_batch(
+        &self,
+        requests: &[SearchRequest],
+        threads: usize,
+    ) -> Vec<Result<SearchResponse, Error>> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let threads = threads.clamp(1, requests.len().max(1));
+        if threads == 1 {
+            return requests.iter().map(|r| self.respond(r)).collect();
+        }
+        let mut out: Vec<Option<Result<SearchResponse, Error>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let chunk = requests.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (reqs, slots) in requests.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (r, slot) in reqs.iter().zip(slots.iter_mut()) {
+                        *slot = Some(self.respond(r));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Resolve the request's algorithm choice and run it, sharing one
+    /// [`QueryContext`] between the planner's estimate and the chosen
+    /// algorithm so the candidate-root intersection is computed once.
+    fn plan_and_run(
+        &self,
+        query: &Query,
+        cfg: &SearchConfig,
+        choice: AlgorithmChoice,
+        sampling: &SamplingConfig,
+        planner: &PlannerConfig,
+    ) -> (SearchResult, Algorithm) {
+        if choice == AlgorithmChoice::Baseline {
+            return (
+                baseline(&self.g, &self.text, query, cfg, self.idx.d()),
+                Algorithm::Baseline,
+            );
+        }
+        let ctx = QueryContext::new(&self.g, &self.idx, query);
+        let algorithm = match choice {
+            AlgorithmChoice::Auto => match &ctx {
+                Some(ctx) => crate::plan::choose(&crate::plan::estimate(ctx), planner),
+                // Provably empty; any algorithm exits in O(1).
+                None => Algorithm::PatternEnumPruned,
+            },
+            AlgorithmChoice::PatternEnum => Algorithm::PatternEnum,
+            AlgorithmChoice::PatternEnumPruned => Algorithm::PatternEnumPruned,
+            AlgorithmChoice::LinearEnum => Algorithm::LinearEnum,
+            AlgorithmChoice::LinearEnumTopK => Algorithm::LinearEnumTopK(*sampling),
+            AlgorithmChoice::Baseline => unreachable!("handled above"),
+        };
+        let result = match &ctx {
+            None => SearchResult::default(),
+            Some(ctx) => match algorithm {
+                Algorithm::PatternEnum => pattern_enum(ctx, cfg),
+                Algorithm::PatternEnumPruned => crate::bound::pattern_enum_pruned(ctx, cfg),
+                Algorithm::LinearEnum => linear_enum(ctx, cfg),
+                Algorithm::LinearEnumTopK(samp) => linear_enum_topk(ctx, cfg, &samp),
+                Algorithm::Baseline => unreachable!("handled above"),
+            },
+        };
+        (result, algorithm)
+    }
+
+    /// Run one resolved algorithm. This is the execution core `respond`
+    /// and the result cache sit on; the deprecated `search_*` shims also
+    /// funnel here.
+    pub(crate) fn execute(
+        &self,
+        query: &Query,
+        cfg: &SearchConfig,
+        algo: Algorithm,
+    ) -> SearchResult {
         match algo {
             Algorithm::Baseline => baseline(&self.g, &self.text, query, cfg, self.idx.d()),
             _ => {
@@ -191,30 +485,55 @@ impl SearchEngine {
         }
     }
 
-    /// Estimate the query's cost drivers and run the algorithm the planner
-    /// picks ([`crate::plan`]); returns the decision next to the result so
-    /// callers can log or override it.
-    pub fn search_auto(&self, query: &Query, cfg: &SearchConfig) -> (SearchResult, Algorithm) {
-        self.search_auto_with(query, cfg, &crate::plan::PlannerConfig::default())
+    // ------------------------------------------------------------------
+    // Deprecated pre-0.2 facade (one release of shims).
+    // ------------------------------------------------------------------
+
+    /// Run the default algorithm (`PATTERNENUM`).
+    #[deprecated(since = "0.2.0", note = "use respond(&SearchRequest::query(q))")]
+    pub fn search(&self, query: &Query, cfg: &SearchConfig) -> SearchResult {
+        self.execute(query, cfg, Algorithm::PatternEnum)
     }
 
-    /// [`Self::search_auto`] with explicit planner thresholds.
+    /// Run a specific algorithm.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use respond with SearchRequest::query(q).algorithm(..)"
+    )]
+    pub fn search_with(&self, query: &Query, cfg: &SearchConfig, algo: Algorithm) -> SearchResult {
+        self.execute(query, cfg, algo)
+    }
+
+    /// Planner-routed search; returns the decision next to the result.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use respond: AlgorithmChoice::Auto is the default; the response carries the decision"
+    )]
+    pub fn search_auto(&self, query: &Query, cfg: &SearchConfig) -> (SearchResult, Algorithm) {
+        #[allow(deprecated)]
+        self.search_auto_with(query, cfg, &PlannerConfig::default())
+    }
+
+    /// Planner-routed search with explicit thresholds.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use respond with SearchRequest::query(q).planner(cfg)"
+    )]
     pub fn search_auto_with(
         &self,
         query: &Query,
         cfg: &SearchConfig,
-        planner: &crate::plan::PlannerConfig,
+        planner: &PlannerConfig,
     ) -> (SearchResult, Algorithm) {
         let algo = match QueryContext::new(&self.g, &self.idx, query) {
             Some(ctx) => crate::plan::choose(&crate::plan::estimate(&ctx), planner),
             None => Algorithm::PatternEnumPruned, // provably empty; any algorithm is O(1)
         };
-        (self.search_with(query, cfg, algo), algo)
+        (self.execute(query, cfg, algo), algo)
     }
 
-    /// Run a whole query workload in parallel over `threads` OS threads
-    /// (0 = available parallelism). The engine is immutable after build, so
-    /// queries share it freely; results come back in input order.
+    /// Run a query workload in parallel.
+    #[deprecated(since = "0.2.0", note = "use respond_batch(&[SearchRequest], threads)")]
     pub fn search_batch(
         &self,
         queries: &[Query],
@@ -231,10 +550,7 @@ impl SearchEngine {
         };
         let threads = threads.clamp(1, queries.len().max(1));
         if threads == 1 {
-            return queries
-                .iter()
-                .map(|q| self.search_with(q, cfg, algo))
-                .collect();
+            return queries.iter().map(|q| self.execute(q, cfg, algo)).collect();
         }
         let mut results: Vec<Option<SearchResult>> = (0..queries.len()).map(|_| None).collect();
         let chunk = queries.len().div_ceil(threads);
@@ -242,7 +558,7 @@ impl SearchEngine {
             for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
                 scope.spawn(move || {
                     for (q, slot) in qs.iter().zip(out.iter_mut()) {
-                        *slot = Some(self.search_with(q, cfg, algo));
+                        *slot = Some(self.execute(q, cfg, algo));
                     }
                 });
             }
@@ -253,15 +569,23 @@ impl SearchEngine {
             .collect()
     }
 
-    /// Persist the built path indexes; reload with [`Self::load_index`] to
-    /// skip the expensive Algorithm-1 construction (cf. Figure 6).
+    // ------------------------------------------------------------------
+    // Analysis utilities (not part of the unified query route).
+    // ------------------------------------------------------------------
+
+    /// Persist the built path indexes; reload through
+    /// [`crate::EngineBuilder::index_snapshot`] to skip the expensive
+    /// Algorithm-1 construction (cf. Figure 6).
     pub fn save_index(&self, path: &std::path::Path) -> std::io::Result<()> {
         patternkb_index::snapshot::save(&self.idx, path)
     }
 
     /// Rebuild an engine from a graph plus a previously saved index
-    /// snapshot. The synonym table must match the one used at build time
-    /// (word ids are derived from it).
+    /// snapshot.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EngineBuilder::new().graph(g).index_snapshot(path).build()"
+    )]
     pub fn load_index(
         g: KnowledgeGraph,
         synonyms: SynonymTable,
@@ -269,12 +593,7 @@ impl SearchEngine {
     ) -> std::io::Result<Self> {
         let text = TextIndex::build(&g, synonyms);
         let idx = patternkb_index::snapshot::load(path)?;
-        Ok(SearchEngine {
-            g,
-            text,
-            idx,
-            version: 0,
-        })
+        Ok(SearchEngine::from_parts(g, text, idx))
     }
 
     /// Top-k *individual* valid subtrees (§5.3).
@@ -341,38 +660,52 @@ impl std::fmt::Debug for SearchEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EngineBuilder;
     use patternkb_datagen::figure1;
     use patternkb_graph::NodeId;
 
     fn engine() -> SearchEngine {
         let (g, _) = figure1();
-        SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 })
+        EngineBuilder::new().graph(g).threads(1).build().unwrap()
+    }
+
+    fn respond(e: &SearchEngine, text: &str, k: usize) -> SearchResponse {
+        e.respond(
+            &SearchRequest::text(text)
+                .k(k)
+                .algorithm(AlgorithmChoice::PatternEnum),
+        )
+        .unwrap()
     }
 
     #[test]
     fn end_to_end_figure1() {
         let e = engine();
-        let q = e.parse("database software company revenue").unwrap();
-        let r = e.search(&q, &SearchConfig::top(10));
+        let r = respond(&e, "database software company revenue", 10);
         assert_eq!(r.patterns.len(), 9);
-        let table = e.table(r.top().unwrap());
-        assert_eq!(table.rows.len(), 2);
+        assert_eq!(r.tables.len(), 9);
+        assert_eq!(r.top_table().unwrap().rows.len(), 2);
+        assert_eq!(r.cache, CacheOutcome::Uncached);
+        assert!(!r.planned);
     }
 
     #[test]
     fn all_algorithms_agree() {
         let e = engine();
-        let q = e.parse("database company").unwrap();
-        let cfg = SearchConfig::top(100);
-        let results: Vec<SearchResult> = [
-            Algorithm::Baseline,
-            Algorithm::PatternEnum,
-            Algorithm::LinearEnum,
-            Algorithm::LinearEnumTopK(SamplingConfig::exact()),
-        ]
-        .into_iter()
-        .map(|a| e.search_with(&q, &cfg, a))
-        .collect();
+        let choices = [
+            AlgorithmChoice::Baseline,
+            AlgorithmChoice::PatternEnum,
+            AlgorithmChoice::PatternEnumPruned,
+            AlgorithmChoice::LinearEnum,
+            AlgorithmChoice::LinearEnumTopK,
+        ];
+        let results: Vec<SearchResponse> = choices
+            .into_iter()
+            .map(|a| {
+                e.respond(&SearchRequest::text("database company").k(100).algorithm(a))
+                    .unwrap()
+            })
+            .collect();
         for r in &results[1..] {
             assert_eq!(r.patterns.len(), results[0].patterns.len());
             for (a, b) in results[0].patterns.iter().zip(&r.patterns) {
@@ -380,6 +713,197 @@ mod tests {
                 assert!((a.score - b.score).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn auto_reports_planner_choice() {
+        let e = engine();
+        let r = e
+            .respond(&SearchRequest::text("database company").k(10))
+            .unwrap();
+        assert!(r.planned);
+        assert!(matches!(r.algorithm, Algorithm::PatternEnumPruned));
+        // Same answers as forcing the chosen algorithm.
+        let forced = e
+            .respond(
+                &SearchRequest::text("database company")
+                    .k(10)
+                    .algorithm(AlgorithmChoice::PatternEnumPruned),
+            )
+            .unwrap();
+        assert_eq!(r.patterns.len(), forced.patterns.len());
+    }
+
+    #[test]
+    fn error_paths_are_typed() {
+        let e = engine();
+        assert!(matches!(
+            e.respond(&SearchRequest::text("")),
+            Err(Error::EmptyQuery)
+        ));
+        match e.respond(&SearchRequest::text("database qqqqzzzz")) {
+            Err(Error::UnknownWords(ws)) => assert_eq!(ws, vec!["qqqqzzzz".to_string()]),
+            other => panic!("expected UnknownWords, got {other:?}"),
+        }
+        assert!(matches!(
+            e.respond(&SearchRequest::text("database").k(0)),
+            Err(Error::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            e.respond(&SearchRequest::text("database").diversify(1.5)),
+            Err(Error::InvalidRequest(_))
+        ));
+        let mut bad = SearchRequest::text("database");
+        bad.sampling.rho = 0.0;
+        assert!(matches!(e.respond(&bad), Err(Error::InvalidRequest(_))));
+        let mut bad_planner = PlannerConfig::default();
+        bad_planner.sampling.rho = 2.0;
+        assert!(matches!(
+            e.respond(&SearchRequest::text("database").planner(bad_planner)),
+            Err(Error::Planner(_))
+        ));
+        // Pre-parsed empty queries are rejected, not panicked on.
+        assert!(matches!(
+            e.respond(&SearchRequest::query(Query { keywords: vec![] })),
+            Err(Error::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn explain_with_foreign_word_ids_does_not_panic() {
+        // A pre-parsed query can carry ids outside this engine's
+        // vocabulary (stale query across a mutation, or caller error);
+        // explain must degrade, not index out of bounds.
+        let e = engine();
+        let q = Query::from_ids([patternkb_graph::WordId(u32::MAX)]);
+        let r = e.respond(&SearchRequest::query(q).explain(true)).unwrap();
+        assert!(r.patterns.is_empty());
+        assert_eq!(r.explain.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn nan_knobs_are_rejected() {
+        let e = engine();
+        let mut bad = SearchRequest::text("database");
+        bad.sampling.rho = f64::NAN;
+        assert!(matches!(e.respond(&bad), Err(Error::InvalidRequest(_))));
+        let mut bad_planner = PlannerConfig::default();
+        bad_planner.sampling.rho = f64::NAN;
+        assert!(matches!(
+            e.respond(&SearchRequest::text("database").planner(bad_planner)),
+            Err(Error::Planner(_))
+        ));
+        assert!(matches!(
+            e.respond(&SearchRequest::text("database").diversify(f64::NAN)),
+            Err(Error::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn compose_tables_opt_out() {
+        let e = engine();
+        let r = e
+            .respond(&SearchRequest::text("database company").compose_tables(false))
+            .unwrap();
+        assert!(!r.patterns.is_empty());
+        assert!(r.tables.is_empty(), "opt-out skips composition");
+        // Presentation overrides the opt-out (it needs the tables).
+        let r = e
+            .respond(
+                &SearchRequest::text("database company")
+                    .compose_tables(false)
+                    .presentation(crate::presentation::PresentationConfig::default()),
+            )
+            .unwrap();
+        assert_eq!(r.tables.len(), r.patterns.len());
+        assert!(r.presented.is_some());
+    }
+
+    #[test]
+    fn relax_and_explain_on_request() {
+        let e = engine();
+        // Unanswerable: no root reaches both oracle and gates.
+        let r = e
+            .respond(&SearchRequest::text("oracle gates").relax(true))
+            .unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.relaxations.len(), 2);
+        // Without the flag, no relaxation work is done.
+        let r = e.respond(&SearchRequest::text("oracle gates")).unwrap();
+        assert!(r.relaxations.is_empty());
+        // Explain traces align with patterns.
+        let r = e
+            .respond(&SearchRequest::text("database company").explain(true))
+            .unwrap();
+        let traces = r.explain.as_ref().unwrap();
+        assert_eq!(traces.len(), r.patterns.len());
+        assert!(traces[0].contains("score"));
+    }
+
+    #[test]
+    fn diversify_and_presentation_on_request() {
+        let e = engine();
+        let r = e
+            .respond(
+                &SearchRequest::text("database software company revenue")
+                    .k(5)
+                    .diversify(0.5)
+                    .presentation(crate::presentation::PresentationConfig::default()),
+            )
+            .unwrap();
+        assert!(r.patterns.len() <= 5);
+        let presented = r.presented.as_ref().unwrap();
+        assert_eq!(presented.len(), r.patterns.len());
+        assert!(!presented[0].columns.is_empty());
+    }
+
+    #[test]
+    fn respond_batch_matches_sequential() {
+        let e = engine();
+        let requests: Vec<SearchRequest> =
+            ["database company", "revenue", "bill gates", "software"]
+                .iter()
+                .map(|s| {
+                    SearchRequest::text(*s)
+                        .k(10)
+                        .algorithm(AlgorithmChoice::PatternEnum)
+                })
+                .collect();
+        let seq: Vec<SearchResponse> = requests.iter().map(|r| e.respond(r).unwrap()).collect();
+        let par = e.respond_batch(&requests, 3);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            let b = b.as_ref().unwrap();
+            assert_eq!(a.patterns.len(), b.patterns.len());
+            for (x, y) in a.patterns.iter().zip(&b.patterns) {
+                assert_eq!(x.key(), y.key());
+                assert!((x.score - y.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_respond() {
+        let e = engine();
+        let q = e.parse("database software company revenue").unwrap();
+        let old = e.search(&q, &SearchConfig::top(10));
+        let new = respond(&e, "database software company revenue", 10);
+        assert_eq!(old.patterns.len(), new.patterns.len());
+        for (a, b) in old.patterns.iter().zip(&new.patterns) {
+            assert_eq!(a.key(), b.key());
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+        let (auto, algo) = e.search_auto(&q, &SearchConfig::top(10));
+        let manual = e.search_with(&q, &SearchConfig::top(10), algo);
+        assert_eq!(auto.patterns.len(), manual.patterns.len());
+        let batch = e.search_batch(
+            std::slice::from_ref(&q),
+            &SearchConfig::top(10),
+            Algorithm::PatternEnum,
+            2,
+        );
+        assert_eq!(batch[0].patterns.len(), old.patterns.len());
     }
 
     #[test]
@@ -399,29 +923,6 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_sequential() {
-        let e = engine();
-        let queries: Vec<Query> = ["database company", "revenue", "bill gates", "software"]
-            .iter()
-            .map(|s| e.parse(s).unwrap())
-            .collect();
-        let cfg = SearchConfig::top(10);
-        let seq: Vec<SearchResult> = queries
-            .iter()
-            .map(|q| e.search_with(q, &cfg, Algorithm::PatternEnum))
-            .collect();
-        let par = e.search_batch(&queries, &cfg, Algorithm::PatternEnum, 3);
-        assert_eq!(seq.len(), par.len());
-        for (a, b) in seq.iter().zip(&par) {
-            assert_eq!(a.patterns.len(), b.patterns.len());
-            for (x, y) in a.patterns.iter().zip(&b.patterns) {
-                assert_eq!(x.key(), y.key());
-                assert!((x.score - y.score).abs() < 1e-12);
-            }
-        }
-    }
-
-    #[test]
     fn index_snapshot_roundtrip_through_engine() {
         let e = engine();
         let dir = std::env::temp_dir().join("patternkb_engine_snapshot_test");
@@ -429,10 +930,13 @@ mod tests {
         let path = dir.join("engine.pkbi");
         e.save_index(&path).unwrap();
         let (g, _) = figure1();
-        let reloaded = SearchEngine::load_index(g, SynonymTable::new(), &path).unwrap();
+        let reloaded = EngineBuilder::new()
+            .graph(g)
+            .index_snapshot(&path)
+            .build()
+            .unwrap();
         std::fs::remove_file(&path).ok();
-        let q = reloaded.parse("database software company revenue").unwrap();
-        let r = reloaded.search(&q, &SearchConfig::top(10));
+        let r = respond(&reloaded, "database software company revenue", 10);
         assert_eq!(r.patterns.len(), 9);
         assert!((r.patterns[0].score - 3.5).abs() < 1e-9);
     }
@@ -440,13 +944,11 @@ mod tests {
     #[test]
     fn relax_and_unified_exposed() {
         let e = engine();
-        // Unanswerable: no root reaches both oracle and gates.
         let q = e.parse("oracle gates").unwrap();
-        let r = e.search(&q, &SearchConfig::top(10));
+        let r = respond(&e, "oracle gates", 10);
         assert!(r.patterns.is_empty());
         let relaxations = e.relax(&q);
         assert_eq!(relaxations.len(), 2);
-        // Unified ranking on an answerable query.
         let q = e.parse("database company").unwrap();
         let unified = e.unified(
             &q,
@@ -466,18 +968,16 @@ mod tests {
     #[test]
     fn porter_stemmer_engine_answers() {
         let (g, _) = figure1();
-        let e = SearchEngine::build_with_stemmer(
-            g,
-            SynonymTable::new(),
-            patternkb_text::Stemmer::Porter,
-            &BuildConfig { d: 3, threads: 1 },
-        );
+        let e = EngineBuilder::new()
+            .graph(g)
+            .stemmer(patternkb_text::Stemmer::Porter)
+            .threads(1)
+            .build()
+            .unwrap();
         // Porter collapses "companies"/"company" and "databases"/"database".
-        let q = e.parse("databases companies").unwrap();
-        let r = e.search(&q, &SearchConfig::top(10));
+        let r = respond(&e, "databases companies", 10);
         assert!(!r.patterns.is_empty());
-        let q2 = e.parse("database company").unwrap();
-        let r2 = e.search(&q2, &SearchConfig::top(10));
+        let r2 = respond(&e, "database company", 10);
         assert_eq!(r.patterns.len(), r2.patterns.len());
     }
 
@@ -485,8 +985,7 @@ mod tests {
     fn apply_delta_updates_answers() {
         use patternkb_graph::mutate::{GraphDelta, PagerankMode};
         let mut e = engine();
-        let q = e.parse("database software company revenue").unwrap();
-        let before = e.search(&q, &SearchConfig::top(10));
+        let before = respond(&e, "database software company revenue", 10);
         assert_eq!(before.patterns.len(), 9);
         assert_eq!(e.version(), 0);
 
@@ -510,10 +1009,8 @@ mod tests {
         assert_eq!(e.version(), 1);
 
         // The top pattern's table gains a row for DB2/IBM.
-        let q = e.parse("database software company revenue").unwrap();
-        let after = e.search(&q, &SearchConfig::top(10));
-        let table = e.table(after.top().unwrap());
-        assert_eq!(table.rows.len(), 3);
+        let after = respond(&e, "database software company revenue", 10);
+        assert_eq!(after.top_table().unwrap().rows.len(), 3);
     }
 
     #[test]
@@ -529,16 +1026,14 @@ mod tests {
         let mutated_graph = d.apply(g, PagerankMode::Recompute).unwrap();
         e.apply_delta(&d, PagerankMode::Recompute).unwrap();
 
-        let fresh = SearchEngine::build(
-            mutated_graph,
-            SynonymTable::new(),
-            &BuildConfig { d: 3, threads: 1 },
-        );
+        let fresh = EngineBuilder::new()
+            .graph(mutated_graph)
+            .threads(1)
+            .build()
+            .unwrap();
         for text in ["database software company revenue", "company", "database"] {
-            let q1 = e.parse(text).unwrap();
-            let q2 = fresh.parse(text).unwrap();
-            let r1 = e.search(&q1, &SearchConfig::top(50));
-            let r2 = fresh.search(&q2, &SearchConfig::top(50));
+            let r1 = respond(&e, text, 50);
+            let r2 = respond(&fresh, text, 50);
             assert_eq!(r1.patterns.len(), r2.patterns.len(), "query {text:?}");
             for (a, b) in r1.patterns.iter().zip(&r2.patterns) {
                 assert!((a.score - b.score).abs() < 1e-9);
@@ -557,7 +1052,11 @@ mod tests {
         d.remove_edge(NodeId(1), dev, NodeId(0)).unwrap();
         assert!(e.apply_delta(&d, PagerankMode::Frozen).is_err());
         assert_eq!(e.version(), 0);
-        let q = e.parse("database software company revenue").unwrap();
-        assert_eq!(e.search(&q, &SearchConfig::top(10)).patterns.len(), 9);
+        assert_eq!(
+            respond(&e, "database software company revenue", 10)
+                .patterns
+                .len(),
+            9
+        );
     }
 }

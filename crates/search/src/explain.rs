@@ -39,7 +39,15 @@ pub fn explain_tree(g: &KnowledgeGraph, tree: &ValidSubtree, keywords: &[&str]) 
         annotate(&mut out, is, keywords);
     }
     out.push('\n');
-    render_children(g, &children, &marks, keywords, tree.root, String::new(), &mut out);
+    render_children(
+        g,
+        &children,
+        &marks,
+        keywords,
+        tree.root,
+        String::new(),
+        &mut out,
+    );
     out
 }
 

@@ -27,23 +27,54 @@
 //!   presentation — friendly column names, ordering, Markdown/CSV
 //!   ([`presentation`]);
 //! * a cost-based planner routing each query to the cheapest algorithm
-//!   ([`plan`], `SearchEngine::search_auto`);
+//!   ([`plan`]);
 //! * MMR diversification of near-duplicate interpretations ([`mod@diversify`]);
 //! * a version-aware LRU result cache ([`cache`]) and snapshot-swap
-//!   concurrent serving under live mutation ([`concurrent`]);
-//! * a batteries-included [`engine::SearchEngine`] facade with incremental
-//!   mutation (`apply_delta`).
+//!   concurrent serving under live mutation ([`concurrent`]).
+//!
+//! ## The request/response API
+//!
+//! The public surface is three types plus one serving handle:
+//!
+//! * [`EngineBuilder`] — fluent construction: graph, stemmer, synonyms,
+//!   height `d`, build threads, planner thresholds, cache capacity, or an
+//!   index snapshot to skip construction;
+//! * [`SearchRequest`] — raw text or a pre-parsed [`Query`], plus k,
+//!   algorithm selection (including [`request::AlgorithmChoice::Auto`]),
+//!   sampling, diversification, relaxation, presentation and explain
+//!   options, all defaultable;
+//! * [`SearchResponse`] — ranked patterns, composed tables, the chosen
+//!   algorithm, timing/stats, and the optional extras;
+//! * [`SharedEngine`] — the concurrent serving handle: the same
+//!   `respond(&SearchRequest) -> Result<SearchResponse, Error>` entry
+//!   point, with the version-aware [`QueryCache`] built in and
+//!   snapshot-swap ingest ([`concurrent`]).
+//!
+//! Every failure on the query route is a typed [`Error`]; the pre-0.2
+//! `search_*` methods remain as deprecated shims for one release.
+//!
+//! ```
+//! use patternkb_search::{EngineBuilder, SearchRequest};
+//!
+//! let (graph, _) = patternkb_datagen::figure1();
+//! let engine = EngineBuilder::new().graph(graph).height(3).build()?;
+//! let response = engine.respond(&SearchRequest::text("database company").k(10))?;
+//! assert!(!response.is_empty());
+//! # Ok::<(), patternkb_search::Error>(())
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod bound;
+pub mod builder;
 pub mod cache;
 pub mod common;
 pub mod concurrent;
 pub mod counting;
 pub mod diversify;
 pub mod engine;
+pub mod error;
 pub mod explain;
 pub mod individual;
 pub mod linear_enum;
@@ -53,6 +84,7 @@ pub mod plan;
 pub mod presentation;
 pub mod query;
 pub mod relax;
+pub mod request;
 pub mod result;
 pub mod score;
 pub mod subtree;
@@ -60,12 +92,15 @@ pub mod table;
 pub mod topk;
 pub mod unified;
 
+pub use builder::EngineBuilder;
 pub use cache::QueryCache;
 pub use concurrent::SharedEngine;
 pub use diversify::{diversify, DiversifyConfig};
 pub use engine::{Algorithm, SearchEngine};
+pub use error::Error;
 pub use plan::{PlannerConfig, QueryEstimate};
 pub use query::{ParseError, Query};
+pub use request::{AlgorithmChoice, CacheOutcome, SearchRequest, SearchResponse};
 pub use result::{QueryStats, RankedPattern, SearchResult};
 pub use score::{Aggregation, ScoringConfig};
 pub use subtree::{TreePath, ValidSubtree};

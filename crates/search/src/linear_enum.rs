@@ -96,7 +96,10 @@ mod tests {
         assert_eq!(top.num_trees, 2, "P1 aggregates T1 and T2");
         let shown = top.display(&g);
         assert!(shown.contains("(Software) (Genre) (Model)"), "{shown}");
-        assert!(shown.contains("(Software) (Developer) (Company) (Revenue)"), "{shown}");
+        assert!(
+            shown.contains("(Software) (Developer) (Company) (Revenue)"),
+            "{shown}"
+        );
         // Example 2.4 arithmetic: score(T1) = 4·3.5/8 = 1.75, so
         // score(P1) = 3.5 under Sum aggregation.
         assert!((top.score - 3.5).abs() < 1e-9, "score {}", top.score);

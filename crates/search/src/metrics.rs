@@ -61,7 +61,9 @@ pub fn kendall_tau<K: PartialEq>(a: &[K], b: &[K]) -> Option<f64> {
 /// Reciprocal rank of the first element of `truth` inside `approx`
 /// (1-based); 0.0 when absent.
 pub fn reciprocal_rank<K: PartialEq>(truth: &[K], approx: &[K]) -> f64 {
-    let Some(best) = truth.first() else { return 0.0 };
+    let Some(best) = truth.first() else {
+        return 0.0;
+    };
     match approx.iter().position(|x| x == best) {
         Some(i) => 1.0 / (i + 1) as f64,
         None => 0.0,

@@ -11,9 +11,7 @@
 //! construction, reproduced in `datagen::worstcase` and the `worst_case`
 //! bench).
 
-use crate::common::{
-    for_each_path_tuple, intersect_sorted, materialize_tree, QueryContext,
-};
+use crate::common::{for_each_path_tuple, intersect_sorted, materialize_tree, QueryContext};
 use crate::result::{QueryStats, RankedPattern, SearchResult};
 use crate::score::ScoreAcc;
 use crate::subtree::node_slices_form_tree;
@@ -34,7 +32,9 @@ pub fn pattern_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult 
         .map(|w| {
             let mut map: FxHashMap<TypeId, Vec<PatternId>> = FxHashMap::default();
             for p in w.patterns() {
-                map.entry(ctx.idx.patterns().root_type(p)).or_default().push(p);
+                map.entry(ctx.idx.patterns().root_type(p))
+                    .or_default()
+                    .push(p);
             }
             map
         })
@@ -102,7 +102,10 @@ pub fn pattern_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult 
                 if acc.count > 0 {
                     patterns_found += 1;
                     candidate_roots_seen.extend_from_slice(&roots);
-                    let key_patterns = chosen.iter().map(|p| ctx.idx.patterns().decode(*p)).collect();
+                    let key_patterns = chosen
+                        .iter()
+                        .map(|p| ctx.idx.patterns().decode(*p))
+                        .collect();
                     best.push(RankedPattern {
                         pattern: key_patterns,
                         score: acc.finish(cfg.scoring.aggregation),

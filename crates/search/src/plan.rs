@@ -95,15 +95,17 @@ pub fn choose(est: &QueryEstimate, cfg: &PlannerConfig) -> Algorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Query, SearchConfig, SearchEngine};
-    use patternkb_datagen::worstcase::{worstcase, W1, W2};
+    use crate::{Query, SearchEngine};
     use patternkb_datagen::figure1;
-    use patternkb_index::BuildConfig;
-    use patternkb_text::SynonymTable;
+    use patternkb_datagen::worstcase::{worstcase, W1, W2};
 
     fn fig1_engine() -> SearchEngine {
         let (g, _) = figure1();
-        SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 })
+        crate::EngineBuilder::new()
+            .graph(g)
+            .threads(1)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -132,11 +134,12 @@ mod tests {
         // §4.1: p² empty combinations. The planner must see the product
         // coming and route to LINEARENUM, which exits immediately.
         let p = 128usize;
-        let e = SearchEngine::build(
-            worstcase(p),
-            SynonymTable::new(),
-            &BuildConfig { d: 2, threads: 1 },
-        );
+        let e = crate::EngineBuilder::new()
+            .graph(worstcase(p))
+            .height(2)
+            .threads(1)
+            .build()
+            .unwrap();
         let q = e.parse(&format!("{W1} {W2}")).unwrap();
         let ctx = QueryContext::new(e.graph(), e.index(), &q).unwrap();
         let est = estimate(&ctx);
@@ -162,13 +165,23 @@ mod tests {
     }
 
     #[test]
-    fn search_auto_equals_manual_choice() {
+    fn auto_routing_equals_manual_choice() {
+        use crate::request::{AlgorithmChoice, SearchRequest};
         let e = fig1_engine();
-        let cfg = SearchConfig::top(10);
         for text in ["database software company revenue", "revenue", "bill gates"] {
-            let q = e.parse(text).unwrap();
-            let (auto, algo) = e.search_auto(&q, &cfg);
-            let manual = e.search_with(&q, &cfg, algo);
+            let auto = e.respond(&SearchRequest::text(text).k(10)).unwrap();
+            assert!(auto.planned);
+            let choice = match auto.algorithm {
+                Algorithm::Baseline => AlgorithmChoice::Baseline,
+                Algorithm::PatternEnum => AlgorithmChoice::PatternEnum,
+                Algorithm::PatternEnumPruned => AlgorithmChoice::PatternEnumPruned,
+                Algorithm::LinearEnum => AlgorithmChoice::LinearEnum,
+                Algorithm::LinearEnumTopK(_) => AlgorithmChoice::LinearEnumTopK,
+            };
+            let manual = e
+                .respond(&SearchRequest::text(text).k(10).algorithm(choice))
+                .unwrap();
+            assert!(!manual.planned);
             assert_eq!(auto.patterns.len(), manual.patterns.len(), "{text}");
             for (a, b) in auto.patterns.iter().zip(&manual.patterns) {
                 assert_eq!(a.key(), b.key());
@@ -178,13 +191,14 @@ mod tests {
     }
 
     #[test]
-    fn search_auto_on_unanswerable_query() {
+    fn auto_routing_on_unanswerable_query() {
+        use crate::request::SearchRequest;
         let e = fig1_engine();
         let q = Query::from_ids([patternkb_graph::WordId(u32::MAX)]);
-        let (r, algo) = e.search_auto(&q, &SearchConfig::top(10));
+        let r = e.respond(&SearchRequest::query(q)).unwrap();
         assert!(r.patterns.is_empty());
         // Default decision on an unindexable query.
-        assert!(matches!(algo, Algorithm::PatternEnumPruned));
+        assert!(matches!(r.algorithm, Algorithm::PatternEnumPruned));
     }
 
     #[test]

@@ -72,7 +72,11 @@ pub struct PresentedTable {
 }
 
 /// Build the presentation of `table` under `cfg`.
-pub fn present(g: &KnowledgeGraph, table: &TableAnswer, cfg: &PresentationConfig) -> PresentedTable {
+pub fn present(
+    g: &KnowledgeGraph,
+    table: &TableAnswer,
+    cfg: &PresentationConfig,
+) -> PresentedTable {
     let n = table.columns.len();
     debug_assert_eq!(table.meta.len(), n);
 
@@ -140,7 +144,11 @@ fn friendly_name(g: &KnowledgeGraph, m: &ColumnMeta, title: bool) -> String {
                 attr.to_string()
             } else {
                 let ty = g.type_text(t);
-                if attr.eq_ignore_ascii_case(ty) || attr.to_ascii_lowercase().ends_with(&ty.to_ascii_lowercase()) {
+                if attr.eq_ignore_ascii_case(ty)
+                    || attr
+                        .to_ascii_lowercase()
+                        .ends_with(&ty.to_ascii_lowercase())
+                {
                     ty.to_string()
                 } else {
                     format!("{attr} ({ty})")
@@ -289,9 +297,7 @@ mod tests {
                 .meta
                 .iter()
                 .zip(&table.columns)
-                .find(|(_, c)| {
-                    title_case(c).starts_with(name.split(" (").next().unwrap())
-                })
+                .find(|(_, c)| title_case(c).starts_with(name.split(" (").next().unwrap()))
                 .map(|(m, _)| m.depth)
         };
         let _ = depth_of; // depths checked structurally below
@@ -371,7 +377,10 @@ mod tests {
             "collapsed header expected, got {:?}",
             p.columns
         );
-        assert!(!p.columns.iter().any(|c| c.contains("publisher (Publisher)")));
+        assert!(!p
+            .columns
+            .iter()
+            .any(|c| c.contains("publisher (Publisher)")));
     }
 
     #[test]
@@ -383,7 +392,10 @@ mod tests {
             "Company".to_string(),
         ];
         dedupe_names(&mut names);
-        assert_eq!(names, ["Company (1)", "Revenue", "Company (2)", "Company (3)"]);
+        assert_eq!(
+            names,
+            ["Company (1)", "Revenue", "Company (2)", "Company (3)"]
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl std::fmt::Display for ParseError {
         match self {
             ParseError::Empty => write!(f, "empty query"),
             ParseError::UnknownWords(ws) => {
-                write!(f, "keywords not found in the knowledge base: {}", ws.join(", "))
+                write!(
+                    f,
+                    "keywords not found in the knowledge base: {}",
+                    ws.join(", ")
+                )
             }
         }
     }

@@ -92,8 +92,8 @@ pub fn relax(ctx: &QueryContext<'_>, query: &Query) -> Vec<Relaxation> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use patternkb_datagen::worstcase::{self, W1, W2};
     use patternkb_datagen::figure1;
+    use patternkb_datagen::worstcase::{self, W1, W2};
     use patternkb_index::{build_indexes, BuildConfig};
     use patternkb_text::{SynonymTable, TextIndex};
 

@@ -25,7 +25,11 @@ pub struct RankedPattern {
 impl RankedPattern {
     /// Height of the tree pattern — the max path-pattern height (§2.2.2).
     pub fn height(&self) -> usize {
-        self.pattern.iter().map(PathPattern::height).max().unwrap_or(0)
+        self.pattern
+            .iter()
+            .map(PathPattern::height)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Paper-style rendering, e.g.

@@ -63,7 +63,11 @@ impl ValidSubtree {
 
     /// All distinct nodes of the subtree.
     pub fn nodes(&self) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self.paths.iter().flat_map(|p| p.nodes.iter().copied()).collect();
+        let mut out: Vec<NodeId> = self
+            .paths
+            .iter()
+            .flat_map(|p| p.nodes.iter().copied())
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -155,7 +159,11 @@ mod tests {
     fn shared_prefixes_are_trees() {
         let t = ValidSubtree {
             root: NodeId(0),
-            paths: vec![path(&[0, 1, 2], false), path(&[0, 1, 3], false), path(&[0], false)],
+            paths: vec![
+                path(&[0, 1, 2], false),
+                path(&[0, 1, 3], false),
+                path(&[0], false),
+            ],
             score: 1.0,
         };
         assert!(t.is_tree());

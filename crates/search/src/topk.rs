@@ -57,7 +57,10 @@ impl SamplingConfig {
 
     /// Sample at threshold `lambda` with rate `rho`.
     pub fn new(lambda: u64, rho: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&rho) && rho > 0.0, "rho must be in (0,1]");
+        assert!(
+            (0.0..=1.0).contains(&rho) && rho > 0.0,
+            "rho must be in (0,1]"
+        );
         SamplingConfig { lambda, rho, seed }
     }
 }
@@ -136,7 +139,11 @@ pub fn linear_enum_topk(
                 let pattern_ids: Vec<PatternId> = key.iter().map(|&p| PatternId(p)).collect();
                 let (acc, trees) = exact_pattern_score(ctx, cfg, part, &pattern_ids);
                 subtrees_expanded += acc.count as usize;
-                (acc.finish(cfg.scoring.aggregation), acc.count as usize, trees)
+                (
+                    acc.finish(cfg.scoring.aggregation),
+                    acc.count as usize,
+                    trees,
+                )
             };
             if num_trees == 0 {
                 continue;
@@ -245,7 +252,11 @@ mod tests {
     #[test]
     fn exact_mode_matches_linear_enum() {
         let (g, t, idx) = setup();
-        for query in ["database software company revenue", "revenue", "database company"] {
+        for query in [
+            "database software company revenue",
+            "revenue",
+            "database company",
+        ] {
             let q = Query::parse(&t, query).unwrap();
             let ctx = QueryContext::new(&g, &idx, &q).unwrap();
             let cfg = SearchConfig::top(100);

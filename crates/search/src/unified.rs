@@ -76,7 +76,13 @@ pub fn unified_ranking(
     ucfg: &UnifiedConfig,
 ) -> Vec<UnifiedAnswer> {
     // Candidate patterns and candidate individual subtrees, both k-deep.
-    let patterns = linear_enum(ctx, &SearchConfig { k: ucfg.k, ..cfg.clone() });
+    let patterns = linear_enum(
+        ctx,
+        &SearchConfig {
+            k: ucfg.k,
+            ..cfg.clone()
+        },
+    );
     let trees: Vec<ScoredTree> = top_individual(ctx, cfg, ucfg.k);
 
     // Pattern keys present among the pattern answers (for absorption).

@@ -58,11 +58,11 @@ fn console_kb() -> patternkb::graph::KnowledgeGraph {
 }
 
 fn main() {
-    let engine = SearchEngine::build(
-        console_kb(),
-        SynonymTable::new(),
-        &BuildConfig { d: 3, threads: 1 },
-    );
+    let engine = EngineBuilder::new()
+        .graph(console_kb())
+        .threads(1)
+        .build()
+        .expect("a graph is configured");
     let query = engine.parse("xbox game").expect("keywords exist");
 
     // --- Figure 14: top individual valid subtrees ---
@@ -92,18 +92,20 @@ fn main() {
     }
 
     // --- Figure 15: the top-1 tree pattern is the game list ---
-    let result = engine.search(&query, &SearchConfig::top(3));
-    let top = result.top().expect("patterns exist");
+    let response = engine
+        .respond(&SearchRequest::text("xbox game").k(3))
+        .expect("keywords exist");
+    let top = response.top().expect("patterns exist");
     println!(
         "\nTop-1 tree pattern (Figure 15 analogue), {} rows:\n",
         top.num_trees
     );
-    println!("{}", engine.table(top).render());
+    println!("{}", response.top_table().expect("tables align").render());
 
     // The pattern aggregating the per-game subtrees should list many games,
     // which no single individual subtree can.
     assert!(
-        result.patterns.iter().any(|p| p.num_trees >= 6),
+        response.patterns.iter().any(|p| p.num_trees >= 6),
         "a pattern aggregating all games exists"
     );
 }

@@ -1,24 +1,25 @@
 //! A multi-threaded search service over a live knowledge base.
 //!
-//! Three query workers answer keyword queries non-stop while an ingest
-//! worker streams new facts in. [`SharedEngine`] gives every query an
-//! immutable snapshot (readers never block) and swaps in the post-delta
+//! Three query workers call [`SharedEngine::respond`] non-stop while an
+//! ingest worker streams new facts in. The shared handle gives every
+//! request an immutable snapshot (readers never block), serves repeats
+//! from its built-in version-aware cache, and swaps in the post-delta
 //! engine once the incremental index refresh finishes (writers never wait
-//! for readers). The cost-based planner picks the algorithm per query.
+//! for readers). The cost-based planner picks the algorithm per query —
+//! [`AlgorithmChoice::Auto`] is the request default.
 //!
 //! Run with: `cargo run --release --example concurrent_service`
 
 use patternkb::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-fn main() {
+fn main() -> Result<(), Error> {
     // Start from the paper's Figure-1 KB.
     let (graph, _) = patternkb::datagen::figure1();
-    let shared = SharedEngine::new(SearchEngine::build(
-        graph,
-        SynonymTable::new(),
-        &BuildConfig { d: 3, threads: 0 },
-    ));
+    let shared = EngineBuilder::new()
+        .graph(graph)
+        .cache_capacity(128)
+        .build_shared()?;
 
     const INGESTS: usize = 20;
     let stop = AtomicBool::new(false);
@@ -29,16 +30,12 @@ fn main() {
         // --- three query workers ---
         for _ in 0..3 {
             scope.spawn(|| {
-                let cfg = SearchConfig::top(5);
+                let req = SearchRequest::text("database software company revenue").k(5);
                 while !stop.load(Ordering::Relaxed) {
-                    let snap = shared.snapshot();
-                    let q = snap
-                        .parse("database software company revenue")
-                        .expect("keywords always present");
-                    let (result, _algo) = snap.search_auto(&q, &cfg);
-                    // Every snapshot is internally consistent: the Figure-3
-                    // table exists in all of them, growing as facts land.
-                    let rows = result.top().expect("pattern P1 always answers").num_trees;
+                    let response = shared.respond(&req).expect("keywords always present");
+                    // Every response is internally consistent: the Figure-3
+                    // table exists in all versions, growing as facts land.
+                    let rows = response.top().expect("pattern P1 always answers").num_trees;
                     assert!(rows >= 2, "never fewer rows than the base KB");
                     max_rows_seen.fetch_max(rows, Ordering::Relaxed);
                     queries_served.fetch_add(1, Ordering::Relaxed);
@@ -64,7 +61,8 @@ fn main() {
                 let md = d.add_node(model, "Relational database").unwrap();
                 d.add_edge(sw, dev, co).unwrap();
                 d.add_edge(sw, genre, md).unwrap();
-                d.add_text_edge(co, rev, &format!("US$ {i} billion")).unwrap();
+                d.add_text_edge(co, rev, &format!("US$ {i} billion"))
+                    .unwrap();
                 let stats = shared.apply_delta(&d, PagerankMode::Frozen).unwrap();
                 println!(
                     "ingest {i:>2}: {} affected roots, {} postings kept, {} added (version {})",
@@ -79,18 +77,26 @@ fn main() {
     });
 
     // Final state: base 2 rows + every ingested software/vendor pair.
-    let snap = shared.snapshot();
-    let q = snap.parse("database software company revenue").unwrap();
-    let r = snap.search(&q, &SearchConfig::top(5));
-    let final_rows = r.top().unwrap().num_trees;
+    let response =
+        shared.respond(&SearchRequest::text("database software company revenue").k(5))?;
+    let final_rows = response.top().unwrap().num_trees;
+    let cache = shared.cache_stats();
     println!(
         "\nserved {} queries across {} versions; Figure-3 table grew 2 → {} rows \
-         (max seen mid-flight: {})",
+         (max seen mid-flight: {}; cache: {} hits / {} misses / {} stale)",
         queries_served.load(Ordering::Relaxed),
         shared.version() + 1,
         final_rows,
         max_rows_seen.load(Ordering::Relaxed),
+        cache.hits,
+        cache.misses,
+        cache.stale_rejections,
     );
     assert_eq!(final_rows, 2 + INGESTS);
     assert_eq!(shared.version(), INGESTS as u64);
+    assert!(
+        cache.hits > 0,
+        "repeated requests must hit the built-in cache"
+    );
+    Ok(())
 }

@@ -31,12 +31,7 @@ fn main() {
         .filter(|&v| graph.node_type(v) == author_t)
         .max_by_key(|&v| graph.in_degree(v))
         .expect("authors exist");
-    let first_name = graph
-        .node_text(star)
-        .split(' ')
-        .next()
-        .unwrap()
-        .to_string();
+    let first_name = graph.node_text(star).split(' ').next().unwrap().to_string();
     println!(
         "Most prolific author: {} ({} papers)\n",
         graph.node_text(star),
@@ -45,28 +40,36 @@ fn main() {
 
     let query_text = format!("{first_name} paper venue");
     println!("Query: {query_text:?}");
-    println!("\n{:>3} {:>12} {:>12} {:>12}", "d", "#patterns", "#subtrees", "time (ms)");
+    println!(
+        "\n{:>3} {:>12} {:>12} {:>12}",
+        "d", "#patterns", "#subtrees", "time (ms)"
+    );
     for d in 2..=5 {
-        let engine = SearchEngine::build(
-            graph.clone(),
-            SynonymTable::new(),
-            &BuildConfig { d, threads: 0 },
-        );
-        let Ok(query) = engine.parse(&query_text) else {
-            println!("{d:>3} (query keywords unreachable at this d)");
-            continue;
+        let engine = EngineBuilder::new()
+            .graph(graph.clone())
+            .height(d)
+            .build()
+            .expect("d in range");
+        let request = SearchRequest::text(&query_text)
+            .k(10)
+            .algorithm(AlgorithmChoice::PatternEnum);
+        let r = match engine.respond(&request) {
+            Ok(r) => r,
+            Err(Error::UnknownWords(_)) => {
+                println!("{d:>3} (query keywords unreachable at this d)");
+                continue;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
         };
-        let n_patterns = engine.count_patterns(&query);
-        let n_subtrees = engine.count_subtrees(&query);
-        let r = engine.search(&query, &SearchConfig::top(10));
+        let n_patterns = engine.count_patterns(&r.query);
+        let n_subtrees = engine.count_subtrees(&r.query);
         println!(
             "{d:>3} {n_patterns:>12} {n_subtrees:>12} {:>12.2}",
             r.stats.elapsed.as_secs_f64() * 1e3
         );
         if d == 3 {
-            if let Some(top) = r.top() {
+            if let (Some(top), Some(table)) = (r.top(), r.top_table()) {
                 println!("\nTop answer at d = 3 ({} rows):", top.num_trees);
-                let table = engine.table(top);
                 let preview = table.truncate_rows(6);
                 println!("{}\n", preview.render());
             }

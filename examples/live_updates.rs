@@ -1,55 +1,63 @@
 //! Operating a pattern-search service on a **live** knowledge base:
-//! batched graph mutation, incremental index refresh, a version-aware
-//! result cache, and user-facing table presentation.
+//! batched graph mutation, incremental index refresh, the serving
+//! handle's built-in version-aware cache, and user-facing table
+//! presentation — all through `respond`.
 //!
 //! The paper evaluates a static snapshot (index build = 502 s at d = 3 on
 //! Wiki, Figure 6). A deployed service cannot rebuild per ingested fact;
 //! this example walks the maintenance path the library provides:
 //!
-//! 1. serve a query (cache miss → computed, cached);
-//! 2. serve it again (cache hit, zero work);
+//! 1. serve a request (cache miss → computed, cached);
+//! 2. serve it again (cache hit, zero search work);
 //! 3. ingest a new entity with `GraphDelta` → `apply_delta` (incremental
 //!    index refresh — only roots near the change are re-enumerated);
-//! 4. serve the query again: the cache detects the version bump, the new
-//!    row appears;
-//! 5. render the answer as Markdown and CSV with friendly column names.
+//! 4. serve the request again: the cache detects the version bump, the
+//!    new row appears;
+//! 5. the same request renders Markdown/CSV with friendly column names
+//!    via its presentation options.
 //!
 //! Run with: `cargo run --example live_updates`
 
-use patternkb::graph::mutate::{GraphDelta, PagerankMode};
 use patternkb::prelude::*;
-use patternkb::search::cache::QueryCache;
-use patternkb::search::presentation::{present, ColumnOrder, PresentationConfig};
 
-fn main() {
+fn main() -> Result<(), Error> {
     // --- build the initial service state -------------------------------
     let (graph, _) = patternkb::datagen::figure1();
-    let mut engine = SearchEngine::build(
-        graph,
-        SynonymTable::new(),
-        &BuildConfig { d: 3, threads: 1 },
-    );
-    let cache = QueryCache::new(64);
-    let cfg = SearchConfig::top(5);
+    let service = EngineBuilder::new()
+        .graph(graph)
+        .threads(1)
+        .cache_capacity(64)
+        .build_shared()?;
+    let request = SearchRequest::text("database software company revenue")
+        .k(5)
+        .algorithm(AlgorithmChoice::PatternEnumPruned)
+        .presentation(PresentationConfig {
+            order: ColumnOrder::EntitiesFirst,
+            ..PresentationConfig::default()
+        });
 
     // --- 1. first request: miss, computed ------------------------------
-    let q = engine.parse("database software company revenue").unwrap();
-    let r1 = cache.get_or_compute(&engine, &q, &cfg, Algorithm::PatternEnumPruned);
+    let r1 = service.respond(&request)?;
+    assert_eq!(r1.cache, CacheOutcome::Miss);
     println!(
         "request 1: {} patterns, top table has {} rows   (cache: {:?})",
         r1.patterns.len(),
         r1.top().unwrap().num_trees,
-        cache.stats()
+        service.cache_stats()
     );
 
     // --- 2. repeat request: pure cache hit -----------------------------
-    let r2 = cache.get_or_compute(&engine, &q, &cfg, Algorithm::PatternEnumPruned);
-    assert!(std::sync::Arc::ptr_eq(&r1, &r2));
-    println!("request 2: served from cache          (cache: {:?})", cache.stats());
+    let r2 = service.respond(&request)?;
+    assert_eq!(r2.cache, CacheOutcome::Hit);
+    println!(
+        "request 2: served from cache          (cache: {:?})",
+        service.cache_stats()
+    );
 
     // --- 3. ingest a new fact batch -------------------------------------
     // "IBM develops DB2, a relational database, revenue US$ 57 billion."
-    let g = engine.graph();
+    let snap = service.snapshot();
+    let g = snap.graph();
     let soft = g.type_by_text("Software").unwrap();
     let comp = g.type_by_text("Company").unwrap();
     let model = g.type_by_text("Model").unwrap();
@@ -64,7 +72,7 @@ fn main() {
     delta.add_edge(db2, genre, rdb).unwrap();
     delta.add_text_edge(ibm, rev, "US$ 57 billion").unwrap();
 
-    let stats = engine.apply_delta(&delta, PagerankMode::Recompute).unwrap();
+    let stats = service.apply_delta(&delta, PagerankMode::Recompute)?;
     println!(
         "\ningest: +{} nodes, +{} edges  →  {} affected roots, {} postings kept, {} re-enumerated",
         delta.num_new_nodes(),
@@ -75,29 +83,23 @@ fn main() {
     );
 
     // --- 4. same request: stale entry rejected, fresh row appears ------
-    let q = engine.parse("database software company revenue").unwrap();
-    let r3 = cache.get_or_compute(&engine, &q, &cfg, Algorithm::PatternEnumPruned);
+    let r3 = service.respond(&request)?;
+    assert_eq!(r3.cache, CacheOutcome::Miss, "version bump invalidates");
     println!(
         "request 3: top table now has {} rows   (cache: {:?})",
         r3.top().unwrap().num_trees,
-        cache.stats()
+        service.cache_stats()
     );
     assert_eq!(r3.top().unwrap().num_trees, r1.top().unwrap().num_trees + 1);
+    assert_eq!(service.cache_stats().stale_rejections, 1);
 
-    // --- 5. presentation -------------------------------------------------
-    let table = engine.table(r3.top().unwrap());
-    let pres = present(
-        engine.graph(),
-        &table,
-        &PresentationConfig {
-            order: ColumnOrder::EntitiesFirst,
-            ..PresentationConfig::default()
-        },
-    );
+    // --- 5. presentation came with the response -------------------------
+    let pres = &r3.presented.as_ref().expect("requested presentation")[0];
     println!("\nMarkdown:\n{}", pres.to_markdown());
     println!("CSV:\n{}", pres.to_csv());
 
     assert!(pres.to_markdown().contains("DB2"));
     assert!(pres.to_csv().contains("US$ 57 billion"));
     println!("live-update pipeline verified: ingest → refresh → invalidate → present");
+    Ok(())
 }

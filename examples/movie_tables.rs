@@ -38,21 +38,30 @@ fn main() {
 
     // IMDB's schema caps directed paths at 3 nodes, so d = 3 saturates
     // (paper §5.1: "the max length of directed paths is three").
-    let engine = SearchEngine::build(graph, SynonymTable::new(), &BuildConfig { d: 3, threads: 0 });
+    let engine = EngineBuilder::new()
+        .graph(graph)
+        .height(3)
+        .build()
+        .expect("a graph is configured");
 
     // "«star» movie genre" — like "Mel Gibson movies" plus a genre column.
     let query_text = format!("{first_name} movie genre");
     println!("\nQuery: {query_text:?}\n");
-    let query = engine.parse(&query_text).expect("keywords exist");
-    let result = engine.search(&query, &SearchConfig::top(3));
+    let response = engine
+        .respond(
+            &SearchRequest::text(&query_text)
+                .k(3)
+                .algorithm(AlgorithmChoice::PatternEnum),
+        )
+        .expect("keywords exist");
 
     println!(
         "{} tree patterns from {} subtrees ({} ms)\n",
-        result.stats.patterns,
-        result.stats.subtrees,
-        result.stats.elapsed.as_millis()
+        response.stats.patterns,
+        response.stats.subtrees,
+        response.stats.elapsed.as_millis()
     );
-    for (rank, pattern) in result.patterns.iter().enumerate() {
+    for (rank, (pattern, table)) in response.patterns.iter().zip(&response.tables).enumerate() {
         println!(
             "#{} score={:.5} rows={} pattern: {}",
             rank + 1,
@@ -60,14 +69,13 @@ fn main() {
             pattern.num_trees,
             pattern.display(engine.graph())
         );
-        let table = engine.table(pattern);
         // Print at most 8 rows for readability.
         let preview = table.truncate_rows(8);
         println!("{}\n", preview.render());
     }
 
     assert!(
-        !result.patterns.is_empty(),
+        !response.is_empty(),
         "the star's movies must produce at least one table answer"
     );
 }

@@ -20,11 +20,11 @@ fn main() -> std::io::Result<()> {
     // --- build and persist ---
     let graph = wiki::wiki(&WikiConfig::tiny(21));
     let t0 = Instant::now();
-    let engine = SearchEngine::build(
-        graph.clone(),
-        SynonymTable::new(),
-        &BuildConfig { d: 3, threads: 0 },
-    );
+    let engine = EngineBuilder::new()
+        .graph(graph.clone())
+        .height(3)
+        .build()
+        .expect("a graph is configured");
     let build_time = t0.elapsed();
     let graph_path = dir.join("kb.pkbg");
     let index_path = dir.join("kb.pkbi");
@@ -40,23 +40,32 @@ fn main() -> std::io::Result<()> {
     // --- reload ---
     let t0 = Instant::now();
     let reloaded_graph = graph_snapshot::load(&graph_path)?;
-    let reloaded = SearchEngine::load_index(reloaded_graph, SynonymTable::new(), &index_path)?;
-    println!("reloaded in {:.1} ms (no DFS re-enumeration)", t0.elapsed().as_secs_f64() * 1e3);
+    let reloaded = EngineBuilder::new()
+        .graph(reloaded_graph)
+        .index_snapshot(&index_path)
+        .build()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    println!(
+        "reloaded in {:.1} ms (no DFS re-enumeration)",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     // --- identical answers ---
-    let mut qgen = patternkb::datagen::queries::QueryGenerator::new(
-        engine.graph(),
-        engine.text(),
-        3,
-        9,
-    );
+    let mut qgen =
+        patternkb::datagen::queries::QueryGenerator::new(engine.graph(), engine.text(), 3, 9);
     let mut checked = 0;
     for _ in 0..10 {
-        let Some(spec) = qgen.anchored(2) else { continue };
-        let q1 = Query::from_ids(spec.keywords.clone());
-        let q2 = reloaded.parse(&spec.surface.join(" ")).expect("same vocabulary");
-        let a = engine.search(&q1, &SearchConfig::top(10));
-        let b = reloaded.search(&q2, &SearchConfig::top(10));
+        let Some(spec) = qgen.anchored(2) else {
+            continue;
+        };
+        let req1 = SearchRequest::query(Query::from_ids(spec.keywords.clone()))
+            .k(10)
+            .algorithm(AlgorithmChoice::PatternEnum);
+        let req2 = SearchRequest::text(spec.surface.join(" "))
+            .k(10)
+            .algorithm(AlgorithmChoice::PatternEnum);
+        let a = engine.respond(&req1).expect("ids from this engine");
+        let b = reloaded.respond(&req2).expect("same vocabulary");
         assert_eq!(a.patterns.len(), b.patterns.len());
         for (x, y) in a.patterns.iter().zip(&b.patterns) {
             assert!((x.score - y.score).abs() < 1e-9);
@@ -79,12 +88,16 @@ ms\tRevenue\ttext\tUS$ 77 billion
 oc\tRevenue\ttext\tUS$ 37 billion
 ";
     let custom = import::from_tsv(nodes_tsv, edges_tsv).expect("valid TSV");
-    let custom_engine =
-        SearchEngine::build(custom, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 });
-    let q = custom_engine.parse("software company revenue").unwrap();
-    let r = custom_engine.search(&q, &SearchConfig::top(1));
+    let custom_engine = EngineBuilder::new()
+        .graph(custom)
+        .threads(1)
+        .build()
+        .expect("a graph is configured");
+    let r = custom_engine
+        .respond(&SearchRequest::text("software company revenue").k(1))
+        .expect("keywords exist");
     println!("\nTSV-imported KB answers \"software company revenue\":");
-    println!("{}", custom_engine.table(r.top().unwrap()).render());
+    println!("{}", r.top_table().unwrap().render());
 
     std::fs::remove_file(&graph_path).ok();
     std::fs::remove_file(&index_path).ok();

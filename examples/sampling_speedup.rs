@@ -28,7 +28,11 @@ fn main() {
         graph.num_nodes(),
         graph.num_edges()
     );
-    let engine = SearchEngine::build(graph, SynonymTable::new(), &BuildConfig { d: 3, threads: 0 });
+    let engine = EngineBuilder::new()
+        .graph(graph)
+        .height(3)
+        .build()
+        .expect("a graph is configured");
 
     // Find a heavy query: many valid subtrees (like §5.2's query 1–3).
     let mut qgen = QueryGenerator::new(engine.graph(), engine.text(), 3, 5);
@@ -46,23 +50,28 @@ fn main() {
     println!("Heaviest sampled query has {n_subtrees} valid subtrees\n");
 
     let k = 10;
-    let cfg = SearchConfig::top(k);
+    let base = SearchRequest::query(query)
+        .k(k)
+        .algorithm(AlgorithmChoice::LinearEnumTopK);
 
     // Exact reference.
     let t0 = Instant::now();
-    let exact = engine.search_with(&query, &cfg, Algorithm::LinearEnumTopK(SamplingConfig::exact()));
+    let exact = engine
+        .respond(&base.clone().sampling(SamplingConfig::exact()))
+        .expect("pre-parsed query");
     let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
     let exact_keys: Vec<Vec<u32>> = exact.patterns.iter().map(|p| p.key()).collect();
-    println!("exact LETopK: {exact_ms:8.2} ms, {} patterns", exact.patterns.len());
+    println!(
+        "exact LETopK: {exact_ms:8.2} ms, {} patterns",
+        exact.patterns.len()
+    );
 
     println!("\n{:>6}  {:>10}  {:>9}", "rho", "time (ms)", "precision");
     for rho in [1.0, 0.5, 0.2, 0.1, 0.05] {
         let t0 = Instant::now();
-        let approx = engine.search_with(
-            &query,
-            &cfg,
-            Algorithm::LinearEnumTopK(SamplingConfig::new(0, rho, 99)),
-        );
+        let approx = engine
+            .respond(&base.clone().sampling(SamplingConfig::new(0, rho, 99)))
+            .expect("pre-parsed query");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let hits = approx
             .patterns

@@ -21,6 +21,10 @@
 //! :stats           dataset and index statistics
 //! :quit
 //! ```
+//!
+//! Every query is one [`SearchRequest`] answered by
+//! [`SearchEngine::respond`]; parse failures come back as typed errors
+//! with "did you mean" suggestions.
 
 use patternkb::graph::{snapshot, GraphStats, KnowledgeGraph};
 use patternkb::prelude::*;
@@ -41,11 +45,18 @@ fn main() {
     eprintln!("[{label}] {}", GraphStats::of(&graph));
     eprintln!("building indexes (d = {d}) …");
     let t0 = std::time::Instant::now();
-    let engine = SearchEngine::build(
-        graph,
-        SynonymTable::default_english(),
-        &BuildConfig { d, threads: 0 },
-    );
+    let engine = match EngineBuilder::new()
+        .graph(graph)
+        .synonyms(SynonymTable::default_english())
+        .height(d)
+        .build()
+    {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("cannot build engine: {e}");
+            std::process::exit(2);
+        }
+    };
     eprintln!(
         "indexes ready in {:.2}s: {:?}",
         t0.elapsed().as_secs_f64(),
@@ -58,21 +69,11 @@ fn main() {
 struct Session {
     k: usize,
     rows: usize,
-    algo: AlgoChoice,
+    algo: AlgorithmChoice,
     rho: f64,
     lambda: u64,
     /// MMR diversification trade-off; `None` = off.
     mmr: Option<f64>,
-}
-
-#[derive(Clone, Copy, PartialEq, Debug)]
-enum AlgoChoice {
-    Pe,
-    PePruned,
-    Le,
-    TopK,
-    Baseline,
-    Auto,
 }
 
 impl Default for Session {
@@ -80,7 +81,7 @@ impl Default for Session {
         Session {
             k: 5,
             rows: 8,
-            algo: AlgoChoice::Pe,
+            algo: AlgorithmChoice::PatternEnum,
             rho: 0.1,
             lambda: 100_000,
             mmr: None,
@@ -89,19 +90,18 @@ impl Default for Session {
 }
 
 impl Session {
-    fn algorithm(&self) -> Option<Algorithm> {
-        match self.algo {
-            AlgoChoice::Pe => Some(Algorithm::PatternEnum),
-            AlgoChoice::PePruned => Some(Algorithm::PatternEnumPruned),
-            AlgoChoice::Le => Some(Algorithm::LinearEnum),
-            AlgoChoice::TopK => Some(Algorithm::LinearEnumTopK(SamplingConfig::new(
-                self.lambda,
-                self.rho,
-                42,
-            ))),
-            AlgoChoice::Baseline => Some(Algorithm::Baseline),
-            AlgoChoice::Auto => None, // planner decides per query
+    /// The request this session sends for `line`.
+    fn request(&self, line: &str) -> SearchRequest {
+        let mut req = SearchRequest::text(line)
+            .k(self.k)
+            .algorithm(self.algo)
+            .sampling(SamplingConfig::new(self.lambda, self.rho, 42))
+            .max_rows(self.rows.max(1))
+            .relax(true);
+        if let Some(lambda) = self.mmr {
+            req = req.diversify(lambda);
         }
+        req
     }
 }
 
@@ -152,12 +152,12 @@ fn apply_command(session: &mut Session, line: &str) -> CommandResult {
         },
         (":algo", Some(v)) => {
             let algo = match v {
-                "pe" => AlgoChoice::Pe,
-                "pruned" => AlgoChoice::PePruned,
-                "le" => AlgoChoice::Le,
-                "topk" => AlgoChoice::TopK,
-                "baseline" => AlgoChoice::Baseline,
-                "auto" => AlgoChoice::Auto,
+                "pe" => AlgorithmChoice::PatternEnum,
+                "pruned" => AlgorithmChoice::PatternEnumPruned,
+                "le" => AlgorithmChoice::LinearEnum,
+                "topk" => AlgorithmChoice::LinearEnumTopK,
+                "baseline" => AlgorithmChoice::Baseline,
+                "auto" => AlgorithmChoice::Auto,
                 _ => {
                     return CommandResult::Error(
                         "algo must be pe|pruned|le|topk|baseline|auto".into(),
@@ -190,7 +190,7 @@ fn apply_command(session: &mut Session, line: &str) -> CommandResult {
 
 fn repl(engine: &SearchEngine) {
     let mut session = Session::default();
-    let mut last: Option<(Query, SearchResult)> = None;
+    let mut last: Option<SearchResponse> = None;
     let stdin = std::io::stdin();
     loop {
         print!("patternkb> ");
@@ -215,19 +215,23 @@ fn repl(engine: &SearchEngine) {
                     println!("index: {:?}", engine.index());
                 }
                 CommandResult::Explain(i) => match &last {
-                    Some((q, r)) => match r.patterns.get(i) {
+                    Some(resp) => match resp.patterns.get(i) {
                         Some(p) => {
-                            let keywords: Vec<&str> = q
+                            let keywords: Vec<&str> = resp
+                                .query
                                 .keywords
                                 .iter()
                                 .map(|&w| engine.text().vocab().resolve(w))
                                 .collect();
                             println!("{}", explain::explain_score(p));
                             if let Some(tree) = p.trees.first() {
-                                println!("{}", explain::explain_tree(engine.graph(), tree, &keywords));
+                                println!(
+                                    "{}",
+                                    explain::explain_tree(engine.graph(), tree, &keywords)
+                                );
                             }
                         }
-                        None => println!("error: last query had {} answers", r.patterns.len()),
+                        None => println!("error: last query had {} answers", resp.patterns.len()),
                     },
                     None => println!("error: run a query first"),
                 },
@@ -235,12 +239,12 @@ fn repl(engine: &SearchEngine) {
             continue;
         }
 
-        // A keyword query.
-        let query = match engine.parse(line) {
-            Ok(q) => q,
+        // A keyword query: one request, one response.
+        let response = match engine.respond(&session.request(line)) {
+            Ok(response) => response,
             Err(e) => {
                 println!("error: {e}");
-                if let patternkb::search::ParseError::UnknownWords(ref ws) = e {
+                if let Error::UnknownWords(ref ws) = e {
                     for w in ws {
                         let hints = patternkb::text::suggest::suggest(engine.text().vocab(), w);
                         if !hints.is_empty() {
@@ -253,53 +257,32 @@ fn repl(engine: &SearchEngine) {
                 continue;
             }
         };
-        let cfg = SearchConfig {
-            max_rows: session.rows.max(1),
-            ..SearchConfig::top(session.k)
-        };
-        let mut result = match session.algorithm() {
-            Some(algo) => engine.search_with(&query, &cfg, algo),
-            None => {
-                let (result, chosen) = engine.search_auto(&query, &cfg);
-                println!("(planner chose {chosen:?})");
-                result
-            }
-        };
-        if let Some(lambda) = session.mmr {
-            result.patterns = patternkb::search::diversify::diversify(
-                &result.patterns,
-                &patternkb::search::diversify::DiversifyConfig {
-                    lambda,
-                    k: session.k,
-                },
-            );
+        if session.algo == AlgorithmChoice::Auto {
+            println!("(planner chose {:?})", response.algorithm);
         }
-        if result.patterns.is_empty() {
-            let relaxations = engine.relax(&query);
-            if !relaxations.is_empty() {
-                println!("no answers; try dropping keywords:");
-                for r in relaxations.iter().take(3) {
-                    let kept: Vec<&str> = r
-                        .keywords
-                        .iter()
-                        .map(|&w| engine.text().vocab().resolve(w))
-                        .collect();
-                    println!(
-                        "  {:?} ({} candidate roots)",
-                        kept.join(" "),
-                        r.candidate_roots
-                    );
-                }
+        if response.is_empty() && !response.relaxations.is_empty() {
+            println!("no answers; try dropping keywords:");
+            for r in response.relaxations.iter().take(3) {
+                let kept: Vec<&str> = r
+                    .keywords
+                    .iter()
+                    .map(|&w| engine.text().vocab().resolve(w))
+                    .collect();
+                println!(
+                    "  {:?} ({} candidate roots)",
+                    kept.join(" "),
+                    r.candidate_roots
+                );
             }
         }
         println!(
             "{} pattern(s) from {} subtree(s), {} candidate roots, {:.2} ms",
-            result.patterns.len(),
-            result.stats.subtrees,
-            result.stats.candidate_roots,
-            result.stats.elapsed.as_secs_f64() * 1e3
+            response.patterns.len(),
+            response.stats.subtrees,
+            response.stats.candidate_roots,
+            response.stats.elapsed.as_secs_f64() * 1e3
         );
-        for (rank, p) in result.patterns.iter().enumerate() {
+        for (rank, (p, table)) in response.patterns.iter().zip(&response.tables).enumerate() {
             println!(
                 "\n#{} score={:.5} rows={}  {}",
                 rank + 1,
@@ -307,11 +290,10 @@ fn repl(engine: &SearchEngine) {
                 p.num_trees,
                 p.display(engine.graph())
             );
-            let table = engine.table(p);
             let preview = table.truncate_rows(session.rows);
             println!("{}", preview.render());
         }
-        last = Some((query, result));
+        last = Some(response);
     }
 }
 
@@ -373,7 +355,7 @@ mod tests {
             apply_command(&mut s, ":algo topk"),
             CommandResult::Applied(_)
         ));
-        assert_eq!(s.algo, AlgoChoice::TopK);
+        assert_eq!(s.algo, AlgorithmChoice::LinearEnumTopK);
         assert!(matches!(
             apply_command(&mut s, ":rho 0.25"),
             CommandResult::Applied(_)
@@ -382,7 +364,23 @@ mod tests {
             apply_command(&mut s, ":lambda 500"),
             CommandResult::Applied(_)
         ));
-        assert!(matches!(apply_command(&mut s, ":quit"), CommandResult::Quit));
+        assert!(matches!(
+            apply_command(&mut s, ":quit"),
+            CommandResult::Quit
+        ));
+    }
+
+    #[test]
+    fn session_builds_requests() {
+        let mut s = Session::default();
+        apply_command(&mut s, ":k 3");
+        apply_command(&mut s, ":algo auto");
+        apply_command(&mut s, ":mmr 0.5");
+        let req = s.request("database company");
+        assert_eq!(req.k, 3);
+        assert_eq!(req.algorithm, AlgorithmChoice::Auto);
+        assert_eq!(req.diversify, Some(0.5));
+        assert!(req.relax);
     }
 
     #[test]

@@ -5,6 +5,17 @@
 //! reproducing *"Finding Patterns in a Knowledge Base using Keywords to
 //! Compose Table Answers"* (VLDB 2014).
 //!
+//! The public surface is a request/response API around three types plus
+//! one serving handle:
+//!
+//! * [`EngineBuilder`](prelude::EngineBuilder) — fluent construction;
+//! * [`SearchRequest`](prelude::SearchRequest) — what to search for and
+//!   every knob, all defaultable;
+//! * [`SearchResponse`](prelude::SearchResponse) — ranked patterns, table
+//!   answers, the chosen algorithm, stats;
+//! * [`SharedEngine`](prelude::SharedEngine) — the concurrent serving
+//!   handle with the version-aware result cache built in.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -12,13 +23,56 @@
 //!
 //! // The paper's Figure-1 running example.
 //! let (graph, _) = patternkb::datagen::figure1();
-//! let engine = SearchEngine::build(graph, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 });
-//! let query = engine.parse("database software company revenue").unwrap();
-//! let result = engine.search(&query, &SearchConfig::top(10));
-//! let top = result.top().unwrap();
+//! let engine = EngineBuilder::new().graph(graph).height(3).build()?;
+//! let response = engine.respond(
+//!     &SearchRequest::text("database software company revenue").k(10),
+//! )?;
+//! let top = response.top().unwrap();
 //! assert_eq!(top.num_trees, 2); // SQL Server and Oracle DB rows
-//! println!("{}", engine.table(top).render());
+//! println!("{}", response.top_table().unwrap().render());
+//! # Ok::<(), patternkb::search::Error>(())
 //! ```
+//!
+//! Serving with live updates goes through the shared handle — same entry
+//! point, plus snapshot-swap ingest and response caching:
+//!
+//! ```
+//! use patternkb::prelude::*;
+//!
+//! let (graph, _) = patternkb::datagen::figure1();
+//! let service = EngineBuilder::new()
+//!     .graph(graph)
+//!     .cache_capacity(512)
+//!     .build_shared()?;
+//! let req = SearchRequest::text("database company");
+//! assert_eq!(service.respond(&req)?.cache, CacheOutcome::Miss);
+//! assert_eq!(service.respond(&req)?.cache, CacheOutcome::Hit);
+//! # Ok::<(), patternkb::search::Error>(())
+//! ```
+//!
+//! ## Migrating from the pre-0.2 facade
+//!
+//! The old `search_*` methods remain one release as deprecated shims.
+//!
+//! | pre-0.2 call | request/response API |
+//! |---|---|
+//! | `SearchEngine::build(g, syn, &BuildConfig { d, threads })` | `EngineBuilder::new().graph(g).synonyms(syn).height(d).threads(t).build()?` |
+//! | `SearchEngine::build_with_stemmer(g, syn, stemmer, cfg)` | `EngineBuilder::new().graph(g).synonyms(syn).stemmer(stemmer)….build()?` |
+//! | `SearchEngine::load_index(g, syn, path)` | `EngineBuilder::new().graph(g).synonyms(syn).index_snapshot(path).build()?` |
+//! | `engine.parse(text)?` + `engine.search(&q, &cfg)` | `engine.respond(&SearchRequest::text(text).k(k))?` |
+//! | `engine.search_with(&q, &cfg, algo)` | `SearchRequest::…​.algorithm(AlgorithmChoice::…)` |
+//! | `engine.search_with(&q, &cfg, LinearEnumTopK(samp))` | `SearchRequest::…​.algorithm(AlgorithmChoice::LinearEnumTopK).sampling(samp)` |
+//! | `engine.search_auto(&q, &cfg)` → `(result, algo)` | default `AlgorithmChoice::Auto`; the response carries `.algorithm` and `.planned` |
+//! | `engine.search_auto_with(&q, &cfg, &planner)` | `SearchRequest::…​.planner(planner)` |
+//! | `engine.search_batch(&queries, &cfg, algo, threads)` | `engine.respond_batch(&requests, threads)` |
+//! | `SearchConfig { k, scoring, strict_trees, max_rows }` | `SearchRequest` fields `.k` / `.scoring` / `.strict_trees` / `.max_rows` |
+//! | `diversify(&result.patterns, &DiversifyConfig { lambda, k })` | `SearchRequest::…​.diversify(lambda)` |
+//! | `engine.relax(&q)` on empty results | `SearchRequest::…​.relax(true)` → `response.relaxations` |
+//! | `engine.table(&pattern)` per pattern | `response.tables` (aligned with `response.patterns`) |
+//! | `present(g, &table, &pcfg)` per table | `SearchRequest::…​.presentation(pcfg)` → `response.presented` |
+//! | `QueryCache::new(cap)` + `cache.get_or_compute(…)` | `EngineBuilder::…​.cache_capacity(cap).build_shared()?` + `shared.respond(&req)?` |
+//! | `SharedEngine::new(engine)` + manual snapshot/search | `shared.respond(&req)?` (snapshots still available via `shared.snapshot()`) |
+//! | panics on bad input | `Result<SearchResponse, patternkb::search::Error>` (`EmptyQuery`, `UnknownWords`, `InvalidRequest`, `Planner`, `Delta`, `Io`) |
 
 pub use patternkb_datagen as datagen;
 pub use patternkb_graph as graph;
@@ -36,7 +90,8 @@ pub mod prelude {
     pub use patternkb_search::presentation::{present, ColumnOrder, PresentationConfig};
     pub use patternkb_search::topk::SamplingConfig;
     pub use patternkb_search::{
-        Algorithm, Query, SearchConfig, SearchEngine, SearchResult, TableAnswer,
+        Algorithm, AlgorithmChoice, CacheOutcome, EngineBuilder, Error, Query, SearchConfig,
+        SearchEngine, SearchRequest, SearchResponse, SearchResult, TableAnswer,
     };
     pub use patternkb_text::{Stemmer, SynonymTable};
 }

@@ -1,25 +1,35 @@
 //! Cross-crate property: all four algorithms agree on random synthetic
 //! knowledge bases — the paper's correctness claims (Theorems 3 and 4)
-//! checked end to end.
+//! checked end to end through the request/response API.
 
 use patternkb::datagen::queries::QueryGenerator;
 use patternkb::datagen::{imdb, wiki, ImdbConfig, WikiConfig};
 use patternkb::prelude::*;
 
+fn engine(g: KnowledgeGraph, d: usize) -> SearchEngine {
+    EngineBuilder::new().graph(g).height(d).build().unwrap()
+}
+
+fn run(e: &SearchEngine, q: &Query, k: usize, algo: AlgorithmChoice) -> SearchResponse {
+    e.respond(
+        &SearchRequest::query(q.clone())
+            .k(k)
+            .max_rows(4)
+            .algorithm(algo),
+    )
+    .unwrap()
+}
+
 fn check_agreement(engine: &SearchEngine, queries: &[Query]) {
-    let cfg = SearchConfig {
-        max_rows: 4,
-        ..SearchConfig::top(1_000)
-    };
     for q in queries {
-        let reference = engine.search_with(q, &cfg, Algorithm::LinearEnum);
+        let reference = run(engine, q, 1_000, AlgorithmChoice::LinearEnum);
         for algo in [
-            Algorithm::Baseline,
-            Algorithm::PatternEnum,
-            Algorithm::PatternEnumPruned,
-            Algorithm::LinearEnumTopK(SamplingConfig::exact()),
+            AlgorithmChoice::Baseline,
+            AlgorithmChoice::PatternEnum,
+            AlgorithmChoice::PatternEnumPruned,
+            AlgorithmChoice::LinearEnumTopK,
         ] {
-            let other = engine.search_with(q, &cfg, algo);
+            let other = run(engine, q, 1_000, algo);
             assert_eq!(
                 reference.patterns.len(),
                 other.patterns.len(),
@@ -46,63 +56,64 @@ fn check_agreement(engine: &SearchEngine, queries: &[Query]) {
 #[test]
 fn agreement_on_wiki_like_kb() {
     for seed in [1u64, 2] {
-        let g = wiki::wiki(&WikiConfig::tiny(seed));
-        let engine = SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 0 });
-        let mut qg = QueryGenerator::new(engine.graph(), engine.text(), 3, seed);
+        let e = engine(wiki::wiki(&WikiConfig::tiny(seed)), 3);
+        let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, seed);
         let queries: Vec<Query> = (0..10)
             .filter_map(|i| qg.anchored(1 + (i % 4)))
             .map(|s| Query::from_ids(s.keywords))
             .collect();
         assert!(!queries.is_empty());
-        check_agreement(&engine, &queries);
+        check_agreement(&e, &queries);
     }
 }
 
 #[test]
 fn agreement_on_imdb_like_kb() {
-    let g = imdb::imdb(&ImdbConfig::tiny(3));
-    let engine = SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 0 });
-    let mut qg = QueryGenerator::new(engine.graph(), engine.text(), 3, 5);
+    let e = engine(imdb::imdb(&ImdbConfig::tiny(3)), 3);
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 5);
     let queries: Vec<Query> = (0..8)
         .filter_map(|i| qg.anchored(1 + (i % 3)))
         .map(|s| Query::from_ids(s.keywords))
         .collect();
     assert!(!queries.is_empty());
-    check_agreement(&engine, &queries);
+    check_agreement(&e, &queries);
 }
 
 #[test]
 fn agreement_at_different_heights() {
     let g = wiki::wiki(&WikiConfig::tiny(7));
     for d in [2usize, 4] {
-        let engine =
-            SearchEngine::build(g.clone(), SynonymTable::new(), &BuildConfig { d, threads: 0 });
-        let mut qg = QueryGenerator::new(engine.graph(), engine.text(), d, 11);
+        let e = engine(g.clone(), d);
+        let mut qg = QueryGenerator::new(e.graph(), e.text(), d, 11);
         let queries: Vec<Query> = (0..6)
             .filter_map(|_| qg.anchored(2))
             .map(|s| Query::from_ids(s.keywords))
             .collect();
-        check_agreement(&engine, &queries);
+        check_agreement(&e, &queries);
     }
 }
 
 #[test]
 fn strict_mode_agreement_across_algorithms() {
     // Strict tree filtering must be applied identically by every algorithm.
-    let g = wiki::wiki(&WikiConfig::tiny(13));
-    let engine = SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 0 });
-    let mut qg = QueryGenerator::new(engine.graph(), engine.text(), 3, 17);
-    let cfg = SearchConfig {
-        strict_trees: true,
-        max_rows: 4,
-        ..SearchConfig::top(1_000)
+    let e = engine(wiki::wiki(&WikiConfig::tiny(13)), 3);
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 17);
+    let strict = |q: &Query, algo: AlgorithmChoice| {
+        e.respond(
+            &SearchRequest::query(q.clone())
+                .k(1_000)
+                .max_rows(4)
+                .strict_trees(true)
+                .algorithm(algo),
+        )
+        .unwrap()
     };
     for _ in 0..6 {
         let Some(spec) = qg.anchored(3) else { continue };
         let q = Query::from_ids(spec.keywords);
-        let reference = engine.search_with(&q, &cfg, Algorithm::LinearEnum);
-        for algo in [Algorithm::Baseline, Algorithm::PatternEnum] {
-            let other = engine.search_with(&q, &cfg, algo);
+        let reference = strict(&q, AlgorithmChoice::LinearEnum);
+        for algo in [AlgorithmChoice::Baseline, AlgorithmChoice::PatternEnum] {
+            let other = strict(&q, algo);
             assert_eq!(reference.patterns.len(), other.patterns.len());
             for (a, b) in reference.patterns.iter().zip(&other.patterns) {
                 assert_eq!(a.key(), b.key());
@@ -116,19 +127,24 @@ fn strict_mode_agreement_across_algorithms() {
 fn planner_auto_matches_ground_truth() {
     // Whatever the planner picks must answer identically to LINEARENUM
     // (the planner only routes among exact algorithms at these scales).
-    let g = wiki::wiki(&WikiConfig::tiny(37));
-    let engine = SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 0 });
-    let mut qg = QueryGenerator::new(engine.graph(), engine.text(), 3, 39);
-    let cfg = SearchConfig {
-        max_rows: 4,
-        ..SearchConfig::top(100)
-    };
+    let e = engine(wiki::wiki(&WikiConfig::tiny(37)), 3);
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 39);
     for i in 0..10 {
-        let Some(spec) = qg.anchored(1 + (i % 4)) else { continue };
+        let Some(spec) = qg.anchored(1 + (i % 4)) else {
+            continue;
+        };
         let q = Query::from_ids(spec.keywords);
-        let truth = engine.search_with(&q, &cfg, Algorithm::LinearEnum);
-        let (auto, algo) = engine.search_auto(&q, &cfg);
-        assert_eq!(truth.patterns.len(), auto.patterns.len(), "{algo:?} on {q:?}");
+        let truth = run(&e, &q, 100, AlgorithmChoice::LinearEnum);
+        let auto = e
+            .respond(&SearchRequest::query(q.clone()).k(100).max_rows(4))
+            .unwrap();
+        assert!(auto.planned, "default request routes through the planner");
+        assert_eq!(
+            truth.patterns.len(),
+            auto.patterns.len(),
+            "{:?} on {q:?}",
+            auto.algorithm
+        );
         for (a, b) in truth.patterns.iter().zip(&auto.patterns) {
             assert_eq!(a.key(), b.key());
             let tol = 1e-9 * a.score.abs().max(1.0);
@@ -141,20 +157,17 @@ fn planner_auto_matches_ground_truth() {
 fn pruned_pattern_enum_matches_exact_at_small_k() {
     // The admissible-bound pruner must return the *identical* top-k even
     // when k is small enough for the threshold to bite.
-    let g = wiki::wiki(&WikiConfig::tiny(29));
-    let engine = SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 0 });
-    let mut qg = QueryGenerator::new(engine.graph(), engine.text(), 3, 31);
+    let e = engine(wiki::wiki(&WikiConfig::tiny(29)), 3);
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 31);
     let mut pruned_total = 0usize;
     for i in 0..12 {
-        let Some(spec) = qg.anchored(1 + (i % 4)) else { continue };
+        let Some(spec) = qg.anchored(1 + (i % 4)) else {
+            continue;
+        };
         let q = Query::from_ids(spec.keywords);
         for k in [1usize, 3, 10] {
-            let cfg = SearchConfig {
-                max_rows: 4,
-                ..SearchConfig::top(k)
-            };
-            let exact = engine.search_with(&q, &cfg, Algorithm::PatternEnum);
-            let pruned = engine.search_with(&q, &cfg, Algorithm::PatternEnumPruned);
+            let exact = run(&e, &q, k, AlgorithmChoice::PatternEnum);
+            let pruned = run(&e, &q, k, AlgorithmChoice::PatternEnumPruned);
             assert_eq!(exact.patterns.len(), pruned.patterns.len(), "k={k} {q:?}");
             for (a, b) in exact.patterns.iter().zip(&pruned.patterns) {
                 assert_eq!(a.key(), b.key(), "k={k} {q:?}");
@@ -172,24 +185,22 @@ fn pruned_pattern_enum_matches_exact_at_small_k() {
 fn sampled_topk_subset_of_exact_patterns() {
     // Sampling may *miss* patterns but must never invent them, and reported
     // scores are exact (Algorithm 4 line 11).
-    let g = wiki::wiki(&WikiConfig::tiny(19));
-    let engine = SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 0 });
-    let mut qg = QueryGenerator::new(engine.graph(), engine.text(), 3, 23);
-    let cfg = SearchConfig::top(50);
+    let e = engine(wiki::wiki(&WikiConfig::tiny(19)), 3);
+    let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 23);
     for _ in 0..5 {
         let Some(spec) = qg.anchored(2) else { continue };
         let q = Query::from_ids(spec.keywords);
-        let exact = engine.search_with(&q, &cfg, Algorithm::LinearEnum);
-        let sampled = engine.search_with(
-            &q,
-            &cfg,
-            Algorithm::LinearEnumTopK(SamplingConfig::new(0, 0.3, 7)),
-        );
+        let exact = run(&e, &q, 50, AlgorithmChoice::LinearEnum);
+        let sampled = e
+            .respond(
+                &SearchRequest::query(q.clone())
+                    .k(50)
+                    .algorithm(AlgorithmChoice::LinearEnumTopK)
+                    .sampling(SamplingConfig::new(0, 0.3, 7)),
+            )
+            .unwrap();
         for p in &sampled.patterns {
-            let reference = exact
-                .patterns
-                .iter()
-                .find(|e| e.key() == p.key());
+            let reference = exact.patterns.iter().find(|e| e.key() == p.key());
             // With k=50 the exact list may be truncated; only check patterns
             // that fit (score high enough to appear).
             if let Some(reference) = reference {

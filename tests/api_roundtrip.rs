@@ -1,0 +1,212 @@
+//! The new request/response API, exercised through the public facade:
+//! default requests reproduce the old facade methods' answers on the
+//! Figure-1 graph, `SharedEngine::respond` serves correctly while ingests
+//! land, and every error path is a typed [`Error`], never a panic.
+
+use patternkb::prelude::*;
+
+fn figure1_engine() -> SearchEngine {
+    let (g, _) = patternkb::datagen::figure1();
+    EngineBuilder::new().graph(g).threads(1).build().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Round-trip: request defaults vs. the deprecated facade methods.
+// ---------------------------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn request_defaults_round_trip_old_facade() {
+    let e = figure1_engine();
+    for text in [
+        "database software company revenue",
+        "database company",
+        "revenue",
+        "bill gates",
+        "software",
+    ] {
+        let q = e.parse(text).unwrap();
+
+        // Old: parse + search (PATTERNENUM) + per-pattern table calls.
+        let old = e.search(&q, &SearchConfig::default());
+        // New: one request; only the algorithm is pinned (the default
+        // request routes through the planner, which may legitimately pick
+        // a different-but-agreeing algorithm).
+        let new = e
+            .respond(&SearchRequest::text(text).algorithm(AlgorithmChoice::PatternEnum))
+            .unwrap();
+
+        assert_eq!(old.patterns.len(), new.patterns.len(), "{text}");
+        for (a, b) in old.patterns.iter().zip(&new.patterns) {
+            assert_eq!(a.key(), b.key(), "{text}");
+            assert!((a.score - b.score).abs() < 1e-12, "{text}");
+            assert_eq!(a.num_trees, b.num_trees, "{text}");
+        }
+        // Tables come back on the response, identical to engine.table().
+        for (p, t) in new.patterns.iter().zip(&new.tables) {
+            assert_eq!(&e.table(p), t, "{text}");
+        }
+        // The default SearchConfig and the default SearchRequest agree on
+        // every knob they share.
+        let req = SearchRequest::text(text);
+        let cfg = SearchConfig::default();
+        assert_eq!(req.k, cfg.k);
+        assert_eq!(req.max_rows, cfg.max_rows);
+        assert_eq!(req.strict_trees, cfg.strict_trees);
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn auto_request_round_trips_search_auto() {
+    let e = figure1_engine();
+    for text in ["database software company revenue", "database company"] {
+        let q = e.parse(text).unwrap();
+        let (old, old_algo) = e.search_auto(&q, &SearchConfig::top(10));
+        let new = e.respond(&SearchRequest::text(text).k(10)).unwrap();
+        assert!(new.planned);
+        assert_eq!(
+            format!("{old_algo:?}"),
+            format!("{:?}", new.algorithm),
+            "planner decision must agree"
+        );
+        assert_eq!(old.patterns.len(), new.patterns.len());
+        for (a, b) in old.patterns.iter().zip(&new.patterns) {
+            assert_eq!(a.key(), b.key());
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn batch_round_trips_search_batch() {
+    let e = figure1_engine();
+    let texts = ["database company", "revenue", "software"];
+    let queries: Vec<Query> = texts.iter().map(|t| e.parse(t).unwrap()).collect();
+    let old = e.search_batch(&queries, &SearchConfig::top(10), Algorithm::PatternEnum, 2);
+    let requests: Vec<SearchRequest> = texts
+        .iter()
+        .map(|t| {
+            SearchRequest::text(*t)
+                .k(10)
+                .algorithm(AlgorithmChoice::PatternEnum)
+        })
+        .collect();
+    let new = e.respond_batch(&requests, 2);
+    assert_eq!(old.len(), new.len());
+    for (a, b) in old.iter().zip(&new) {
+        let b = b.as_ref().unwrap();
+        assert_eq!(a.patterns.len(), b.patterns.len());
+        for (x, y) in a.patterns.iter().zip(&b.patterns) {
+            assert_eq!(x.key(), y.key());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SharedEngine::respond under concurrent ingest.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shared_respond_concurrency_smoke() {
+    let (g, _) = patternkb::datagen::figure1();
+    let service = EngineBuilder::new()
+        .graph(g)
+        .threads(1)
+        .cache_capacity(64)
+        .build_shared()
+        .unwrap();
+
+    const INGESTS: usize = 6;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let served = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        // Readers: cached and uncached requests against whatever version
+        // is current.
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let req = SearchRequest::text("company revenue").k(10);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let r = service.respond(&req).expect("keywords always present");
+                    assert!(!r.patterns.is_empty(), "every version answers");
+                    served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        // Writer: stream ingests.
+        scope.spawn(|| {
+            for step in 0..INGESTS {
+                let snap = service.snapshot();
+                let g = snap.graph();
+                let comp = g.type_by_text("Company").unwrap();
+                let rev = g.attr_by_text("Revenue").unwrap();
+                let mut d = GraphDelta::new(g);
+                let v = d.add_node(comp, &format!("smoke vendor {step}")).unwrap();
+                d.add_text_edge(v, rev, &format!("US$ {step} million"))
+                    .unwrap();
+                service.apply_delta(&d, PagerankMode::Frozen).unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    });
+
+    assert_eq!(service.version(), INGESTS as u64);
+    assert!(served.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    // Final state sees every ingested vendor.
+    let r = service
+        .respond(&SearchRequest::text("smoke vendor").k(100))
+        .unwrap();
+    assert_eq!(r.top().unwrap().num_trees, INGESTS);
+    // The built-in cache was exercised and never served stale data: any
+    // hit at an old version would have failed the readers' assertions.
+    let stats = service.cache_stats();
+    assert!(stats.hits + stats.misses > 0);
+}
+
+// ---------------------------------------------------------------------
+// Error paths: typed, never panicking.
+// ---------------------------------------------------------------------
+
+#[test]
+fn unknown_words_error_lists_canonical_forms() {
+    let e = figure1_engine();
+    match e.respond(&SearchRequest::text("database zzzzqqqq wwwwkkkk")) {
+        Err(Error::UnknownWords(ws)) => {
+            assert_eq!(ws, vec!["zzzzqqqq".to_string(), "wwwwkkkk".to_string()]);
+        }
+        other => panic!("expected UnknownWords, got {other:?}"),
+    }
+    // Same behavior through the serving handle.
+    let (g, _) = patternkb::datagen::figure1();
+    let shared = EngineBuilder::new()
+        .graph(g)
+        .threads(1)
+        .build_shared()
+        .unwrap();
+    assert!(matches!(
+        shared.respond(&SearchRequest::text("zzzzqqqq")),
+        Err(Error::UnknownWords(_))
+    ));
+}
+
+#[test]
+fn empty_input_is_a_typed_error() {
+    let e = figure1_engine();
+    for text in ["", "   ", "... !!!", "\t\n"] {
+        assert!(
+            matches!(
+                e.respond(&SearchRequest::text(text)),
+                Err(Error::EmptyQuery)
+            ),
+            "{text:?} must be EmptyQuery"
+        );
+    }
+    assert!(matches!(
+        e.respond(&SearchRequest::query(Query { keywords: vec![] })),
+        Err(Error::EmptyQuery)
+    ));
+    // Errors are displayable for user-facing surfaces.
+    let msg = e.respond(&SearchRequest::text("")).unwrap_err().to_string();
+    assert!(msg.contains("empty"));
+}

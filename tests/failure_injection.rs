@@ -6,12 +6,25 @@
 use patternkb::graph::mutate::{GraphDelta, PagerankMode};
 use patternkb::graph::snapshot as gsnap;
 use patternkb::index::compress::CompressedPathIndexes;
-use patternkb::index::BuildConfig;
 use patternkb::prelude::*;
 
 fn figure1_engine() -> SearchEngine {
     let (g, _) = patternkb::datagen::figure1();
-    SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 3, threads: 1 })
+    EngineBuilder::new().graph(g).threads(1).build().unwrap()
+}
+
+fn build(g: KnowledgeGraph, d: usize) -> SearchEngine {
+    EngineBuilder::new()
+        .graph(g)
+        .height(d)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+fn run(e: &SearchEngine, q: &Query, k: usize, algo: AlgorithmChoice) -> SearchResponse {
+    e.respond(&SearchRequest::query(q.clone()).k(k).algorithm(algo))
+        .unwrap()
 }
 
 // ---------------------------------------------------------------------
@@ -106,8 +119,11 @@ fn index_snapshot_truncation_is_an_error() {
         let tpath = dir.join(format!("idx_cut_{cut}.pkbi"));
         std::fs::write(&tpath, &bytes[..cut]).unwrap();
         let (g, _) = patternkb::datagen::figure1();
-        let res = SearchEngine::load_index(g, SynonymTable::new(), &tpath);
-        assert!(res.is_err(), "truncated index at {cut} bytes must not load");
+        let res = EngineBuilder::new().graph(g).index_snapshot(&tpath).build();
+        assert!(
+            matches!(res, Err(Error::Io(_))),
+            "truncated index at {cut} bytes must not load"
+        );
         std::fs::remove_file(&tpath).ok();
     }
     std::fs::remove_file(&path).ok();
@@ -132,13 +148,13 @@ fn single_node_graph() {
     let mut b = GraphBuilder::new();
     let t = b.add_type("Lonely");
     b.add_node(t, "only one here");
-    let e = SearchEngine::build(b.build(), SynonymTable::new(), &BuildConfig { d: 3, threads: 1 });
+    let e = build(b.build(), 3);
     let q = e.parse("lonely").unwrap();
-    let r = e.search(&q, &SearchConfig::top(10));
+    let r = run(&e, &q, 10, AlgorithmChoice::PatternEnum);
     assert_eq!(r.patterns.len(), 1);
     assert_eq!(r.patterns[0].num_trees, 1);
     let q = e.parse("only one").unwrap();
-    let r = e.search(&q, &SearchConfig::top(10));
+    let r = run(&e, &q, 10, AlgorithmChoice::PatternEnum);
     assert_eq!(r.patterns.len(), 1, "two keywords on one node still answer");
 }
 
@@ -149,20 +165,23 @@ fn self_loop_paths_stay_simple() {
     let a = b.add_attr("loops to");
     let v = b.add_node(t, "ouroboros");
     b.add_edge(v, a, v);
-    let e = SearchEngine::build(b.build(), SynonymTable::new(), &BuildConfig { d: 4, threads: 1 });
+    let e = build(b.build(), 4);
     // The self loop must not create infinite or repeated-node paths.
     let q = e.parse("ouroboros").unwrap();
-    let r = e.search(&q, &SearchConfig::top(10));
+    let r = run(&e, &q, 10, AlgorithmChoice::PatternEnum);
     for p in &r.patterns {
         for pat in &p.pattern {
-            assert!(pat.num_nodes() <= 1, "self-loop leaked into a path: {pat:?}");
+            assert!(
+                pat.num_nodes() <= 1,
+                "self-loop leaked into a path: {pat:?}"
+            );
         }
     }
     // The only occurrence of "loops" is on the self-loop edge, whose
     // edge-terminal "subtree" (v → v) is not a tree; the paper's subtrees
     // are simple, so the query correctly has zero answers.
     let q = e.parse("loops").unwrap();
-    let r = e.search(&q, &SearchConfig::top(10));
+    let r = run(&e, &q, 10, AlgorithmChoice::PatternEnum);
     assert!(r.patterns.is_empty());
     assert_eq!(e.count_subtrees(&q), 0);
 }
@@ -176,9 +195,9 @@ fn two_cycle_answers_bounded() {
     let y = b.add_node(t, "beta stop");
     b.add_edge(x, a, y);
     b.add_edge(y, a, x);
-    let e = SearchEngine::build(b.build(), SynonymTable::new(), &BuildConfig { d: 4, threads: 1 });
+    let e = build(b.build(), 4);
     let q = e.parse("alpha beta").unwrap();
-    let r = e.search(&q, &SearchConfig::top(100));
+    let r = run(&e, &q, 100, AlgorithmChoice::PatternEnum);
     // Paths are simple, so patterns have at most 2 nodes per path.
     assert!(!r.patterns.is_empty());
     for p in &r.patterns {
@@ -201,9 +220,9 @@ fn parallel_attribute_values() {
     let bing = b.add_node(product, "bing search");
     b.add_edge(ms, products, win);
     b.add_edge(ms, products, bing);
-    let e = SearchEngine::build(b.build(), SynonymTable::new(), &BuildConfig { d: 2, threads: 1 });
+    let e = build(b.build(), 2);
     let q = e.parse("giant products").unwrap();
-    let r = e.search(&q, &SearchConfig::top(10));
+    let r = run(&e, &q, 10, AlgorithmChoice::PatternEnum);
     // One pattern (Company)(products); both product edges are subtrees.
     let top = r.top().unwrap();
     assert_eq!(top.num_trees, 2);
@@ -216,12 +235,12 @@ fn unicode_text_is_searchable_by_ascii_tokens() {
     let v = b.add_node(t, "Dvořák — composer (Antonín)");
     let a = b.add_attr("née");
     b.add_text_edge(v, a, "Zlonice čtyři");
-    let e = SearchEngine::build(b.build(), SynonymTable::new(), &BuildConfig { d: 2, threads: 1 });
+    let e = build(b.build(), 2);
     // The tokenizer treats non-ASCII as separators; ASCII runs remain.
     let q = e.parse("composer").unwrap();
-    let r = e.search(&q, &SearchConfig::top(10));
+    let r = run(&e, &q, 10, AlgorithmChoice::PatternEnum);
     assert_eq!(r.patterns.len(), 1);
-    let table = e.table(r.top().unwrap());
+    let table = r.top_table().unwrap();
     assert!(table.rows[0].iter().any(|c| c.contains("Dvořák")));
 }
 
@@ -232,10 +251,9 @@ fn duplicate_keywords_are_honest() {
     // algorithms.
     let e = figure1_engine();
     let q = e.parse("database database").unwrap();
-    let cfg = SearchConfig::top(100);
-    let a = e.search_with(&q, &cfg, Algorithm::LinearEnum);
-    let b = e.search_with(&q, &cfg, Algorithm::PatternEnum);
-    let c = e.search_with(&q, &cfg, Algorithm::Baseline);
+    let a = run(&e, &q, 100, AlgorithmChoice::LinearEnum);
+    let b = run(&e, &q, 100, AlgorithmChoice::PatternEnum);
+    let c = run(&e, &q, 100, AlgorithmChoice::Baseline);
     assert!(!a.patterns.is_empty());
     assert_eq!(a.patterns.len(), b.patterns.len());
     assert_eq!(a.patterns.len(), c.patterns.len());
@@ -248,17 +266,19 @@ fn duplicate_keywords_are_honest() {
 fn d_equals_one_only_trivial_paths() {
     let e_d1 = {
         let (g, _) = patternkb::datagen::figure1();
-        SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d: 1, threads: 1 })
+        build(g, 1)
     };
     // With d = 1 only single-node (node-terminal) paths exist: no
     // edge-terminal matches (they'd imply a 2-node height), so "revenue"
     // (attribute-only) has no paths at all.
     // Parse may fail (keyword absent from the d=1 index) — also acceptable.
     if let Ok(q) = e_d1.parse("database software company revenue") {
-        assert!(e_d1.search(&q, &SearchConfig::top(10)).patterns.is_empty());
+        assert!(run(&e_d1, &q, 10, AlgorithmChoice::PatternEnum)
+            .patterns
+            .is_empty());
     }
     let q = e_d1.parse("database").unwrap();
-    let r = e_d1.search(&q, &SearchConfig::top(10));
+    let r = run(&e_d1, &q, 10, AlgorithmChoice::PatternEnum);
     for p in &r.patterns {
         for pat in &p.pattern {
             assert_eq!(pat.height(), 1);
@@ -267,17 +287,29 @@ fn d_equals_one_only_trivial_paths() {
 }
 
 #[test]
-fn k_zero_returns_nothing_gracefully() {
+fn k_zero_is_a_typed_error() {
+    // The request route rejects k = 0 up front instead of running a
+    // pointless search.
     let e = figure1_engine();
     let q = e.parse("database company").unwrap();
     for algo in [
-        Algorithm::Baseline,
-        Algorithm::PatternEnum,
-        Algorithm::PatternEnumPruned,
-        Algorithm::LinearEnum,
+        AlgorithmChoice::Baseline,
+        AlgorithmChoice::PatternEnum,
+        AlgorithmChoice::PatternEnumPruned,
+        AlgorithmChoice::LinearEnum,
     ] {
-        let r = e.search_with(&q, &SearchConfig::top(0), algo);
-        assert!(r.patterns.is_empty(), "{algo:?} must honor k = 0");
+        let res = e.respond(&SearchRequest::query(q.clone()).k(0).algorithm(algo));
+        assert!(
+            matches!(res, Err(Error::InvalidRequest(_))),
+            "{algo:?} must reject k = 0"
+        );
+    }
+    // The low-level algorithms still honor k = 0 through the deprecated
+    // shims (kept one release).
+    #[allow(deprecated)]
+    {
+        let r = e.search_with(&q, &SearchConfig::top(0), Algorithm::LinearEnum);
+        assert!(r.patterns.is_empty());
     }
 }
 
@@ -287,12 +319,12 @@ fn unanswerable_multi_keyword_query() {
     // Both words exist, but no root reaches both.
     let q = e.parse("oracle gates").unwrap();
     for algo in [
-        Algorithm::Baseline,
-        Algorithm::PatternEnum,
-        Algorithm::PatternEnumPruned,
-        Algorithm::LinearEnum,
+        AlgorithmChoice::Baseline,
+        AlgorithmChoice::PatternEnum,
+        AlgorithmChoice::PatternEnumPruned,
+        AlgorithmChoice::LinearEnum,
     ] {
-        let r = e.search_with(&q, &SearchConfig::top(10), algo);
+        let r = run(&e, &q, 10, algo);
         assert!(r.patterns.is_empty(), "{algo:?}");
     }
     assert_eq!(e.count_patterns(&q), 0);
@@ -322,7 +354,7 @@ fn mutation_to_empty_answers_and_back() {
         .unwrap();
     e.apply_delta(&d, PagerankMode::Frozen).unwrap();
     let q = e.parse("database software company revenue").unwrap();
-    let r = e.search(&q, &SearchConfig::top(10));
+    let r = run(&e, &q, 10, AlgorithmChoice::PatternEnum);
     assert_eq!(r.patterns.len(), 9, "round-trip mutation restored answers");
 }
 
@@ -334,13 +366,16 @@ fn many_chained_deltas_stay_queryable() {
         let comp = g.type_by_text("Company").unwrap();
         let rev = g.attr_by_text("Revenue").unwrap();
         let mut d = GraphDelta::new(g);
-        let v = d.add_node(comp, &format!("database vendor {step}")).unwrap();
-        d.add_text_edge(v, rev, &format!("US$ {step} billion")).unwrap();
+        let v = d
+            .add_node(comp, &format!("database vendor {step}"))
+            .unwrap();
+        d.add_text_edge(v, rev, &format!("US$ {step} billion"))
+            .unwrap();
         e.apply_delta(&d, PagerankMode::Frozen).unwrap();
     }
     assert_eq!(e.version(), 8);
     let q = e.parse("vendor revenue").unwrap();
-    let r = e.search(&q, &SearchConfig::top(100));
+    let r = run(&e, &q, 100, AlgorithmChoice::PatternEnum);
     assert!(!r.patterns.is_empty());
     let top = r.top().unwrap();
     assert_eq!(top.num_trees, 8, "every delta's vendor row answers");
@@ -361,16 +396,12 @@ fn index_rebuild_equals_incremental_through_engine() {
     d.add_edge(pg, dev, org).unwrap();
     e.apply_delta(&d, PagerankMode::Recompute).unwrap();
 
-    let fresh = SearchEngine::build(
-        e.graph().clone(),
-        SynonymTable::new(),
-        &BuildConfig { d: 3, threads: 1 },
-    );
+    let fresh = build(e.graph().clone(), 3);
     for text in ["database software", "database developer", "group"] {
         let q1 = e.parse(text).unwrap();
         let q2 = fresh.parse(text).unwrap();
-        let r1 = e.search(&q1, &SearchConfig::top(100));
-        let r2 = fresh.search(&q2, &SearchConfig::top(100));
+        let r1 = run(&e, &q1, 100, AlgorithmChoice::PatternEnum);
+        let r2 = run(&fresh, &q2, 100, AlgorithmChoice::PatternEnum);
         assert_eq!(r1.patterns.len(), r2.patterns.len(), "{text}");
         for (a, b) in r1.patterns.iter().zip(&r2.patterns) {
             assert!((a.score - b.score).abs() < 1e-9, "{text}");

@@ -18,7 +18,29 @@ fn tiny_engine(seed: u64, d: usize) -> SearchEngine {
         seed,
         ..WikiConfig::default()
     });
-    SearchEngine::build(g, SynonymTable::new(), &BuildConfig { d, threads: 1 })
+    EngineBuilder::new()
+        .graph(g)
+        .height(d)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+/// Run a pre-parsed query under an explicit algorithm with `max_rows`.
+fn run(
+    e: &SearchEngine,
+    q: &Query,
+    k: usize,
+    max_rows: usize,
+    algo: AlgorithmChoice,
+) -> SearchResponse {
+    e.respond(
+        &SearchRequest::query(q.clone())
+            .k(k)
+            .max_rows(max_rows)
+            .algorithm(algo),
+    )
+    .unwrap()
 }
 
 proptest! {
@@ -33,7 +55,7 @@ proptest! {
         let mut qg = QueryGenerator::new(e.graph(), e.text(), d, seed);
         let Some(spec) = qg.anchored(m) else { return Ok(()) };
         let q = Query::from_ids(spec.keywords);
-        let r = e.search(&q, &SearchConfig::top(50));
+        let r = run(&e, &q, 50, 64, AlgorithmChoice::PatternEnum);
         for p in &r.patterns {
             prop_assert!(p.height() <= d, "height {} > d {}", p.height(), d);
             prop_assert!(p.num_trees >= 1);
@@ -70,8 +92,7 @@ proptest! {
         let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, seed + 100);
         let Some(spec) = qg.anchored(2) else { return Ok(()) };
         let q = Query::from_ids(spec.keywords);
-        let cfg = SearchConfig { max_rows: usize::MAX, ..SearchConfig::top(30) };
-        let r = e.search(&q, &cfg);
+        let r = run(&e, &q, 30, usize::MAX, AlgorithmChoice::PatternEnum);
         for p in &r.patterns {
             prop_assert_eq!(p.trees.len(), p.num_trees);
             let sum: f64 = p.trees.iter().map(|t| t.score).sum();
@@ -90,8 +111,8 @@ proptest! {
         let Some(spec) = qg.anchored(3) else { return Ok(()) };
         let q3 = Query::from_ids(spec.keywords.clone());
         let q2 = Query::from_ids(spec.keywords[..2].iter().copied());
-        let r3 = e.search_with(&q3, &SearchConfig::top(10), Algorithm::LinearEnum);
-        let r2 = e.search_with(&q2, &SearchConfig::top(10), Algorithm::LinearEnum);
+        let r3 = run(&e, &q3, 10, 64, AlgorithmChoice::LinearEnum);
+        let r2 = run(&e, &q2, 10, 64, AlgorithmChoice::LinearEnum);
         prop_assert!(r3.stats.candidate_roots <= r2.stats.candidate_roots);
     }
 
@@ -103,7 +124,7 @@ proptest! {
         let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, seed + 400);
         let Some(spec) = qg.anchored(2) else { return Ok(()) };
         let q = Query::from_ids(spec.keywords.clone());
-        let before = e.search_with(&q, &SearchConfig::top(100), Algorithm::LinearEnum);
+        let before = run(&e, &q, 100, 64, AlgorithmChoice::LinearEnum);
         // Capture the canonical text now — keyword ids may shift with the
         // rebuilt vocabulary.
         let words: Vec<String> = spec.keywords.iter()
@@ -117,7 +138,7 @@ proptest! {
         e.apply_delta(&d, PagerankMode::Frozen).unwrap();
 
         let q2 = e.parse(&words.join(" ")).unwrap();
-        let after = e.search_with(&q2, &SearchConfig::top(100), Algorithm::LinearEnum);
+        let after = run(&e, &q2, 100, 64, AlgorithmChoice::LinearEnum);
 
         prop_assert_eq!(before.patterns.len(), after.patterns.len());
         for (a, b) in before.patterns.iter().zip(&after.patterns) {
@@ -137,7 +158,7 @@ proptest! {
         let words: Vec<String> = spec.keywords.iter()
             .map(|&w| e.text().vocab().resolve(w).to_string()).collect();
         let q = Query::from_ids(spec.keywords);
-        let before = e.search_with(&q, &SearchConfig::top(1000), Algorithm::LinearEnum);
+        let before = run(&e, &q, 1000, 64, AlgorithmChoice::LinearEnum);
         let before_keys: Vec<Vec<u32>> = before.patterns.iter().map(|p| p.key()).collect();
         let n_before = e.count_subtrees(&q);
 
@@ -149,7 +170,7 @@ proptest! {
         e.apply_delta(&d, PagerankMode::Frozen).unwrap();
 
         let Ok(q2) = e.parse(&words.join(" ")) else { return Ok(()) };
-        let after = e.search_with(&q2, &SearchConfig::top(1000), Algorithm::LinearEnum);
+        let after = run(&e, &q2, 1000, 64, AlgorithmChoice::LinearEnum);
         prop_assert!(e.count_subtrees(&q2) <= n_before);
         prop_assert!(after.patterns.len() <= before.patterns.len());
         for p in &after.patterns {
@@ -168,10 +189,15 @@ proptest! {
         let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, seed + 300);
         let Some(spec) = qg.anchored(2) else { return Ok(()) };
         let q = Query::from_ids(spec.keywords);
-        let lax = e.search_with(&q, &SearchConfig::top(1000), Algorithm::LinearEnum);
-        let strict = e.search_with(&q, &SearchConfig {
-            strict_trees: true, ..SearchConfig::top(1000)
-        }, Algorithm::LinearEnum);
+        let lax = run(&e, &q, 1000, 64, AlgorithmChoice::LinearEnum);
+        let strict = e
+            .respond(
+                &SearchRequest::query(q.clone())
+                    .k(1000)
+                    .strict_trees(true)
+                    .algorithm(AlgorithmChoice::LinearEnum),
+            )
+            .unwrap();
         prop_assert!(strict.patterns.len() <= lax.patterns.len());
         prop_assert!(strict.stats.subtrees <= lax.stats.subtrees);
         for sp in &strict.patterns {

@@ -4,11 +4,11 @@
 
 use proptest::prelude::*;
 
+use patternkb::prelude::NodeId;
 use patternkb::search::diversify::{diversify, DiversifyConfig};
 use patternkb::search::presentation::PresentedTable;
 use patternkb::search::result::RankedPattern;
 use patternkb::search::subtree::ValidSubtree;
-use patternkb::prelude::NodeId;
 
 /// Minimal RFC-4180 parser used only to verify our writer.
 fn parse_csv(s: &str) -> Vec<Vec<String>> {

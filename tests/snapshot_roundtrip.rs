@@ -10,25 +10,39 @@ use patternkb::prelude::*;
 fn wiki_snapshot_preserves_search_results() {
     let g = wiki::wiki(&WikiConfig::tiny(3));
     let decoded = snapshot::decode(&snapshot::encode(&g)).expect("roundtrip");
-    let build = BuildConfig { d: 3, threads: 1 };
-    let e1 = SearchEngine::build(g, SynonymTable::new(), &build);
-    let e2 = SearchEngine::build(decoded, SynonymTable::new(), &build);
+    let e1 = EngineBuilder::new().graph(g).threads(1).build().unwrap();
+    let e2 = EngineBuilder::new()
+        .graph(decoded)
+        .threads(1)
+        .build()
+        .unwrap();
 
     // Same index shape.
     assert_eq!(e1.index().num_postings(), e2.index().num_postings());
     assert_eq!(e1.index().patterns().len(), e2.index().patterns().len());
 
     // Same answers for a few queries drawn from the vocabulary.
-    let mut qg =
-        patternkb::datagen::queries::QueryGenerator::new(e1.graph(), e1.text(), 3, 9);
+    let mut qg = patternkb::datagen::queries::QueryGenerator::new(e1.graph(), e1.text(), 3, 9);
     for _ in 0..5 {
         let Some(spec) = qg.anchored(2) else { continue };
         let q1 = Query::from_ids(spec.keywords.clone());
         // Re-parse by surface on the second engine (vocab ids must agree
         // because the text is identical).
         let q2 = e2.parse(&spec.surface.join(" ")).expect("same vocab");
-        let r1 = e1.search(&q1, &SearchConfig::top(20));
-        let r2 = e2.search(&q2, &SearchConfig::top(20));
+        let r1 = e1
+            .respond(
+                &SearchRequest::query(q1)
+                    .k(20)
+                    .algorithm(AlgorithmChoice::PatternEnum),
+            )
+            .unwrap();
+        let r2 = e2
+            .respond(
+                &SearchRequest::query(q2)
+                    .k(20)
+                    .algorithm(AlgorithmChoice::PatternEnum),
+            )
+            .unwrap();
         assert_eq!(r1.patterns.len(), r2.patterns.len());
         for (a, b) in r1.patterns.iter().zip(&r2.patterns) {
             assert!((a.score - b.score).abs() < 1e-9);

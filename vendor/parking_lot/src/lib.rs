@@ -1,0 +1,93 @@
+//! Minimal stand-in for crates.io `parking_lot`, backed by `std::sync`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset it uses: [`Mutex`] and [`RwLock`] with the `parking_lot`
+//! calling convention — `lock()`/`read()`/`write()` return guards directly
+//! (no poisoning `Result`). A poisoned std lock is recovered by taking the
+//! inner guard: the data is still protected, and panicking lock holders in
+//! this codebase abort the test anyway.
+
+use std::sync::{self, LockResult};
+
+/// A mutual-exclusion lock whose `lock()` never returns `Err`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+fn unpoison<G>(r: LockResult<G>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, blocking.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        unpoison(self.0.lock())
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+/// A readers–writer lock whose `read()`/`write()` never return `Err`.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+/// Shared-read guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive-write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Acquire a shared read guard, blocking.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        unpoison(self.0.read())
+    }
+
+    /// Acquire the exclusive write guard, blocking.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        unpoison(self.0.write())
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_guards_data() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+}

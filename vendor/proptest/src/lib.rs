@@ -1,0 +1,767 @@
+//! Minimal stand-in for crates.io `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the `proptest` API its property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`, integer
+//!   ranges, tuples, [`collection::vec`], [`bool::ANY`], [`any`], and a
+//!   regex-subset string strategy ([`string::string_regex`], also invoked
+//!   by using a `&str` literal as a strategy);
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`) plus
+//!   [`prop_assert!`], [`prop_assert_eq!`] and [`prop_oneof!`].
+//!
+//! Differences from the real crate: cases are generated from a fixed seed
+//! (deterministic across runs), and there is **no shrinking** — a failing
+//! case reports the generated inputs verbatim. That is a weaker debugging
+//! experience but identical acceptance semantics: any bug a generated
+//! input exposes still fails the suite.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The per-test RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe strategy, produced by [`Strategy::boxed`].
+pub type BoxedStrategy<V> = Box<dyn DynStrategy<Value = V>>;
+
+/// Object-safe subset of [`Strategy`].
+pub trait DynStrategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+    /// Generate one value.
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.as_ref().dyn_generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Full-domain generation, selected by type: `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix edge values in: property tests on codecs care about
+                // 0 / MAX far more than a uniform draw would surface them.
+                match rng.gen_range(0u32..16) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    _ => rng.gen::<$t>(),
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Mirror of `proptest::bool`.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform boolean strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical instance (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+/// Mirror of `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Size specification for [`vec`]: an exact length or a length range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy yielding vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Mirror of `proptest::string`.
+pub mod string {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Why a pattern was rejected by the shim's regex subset.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported generation regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One parsed regex element: what to emit, how many times.
+    #[derive(Clone, Debug)]
+    enum Node {
+        /// A fixed character.
+        Literal(char),
+        /// One character drawn from a class (`[a-z0-9 ]`).
+        Class(Vec<(char, char)>),
+        /// A parenthesized sub-pattern.
+        Group(Vec<(Node, usize, usize)>),
+    }
+
+    /// A generator for the regex subset the tests use: literals, escapes,
+    /// character classes with ranges, groups, and `{m,n}` / `{n}` / `?` /
+    /// `*` / `+` repetition (star/plus capped at 8 repeats).
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy {
+        nodes: Vec<(Node, usize, usize)>,
+    }
+
+    /// Parse `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let nodes = parse_sequence(&mut chars, pattern, false)?;
+        if chars.next().is_some() {
+            return Err(Error(format!("unbalanced ')' in {pattern:?}")));
+        }
+        Ok(RegexGeneratorStrategy { nodes })
+    }
+
+    type CharStream<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+    fn parse_sequence(
+        chars: &mut CharStream<'_>,
+        pattern: &str,
+        in_group: bool,
+    ) -> Result<Vec<(Node, usize, usize)>, Error> {
+        let mut nodes = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let node = match c {
+                ')' if in_group => break,
+                ')' => return Err(Error(format!("unbalanced ')' in {pattern:?}"))),
+                '(' => {
+                    chars.next();
+                    let inner = parse_sequence(chars, pattern, true)?;
+                    if chars.next() != Some(')') {
+                        return Err(Error(format!("unclosed '(' in {pattern:?}")));
+                    }
+                    Node::Group(inner)
+                }
+                '[' => {
+                    chars.next();
+                    Node::Class(parse_class(chars, pattern)?)
+                }
+                '\\' => {
+                    chars.next();
+                    let escaped = chars
+                        .next()
+                        .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?;
+                    Node::Literal(unescape(escaped))
+                }
+                '.' => {
+                    chars.next();
+                    // "Any char": printable ASCII plus a sprinkle of
+                    // multi-byte ranges so UTF-8 handling gets exercised.
+                    Node::Class(vec![(' ', '~'), ('¡', 'ÿ'), ('α', 'ω'), ('€', '€')])
+                }
+                '|' | '*' | '+' | '?' | '{' | '^' | '$' => {
+                    return Err(Error(format!(
+                        "unsupported regex construct {c:?} in {pattern:?}"
+                    )))
+                }
+                _ => {
+                    chars.next();
+                    Node::Literal(c)
+                }
+            };
+            let (min, max) = parse_repeat(chars, pattern)?;
+            nodes.push((node, min, max));
+        }
+        Ok(nodes)
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &mut CharStream<'_>, pattern: &str) -> Result<Vec<(char, char)>, Error> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match chars.next() {
+                None => return Err(Error(format!("unclosed '[' in {pattern:?}"))),
+                Some(']') => break,
+                Some('\\') => unescape(
+                    chars
+                        .next()
+                        .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?,
+                ),
+                Some(c) => c,
+            };
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next(); // the '-'
+                match ahead.peek() {
+                    Some(&']') | None => ranges.push((c, c)), // literal trailing '-'
+                    Some(&hi) => {
+                        chars.next();
+                        chars.next();
+                        if hi < c {
+                            return Err(Error(format!("inverted range in {pattern:?}")));
+                        }
+                        ranges.push((c, hi));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            return Err(Error(format!("empty class in {pattern:?}")));
+        }
+        Ok(ranges)
+    }
+
+    fn parse_repeat(chars: &mut CharStream<'_>, pattern: &str) -> Result<(usize, usize), Error> {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 8))
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        let (lo, hi) = match spec.split_once(',') {
+                            None => {
+                                let n = spec
+                                    .parse()
+                                    .map_err(|_| Error(format!("bad repeat in {pattern:?}")))?;
+                                (n, n)
+                            }
+                            Some((lo, hi)) => (
+                                lo.parse()
+                                    .map_err(|_| Error(format!("bad repeat in {pattern:?}")))?,
+                                hi.parse()
+                                    .map_err(|_| Error(format!("bad repeat in {pattern:?}")))?,
+                            ),
+                        };
+                        if hi < lo {
+                            return Err(Error(format!("inverted repeat in {pattern:?}")));
+                        }
+                        return Ok((lo, hi));
+                    }
+                    spec.push(c);
+                }
+                Err(Error(format!("unclosed '{{' in {pattern:?}")))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn emit(nodes: &[(Node, usize, usize)], rng: &mut TestRng, out: &mut String) {
+        for (node, min, max) in nodes {
+            let n = rng.gen_range(*min..=*max);
+            for _ in 0..n {
+                match node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                        out.push(
+                            char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo),
+                        );
+                    }
+                    Node::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            emit(&self.nodes, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// A `&str` literal used as a strategy is a generation regex, exactly as
+/// in real proptest. Panics on an unsupported pattern (real proptest
+/// surfaces this at generation time too).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .generate(rng)
+    }
+}
+
+/// Runner configuration, set via `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case failed or was rejected (subset of the real enum; the
+/// shim only ever needs "a value the body bailed on").
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Run one property closure across `config.cases` deterministic cases.
+/// On panic or `Err`, fails after printing the generated inputs (no
+/// shrinking).
+pub fn run_property<V: std::fmt::Debug + Clone>(
+    config: &ProptestConfig,
+    test_name: &str,
+    strategy: &impl Strategy<Value = V>,
+    property: impl Fn(V) -> Result<(), TestCaseError>,
+) {
+    // Deterministic per-test seed: stable across runs and machines.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = TestRng::seed_from_u64(hash);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(value.clone())));
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(reject)) => {
+                eprintln!(
+                    "proptest case {case}/{} rejected for {test_name} with input:\n  {value:?}",
+                    config.cases
+                );
+                panic!("proptest case failed: {reject}");
+            }
+            Err(panic) => {
+                eprintln!(
+                    "proptest case {case}/{} failed for {test_name} with input:\n  {value:?}",
+                    config.cases
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Assert inside a property (shim: plain panic, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property (shim: plain panic, no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property (shim: plain panic, no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Choose uniformly among several strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// The strategy produced by [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: std::fmt::Debug> Union<V> {
+    /// Wrap pre-boxed alternatives.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Define property tests. Mirrors the real macro's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, ys in proptest::collection::vec(0u8..4, 0..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strategy,)+);
+                $crate::run_property(
+                    &config,
+                    stringify!($name),
+                    &strategy,
+                    // Real proptest bodies may `return Ok(())` early; the
+                    // trailing Ok covers falling off the end.
+                    |($($arg,)+)| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// One-import convenience, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_conforming_strings() {
+        let mut rng = crate::TestRng::seed_from_u64(9);
+        use rand::SeedableRng;
+        let strat = crate::string::string_regex("[a-z]{1,6}( [a-z]{1,6}){0,2}").unwrap();
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty());
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!(words.len() <= 3);
+            for w in words {
+                assert!((1..=6).contains(&w.len()), "bad word {w:?} in {s:?}");
+                assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn regex_escapes_and_classes() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(5);
+        let strat = crate::string::string_regex("[a-zA-Z0-9 ,\"\n€ü|\\\\]{0,16}").unwrap();
+        for _ in 0..100 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            assert!(s.chars().count() <= 16);
+        }
+        assert!(crate::string::string_regex("a|b").is_err());
+        assert!(crate::string::string_regex("[a-z").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tuples_ranges_and_vecs(
+            (a, b) in (0u32..10, 5usize..7),
+            xs in crate::collection::vec(0u8..4, 2..9),
+            flag in crate::bool::ANY,
+            full in any::<u64>(),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b / 6, b - 5 - (b % 6) / 6 * 5);
+            prop_assert!((2..9).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 4));
+            let _ = (flag, full);
+        }
+
+        #[test]
+        fn oneof_and_flat_map(
+            v in (1usize..4).prop_flat_map(|n| crate::collection::vec(
+                prop_oneof![Just(0usize), 5usize..8],
+                n,
+            ))
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x == 0 || (5..8).contains(&x)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_panics() {
+        crate::run_property(
+            &ProptestConfig::with_cases(16),
+            "failing_property_panics",
+            &(0u32..10),
+            |x| {
+                assert!(x > 100);
+                Ok(())
+            },
+        );
+    }
+}
