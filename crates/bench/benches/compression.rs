@@ -12,7 +12,15 @@ use patternkb_text::{SynonymTable, TextIndex};
 fn bench_compression(c: &mut Criterion) {
     let g = wiki_graph(Scale::Small);
     let text = TextIndex::build(&g, SynonymTable::new());
-    let idx = build_indexes(&g, &text, &BuildConfig { d: 3, threads: 1 });
+    let idx = build_indexes(
+        &g,
+        &text,
+        &BuildConfig {
+            d: 3,
+            threads: 1,
+            shards: 1,
+        },
+    );
     let comp = CompressedPathIndexes::compress(&idx);
     eprintln!(
         "compression: {} postings, {} -> {} bytes (ratio {:.3})",
@@ -22,7 +30,7 @@ fn bench_compression(c: &mut Criterion) {
         comp.ratio_against(&idx)
     );
     // The most common word = heaviest per-word decode.
-    let (hot_word, _) = idx
+    let (hot_word, _) = idx.shards()[0]
         .iter_words()
         .max_by_key(|(_, w)| w.len())
         .expect("non-empty index");

@@ -26,7 +26,11 @@ fn make_delta(g: &KnowledgeGraph, batch: usize) -> GraphDelta {
 }
 
 fn bench_incremental(c: &mut Criterion) {
-    let cfg = BuildConfig { d: 3, threads: 1 };
+    let cfg = BuildConfig {
+        d: 3,
+        threads: 1,
+        shards: 1,
+    };
     let g = wiki_graph(Scale::Small);
     let text = TextIndex::build(&g, SynonymTable::new());
     let idx = build_indexes(&g, &text, &cfg);

@@ -14,7 +14,17 @@ fn bench_index_build(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for d in [2usize, 3, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
-            b.iter(|| build_indexes(&g, &text, &BuildConfig { d, threads: 0 }));
+            b.iter(|| {
+                build_indexes(
+                    &g,
+                    &text,
+                    &BuildConfig {
+                        d,
+                        threads: 0,
+                        shards: 0,
+                    },
+                )
+            });
         });
     }
     group.finish();

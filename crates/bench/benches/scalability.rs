@@ -1,8 +1,10 @@
-//! Figure 10: execution time on induced subgraphs (fractions of entities).
+//! Figure 10: execution time on induced subgraphs (fractions of entities),
+//! plus the shard-scaling sweep: query latency on the Zipf-skewed Wiki KB
+//! as the index goes from one root-range shard to one per core.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patternkb_bench::datasets::{wiki_graph, Scale};
-use patternkb_bench::harness::{engine, respond_algo};
+use patternkb_bench::harness::{engine, engine_sharded, respond_algo};
 use patternkb_datagen::queries::QueryGenerator;
 use patternkb_graph::subgraph;
 use patternkb_search::{AlgorithmChoice, Query};
@@ -45,5 +47,54 @@ fn bench_scalability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scalability);
+/// Shard scaling: the same Zipf workload at shards ∈ {1, 2, 4, …, cores}.
+/// Answers are bit-identical across the sweep; the interesting quantity is
+/// how latency moves as shard workers spread over the cores.
+fn bench_shard_scaling(c: &mut Criterion) {
+    let g = wiki_graph(Scale::Small);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut shard_counts = vec![1usize];
+    let mut s = 2;
+    while s <= cores {
+        shard_counts.push(s);
+        s *= 2;
+    }
+    if *shard_counts.last().unwrap() != cores {
+        shard_counts.push(cores);
+    }
+
+    let mut group = c.benchmark_group("shard_scaling_zipf");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &shards in &shard_counts {
+        let e = engine_sharded(g.clone(), 3, shards);
+        let mut qg = QueryGenerator::new(e.graph(), e.text(), 3, 53);
+        let queries: Vec<Query> = (0..8)
+            .filter_map(|_| qg.anchored(3))
+            .map(|s| Query::from_ids(s.keywords))
+            .collect();
+        if queries.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    criterion::black_box(respond_algo(
+                        &e,
+                        q,
+                        100,
+                        AlgorithmChoice::LinearEnum,
+                        None,
+                    ));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability, bench_shard_scaling);
 criterion_main!(benches);

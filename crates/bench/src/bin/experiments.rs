@@ -1,14 +1,21 @@
 //! Regenerate every table and figure of the paper's evaluation (§5).
 //!
 //! ```text
-//! experiments [--scale small|full] [fig6 fig7 fig8 fig9 fig10 expk fig11
-//!              fig12 fig13 fig16 case worstcase | all]
+//! experiments [--scale small|full] [--shards N] [--json PATH]
+//!             [fig6 fig7 fig8 fig9 fig10 expk fig11 fig12 fig13 fig16
+//!              case worstcase smoke | all]
 //! ```
 //!
 //! Each experiment prints a paper-style table; `all` runs everything in
-//! figure order. Absolute times differ from the paper's C#/Xeon setup —
-//! the reproduced quantities are the *shapes*: who wins, scaling slopes,
-//! and the sampling trade-off (see EXPERIMENTS.md).
+//! figure order. `--shards N` partitions every engine's index into N
+//! root-range shards (0 = one per core; answers are identical, only
+//! latency moves). `--json PATH` additionally writes the per-algorithm
+//! timings collected by the timed experiments as machine-readable JSON —
+//! the `smoke` experiment exists for exactly that: a fast per-algorithm
+//! sweep CI runs as a `shards = {1, 4}` matrix and uploads as the
+//! benchmark-trajectory artifact. Absolute times differ from the paper's
+//! C#/Xeon setup — the reproduced quantities are the *shapes*: who wins,
+//! scaling slopes, and the sampling trade-off (see EXPERIMENTS.md).
 
 use patternkb_bench::datasets::{imdb_graph, wiki_graph, Scale};
 use patternkb_bench::{bucket_of, ErrorBar, Report};
@@ -26,9 +33,25 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+/// Root-range shard count applied to every engine this process builds
+/// (`--shards`; 0 = available parallelism). A process-wide knob so the
+/// dozens of `engine_for` call sites stay untouched.
+static SHARDS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// One machine-readable timing record emitted into the `--json` file.
+struct JsonTiming {
+    experiment: &'static str,
+    dataset: String,
+    algorithm: String,
+    queries: usize,
+    total_ms: f64,
+    geo_ms: f64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
+    let mut json_path: Option<String> = None;
     let mut picks: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -39,6 +62,20 @@ fn main() {
                     eprintln!("unknown scale {v:?}; use small|full");
                     std::process::exit(2);
                 });
+            }
+            "--shards" => {
+                let v = it.next().unwrap_or_default();
+                let shards: usize = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--shards takes an integer (0 = one per core), got {v:?}");
+                    std::process::exit(2);
+                });
+                SHARDS.store(shards, std::sync::atomic::Ordering::Relaxed);
+            }
+            "--json" => {
+                json_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json takes an output path");
+                    std::process::exit(2);
+                }));
             }
             other => picks.push(other.to_string()),
         }
@@ -58,6 +95,7 @@ fn main() {
             "case",
             "worstcase",
             "ablation",
+            "smoke",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -65,7 +103,14 @@ fn main() {
     }
 
     let mut report = Report::new();
-    report.line(&format!("patternkb experiments — scale {scale:?}"));
+    let mut timings: Vec<JsonTiming> = Vec::new();
+    report.line(&format!(
+        "patternkb experiments — scale {scale:?}, shards {}",
+        match SHARDS.load(std::sync::atomic::Ordering::Relaxed) {
+            0 => "auto".to_string(),
+            n => n.to_string(),
+        }
+    ));
     for pick in &picks {
         match pick.as_str() {
             "fig6" => fig6(&mut report, scale),
@@ -81,10 +126,59 @@ fn main() {
             "case" => case_study(&mut report, scale),
             "worstcase" => worst_case(&mut report),
             "ablation" => ablation(&mut report, scale),
+            "smoke" => smoke(&mut report, scale, &mut timings),
             other => eprintln!("unknown experiment {other:?}"),
         }
     }
     report.print();
+
+    if let Some(path) = json_path {
+        let json = render_json(scale, &timings);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} timing record(s) to {path}", timings.len());
+    }
+}
+
+/// Serialize the collected timings as JSON (hand-rolled — the build
+/// environment vendors no serde).
+fn render_json(scale: Scale, timings: &[JsonTiming]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str(&format!(
+        "  \"shards\": {},\n",
+        SHARDS.load(std::sync::atomic::Ordering::Relaxed)
+    ));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    ));
+    out.push_str("  \"timings\": [\n");
+    let rows: Vec<String> = timings
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"experiment\": \"{}\", \"dataset\": \"{}\", \"algorithm\": \"{}\", \
+                 \"queries\": {}, \"total_ms\": {:.3}, \"geo_ms\": {:.3}}}",
+                esc(t.experiment),
+                esc(&t.dataset),
+                esc(&t.algorithm),
+                t.queries,
+                t.total_ms,
+                t.geo_ms
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 fn engine_for(g: KnowledgeGraph, d: usize) -> SearchEngine {
@@ -92,6 +186,7 @@ fn engine_for(g: KnowledgeGraph, d: usize) -> SearchEngine {
         .graph(g)
         .synonyms(SynonymTable::default_english())
         .height(d)
+        .shards(SHARDS.load(std::sync::atomic::Ordering::Relaxed))
         .build()
         .expect("d in range")
 }
@@ -218,7 +313,15 @@ fn fig6(report: &mut Report, scale: Scale) {
     ]];
     for d in [2, 3, 4] {
         let t0 = Instant::now();
-        let idx = build_indexes(&g, &text, &BuildConfig { d, threads: 0 });
+        let idx = build_indexes(
+            &g,
+            &text,
+            &BuildConfig {
+                d,
+                threads: 0,
+                shards: 0,
+            },
+        );
         let secs = t0.elapsed().as_secs_f64();
         let stats = IndexStats::of(&idx);
         rows.push(vec![
@@ -635,6 +738,76 @@ fn case_study(report: &mut Report, scale: Scale) {
 }
 
 // ------------------------------------------------------------------
+// Smoke: a fast per-algorithm sweep for CI's shards={1,4} matrix.
+// ------------------------------------------------------------------
+fn smoke(report: &mut Report, scale: Scale, timings: &mut Vec<JsonTiming>) {
+    report.section("Smoke: per-algorithm timings (CI shard matrix)");
+    let shards = SHARDS.load(std::sync::atomic::Ordering::Relaxed);
+    let algos: [(&'static str, AlgorithmChoice); 5] = [
+        ("Baseline", AlgorithmChoice::Baseline),
+        ("PETopK", AlgorithmChoice::PatternEnum),
+        ("PETopK-pruned", AlgorithmChoice::PatternEnumPruned),
+        ("LinearEnum", AlgorithmChoice::LinearEnum),
+        ("LETopK", AlgorithmChoice::LinearEnumTopK),
+    ];
+    for (dataset, g) in [
+        ("zipf-wiki", wiki_graph(scale)),
+        ("figure1", patternkb_datagen::figure1().0),
+    ] {
+        let e = engine_for(g, 3);
+        let queries = query_batch(&e, scale, 3, 97);
+        if queries.is_empty() {
+            report.line(&format!("{dataset}: no queries generated, skipped"));
+            continue;
+        }
+        report.line(&format!(
+            "{dataset}: {} nodes, {} shard(s), {} queries",
+            e.graph().num_nodes(),
+            e.num_shards(),
+            queries.len()
+        ));
+        let mut rows = vec![vec![
+            "algorithm".into(),
+            "queries".into(),
+            "total (ms)".into(),
+            "geo (ms)".into(),
+        ]];
+        for (name, algo) in algos {
+            let mut durations = Vec::with_capacity(queries.len());
+            for q in &queries {
+                let r = respond_algo(&e, q, &SearchConfig::top(10), algo, None);
+                durations.push(r.stats.elapsed);
+            }
+            let eb = ErrorBar::of(&durations).expect("non-empty");
+            let total_ms: f64 = durations.iter().map(|d| d.as_secs_f64() * 1e3).sum();
+            rows.push(vec![
+                name.to_string(),
+                format!("{}", queries.len()),
+                format!("{total_ms:.2}"),
+                format!("{:.3}", eb.geo_ms),
+            ]);
+            timings.push(JsonTiming {
+                experiment: "smoke",
+                dataset: dataset.to_string(),
+                algorithm: name.to_string(),
+                queries: queries.len(),
+                total_ms,
+                geo_ms: eb.geo_ms,
+            });
+        }
+        report.table(&rows);
+    }
+    report.line(&format!(
+        "(sharded answers are bit-identical to shards=1; this table tracks latency at shards={})",
+        if shards == 0 {
+            "auto".into()
+        } else {
+            shards.to_string()
+        }
+    ));
+}
+
+// ------------------------------------------------------------------
 // §4.1 worst case: PETopK's Θ(p²) empty joins vs LETopK.
 // ------------------------------------------------------------------
 fn worst_case(report: &mut Report) {
@@ -938,7 +1111,11 @@ fn ablation_incremental(report: &mut Report, scale: Scale) {
     use patternkb_index::refresh_indexes;
 
     report.section("Ablation E: incremental index refresh vs full rebuild");
-    let cfg = BuildConfig { d: 3, threads: 0 };
+    let cfg = BuildConfig {
+        d: 3,
+        threads: 0,
+        shards: 1,
+    };
     let g = wiki_graph(scale);
     let text = TextIndex::build(&g, SynonymTable::default_english());
     let idx = build_indexes(&g, &text, &cfg);
@@ -1001,7 +1178,15 @@ fn ablation_compression(report: &mut Report, scale: Scale) {
         "decode-all (ms)".into(),
     ]];
     for d in [2usize, 3] {
-        let idx = build_indexes(&g, &text, &BuildConfig { d, threads: 0 });
+        let idx = build_indexes(
+            &g,
+            &text,
+            &BuildConfig {
+                d,
+                threads: 0,
+                shards: 0,
+            },
+        );
         let comp = CompressedPathIndexes::compress(&idx);
         let t0 = Instant::now();
         let back = comp.decompress().expect("decodes");

@@ -9,12 +9,25 @@ use patternkb_search::{
 };
 use patternkb_text::SynonymTable;
 
-/// Build a bench engine: English synonyms, height `d`, all cores.
+/// Build a bench engine: English synonyms, height `d`, all cores, one
+/// index shard per core.
 pub fn engine(g: KnowledgeGraph, d: usize) -> SearchEngine {
     EngineBuilder::new()
         .graph(g)
         .synonyms(SynonymTable::default_english())
         .height(d)
+        .build()
+        .expect("bench d in range")
+}
+
+/// [`engine`] with an explicit root-range shard count (the shard-scaling
+/// sweep's knob; answers are bit-identical across shard counts).
+pub fn engine_sharded(g: KnowledgeGraph, d: usize, shards: usize) -> SearchEngine {
+    EngineBuilder::new()
+        .graph(g)
+        .synonyms(SynonymTable::default_english())
+        .height(d)
+        .shards(shards)
         .build()
         .expect("bench d in range")
 }

@@ -40,12 +40,45 @@ pub struct BuildConfig {
     pub d: usize,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Root-range shards to partition the index into (0 = available
+    /// parallelism). Sharded execution is result-identical to `shards: 1`;
+    /// see [`crate::word_index::PathIndexes`].
+    pub shards: usize,
 }
 
 impl Default for BuildConfig {
     fn default() -> Self {
-        BuildConfig { d: 3, threads: 0 }
+        BuildConfig {
+            d: 3,
+            threads: 0,
+            shards: 1,
+        }
     }
+}
+
+/// Resolve a `0 = auto` knob against available parallelism.
+pub(crate) fn resolve_auto(value: usize) -> usize {
+    if value == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        value
+    }
+}
+
+/// Shard boundaries for `n` nodes in `shards` contiguous ranges. The last
+/// bound is `u32::MAX` so nodes added by later deltas land in the last
+/// shard.
+pub(crate) fn shard_bounds(n: usize, shards: usize) -> Vec<u32> {
+    let shards = shards.clamp(1, n.max(1));
+    let chunk = n.div_ceil(shards).max(1);
+    let mut bounds = Vec::with_capacity(shards + 1);
+    for s in 0..shards {
+        bounds.push((s * chunk).min(n) as u32);
+    }
+    bounds.push(u32::MAX);
+    bounds
 }
 
 /// One raw (pre-merge) posting produced by a worker.
@@ -76,14 +109,8 @@ pub fn build_indexes(g: &KnowledgeGraph, text: &TextIndex, cfg: &BuildConfig) ->
         "height threshold d must be in 1..={MAX_D}"
     );
     let n = g.num_nodes();
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    } else {
-        cfg.threads
-    };
-    let threads = threads.clamp(1, n.max(1));
+    let threads = resolve_auto(cfg.threads).clamp(1, n.max(1));
+    let bounds = shard_bounds(n, resolve_auto(cfg.shards));
 
     let outs: Vec<WorkerOut> = if threads == 1 || n < 4096 {
         vec![build_range(g, text, cfg.d, 0, n)]
@@ -104,7 +131,7 @@ pub fn build_indexes(g: &KnowledgeGraph, text: &TextIndex, cfg: &BuildConfig) ->
             .collect()
     };
 
-    merge(cfg.d, outs)
+    merge(cfg.d, bounds, outs)
 }
 
 /// DFS over roots `[lo, hi)`, emitting raw entries with worker-local
@@ -232,10 +259,16 @@ fn merge_sorted(a: &[WordId], b: &[WordId], out: &mut Vec<WordId>) {
     out.extend_from_slice(&b[j..]);
 }
 
-/// Re-intern worker-local patterns globally and assemble per-word indexes.
-fn merge(d: usize, outs: Vec<WorkerOut>) -> PathIndexes {
+/// Re-intern worker-local patterns globally, route every posting to the
+/// shard owning its root, and assemble per-shard per-word indexes.
+fn merge(d: usize, bounds: Vec<u32>, outs: Vec<WorkerOut>) -> PathIndexes {
+    let num_shards = bounds.len() - 1;
+    let shard_of = |root: NodeId| -> usize {
+        (bounds.partition_point(|&b| b <= root.0) - 1).min(num_shards - 1)
+    };
     let mut global = PatternSet::new();
-    let mut per_word: FxHashMap<WordId, (Vec<Posting>, Vec<NodeId>)> = FxHashMap::default();
+    let mut per_shard: Vec<FxHashMap<WordId, (Vec<Posting>, Vec<NodeId>)>> =
+        (0..num_shards).map(|_| FxHashMap::default()).collect();
 
     for out in outs {
         // local pattern id -> global id
@@ -247,7 +280,7 @@ fn merge(d: usize, outs: Vec<WorkerOut>) -> PathIndexes {
             })
             .collect();
         for e in out.entries {
-            let (postings, arena) = per_word.entry(e.word).or_default();
+            let (postings, arena) = per_shard[shard_of(e.root)].entry(e.word).or_default();
             let start = arena.len() as u32;
             arena.extend_from_slice(&e.nodes[..e.nodes_len as usize]);
             postings.push(Posting {
@@ -262,11 +295,18 @@ fn merge(d: usize, outs: Vec<WorkerOut>) -> PathIndexes {
         }
     }
 
-    let words: FxHashMap<WordId, WordPathIndex> = per_word
+    let shards: Vec<crate::word_index::IndexShard> = per_shard
         .into_iter()
-        .map(|(w, (postings, arena))| (w, WordPathIndex::new(postings, arena)))
+        .map(|per_word| {
+            crate::word_index::IndexShard::new(
+                per_word
+                    .into_iter()
+                    .map(|(w, (postings, arena))| (w, WordPathIndex::new(postings, arena)))
+                    .collect(),
+            )
+        })
         .collect();
-    PathIndexes::new(d, global, words)
+    PathIndexes::new(d, global, bounds, shards)
 }
 
 #[cfg(test)]
@@ -301,7 +341,15 @@ mod tests {
     #[test]
     fn node_terminal_paths_found() {
         let (g, t) = sample();
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let db = word(&t, "database");
         let widx = idx.word(db).expect("database indexed");
         // Paths ending at "Relational database": from its own root (trivial)
@@ -314,7 +362,15 @@ mod tests {
     #[test]
     fn edge_terminal_paths_found() {
         let (g, t) = sample();
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let revenue = word(&t, "revenue");
         let widx = idx.word(revenue).expect("revenue indexed");
         // Ending at the Revenue edge: from Microsoft (2 nodes incl leaf) and
@@ -332,12 +388,20 @@ mod tests {
     fn height_bound_respected() {
         let (g, t) = sample();
         // With d = 2 the 3-node revenue path from SQL Server must vanish.
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let revenue = word(&t, "revenue");
         let widx = idx.word(revenue).expect("revenue indexed");
         assert_eq!(widx.len(), 1);
         assert_eq!(widx.roots().len(), 1);
-        for (_, w) in idx.iter_words() {
+        for (_, w) in idx.shards()[0].iter_words() {
             for pat in w.patterns() {
                 assert!(idx.patterns().height(pat) <= 2);
             }
@@ -347,7 +411,15 @@ mod tests {
     #[test]
     fn scoring_terms_precomputed() {
         let (g, t) = sample();
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let db = word(&t, "database");
         let widx = idx.word(db).unwrap();
         for pat in widx.patterns() {
@@ -363,7 +435,15 @@ mod tests {
     #[test]
     fn type_words_match_all_nodes_of_type() {
         let (g, t) = sample();
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let software = word(&t, "software");
         let widx = idx.word(software).unwrap();
         // "software" matches the SQL Server node via its type; paths: the
@@ -392,12 +472,28 @@ mod tests {
         }
         let g = b.build();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let serial = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
-        let parallel = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 4 });
+        let serial = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
+        let parallel = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 4,
+                shards: 1,
+            },
+        );
         assert_eq!(serial.num_postings(), parallel.num_postings());
         assert_eq!(serial.patterns().len(), parallel.patterns().len());
         // Compare per-word posting multisets via a canonical projection.
-        for (w, ws) in serial.iter_words() {
+        for (w, ws) in serial.shards()[0].iter_words() {
             let wp = parallel.word(w).expect("word in parallel index");
             let canon = |idx: &WordPathIndex| {
                 let mut v: Vec<(Vec<NodeId>, bool, u64, u64)> = idx
@@ -424,6 +520,91 @@ mod tests {
     #[should_panic(expected = "height threshold")]
     fn rejects_bad_d() {
         let (g, t) = sample();
-        build_indexes(&g, &t, &BuildConfig { d: 0, threads: 1 });
+        build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 0,
+                threads: 1,
+                shards: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn sharded_build_partitions_by_root_range() {
+        let (g, t) = sample();
+        for shards in [1usize, 2, 3, 7] {
+            let idx = build_indexes(
+                &g,
+                &t,
+                &BuildConfig {
+                    d: 3,
+                    threads: 1,
+                    shards,
+                },
+            );
+            assert_eq!(idx.num_shards(), shards.min(g.num_nodes()));
+            assert_eq!(idx.bounds().len(), idx.num_shards() + 1);
+            // Every posting's root lies in its shard's declared range.
+            for (s, shard) in idx.shards().iter().enumerate() {
+                let (lo, hi) = (idx.bounds()[s], idx.bounds()[s + 1]);
+                for (_, widx) in shard.iter_words() {
+                    for p in widx.postings_pattern_first() {
+                        assert!(p.root.0 >= lo && (hi == u32::MAX || p.root.0 < hi));
+                        assert_eq!(idx.shard_of_root(p.root), s);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_holds_same_postings_as_single() {
+        let (g, t) = sample();
+        let single = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
+        let canon = |idx: &PathIndexes| {
+            let mut rows: Vec<(u32, Vec<u32>, Vec<NodeId>, bool, u64, u64)> = Vec::new();
+            for shard in idx.shards() {
+                for (w, widx) in shard.iter_words() {
+                    for p in widx.postings_pattern_first() {
+                        rows.push((
+                            w.0,
+                            idx.patterns().key(p.pattern).to_vec(),
+                            widx.nodes_of(p).to_vec(),
+                            p.edge_terminal,
+                            p.pagerank.to_bits(),
+                            p.sim.to_bits(),
+                        ));
+                    }
+                }
+            }
+            rows.sort();
+            rows
+        };
+        let reference = canon(&single);
+        for shards in [2usize, 3, 7] {
+            let idx = build_indexes(
+                &g,
+                &t,
+                &BuildConfig {
+                    d: 3,
+                    threads: 1,
+                    shards,
+                },
+            );
+            assert_eq!(canon(&idx), reference, "shards = {shards}");
+            assert_eq!(idx.num_postings(), single.num_postings());
+            assert_eq!(idx.num_words(), single.num_words());
+            assert_eq!(idx.patterns().len(), single.patterns().len());
+        }
     }
 }

@@ -175,24 +175,33 @@ impl CompressedWordIndex {
 }
 
 /// All per-word compressed streams plus the (uncompressed — it is tiny)
-/// shared pattern set. A cold-storage drop-in for [`PathIndexes`].
+/// shared pattern set. A cold-storage drop-in for [`PathIndexes`],
+/// mirroring its root-range shard layout segment by segment.
 pub struct CompressedPathIndexes {
     d: usize,
     patterns: PatternSet,
-    words: FxHashMap<WordId, CompressedWordIndex>,
+    bounds: Vec<u32>,
+    shards: Vec<FxHashMap<WordId, CompressedWordIndex>>,
 }
 
 impl CompressedPathIndexes {
-    /// Compress every word of `idx`.
+    /// Compress every word of every shard of `idx`.
     pub fn compress(idx: &PathIndexes) -> Self {
-        let words = idx
-            .iter_words()
-            .map(|(w, widx)| (w, CompressedWordIndex::from_word_index(widx)))
+        let shards = idx
+            .shards()
+            .iter()
+            .map(|shard| {
+                shard
+                    .iter_words()
+                    .map(|(w, widx)| (w, CompressedWordIndex::from_word_index(widx)))
+                    .collect()
+            })
             .collect();
         CompressedPathIndexes {
             d: idx.d(),
             patterns: idx.patterns().clone(),
-            words,
+            bounds: idx.bounds().to_vec(),
+            shards,
         }
     }
 
@@ -206,37 +215,104 @@ impl CompressedPathIndexes {
         &self.patterns
     }
 
-    /// Decode one word's postings into a queryable index — the unit of
-    /// work for query processing, which touches only the query keywords.
-    pub fn decompress_word(&self, w: WordId) -> Option<Result<WordPathIndex, CompressError>> {
-        self.words.get(&w).map(|c| c.decode())
+    /// Number of root-range shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Decode everything back into a full [`PathIndexes`].
-    pub fn decompress(&self) -> Result<PathIndexes, CompressError> {
-        let mut words = FxHashMap::default();
-        for (&w, c) in &self.words {
-            words.insert(w, c.decode()?);
+    /// Check every decoded posting's root against the shard's declared
+    /// range — the same invariant the raw snapshot decoder enforces, so a
+    /// corrupted delta-coded root stream surfaces as an error instead of
+    /// silently breaking the shard layout (mis-routed roots would corrupt
+    /// the cross-shard candidate-root merge and incremental routing).
+    fn check_shard_range(&self, s: usize, widx: &WordPathIndex) -> Result<(), CompressError> {
+        let (lo, hi) = (self.bounds[s], self.bounds[s + 1]);
+        for p in widx.postings_pattern_first() {
+            if p.root.0 < lo || (hi != u32::MAX && p.root.0 >= hi) {
+                return Err(CompressError::Corrupt("root outside shard bounds"));
+            }
         }
-        Ok(PathIndexes::new(self.d, self.patterns.clone(), words))
+        Ok(())
     }
 
-    /// Number of words with postings.
+    /// Decode one word's postings (merged across shards) into a queryable
+    /// index — the unit of work for query processing, which touches only
+    /// the query keywords.
+    pub fn decompress_word(&self, w: WordId) -> Option<Result<WordPathIndex, CompressError>> {
+        let streams: Vec<(usize, &CompressedWordIndex)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, shard)| shard.get(&w).map(|c| (s, c)))
+            .collect();
+        if streams.is_empty() {
+            return None;
+        }
+        let merge = || -> Result<WordPathIndex, CompressError> {
+            let mut postings: Vec<Posting> = Vec::new();
+            let mut arena: Vec<NodeId> = Vec::new();
+            for (s, c) in streams {
+                let part = c.decode()?;
+                self.check_shard_range(s, &part)?;
+                let base = arena.len() as u32;
+                arena.extend_from_slice(part.arena());
+                postings.extend(part.postings_pattern_first().iter().map(|p| Posting {
+                    nodes_start: p.nodes_start + base,
+                    ..*p
+                }));
+            }
+            Ok(WordPathIndex::new(postings, arena))
+        };
+        Some(merge())
+    }
+
+    /// Decode everything back into a full (sharded) [`PathIndexes`].
+    pub fn decompress(&self) -> Result<PathIndexes, CompressError> {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut words = FxHashMap::default();
+            for (&w, c) in shard {
+                let widx = c.decode()?;
+                self.check_shard_range(s, &widx)?;
+                words.insert(w, widx);
+            }
+            shards.push(crate::word_index::IndexShard::new(words));
+        }
+        Ok(PathIndexes::new(
+            self.d,
+            self.patterns.clone(),
+            self.bounds.clone(),
+            shards,
+        ))
+    }
+
+    /// Number of distinct words with postings.
     pub fn num_words(&self) -> usize {
-        self.words.len()
+        let mut ids: Vec<WordId> = self.shards.iter().flat_map(|s| s.keys().copied()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
     }
 
-    /// Total postings across all words.
+    /// Total postings across all words and shards.
     pub fn num_postings(&self) -> usize {
-        self.words.values().map(|c| c.len()).sum()
+        self.shards
+            .iter()
+            .flat_map(|s| s.values())
+            .map(|c| c.len())
+            .sum()
     }
 
     /// Resident bytes: streams plus the pattern set.
     pub fn heap_bytes(&self) -> usize {
-        self.words.values().map(|c| c.heap_bytes()).sum::<usize>()
+        let entries: usize = self.shards.iter().map(|s| s.len()).sum();
+        self.shards
+            .iter()
+            .flat_map(|s| s.values())
+            .map(|c| c.heap_bytes())
+            .sum::<usize>()
             + self.patterns.heap_bytes()
-            + self.words.len()
-                * (std::mem::size_of::<WordId>() + std::mem::size_of::<CompressedWordIndex>())
+            + entries * (std::mem::size_of::<WordId>() + std::mem::size_of::<CompressedWordIndex>())
     }
 
     /// `compressed bytes / uncompressed bytes` for the posting payload.
@@ -244,19 +320,22 @@ impl CompressedPathIndexes {
         self.heap_bytes() as f64 / idx.heap_bytes() as f64
     }
 
-    /// Test/diagnostic hook: flip one byte of one word's stream, returning
-    /// `false` if the word is absent or empty. Used by failure-injection
-    /// tests to prove corrupted streams surface errors instead of garbage.
+    /// Test/diagnostic hook: flip one byte of one word's stream (first
+    /// shard containing it), returning `false` if the word is absent or
+    /// empty. Used by failure-injection tests to prove corrupted streams
+    /// surface errors instead of garbage.
     #[doc(hidden)]
     pub fn corrupt_for_test(&mut self, w: WordId, byte: usize) -> bool {
-        match self.words.get_mut(&w) {
-            Some(c) if !c.bytes.is_empty() => {
-                let i = byte % c.bytes.len();
-                c.bytes[i] ^= 0xa5;
-                true
+        for shard in &mut self.shards {
+            if let Some(c) = shard.get_mut(&w) {
+                if !c.bytes.is_empty() {
+                    let i = byte % c.bytes.len();
+                    c.bytes[i] ^= 0xa5;
+                    return true;
+                }
             }
-            _ => false,
         }
+        false
     }
 }
 
@@ -265,18 +344,24 @@ impl CompressedPathIndexes {
 // ---------------------------------------------------------------------
 
 const MAGIC: &[u8; 4] = b"PKBC";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const V1: u32 = 1;
 
 impl CompressedPathIndexes {
     /// Serialize to a versioned byte image. Typically ~4–5× smaller than
     /// the raw [`crate::snapshot`] image, since the posting payload *is*
-    /// the compressed stream.
+    /// the compressed stream. Version 2 stores one segment per shard; a
+    /// version-1 (pre-shard) image still decodes, as a single shard.
     pub fn encode(&self) -> Vec<u8> {
         use bytes::BufMut;
         let mut buf = Vec::with_capacity(self.heap_bytes() + 1024);
         buf.extend_from_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u32_le(self.d as u32);
+        buf.put_u32_le(self.shards.len() as u32);
+        for &b in &self.bounds {
+            buf.put_u32_le(b);
+        }
         buf.put_u32_le(self.patterns.len() as u32);
         for i in 0..self.patterns.len() {
             let key = self.patterns.key(PatternId(i as u32));
@@ -285,15 +370,17 @@ impl CompressedPathIndexes {
                 buf.put_u32_le(v);
             }
         }
-        // Deterministic word order for reproducible images.
-        let mut words: Vec<(&WordId, &CompressedWordIndex)> = self.words.iter().collect();
-        words.sort_by_key(|(w, _)| **w);
-        buf.put_u32_le(words.len() as u32);
-        for (w, c) in words {
-            buf.put_u32_le(w.0);
-            buf.put_u32_le(c.num_postings);
-            buf.put_u32_le(c.bytes.len() as u32);
-            buf.extend_from_slice(&c.bytes);
+        for shard in &self.shards {
+            // Deterministic word order for reproducible images.
+            let mut words: Vec<(&WordId, &CompressedWordIndex)> = shard.iter().collect();
+            words.sort_by_key(|(w, _)| **w);
+            buf.put_u32_le(words.len() as u32);
+            for (w, c) in words {
+                buf.put_u32_le(w.0);
+                buf.put_u32_le(c.num_postings);
+                buf.put_u32_le(c.bytes.len() as u32);
+                buf.extend_from_slice(&c.bytes);
+            }
         }
         buf
     }
@@ -318,13 +405,31 @@ impl CompressedPathIndexes {
             return Err(CompressError::Corrupt("bad magic"));
         }
         let version = get_u32(&mut pos)?;
-        if version != VERSION {
+        if version != VERSION && version != V1 {
             return Err(CompressError::Corrupt("unsupported version"));
         }
         let d = get_u32(&mut pos)? as usize;
         if d == 0 || d > crate::build::MAX_D {
             return Err(CompressError::Corrupt("height threshold out of range"));
         }
+        let bounds: Vec<u32> = if version == V1 {
+            vec![0, u32::MAX]
+        } else {
+            let nshards = get_u32(&mut pos)? as usize;
+            if nshards == 0 {
+                return Err(CompressError::Corrupt("zero shards"));
+            }
+            let bounds: Vec<u32> = (0..=nshards)
+                .map(|_| get_u32(&mut pos))
+                .collect::<Result<_, _>>()?;
+            if bounds[0] != 0
+                || *bounds.last().expect("non-empty") != u32::MAX
+                || bounds.windows(2).any(|w| w[0] > w[1])
+            {
+                return Err(CompressError::Corrupt("bad shard bounds"));
+            }
+            bounds
+        };
         let npat = get_u32(&mut pos)? as usize;
         let mut patterns = PatternSet::new();
         let mut key: Vec<u32> = Vec::new();
@@ -339,25 +444,34 @@ impl CompressedPathIndexes {
             }
             patterns.intern_key(&key);
         }
-        let nwords = get_u32(&mut pos)? as usize;
-        let mut words = FxHashMap::default();
-        for _ in 0..nwords {
-            let w = WordId(get_u32(&mut pos)?);
-            let num_postings = get_u32(&mut pos)?;
-            let nbytes = get_u32(&mut pos)? as usize;
-            let stream = take(&mut pos, nbytes)?.to_vec().into_boxed_slice();
-            words.insert(
-                w,
-                CompressedWordIndex {
-                    bytes: stream,
-                    num_postings,
-                },
-            );
+        let mut shards = Vec::with_capacity(bounds.len() - 1);
+        for _ in 0..bounds.len() - 1 {
+            let nwords = get_u32(&mut pos)? as usize;
+            let mut words = FxHashMap::default();
+            for _ in 0..nwords {
+                let w = WordId(get_u32(&mut pos)?);
+                let num_postings = get_u32(&mut pos)?;
+                let nbytes = get_u32(&mut pos)? as usize;
+                let stream = take(&mut pos, nbytes)?.to_vec().into_boxed_slice();
+                words.insert(
+                    w,
+                    CompressedWordIndex {
+                        bytes: stream,
+                        num_postings,
+                    },
+                );
+            }
+            shards.push(words);
         }
         if pos != data.len() {
             return Err(CompressError::Corrupt("trailing bytes"));
         }
-        Ok(CompressedPathIndexes { d, patterns, words })
+        Ok(CompressedPathIndexes {
+            d,
+            patterns,
+            bounds,
+            shards,
+        })
     }
 
     /// Write the encoded image to `path`.
@@ -422,11 +536,19 @@ mod tests {
     #[test]
     fn roundtrip_is_bit_exact() {
         let (g, t) = sample(40);
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let comp = CompressedPathIndexes::compress(&idx);
         let back = comp.decompress().expect("decodes");
         assert_eq!(back.num_postings(), idx.num_postings());
-        for (w, widx) in idx.iter_words() {
+        for (w, widx) in idx.shards()[0].iter_words() {
             let bw = back.word(w).expect("word survives");
             assert_eq!(
                 canon_word(idx.patterns(), widx),
@@ -437,9 +559,96 @@ mod tests {
     }
 
     #[test]
+    fn sharded_roundtrip_and_image_are_bit_exact() {
+        let (g, t) = sample(60);
+        for shards in [2usize, 3, 5] {
+            let idx = build_indexes(
+                &g,
+                &t,
+                &BuildConfig {
+                    d: 3,
+                    threads: 1,
+                    shards,
+                },
+            );
+            let comp = CompressedPathIndexes::compress(&idx);
+            assert_eq!(comp.num_shards(), shards);
+            // In-memory round trip preserves the shard layout and postings.
+            let back = comp.decompress().expect("decodes");
+            assert_eq!(back.num_shards(), shards);
+            assert_eq!(back.bounds(), idx.bounds());
+            for (a, b) in idx.shards().iter().zip(back.shards()) {
+                assert_eq!(a.num_postings(), b.num_postings());
+                for (w, widx) in a.iter_words() {
+                    let bw = b.word(w).expect("word survives in its shard");
+                    assert_eq!(
+                        canon_word(idx.patterns(), widx),
+                        canon_word(back.patterns(), bw)
+                    );
+                }
+            }
+            // Per-word decode merges across shards into the full list.
+            let w = t.lookup_word("alpha").unwrap();
+            let merged = comp.decompress_word(w).expect("present").expect("decodes");
+            let mut expected: Vec<_> = idx
+                .word_shards(w)
+                .flat_map(|(_, widx)| canon_word(idx.patterns(), widx))
+                .collect();
+            expected.sort();
+            assert_eq!(canon_word(comp.patterns(), &merged), expected);
+            // The on-disk image round-trips the segments too.
+            let image = comp.encode();
+            let decoded = CompressedPathIndexes::decode(&image).expect("image decodes");
+            assert_eq!(decoded.num_shards(), shards);
+            assert_eq!(
+                decoded.decompress().unwrap().num_postings(),
+                idx.num_postings()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_roots_outside_shard_bounds() {
+        let (g, t) = sample(30);
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 3,
+            },
+        );
+        let mut comp = CompressedPathIndexes::compress(&idx);
+        // Move a populated shard-1 stream into shard 0: its roots now fall
+        // outside shard 0's declared range.
+        let (w, stream) = {
+            let (w, c) = comp.shards[1].iter().next().expect("shard 1 has words");
+            (*w, c.clone())
+        };
+        comp.shards[0].insert(w, stream);
+        assert!(matches!(
+            comp.decompress(),
+            Err(CompressError::Corrupt("root outside shard bounds"))
+        ));
+        assert!(matches!(
+            comp.decompress_word(w),
+            Some(Err(CompressError::Corrupt("root outside shard bounds")))
+        ));
+    }
+
+    #[test]
     fn per_word_decode_matches() {
         let (g, t) = sample(24);
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let comp = CompressedPathIndexes::compress(&idx);
         let w = t.lookup_word("alpha").unwrap();
         let one = comp.decompress_word(w).expect("present").expect("decodes");
@@ -453,7 +662,15 @@ mod tests {
     #[test]
     fn compression_shrinks_realistic_lists() {
         let (g, t) = sample(200);
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let comp = CompressedPathIndexes::compress(&idx);
         let ratio = comp.ratio_against(&idx);
         assert!(
@@ -467,10 +684,18 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let (g, t) = sample(16);
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let comp = CompressedPathIndexes::compress(&idx);
         let w = t.lookup_word("alpha").unwrap();
-        let full = &comp.words[&w];
+        let full = &comp.shards[0][&w];
         for cut in [
             0,
             1,
@@ -488,11 +713,19 @@ mod tests {
     #[test]
     fn bit_flips_never_panic() {
         let (g, t) = sample(16);
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let w = t.lookup_word("alpha").unwrap();
         let reference = canon_word(idx.patterns(), idx.word(w).unwrap());
         let base = CompressedPathIndexes::compress(&idx);
-        let stream_len = base.words[&w].heap_bytes();
+        let stream_len = base.shards[0][&w].heap_bytes();
         for byte in 0..stream_len {
             let mut comp = CompressedPathIndexes::compress(&idx);
             assert!(comp.corrupt_for_test(w, byte));
@@ -572,7 +805,15 @@ mod tests {
     #[test]
     fn snapshot_roundtrip_and_size() {
         let (g, t) = sample(120);
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let comp = CompressedPathIndexes::compress(&idx);
         let image = comp.encode();
         let raw_image = crate::snapshot::encode(&idx);
@@ -587,7 +828,7 @@ mod tests {
         assert_eq!(back.num_postings(), comp.num_postings());
         let full = back.decompress().expect("streams valid");
         assert_eq!(full.num_postings(), idx.num_postings());
-        for (w, widx) in idx.iter_words() {
+        for (w, widx) in idx.shards()[0].iter_words() {
             let bw = full.word(w).expect("word survives");
             assert_eq!(
                 canon_word(idx.patterns(), widx),
@@ -599,7 +840,15 @@ mod tests {
     #[test]
     fn snapshot_truncation_and_corruption_rejected() {
         let (g, t) = sample(24);
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let image = CompressedPathIndexes::compress(&idx).encode();
         for cut in [0usize, 3, 7, image.len() / 2, image.len() - 1] {
             assert!(
@@ -621,7 +870,15 @@ mod tests {
     #[test]
     fn snapshot_file_roundtrip() {
         let (g, t) = sample(16);
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let comp = CompressedPathIndexes::compress(&idx);
         let dir = std::env::temp_dir().join("patternkb_compress_snapshot");
         std::fs::create_dir_all(&dir).unwrap();
@@ -643,7 +900,15 @@ mod tests {
         b.add_node(t0, "solo");
         let g = b.build();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let comp = CompressedPathIndexes::compress(&idx);
         let back = comp.decompress().unwrap();
         assert_eq!(back.num_postings(), idx.num_postings());

@@ -110,8 +110,9 @@ pub fn refresh_indexes(
 
     // --- 2. Word-id remap old → new through canonical forms. ---
     let remap: FxHashMap<WordId, WordId> = old
-        .iter_words()
-        .map(|(w, _)| {
+        .word_ids()
+        .into_iter()
+        .map(|w| {
             let canon = old_text.vocab().resolve(w);
             let nw = new_text
                 .vocab()
@@ -121,54 +122,63 @@ pub fn refresh_indexes(
         })
         .collect();
 
-    // --- 3. Carry over postings of unaffected roots. ---
+    // --- 3. Carry over postings of unaffected roots, shard by shard
+    //        (unaffected roots stay in their owning shard). ---
+    let bounds = old.bounds().to_vec();
+    let num_shards = old.num_shards();
     let mut patterns: PatternSet = old.patterns().clone();
     let patterns_before = patterns.len();
-    let mut acc: FxHashMap<WordId, (Vec<Posting>, Vec<NodeId>)> = FxHashMap::default();
-    for (w, widx) in old.iter_words() {
-        let nw = remap[&w];
-        let (postings, arena) = acc.entry(nw).or_default();
-        for p in widx.postings_pattern_first() {
-            if affected[p.root.index()] {
-                stats.postings_dropped += 1;
-                continue;
-            }
-            let nodes = widx.nodes_of(p);
-            let start = arena.len() as u32;
-            arena.extend_from_slice(nodes);
-            let pagerank = if refresh_pagerank {
-                // Matched node: the terminal for node matches, the edge's
-                // source (second-to-last stored node — the leaf is
-                // appended) for edge matches.
-                let matched = if p.edge_terminal {
-                    nodes[nodes.len() - 2]
+    let mut acc: Vec<FxHashMap<WordId, (Vec<Posting>, Vec<NodeId>)>> =
+        (0..num_shards).map(|_| FxHashMap::default()).collect();
+    for (s, shard) in old.shards().iter().enumerate() {
+        for (w, widx) in shard.iter_words() {
+            let nw = remap[&w];
+            let (postings, arena) = acc[s].entry(nw).or_default();
+            for p in widx.postings_pattern_first() {
+                if affected[p.root.index()] {
+                    stats.postings_dropped += 1;
+                    continue;
+                }
+                let nodes = widx.nodes_of(p);
+                let start = arena.len() as u32;
+                arena.extend_from_slice(nodes);
+                let pagerank = if refresh_pagerank {
+                    // Matched node: the terminal for node matches, the edge's
+                    // source (second-to-last stored node — the leaf is
+                    // appended) for edge matches.
+                    let matched = if p.edge_terminal {
+                        nodes[nodes.len() - 2]
+                    } else {
+                        *nodes.last().expect("non-empty path")
+                    };
+                    new_g.pagerank(matched)
                 } else {
-                    *nodes.last().expect("non-empty path")
+                    p.pagerank
                 };
-                new_g.pagerank(matched)
-            } else {
-                p.pagerank
-            };
-            postings.push(Posting {
-                pattern: p.pattern,
-                root: p.root,
-                nodes_start: start,
-                nodes_len: p.nodes_len,
-                edge_terminal: p.edge_terminal,
-                pagerank,
-                sim: p.sim,
-            });
-            stats.postings_kept += 1;
+                postings.push(Posting {
+                    pattern: p.pattern,
+                    root: p.root,
+                    nodes_start: start,
+                    nodes_len: p.nodes_len,
+                    edge_terminal: p.edge_terminal,
+                    pagerank,
+                    sim: p.sim,
+                });
+                stats.postings_kept += 1;
+            }
         }
     }
 
-    // --- 4. Re-enumerate the affected roots on the new graph. ---
+    // --- 4. Re-enumerate the affected roots on the new graph, routing
+    //        each fresh posting to the shard owning its root (new nodes
+    //        beyond the old bounds land in the last shard). ---
     let out = build::build_roots(new_g, new_text, d, affected_roots.iter().copied());
     let pat_remap: Vec<PatternId> = (0..out.patterns.len())
         .map(|i| patterns.intern_key(out.patterns.key(PatternId(i as u32))))
         .collect();
     for e in out.entries {
-        let (postings, arena) = acc.entry(e.word).or_default();
+        let s = (bounds.partition_point(|&b| b <= e.root.0) - 1).min(num_shards - 1);
+        let (postings, arena) = acc[s].entry(e.word).or_default();
         let start = arena.len() as u32;
         arena.extend_from_slice(&e.nodes[..e.nodes_len as usize]);
         postings.push(Posting {
@@ -185,12 +195,19 @@ pub fn refresh_indexes(
     stats.patterns_added = patterns.len() - patterns_before;
 
     // --- 5. Re-freeze per-word indexes (drops words left empty). ---
-    let words: FxHashMap<WordId, WordPathIndex> = acc
+    let shards: Vec<crate::word_index::IndexShard> = acc
         .into_iter()
-        .filter(|(_, (postings, _))| !postings.is_empty())
-        .map(|(w, (postings, arena))| (w, WordPathIndex::new(postings, arena)))
+        .map(|per_word| {
+            crate::word_index::IndexShard::new(
+                per_word
+                    .into_iter()
+                    .filter(|(_, (postings, _))| !postings.is_empty())
+                    .map(|(w, (postings, arena))| (w, WordPathIndex::new(postings, arena)))
+                    .collect(),
+            )
+        })
         .collect();
-    (PathIndexes::new(d, patterns, words), stats)
+    (PathIndexes::new(d, patterns, bounds, shards), stats)
 }
 
 #[cfg(test)]
@@ -208,28 +225,30 @@ mod tests {
         idx: &PathIndexes,
         text: &TextIndex,
     ) -> Vec<(String, Vec<(Vec<u32>, Vec<NodeId>, bool, u64, u64)>)> {
-        let mut by_word: Vec<(String, Vec<(Vec<u32>, Vec<NodeId>, bool, u64, u64)>)> = idx
-            .iter_words()
-            .map(|(w, widx)| {
-                let mut rows: Vec<(Vec<u32>, Vec<NodeId>, bool, u64, u64)> = widx
-                    .postings_pattern_first()
-                    .iter()
-                    .map(|p| {
-                        (
-                            idx.patterns().key(p.pattern).to_vec(),
-                            widx.nodes_of(p).to_vec(),
-                            p.edge_terminal,
-                            p.pagerank.to_bits(),
-                            p.sim.to_bits(),
-                        )
-                    })
-                    .collect();
+        let mut acc: std::collections::BTreeMap<
+            String,
+            Vec<(Vec<u32>, Vec<NodeId>, bool, u64, u64)>,
+        > = std::collections::BTreeMap::new();
+        for shard in idx.shards() {
+            for (w, widx) in shard.iter_words() {
+                let rows = acc.entry(text.vocab().resolve(w).to_string()).or_default();
+                rows.extend(widx.postings_pattern_first().iter().map(|p| {
+                    (
+                        idx.patterns().key(p.pattern).to_vec(),
+                        widx.nodes_of(p).to_vec(),
+                        p.edge_terminal,
+                        p.pagerank.to_bits(),
+                        p.sim.to_bits(),
+                    )
+                }));
+            }
+        }
+        acc.into_iter()
+            .map(|(word, mut rows)| {
                 rows.sort();
-                (text.vocab().resolve(w).to_string(), rows)
+                (word, rows)
             })
-            .collect();
-        by_word.sort();
-        by_word
+            .collect()
     }
 
     fn base_graph() -> KnowledgeGraph {
@@ -254,7 +273,11 @@ mod tests {
         delta: &GraphDelta,
         mode: PagerankMode,
     ) -> (PathIndexes, PathIndexes, TextIndex, RefreshStats) {
-        let cfg = BuildConfig { d: 3, threads: 1 };
+        let cfg = BuildConfig {
+            d: 3,
+            threads: 1,
+            shards: 1,
+        };
         let old_text = TextIndex::build(g, SynonymTable::new());
         let old_idx = build_indexes(g, &old_text, &cfg);
 
@@ -323,7 +346,7 @@ mod tests {
         assert_eq!(canon(&full, &text), canon(&incr, &text));
         // The new attribute's words must be findable.
         let w = text.lookup_word("subsidiary").expect("new word indexed");
-        assert!(incr.word(w).is_some());
+        assert!(incr.has_word(w));
     }
 
     #[test]
@@ -370,7 +393,11 @@ mod tests {
     fn chained_deltas_stay_consistent() {
         // Apply three deltas in sequence, refreshing after each; final
         // index must equal a from-scratch build of the final graph.
-        let cfg = BuildConfig { d: 3, threads: 1 };
+        let cfg = BuildConfig {
+            d: 3,
+            threads: 1,
+            shards: 1,
+        };
         let mut g = base_graph();
         let mut text = TextIndex::build(&g, SynonymTable::new());
         let mut idx = build_indexes(&g, &text, &cfg);

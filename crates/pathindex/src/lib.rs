@@ -39,4 +39,4 @@ pub use incremental::{refresh_indexes, RefreshStats};
 pub use pattern::{PathPattern, PatternId, PatternSet};
 pub use posting::Posting;
 pub use stats::IndexStats;
-pub use word_index::{PathIndexes, WordPathIndex};
+pub use word_index::{IndexShard, PathIndexes, WordPathIndex};

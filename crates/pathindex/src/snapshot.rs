@@ -7,26 +7,34 @@
 //! load (a sort is ~50× cheaper than the DFS enumeration and keeps the two
 //! orders impossible to desynchronize).
 //!
-//! Layout (little endian):
+//! Version-2 layout (little endian) — one segment per root-range shard:
 //!
 //! ```text
-//! magic "PKBI" | u32 version | u32 d |
+//! magic "PKBI" | u32 version | u32 d | u32 nshards |
+//! (nshards + 1) × u32 bounds                            -- shard bounds
 //! u32 npatterns | npatterns × (u32 len | len × u32)      -- pattern keys
-//! u32 nwords | nwords × word block
+//! nshards × shard segment
+//! shard segment = u32 nwords | nwords × word block
 //! word block = u32 word | u32 arena_len | arena_len × u32 |
 //!              u32 nposts | nposts × posting
 //! posting = u32 pattern | u32 root | u32 nodes_start | u16 nodes_len |
 //!           u8 edge_terminal | f64 pagerank | f64 sim
 //! ```
+//!
+//! Version-1 snapshots (the pre-shard layout, identical except for the
+//! missing shard header) remain readable and decode to a single-shard
+//! index, so a `shards = 1` deployment can swap binaries without
+//! rebuilding.
 
 use crate::pattern::{PatternId, PatternSet};
 use crate::posting::Posting;
-use crate::word_index::{PathIndexes, WordPathIndex};
+use crate::word_index::{IndexShard, PathIndexes, WordPathIndex};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use patternkb_graph::{FxHashMap, NodeId, WordId};
 
 const MAGIC: &[u8; 4] = b"PKBI";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const V1: u32 = 1;
 
 /// Errors from [`decode`].
 #[derive(Debug, PartialEq, Eq)]
@@ -68,6 +76,10 @@ pub fn encode(idx: &PathIndexes) -> Vec<u8> {
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(idx.d() as u32);
+    buf.put_u32_le(idx.num_shards() as u32);
+    for &b in idx.bounds() {
+        buf.put_u32_le(b);
+    }
 
     let patterns = idx.patterns();
     buf.put_u32_le(patterns.len() as u32);
@@ -79,32 +91,36 @@ pub fn encode(idx: &PathIndexes) -> Vec<u8> {
         }
     }
 
-    let mut words: Vec<(WordId, &WordPathIndex)> = idx.iter_words().collect();
-    words.sort_by_key(|(w, _)| *w);
-    buf.put_u32_le(words.len() as u32);
-    for (w, widx) in words {
-        buf.put_u32_le(w.0);
-        let arena = widx.arena();
-        buf.put_u32_le(arena.len() as u32);
-        for &n in arena {
-            buf.put_u32_le(n.0);
-        }
-        let postings = widx.postings_pattern_first();
-        buf.put_u32_le(postings.len() as u32);
-        for p in postings {
-            buf.put_u32_le(p.pattern.0);
-            buf.put_u32_le(p.root.0);
-            buf.put_u32_le(p.nodes_start);
-            buf.put_u16_le(p.nodes_len);
-            buf.put_u8(p.edge_terminal as u8);
-            buf.put_f64_le(p.pagerank);
-            buf.put_f64_le(p.sim);
+    for shard in idx.shards() {
+        let mut words: Vec<(WordId, &WordPathIndex)> = shard.iter_words().collect();
+        words.sort_by_key(|(w, _)| *w);
+        buf.put_u32_le(words.len() as u32);
+        for (w, widx) in words {
+            buf.put_u32_le(w.0);
+            let arena = widx.arena();
+            buf.put_u32_le(arena.len() as u32);
+            for &n in arena {
+                buf.put_u32_le(n.0);
+            }
+            let postings = widx.postings_pattern_first();
+            buf.put_u32_le(postings.len() as u32);
+            for p in postings {
+                buf.put_u32_le(p.pattern.0);
+                buf.put_u32_le(p.root.0);
+                buf.put_u32_le(p.nodes_start);
+                buf.put_u16_le(p.nodes_len);
+                buf.put_u8(p.edge_terminal as u8);
+                buf.put_f64_le(p.pagerank);
+                buf.put_f64_le(p.sim);
+            }
         }
     }
     buf.to_vec()
 }
 
-/// Deserialize indexes previously produced by [`encode`].
+/// Deserialize indexes previously produced by [`encode`] — either the
+/// sharded version-2 layout or a pre-shard version-1 snapshot (decoded as
+/// a single shard).
 pub fn decode(data: &[u8]) -> Result<PathIndexes, SnapshotError> {
     let mut buf = Bytes::copy_from_slice(data);
     need(&buf, 12)?;
@@ -114,10 +130,30 @@ pub fn decode(data: &[u8]) -> Result<PathIndexes, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != VERSION && version != V1 {
         return Err(SnapshotError::BadVersion(version));
     }
     let d = buf.get_u32_le() as usize;
+
+    let bounds: Vec<u32> = if version == V1 {
+        vec![0, u32::MAX]
+    } else {
+        need(&buf, 4)?;
+        let nshards = buf.get_u32_le() as usize;
+        if nshards == 0 {
+            return Err(SnapshotError::BadReference);
+        }
+        need(&buf, 4 * (nshards + 1))?;
+        let bounds: Vec<u32> = (0..=nshards).map(|_| buf.get_u32_le()).collect();
+        if bounds[0] != 0
+            || *bounds.last().expect("non-empty") != u32::MAX
+            || bounds.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(SnapshotError::BadReference);
+        }
+        bounds
+    };
+    let nshards = bounds.len() - 1;
 
     need(&buf, 4)?;
     let npatterns = buf.get_u32_le() as usize;
@@ -138,48 +174,55 @@ pub fn decode(data: &[u8]) -> Result<PathIndexes, SnapshotError> {
         }
     }
 
-    need(&buf, 4)?;
-    let nwords = buf.get_u32_le() as usize;
-    let mut words: FxHashMap<WordId, WordPathIndex> =
-        patternkb_graph::fxhash::map_with_capacity(nwords);
-    for _ in 0..nwords {
-        need(&buf, 8)?;
-        let w = WordId(buf.get_u32_le());
-        let arena_len = buf.get_u32_le() as usize;
-        need(&buf, 4 * arena_len + 4)?;
-        let mut arena = Vec::with_capacity(arena_len);
-        for _ in 0..arena_len {
-            arena.push(NodeId(buf.get_u32_le()));
-        }
-        let nposts = buf.get_u32_le() as usize;
-        let mut postings = Vec::with_capacity(nposts);
-        for _ in 0..nposts {
-            need(&buf, 4 + 4 + 4 + 2 + 1 + 8 + 8)?;
-            let pattern = PatternId(buf.get_u32_le());
-            let root = NodeId(buf.get_u32_le());
-            let nodes_start = buf.get_u32_le();
-            let nodes_len = buf.get_u16_le();
-            let edge_terminal = buf.get_u8() != 0;
-            let pagerank = buf.get_f64_le();
-            let sim = buf.get_f64_le();
-            if pattern.0 as usize >= npatterns
-                || (nodes_start as usize + nodes_len as usize) > arena_len
-            {
-                return Err(SnapshotError::BadReference);
+    let mut shards: Vec<IndexShard> = Vec::with_capacity(nshards);
+    for s in 0..nshards {
+        let (root_lo, root_hi) = (bounds[s], bounds[s + 1]);
+        need(&buf, 4)?;
+        let nwords = buf.get_u32_le() as usize;
+        let mut words: FxHashMap<WordId, WordPathIndex> =
+            patternkb_graph::fxhash::map_with_capacity(nwords);
+        for _ in 0..nwords {
+            need(&buf, 8)?;
+            let w = WordId(buf.get_u32_le());
+            let arena_len = buf.get_u32_le() as usize;
+            need(&buf, 4 * arena_len + 4)?;
+            let mut arena = Vec::with_capacity(arena_len);
+            for _ in 0..arena_len {
+                arena.push(NodeId(buf.get_u32_le()));
             }
-            postings.push(Posting {
-                pattern,
-                root,
-                nodes_start,
-                nodes_len,
-                edge_terminal,
-                pagerank,
-                sim,
-            });
+            let nposts = buf.get_u32_le() as usize;
+            let mut postings = Vec::with_capacity(nposts);
+            for _ in 0..nposts {
+                need(&buf, 4 + 4 + 4 + 2 + 1 + 8 + 8)?;
+                let pattern = PatternId(buf.get_u32_le());
+                let root = NodeId(buf.get_u32_le());
+                let nodes_start = buf.get_u32_le();
+                let nodes_len = buf.get_u16_le();
+                let edge_terminal = buf.get_u8() != 0;
+                let pagerank = buf.get_f64_le();
+                let sim = buf.get_f64_le();
+                if pattern.0 as usize >= npatterns
+                    || (nodes_start as usize + nodes_len as usize) > arena_len
+                    || root.0 < root_lo
+                    || (root_hi != u32::MAX && root.0 >= root_hi)
+                {
+                    return Err(SnapshotError::BadReference);
+                }
+                postings.push(Posting {
+                    pattern,
+                    root,
+                    nodes_start,
+                    nodes_len,
+                    edge_terminal,
+                    pagerank,
+                    sim,
+                });
+            }
+            words.insert(w, WordPathIndex::new(postings, arena));
         }
-        words.insert(w, WordPathIndex::new(postings, arena));
+        shards.push(IndexShard::new(words));
     }
-    Ok(PathIndexes::new(d, patterns, words))
+    Ok(PathIndexes::new(d, patterns, bounds, shards))
 }
 
 /// Write an index snapshot to `path`.
@@ -212,7 +255,15 @@ mod tests {
         b.add_text_edge(ms, rev, "US$ 77 billion");
         let g = b.build();
         let t = TextIndex::build(&g, SynonymTable::new());
-        build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 })
+        build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        )
     }
 
     #[test]
@@ -220,25 +271,112 @@ mod tests {
         let idx = sample();
         let decoded = decode(&encode(&idx)).expect("decode");
         assert_eq!(decoded.d(), idx.d());
+        assert_eq!(decoded.num_shards(), idx.num_shards());
+        assert_eq!(decoded.bounds(), idx.bounds());
         assert_eq!(decoded.num_words(), idx.num_words());
         assert_eq!(decoded.num_postings(), idx.num_postings());
         assert_eq!(decoded.patterns().len(), idx.patterns().len());
-        for (w, widx) in idx.iter_words() {
-            let dw = decoded.word(w).expect("word survives");
-            assert_eq!(dw.len(), widx.len());
-            assert_eq!(dw.arena(), widx.arena());
-            assert_eq!(dw.postings_pattern_first(), widx.postings_pattern_first());
-            // Both access orders behave identically.
-            assert_eq!(dw.roots(), widx.roots());
-            let pats_a: Vec<_> = widx.patterns().collect();
-            let pats_b: Vec<_> = dw.patterns().collect();
-            assert_eq!(pats_a, pats_b);
+        for (shard, dshard) in idx.shards().iter().zip(decoded.shards()) {
+            for (w, widx) in shard.iter_words() {
+                let dw = dshard.word(w).expect("word survives");
+                assert_eq!(dw.len(), widx.len());
+                assert_eq!(dw.arena(), widx.arena());
+                assert_eq!(dw.postings_pattern_first(), widx.postings_pattern_first());
+                // Both access orders behave identically.
+                assert_eq!(dw.roots(), widx.roots());
+                let pats_a: Vec<_> = widx.patterns().collect();
+                let pats_b: Vec<_> = dw.patterns().collect();
+                assert_eq!(pats_a, pats_b);
+            }
         }
         // Pattern keys identical.
         for i in 0..idx.patterns().len() {
             let id = PatternId(i as u32);
             assert_eq!(idx.patterns().key(id), decoded.patterns().key(id));
         }
+    }
+
+    #[test]
+    fn roundtrip_across_shard_counts() {
+        // The same graph encoded at several shard counts: every snapshot
+        // round-trips to its own layout, and all of them hold the same
+        // global posting multiset.
+        let (g, t) = {
+            let mut b = GraphBuilder::new();
+            let ty = b.add_type("Station");
+            let next = b.add_attr("next stop");
+            let nodes: Vec<_> = (0..12)
+                .map(|i| b.add_node(ty, &format!("station number {i}")))
+                .collect();
+            for w in nodes.windows(2) {
+                b.add_edge(w[0], next, w[1]);
+            }
+            let g = b.build();
+            let t = TextIndex::build(&g, SynonymTable::new());
+            (g, t)
+        };
+        let reference = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
+        for shards in [1usize, 2, 5] {
+            let idx = build_indexes(
+                &g,
+                &t,
+                &BuildConfig {
+                    d: 3,
+                    threads: 1,
+                    shards,
+                },
+            );
+            assert_eq!(idx.num_shards(), shards);
+            let decoded = decode(&encode(&idx)).expect("decode");
+            assert_eq!(decoded.num_shards(), shards);
+            assert_eq!(decoded.bounds(), idx.bounds());
+            assert_eq!(decoded.num_postings(), reference.num_postings());
+            assert_eq!(decoded.num_words(), reference.num_words());
+            for (shard, dshard) in idx.shards().iter().zip(decoded.shards()) {
+                for (w, widx) in shard.iter_words() {
+                    let dw = dshard.word(w).expect("word survives");
+                    assert_eq!(dw.postings_pattern_first(), widx.postings_pattern_first());
+                    assert_eq!(dw.arena(), widx.arena());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_postings_outside_shard_bounds() {
+        let mut b = GraphBuilder::new();
+        let ty = b.add_type("Thing");
+        let a = b.add_attr("rel");
+        let n0 = b.add_node(ty, "alpha item");
+        let n1 = b.add_node(ty, "beta item");
+        let n2 = b.add_node(ty, "gamma item");
+        b.add_edge(n0, a, n1);
+        b.add_edge(n1, a, n2);
+        let g = b.build();
+        let t = TextIndex::build(&g, SynonymTable::new());
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 3,
+            },
+        );
+        let mut data = encode(&idx);
+        // Corrupt the second shard bound so shard 0's postings fall outside
+        // their declared range.
+        let bound1_offset = 4 + 4 + 4 + 4 + 4; // magic|version|d|nshards|bounds[0]
+        data[bound1_offset..bound1_offset + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode(&data).unwrap_err(), SnapshotError::BadReference);
     }
 
     #[test]

@@ -8,6 +8,8 @@ use crate::word_index::PathIndexes;
 pub struct IndexStats {
     /// Height threshold the index was built for.
     pub d: usize,
+    /// Number of root-range shards.
+    pub shards: usize,
     /// Number of indexed canonical words.
     pub words: usize,
     /// Total postings (paths × containing words), i.e. `Σ_p |text(p)|` in
@@ -24,6 +26,7 @@ impl IndexStats {
     pub fn of(idx: &PathIndexes) -> Self {
         IndexStats {
             d: idx.d(),
+            shards: idx.num_shards(),
             words: idx.num_words(),
             postings: idx.num_postings(),
             patterns: idx.patterns().len(),
@@ -41,8 +44,9 @@ impl std::fmt::Display for IndexStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "d={}: {} words, {} postings, {} patterns, {:.1} MB",
+            "d={}: {} shard(s), {} words, {} postings, {} patterns, {:.1} MB",
             self.d,
+            self.shards,
             self.words,
             self.postings,
             self.patterns,
@@ -76,9 +80,33 @@ mod tests {
     #[test]
     fn postings_grow_with_d() {
         let (g, t) = chain(20);
-        let s2 = IndexStats::of(&build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 }));
-        let s3 = IndexStats::of(&build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 }));
-        let s4 = IndexStats::of(&build_indexes(&g, &t, &BuildConfig { d: 4, threads: 1 }));
+        let s2 = IndexStats::of(&build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        ));
+        let s3 = IndexStats::of(&build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        ));
+        let s4 = IndexStats::of(&build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 4,
+                threads: 1,
+                shards: 1,
+            },
+        ));
         assert!(s2.postings < s3.postings);
         assert!(s3.postings < s4.postings);
         assert!(s2.heap_bytes < s4.heap_bytes);
@@ -92,7 +120,15 @@ mod tests {
         // On a typed chain, patterns are one per path length (node-terminal)
         // plus one per length (edge-terminal).
         let (g, t) = chain(10);
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let s = IndexStats::of(&idx);
         // node-terminal: (T), (T next T), (T next T next T) = 3
         // edge-terminal: (T next), (T next T next) = 2

@@ -147,22 +147,86 @@ impl WordPathIndex {
     }
 }
 
-/// All per-word indexes plus the shared pattern set: the queryable handle
+/// One root-range segment of the index: the per-word indexes for every
+/// posting whose root lies in the shard's range. Shards share the global
+/// [`PatternSet`], so pattern ids are comparable across shards.
+#[derive(Default)]
+pub struct IndexShard {
+    words: FxHashMap<WordId, WordPathIndex>,
+}
+
+impl IndexShard {
+    pub(crate) fn new(words: FxHashMap<WordId, WordPathIndex>) -> Self {
+        IndexShard { words }
+    }
+
+    /// The per-word index for `w` within this shard; `None` when no root in
+    /// the shard's range reaches the word.
+    pub fn word(&self, w: WordId) -> Option<&WordPathIndex> {
+        self.words.get(&w)
+    }
+
+    /// Iterate all `(word, index)` pairs of this shard.
+    pub fn iter_words(&self) -> impl Iterator<Item = (WordId, &WordPathIndex)> {
+        self.words.iter().map(|(&w, idx)| (w, idx))
+    }
+
+    /// Number of words with postings in this shard.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Total postings in this shard.
+    pub fn num_postings(&self) -> usize {
+        self.words.values().map(WordPathIndex::len).sum()
+    }
+
+    /// Approximate resident bytes of this shard.
+    pub fn heap_bytes(&self) -> usize {
+        self.words
+            .values()
+            .map(WordPathIndex::heap_bytes)
+            .sum::<usize>()
+            + self.words.len() * 48
+    }
+}
+
+/// All index shards plus the shared pattern set: the queryable handle
 /// produced by [`crate::build::build_indexes`].
+///
+/// The index is partitioned into `S` shards by **root-node range**: shard
+/// `s` owns every posting whose root id lies in
+/// `bounds[s] .. bounds[s + 1]` (the last bound is `u32::MAX`, so nodes
+/// added later by [`crate::incremental`] land in the last shard). Shards
+/// are independent — no posting spans two shards — which is what lets the
+/// query algorithms run one contention-free worker per shard and merge at
+/// the top-k heap.
 pub struct PathIndexes {
     /// Height threshold `d` the index was built for.
     d: usize,
     patterns: PatternSet,
-    words: FxHashMap<WordId, WordPathIndex>,
+    /// Shard boundaries, length `num_shards() + 1`; `bounds[0] == 0` and
+    /// `bounds[S] == u32::MAX`.
+    bounds: Vec<u32>,
+    shards: Vec<IndexShard>,
 }
 
 impl PathIndexes {
     pub(crate) fn new(
         d: usize,
         patterns: PatternSet,
-        words: FxHashMap<WordId, WordPathIndex>,
+        bounds: Vec<u32>,
+        shards: Vec<IndexShard>,
     ) -> Self {
-        PathIndexes { d, patterns, words }
+        debug_assert_eq!(bounds.len(), shards.len() + 1);
+        debug_assert_eq!(bounds.first(), Some(&0));
+        debug_assert_eq!(bounds.last(), Some(&u32::MAX));
+        PathIndexes {
+            d,
+            patterns,
+            bounds,
+            shards,
+        }
     }
 
     /// The height threshold `d` this index supports.
@@ -175,37 +239,92 @@ impl PathIndexes {
         &self.patterns
     }
 
-    /// The per-word index for `w`; `None` when the word never occurs within
-    /// distance `d` of any root (which, since every node is a root of its
-    /// own trivial path, means the word is absent from the KB).
+    /// Number of root-range shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in ascending root-range order.
+    pub fn shards(&self) -> &[IndexShard] {
+        &self.shards
+    }
+
+    /// The shard boundaries (length `num_shards() + 1`).
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// The shard owning `root`.
+    pub fn shard_of_root(&self, root: NodeId) -> usize {
+        (self.bounds.partition_point(|&b| b <= root.0) - 1).min(self.shards.len() - 1)
+    }
+
+    /// The per-word index for `w` — **single-shard indexes only** (the
+    /// pre-shard API, kept for tests and tools that build with
+    /// `shards: 1`). Query code must go through the per-shard views.
+    ///
+    /// # Panics
+    /// If the index has more than one shard.
     pub fn word(&self, w: WordId) -> Option<&WordPathIndex> {
-        self.words.get(&w)
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "PathIndexes::word() requires a single-shard index; use word_shards()"
+        );
+        self.shards[0].word(w)
     }
 
-    /// Iterate all `(word, index)` pairs.
-    pub fn iter_words(&self) -> impl Iterator<Item = (WordId, &WordPathIndex)> {
-        self.words.iter().map(|(&w, idx)| (w, idx))
+    /// The per-word index for `w` within shard `s`.
+    pub fn word_in(&self, s: usize, w: WordId) -> Option<&WordPathIndex> {
+        self.shards[s].word(w)
     }
 
-    /// Number of indexed words.
+    /// Whether any shard has postings for `w`. `false` means the word never
+    /// occurs within distance `d` of any root (which, since every node is a
+    /// root of its own trivial path, means the word is absent from the KB).
+    pub fn has_word(&self, w: WordId) -> bool {
+        self.shards.iter().any(|s| s.words.contains_key(&w))
+    }
+
+    /// Iterate `(shard, index)` for every shard containing `w`, in shard
+    /// order.
+    pub fn word_shards(&self, w: WordId) -> impl Iterator<Item = (usize, &WordPathIndex)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(move |(s, shard)| shard.word(w).map(|idx| (s, idx)))
+    }
+
+    /// All distinct word ids with postings, ascending.
+    pub fn word_ids(&self) -> Vec<WordId> {
+        let mut ids: Vec<WordId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.words.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of distinct indexed words (across all shards).
     pub fn num_words(&self) -> usize {
-        self.words.len()
+        self.word_ids().len()
     }
 
-    /// Total postings over all words.
+    /// Total postings over all words and shards.
     pub fn num_postings(&self) -> usize {
-        self.words.values().map(WordPathIndex::len).sum()
+        self.shards.iter().map(IndexShard::num_postings).sum()
     }
 
     /// Approximate resident bytes of everything.
     pub fn heap_bytes(&self) -> usize {
         self.patterns.heap_bytes()
             + self
-                .words
-                .values()
-                .map(WordPathIndex::heap_bytes)
+                .shards
+                .iter()
+                .map(IndexShard::heap_bytes)
                 .sum::<usize>()
-            + self.words.len() * 48
     }
 }
 
@@ -213,8 +332,9 @@ impl std::fmt::Debug for PathIndexes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "PathIndexes {{ d: {}, words: {}, postings: {}, patterns: {} }}",
+            "PathIndexes {{ d: {}, shards: {}, words: {}, postings: {}, patterns: {} }}",
             self.d,
+            self.shards.len(),
             self.num_words(),
             self.num_postings(),
             self.patterns.len()

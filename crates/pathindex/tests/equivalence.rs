@@ -89,7 +89,7 @@ fn brute_force(g: &KnowledgeGraph, text: &TextIndex, d: usize) -> BTreeSet<Canon
 /// Extract the canonical posting set through the pattern-first order.
 fn via_pattern_first(idx: &PathIndexes) -> BTreeSet<Canon> {
     let mut out = BTreeSet::new();
-    for (w, widx) in idx.iter_words() {
+    for (w, widx) in idx.shards().iter().flat_map(|s| s.iter_words()) {
         for pat in widx.patterns() {
             let key = idx.patterns().key(pat).to_vec();
             for &r in widx.roots_of_pattern(pat) {
@@ -111,7 +111,7 @@ fn via_pattern_first(idx: &PathIndexes) -> BTreeSet<Canon> {
 /// Extract the canonical posting set through the root-first order.
 fn via_root_first(idx: &PathIndexes) -> BTreeSet<Canon> {
     let mut out = BTreeSet::new();
-    for (w, widx) in idx.iter_words() {
+    for (w, widx) in idx.shards().iter().flat_map(|s| s.iter_words()) {
         for &r in widx.roots() {
             for (pat, paths) in widx.root_runs(NodeId(r)) {
                 let key = idx.patterns().key(pat).to_vec();
@@ -131,6 +131,8 @@ fn via_root_first(idx: &PathIndexes) -> BTreeSet<Canon> {
 }
 
 fn check(seed: u64, d: usize) {
+    // Exercise a different shard count per seed; posting sets must agree
+    // regardless of the partition.
     let g = wiki(&WikiConfig {
         entities: 150,
         types: 6,
@@ -143,7 +145,16 @@ fn check(seed: u64, d: usize) {
         ..WikiConfig::default()
     });
     let text = TextIndex::build(&g, SynonymTable::new());
-    let idx = build_indexes(&g, &text, &BuildConfig { d, threads: 2 });
+    let shards = 1 + (seed as usize % 3);
+    let idx = build_indexes(
+        &g,
+        &text,
+        &BuildConfig {
+            d,
+            threads: 2,
+            shards,
+        },
+    );
     let expected = brute_force(&g, &text, d);
     let pf = via_pattern_first(&idx);
     let rf = via_root_first(&idx);
@@ -178,8 +189,16 @@ fn indexes_match_brute_force_d4() {
 fn num_paths_of_root_is_consistent() {
     let g = wiki(&WikiConfig::tiny(5));
     let text = TextIndex::build(&g, SynonymTable::new());
-    let idx = build_indexes(&g, &text, &BuildConfig { d: 3, threads: 0 });
-    for (_, widx) in idx.iter_words() {
+    let idx = build_indexes(
+        &g,
+        &text,
+        &BuildConfig {
+            d: 3,
+            threads: 0,
+            shards: 1,
+        },
+    );
+    for (_, widx) in idx.shards().iter().flat_map(|s| s.iter_words()) {
         for &r in widx.roots() {
             let counted = widx.paths_of_root(NodeId(r)).len();
             assert_eq!(widx.num_paths_of_root(NodeId(r)), counted);
@@ -193,7 +212,15 @@ fn num_paths_of_root_is_consistent() {
 fn snapshot_of_real_index_roundtrips() {
     let g = wiki(&WikiConfig::tiny(11));
     let text = TextIndex::build(&g, SynonymTable::new());
-    let idx = build_indexes(&g, &text, &BuildConfig { d: 3, threads: 0 });
+    let idx = build_indexes(
+        &g,
+        &text,
+        &BuildConfig {
+            d: 3,
+            threads: 0,
+            shards: 1,
+        },
+    );
     let decoded = patternkb_index::snapshot::decode(&patternkb_index::snapshot::encode(&idx))
         .expect("decode");
     assert_eq!(via_pattern_first(&idx), via_pattern_first(&decoded));

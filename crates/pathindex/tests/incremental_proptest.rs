@@ -114,28 +114,28 @@ fn canon(
     idx: &PathIndexes,
     text: &TextIndex,
 ) -> Vec<(String, Vec<(Vec<u32>, Vec<NodeId>, bool, u64, u64)>)> {
-    let mut v: Vec<_> = idx
-        .iter_words()
-        .map(|(w, widx)| {
-            let mut rows: Vec<_> = widx
-                .postings_pattern_first()
-                .iter()
-                .map(|p| {
-                    (
-                        idx.patterns().key(p.pattern).to_vec(),
-                        widx.nodes_of(p).to_vec(),
-                        p.edge_terminal,
-                        p.pagerank.to_bits(),
-                        p.sim.to_bits(),
-                    )
-                })
-                .collect();
+    let mut acc: std::collections::BTreeMap<String, Vec<(Vec<u32>, Vec<NodeId>, bool, u64, u64)>> =
+        std::collections::BTreeMap::new();
+    for shard in idx.shards() {
+        for (w, widx) in shard.iter_words() {
+            let rows = acc.entry(text.vocab().resolve(w).to_string()).or_default();
+            rows.extend(widx.postings_pattern_first().iter().map(|p| {
+                (
+                    idx.patterns().key(p.pattern).to_vec(),
+                    widx.nodes_of(p).to_vec(),
+                    p.edge_terminal,
+                    p.pagerank.to_bits(),
+                    p.sim.to_bits(),
+                )
+            }));
+        }
+    }
+    acc.into_iter()
+        .map(|(word, mut rows)| {
             rows.sort();
-            (text.vocab().resolve(w).to_string(), rows)
+            (word, rows)
         })
-        .collect();
-    v.sort();
-    v
+        .collect()
 }
 
 proptest! {
@@ -146,9 +146,10 @@ proptest! {
         rg in graph_strategy(),
         ops in ops_strategy(),
         d in 2usize..5,
+        shards in 1usize..4,
         recompute in proptest::bool::ANY,
     ) {
-        let cfg = BuildConfig { d, threads: 1 };
+        let cfg = BuildConfig { d, threads: 1, shards };
         let g = build_graph(&rg);
         let old_text = TextIndex::build(&g, SynonymTable::new());
         let old_idx = build_indexes(&g, &old_text, &cfg);

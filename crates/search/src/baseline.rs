@@ -1,4 +1,4 @@
-//! The enumeration–aggregation baseline of §2.3.
+//! The enumeration–aggregation baseline of §2.3, shard-parallel.
 //!
 //! A straightforward adaptation of backward search over the database graph
 //! (BANKS \[10\] and successors): **no path index** is used. Per keyword,
@@ -8,9 +8,15 @@
 //! per-keyword match paths; the path product enumerates valid subtrees,
 //! which are grouped into one **global** pattern dictionary — the group-by
 //! that the paper identifies as this approach's bottleneck.
+//!
+//! The baseline takes the engine's shard bounds so its candidate roots
+//! partition into the same contiguous ranges as the index-based
+//! algorithms: one worker per range (via [`crate::common::run_parallel`]),
+//! each with a private pattern interner and dictionary, merged (with
+//! pattern-id re-interning) at the end.
 
-use crate::result::{QueryStats, RankedPattern, SearchResult};
-use crate::score::ScoreAcc;
+use crate::common::{run_parallel, PatternGroup};
+use crate::result::{QueryStats, RankedPattern, SearchResult, ShardStats};
 use crate::subtree::{node_slices_form_tree, TreePath, ValidSubtree};
 use crate::{Query, SearchConfig};
 use patternkb_graph::ids::Id;
@@ -30,17 +36,30 @@ struct BasePath {
     sim: f64,
 }
 
-/// Run the baseline for `query` with height threshold `d`.
+/// One worker's private enumeration state and output.
+struct BaselineWorker {
+    patset: PatternSet,
+    /// Tree-pattern key (worker-local pattern ids) → group.
+    dict: FxHashMap<Box<[u32]>, PatternGroup>,
+    subtrees: usize,
+    candidates: usize,
+}
+
+/// Run the baseline for `query` with height threshold `d`, parallelizing
+/// over the candidate-root ranges described by `bounds` (the engine passes
+/// its index's shard bounds; `&[0, u32::MAX]` runs one worker).
 pub fn baseline(
     g: &KnowledgeGraph,
     text: &TextIndex,
     query: &Query,
     cfg: &SearchConfig,
     d: usize,
+    bounds: &[u32],
 ) -> SearchResult {
     let t0 = Instant::now();
     let m = query.keywords.len();
     assert!(m > 0, "empty query");
+    assert!(bounds.len() >= 2, "bounds must describe at least one range");
 
     // --- backward search: per-keyword reachability masks ---
     let mut combined: Option<Vec<bool>> = None;
@@ -72,14 +91,107 @@ pub fn baseline(
     let mask = combined.expect("at least one keyword");
     let candidates: Vec<NodeId> = g.nodes().filter(|v| mask[v.index()]).collect();
 
-    // --- forward enumeration + global aggregation ---
+    // --- forward enumeration + aggregation, one worker per root range ---
+    let num_ranges = bounds.len() - 1;
+    let ranges: Vec<&[NodeId]> = (0..num_ranges)
+        .map(|s| {
+            let lo = candidates.partition_point(|r| r.0 < bounds[s]);
+            let hi = if bounds[s + 1] == u32::MAX {
+                candidates.len()
+            } else {
+                candidates.partition_point(|r| r.0 < bounds[s + 1])
+            };
+            &candidates[lo..hi]
+        })
+        .collect();
+    let workers: Vec<BaselineWorker> = run_parallel(&ranges, |range| {
+        baseline_range(g, text, query, cfg, d, range)
+    });
+
+    // --- merge: re-intern worker-local pattern ids globally, fold the
+    //     per-worker groups in range order (ascending roots). ---
     let mut patset = PatternSet::new();
-    let mut dict: FxHashMap<Box<[u32]>, (ScoreAcc, Vec<ValidSubtree>)> = FxHashMap::default();
+    let mut dict: FxHashMap<Box<[u32]>, PatternGroup> = FxHashMap::default();
+    let mut subtrees = 0usize;
+    let mut per_shard = Vec::with_capacity(workers.len());
+    for (s, worker) in workers.into_iter().enumerate() {
+        per_shard.push(ShardStats {
+            shard: s,
+            candidate_roots: worker.candidates,
+            subtrees: worker.subtrees,
+            patterns: worker.dict.len(),
+        });
+        subtrees += worker.subtrees;
+        let remap: Vec<u32> = (0..worker.patset.len())
+            .map(|i| {
+                patset
+                    .intern_key(worker.patset.key(patternkb_index::PatternId(i as u32)))
+                    .0
+            })
+            .collect();
+        let mut gkey: Vec<u32> = Vec::with_capacity(m);
+        for (key, group) in worker.dict {
+            gkey.clear();
+            gkey.extend(key.iter().map(|&p| remap[p as usize]));
+            match dict.entry(gkey.as_slice().into()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(group, cfg.max_rows);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(group);
+                }
+            }
+        }
+    }
+
+    let patterns_found = dict.len();
+    let patterns: Vec<RankedPattern> = dict
+        .into_iter()
+        .filter(|(_, group)| group.acc.count > 0)
+        .map(|(key, group)| RankedPattern {
+            pattern: key
+                .iter()
+                .map(|&p| patset.decode(patternkb_index::PatternId(p)))
+                .collect::<Vec<PathPattern>>(),
+            score: group.acc.finish(cfg.scoring.aggregation),
+            num_trees: group.acc.count as usize,
+            trees: group.trees,
+        })
+        .collect();
+
+    SearchResult {
+        patterns,
+        stats: QueryStats {
+            candidate_roots: candidates.len(),
+            subtrees,
+            patterns: patterns_found,
+            combos_tried: patterns_found,
+            combos_pruned: 0,
+            per_shard,
+            elapsed: t0.elapsed(),
+        },
+    }
+    .finalize(cfg.k)
+}
+
+/// Enumerate one contiguous candidate-root range with a worker-local
+/// pattern interner and dictionary.
+fn baseline_range(
+    g: &KnowledgeGraph,
+    text: &TextIndex,
+    query: &Query,
+    cfg: &SearchConfig,
+    d: usize,
+    candidates: &[NodeId],
+) -> BaselineWorker {
+    let m = query.keywords.len();
+    let mut patset = PatternSet::new();
+    let mut dict: FxHashMap<Box<[u32]>, PatternGroup> = FxHashMap::default();
     let mut subtrees = 0usize;
     let mut key_buf: Vec<u32> = Vec::new();
     let mut per_kw: Vec<Vec<BasePath>> = (0..m).map(|_| Vec::new()).collect();
 
-    for &r in &candidates {
+    for &r in candidates {
         for list in &mut per_kw {
             list.clear();
         }
@@ -170,10 +282,10 @@ pub fn baseline(
                     sim += p.sim;
                 }
                 let score = cfg.scoring.tree_score(len, pr, sim);
-                let (acc, trees) = dict.entry(tree_key.as_slice().into()).or_default();
-                acc.push(score);
-                if trees.len() < cfg.max_rows {
-                    trees.push(ValidSubtree {
+                let group = dict.entry(tree_key.as_slice().into()).or_default();
+                group.acc.push(score);
+                if group.trees.len() < cfg.max_rows {
+                    group.trees.push(ValidSubtree {
                         root: r,
                         paths: chosen
                             .iter()
@@ -207,33 +319,12 @@ pub fn baseline(
         }
     }
 
-    let patterns_found = dict.len();
-    let patterns: Vec<RankedPattern> = dict
-        .into_iter()
-        .filter(|(_, (acc, _))| acc.count > 0)
-        .map(|(key, (acc, trees))| RankedPattern {
-            pattern: key
-                .iter()
-                .map(|&p| patset.decode(patternkb_index::PatternId(p)))
-                .collect::<Vec<PathPattern>>(),
-            score: acc.finish(cfg.scoring.aggregation),
-            num_trees: acc.count as usize,
-            trees,
-        })
-        .collect();
-
-    SearchResult {
-        patterns,
-        stats: QueryStats {
-            candidate_roots: candidates.len(),
-            subtrees,
-            patterns: patterns_found,
-            combos_tried: patterns_found,
-            combos_pruned: 0,
-            elapsed: t0.elapsed(),
-        },
+    BaselineWorker {
+        patset,
+        dict,
+        subtrees,
+        candidates: candidates.len(),
     }
-    .finalize(cfg.k)
 }
 
 #[cfg(test)]
@@ -248,7 +339,15 @@ mod tests {
     fn setup() -> (KnowledgeGraph, TextIndex, patternkb_index::PathIndexes) {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         (g, t, idx)
     }
 
@@ -263,7 +362,7 @@ mod tests {
         ] {
             let q = Query::parse(&t, query).unwrap();
             let cfg = SearchConfig::top(100);
-            let bl = baseline(&g, &t, &q, &cfg, 3);
+            let bl = baseline(&g, &t, &q, &cfg, 3, &[0, u32::MAX]);
             let ctx = QueryContext::new(&g, &idx, &q).unwrap();
             let le = linear_enum(&ctx, &cfg);
             assert_eq!(bl.patterns.len(), le.patterns.len(), "query {query}");
@@ -285,7 +384,7 @@ mod tests {
         let (g, t, idx) = setup();
         let q = Query::parse(&t, "database software company revenue").unwrap();
         let cfg = SearchConfig::top(100);
-        let bl = baseline(&g, &t, &q, &cfg, 3);
+        let bl = baseline(&g, &t, &q, &cfg, 3, &[0, u32::MAX]);
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         assert_eq!(bl.stats.candidate_roots, ctx.candidate_roots().len());
     }
@@ -295,8 +394,8 @@ mod tests {
         let (g, t, _) = setup();
         let q = Query::parse(&t, "software revenue").unwrap();
         let cfg = SearchConfig::top(100);
-        let d2 = baseline(&g, &t, &q, &cfg, 2);
-        let d3 = baseline(&g, &t, &q, &cfg, 3);
+        let d2 = baseline(&g, &t, &q, &cfg, 2, &[0, u32::MAX]);
+        let d3 = baseline(&g, &t, &q, &cfg, 3, &[0, u32::MAX]);
         // With d = 2 the only root reaching both a Software match (type) and
         // a Revenue edge within the bounds is... nothing: software matches
         // SQL Server/Oracle DB, whose revenue edges sit 3 levels deep.

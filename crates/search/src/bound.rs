@@ -24,15 +24,41 @@
 //! and the workload test below). The win is largest exactly where
 //! `PATTERNENUM` hurts: many-pattern queries where most combinations are
 //! empty yet each costs an intersection.
+//!
+//! ## Sharded pruning
+//!
+//! Under sharding every worker enumerates the **global** combination list
+//! with bounds computed from **global** aggregates (merged across shards),
+//! and all workers share one atomic top-k threshold: each completed
+//! combination's per-shard partial score accumulates into a per-pattern
+//! lower bound, and the k-th best of those lower bounds — monotonically
+//! tightening as shards make progress — is published to an atomic every
+//! worker reads lock-free. The scheme is sound because
+//!
+//! * each pattern contributes **one** entry (its accumulated partials), so
+//!   the k-th best of the entries never exceeds the true k-th best final
+//!   score, and
+//! * a partial score only lower-bounds the total for monotone aggregations
+//!   (`Sum`, `Count`, `Max`); under `Avg` no lower bounds are offered and
+//!   pruning simply stays off.
+//!
+//! A combination pruned by *any* worker is therefore provably outside the
+//! global top-k, so its partial groups can be dropped at merge time while
+//! every top-k pattern — never prunable anywhere — merges complete and
+//! exact.
 
-use crate::common::{for_each_path_tuple, intersect_sorted, materialize_tree, QueryContext};
-use crate::result::{QueryStats, RankedPattern, SearchResult};
-use crate::score::{Aggregation, ScoreAcc};
+use crate::common::{
+    for_each_path_tuple, intersect_sorted, materialize_tree, merge_shard_dicts, run_sharded,
+    QueryContext, ShardContext, TreeDict,
+};
+use crate::result::{QueryStats, RankedPattern, SearchResult, ShardStats};
+use crate::score::Aggregation;
 use crate::subtree::node_slices_form_tree;
 use crate::SearchConfig;
+use parking_lot::Mutex;
 use patternkb_graph::{FxHashMap, NodeId, TypeId};
 use patternkb_index::{PatternId, Posting, WordPathIndex};
-use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Multiplicative slack absorbing float rounding between the bound
@@ -62,7 +88,7 @@ pub struct PatternAggregates {
 
 impl PatternAggregates {
     /// Scan one pattern's postings (sorted by root) once.
-    fn scan(widx: &WordPathIndex, p: PatternId) -> Self {
+    pub(crate) fn scan(widx: &WordPathIndex, p: PatternId) -> Self {
         let paths = widx.paths_of_pattern(p);
         debug_assert!(!paths.is_empty());
         let mut agg = PatternAggregates {
@@ -94,6 +120,20 @@ impl PatternAggregates {
             agg.max_per_root = agg.max_per_root.max(run);
         }
         agg
+    }
+
+    /// Combine aggregates of the same `(keyword, pattern)` from two shards.
+    /// Roots are disjoint across shards, so `max_per_root` combines by
+    /// `max` and everything else by sum/min/max.
+    pub(crate) fn merge(&mut self, other: &PatternAggregates) {
+        self.num_paths += other.num_paths;
+        self.max_per_root = self.max_per_root.max(other.max_per_root);
+        self.min_len = self.min_len.min(other.min_len);
+        self.max_len = self.max_len.max(other.max_len);
+        self.min_pr = self.min_pr.min(other.min_pr);
+        self.max_pr = self.max_pr.max(other.max_pr);
+        self.min_sim = self.min_sim.min(other.min_sim);
+        self.max_sim = self.max_sim.max(other.max_sim);
     }
 }
 
@@ -143,150 +183,216 @@ fn combination_bound(aggs: &[&PatternAggregates], cfg: &SearchConfig) -> f64 {
     }
 }
 
-/// Monotone threshold tracker: the k-th best pattern score seen so far.
-struct TopKThreshold {
-    heap: BinaryHeap<std::cmp::Reverse<u64>>, // score bits (non-negative f64s order like u64)
+/// The per-pattern lower bound a shard can publish after completing a
+/// combination locally: a valid lower bound on the pattern's **final**
+/// score only for monotone aggregations.
+fn partial_lower_bound(acc: &crate::score::ScoreAcc, agg: Aggregation) -> Option<f64> {
+    match agg {
+        Aggregation::Sum => Some(acc.sum()),
+        Aggregation::Count => Some(acc.count as f64),
+        Aggregation::Max => Some(acc.max),
+        // A subset's mean does not bound the full mean from below.
+        Aggregation::Avg => None,
+    }
+}
+
+/// Bits meaning "no threshold yet" (fewer than k patterns seen, or a
+/// k-th best of exactly 0.0 — which could never prune anyway since bounds
+/// are non-negative). Zero keeps the monotone `fetch_max` publish valid.
+const TAU_UNSET: u64 = 0;
+
+/// The shared, monotone top-k threshold. Workers **read** it lock-free
+/// from an atomic; **writes** (one per completed combination per shard)
+/// funnel through a mutex that owns the per-pattern lower-bound table and
+/// republish the k-th best. Scores are non-negative, so their bit patterns
+/// order like the floats themselves.
+pub(crate) struct SharedThreshold {
     k: usize,
+    tau: AtomicU64,
+    inner: Mutex<ThresholdInner>,
 }
 
-impl TopKThreshold {
-    fn new(k: usize) -> Self {
-        TopKThreshold {
-            heap: BinaryHeap::with_capacity(k + 1),
-            k,
+struct ThresholdInner {
+    /// Pattern key → accumulated lower bound (sum of per-shard partials
+    /// for `Sum`/`Count`, max for `Max`). One entry per pattern keeps the
+    /// k-th best sound.
+    entries: FxHashMap<Box<[u32]>, f64>,
+    agg: Aggregation,
+    scratch: Vec<f64>,
+    /// Offers since construction; used to amortize the k-th-best
+    /// recomputation on many-pattern queries.
+    updates: u64,
+}
+
+impl SharedThreshold {
+    fn new(k: usize, agg: Aggregation) -> Self {
+        SharedThreshold {
+            k: k.max(1),
+            tau: AtomicU64::new(TAU_UNSET),
+            inner: Mutex::new(ThresholdInner {
+                entries: FxHashMap::default(),
+                agg,
+                scratch: Vec::new(),
+                updates: 0,
+            }),
         }
     }
 
-    fn push(&mut self, score: f64) {
-        debug_assert!(score >= 0.0);
-        self.heap.push(std::cmp::Reverse(score.to_bits()));
-        if self.heap.len() > self.k {
-            self.heap.pop();
-        }
-    }
-
-    /// `None` until k scores have been seen.
+    /// The current threshold; `None` until k distinct patterns have
+    /// published lower bounds.
+    #[inline]
     fn kth(&self) -> Option<f64> {
-        if self.heap.len() == self.k {
-            self.heap.peek().map(|r| f64::from_bits(r.0))
-        } else {
-            None
+        match self.tau.load(Ordering::Relaxed) {
+            TAU_UNSET => None,
+            bits => Some(f64::from_bits(bits)),
+        }
+    }
+
+    /// Fold one shard's partial lower bound for `key` in and republish the
+    /// k-th best entry. Values only grow, so the published threshold is
+    /// monotone non-decreasing and always ≤ the true k-th best final
+    /// score. The O(#patterns) k-th-best selection is amortized once the
+    /// table outgrows its small regime — a stale (lower) threshold only
+    /// prunes less, never wrongly.
+    fn offer(&self, key: &[u32], partial: f64) {
+        debug_assert!(partial >= 0.0);
+        let mut inner = self.inner.lock();
+        let agg = inner.agg;
+        let entry = inner.entries.entry(key.into()).or_insert(0.0);
+        match agg {
+            Aggregation::Sum | Aggregation::Count => *entry += partial,
+            Aggregation::Max => *entry = entry.max(partial),
+            Aggregation::Avg => unreachable!("Avg never offers lower bounds"),
+        }
+        inner.updates += 1;
+        let len = inner.entries.len();
+        let recompute =
+            len >= self.k && (len <= 64 || len == self.k || inner.updates.is_multiple_of(8));
+        if recompute {
+            let k = self.k;
+            let ThresholdInner {
+                entries, scratch, ..
+            } = &mut *inner;
+            scratch.clear();
+            scratch.extend(entries.values().copied());
+            let idx = scratch.len() - k;
+            scratch.select_nth_unstable_by(idx, |a, b| {
+                a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let kth = scratch[idx];
+            // Monotone publish (concurrent offers may race; max wins).
+            self.tau.fetch_max(kth.to_bits(), Ordering::Relaxed);
         }
     }
 }
 
-/// `PATTERNENUM` with admissible upper-bound pruning. Returns exactly the
-/// same top-k as [`crate::pattern_enum::pattern_enum`], with
-/// `stats.combos_pruned` counting the combinations skipped before any
-/// intersection.
-pub fn pattern_enum_pruned(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
-    let t0 = Instant::now();
-    let m = ctx.m();
+/// One shard's pruned pass over the **global** combination list.
+struct ShardOutcome {
+    dict: TreeDict,
+    /// Keys of combinations this shard pruned (they are provably outside
+    /// the global top-k, so the merge drops them everywhere). Only
+    /// recorded when several shards participate — with one shard a pruned
+    /// combination was never computed, so there is nothing to drop and no
+    /// reason to spend `O(pruned)` memory on the §4.1 adversarial case.
+    pruned_keys: Vec<Box<[u32]>>,
+    subtrees: usize,
+    combos_pruned: usize,
+    candidate_roots: usize,
+}
 
-    // Per keyword: patterns grouped by root type, plus aggregates.
-    let mut by_type: Vec<FxHashMap<TypeId, Vec<PatternId>>> = Vec::with_capacity(m);
-    let mut aggs: Vec<FxHashMap<PatternId, PatternAggregates>> = Vec::with_capacity(m);
-    for w in &ctx.words {
-        let mut map: FxHashMap<TypeId, Vec<PatternId>> = FxHashMap::default();
-        let mut agg: FxHashMap<PatternId, PatternAggregates> = FxHashMap::default();
-        for p in w.patterns() {
-            map.entry(ctx.idx.patterns().root_type(p))
-                .or_default()
-                .push(p);
-            agg.insert(p, PatternAggregates::scan(w, p));
-        }
-        by_type.push(map);
-        aggs.push(agg);
-    }
-
-    let mut types: Vec<TypeId> = by_type[0].keys().copied().collect();
-    types.sort_unstable();
-    types.retain(|c| by_type.iter().all(|map| map.contains_key(c)));
-
-    let mut best: Vec<RankedPattern> = Vec::new();
-    let mut threshold = TopKThreshold::new(cfg.k.max(1));
-    let mut combos_tried = 0usize;
-    let mut combos_pruned = 0usize;
+#[allow(clippy::too_many_arguments)]
+fn pruned_shard(
+    shard: &ShardContext<'_>,
+    cfg: &SearchConfig,
+    types: &[TypeId],
+    global_lists: &FxHashMap<TypeId, Vec<Vec<PatternId>>>,
+    aggs: &[FxHashMap<PatternId, PatternAggregates>],
+    threshold: &SharedThreshold,
+    record_pruned: bool,
+) -> ShardOutcome {
+    let m = shard.m();
+    let mut dict = TreeDict::default();
+    let mut pruned_keys: Vec<Box<[u32]>> = Vec::new();
     let mut subtrees = 0usize;
-    let mut patterns_found = 0usize;
+    let mut combos_pruned = 0usize;
     let mut candidate_roots_seen: Vec<u32> = Vec::new();
 
     let mut combo = vec![0usize; m];
     let mut chosen: Vec<PatternId> = vec![PatternId(0); m];
+    let mut key: Vec<u32> = vec![0; m];
     let mut chosen_aggs: Vec<&PatternAggregates> = Vec::with_capacity(m);
     let mut root_lists: Vec<&[u32]> = Vec::with_capacity(m);
     let mut slices: Vec<&[Posting]> = Vec::with_capacity(m);
     let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
     let mut node_scratch: Vec<&[NodeId]> = Vec::with_capacity(m);
 
-    for &c in &types {
-        let lists: Vec<&Vec<PatternId>> = by_type.iter().map(|map| &map[&c]).collect();
+    for c in types {
+        let lists = &global_lists[c];
         combo.iter_mut().for_each(|x| *x = 0);
 
         loop {
-            combos_tried += 1;
             chosen_aggs.clear();
             for i in 0..m {
                 chosen[i] = lists[i][combo[i]];
+                key[i] = chosen[i].0;
                 chosen_aggs.push(&aggs[i][&chosen[i]]);
             }
 
-            // The pruning test: O(m), no index access.
+            // The pruning test: O(m), no index access, global bound vs the
+            // shared threshold.
             let pruned = match threshold.kth() {
                 Some(kth) => combination_bound(&chosen_aggs, cfg) * SLACK < kth,
                 None => false,
             };
             if pruned {
                 combos_pruned += 1;
+                if record_pruned {
+                    pruned_keys.push(key.as_slice().into());
+                }
             } else {
                 root_lists.clear();
                 for i in 0..m {
-                    root_lists.push(ctx.words[i].roots_of_pattern(chosen[i]));
+                    root_lists.push(shard.words[i].roots_of_pattern(chosen[i]));
                 }
                 let roots = intersect_sorted(&root_lists);
                 if !roots.is_empty() {
-                    let mut acc = ScoreAcc::new();
-                    let mut trees = Vec::new();
+                    let group = dict.entry(key.as_slice().into()).or_default();
                     for &r in &roots {
                         let root = NodeId(r);
                         slices.clear();
                         for i in 0..m {
-                            slices.push(ctx.words[i].paths_of_pattern_root(chosen[i], root));
+                            slices.push(shard.words[i].paths_of_pattern_root(chosen[i], root));
                         }
                         subtrees += for_each_path_tuple(&slices, &mut scratch, |tuple| {
                             if cfg.strict_trees {
                                 node_scratch.clear();
                                 for (i, p) in tuple.iter().enumerate() {
-                                    node_scratch.push(ctx.words[i].nodes_of(p));
+                                    node_scratch.push(shard.words[i].nodes_of(p));
                                 }
                                 if !node_slices_form_tree(root, &node_scratch) {
                                     return;
                                 }
                             }
                             let score = cfg.scoring.tree_score_of(tuple);
-                            acc.push(score);
-                            if trees.len() < cfg.max_rows {
-                                trees.push(materialize_tree(&ctx.words, root, tuple, score));
+                            group.acc.push(score);
+                            if group.trees.len() < cfg.max_rows {
+                                group.trees.push(materialize_tree(
+                                    &shard.words,
+                                    root,
+                                    tuple,
+                                    score,
+                                ));
                             }
                         });
                     }
-                    if acc.count > 0 {
-                        patterns_found += 1;
+                    if group.acc.count == 0 && group.trees.is_empty() {
+                        dict.remove(key.as_slice());
+                    } else {
                         candidate_roots_seen.extend_from_slice(&roots);
-                        let score = acc.finish(cfg.scoring.aggregation);
-                        threshold.push(score);
-                        let key_patterns = chosen
-                            .iter()
-                            .map(|p| ctx.idx.patterns().decode(*p))
-                            .collect();
-                        best.push(RankedPattern {
-                            pattern: key_patterns,
-                            score,
-                            num_trees: acc.count as usize,
-                            trees,
-                        });
-                        if best.len() >= 2 * cfg.k.max(8) {
-                            compact(&mut best, cfg.k);
+                        if let Some(lower) =
+                            partial_lower_bound(&dict[key.as_slice()].acc, cfg.scoring.aggregation)
+                        {
+                            threshold.offer(&key, lower);
                         }
                     }
                 }
@@ -315,28 +421,142 @@ pub fn pattern_enum_pruned(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> Search
 
     candidate_roots_seen.sort_unstable();
     candidate_roots_seen.dedup();
+    ShardOutcome {
+        dict,
+        pruned_keys,
+        subtrees,
+        combos_pruned,
+        candidate_roots: candidate_roots_seen.len(),
+    }
+}
+
+/// `PATTERNENUM` with admissible upper-bound pruning. Returns exactly the
+/// same top-k as [`crate::pattern_enum::pattern_enum`], with
+/// `stats.combos_pruned` counting the combinations skipped before any
+/// intersection (the most-pruning shard worker's count, so the figure
+/// stays bounded by `combos_tried` and comparable across shard layouts).
+pub fn pattern_enum_pruned(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
+    let t0 = Instant::now();
+    let m = ctx.m();
+
+    // Global per-(keyword, pattern) aggregates, merged across shards, and
+    // the global per-type combination lists they induce. Every shard
+    // enumerates the same lists, so bounds and prune decisions are
+    // mutually consistent.
+    let mut aggs: Vec<FxHashMap<PatternId, PatternAggregates>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut map: FxHashMap<PatternId, PatternAggregates> = FxHashMap::default();
+        for s in 0..ctx.num_index_shards() {
+            let Some(w) = ctx.shard_word(s, i) else {
+                continue;
+            };
+            for p in w.patterns() {
+                let local = PatternAggregates::scan(w, p);
+                map.entry(p)
+                    .and_modify(|agg| agg.merge(&local))
+                    .or_insert(local);
+            }
+        }
+        aggs.push(map);
+    }
+    let by_type: Vec<FxHashMap<TypeId, Vec<PatternId>>> = aggs
+        .iter()
+        .map(|map| {
+            let mut grouped: FxHashMap<TypeId, Vec<PatternId>> = FxHashMap::default();
+            let mut ids: Vec<PatternId> = map.keys().copied().collect();
+            ids.sort_unstable_by_key(|p| p.0);
+            for p in ids {
+                grouped
+                    .entry(ctx.idx.patterns().root_type(p))
+                    .or_default()
+                    .push(p);
+            }
+            grouped
+        })
+        .collect();
+    let types = crate::pattern_enum::common_types(&by_type);
+    let mut global_lists: FxHashMap<TypeId, Vec<Vec<PatternId>>> = FxHashMap::default();
+    let mut combos_tried = 0usize;
+    for &c in &types {
+        let lists: Vec<Vec<PatternId>> = by_type.iter().map(|map| map[&c].clone()).collect();
+        let mut prod = 1usize;
+        for l in &lists {
+            prod = prod.saturating_mul(l.len());
+        }
+        combos_tried = combos_tried.saturating_add(prod);
+        global_lists.insert(c, lists);
+    }
+
+    let threshold = SharedThreshold::new(cfg.k, cfg.scoring.aggregation);
+    let record_pruned = ctx.shards.len() > 1;
+    let locals = run_sharded(&ctx.shards, |shard| {
+        (
+            pruned_shard(
+                shard,
+                cfg,
+                &types,
+                &global_lists,
+                &aggs,
+                &threshold,
+                record_pruned,
+            ),
+            shard.shard,
+        )
+    });
+
+    let mut per_shard = Vec::with_capacity(locals.len());
+    let mut dicts = Vec::with_capacity(locals.len());
+    let mut all_pruned: Vec<Box<[u32]>> = Vec::new();
+    let mut subtrees = 0usize;
+    let mut combos_pruned = 0usize;
+    let mut candidate_roots = 0usize;
+    for (outcome, shard) in locals {
+        per_shard.push(ShardStats {
+            shard,
+            candidate_roots: outcome.candidate_roots,
+            subtrees: outcome.subtrees,
+            patterns: outcome.dict.len(),
+        });
+        subtrees += outcome.subtrees;
+        // Every worker walks the same global list, so report the
+        // most-pruning worker: bounded by `combos_tried` and exactly the
+        // skipped count when there is one shard.
+        combos_pruned = combos_pruned.max(outcome.combos_pruned);
+        candidate_roots += outcome.candidate_roots;
+        all_pruned.extend(outcome.pruned_keys);
+        dicts.push(outcome.dict);
+    }
+    let mut dict = merge_shard_dicts(dicts, cfg.max_rows);
+    // A combination pruned in any shard is provably outside the top-k;
+    // its partial groups from other shards must not surface with a
+    // partial (understated) score.
+    for key in all_pruned {
+        dict.remove(&key);
+    }
+
+    let patterns_found = dict.len();
+    let patterns: Vec<RankedPattern> = dict
+        .into_iter()
+        .map(|(key, group)| RankedPattern {
+            pattern: ctx.decode_key(&key),
+            score: group.acc.finish(cfg.scoring.aggregation),
+            num_trees: group.acc.count as usize,
+            trees: group.trees,
+        })
+        .collect();
     SearchResult {
-        patterns: best,
+        patterns,
         stats: QueryStats {
-            candidate_roots: candidate_roots_seen.len(),
+            candidate_roots,
             subtrees,
             patterns: patterns_found,
             combos_tried,
             combos_pruned,
+            per_shard,
             elapsed: t0.elapsed(),
         },
     }
     .finalize(cfg.k)
-}
-
-fn compact(best: &mut Vec<RankedPattern>, k: usize) {
-    best.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.key().cmp(&b.key()))
-    });
-    best.truncate(k);
 }
 
 #[cfg(test)]
@@ -352,7 +572,15 @@ mod tests {
     fn setup() -> (patternkb_graph::KnowledgeGraph, TextIndex, PathIndexes) {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         (g, t, idx)
     }
 
@@ -381,6 +609,32 @@ mod tests {
                 let exact = pattern_enum(&ctx, &cfg);
                 let pruned = pattern_enum_pruned(&ctx, &cfg);
                 assert_same(&exact, &pruned, &format!("{query} k={k}"));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exact_when_sharded() {
+        let (g, t, _) = setup();
+        for shards in [2usize, 3, 7] {
+            let idx = build_indexes(
+                &g,
+                &t,
+                &BuildConfig {
+                    d: 3,
+                    threads: 1,
+                    shards,
+                },
+            );
+            for query in ["database software company revenue", "database company"] {
+                let q = Query::parse(&t, query).unwrap();
+                let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+                for k in [1, 3, 100] {
+                    let cfg = SearchConfig::top(k);
+                    let exact = pattern_enum(&ctx, &cfg);
+                    let pruned = pattern_enum_pruned(&ctx, &cfg);
+                    assert_same(&exact, &pruned, &format!("{query} k={k} shards={shards}"));
+                }
             }
         }
     }
@@ -451,7 +705,7 @@ mod tests {
         let (g, t, idx) = setup();
         let q = Query::parse(&t, "database").unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
-        let w = ctx.words[0];
+        let w = ctx.shards[0].words[0];
         for p in w.patterns() {
             let agg = PatternAggregates::scan(w, p);
             let paths = w.paths_of_pattern(p);
@@ -462,5 +716,22 @@ mod tests {
             assert_eq!(agg.max_sim, max_sim);
             assert!(agg.max_per_root as usize <= paths.len());
         }
+    }
+
+    #[test]
+    fn shared_threshold_is_sound_per_pattern() {
+        // The same pattern offered from several "shards" counts once: the
+        // threshold is the k-th best per-pattern total, not the k-th best
+        // raw offer.
+        let t = SharedThreshold::new(2, Aggregation::Sum);
+        assert_eq!(t.kth(), None);
+        t.offer(&[1], 10.0);
+        assert_eq!(t.kth(), None, "one pattern < k");
+        t.offer(&[1], 9.0); // same pattern, second shard
+        assert_eq!(t.kth(), None, "still one distinct pattern");
+        t.offer(&[2], 5.0);
+        assert_eq!(t.kth(), Some(5.0), "2nd best of {{19, 5}}");
+        t.offer(&[3], 7.0);
+        assert_eq!(t.kth(), Some(7.0), "2nd best of {{19, 5, 7}}");
     }
 }

@@ -40,6 +40,7 @@ pub struct EngineBuilder {
     stemmer: Stemmer,
     d: usize,
     threads: usize,
+    shards: usize,
     planner: PlannerConfig,
     cache_capacity: usize,
     index_snapshot: Option<PathBuf>,
@@ -53,8 +54,9 @@ impl Default for EngineBuilder {
 
 impl EngineBuilder {
     /// A builder with the paper's defaults: `d = 3`, lite stemmer, no
-    /// synonyms, all available cores for index construction, default
-    /// planner thresholds, a 256-entry result cache.
+    /// synonyms, all available cores for index construction, one index
+    /// shard per available core, default planner thresholds, a 256-entry
+    /// result cache.
     pub fn new() -> Self {
         EngineBuilder {
             graph: None,
@@ -62,6 +64,7 @@ impl EngineBuilder {
             stemmer: Stemmer::Lite,
             d: 3,
             threads: 0,
+            shards: 0,
             planner: PlannerConfig::default(),
             cache_capacity: 256,
             index_snapshot: None,
@@ -96,6 +99,16 @@ impl EngineBuilder {
     /// OS threads for index construction; 0 = available parallelism.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Root-range shards the index is partitioned into; queries run one
+    /// worker per shard and merge at the top-k heap, with answers
+    /// **bit-identical** to `shards(1)`. 0 (the default) = available
+    /// parallelism. When loading an [`Self::index_snapshot`] the stored
+    /// shard layout wins.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -152,6 +165,7 @@ impl EngineBuilder {
             stemmer,
             d,
             threads,
+            shards,
             planner,
             index_snapshot,
             ..
@@ -160,7 +174,7 @@ impl EngineBuilder {
         let text = TextIndex::build_with(&graph, synonyms, stemmer);
         let idx = match index_snapshot {
             Some(path) => patternkb_index::snapshot::load(&path)?,
-            None => build_indexes(&graph, &text, &BuildConfig { d, threads }),
+            None => build_indexes(&graph, &text, &BuildConfig { d, threads, shards }),
         };
         Ok(SearchEngine::from_parts(graph, text, idx).with_planner(planner))
     }
@@ -249,6 +263,42 @@ mod tests {
         {
             Err(Error::Io(_)) => {}
             other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_snapshot_layout_survives_reload() {
+        // The stored shard layout wins over the builder's shards knob, and
+        // the reloaded engine answers identically to a fresh build.
+        let (g, _) = figure1();
+        let e = EngineBuilder::new()
+            .graph(g)
+            .threads(1)
+            .shards(3)
+            .build()
+            .unwrap();
+        assert_eq!(e.num_shards(), 3);
+        let dir = std::env::temp_dir().join("patternkb_builder_sharded_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sharded.pkbi");
+        e.save_index(&path).unwrap();
+
+        let (g, _) = figure1();
+        let reloaded = EngineBuilder::new()
+            .graph(g)
+            .shards(7) // ignored: the snapshot's layout wins
+            .index_snapshot(&path)
+            .build()
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded.num_shards(), 3);
+        let req = SearchRequest::text("database software company revenue").k(100);
+        let a = e.respond(&req).unwrap();
+        let b = reloaded.respond(&req).unwrap();
+        assert_eq!(a.patterns.len(), b.patterns.len());
+        for (x, y) in a.patterns.iter().zip(&b.patterns) {
+            assert_eq!(x.key(), y.key());
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
         }
     }
 }

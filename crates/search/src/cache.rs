@@ -11,8 +11,12 @@
 //! The key covers everything that determines a result: the keyword-id
 //! sequence (order matters — tree patterns are keyword-indexed vectors),
 //! the algorithm (including sampling parameters, which change answers),
-//! and the full [`SearchConfig`]. Results are shared via [`Arc`], so a hit
-//! never clones row data.
+//! the full [`SearchConfig`], **and the engine's shard count** — sharded
+//! execution is answer-identical by construction, but `stats.per_shard`
+//! and sampling determinism are layout-properties, and a rebuild with a
+//! different `shards(n)` must never serve entries computed under the old
+//! layout. Results are shared via [`Arc`], so a hit never clones row
+//! data.
 //!
 //! The cache is internally synchronized (`parking_lot::Mutex`) and can be
 //! shared across query threads alongside the immutable engine.
@@ -30,6 +34,10 @@ use std::sync::Arc;
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct CacheKey {
     words: Vec<u32>,
+    /// Root-range shard count of the engine the entry was computed on
+    /// (complements the version check: version survives a from-scratch
+    /// rebuild with a different `shards(n)`).
+    shards: usize,
     /// Algorithm discriminant plus sampling parameters when applicable.
     /// Tags 0–4 are resolved algorithms; tag 5 is an `Auto` request,
     /// whose answer additionally depends on the planner thresholds.
@@ -47,10 +55,11 @@ struct CacheKey {
 }
 
 impl CacheKey {
-    fn with_algo(query: &Query, cfg: &SearchConfig, algo_tag: u8) -> Self {
+    fn with_algo(query: &Query, cfg: &SearchConfig, shards: usize, algo_tag: u8) -> Self {
         let s = cfg.scoring;
         CacheKey {
             words: query.keywords.iter().map(|w| w.0).collect(),
+            shards,
             algo: algo_tag,
             sampling: None,
             planner: None,
@@ -67,7 +76,7 @@ impl CacheKey {
         }
     }
 
-    fn new(query: &Query, cfg: &SearchConfig, algo: Algorithm) -> Self {
+    fn new(query: &Query, cfg: &SearchConfig, shards: usize, algo: Algorithm) -> Self {
         let (algo_tag, sampling) = match algo {
             Algorithm::Baseline => (0u8, None),
             Algorithm::PatternEnum => (1, None),
@@ -75,7 +84,7 @@ impl CacheKey {
             Algorithm::LinearEnum => (3, None),
             Algorithm::LinearEnumTopK(s) => (4, Some((s.lambda, s.rho.to_bits(), s.seed))),
         };
-        let mut key = Self::with_algo(query, cfg, algo_tag);
+        let mut key = Self::with_algo(query, cfg, shards, algo_tag);
         key.sampling = sampling;
         key
     }
@@ -87,22 +96,23 @@ impl CacheKey {
     fn for_choice(
         query: &Query,
         cfg: &SearchConfig,
+        shards: usize,
         choice: AlgorithmChoice,
         sampling: &SamplingConfig,
         planner: &PlannerConfig,
     ) -> Self {
         match choice {
-            AlgorithmChoice::Baseline => Self::new(query, cfg, Algorithm::Baseline),
-            AlgorithmChoice::PatternEnum => Self::new(query, cfg, Algorithm::PatternEnum),
+            AlgorithmChoice::Baseline => Self::new(query, cfg, shards, Algorithm::Baseline),
+            AlgorithmChoice::PatternEnum => Self::new(query, cfg, shards, Algorithm::PatternEnum),
             AlgorithmChoice::PatternEnumPruned => {
-                Self::new(query, cfg, Algorithm::PatternEnumPruned)
+                Self::new(query, cfg, shards, Algorithm::PatternEnumPruned)
             }
-            AlgorithmChoice::LinearEnum => Self::new(query, cfg, Algorithm::LinearEnum),
+            AlgorithmChoice::LinearEnum => Self::new(query, cfg, shards, Algorithm::LinearEnum),
             AlgorithmChoice::LinearEnumTopK => {
-                Self::new(query, cfg, Algorithm::LinearEnumTopK(*sampling))
+                Self::new(query, cfg, shards, Algorithm::LinearEnumTopK(*sampling))
             }
             AlgorithmChoice::Auto => {
-                let mut key = Self::with_algo(query, cfg, 5);
+                let mut key = Self::with_algo(query, cfg, shards, 5);
                 key.planner = Some((
                     planner.max_combos,
                     planner.max_subtrees_exact,
@@ -186,7 +196,7 @@ impl QueryCache {
         cfg: &SearchConfig,
         algo: Algorithm,
     ) -> (Arc<SearchResult>, bool) {
-        let key = CacheKey::new(query, cfg, algo);
+        let key = CacheKey::new(query, cfg, engine.num_shards(), algo);
         let (result, _, hit) = self.lookup_with(key, engine.version(), || {
             (engine.execute(query, cfg, algo), algo)
         });
@@ -207,7 +217,7 @@ impl QueryCache {
         planner: &PlannerConfig,
         resolve_and_run: impl FnOnce() -> (SearchResult, Algorithm),
     ) -> (Arc<SearchResult>, Algorithm, bool) {
-        let key = CacheKey::for_choice(query, cfg, choice, sampling, planner);
+        let key = CacheKey::for_choice(query, cfg, engine.num_shards(), choice, sampling, planner);
         self.lookup_with(key, engine.version(), resolve_and_run)
     }
 
@@ -323,6 +333,38 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn different_shard_count_is_different_entry() {
+        // Two engines at the same data version but different shard
+        // layouts: a shared cache must never hand one engine's entry to
+        // the other (the version check alone cannot tell them apart).
+        let e1 = engine();
+        let (g, _) = figure1();
+        let e2 = crate::EngineBuilder::new()
+            .graph(g)
+            .threads(1)
+            .shards(3)
+            .build()
+            .unwrap();
+        assert_eq!(e1.version(), e2.version());
+        assert_ne!(e1.num_shards(), e2.num_shards());
+        let cache = QueryCache::new(8);
+        let q = e1.parse("database company").unwrap();
+        let cfg = SearchConfig::top(10);
+        let _ = cache.get_or_compute(&e1, &q, &cfg, Algorithm::PatternEnum);
+        let _ = cache.get_or_compute(&e2, &q, &cfg, Algorithm::PatternEnum);
+        assert_eq!(
+            cache.stats().misses,
+            2,
+            "shard layouts must not share entries"
+        );
+        assert_eq!(cache.len(), 2);
+        // Each engine still hits its own entry.
+        let _ = cache.get_or_compute(&e1, &q, &cfg, Algorithm::PatternEnum);
+        let _ = cache.get_or_compute(&e2, &q, &cfg, Algorithm::PatternEnum);
+        assert_eq!(cache.stats().hits, 2);
     }
 
     #[test]

@@ -1,61 +1,192 @@
-//! Shared machinery of the three index-based algorithms: the query
+//! Shared machinery of the index-based algorithms: the sharded query
 //! context, sorted-list intersection, the `EXPANDROOT` subroutine of
-//! Algorithm 3, and path-tuple products.
+//! Algorithm 3, path-tuple products, and the shard-parallel driver.
+//!
+//! ## The shard layer
+//!
+//! [`patternkb_index::PathIndexes`] partitions its postings into
+//! root-range shards. A [`QueryContext`] mirrors that: it holds one
+//! [`ShardContext`] per shard in which **every** keyword has postings
+//! (other shards cannot contribute answers — a candidate root must reach
+//! all keywords, and a root lives in exactly one shard). Each algorithm
+//! runs its single-shard kernel over every shard — in parallel via
+//! [`run_sharded`] — and merges the per-shard partial results. Because
+//! roots are disjoint across shards and [`crate::score::ScoreAcc`] sums
+//! exactly, the merged answers are bit-identical to single-shard
+//! execution.
 
 use crate::score::ScoreAcc;
 use crate::subtree::{node_slices_form_tree, TreePath, ValidSubtree};
 use crate::{Query, SearchConfig};
 use patternkb_graph::{FxHashMap, KnowledgeGraph, NodeId};
 use patternkb_index::{PathIndexes, PathPattern, PatternId, Posting, WordPathIndex};
+use std::sync::OnceLock;
 
-/// Immutable per-query view: the graph, the indexes, and one
-/// [`WordPathIndex`] per keyword.
-pub struct QueryContext<'a> {
+/// One shard's view of the query: the graph, the indexes, and one
+/// [`WordPathIndex`] per keyword, all restricted to the shard's root
+/// range. The single-shard algorithm kernels run against this.
+pub struct ShardContext<'a> {
     /// The knowledge graph.
     pub g: &'a KnowledgeGraph,
-    /// The path indexes (both orders + pattern set).
+    /// The path indexes (all shards + pattern set).
     pub idx: &'a PathIndexes,
-    /// Per-keyword word indexes, in query order.
+    /// Which index shard this view covers.
+    pub shard: usize,
+    /// Per-keyword word indexes within the shard, in query order.
     pub words: Vec<&'a WordPathIndex>,
-    /// Memoized `R = ∩ᵢ Roots(wᵢ)`: the planner and the chosen algorithm
-    /// share one context on the respond route, so the sorted-list
-    /// intersection runs once per query, not once per consumer.
-    roots: std::cell::OnceCell<Vec<NodeId>>,
+    /// Memoized local `R = ∩ᵢ Roots(wᵢ)` (roots in this shard's range).
+    roots: OnceLock<Vec<NodeId>>,
 }
 
-impl<'a> QueryContext<'a> {
-    /// Build the context; `None` when some keyword has no paths at all (the
-    /// query then provably has zero answers).
-    pub fn new(g: &'a KnowledgeGraph, idx: &'a PathIndexes, query: &Query) -> Option<Self> {
-        let mut words = Vec::with_capacity(query.keywords.len());
-        for &w in &query.keywords {
-            words.push(idx.word(w)?);
-        }
-        if words.is_empty() {
-            return None;
-        }
-        Some(QueryContext {
-            g,
-            idx,
-            words,
-            roots: std::cell::OnceCell::new(),
-        })
-    }
-
+impl<'a> ShardContext<'a> {
     /// Number of keywords `m`.
     pub fn m(&self) -> usize {
         self.words.len()
     }
 
-    /// `R = ∩ᵢ Roots(wᵢ)` — line 1 of Algorithm 3. Computed once per
-    /// context; repeat callers get a copy of the memoized set.
+    /// The shard-local candidate roots `R = ∩ᵢ Roots(wᵢ)`, ascending.
+    /// Computed once per context; repeat callers get the memoized slice.
+    pub fn candidate_roots(&self) -> &[NodeId] {
+        self.roots.get_or_init(|| {
+            let lists: Vec<&[u32]> = self.words.iter().map(|w| w.roots()).collect();
+            intersect_sorted(&lists).into_iter().map(NodeId).collect()
+        })
+    }
+}
+
+/// Immutable per-query view over the whole sharded index.
+pub struct QueryContext<'a> {
+    /// The knowledge graph.
+    pub g: &'a KnowledgeGraph,
+    /// The path indexes (all shards + pattern set).
+    pub idx: &'a PathIndexes,
+    /// One view per shard where **all** keywords have postings, in shard
+    /// (= ascending root range) order. Algorithms fan out over these.
+    pub shards: Vec<ShardContext<'a>>,
+    /// Number of keywords.
+    m: usize,
+    /// Per index shard, per keyword: the word's index in that shard, if
+    /// any. Superset of `shards` (also covers shards missing some
+    /// keyword); used by relaxation, which intersects keyword *subsets*.
+    sparse: Vec<Vec<Option<&'a WordPathIndex>>>,
+    /// Memoized global `R = ∩ᵢ Roots(wᵢ)`: concatenation of the per-shard
+    /// intersections in shard order (ascending, since shards partition the
+    /// root space by range).
+    roots: OnceLock<Vec<NodeId>>,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Build the context; `None` when some keyword has no paths in any
+    /// shard (the query then provably has zero answers).
+    pub fn new(g: &'a KnowledgeGraph, idx: &'a PathIndexes, query: &Query) -> Option<Self> {
+        if query.keywords.is_empty() {
+            return None;
+        }
+        for &w in &query.keywords {
+            if !idx.has_word(w) {
+                return None;
+            }
+        }
+        let m = query.keywords.len();
+        let sparse: Vec<Vec<Option<&WordPathIndex>>> = idx
+            .shards()
+            .iter()
+            .map(|shard| query.keywords.iter().map(|&w| shard.word(w)).collect())
+            .collect();
+        let shards: Vec<ShardContext<'a>> = sparse
+            .iter()
+            .enumerate()
+            .filter(|(_, words)| words.iter().all(Option::is_some))
+            .map(|(s, words)| ShardContext {
+                g,
+                idx,
+                shard: s,
+                words: words.iter().map(|w| w.expect("filtered")).collect(),
+                roots: OnceLock::new(),
+            })
+            .collect();
+        Some(QueryContext {
+            g,
+            idx,
+            shards,
+            m,
+            sparse,
+            roots: OnceLock::new(),
+        })
+    }
+
+    /// Number of keywords `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// `R = ∩ᵢ Roots(wᵢ)` — line 1 of Algorithm 3 — over the whole index:
+    /// the per-shard intersections concatenated in shard order (ascending).
+    /// Computed once per context; repeat callers get a copy.
     pub fn candidate_roots(&self) -> Vec<NodeId> {
         self.roots
             .get_or_init(|| {
-                let lists: Vec<&[u32]> = self.words.iter().map(|w| w.roots()).collect();
-                intersect_sorted(&lists).into_iter().map(NodeId).collect()
+                self.shards
+                    .iter()
+                    .flat_map(|s| s.candidate_roots().iter().copied())
+                    .collect()
             })
             .clone()
+    }
+
+    /// The word index of keyword `i` within index shard `s` (which may lack
+    /// other keywords — this is the relaxation view).
+    pub fn shard_word(&self, s: usize, i: usize) -> Option<&'a WordPathIndex> {
+        self.sparse[s][i]
+    }
+
+    /// Number of index shards (≥ `self.shards.len()`).
+    pub fn num_index_shards(&self) -> usize {
+        self.sparse.len()
+    }
+
+    /// `|∩_{i ∈ mask} Roots(wᵢ)|` over all shards — the relaxation
+    /// primitive. Bits of `mask` select keywords.
+    pub fn mask_roots(&self, mask: u32) -> usize {
+        let selected: Vec<usize> = (0..self.m).filter(|i| mask & (1 << i) != 0).collect();
+        if selected.is_empty() {
+            return 0;
+        }
+        let mut total = 0usize;
+        'shards: for s in 0..self.sparse.len() {
+            let mut lists: Vec<&[u32]> = Vec::with_capacity(selected.len());
+            for &i in &selected {
+                match self.sparse[s][i] {
+                    Some(w) => lists.push(w.roots()),
+                    None => continue 'shards,
+                }
+            }
+            total += intersect_sorted(&lists).len();
+        }
+        total
+    }
+
+    /// Distinct patterns of keyword `i` across all shards, ascending —
+    /// the global `Patterns(wᵢ)` the pattern-first algorithms enumerate.
+    pub fn global_patterns(&self, i: usize) -> Vec<PatternId> {
+        let mut ids: Vec<u32> = self
+            .sparse
+            .iter()
+            .filter_map(|words| words[i])
+            .flat_map(|w| w.patterns().map(|p| p.0))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(PatternId).collect()
+    }
+
+    /// Total postings behind keyword `i` across all shards.
+    pub fn keyword_postings(&self, i: usize) -> usize {
+        self.sparse
+            .iter()
+            .filter_map(|words| words[i])
+            .map(|w| w.len())
+            .sum()
     }
 
     /// Decode a tree-pattern key (one pattern id per keyword) into
@@ -65,6 +196,52 @@ impl<'a> QueryContext<'a> {
             .map(|&p| self.idx.patterns().decode(PatternId(p)))
             .collect()
     }
+}
+
+/// Map `f` over `items` on scoped OS threads, returning results **in
+/// input order**. Spawns at most `min(items, available cores)` workers —
+/// never one per item — so nested fan-outs (e.g. `respond_batch` over a
+/// sharded engine) degrade to chunked work instead of thread explosions.
+/// Runs inline for a single item or a single core.
+pub fn run_parallel<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if items.len() <= 1 || workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<T>> = items.iter().map(|_| None).collect();
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (chunk_items, slots) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (item, slot) in chunk_items.iter().zip(slots.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("parallel worker filled its slot"))
+        .collect()
+}
+
+/// Run `kernel` over every shard view via [`run_parallel`], returning the
+/// results **in shard order** — ascending root ranges, which is what makes
+/// concatenating per-shard outputs order-identical to a single-shard pass.
+pub fn run_sharded<'a, T, F>(shards: &[ShardContext<'a>], kernel: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ShardContext<'a>) -> T + Sync,
+{
+    run_parallel(shards, kernel)
 }
 
 /// Intersect k sorted ascending `u32` slices. Starts from the shortest list
@@ -95,15 +272,52 @@ pub fn intersect_sorted(lists: &[&[u32]]) -> Vec<u32> {
 /// A pattern's accumulated answer during enumeration.
 #[derive(Clone, Debug, Default)]
 pub struct PatternGroup {
-    /// Streaming score aggregation over all subtrees.
+    /// Streaming score aggregation over all subtrees (exact sum, so
+    /// per-shard groups merge bit-identically).
     pub acc: ScoreAcc,
     /// Materialized subtrees, capped at `SearchConfig::max_rows`.
     pub trees: Vec<ValidSubtree>,
 }
 
+impl PatternGroup {
+    /// Fold a later shard's group for the same pattern in. `other`'s roots
+    /// are all strictly greater (shards ascend by root range), so
+    /// appending its trees preserves the single-shard discovery order; the
+    /// cap keeps the first `max_rows` exactly as a sequential pass would.
+    pub fn merge(&mut self, other: PatternGroup, max_rows: usize) {
+        self.acc.merge(&other.acc);
+        let room = max_rows.saturating_sub(self.trees.len());
+        self.trees.extend(other.trees.into_iter().take(room));
+    }
+}
+
 /// The `TreeDict` of Algorithm 3: tree-pattern key (one pattern id per
 /// keyword, flattened) → group.
 pub type TreeDict = FxHashMap<Box<[u32]>, PatternGroup>;
+
+/// Merge per-shard tree dictionaries (in shard order) into one. The result
+/// is identical to what a single-shard pass over the concatenated root
+/// sequence would have produced: exact-sum accumulators merge exactly and
+/// tree rows concatenate in root order.
+pub fn merge_shard_dicts(dicts: Vec<TreeDict>, max_rows: usize) -> TreeDict {
+    let mut iter = dicts.into_iter();
+    let Some(mut merged) = iter.next() else {
+        return TreeDict::default();
+    };
+    for dict in iter {
+        for (key, group) in dict {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(group, max_rows);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(group);
+                }
+            }
+        }
+    }
+    merged
+}
 
 /// Iterate the cartesian product of posting slices, calling `f` with one
 /// posting per keyword. Never allocates per tuple.
@@ -170,7 +384,7 @@ pub fn materialize_tree(
 ///
 /// Returns the number of subtrees enumerated under this root.
 pub fn expand_root(
-    ctx: &QueryContext<'_>,
+    ctx: &ShardContext<'_>,
     cfg: &SearchConfig,
     r: NodeId,
     dict: &mut TreeDict,
@@ -295,5 +509,48 @@ mod tests {
         let mut scratch = Vec::new();
         let n = for_each_path_tuple(&[&a], &mut scratch, |_| panic!("no tuples"));
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn pattern_group_merge_caps_rows() {
+        let tree = |root: u32| ValidSubtree {
+            root: NodeId(root),
+            paths: vec![],
+            score: 1.0,
+        };
+        let mut a = PatternGroup::default();
+        a.acc.push(1.0);
+        a.trees.push(tree(0));
+        let mut b = PatternGroup::default();
+        b.acc.push(2.0);
+        b.trees.push(tree(5));
+        b.trees.push(tree(6));
+        a.merge(b, 2);
+        assert_eq!(a.acc.count, 2);
+        assert_eq!(a.trees.len(), 2);
+        assert_eq!(a.trees[1].root, NodeId(5), "shard order preserved");
+    }
+
+    #[test]
+    fn merge_shard_dicts_combines_groups() {
+        let key: Box<[u32]> = vec![1u32, 2].into();
+        let mut d1 = TreeDict::default();
+        let mut g1 = PatternGroup::default();
+        g1.acc.push(1.5);
+        d1.insert(key.clone(), g1);
+        let mut d2 = TreeDict::default();
+        let mut g2 = PatternGroup::default();
+        g2.acc.push(2.5);
+        d2.insert(key.clone(), g2);
+        let other: Box<[u32]> = vec![9u32].into();
+        let mut g3 = PatternGroup::default();
+        g3.acc.push(0.5);
+        d2.insert(other.clone(), g3);
+
+        let merged = merge_shard_dicts(vec![d1, d2], 64);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[&key].acc.count, 2);
+        assert_eq!(merged[&key].acc.sum(), 4.0);
+        assert_eq!(merged[&other].acc.count, 1);
     }
 }

@@ -8,46 +8,55 @@
 //! * bucket queries by answer counts for the §5 experiments (Figures 7–9
 //!   group queries by #patterns / #subtrees).
 
-use crate::common::QueryContext;
+use crate::common::{run_sharded, QueryContext};
 use patternkb_graph::FxHashSet;
 
 /// Exact number of d-height tree patterns for the query (distinct
-/// per-keyword pattern-id tuples over all candidate roots).
+/// per-keyword pattern-id tuples over all candidate roots). Shard-parallel
+/// with a cross-shard union of the per-shard key sets (pattern ids are
+/// global, so keys from different shards compare directly).
 pub fn count_patterns(ctx: &QueryContext<'_>) -> u64 {
     let m = ctx.m();
-    let mut seen: FxHashSet<Box<[u32]>> = FxHashSet::default();
-    let mut key: Vec<u32> = vec![0; m];
-    for r in ctx.candidate_roots() {
-        let runs: Vec<&[u32]> = ctx.words.iter().map(|w| w.patterns_of_root(r)).collect();
-        debug_assert!(runs.iter().all(|r| !r.is_empty()));
-        let mut combo = vec![0usize; m];
-        loop {
-            for i in 0..m {
-                key[i] = runs[i][combo[i]];
-            }
-            if !seen.contains(key.as_slice()) {
-                seen.insert(key.as_slice().into());
-            }
-            let mut pos = m;
-            let mut done = false;
+    let locals: Vec<FxHashSet<Box<[u32]>>> = run_sharded(&ctx.shards, |shard| {
+        let mut seen: FxHashSet<Box<[u32]>> = FxHashSet::default();
+        let mut key: Vec<u32> = vec![0; m];
+        for &r in shard.candidate_roots() {
+            let runs: Vec<&[u32]> = shard.words.iter().map(|w| w.patterns_of_root(r)).collect();
+            debug_assert!(runs.iter().all(|r| !r.is_empty()));
+            let mut combo = vec![0usize; m];
             loop {
-                if pos == 0 {
-                    done = true;
+                for i in 0..m {
+                    key[i] = runs[i][combo[i]];
+                }
+                if !seen.contains(key.as_slice()) {
+                    seen.insert(key.as_slice().into());
+                }
+                let mut pos = m;
+                let mut done = false;
+                loop {
+                    if pos == 0 {
+                        done = true;
+                        break;
+                    }
+                    pos -= 1;
+                    combo[pos] += 1;
+                    if combo[pos] < runs[pos].len() {
+                        break;
+                    }
+                    combo[pos] = 0;
+                }
+                if done {
                     break;
                 }
-                pos -= 1;
-                combo[pos] += 1;
-                if combo[pos] < runs[pos].len() {
-                    break;
-                }
-                combo[pos] = 0;
-            }
-            if done {
-                break;
             }
         }
+        seen
+    });
+    let mut union: FxHashSet<Box<[u32]>> = FxHashSet::default();
+    for local in locals {
+        union.extend(local);
     }
-    seen.len() as u64
+    union.len() as u64
 }
 
 /// Exact number of valid subtrees `N = Σ_r Πᵢ |Paths(wᵢ, r)|`, computed
@@ -55,12 +64,14 @@ pub fn count_patterns(ctx: &QueryContext<'_>) -> u64 {
 /// of Figure 9).
 pub fn count_subtrees(ctx: &QueryContext<'_>) -> u64 {
     let mut total: u64 = 0;
-    for r in ctx.candidate_roots() {
-        let mut prod: u64 = 1;
-        for w in &ctx.words {
-            prod = prod.saturating_mul(w.num_paths_of_root(r) as u64);
+    for shard in &ctx.shards {
+        for &r in shard.candidate_roots() {
+            let mut prod: u64 = 1;
+            for w in &shard.words {
+                prod = prod.saturating_mul(w.num_paths_of_root(r) as u64);
+            }
+            total = total.saturating_add(prod);
         }
-        total = total.saturating_add(prod);
     }
     total
 }
@@ -79,7 +90,15 @@ mod tests {
     fn figure1_counts() {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, "database software company revenue").unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         assert_eq!(count_patterns(&ctx), 9);
@@ -126,6 +145,7 @@ mod tests {
             &BuildConfig {
                 d: red.d,
                 threads: 1,
+                shards: 1,
             },
         );
         let q = Query::parse(&text, &format!("{} {}", red.query[0], red.query[1]));

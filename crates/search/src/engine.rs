@@ -3,8 +3,12 @@
 //!
 //! [`SearchEngine::respond`] is the one entry point of the query route:
 //! parse → plan → enumerate → rank → compose tables, with every failure
-//! surfaced as a typed [`Error`]. The pre-0.2 `search_*` facade methods
-//! remain as thin deprecated shims for one release.
+//! surfaced as a typed [`Error`]. Query execution is shard-parallel: the
+//! index partitions by root range ([`patternkb_index::PathIndexes`]), each
+//! algorithm runs one worker per shard, and the per-shard heaps merge at
+//! the top-k ([`crate::common`]). The pre-0.2 `search_*`/`build*` facade
+//! shims were removed in 0.3 — see the migration pointer in the crate
+//! docs.
 
 use crate::baseline::baseline;
 use crate::common::QueryContext;
@@ -20,8 +24,8 @@ use crate::table::TableAnswer;
 use crate::topk::{linear_enum_topk, SamplingConfig};
 use crate::{ParseError, PlannerConfig, Query, SearchConfig};
 use patternkb_graph::KnowledgeGraph;
-use patternkb_index::{build_indexes, BuildConfig, PathIndexes};
-use patternkb_text::{SynonymTable, TextIndex};
+use patternkb_index::PathIndexes;
+use patternkb_text::TextIndex;
 
 /// Which query algorithm to run (§5's Baseline / PETopK / LETopK).
 #[derive(Clone, Copy, Debug, Default)]
@@ -56,31 +60,6 @@ pub struct SearchEngine {
 }
 
 impl SearchEngine {
-    /// Build the engine: text index, then both path indexes with height
-    /// threshold `build_cfg.d`.
-    #[deprecated(since = "0.2.0", note = "use EngineBuilder::new().graph(g).build()")]
-    pub fn build(g: KnowledgeGraph, synonyms: SynonymTable, build_cfg: &BuildConfig) -> Self {
-        let text = TextIndex::build_with(&g, synonyms, patternkb_text::Stemmer::Lite);
-        let idx = build_indexes(&g, &text, build_cfg);
-        SearchEngine::from_parts(g, text, idx)
-    }
-
-    /// Build with an explicit stemmer.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use EngineBuilder::new().graph(g).stemmer(s).build()"
-    )]
-    pub fn build_with_stemmer(
-        g: KnowledgeGraph,
-        synonyms: SynonymTable,
-        stemmer: patternkb_text::Stemmer,
-        build_cfg: &BuildConfig,
-    ) -> Self {
-        let text = TextIndex::build_with(&g, synonyms, stemmer);
-        let idx = build_indexes(&g, &text, build_cfg);
-        SearchEngine::from_parts(g, text, idx)
-    }
-
     /// Build from pre-constructed parts (used by [`crate::EngineBuilder`]
     /// and by the bench harness to time index construction separately).
     pub fn from_parts(g: KnowledgeGraph, text: TextIndex, idx: PathIndexes) -> Self {
@@ -179,6 +158,12 @@ impl SearchEngine {
     /// The height threshold `d` the engine was built for.
     pub fn d(&self) -> usize {
         self.idx.d()
+    }
+
+    /// Number of root-range index shards queries fan out over (set by
+    /// [`crate::EngineBuilder::shards`]).
+    pub fn num_shards(&self) -> usize {
+        self.idx.num_shards()
     }
 
     /// Parse raw query text.
@@ -429,7 +414,14 @@ impl SearchEngine {
     ) -> (SearchResult, Algorithm) {
         if choice == AlgorithmChoice::Baseline {
             return (
-                baseline(&self.g, &self.text, query, cfg, self.idx.d()),
+                baseline(
+                    &self.g,
+                    &self.text,
+                    query,
+                    cfg,
+                    self.idx.d(),
+                    self.idx.bounds(),
+                ),
                 Algorithm::Baseline,
             );
         }
@@ -460,8 +452,7 @@ impl SearchEngine {
     }
 
     /// Run one resolved algorithm. This is the execution core `respond`
-    /// and the result cache sit on; the deprecated `search_*` shims also
-    /// funnel here.
+    /// and the result cache sit on.
     pub(crate) fn execute(
         &self,
         query: &Query,
@@ -469,7 +460,14 @@ impl SearchEngine {
         algo: Algorithm,
     ) -> SearchResult {
         match algo {
-            Algorithm::Baseline => baseline(&self.g, &self.text, query, cfg, self.idx.d()),
+            Algorithm::Baseline => baseline(
+                &self.g,
+                &self.text,
+                query,
+                cfg,
+                self.idx.d(),
+                self.idx.bounds(),
+            ),
             _ => {
                 let Some(ctx) = QueryContext::new(&self.g, &self.idx, query) else {
                     return SearchResult::default();
@@ -486,114 +484,14 @@ impl SearchEngine {
     }
 
     // ------------------------------------------------------------------
-    // Deprecated pre-0.2 facade (one release of shims).
-    // ------------------------------------------------------------------
-
-    /// Run the default algorithm (`PATTERNENUM`).
-    #[deprecated(since = "0.2.0", note = "use respond(&SearchRequest::query(q))")]
-    pub fn search(&self, query: &Query, cfg: &SearchConfig) -> SearchResult {
-        self.execute(query, cfg, Algorithm::PatternEnum)
-    }
-
-    /// Run a specific algorithm.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use respond with SearchRequest::query(q).algorithm(..)"
-    )]
-    pub fn search_with(&self, query: &Query, cfg: &SearchConfig, algo: Algorithm) -> SearchResult {
-        self.execute(query, cfg, algo)
-    }
-
-    /// Planner-routed search; returns the decision next to the result.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use respond: AlgorithmChoice::Auto is the default; the response carries the decision"
-    )]
-    pub fn search_auto(&self, query: &Query, cfg: &SearchConfig) -> (SearchResult, Algorithm) {
-        #[allow(deprecated)]
-        self.search_auto_with(query, cfg, &PlannerConfig::default())
-    }
-
-    /// Planner-routed search with explicit thresholds.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use respond with SearchRequest::query(q).planner(cfg)"
-    )]
-    pub fn search_auto_with(
-        &self,
-        query: &Query,
-        cfg: &SearchConfig,
-        planner: &PlannerConfig,
-    ) -> (SearchResult, Algorithm) {
-        let algo = match QueryContext::new(&self.g, &self.idx, query) {
-            Some(ctx) => crate::plan::choose(&crate::plan::estimate(&ctx), planner),
-            None => Algorithm::PatternEnumPruned, // provably empty; any algorithm is O(1)
-        };
-        (self.execute(query, cfg, algo), algo)
-    }
-
-    /// Run a query workload in parallel.
-    #[deprecated(since = "0.2.0", note = "use respond_batch(&[SearchRequest], threads)")]
-    pub fn search_batch(
-        &self,
-        queries: &[Query],
-        cfg: &SearchConfig,
-        algo: Algorithm,
-        threads: usize,
-    ) -> Vec<SearchResult> {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        };
-        let threads = threads.clamp(1, queries.len().max(1));
-        if threads == 1 {
-            return queries.iter().map(|q| self.execute(q, cfg, algo)).collect();
-        }
-        let mut results: Vec<Option<SearchResult>> = (0..queries.len()).map(|_| None).collect();
-        let chunk = queries.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (q, slot) in qs.iter().zip(out.iter_mut()) {
-                        *slot = Some(self.execute(q, cfg, algo));
-                    }
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("worker filled every slot"))
-            .collect()
-    }
-
-    // ------------------------------------------------------------------
     // Analysis utilities (not part of the unified query route).
     // ------------------------------------------------------------------
 
-    /// Persist the built path indexes; reload through
-    /// [`crate::EngineBuilder::index_snapshot`] to skip the expensive
-    /// Algorithm-1 construction (cf. Figure 6).
+    /// Persist the built path indexes (segment-per-shard snapshot); reload
+    /// through [`crate::EngineBuilder::index_snapshot`] to skip the
+    /// expensive Algorithm-1 construction (cf. Figure 6).
     pub fn save_index(&self, path: &std::path::Path) -> std::io::Result<()> {
         patternkb_index::snapshot::save(&self.idx, path)
-    }
-
-    /// Rebuild an engine from a graph plus a previously saved index
-    /// snapshot.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use EngineBuilder::new().graph(g).index_snapshot(path).build()"
-    )]
-    pub fn load_index(
-        g: KnowledgeGraph,
-        synonyms: SynonymTable,
-        path: &std::path::Path,
-    ) -> std::io::Result<Self> {
-        let text = TextIndex::build(&g, synonyms);
-        let idx = patternkb_index::snapshot::load(path)?;
-        Ok(SearchEngine::from_parts(g, text, idx))
     }
 
     /// Top-k *individual* valid subtrees (§5.3).
@@ -883,27 +781,50 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_respond() {
-        let e = engine();
-        let q = e.parse("database software company revenue").unwrap();
-        let old = e.search(&q, &SearchConfig::top(10));
-        let new = respond(&e, "database software company revenue", 10);
-        assert_eq!(old.patterns.len(), new.patterns.len());
-        for (a, b) in old.patterns.iter().zip(&new.patterns) {
-            assert_eq!(a.key(), b.key());
-            assert!((a.score - b.score).abs() < 1e-12);
+    fn sharded_engine_answers_bit_identically() {
+        let choices = [
+            AlgorithmChoice::Baseline,
+            AlgorithmChoice::PatternEnum,
+            AlgorithmChoice::PatternEnumPruned,
+            AlgorithmChoice::LinearEnum,
+            AlgorithmChoice::LinearEnumTopK,
+        ];
+        let single = engine();
+        for shards in [2usize, 4] {
+            let (g, _) = figure1();
+            let e = EngineBuilder::new()
+                .graph(g)
+                .threads(1)
+                .shards(shards)
+                .build()
+                .unwrap();
+            assert_eq!(e.num_shards(), shards);
+            for choice in choices {
+                let req = |engine: &SearchEngine| {
+                    engine
+                        .respond(
+                            &SearchRequest::text("database software company revenue")
+                                .k(100)
+                                .algorithm(choice),
+                        )
+                        .unwrap()
+                };
+                let a = req(&single);
+                let b = req(&e);
+                assert_eq!(a.patterns.len(), b.patterns.len(), "{choice:?}");
+                for (x, y) in a.patterns.iter().zip(&b.patterns) {
+                    assert_eq!(x.key(), y.key(), "{choice:?}");
+                    assert_eq!(
+                        x.score.to_bits(),
+                        y.score.to_bits(),
+                        "{choice:?}: scores must be bit-identical"
+                    );
+                    assert_eq!(x.num_trees, y.num_trees);
+                }
+                assert_eq!(a.stats.subtrees, b.stats.subtrees, "{choice:?}");
+                assert!(!b.stats.per_shard.is_empty(), "{choice:?}");
+            }
         }
-        let (auto, algo) = e.search_auto(&q, &SearchConfig::top(10));
-        let manual = e.search_with(&q, &SearchConfig::top(10), algo);
-        assert_eq!(auto.patterns.len(), manual.patterns.len());
-        let batch = e.search_batch(
-            std::slice::from_ref(&q),
-            &SearchConfig::top(10),
-            Algorithm::PatternEnum,
-            2,
-        );
-        assert_eq!(batch[0].patterns.len(), old.patterns.len());
     }
 
     #[test]

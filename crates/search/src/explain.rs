@@ -136,7 +136,15 @@ mod tests {
     fn top_tree() -> (patternkb_graph::KnowledgeGraph, RankedPattern) {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, "database software company revenue").unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         let r = linear_enum(&ctx, &SearchConfig::top(10));

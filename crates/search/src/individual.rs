@@ -7,7 +7,7 @@
 //! individual subtrees (Figure 13). This module computes both sides of
 //! that comparison.
 
-use crate::common::{for_each_path_tuple, QueryContext};
+use crate::common::{for_each_path_tuple, run_sharded, QueryContext, ShardContext};
 use crate::result::RankedPattern;
 use crate::subtree::ValidSubtree;
 use crate::SearchConfig;
@@ -25,12 +25,24 @@ pub struct ScoredTree {
 }
 
 /// Enumerate all valid subtrees and keep the `k` best by Eq. (3), ties
-/// broken by (root, pattern key) for determinism.
+/// broken by (root, pattern key) for determinism. Shard-parallel: each
+/// shard keeps its local top-k, and the per-shard lists merge under the
+/// same total order — the selection is order-free, so the result matches
+/// a single-shard pass exactly.
 pub fn top_individual(ctx: &QueryContext<'_>, cfg: &SearchConfig, k: usize) -> Vec<ScoredTree> {
+    let locals = run_sharded(&ctx.shards, |shard| top_individual_shard(shard, cfg, k));
+    let mut best: Vec<ScoredTree> = locals.into_iter().flatten().collect();
+    sort_trees(&mut best);
+    best.truncate(k);
+    best
+}
+
+/// One shard's top-k individual subtrees.
+fn top_individual_shard(ctx: &ShardContext<'_>, cfg: &SearchConfig, k: usize) -> Vec<ScoredTree> {
     let m = ctx.m();
     let mut best: Vec<ScoredTree> = Vec::new();
     let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
-    for r in ctx.candidate_roots() {
+    for &r in ctx.candidate_roots() {
         let runs: Vec<Vec<_>> = ctx.words.iter().map(|w| w.root_runs(r).collect()).collect();
         if runs.iter().any(Vec::is_empty) {
             continue;
@@ -153,7 +165,15 @@ mod tests {
     ) {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         (g, t, idx)
     }
 

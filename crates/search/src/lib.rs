@@ -32,6 +32,19 @@
 //! * a version-aware LRU result cache ([`cache`]) and snapshot-swap
 //!   concurrent serving under live mutation ([`concurrent`]).
 //!
+//! ## Sharded execution
+//!
+//! The index partitions into **root-range shards**
+//! ([`patternkb_index::PathIndexes`]; knob: [`EngineBuilder::shards`],
+//! default = available parallelism). Every algorithm fans out one worker
+//! per shard over per-shard [`common::ShardContext`] views — with a shared
+//! atomic top-k threshold tightening [`bound`]'s pruning globally — and
+//! the per-shard partial pattern groups merge at the top-k heap
+//! ([`common::merge_shard_dicts`]). Scores accumulate **exactly**
+//! ([`score::ExactSum`]), so sharded answers are bit-identical to
+//! `shards(1)` (proptest-enforced); [`QueryStats::per_shard`] reports how
+//! the work split.
+//!
 //! ## The request/response API
 //!
 //! The public surface is three types plus one serving handle:
@@ -50,8 +63,10 @@
 //!   point, with the version-aware [`QueryCache`] built in and
 //!   snapshot-swap ingest ([`concurrent`]).
 //!
-//! Every failure on the query route is a typed [`Error`]; the pre-0.2
-//! `search_*` methods remain as deprecated shims for one release.
+//! Every failure on the query route is a typed [`Error`]. The pre-0.2
+//! `search_*`/`build*` facade shims were removed in 0.3; the request
+//! types above cover their whole surface (see the migration pointer in
+//! the `patternkb` facade crate docs).
 //!
 //! ```
 //! use patternkb_search::{EngineBuilder, SearchRequest};
@@ -101,7 +116,7 @@ pub use error::Error;
 pub use plan::{PlannerConfig, QueryEstimate};
 pub use query::{ParseError, Query};
 pub use request::{AlgorithmChoice, CacheOutcome, SearchRequest, SearchResponse};
-pub use result::{QueryStats, RankedPattern, SearchResult};
+pub use result::{QueryStats, RankedPattern, SearchResult, ShardStats};
 pub use score::{Aggregation, ScoringConfig};
 pub use subtree::{TreePath, ValidSubtree};
 pub use table::TableAnswer;

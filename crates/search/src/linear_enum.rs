@@ -1,4 +1,4 @@
-//! `LINEARENUM` — Algorithm 3.
+//! `LINEARENUM` — Algorithm 3, shard-parallel.
 //!
 //! Instead of enumerating tree patterns directly, find all candidate roots
 //! (`R = ∩ Roots(wᵢ)` from the root-first index), then `EXPANDROOT` each:
@@ -6,9 +6,14 @@
 //! **nonempty** tree patterns, so the running time is linear in the index
 //! size plus the output size (Theorem 3):
 //! `O(N · d · m + Σᵢ Sᵢ)`.
+//!
+//! Candidate roots partition over the index's root-range shards, so each
+//! shard expands its own roots into a private `TreeDict` (contention-free)
+//! and the dictionaries merge at the end — bit-identical to a sequential
+//! pass thanks to exact score accumulation.
 
-use crate::common::{expand_root, QueryContext, TreeDict};
-use crate::result::{QueryStats, RankedPattern, SearchResult};
+use crate::common::{expand_root, merge_shard_dicts, run_sharded, QueryContext, TreeDict};
+use crate::result::{QueryStats, RankedPattern, SearchResult, ShardStats};
 use crate::SearchConfig;
 use std::time::Instant;
 
@@ -17,12 +22,32 @@ use std::time::Instant;
 /// [`crate::topk::linear_enum_topk`].)
 pub fn linear_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
     let t0 = Instant::now();
-    let roots = ctx.candidate_roots();
-    let mut dict = TreeDict::default();
+    let locals = run_sharded(&ctx.shards, |shard| {
+        let mut dict = TreeDict::default();
+        let mut subtrees = 0usize;
+        for &r in shard.candidate_roots() {
+            subtrees += expand_root(shard, cfg, r, &mut dict);
+        }
+        (dict, subtrees, shard.candidate_roots().len(), shard.shard)
+    });
+
+    let mut per_shard = Vec::with_capacity(locals.len());
+    let mut dicts = Vec::with_capacity(locals.len());
     let mut subtrees = 0usize;
-    for &r in &roots {
-        subtrees += expand_root(ctx, cfg, r, &mut dict);
+    let mut candidate_roots = 0usize;
+    for (dict, local_subtrees, local_roots, shard) in locals {
+        per_shard.push(ShardStats {
+            shard,
+            candidate_roots: local_roots,
+            subtrees: local_subtrees,
+            patterns: dict.len(),
+        });
+        subtrees += local_subtrees;
+        candidate_roots += local_roots;
+        dicts.push(dict);
     }
+    let dict = merge_shard_dicts(dicts, cfg.max_rows);
+
     let patterns_found = dict.len();
     let patterns: Vec<RankedPattern> = dict
         .into_iter()
@@ -36,11 +61,12 @@ pub fn linear_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
     SearchResult {
         patterns,
         stats: QueryStats {
-            candidate_roots: roots.len(),
+            candidate_roots,
             subtrees,
             patterns: patterns_found,
             combos_tried: patterns_found,
             combos_pruned: 0,
+            per_shard,
             elapsed: t0.elapsed(),
         },
     }
@@ -62,7 +88,15 @@ mod tests {
     ) {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         (g, t, idx)
     }
 

@@ -1,37 +1,68 @@
-//! `PATTERNENUM` — Algorithm 2.
+//! `PATTERNENUM` — Algorithm 2, shard-parallel.
 //!
 //! For each root type `C`, enumerate every combination of per-keyword path
 //! patterns rooted at `C` (from the pattern-first index), intersect the
 //! pattern's root lists to test emptiness (line 5), and for nonempty
 //! combinations join the paths at their shared roots into valid subtrees.
 //!
-//! Only `k` patterns (plus their materialized rows) are ever held in
-//! memory, so the footprint is small; the price is the worst-case `Θ(p^m)`
-//! joins wasted on **empty** pattern combinations (§4.1's adversarial
-//! construction, reproduced in `datagen::worstcase` and the `worst_case`
-//! bench).
+//! Under sharding each worker runs the enumeration over **its shard's**
+//! pattern lists and root ranges; a pattern combination whose subtrees
+//! spread over several shards is discovered independently in each and its
+//! partial groups merge exactly at the end (a pattern's score aggregates
+//! over roots, and roots partition across shards). The cross-shard merge
+//! requires holding every *nonempty* combination's partial group until
+//! the end — `O(patterns)` memory, the same class as `LINEARENUM`'s
+//! dictionary, replacing the pre-shard `O(k)` periodic compaction; empty
+//! combinations (the adversarial bulk) still cost nothing. The worst case remains
+//! the `Θ(p^m)` joins wasted on **empty** pattern combinations (§4.1's
+//! adversarial construction, reproduced in `datagen::worstcase` and the
+//! `worst_case` bench); `stats.combos_tried` reports the global
+//! combination count — `Σ_C Πᵢ |PatternsC(wᵢ)|` over the whole index — so
+//! the figure is comparable across shard counts.
 
-use crate::common::{for_each_path_tuple, intersect_sorted, materialize_tree, QueryContext};
-use crate::result::{QueryStats, RankedPattern, SearchResult};
-use crate::score::ScoreAcc;
+use crate::common::{
+    for_each_path_tuple, intersect_sorted, materialize_tree, merge_shard_dicts, run_sharded,
+    QueryContext, ShardContext, TreeDict,
+};
+use crate::result::{QueryStats, RankedPattern, SearchResult, ShardStats};
 use crate::subtree::node_slices_form_tree;
 use crate::SearchConfig;
 use patternkb_graph::{FxHashMap, NodeId, TypeId};
-use patternkb_index::{PatternId, Posting};
+use patternkb_index::{PatternId, Posting, WordPathIndex};
 use std::time::Instant;
 
-/// Run `PATTERNENUM`.
-pub fn pattern_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
-    let t0 = Instant::now();
-    let m = ctx.m();
-
-    // Per keyword: patterns grouped by root type (PatternsC(wᵢ), line 3).
-    let by_type: Vec<FxHashMap<TypeId, Vec<PatternId>>> = ctx
-        .words
+/// Per-keyword patterns grouped by root type (`PatternsC(wᵢ)`, line 3).
+pub(crate) fn patterns_by_type(
+    idx: &patternkb_index::PathIndexes,
+    words: &[&WordPathIndex],
+) -> Vec<FxHashMap<TypeId, Vec<PatternId>>> {
+    words
         .iter()
         .map(|w| {
             let mut map: FxHashMap<TypeId, Vec<PatternId>> = FxHashMap::default();
             for p in w.patterns() {
+                map.entry(idx.patterns().root_type(p)).or_default().push(p);
+            }
+            map
+        })
+        .collect()
+}
+
+/// Root types present in *every* per-keyword map, in id order.
+pub(crate) fn common_types(by_type: &[FxHashMap<TypeId, Vec<PatternId>>]) -> Vec<TypeId> {
+    let mut types: Vec<TypeId> = by_type[0].keys().copied().collect();
+    types.sort_unstable();
+    types.retain(|c| by_type.iter().all(|map| map.contains_key(c)));
+    types
+}
+
+/// The global pattern-combination count `Σ_C Πᵢ |PatternsC(wᵢ)|` over the
+/// whole index — what a single-shard `PATTERNENUM` iterates (saturating).
+fn global_combo_count(ctx: &QueryContext<'_>) -> usize {
+    let by_type: Vec<FxHashMap<TypeId, Vec<PatternId>>> = (0..ctx.m())
+        .map(|i| {
+            let mut map: FxHashMap<TypeId, Vec<PatternId>> = FxHashMap::default();
+            for p in ctx.global_patterns(i) {
                 map.entry(ctx.idx.patterns().root_type(p))
                     .or_default()
                     .push(p);
@@ -39,20 +70,31 @@ pub fn pattern_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult 
             map
         })
         .collect();
+    let mut total = 0usize;
+    for c in common_types(&by_type) {
+        let mut prod = 1usize;
+        for map in &by_type {
+            prod = prod.saturating_mul(map[&c].len());
+        }
+        total = total.saturating_add(prod);
+    }
+    total
+}
 
-    // Root types present for *every* keyword, in id order for determinism.
-    let mut types: Vec<TypeId> = by_type[0].keys().copied().collect();
-    types.sort_unstable();
-    types.retain(|c| by_type.iter().all(|map| map.contains_key(c)));
+/// One shard's `PATTERNENUM` pass: every nonempty local combination folded
+/// into a [`TreeDict`] keyed by the (global) pattern-id tuple.
+fn pattern_enum_shard(shard: &ShardContext<'_>, cfg: &SearchConfig) -> (TreeDict, usize, Vec<u32>) {
+    let m = shard.m();
+    let by_type = patterns_by_type(shard.idx, &shard.words);
+    let types = common_types(&by_type);
 
-    let mut best: Vec<RankedPattern> = Vec::new();
-    let mut combos_tried = 0usize;
+    let mut dict = TreeDict::default();
     let mut subtrees = 0usize;
-    let mut patterns_found = 0usize;
     let mut candidate_roots_seen: Vec<u32> = Vec::new();
 
     let mut combo = vec![0usize; m];
     let mut chosen: Vec<PatternId> = vec![PatternId(0); m];
+    let mut key: Vec<u32> = vec![0; m];
     let mut root_lists: Vec<&[u32]> = Vec::with_capacity(m);
     let mut slices: Vec<&[Posting]> = Vec::with_capacity(m);
     let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
@@ -64,59 +106,46 @@ pub fn pattern_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult 
 
         // Line 4: the pattern product for this root type.
         loop {
-            combos_tried += 1;
             root_lists.clear();
             for i in 0..m {
                 chosen[i] = lists[i][combo[i]];
-                root_lists.push(ctx.words[i].roots_of_pattern(chosen[i]));
+                key[i] = chosen[i].0;
+                root_lists.push(shard.words[i].roots_of_pattern(chosen[i]));
             }
-            // Line 5: candidate roots of this tree pattern.
+            // Line 5: candidate roots of this tree pattern (in-shard).
             let roots = intersect_sorted(&root_lists);
             if !roots.is_empty() {
                 // Lines 7–8: join paths at each shared root.
-                let mut acc = ScoreAcc::new();
-                let mut trees = Vec::new();
+                let group = dict.entry(key.as_slice().into()).or_default();
                 for &r in &roots {
                     let root = NodeId(r);
                     slices.clear();
                     for i in 0..m {
-                        slices.push(ctx.words[i].paths_of_pattern_root(chosen[i], root));
+                        slices.push(shard.words[i].paths_of_pattern_root(chosen[i], root));
                     }
                     subtrees += for_each_path_tuple(&slices, &mut scratch, |tuple| {
                         if cfg.strict_trees {
                             node_scratch.clear();
                             for (i, p) in tuple.iter().enumerate() {
-                                node_scratch.push(ctx.words[i].nodes_of(p));
+                                node_scratch.push(shard.words[i].nodes_of(p));
                             }
                             if !node_slices_form_tree(root, &node_scratch) {
                                 return;
                             }
                         }
                         let score = cfg.scoring.tree_score_of(tuple);
-                        acc.push(score);
-                        if trees.len() < cfg.max_rows {
-                            trees.push(materialize_tree(&ctx.words, root, tuple, score));
+                        group.acc.push(score);
+                        if group.trees.len() < cfg.max_rows {
+                            group
+                                .trees
+                                .push(materialize_tree(&shard.words, root, tuple, score));
                         }
                     });
                 }
-                if acc.count > 0 {
-                    patterns_found += 1;
+                if group.acc.count == 0 && group.trees.is_empty() {
+                    dict.remove(key.as_slice());
+                } else {
                     candidate_roots_seen.extend_from_slice(&roots);
-                    let key_patterns = chosen
-                        .iter()
-                        .map(|p| ctx.idx.patterns().decode(*p))
-                        .collect();
-                    best.push(RankedPattern {
-                        pattern: key_patterns,
-                        score: acc.finish(cfg.scoring.aggregation),
-                        num_trees: acc.count as usize,
-                        trees,
-                    });
-                    // Keep at most ~k patterns in memory (paper: queue Q of
-                    // size k), amortizing the compaction.
-                    if best.len() >= 2 * cfg.k.max(8) {
-                        compact(&mut best, cfg.k);
-                    }
                 }
             }
 
@@ -143,28 +172,60 @@ pub fn pattern_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult 
 
     candidate_roots_seen.sort_unstable();
     candidate_roots_seen.dedup();
+    (dict, subtrees, candidate_roots_seen)
+}
+
+/// Run `PATTERNENUM`.
+pub fn pattern_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
+    let t0 = Instant::now();
+    let combos_tried = global_combo_count(ctx);
+    let locals = run_sharded(&ctx.shards, |shard| {
+        let (dict, subtrees, roots) = pattern_enum_shard(shard, cfg);
+        (dict, subtrees, roots, shard.shard)
+    });
+
+    let mut per_shard = Vec::with_capacity(locals.len());
+    let mut dicts = Vec::with_capacity(locals.len());
+    let mut subtrees = 0usize;
+    let mut candidate_roots = 0usize;
+    for (dict, local_subtrees, roots, shard) in locals {
+        per_shard.push(ShardStats {
+            shard,
+            candidate_roots: roots.len(),
+            subtrees: local_subtrees,
+            patterns: dict.len(),
+        });
+        subtrees += local_subtrees;
+        // Shards partition the root space, so per-shard dedup is global
+        // dedup.
+        candidate_roots += roots.len();
+        dicts.push(dict);
+    }
+    let dict = merge_shard_dicts(dicts, cfg.max_rows);
+
+    let patterns_found = dict.len();
+    let patterns: Vec<RankedPattern> = dict
+        .into_iter()
+        .map(|(key, group)| RankedPattern {
+            pattern: ctx.decode_key(&key),
+            score: group.acc.finish(cfg.scoring.aggregation),
+            num_trees: group.acc.count as usize,
+            trees: group.trees,
+        })
+        .collect();
     SearchResult {
-        patterns: best,
+        patterns,
         stats: QueryStats {
-            candidate_roots: candidate_roots_seen.len(),
+            candidate_roots,
             subtrees,
             patterns: patterns_found,
             combos_tried,
             combos_pruned: 0,
+            per_shard,
             elapsed: t0.elapsed(),
         },
     }
     .finalize(cfg.k)
-}
-
-fn compact(best: &mut Vec<RankedPattern>, k: usize) {
-    best.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.key().cmp(&b.key()))
-    });
-    best.truncate(k);
 }
 
 #[cfg(test)]
@@ -183,7 +244,15 @@ mod tests {
     ) {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         (g, t, idx)
     }
 
@@ -216,7 +285,15 @@ mod tests {
         let p = 12;
         let g = worstcase::worstcase(p);
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, &format!("{} {}", worstcase::W1, worstcase::W2)).unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         let pe = pattern_enum(&ctx, &SearchConfig::top(10));

@@ -42,19 +42,23 @@ pub struct QueryEstimate {
 
 /// Measure both cost drivers. Cost: one sorted-list intersection plus a
 /// per-root group-size scan — the same work `LINEARENUM` line 1 and
-/// Algorithm 4 line 4 do before any enumeration.
+/// Algorithm 4 line 4 do before any enumeration. All quantities are
+/// global (merged over the index's root-range shards), so the decision is
+/// independent of the shard count.
 pub fn estimate(ctx: &QueryContext<'_>) -> QueryEstimate {
     let candidate_roots = ctx.candidate_roots().len();
     let subtrees = count_subtrees(ctx);
     let mut combos: u64 = 1;
-    for w in &ctx.words {
-        combos = combos.saturating_mul(w.patterns().count() as u64);
+    let mut index_postings = 0usize;
+    for i in 0..ctx.m() {
+        combos = combos.saturating_mul(ctx.global_patterns(i).len() as u64);
+        index_postings += ctx.keyword_postings(i);
     }
     QueryEstimate {
         candidate_roots,
         subtrees,
         pattern_combos: combos,
-        index_postings: ctx.words.iter().map(|w| w.len()).sum(),
+        index_postings,
     }
 }
 

@@ -278,7 +278,15 @@ mod tests {
     fn figure3_table() -> (TableAnswer, patternkb_graph::KnowledgeGraph) {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, "database software company revenue").unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         let r = linear_enum(&ctx, &SearchConfig::top(10));
@@ -366,7 +374,15 @@ mod tests {
         b.add_edge(bk, pub_attr, sp);
         let g = b.build();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, "springer databases").unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         let r = linear_enum(&ctx, &SearchConfig::top(10));

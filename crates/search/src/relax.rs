@@ -12,7 +12,7 @@
 //! the worst case (2^m intersections) is trivially affordable, and each
 //! intersection is a sorted-list walk over the root-first index.
 
-use crate::common::{intersect_sorted, QueryContext};
+use crate::common::QueryContext;
 use crate::Query;
 use patternkb_graph::WordId;
 
@@ -32,21 +32,13 @@ pub struct Relaxation {
 /// needed), and also when *no* single keyword matches anything.
 pub fn relax(ctx: &QueryContext<'_>, query: &Query) -> Vec<Relaxation> {
     let m = query.keywords.len();
-    debug_assert_eq!(m, ctx.words.len());
+    debug_assert_eq!(m, ctx.m());
     if m == 0 {
         return Vec::new();
     }
-    let roots_of = |mask: u32| -> usize {
-        let lists: Vec<&[u32]> = (0..m)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| ctx.words[i].roots())
-            .collect();
-        if lists.is_empty() {
-            0
-        } else {
-            intersect_sorted(&lists).len()
-        }
-    };
+    // Sub-query root counts sum over shards (a root lives in exactly one
+    // shard); shards missing a selected keyword contribute nothing.
+    let roots_of = |mask: u32| -> usize { ctx.mask_roots(mask) };
 
     let full: u32 = if m >= 32 { u32::MAX } else { (1u32 << m) - 1 };
     if roots_of(full) > 0 {
@@ -101,7 +93,15 @@ mod tests {
     fn answerable_query_needs_no_relaxation() {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, "database software company revenue").unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         assert!(relax(&ctx, &q).is_empty());
@@ -112,7 +112,15 @@ mod tests {
         // {w1, w2} has no shared root; each singleton is answerable.
         let g = worstcase::worstcase(3);
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, &format!("{W1} {W2}")).unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         let rs = relax(&ctx, &q);
@@ -133,7 +141,15 @@ mod tests {
         // each dropping exactly one keyword.
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, "database oracle gates").unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         let rs = relax(&ctx, &q);
@@ -163,7 +179,15 @@ mod tests {
     fn ordering_prefers_larger_then_more_roots() {
         let g = worstcase::worstcase(4);
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, &format!("{W1} {W2} rootone")).unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         let rs = relax(&ctx, &q);

@@ -50,6 +50,21 @@ impl RankedPattern {
     }
 }
 
+/// Per-shard slice of one query execution (how the work split across the
+/// index's root-range shards).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Index shard id (ascending root ranges).
+    pub shard: usize,
+    /// Candidate roots that fell in this shard's range.
+    pub candidate_roots: usize,
+    /// Valid subtrees enumerated by this shard's worker.
+    pub subtrees: usize,
+    /// Non-empty tree patterns this shard contributed to (before the
+    /// cross-shard merge, so the same pattern may count in several shards).
+    pub patterns: usize,
+}
+
 /// Execution counters reported next to the answers (drives the §5 plots).
 #[derive(Clone, Debug, Default)]
 pub struct QueryStats {
@@ -66,6 +81,12 @@ pub struct QueryStats {
     /// Pattern combinations skipped by an admissible score upper bound
     /// before any intersection work (only [`crate::bound`] sets this).
     pub combos_pruned: usize,
+    /// How the execution split over the index's root-range shards: one
+    /// entry per shard holding all keywords (index-based algorithms) or
+    /// one per root-range worker (the index-free baseline, which
+    /// partitions its candidate roots by the same bounds). Empty only for
+    /// provably-empty queries, which never reach a shard worker.
+    pub per_shard: Vec<ShardStats>,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }

@@ -103,11 +103,126 @@ pub fn powz(x: f64, z: f64) -> f64 {
     }
 }
 
+/// Maximum non-overlapping partials an exact f64 sum can need: the finite
+/// double exponent range (including subnormals) spans ~2098 bits, i.e. at
+/// most ⌈2098 / 53⌉ + slack non-overlapping mantissas.
+const MAX_PARTIALS: usize = 44;
+
+/// Exactly-rounded, **order-independent** summation of `f64`s — Shewchuk's
+/// non-overlapping-partials algorithm (the one behind Python's
+/// `math.fsum`), with a fixed-capacity partial array so the accumulator
+/// stays `Copy`.
+///
+/// Why exactness matters here: the shard layer splits every pattern's
+/// subtree set across root-range shards and merges partial accumulators at
+/// the top-k heap. Naive `+=` folds associate differently under different
+/// shard counts, so scores would drift by ULPs and "sharded == unsharded"
+/// could only hold approximately. With an exact sum the value is the
+/// correctly-rounded real sum no matter how the pushes were grouped, which
+/// is what makes sharded execution **bit-identical** to single-shard (and
+/// is proptest-enforced in `tests/shard_equivalence.rs`).
+#[derive(Clone, Copy, Debug)]
+pub struct ExactSum {
+    /// Non-overlapping partials, increasing magnitude; `partials[..len]`.
+    partials: [f64; MAX_PARTIALS],
+    len: usize,
+    /// Non-finite inputs accumulate separately (inf/NaN would corrupt the
+    /// two-sum identities); added back in [`Self::value`].
+    nonfinite: f64,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        ExactSum {
+            partials: [0.0; MAX_PARTIALS],
+            len: 0,
+            nonfinite: 0.0,
+        }
+    }
+}
+
+impl ExactSum {
+    /// Add one value.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.nonfinite += x;
+            return;
+        }
+        let mut x = x;
+        let mut i = 0;
+        for j in 0..self.len {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[i] = lo;
+                i += 1;
+            }
+            x = hi;
+        }
+        debug_assert!(i < MAX_PARTIALS, "exact sum partials overflow");
+        self.partials[i] = x;
+        self.len = i + 1;
+    }
+
+    /// Fold another exact sum in; the result is the exact sum of all inputs
+    /// to both, so merging is associative and commutative.
+    pub fn merge(&mut self, other: &ExactSum) {
+        for j in 0..other.len {
+            self.push(other.partials[j]);
+        }
+        self.nonfinite += other.nonfinite;
+    }
+
+    /// The correctly-rounded total (Python `fsum`'s rounding, including the
+    /// round-half-even correction).
+    pub fn value(&self) -> f64 {
+        if self.nonfinite != 0.0 || self.nonfinite.is_nan() {
+            return self.nonfinite;
+        }
+        let p = &self.partials[..self.len];
+        if p.is_empty() {
+            return 0.0;
+        }
+        let mut n = p.len();
+        let mut hi = p[n - 1];
+        let mut lo = 0.0;
+        while n > 1 {
+            n -= 1;
+            let x = hi;
+            let y = p[n - 1];
+            hi = x + y;
+            let yr = hi - x;
+            lo = y - yr;
+            if lo != 0.0 {
+                break;
+            }
+        }
+        // Round half to even: if the remainder and the next partial agree
+        // in sign, `hi` may need a one-ulp nudge.
+        if n > 1 && ((lo < 0.0 && p[n - 2] < 0.0) || (lo > 0.0 && p[n - 2] > 0.0)) {
+            let y = lo * 2.0;
+            let x = hi + y;
+            if y == x - hi {
+                hi = x;
+            }
+        }
+        hi
+    }
+}
+
 /// Streaming aggregation of subtree scores into a pattern score.
+///
+/// The sum is kept **exactly** (see [`ExactSum`]), so accumulators for
+/// disjoint subtree subsets — e.g. one per index shard — merge into the
+/// same final score bits as a single sequential fold.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ScoreAcc {
-    /// Sum of subtree scores.
-    pub sum: f64,
+    /// Exact sum of subtree scores.
+    sum: ExactSum,
     /// Maximum subtree score.
     pub max: f64,
     /// Number of subtrees.
@@ -123,28 +238,35 @@ impl ScoreAcc {
     /// Fold one subtree score in.
     #[inline]
     pub fn push(&mut self, tree_score: f64) {
-        self.sum += tree_score;
+        self.sum.push(tree_score);
         self.max = self.max.max(tree_score);
         self.count += 1;
     }
 
     /// Merge another accumulator (used when a pattern's subtrees are found
-    /// under several roots/partitions).
+    /// under several roots/partitions/shards). Exact: the merged sum equals
+    /// the sum over the union, bit for bit, regardless of how the pushes
+    /// were split.
     pub fn merge(&mut self, other: &ScoreAcc) {
-        self.sum += other.sum;
+        self.sum.merge(&other.sum);
         self.max = self.max.max(other.max);
         self.count += other.count;
+    }
+
+    /// The correctly-rounded sum of pushed scores.
+    pub fn sum(&self) -> f64 {
+        self.sum.value()
     }
 
     /// The pattern score under `agg`.
     pub fn finish(&self, agg: Aggregation) -> f64 {
         match agg {
-            Aggregation::Sum => self.sum,
+            Aggregation::Sum => self.sum(),
             Aggregation::Avg => {
                 if self.count == 0 {
                     0.0
                 } else {
-                    self.sum / self.count as f64
+                    self.sum() / self.count as f64
                 }
             }
             Aggregation::Max => self.max,
@@ -158,7 +280,7 @@ impl ScoreAcc {
     /// sample mean/max are the natural estimators).
     pub fn finish_estimated(&self, agg: Aggregation, rate: f64) -> f64 {
         match agg {
-            Aggregation::Sum => self.sum / rate,
+            Aggregation::Sum => self.sum() / rate,
             Aggregation::Count => self.count as f64 / rate,
             Aggregation::Avg | Aggregation::Max => self.finish(agg),
         }
@@ -222,8 +344,63 @@ mod tests {
         b.push(2.0);
         a.merge(&b);
         assert_eq!(a.count, 3);
-        assert_eq!(a.sum, 8.0);
+        assert_eq!(a.sum(), 8.0);
         assert_eq!(a.max, 5.0);
+    }
+
+    #[test]
+    fn exact_sum_is_order_and_partition_independent() {
+        // Values chosen so naive folds disagree across associations.
+        let values: Vec<f64> = (0..200)
+            .map(|i| {
+                let x = (i as f64 + 1.0) * 0.1;
+                x.sin().abs() * 10f64.powi((i % 13) - 6)
+            })
+            .collect();
+        let mut whole = ExactSum::default();
+        for &v in &values {
+            whole.push(v);
+        }
+        // Any 2-way split merged must give the same bits.
+        for cut in [1usize, 7, 50, 199] {
+            let (lo, hi) = values.split_at(cut);
+            let mut a = ExactSum::default();
+            for &v in lo {
+                a.push(v);
+            }
+            let mut b = ExactSum::default();
+            for &v in hi {
+                b.push(v);
+            }
+            a.merge(&b);
+            assert_eq!(a.value().to_bits(), whole.value().to_bits(), "cut {cut}");
+        }
+        // Reversed insertion order too.
+        let mut rev = ExactSum::default();
+        for &v in values.iter().rev() {
+            rev.push(v);
+        }
+        assert_eq!(rev.value().to_bits(), whole.value().to_bits());
+    }
+
+    #[test]
+    fn exact_sum_is_correctly_rounded() {
+        // 1 + 2^-60 repeated: naive summation loses the tail entirely.
+        let mut s = ExactSum::default();
+        s.push(1.0);
+        for _ in 0..1u32 << 10 {
+            s.push(2f64.powi(-60));
+        }
+        let expected = 1.0 + 2f64.powi(-50);
+        assert_eq!(s.value().to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn exact_sum_nonfinite_inputs_degrade_like_naive() {
+        let mut s = ExactSum::default();
+        s.push(1.0);
+        s.push(f64::INFINITY);
+        assert_eq!(s.value(), f64::INFINITY);
     }
 
     #[test]

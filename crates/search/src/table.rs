@@ -244,7 +244,15 @@ mod tests {
     fn top_pattern_table() -> (TableAnswer, patternkb_graph::KnowledgeGraph) {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, "database software company revenue").unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         let r = linear_enum(&ctx, &SearchConfig::top(10));
@@ -312,7 +320,15 @@ mod tests {
         b.add_edge(r, a, y);
         let g = b.build();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 2, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 2,
+                threads: 1,
+                shards: 1,
+            },
+        );
         let q = Query::parse(&t, "left right").unwrap();
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         let res = linear_enum(&ctx, &SearchConfig::top(10));

@@ -1,5 +1,5 @@
 //! `LINEARENUM-TOPK` — Algorithm 4: type partitioning (§4.2.1) plus
-//! root sampling (§4.2.2).
+//! root sampling (§4.2.2) — shard-parallel.
 //!
 //! Candidate roots are processed one root **type** at a time, bounding the
 //! `TreeDict` to a single partition. Per type `C`:
@@ -15,16 +15,32 @@
 //! With `Λ = ∞` or `ρ = 1` the result is the exact top-k (Theorem 4); with
 //! sampling, the pairwise error probability decays as
 //! `exp(−2·((s1−s2)/(s1+s2))²·ρ²)` (Theorem 5).
+//!
+//! ## Sharded execution
+//!
+//! The pipeline splits into two shard-parallel phases with a barrier at
+//! the sampling decision (the `N_R ≥ Λ` test needs the **global** count
+//! per type, not a per-shard one): phase A computes each shard's per-type
+//! candidate roots and `N_R` contribution; phase B expands each shard's
+//! (sampled) roots into per-type dictionaries; the per-type merge, the
+//! estimated-top-k selection, and the exact re-scoring then run over the
+//! merged state exactly as a single-shard pass would. Root selection is
+//! **hash-based per root** (not a sequential RNG), so the sampled set is a
+//! pure function of `(seed, root)` — independent of iteration order and of
+//! the shard count, which keeps sampled runs bit-identical across shard
+//! layouts too.
 
-use crate::common::{expand_root, for_each_path_tuple, materialize_tree, QueryContext, TreeDict};
-use crate::result::{QueryStats, RankedPattern, SearchResult};
+use crate::common::{
+    expand_root, for_each_path_tuple, materialize_tree, merge_shard_dicts, run_sharded,
+    QueryContext, TreeDict,
+};
+use crate::result::{QueryStats, RankedPattern, SearchResult, ShardStats};
 use crate::score::ScoreAcc;
 use crate::subtree::node_slices_form_tree;
 use crate::SearchConfig;
 use patternkb_graph::{FxHashMap, NodeId, TypeId};
 use patternkb_index::{PatternId, Posting};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Sampling parameters (`Λ`, `ρ`) of Algorithm 4.
@@ -35,7 +51,7 @@ pub struct SamplingConfig {
     pub lambda: u64,
     /// Sampling rate `ρ ∈ (0, 1]`.
     pub rho: f64,
-    /// RNG seed for the Bernoulli root selection.
+    /// Seed for the per-root Bernoulli selection hash.
     pub seed: u64,
 }
 
@@ -65,6 +81,33 @@ impl SamplingConfig {
     }
 }
 
+/// SplitMix64 finalizer — a strong 64-bit mix.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The per-root Bernoulli draw: include `root` iff
+/// `hash(seed, root) / 2⁶⁴ < rho`. Deterministic per `(seed, root)`, so
+/// the sampled set does not depend on iteration order or sharding.
+#[inline]
+pub(crate) fn root_sampled(seed: u64, root: NodeId, rho: f64) -> bool {
+    let u = mix64(seed ^ (root.0 as u64).wrapping_mul(0xd1b54a32d192ed03));
+    // Top 53 bits → uniform in [0, 1).
+    ((u >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < rho
+}
+
+/// Phase-A output of one shard: per root type, the shard's candidate
+/// roots (ascending) and its `N_R` contribution. `partitions[i]` always
+/// describes `ctx.shards[i]` — [`run_sharded`] returns results in input
+/// order.
+struct ShardPartition {
+    by_type: FxHashMap<TypeId, (Vec<NodeId>, u64)>,
+}
+
 /// Run `LINEARENUM-TOPK`.
 pub fn linear_enum_topk(
     ctx: &QueryContext<'_>,
@@ -72,44 +115,89 @@ pub fn linear_enum_topk(
     samp: &SamplingConfig,
 ) -> SearchResult {
     let t0 = Instant::now();
-    let roots = ctx.candidate_roots();
-    let mut rng = SmallRng::seed_from_u64(samp.seed);
 
-    // Partition candidate roots by type (iteration in type-id order for
-    // determinism).
-    let mut by_type: FxHashMap<TypeId, Vec<NodeId>> = FxHashMap::default();
-    for &r in &roots {
-        by_type.entry(ctx.g.node_type(r)).or_default().push(r);
-    }
-    let mut types: Vec<TypeId> = by_type.keys().copied().collect();
-    types.sort_unstable();
-
-    let mut global: Vec<RankedPattern> = Vec::new();
-    let mut subtrees_expanded = 0usize;
-    let mut patterns_seen = 0usize;
-
-    for c in types {
-        let part = &by_type[&c];
-
-        // Line 4: N_R without enumeration.
-        let mut n_r: u64 = 0;
-        for &r in part {
+    // --- Phase A (shard-parallel): partition candidate roots by type and
+    //     count N_R per (shard, type) without enumeration (line 4). ---
+    let partitions: Vec<ShardPartition> = run_sharded(&ctx.shards, |shard| {
+        let mut by_type: FxHashMap<TypeId, (Vec<NodeId>, u64)> = FxHashMap::default();
+        for &r in shard.candidate_roots() {
             let mut prod: u64 = 1;
-            for w in &ctx.words {
+            for w in &shard.words {
                 prod = prod.saturating_mul(w.num_paths_of_root(r) as u64);
             }
-            n_r = n_r.saturating_add(prod);
+            let entry = by_type.entry(shard.g.node_type(r)).or_default();
+            entry.0.push(r);
+            entry.1 = entry.1.saturating_add(prod);
         }
-        // Line 5.
-        let rate = if n_r >= samp.lambda { samp.rho } else { 1.0 };
+        by_type
+    })
+    .into_iter()
+    .map(|by_type| ShardPartition { by_type })
+    .collect();
 
-        // Lines 6–8: expand (a sample of) the partition's roots.
-        let mut dict = TreeDict::default();
-        for &r in part {
-            if rate >= 1.0 || rng.gen::<f64>() < rate {
-                subtrees_expanded += expand_root(ctx, cfg, r, &mut dict);
-            }
+    // Global sampling decision per type (line 5) — the barrier.
+    let mut n_r_global: BTreeMap<TypeId, u64> = BTreeMap::new();
+    for part in &partitions {
+        for (&c, &(_, n_r)) in &part.by_type {
+            let total = n_r_global.entry(c).or_default();
+            *total = total.saturating_add(n_r);
         }
+    }
+    let rates: FxHashMap<TypeId, f64> = n_r_global
+        .iter()
+        .map(|(&c, &n_r)| (c, if n_r >= samp.lambda { samp.rho } else { 1.0 }))
+        .collect();
+
+    // --- Phase B (shard-parallel): expand each shard's (sampled) roots
+    //     into per-type dictionaries (lines 6–8). ---
+    let pairs: Vec<(&crate::common::ShardContext<'_>, &ShardPartition)> =
+        ctx.shards.iter().zip(&partitions).collect();
+    let expansions: Vec<(FxHashMap<TypeId, TreeDict>, usize)> =
+        crate::common::run_parallel(&pairs, |&(shard, part)| {
+            let mut dicts: FxHashMap<TypeId, TreeDict> = FxHashMap::default();
+            let mut subtrees = 0usize;
+            for (&c, (roots, _)) in &part.by_type {
+                let rate = rates[&c];
+                let dict = dicts.entry(c).or_default();
+                for &r in roots {
+                    if rate >= 1.0 || root_sampled(samp.seed, r, rate) {
+                        subtrees += expand_root(shard, cfg, r, dict);
+                    }
+                }
+            }
+            (dicts, subtrees)
+        });
+
+    // --- Per-type merge + estimated selection + exact re-scoring, in
+    //     type-id order for determinism (lines 9–11). ---
+    let mut per_shard: Vec<ShardStats> = ctx
+        .shards
+        .iter()
+        .zip(&expansions)
+        .zip(&partitions)
+        .map(|((shard, (dicts, subtrees)), part)| ShardStats {
+            shard: shard.shard,
+            candidate_roots: part.by_type.values().map(|(roots, _)| roots.len()).sum(),
+            subtrees: *subtrees,
+            patterns: dicts.values().map(TreeDict::len).sum(),
+        })
+        .collect();
+
+    let candidate_roots: usize = per_shard.iter().map(|s| s.candidate_roots).sum();
+    let mut subtrees_expanded: usize = per_shard.iter().map(|s| s.subtrees).sum();
+    let mut patterns_seen = 0usize;
+    let mut global: Vec<RankedPattern> = Vec::new();
+    let mut expansions = expansions;
+
+    let types: Vec<TypeId> = n_r_global.keys().copied().collect();
+    for &c in &types {
+        let rate = rates[&c];
+        // Merge the shards' per-type dictionaries in shard order.
+        let dicts: Vec<TreeDict> = expansions
+            .iter_mut()
+            .map(|(d, _)| d.remove(&c).unwrap_or_default())
+            .collect();
+        let dict = merge_shard_dicts(dicts, cfg.max_rows);
         patterns_seen += dict.len();
 
         // Lines 9–10: estimated scores; keep the partition's top-k.
@@ -137,8 +225,9 @@ pub fn linear_enum_topk(
                 )
             } else {
                 let pattern_ids: Vec<PatternId> = key.iter().map(|&p| PatternId(p)).collect();
-                let (acc, trees) = exact_pattern_score(ctx, cfg, part, &pattern_ids);
-                subtrees_expanded += acc.count as usize;
+                let (acc, trees, rescored) =
+                    exact_pattern_score(ctx, cfg, &partitions, c, &pattern_ids, &mut per_shard);
+                subtrees_expanded += rescored;
                 (
                     acc.finish(cfg.scoring.aggregation),
                     acc.count as usize,
@@ -170,63 +259,80 @@ pub fn linear_enum_topk(
     SearchResult {
         patterns: global,
         stats: QueryStats {
-            candidate_roots: roots.len(),
+            candidate_roots,
             subtrees: subtrees_expanded,
             patterns: patterns_seen,
             combos_tried: patterns_seen,
             combos_pruned: 0,
+            per_shard,
             elapsed: t0.elapsed(),
         },
     }
     .finalize(cfg.k)
 }
 
-/// Exact score and subtrees of one tree pattern over a root partition,
-/// via `Paths(wᵢ, r, Pᵢ)` lookups (root-first index).
+/// Exact score and subtrees of one tree pattern over a root partition
+/// (type `c`), via `Paths(wᵢ, r, Pᵢ)` lookups (root-first index). The
+/// partition's roots are walked shard by shard in ascending order, so the
+/// materialized rows match a single-shard pass. Returns the accumulator,
+/// rows, and the number of subtrees re-enumerated.
 fn exact_pattern_score(
     ctx: &QueryContext<'_>,
     cfg: &SearchConfig,
-    part: &[NodeId],
+    partitions: &[ShardPartition],
+    c: TypeId,
     pattern: &[PatternId],
-) -> (ScoreAcc, Vec<crate::subtree::ValidSubtree>) {
+    per_shard: &mut [ShardStats],
+) -> (ScoreAcc, Vec<crate::subtree::ValidSubtree>, usize) {
     let m = ctx.m();
     let mut acc = ScoreAcc::new();
     let mut trees = Vec::new();
+    let mut rescored = 0usize;
     let mut slices: Vec<&[Posting]> = Vec::with_capacity(m);
     let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
     let mut node_scratch: Vec<&[NodeId]> = Vec::with_capacity(m);
-    for &r in part {
-        slices.clear();
-        let mut empty = false;
-        for (i, w) in ctx.words.iter().enumerate() {
-            let s = w.paths_of_root_pattern(r, pattern[i]);
-            if s.is_empty() {
-                empty = true;
-                break;
-            }
-            slices.push(s);
-        }
-        if empty {
+    for (shard_pos, part) in partitions.iter().enumerate() {
+        let shard = &ctx.shards[shard_pos];
+        let Some((roots, _)) = part.by_type.get(&c) else {
             continue;
+        };
+        let rescored_before = rescored;
+        for &r in roots {
+            slices.clear();
+            let mut empty = false;
+            for (i, w) in shard.words.iter().enumerate() {
+                let s = w.paths_of_root_pattern(r, pattern[i]);
+                if s.is_empty() {
+                    empty = true;
+                    break;
+                }
+                slices.push(s);
+            }
+            if empty {
+                continue;
+            }
+            rescored += for_each_path_tuple(&slices, &mut scratch, |tuple| {
+                if cfg.strict_trees {
+                    node_scratch.clear();
+                    for (i, p) in tuple.iter().enumerate() {
+                        node_scratch.push(shard.words[i].nodes_of(p));
+                    }
+                    if !node_slices_form_tree(r, &node_scratch) {
+                        return;
+                    }
+                }
+                let score = cfg.scoring.tree_score_of(tuple);
+                acc.push(score);
+                if trees.len() < cfg.max_rows {
+                    trees.push(materialize_tree(&shard.words, r, tuple, score));
+                }
+            });
         }
-        for_each_path_tuple(&slices, &mut scratch, |tuple| {
-            if cfg.strict_trees {
-                node_scratch.clear();
-                for (i, p) in tuple.iter().enumerate() {
-                    node_scratch.push(ctx.words[i].nodes_of(p));
-                }
-                if !node_slices_form_tree(r, &node_scratch) {
-                    return;
-                }
-            }
-            let score = cfg.scoring.tree_score_of(tuple);
-            acc.push(score);
-            if trees.len() < cfg.max_rows {
-                trees.push(materialize_tree(&ctx.words, r, tuple, score));
-            }
-        });
+        // Same unit as the headline `stats.subtrees` (tuples enumerated),
+        // so the per-shard split always sums to the total.
+        per_shard[shard_pos].subtrees += rescored - rescored_before;
     }
-    (acc, trees)
+    (acc, trees, rescored)
 }
 
 #[cfg(test)]
@@ -245,7 +351,15 @@ mod tests {
     ) {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         (g, t, idx)
     }
 
@@ -320,6 +434,24 @@ mod tests {
         assert_eq!(a.patterns.len(), b.patterns.len());
         for (x, y) in a.patterns.iter().zip(&b.patterns) {
             assert_eq!(x.key(), y.key());
+        }
+    }
+
+    #[test]
+    fn root_sampling_is_order_free_and_roughly_calibrated() {
+        // The per-root hash draw hits ≈ ρ of a large root population and is
+        // a pure function of (seed, root).
+        let n = 20_000u32;
+        for rho in [0.1f64, 0.5, 0.9] {
+            let hits = (0..n).filter(|&r| root_sampled(42, NodeId(r), rho)).count() as f64;
+            let frac = hits / n as f64;
+            assert!(
+                (frac - rho).abs() < 0.02,
+                "rho {rho}: sampled fraction {frac}"
+            );
+        }
+        for r in (0..200).map(NodeId) {
+            assert_eq!(root_sampled(7, r, 0.3), root_sampled(7, r, 0.3));
         }
     }
 

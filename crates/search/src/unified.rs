@@ -131,7 +131,15 @@ mod tests {
     ) {
         let (g, _) = figure1();
         let t = TextIndex::build(&g, SynonymTable::new());
-        let idx = build_indexes(&g, &t, &BuildConfig { d: 3, threads: 1 });
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
         (g, t, idx)
     }
 

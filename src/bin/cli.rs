@@ -5,7 +5,7 @@
 //! patternkb-cli wiki  [--entities N]    # synthetic Wiki-like KB
 //! patternkb-cli imdb  [--movies N]      # synthetic IMDB-like KB
 //! patternkb-cli load  <graph.pkbg>      # a saved graph snapshot
-//!   options: --d <2..5>  --seed <u64>
+//!   options: --d <2..5>  --seed <u64>  --shards <n>  (0 = one per core)
 //! ```
 //!
 //! Then type keyword queries; commands start with `:`
@@ -42,6 +42,7 @@ fn main() {
         }
     };
     let d = flag_value(&args, "--d").unwrap_or(3);
+    let shards = flag_value(&args, "--shards").unwrap_or(0);
     eprintln!("[{label}] {}", GraphStats::of(&graph));
     eprintln!("building indexes (d = {d}) …");
     let t0 = std::time::Instant::now();
@@ -49,6 +50,7 @@ fn main() {
         .graph(graph)
         .synonyms(SynonymTable::default_english())
         .height(d)
+        .shards(shards)
         .build()
     {
         Ok(engine) => engine,
@@ -276,10 +278,11 @@ fn repl(engine: &SearchEngine) {
             }
         }
         println!(
-            "{} pattern(s) from {} subtree(s), {} candidate roots, {:.2} ms",
+            "{} pattern(s) from {} subtree(s), {} candidate roots over {} shard(s), {:.2} ms",
             response.patterns.len(),
             response.stats.subtrees,
             response.stats.candidate_roots,
+            response.stats.per_shard.len().max(1),
             response.stats.elapsed.as_secs_f64() * 1e3
         );
         for (rank, (p, table)) in response.patterns.iter().zip(&response.tables).enumerate() {

@@ -50,29 +50,24 @@
 //! # Ok::<(), patternkb::search::Error>(())
 //! ```
 //!
+//! ## Sharded execution
+//!
+//! The engine partitions its path indexes into **root-range shards**
+//! (default: one per available core; knob:
+//! [`EngineBuilder::shards`](prelude::EngineBuilder::shards)). Every query
+//! runs one worker per shard and merges the per-shard top-k heaps, with
+//! answers **bit-identical** to a single-shard engine;
+//! `response.stats.per_shard` reports how the work split.
+//!
 //! ## Migrating from the pre-0.2 facade
 //!
-//! The old `search_*` methods remain one release as deprecated shims.
-//!
-//! | pre-0.2 call | request/response API |
-//! |---|---|
-//! | `SearchEngine::build(g, syn, &BuildConfig { d, threads })` | `EngineBuilder::new().graph(g).synonyms(syn).height(d).threads(t).build()?` |
-//! | `SearchEngine::build_with_stemmer(g, syn, stemmer, cfg)` | `EngineBuilder::new().graph(g).synonyms(syn).stemmer(stemmer)….build()?` |
-//! | `SearchEngine::load_index(g, syn, path)` | `EngineBuilder::new().graph(g).synonyms(syn).index_snapshot(path).build()?` |
-//! | `engine.parse(text)?` + `engine.search(&q, &cfg)` | `engine.respond(&SearchRequest::text(text).k(k))?` |
-//! | `engine.search_with(&q, &cfg, algo)` | `SearchRequest::…​.algorithm(AlgorithmChoice::…)` |
-//! | `engine.search_with(&q, &cfg, LinearEnumTopK(samp))` | `SearchRequest::…​.algorithm(AlgorithmChoice::LinearEnumTopK).sampling(samp)` |
-//! | `engine.search_auto(&q, &cfg)` → `(result, algo)` | default `AlgorithmChoice::Auto`; the response carries `.algorithm` and `.planned` |
-//! | `engine.search_auto_with(&q, &cfg, &planner)` | `SearchRequest::…​.planner(planner)` |
-//! | `engine.search_batch(&queries, &cfg, algo, threads)` | `engine.respond_batch(&requests, threads)` |
-//! | `SearchConfig { k, scoring, strict_trees, max_rows }` | `SearchRequest` fields `.k` / `.scoring` / `.strict_trees` / `.max_rows` |
-//! | `diversify(&result.patterns, &DiversifyConfig { lambda, k })` | `SearchRequest::…​.diversify(lambda)` |
-//! | `engine.relax(&q)` on empty results | `SearchRequest::…​.relax(true)` → `response.relaxations` |
-//! | `engine.table(&pattern)` per pattern | `response.tables` (aligned with `response.patterns`) |
-//! | `present(g, &table, &pcfg)` per table | `SearchRequest::…​.presentation(pcfg)` → `response.presented` |
-//! | `QueryCache::new(cap)` + `cache.get_or_compute(…)` | `EngineBuilder::…​.cache_capacity(cap).build_shared()?` + `shared.respond(&req)?` |
-//! | `SharedEngine::new(engine)` + manual snapshot/search | `shared.respond(&req)?` (snapshots still available via `shared.snapshot()`) |
-//! | panics on bad input | `Result<SearchResponse, patternkb::search::Error>` (`EmptyQuery`, `UnknownWords`, `InvalidRequest`, `Planner`, `Delta`, `Io`) |
+//! The deprecated `search_*`/`build*` shims were removed in 0.3 after
+//! their one-release grace period. Everything they did is covered by the
+//! request/response API above — see the [`patternkb_search`] crate docs
+//! for the full surface ([`EngineBuilder`](prelude::EngineBuilder),
+//! [`SearchRequest`](prelude::SearchRequest),
+//! [`SearchResponse`](prelude::SearchResponse),
+//! [`SharedEngine`](prelude::SharedEngine)).
 
 pub use patternkb_datagen as datagen;
 pub use patternkb_graph as graph;

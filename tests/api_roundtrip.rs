@@ -1,7 +1,8 @@
-//! The new request/response API, exercised through the public facade:
-//! default requests reproduce the old facade methods' answers on the
-//! Figure-1 graph, `SharedEngine::respond` serves correctly while ingests
-//! land, and every error path is a typed [`Error`], never a panic.
+//! The request/response API, exercised through the public facade:
+//! requests answer consistently across algorithms, parsed/pre-parsed
+//! inputs, batch and single routes, and shard counts;
+//! `SharedEngine::respond` serves correctly while ingests land; and every
+//! error path is a typed [`Error`], never a panic.
 
 use patternkb::prelude::*;
 
@@ -11,12 +12,11 @@ fn figure1_engine() -> SearchEngine {
 }
 
 // ---------------------------------------------------------------------
-// Round-trip: request defaults vs. the deprecated facade methods.
+// Round-trip: text vs pre-parsed requests, tables, defaults.
 // ---------------------------------------------------------------------
 
 #[test]
-#[allow(deprecated)]
-fn request_defaults_round_trip_old_facade() {
+fn text_and_parsed_requests_agree() {
     let e = figure1_engine();
     for text in [
         "database software company revenue",
@@ -27,23 +27,21 @@ fn request_defaults_round_trip_old_facade() {
     ] {
         let q = e.parse(text).unwrap();
 
-        // Old: parse + search (PATTERNENUM) + per-pattern table calls.
-        let old = e.search(&q, &SearchConfig::default());
-        // New: one request; only the algorithm is pinned (the default
-        // request routes through the planner, which may legitimately pick
-        // a different-but-agreeing algorithm).
-        let new = e
+        let via_query = e
+            .respond(&SearchRequest::query(q).algorithm(AlgorithmChoice::PatternEnum))
+            .unwrap();
+        let via_text = e
             .respond(&SearchRequest::text(text).algorithm(AlgorithmChoice::PatternEnum))
             .unwrap();
 
-        assert_eq!(old.patterns.len(), new.patterns.len(), "{text}");
-        for (a, b) in old.patterns.iter().zip(&new.patterns) {
+        assert_eq!(via_query.patterns.len(), via_text.patterns.len(), "{text}");
+        for (a, b) in via_query.patterns.iter().zip(&via_text.patterns) {
             assert_eq!(a.key(), b.key(), "{text}");
             assert!((a.score - b.score).abs() < 1e-12, "{text}");
             assert_eq!(a.num_trees, b.num_trees, "{text}");
         }
         // Tables come back on the response, identical to engine.table().
-        for (p, t) in new.patterns.iter().zip(&new.tables) {
+        for (p, t) in via_text.patterns.iter().zip(&via_text.tables) {
             assert_eq!(&e.table(p), t, "{text}");
         }
         // The default SearchConfig and the default SearchRequest agree on
@@ -57,21 +55,24 @@ fn request_defaults_round_trip_old_facade() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn auto_request_round_trips_search_auto() {
+fn auto_requests_agree_with_forced_choice() {
     let e = figure1_engine();
     for text in ["database software company revenue", "database company"] {
-        let q = e.parse(text).unwrap();
-        let (old, old_algo) = e.search_auto(&q, &SearchConfig::top(10));
-        let new = e.respond(&SearchRequest::text(text).k(10)).unwrap();
-        assert!(new.planned);
-        assert_eq!(
-            format!("{old_algo:?}"),
-            format!("{:?}", new.algorithm),
-            "planner decision must agree"
-        );
-        assert_eq!(old.patterns.len(), new.patterns.len());
-        for (a, b) in old.patterns.iter().zip(&new.patterns) {
+        let auto = e.respond(&SearchRequest::text(text).k(10)).unwrap();
+        assert!(auto.planned);
+        let choice = match auto.algorithm {
+            Algorithm::Baseline => AlgorithmChoice::Baseline,
+            Algorithm::PatternEnum => AlgorithmChoice::PatternEnum,
+            Algorithm::PatternEnumPruned => AlgorithmChoice::PatternEnumPruned,
+            Algorithm::LinearEnum => AlgorithmChoice::LinearEnum,
+            Algorithm::LinearEnumTopK(_) => AlgorithmChoice::LinearEnumTopK,
+        };
+        let forced = e
+            .respond(&SearchRequest::text(text).k(10).algorithm(choice))
+            .unwrap();
+        assert!(!forced.planned);
+        assert_eq!(auto.patterns.len(), forced.patterns.len());
+        for (a, b) in auto.patterns.iter().zip(&forced.patterns) {
             assert_eq!(a.key(), b.key());
             assert!((a.score - b.score).abs() < 1e-12);
         }
@@ -79,12 +80,9 @@ fn auto_request_round_trips_search_auto() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn batch_round_trips_search_batch() {
+fn batch_round_trips_sequential_responds() {
     let e = figure1_engine();
     let texts = ["database company", "revenue", "software"];
-    let queries: Vec<Query> = texts.iter().map(|t| e.parse(t).unwrap()).collect();
-    let old = e.search_batch(&queries, &SearchConfig::top(10), Algorithm::PatternEnum, 2);
     let requests: Vec<SearchRequest> = texts
         .iter()
         .map(|t| {
@@ -93,14 +91,49 @@ fn batch_round_trips_search_batch() {
                 .algorithm(AlgorithmChoice::PatternEnum)
         })
         .collect();
-    let new = e.respond_batch(&requests, 2);
-    assert_eq!(old.len(), new.len());
-    for (a, b) in old.iter().zip(&new) {
+    let sequential: Vec<SearchResponse> = requests.iter().map(|r| e.respond(r).unwrap()).collect();
+    let batched = e.respond_batch(&requests, 2);
+    assert_eq!(sequential.len(), batched.len());
+    for (a, b) in sequential.iter().zip(&batched) {
         let b = b.as_ref().unwrap();
         assert_eq!(a.patterns.len(), b.patterns.len());
         for (x, y) in a.patterns.iter().zip(&b.patterns) {
             assert_eq!(x.key(), y.key());
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard knob: rebuilds with different shard counts answer identically
+// and never share cache entries.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shard_counts_answer_identically_through_the_facade() {
+    let single = figure1_engine();
+    let reference = single
+        .respond(&SearchRequest::text("database software company revenue").k(100))
+        .unwrap();
+    for shards in [2usize, 5] {
+        let (g, _) = patternkb::datagen::figure1();
+        let e = EngineBuilder::new()
+            .graph(g)
+            .threads(1)
+            .shards(shards)
+            .build()
+            .unwrap();
+        assert_eq!(e.num_shards(), shards);
+        let r = e
+            .respond(&SearchRequest::text("database software company revenue").k(100))
+            .unwrap();
+        assert_eq!(r.patterns.len(), reference.patterns.len());
+        for (a, b) in reference.patterns.iter().zip(&r.patterns) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "shards = {shards}");
+        }
+        // Only shards holding all keywords participate, so the split can
+        // cover fewer than `shards` entries — but never more.
+        assert!(!r.stats.per_shard.is_empty() && r.stats.per_shard.len() <= shards);
     }
 }
 

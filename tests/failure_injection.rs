@@ -304,13 +304,6 @@ fn k_zero_is_a_typed_error() {
             "{algo:?} must reject k = 0"
         );
     }
-    // The low-level algorithms still honor k = 0 through the deprecated
-    // shims (kept one release).
-    #[allow(deprecated)]
-    {
-        let r = e.search_with(&q, &SearchConfig::top(0), Algorithm::LinearEnum);
-        assert!(r.patterns.is_empty());
-    }
 }
 
 #[test]
