@@ -1,0 +1,100 @@
+//! Microbenches for the flattened query data plane: `BlockCursor::seek`
+//! vs full binary search over decoded slices, and gallop (leapfrog)
+//! intersection vs the naive shortest-list × binary-search kernel the
+//! engine used to ship.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use patternkb_index::cursor::{intersect_naive, intersect_sorted};
+use patternkb_index::BlockList;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn sorted_list(rng: &mut SmallRng, len: usize, universe: u32) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// `seek` through a block list vs binary searching the decoded slice —
+/// the compressed tier's skip-ahead primitive.
+fn bench_block_seek(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let values = sorted_list(&mut rng, 200_000, 1 << 22);
+    let list = BlockList::encode(&values);
+    // Dense probing touches most blocks; sparse probing is where the
+    // max-root skip entries shine (whole blocks skipped undecoded).
+    let dense: Vec<u32> = sorted_list(&mut rng, 2_000, 1 << 22);
+    let sparse: Vec<u32> = sorted_list(&mut rng, 64, 1 << 22);
+
+    let mut g = c.benchmark_group("block_seek");
+    for (seek_name, decode_name, targets) in [
+        ("cursor_seek_dense", "decode_then_binsearch_dense", &dense),
+        (
+            "cursor_seek_sparse",
+            "decode_then_binsearch_sparse",
+            &sparse,
+        ),
+    ] {
+        // Seek straight over the compressed-at-rest list.
+        g.bench_function(seek_name, |b| {
+            b.iter(|| {
+                let mut cur = list.cursor();
+                let mut hits = 0u32;
+                for &t in targets.iter() {
+                    if cur.seek(t).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        // What the pre-block engine had to do: decode the whole list,
+        // then binary search it.
+        g.bench_function(decode_name, |b| {
+            b.iter(|| {
+                let decoded = list.decode_all();
+                let mut hits = 0u32;
+                for &t in targets.iter() {
+                    if decoded.partition_point(|&v| v < t) < decoded.len() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    // Context: binary search over an already-resident slice, and the cost
+    // of one full decode.
+    g.bench_function("resident_binsearch_dense", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &t in &dense {
+                if values.partition_point(|&v| v < t) < values.len() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("block_decode_all", |b| b.iter(|| list.decode_all().len()));
+    g.finish();
+}
+
+/// Gallop intersection vs the naive kernel on skewed list sizes (the
+/// realistic posting shape: one short list, several long ones).
+fn bench_intersection(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let long1 = sorted_list(&mut rng, 100_000, 1 << 20);
+    let long2 = sorted_list(&mut rng, 50_000, 1 << 20);
+    let short = sorted_list(&mut rng, 1_000, 1 << 20);
+    let lists: Vec<&[u32]> = vec![&long1, &long2, &short];
+
+    let mut g = c.benchmark_group("intersection");
+    g.bench_function("gallop", |b| b.iter(|| intersect_sorted(&lists).len()));
+    g.bench_function("naive", |b| b.iter(|| intersect_naive(&lists).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_seek, bench_intersection);
+criterion_main!(benches);

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! experiments [--scale small|full] [--shards N] [--json PATH]
+//!             [--check BASELINE.json]
 //!             [fig6 fig7 fig8 fig9 fig10 expk fig11 fig12 fig13 fig16
-//!              case worstcase smoke | all]
+//!              case worstcase smoke hotpath | all]
 //! ```
 //!
 //! Each experiment prints a paper-style table; `all` runs everything in
@@ -48,14 +49,45 @@ struct JsonTiming {
     geo_ms: f64,
 }
 
+/// Calibration time (ms) of a fixed integer workload, measured once per
+/// process by the `hotpath` experiment. The regression gate divides every
+/// tracked metric by it, so baselines recorded on one machine stay
+/// meaningful on another (both metric and calibration scale with the
+/// host's single-core speed). Stored as `f64` bits; 0 = not measured.
+static CALIBRATION_MS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Time a fixed xorshift workload — the machine-speed yardstick.
+fn calibrate() -> f64 {
+    let t0 = Instant::now();
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut acc = 0u64;
+    for _ in 0..40_000_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x);
+    }
+    std::hint::black_box(acc);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    CALIBRATION_MS.store(ms.to_bits(), std::sync::atomic::Ordering::Relaxed);
+    ms
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
     let mut picks: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--check" => {
+                check_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--check takes a committed baseline JSON path");
+                    std::process::exit(2);
+                }));
+            }
             "--scale" => {
                 let v = it.next().unwrap_or_default();
                 scale = Scale::parse(&v).unwrap_or_else(|| {
@@ -127,6 +159,7 @@ fn main() {
             "worstcase" => worst_case(&mut report),
             "ablation" => ablation(&mut report, scale),
             "smoke" => smoke(&mut report, scale, &mut timings),
+            "hotpath" => hotpath(&mut report, scale, &mut timings),
             other => eprintln!("unknown experiment {other:?}"),
         }
     }
@@ -140,6 +173,99 @@ fn main() {
         }
         eprintln!("wrote {} timing record(s) to {path}", timings.len());
     }
+    if let Some(path) = check_path {
+        check_regression(&path, &timings);
+    }
+}
+
+/// The bench-regression gate: compare this run's `hotpath` metrics against
+/// a committed baseline JSON and fail the process when any tracked metric
+/// regresses more than [`REGRESSION_TOLERANCE`]. Both sides are
+/// normalized by their run's `calibration_ms`, so a baseline recorded on
+/// a faster or slower machine still gates meaningfully.
+const REGRESSION_TOLERANCE: f64 = 1.25;
+
+fn check_regression(baseline_path: &str, timings: &[JsonTiming]) {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Take the top-level calibration only — the committed baseline may
+    // carry a historical `pre_change` section with its own calibration.
+    let head = text.split("\"pre_change\"").next().unwrap_or(&text);
+    let base_cal = json_number(head, "calibration_ms").unwrap_or(0.0);
+    let cur_cal = f64::from_bits(CALIBRATION_MS.load(std::sync::atomic::Ordering::Relaxed));
+    if base_cal <= 0.0 || cur_cal <= 0.0 {
+        eprintln!("regression check needs calibration_ms in both runs (did you run `hotpath`?)");
+        std::process::exit(1);
+    }
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for t in timings.iter().filter(|t| t.experiment == "hotpath") {
+        let Some(base_geo) = baseline_metric(&text, &t.dataset, &t.algorithm) else {
+            eprintln!(
+                "baseline has no record for {}/{} — skipping (new metric?)",
+                t.dataset, t.algorithm
+            );
+            continue;
+        };
+        checked += 1;
+        let ratio = (t.geo_ms / cur_cal) / (base_geo / base_cal);
+        let verdict = if ratio > REGRESSION_TOLERANCE {
+            failures.push(format!(
+                "{}/{}: {:.3} ms vs baseline {:.3} ms (normalized ratio {:.2} > {:.2})",
+                t.dataset, t.algorithm, t.geo_ms, base_geo, ratio, REGRESSION_TOLERANCE
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "check {}/{}: normalized ratio {:.2} [{}]",
+            t.dataset, t.algorithm, ratio, verdict
+        );
+    }
+    if checked == 0 {
+        eprintln!("regression check matched no hotpath metrics — refusing to pass vacuously");
+        std::process::exit(1);
+    }
+    if !failures.is_empty() {
+        eprintln!("bench regression gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("bench regression gate passed ({checked} metric(s) within tolerance)");
+}
+
+/// Extract a top-level `"key": <number>` from our own JSON schema.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Find the `geo_ms` of the baseline's hotpath record for
+/// `(dataset, algorithm)`. Hand-rolled against our own `render_json`
+/// output (the build environment vendors no serde).
+fn baseline_metric(text: &str, dataset: &str, algorithm: &str) -> Option<f64> {
+    for line in text.lines() {
+        if line.contains("\"experiment\": \"hotpath\"")
+            && line.contains(&format!("\"dataset\": \"{dataset}\""))
+            && line.contains(&format!("\"algorithm\": \"{algorithm}\""))
+        {
+            return json_number(line, "geo_ms");
+        }
+    }
+    None
 }
 
 /// Serialize the collected timings as JSON (hand-rolled — the build
@@ -160,6 +286,10 @@ fn render_json(scale: Scale, timings: &[JsonTiming]) -> String {
             .map(|p| p.get())
             .unwrap_or(1)
     ));
+    let cal = f64::from_bits(CALIBRATION_MS.load(std::sync::atomic::Ordering::Relaxed));
+    if cal > 0.0 {
+        out.push_str(&format!("  \"calibration_ms\": {cal:.3},\n"));
+    }
     out.push_str("  \"timings\": [\n");
     let rows: Vec<String> = timings
         .iter()
@@ -805,6 +935,121 @@ fn smoke(report: &mut Report, scale: Scale, timings: &mut Vec<JsonTiming>) {
             shards.to_string()
         }
     ));
+}
+
+// ------------------------------------------------------------------
+// Hotpath: the query data-plane kernels the regression gate tracks —
+// sorted-list intersection, posting decode, and end-to-end
+// pattern_enum_pruned on zipf-wiki. `--json` + `--check` turn this into
+// the CI bench gate against the committed BENCH_hotpath.json.
+// ------------------------------------------------------------------
+fn hotpath(report: &mut Report, scale: Scale, timings: &mut Vec<JsonTiming>) {
+    use patternkb_index::compress::CompressedPathIndexes;
+
+    report.section("Hotpath: intersection / decode / pattern_enum_pruned (regression-gated)");
+    let cal = calibrate();
+    report.line(&format!("calibration workload: {cal:.1} ms"));
+
+    let mut push =
+        |report: &mut Report, algorithm: &str, durations: &[Duration], queries: usize| {
+            let eb = ErrorBar::of(durations).expect("non-empty");
+            let total_ms: f64 = durations.iter().map(|d| d.as_secs_f64() * 1e3).sum();
+            report.line(&format!(
+                "{algorithm}: total {total_ms:.2} ms, geo {:.4} ms over {} obs",
+                eb.geo_ms,
+                durations.len()
+            ));
+            timings.push(JsonTiming {
+                experiment: "hotpath",
+                dataset: "zipf-wiki".to_string(),
+                algorithm: algorithm.to_string(),
+                queries,
+                total_ms,
+                geo_ms: eb.geo_ms,
+            });
+        };
+
+    // --- 1. Intersection kernel: the engine's sorted-list intersection
+    //     primitive over synthetic posting-style root lists (skewed sizes,
+    //     like zipf word frequencies). ---
+    let mut rng = SmallRng::seed_from_u64(0xb10cf00d);
+    let universe = 1u32 << 20;
+    let mut make_list = |len: usize| -> Vec<u32> {
+        let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let lists: Vec<Vec<u32>> = [80_000usize, 20_000, 4_000, 800]
+        .iter()
+        .map(|&n| make_list(n))
+        .collect();
+    let refs: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+    let mut durations = Vec::new();
+    let mut matched = 0usize;
+    for _ in 0..60 {
+        let t0 = Instant::now();
+        let out = patternkb_search::common::intersect_sorted(&refs);
+        durations.push(t0.elapsed());
+        matched = out.len();
+    }
+    report.line(&format!(
+        "intersect: {} lists (sizes {:?}), {} common",
+        refs.len(),
+        lists.iter().map(Vec::len).collect::<Vec<_>>(),
+        matched
+    ));
+    push(report, "intersect", &durations, 60);
+
+    // --- 2. Posting decode: rebuild every word of the compressed tier.
+    //     Pinned to one shard: every hotpath metric must be single-
+    //     threaded so the single-core calibration workload normalizes it
+    //     (the gate would otherwise under-read regressions on many-core
+    //     runners). ---
+    let g = wiki_graph(scale);
+    let text = TextIndex::build(&g, SynonymTable::default_english());
+    let idx = build_indexes(
+        &g,
+        &text,
+        &BuildConfig {
+            d: 3,
+            threads: 0,
+            shards: 1,
+        },
+    );
+    let comp = CompressedPathIndexes::compress(&idx);
+    let mut durations = Vec::new();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let back = comp.decompress().expect("tier decodes");
+        durations.push(t0.elapsed());
+        assert_eq!(back.num_postings(), idx.num_postings());
+    }
+    push(report, "decode", &durations, 5);
+
+    // --- 3. End-to-end: pattern_enum_pruned over a fixed query batch on
+    //     zipf-wiki (the acceptance workload). One shard (see above): the
+    //     single shard worker runs inline, so the metric tracks kernel
+    //     speed, not the host's core count; `--shards` deliberately does
+    //     not apply here. Per-query minimum over 3 passes to damp
+    //     scheduler noise. ---
+    let e = EngineBuilder::new()
+        .graph(g)
+        .synonyms(SynonymTable::default_english())
+        .height(3)
+        .shards(1)
+        .build()
+        .expect("d in range");
+    let queries = query_batch(&e, scale, 4, 131);
+    let cfg = SearchConfig::top(10);
+    let mut best: Vec<Duration> = vec![Duration::MAX; queries.len()];
+    for _ in 0..3 {
+        for (q, slot) in queries.iter().zip(best.iter_mut()) {
+            let r = respond_algo(&e, q, &cfg, AlgorithmChoice::PatternEnumPruned, None);
+            *slot = (*slot).min(r.stats.elapsed);
+        }
+    }
+    push(report, "pattern_enum_pruned", &best, queries.len());
 }
 
 // ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-//! Compressed posting tier: delta + LEB128 coded path postings.
+//! Compressed posting tier: block-coded roots + LEB128 coded payloads.
 //!
 //! The uncompressed [`WordPathIndex`] stores both sort orders of every
 //! posting as fixed-width structs (fast, but ≈56 bytes per posting plus the
@@ -8,7 +8,12 @@
 //! demand:
 //!
 //! * postings are stored once, in pattern-first order, grouped by pattern;
-//! * pattern ids and in-group roots are delta-coded ([`crate::varint`]);
+//! * each group's root column is a [`crate::blocks::BlockList`] —
+//!   128-entry delta + bitpacked blocks with per-block max-root skip
+//!   entries, decoded through a [`crate::blocks::BlockCursor`] one block
+//!   at a time (stream format v3; the older per-integer varint layout of
+//!   v2/v1 images still decodes);
+//! * pattern ids are delta-coded ([`crate::varint`]);
 //! * the leading path node is implicit (it equals the root);
 //! * the two cached scores stay as raw little-endian `f64`s, so a
 //!   compress → decompress round trip is **bit-exact** (asserted by tests).
@@ -18,6 +23,7 @@
 //! the query's keywords. Decoding validates the stream and reports
 //! [`CompressError`] on truncation or corruption instead of panicking.
 
+use crate::blocks::BlockList;
 use crate::pattern::{PatternId, PatternSet};
 use crate::posting::Posting;
 use crate::varint;
@@ -47,15 +53,28 @@ impl std::fmt::Display for CompressError {
 
 impl std::error::Error for CompressError {}
 
-/// One word's postings as a delta/varint-coded byte stream.
+/// Stream layout of one word's compressed postings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum StreamLayout {
+    /// v3: per group, the root column is a block-coded [`BlockList`]
+    /// followed by the posting payloads.
+    #[default]
+    Blocked,
+    /// v1/v2: roots delta + varint coded, interleaved with payloads.
+    Interleaved,
+}
+
+/// One word's postings as a compact byte stream.
 #[derive(Clone, Debug, Default)]
 pub struct CompressedWordIndex {
     bytes: Box<[u8]>,
     num_postings: u32,
+    layout: StreamLayout,
 }
 
 impl CompressedWordIndex {
-    /// Encode all postings of `widx` (pattern-first order).
+    /// Encode all postings of `widx` (pattern-first order, v3 blocked
+    /// layout).
     pub fn from_word_index(widx: &WordPathIndex) -> Self {
         let postings = widx.postings_pattern_first();
         let mut bytes: Vec<u8> = Vec::with_capacity(postings.len() * 12);
@@ -74,14 +93,18 @@ impl CompressedWordIndex {
 
         varint::put_u32(&mut bytes, groups.len() as u32);
         let mut prev_pat = 0u32;
+        let mut roots: Vec<u32> = Vec::new();
         for &(pat, lo, hi) in &groups {
             varint::put_u32(&mut bytes, pat.0 - prev_pat);
             prev_pat = pat.0;
             varint::put_u32(&mut bytes, (hi - lo) as u32);
-            let mut prev_root = 0u32;
+            // Root column: non-decreasing within the group → block-coded
+            // with per-block max-root skip entries.
+            roots.clear();
+            roots.extend(postings[lo..hi].iter().map(|p| p.root.0));
+            BlockList::encode(&roots).write(&mut bytes);
+            // Payload column, in the same posting order.
             for p in &postings[lo..hi] {
-                varint::put_u32(&mut bytes, p.root.0 - prev_root);
-                prev_root = p.root.0;
                 let header = ((p.nodes_len as u32) << 1) | u32::from(p.edge_terminal);
                 varint::put_u32(&mut bytes, header);
                 let nodes = widx.nodes_of(p);
@@ -97,26 +120,55 @@ impl CompressedWordIndex {
         CompressedWordIndex {
             bytes: bytes.into_boxed_slice(),
             num_postings: postings.len() as u32,
+            layout: StreamLayout::Blocked,
         }
     }
 
-    /// Decode back into a queryable [`WordPathIndex`].
-    pub fn decode(&self) -> Result<WordPathIndex, CompressError> {
+    /// Decode back into a queryable [`WordPathIndex`]. Returns the blocks
+    /// decoded alongside (0 for legacy interleaved streams).
+    pub fn decode_counted(&self) -> Result<(WordPathIndex, u64), CompressError> {
         let mut postings: Vec<Posting> = Vec::with_capacity(self.num_postings as usize);
         let mut arena: Vec<NodeId> = Vec::new();
         let buf = &self.bytes;
         let mut pos = 0usize;
+        let mut blocks_decoded = 0u64;
 
         let num_groups = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
         let mut pat = 0u32;
+        // Reused across groups: skip-table and root-column scratch for the
+        // in-place block decode (no per-group allocation).
+        let mut skips_scratch: Vec<(u32, u32, u32)> = Vec::new();
+        let mut roots_scratch: Vec<u32> = Vec::new();
         for gi in 0..num_groups {
             let delta = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
             pat = if gi == 0 { delta } else { pat + delta };
             let count = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+            // v3 carries the whole root column up front; v1/v2 interleave
+            // root deltas with the payloads.
+            if self.layout == StreamLayout::Blocked {
+                roots_scratch.clear();
+                let blocks =
+                    BlockList::read_into(buf, &mut pos, &mut skips_scratch, &mut roots_scratch)
+                        .ok_or(CompressError::Truncated)?;
+                if roots_scratch.len() != count as usize {
+                    return Err(CompressError::Corrupt("root column count mismatch"));
+                }
+                blocks_decoded += blocks;
+            }
             let mut root = 0u32;
             for pi in 0..count {
-                let rdelta = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
-                root = if pi == 0 { rdelta } else { root + rdelta };
+                root = match self.layout {
+                    StreamLayout::Blocked => roots_scratch[pi as usize],
+                    StreamLayout::Interleaved => {
+                        let rdelta =
+                            varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+                        if pi == 0 {
+                            rdelta
+                        } else {
+                            root + rdelta
+                        }
+                    }
+                };
                 let header = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
                 let edge_terminal = header & 1 == 1;
                 let nodes_len = (header >> 1) as usize;
@@ -155,7 +207,12 @@ impl CompressedWordIndex {
         if pos != buf.len() {
             return Err(CompressError::Corrupt("trailing bytes"));
         }
-        Ok(WordPathIndex::new(postings, arena))
+        Ok((WordPathIndex::new(postings, arena), blocks_decoded))
+    }
+
+    /// Decode back into a queryable [`WordPathIndex`].
+    pub fn decode(&self) -> Result<WordPathIndex, CompressError> {
+        self.decode_counted().map(|(widx, _)| widx)
     }
 
     /// Number of postings in the stream.
@@ -344,14 +401,16 @@ impl CompressedPathIndexes {
 // ---------------------------------------------------------------------
 
 const MAGIC: &[u8; 4] = b"PKBC";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+const V2: u32 = 2;
 const V1: u32 = 1;
 
 impl CompressedPathIndexes {
     /// Serialize to a versioned byte image. Typically ~4–5× smaller than
     /// the raw [`crate::snapshot`] image, since the posting payload *is*
-    /// the compressed stream. Version 2 stores one segment per shard; a
-    /// version-1 (pre-shard) image still decodes, as a single shard.
+    /// the compressed stream. Version 3 block-codes each group's root
+    /// column ([`crate::blocks`]); version 2 (per-integer varint roots,
+    /// segment per shard) and version 1 (pre-shard) images still decode.
     pub fn encode(&self) -> Vec<u8> {
         use bytes::BufMut;
         let mut buf = Vec::with_capacity(self.heap_bytes() + 1024);
@@ -405,9 +464,14 @@ impl CompressedPathIndexes {
             return Err(CompressError::Corrupt("bad magic"));
         }
         let version = get_u32(&mut pos)?;
-        if version != VERSION && version != V1 {
+        if version != VERSION && version != V2 && version != V1 {
             return Err(CompressError::Corrupt("unsupported version"));
         }
+        let layout = if version == VERSION {
+            StreamLayout::Blocked
+        } else {
+            StreamLayout::Interleaved
+        };
         let d = get_u32(&mut pos)? as usize;
         if d == 0 || d > crate::build::MAX_D {
             return Err(CompressError::Corrupt("height threshold out of range"));
@@ -458,6 +522,7 @@ impl CompressedPathIndexes {
                     CompressedWordIndex {
                         bytes: stream,
                         num_postings,
+                        layout,
                     },
                 );
             }
@@ -705,6 +770,7 @@ mod tests {
             let truncated = CompressedWordIndex {
                 bytes: full.bytes[..cut].to_vec().into_boxed_slice(),
                 num_postings: full.num_postings,
+                layout: full.layout,
             };
             assert!(truncated.decode().is_err(), "cut at {cut} must fail");
         }
@@ -891,6 +957,118 @@ mod tests {
             back.decompress().unwrap().num_postings(),
             idx.num_postings()
         );
+    }
+
+    /// The pre-v3 stream layout: roots delta + varint coded, interleaved
+    /// with the payloads (verbatim port of the old encoder, kept only to
+    /// manufacture legacy images for the compatibility tests).
+    fn encode_interleaved(widx: &WordPathIndex) -> Vec<u8> {
+        let postings = widx.postings_pattern_first();
+        let mut bytes: Vec<u8> = Vec::new();
+        let mut groups: Vec<(PatternId, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < postings.len() {
+            let pat = postings[i].pattern;
+            let start = i;
+            while i < postings.len() && postings[i].pattern == pat {
+                i += 1;
+            }
+            groups.push((pat, start, i));
+        }
+        varint::put_u32(&mut bytes, groups.len() as u32);
+        let mut prev_pat = 0u32;
+        for &(pat, lo, hi) in &groups {
+            varint::put_u32(&mut bytes, pat.0 - prev_pat);
+            prev_pat = pat.0;
+            varint::put_u32(&mut bytes, (hi - lo) as u32);
+            let mut prev_root = 0u32;
+            for p in &postings[lo..hi] {
+                varint::put_u32(&mut bytes, p.root.0 - prev_root);
+                prev_root = p.root.0;
+                let header = ((p.nodes_len as u32) << 1) | u32::from(p.edge_terminal);
+                varint::put_u32(&mut bytes, header);
+                for &v in &widx.nodes_of(p)[1..] {
+                    varint::put_u32(&mut bytes, v.0);
+                }
+                bytes.extend_from_slice(&p.pagerank.to_le_bytes());
+                bytes.extend_from_slice(&p.sim.to_le_bytes());
+            }
+        }
+        bytes
+    }
+
+    /// Assemble a legacy (v1 or v2) container image for `idx`.
+    fn legacy_image(idx: &PathIndexes, version: u32) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.put_u32_le(version);
+        buf.put_u32_le(idx.d() as u32);
+        if version >= 2 {
+            buf.put_u32_le(idx.shards().len() as u32);
+            for &b in idx.bounds() {
+                buf.put_u32_le(b);
+            }
+        } else {
+            assert_eq!(idx.shards().len(), 1, "v1 images are single-shard");
+        }
+        buf.put_u32_le(idx.patterns().len() as u32);
+        for i in 0..idx.patterns().len() {
+            let key = idx.patterns().key(PatternId(i as u32));
+            buf.put_u32_le(key.len() as u32);
+            for &v in key {
+                buf.put_u32_le(v);
+            }
+        }
+        for shard in idx.shards() {
+            let mut words: Vec<(WordId, &WordPathIndex)> = shard.iter_words().collect();
+            words.sort_by_key(|(w, _)| *w);
+            buf.put_u32_le(words.len() as u32);
+            for (w, widx) in words {
+                let stream = encode_interleaved(widx);
+                buf.put_u32_le(w.0);
+                buf.put_u32_le(widx.len() as u32);
+                buf.put_u32_le(stream.len() as u32);
+                buf.extend_from_slice(&stream);
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn v2_and_v1_legacy_images_still_decode() {
+        let (g, t) = sample(60);
+        for (version, shards) in [(1u32, 1usize), (2, 1), (2, 3)] {
+            let idx = build_indexes(
+                &g,
+                &t,
+                &BuildConfig {
+                    d: 3,
+                    threads: 1,
+                    shards,
+                },
+            );
+            let image = legacy_image(&idx, version);
+            let comp = CompressedPathIndexes::decode(&image)
+                .unwrap_or_else(|e| panic!("v{version} image decodes: {e}"));
+            assert_eq!(comp.num_shards(), shards);
+            let back = comp.decompress().expect("legacy streams decode");
+            assert_eq!(back.num_postings(), idx.num_postings());
+            for (s, shard) in idx.shards().iter().enumerate() {
+                for (w, widx) in shard.iter_words() {
+                    let bw = back.shards()[s].word(w).expect("word survives");
+                    assert_eq!(
+                        canon_word(idx.patterns(), widx),
+                        canon_word(back.patterns(), bw),
+                        "v{version} word {w:?}"
+                    );
+                }
+            }
+            // A legacy image decoded and re-encoded comes back as v3.
+            let reencoded = CompressedPathIndexes::compress(&back).encode();
+            assert_eq!(&reencoded[4..8], 3u32.to_le_bytes().as_slice());
+            assert!(CompressedPathIndexes::decode(&reencoded).is_ok());
+        }
     }
 
     #[test]

@@ -140,6 +140,21 @@ impl GroupedPostings {
         })
     }
 
+    /// A seekable cursor over the `i`-th primary group's runs — the
+    /// fused-join primitive: leapfrogging several groups' cursors by
+    /// secondary key intersects their key sets **and** lands directly on
+    /// each matching run's posting slice, with no per-match binary search.
+    pub fn run_cursor(&self, i: usize) -> RunCursor<'_> {
+        let run_lo = self.g1_run_start[i] as usize;
+        let run_hi = self.g1_run_start[i + 1] as usize;
+        RunCursor {
+            keys: &self.g2_keys[run_lo..run_hi],
+            starts: &self.g2_post_start[run_lo..=run_hi],
+            postings: &self.postings,
+            pos: 0,
+        }
+    }
+
     /// Number of distinct primary keys.
     pub fn num_primary(&self) -> usize {
         self.g1_keys.len()
@@ -183,6 +198,53 @@ impl GroupedPostings {
             }
         }
         self.g2_post_start.last().copied().unwrap_or(0) as usize == self.postings.len()
+    }
+}
+
+/// Forward cursor over one primary group's `(secondary key, postings)`
+/// runs, with galloping skip-ahead by secondary key. `seek` targets must
+/// be non-decreasing; it positions the cursor **at** the found run (peek
+/// semantics), so [`RunCursor::postings`] returns that run's slice in
+/// O(1).
+pub struct RunCursor<'a> {
+    /// Secondary keys of the group's runs, ascending.
+    keys: &'a [u32],
+    /// Posting-range starts; run `j` spans `starts[j] .. starts[j + 1]`.
+    starts: &'a [u32],
+    /// The whole posting array the starts index into.
+    postings: &'a [Posting],
+    pos: usize,
+}
+
+impl<'a> RunCursor<'a> {
+    /// The least run key `≥ target` at or after the current position,
+    /// without consuming it. Gallops from the current position.
+    #[inline]
+    pub fn seek(&mut self, target: u32) -> Option<u32> {
+        self.pos = crate::cursor::gallop_lower_bound(self.keys, self.pos, target);
+        self.keys.get(self.pos).copied()
+    }
+
+    /// Advance past the current run, returning the next run's key.
+    #[inline]
+    pub fn advance(&mut self) -> Option<u32> {
+        self.pos += 1;
+        self.keys.get(self.pos).copied()
+    }
+
+    /// The current run's postings (valid after a successful
+    /// `seek`/`advance`).
+    #[inline]
+    pub fn postings(&self) -> &'a [Posting] {
+        let lo = self.starts[self.pos] as usize;
+        let hi = self.starts[self.pos + 1] as usize;
+        &self.postings[lo..hi]
+    }
+
+    /// Runs not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.keys.len().saturating_sub(self.pos)
     }
 }
 
@@ -270,6 +332,21 @@ mod tests {
         assert!(g.validate());
         assert!(g.is_empty());
         assert_eq!(g.find_primary(0), None);
+    }
+
+    #[test]
+    fn run_cursor_seeks_runs() {
+        let g = sample();
+        let i3 = g.find_primary(3).unwrap();
+        let mut c = g.run_cursor(i3);
+        assert_eq!(c.remaining(), 2);
+        assert_eq!(c.seek(0), Some(2));
+        assert_eq!(c.postings().len(), 1);
+        assert_eq!(c.seek(3), Some(5));
+        assert_eq!(c.postings().len(), 3);
+        assert!(c.postings().iter().all(|p| p.root.0 == 5));
+        assert_eq!(c.advance(), None);
+        assert_eq!(c.seek(9), None);
     }
 }
 

@@ -22,8 +22,10 @@
 
 #![warn(missing_docs)]
 
+pub mod blocks;
 pub mod build;
 pub mod compress;
+pub mod cursor;
 pub mod grouped;
 pub mod incremental;
 pub mod pattern;
@@ -33,10 +35,15 @@ pub mod stats;
 pub mod varint;
 pub mod word_index;
 
+pub use blocks::{BlockCursor, BlockList, BLOCK};
 pub use build::{build_indexes, BuildConfig};
 pub use compress::{CompressedPathIndexes, CompressedWordIndex};
+pub use cursor::{intersect_runs, SeekCursor, SliceCursor};
+pub use grouped::RunCursor;
 pub use incremental::{refresh_indexes, RefreshStats};
 pub use pattern::{PathPattern, PatternId, PatternSet};
 pub use posting::Posting;
 pub use stats::IndexStats;
-pub use word_index::{IndexShard, PathIndexes, WordPathIndex};
+pub use word_index::{
+    IndexShard, PathIndexes, PatternPostingStats, PatternTypeGroup, WordPathIndex,
+};

@@ -5,6 +5,96 @@ use crate::pattern::{PatternId, PatternSet};
 use crate::posting::Posting;
 use patternkb_graph::{FxHashMap, NodeId, WordId};
 
+/// Per-pattern posting statistics, cached at construction. These are
+/// pure functions of the posting list; the search layer's admissible
+/// score bounds read them per query instead of rescanning every posting
+/// (which used to be the largest fixed cost of a pruned `PATTERNENUM`
+/// query).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PatternPostingStats {
+    /// Total paths with this pattern (over all roots).
+    pub num_paths: u32,
+    /// Largest number of paths under a single root.
+    pub max_per_root: u32,
+    /// Minimum scoring length `|T(w)|`.
+    pub min_len: f64,
+    /// Maximum scoring length.
+    pub max_len: f64,
+    /// Minimum cached PageRank.
+    pub min_pr: f64,
+    /// Maximum cached PageRank.
+    pub max_pr: f64,
+    /// Minimum cached similarity.
+    pub min_sim: f64,
+    /// Maximum cached similarity.
+    pub max_sim: f64,
+}
+
+impl PatternPostingStats {
+    /// Combine stats of the same pattern from two disjoint posting sets
+    /// (e.g. two root-range shards): `max_per_root` combines by `max`,
+    /// everything else by sum/min/max.
+    pub fn merge(&mut self, other: &PatternPostingStats) {
+        self.num_paths += other.num_paths;
+        self.max_per_root = self.max_per_root.max(other.max_per_root);
+        self.min_len = self.min_len.min(other.min_len);
+        self.max_len = self.max_len.max(other.max_len);
+        self.min_pr = self.min_pr.min(other.min_pr);
+        self.max_pr = self.max_pr.max(other.max_pr);
+        self.min_sim = self.min_sim.min(other.min_sim);
+        self.max_sim = self.max_sim.max(other.max_sim);
+    }
+
+    /// Scan one pattern's postings (sorted by root).
+    fn scan(paths: &[Posting]) -> Self {
+        let mut s = PatternPostingStats {
+            num_paths: paths.len() as u32,
+            max_per_root: 0,
+            min_len: f64::INFINITY,
+            max_len: 0.0,
+            min_pr: f64::INFINITY,
+            max_pr: 0.0,
+            min_sim: f64::INFINITY,
+            max_sim: 0.0,
+        };
+        let mut run = 0u32;
+        let mut prev_root = u32::MAX;
+        for post in paths {
+            let len = post.score_len() as f64;
+            s.min_len = s.min_len.min(len);
+            s.max_len = s.max_len.max(len);
+            s.min_pr = s.min_pr.min(post.pagerank);
+            s.max_pr = s.max_pr.max(post.pagerank);
+            s.min_sim = s.min_sim.min(post.sim);
+            s.max_sim = s.max_sim.max(post.sim);
+            if post.root.0 == prev_root {
+                run += 1;
+            } else {
+                prev_root = post.root.0;
+                run = 1;
+            }
+            s.max_per_root = s.max_per_root.max(run);
+        }
+        s
+    }
+}
+
+/// One root type's patterns within a word index — the unit the pattern-
+/// first algorithms enumerate ("`PatternsC(wᵢ)`"). All three columns are
+/// parallel: `patterns[x]` sits at pattern-first position `prims[x]` and
+/// has stats `stats[x]`.
+#[derive(Clone, Debug)]
+pub struct PatternTypeGroup {
+    /// The shared root type.
+    pub root_type: patternkb_graph::TypeId,
+    /// Pattern ids, ascending.
+    pub patterns: Vec<crate::pattern::PatternId>,
+    /// Pattern-first positions of `patterns`.
+    pub prims: Vec<u32>,
+    /// Cached posting stats of `patterns`.
+    pub stats: Vec<PatternPostingStats>,
+}
+
 /// Both sort orders of the postings of one word, sharing one node arena.
 #[derive(Clone, Debug, Default)]
 pub struct WordPathIndex {
@@ -14,6 +104,14 @@ pub struct WordPathIndex {
     pattern_first: GroupedPostings,
     /// Root-first order: primary = root, secondary = pattern (Fig. 4(b)).
     root_first: GroupedPostings,
+    /// Per-pattern stats, aligned with `pattern_first.primary_keys()`.
+    pattern_stats: Vec<PatternPostingStats>,
+    /// Lazy per-word grouping of patterns by root type (ascending type,
+    /// ascending pattern within type) — a pure function of the postings
+    /// and the pattern set, built on the first query touching the word so
+    /// the per-query setup of the pattern-first algorithms is O(groups)
+    /// instead of O(patterns).
+    type_groups: std::sync::OnceLock<Vec<PatternTypeGroup>>,
 }
 
 impl WordPathIndex {
@@ -24,10 +122,15 @@ impl WordPathIndex {
             GroupedPostings::from_sorted(postings.clone(), |p| p.pattern.0, |p| p.root.0);
         postings.sort_unstable_by_key(|p| (p.root.0, p.pattern.0, p.nodes_start));
         let root_first = GroupedPostings::from_sorted(postings, |p| p.root.0, |p| p.pattern.0);
+        let pattern_stats = (0..pattern_first.num_primary())
+            .map(|i| PatternPostingStats::scan(pattern_first.group_postings(i)))
+            .collect();
         WordPathIndex {
             arena,
             pattern_first,
             root_first,
+            pattern_stats,
+            type_groups: std::sync::OnceLock::new(),
         }
     }
 
@@ -71,6 +174,75 @@ impl WordPathIndex {
             Some(i) => self.pattern_first.group_postings(i),
             None => &[],
         }
+    }
+
+    /// Position of `p` in the pattern-first index, resolvable once per
+    /// (combination, keyword) and then reused for O(1) cursor creation.
+    pub fn pattern_primary(&self, p: PatternId) -> Option<usize> {
+        self.pattern_first.find_primary(p.0)
+    }
+
+    /// Cached per-pattern posting stats, aligned with the iteration order
+    /// of [`Self::patterns`] (and indexable by [`Self::pattern_primary`]).
+    pub fn pattern_stats(&self) -> &[PatternPostingStats] {
+        &self.pattern_stats
+    }
+
+    /// The pattern at pattern-first position `prim`
+    /// (inverse of [`Self::pattern_primary`]).
+    pub fn pattern_at(&self, prim: usize) -> PatternId {
+        PatternId(self.pattern_first.primary_keys()[prim])
+    }
+
+    /// This word's patterns grouped by root type, ascending by type (and
+    /// by pattern id within a type). Memoized on first use: pattern ids
+    /// are stable under incremental refresh (the pattern set is
+    /// append-only), so the grouping never invalidates for a live index.
+    pub fn pattern_type_groups(
+        &self,
+        patterns: &crate::pattern::PatternSet,
+    ) -> &[PatternTypeGroup] {
+        self.type_groups.get_or_init(|| {
+            let mut tagged: Vec<(patternkb_graph::TypeId, u32)> = self
+                .pattern_first
+                .primary_keys()
+                .iter()
+                .enumerate()
+                .map(|(j, &p)| (patterns.root_type(crate::pattern::PatternId(p)), j as u32))
+                .collect();
+            // Secondary key `j` ascends with pattern id, so each type's
+            // run stays in ascending pattern order.
+            tagged.sort_unstable();
+            let mut groups: Vec<PatternTypeGroup> = Vec::new();
+            let mut at = 0usize;
+            while at < tagged.len() {
+                let root_type = tagged[at].0;
+                let mut group = PatternTypeGroup {
+                    root_type,
+                    patterns: Vec::new(),
+                    prims: Vec::new(),
+                    stats: Vec::new(),
+                };
+                while at < tagged.len() && tagged[at].0 == root_type {
+                    let j = tagged[at].1 as usize;
+                    group.patterns.push(crate::pattern::PatternId(
+                        self.pattern_first.primary_keys()[j],
+                    ));
+                    group.prims.push(j as u32);
+                    group.stats.push(self.pattern_stats[j]);
+                    at += 1;
+                }
+                groups.push(group);
+            }
+            groups
+        })
+    }
+
+    /// A seekable `(root, paths)` run cursor over pattern `prim` (an index
+    /// from [`Self::pattern_primary`]) — the fused-join view of
+    /// `Roots(w, P)` + `Paths(w, P, r)`.
+    pub fn pattern_run_cursor(&self, prim: usize) -> crate::grouped::RunCursor<'_> {
+        self.pattern_first.run_cursor(prim)
     }
 
     // --- Root-first access methods (Figure 4(b)) -----------------------
@@ -141,9 +313,12 @@ impl WordPathIndex {
         self.pattern_first.is_empty()
     }
 
-    /// Approximate resident bytes (both orders + arena).
+    /// Approximate resident bytes (both orders + arena + stats).
     pub fn heap_bytes(&self) -> usize {
-        self.arena.len() * 4 + self.pattern_first.heap_bytes() + self.root_first.heap_bytes()
+        self.arena.len() * 4
+            + self.pattern_first.heap_bytes()
+            + self.root_first.heap_bytes()
+            + self.pattern_stats.len() * std::mem::size_of::<PatternPostingStats>()
     }
 }
 
@@ -414,5 +589,49 @@ mod tests {
         via_pattern.sort_unstable_by_key(key);
         via_root.sort_unstable_by_key(key);
         assert_eq!(via_pattern, via_root);
+    }
+
+    #[test]
+    fn pattern_stats_match_postings() {
+        let idx = sample();
+        assert_eq!(idx.pattern_stats().len(), 2);
+        // Pattern 2 (position 1) has two postings, one per root.
+        let prim = idx.pattern_primary(PatternId(2)).unwrap();
+        let s = idx.pattern_stats()[prim];
+        assert_eq!(s.num_paths, 2);
+        assert_eq!(s.max_per_root, 1);
+        assert_eq!(s.min_len, 2.0);
+        assert_eq!(s.max_len, 2.0);
+        assert_eq!(idx.pattern_at(prim), PatternId(2));
+    }
+
+    #[test]
+    fn type_groups_partition_patterns() {
+        use crate::pattern::PatternSet;
+        let idx = sample();
+        // `sample()` uses pattern ids 1 and 2; intern three single-node
+        // keys (`[l << 1, root_type]`) so those ids resolve, with distinct
+        // root types for ids 1 and 2.
+        let mut ps = PatternSet::new();
+        ps.intern_key(&[2, 5]); // id 0, unused by sample()
+        ps.intern_key(&[2, 9]); // id 1 → root type 9
+        ps.intern_key(&[2, 7]); // id 2 → root type 7
+        let groups = idx.pattern_type_groups(&ps);
+        // Patterns 1 and 2 of `sample()` resolve through `ps`:
+        // all groups together must cover every pattern exactly once.
+        let total: usize = groups.iter().map(|g| g.patterns.len()).sum();
+        assert_eq!(total, 2);
+        for g in groups {
+            assert_eq!(g.patterns.len(), g.prims.len());
+            assert_eq!(g.patterns.len(), g.stats.len());
+            for (x, &prim) in g.patterns.iter().zip(&g.prims) {
+                assert_eq!(idx.pattern_at(prim as usize), *x);
+                assert_eq!(ps.root_type(*x), g.root_type);
+            }
+        }
+        // Ascending by type.
+        assert!(groups.windows(2).all(|w| w[0].root_type < w[1].root_type));
+        // Memoized: same slice on the second call.
+        assert_eq!(groups.len(), idx.pattern_type_groups(&ps).len());
     }
 }

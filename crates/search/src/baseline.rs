@@ -15,12 +15,12 @@
 //! each with a private pattern interner and dictionary, merged (with
 //! pattern-id re-interning) at the end.
 
-use crate::common::{run_parallel, PatternGroup};
-use crate::result::{QueryStats, RankedPattern, SearchResult, ShardStats};
+use crate::common::{run_parallel, TreeDict};
+use crate::result::{HotPathStats, QueryStats, RankedPattern, SearchResult, ShardStats};
 use crate::subtree::{node_slices_form_tree, TreePath, ValidSubtree};
 use crate::{Query, SearchConfig};
 use patternkb_graph::ids::Id;
-use patternkb_graph::{traversal, FxHashMap, KnowledgeGraph, NodeId};
+use patternkb_graph::{traversal, KnowledgeGraph, NodeId};
 use patternkb_index::{PathPattern, PatternSet};
 use patternkb_text::TextIndex;
 use std::time::Instant;
@@ -39,8 +39,8 @@ struct BasePath {
 /// One worker's private enumeration state and output.
 struct BaselineWorker {
     patset: PatternSet,
-    /// Tree-pattern key (worker-local pattern ids) → group.
-    dict: FxHashMap<Box<[u32]>, PatternGroup>,
+    /// Tree-pattern key (worker-local pattern ids) → group, interned.
+    dict: TreeDict,
     subtrees: usize,
     candidates: usize,
 }
@@ -111,7 +111,7 @@ pub fn baseline(
     // --- merge: re-intern worker-local pattern ids globally, fold the
     //     per-worker groups in range order (ascending roots). ---
     let mut patset = PatternSet::new();
-    let mut dict: FxHashMap<Box<[u32]>, PatternGroup> = FxHashMap::default();
+    let mut dict = TreeDict::new(m);
     let mut subtrees = 0usize;
     let mut per_shard = Vec::with_capacity(workers.len());
     for (s, worker) in workers.into_iter().enumerate() {
@@ -130,25 +130,22 @@ pub fn baseline(
             })
             .collect();
         let mut gkey: Vec<u32> = Vec::with_capacity(m);
-        for (key, group) in worker.dict {
+        worker.dict.drain_live(|key, group| {
             gkey.clear();
             gkey.extend(key.iter().map(|&p| remap[p as usize]));
-            match dict.entry(gkey.as_slice().into()) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().merge(group, cfg.max_rows);
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(group);
-                }
-            }
-        }
+            dict.fold(&gkey, group, cfg.max_rows);
+        });
     }
 
     let patterns_found = dict.len();
-    let patterns: Vec<RankedPattern> = dict
-        .into_iter()
-        .filter(|(_, group)| group.acc.count > 0)
-        .map(|(key, group)| RankedPattern {
+    let hot = HotPathStats {
+        keys_interned: dict.keys_interned() as u64,
+        key_arena_bytes: dict.arena_bytes() as u64,
+        ..Default::default()
+    };
+    let mut patterns: Vec<RankedPattern> = Vec::with_capacity(patterns_found);
+    dict.drain_live(|key, group| {
+        patterns.push(RankedPattern {
             pattern: key
                 .iter()
                 .map(|&p| patset.decode(patternkb_index::PatternId(p)))
@@ -156,8 +153,8 @@ pub fn baseline(
             score: group.acc.finish(cfg.scoring.aggregation),
             num_trees: group.acc.count as usize,
             trees: group.trees,
-        })
-        .collect();
+        });
+    });
 
     SearchResult {
         patterns,
@@ -168,6 +165,7 @@ pub fn baseline(
             combos_tried: patterns_found,
             combos_pruned: 0,
             per_shard,
+            hot,
             elapsed: t0.elapsed(),
         },
     }
@@ -186,7 +184,7 @@ fn baseline_range(
 ) -> BaselineWorker {
     let m = query.keywords.len();
     let mut patset = PatternSet::new();
-    let mut dict: FxHashMap<Box<[u32]>, PatternGroup> = FxHashMap::default();
+    let mut dict = TreeDict::new(m);
     let mut subtrees = 0usize;
     let mut key_buf: Vec<u32> = Vec::new();
     let mut per_kw: Vec<Vec<BasePath>> = (0..m).map(|_| Vec::new()).collect();
@@ -282,7 +280,7 @@ fn baseline_range(
                     sim += p.sim;
                 }
                 let score = cfg.scoring.tree_score(len, pr, sim);
-                let group = dict.entry(tree_key.as_slice().into()).or_default();
+                let group = dict.group_mut(&tree_key);
                 group.acc.push(score);
                 if group.trees.len() < cfg.max_rows {
                     group.trees.push(ValidSubtree {

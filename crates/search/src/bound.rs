@@ -46,10 +46,26 @@
 //! global top-k, so its partial groups can be dropped at merge time while
 //! every top-k pattern — never prunable anywhere — merges complete and
 //! exact.
+//!
+//! ## The flattened inner loop
+//!
+//! Every shard walks the **same global combination list in the same
+//! order**, so a combination's position in that enumeration is a dense,
+//! shard-independent id. The hot loop exploits that:
+//!
+//! * aggregates and per-shard root slices are precomputed into arrays
+//!   **aligned with the per-type pattern lists**, so a combination's
+//!   bound needs zero hash lookups;
+//! * the shared top-k threshold keys its lower-bound table by the global
+//!   combination index (a `u32`), not a boxed key slice;
+//! * pruned combinations are recorded into a flat `u32` arena (only under
+//!   multi-shard merges) instead of one boxed slice each;
+//! * nonempty combinations intern their key once into the shard's
+//!   [`TreeDict`] arena.
 
 use crate::common::{
-    for_each_path_tuple, intersect_sorted, materialize_tree, merge_shard_dicts, run_sharded,
-    QueryContext, ShardContext, TreeDict,
+    for_each_path_tuple, materialize_tree, merge_shard_dicts, run_sharded, QueryContext,
+    ShardContext, TreeDict,
 };
 use crate::result::{QueryStats, RankedPattern, SearchResult, ShardStats};
 use crate::score::Aggregation;
@@ -57,7 +73,7 @@ use crate::subtree::node_slices_form_tree;
 use crate::SearchConfig;
 use parking_lot::Mutex;
 use patternkb_graph::{FxHashMap, NodeId, TypeId};
-use patternkb_index::{PatternId, Posting, WordPathIndex};
+use patternkb_index::{PatternId, Posting};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -65,77 +81,12 @@ use std::time::Instant;
 /// arithmetic and the exact score arithmetic.
 const SLACK: f64 = 1.0 + 1e-9;
 
-/// Per-`(keyword, path-pattern)` aggregates backing the bound.
-#[derive(Clone, Copy, Debug)]
-pub struct PatternAggregates {
-    /// Total paths with this pattern (over all roots).
-    pub num_paths: u32,
-    /// Largest number of paths under a single root.
-    pub max_per_root: u32,
-    /// Extremes of the per-path scoring terms.
-    pub min_len: f64,
-    /// Maximum path length.
-    pub max_len: f64,
-    /// Minimum cached PageRank.
-    pub min_pr: f64,
-    /// Maximum cached PageRank.
-    pub max_pr: f64,
-    /// Minimum cached similarity.
-    pub min_sim: f64,
-    /// Maximum cached similarity.
-    pub max_sim: f64,
-}
-
-impl PatternAggregates {
-    /// Scan one pattern's postings (sorted by root) once.
-    pub(crate) fn scan(widx: &WordPathIndex, p: PatternId) -> Self {
-        let paths = widx.paths_of_pattern(p);
-        debug_assert!(!paths.is_empty());
-        let mut agg = PatternAggregates {
-            num_paths: paths.len() as u32,
-            max_per_root: 0,
-            min_len: f64::INFINITY,
-            max_len: 0.0,
-            min_pr: f64::INFINITY,
-            max_pr: 0.0,
-            min_sim: f64::INFINITY,
-            max_sim: 0.0,
-        };
-        let mut run = 0u32;
-        let mut prev_root = u32::MAX;
-        for post in paths {
-            let len = post.score_len() as f64;
-            agg.min_len = agg.min_len.min(len);
-            agg.max_len = agg.max_len.max(len);
-            agg.min_pr = agg.min_pr.min(post.pagerank);
-            agg.max_pr = agg.max_pr.max(post.pagerank);
-            agg.min_sim = agg.min_sim.min(post.sim);
-            agg.max_sim = agg.max_sim.max(post.sim);
-            if post.root.0 == prev_root {
-                run += 1;
-            } else {
-                prev_root = post.root.0;
-                run = 1;
-            }
-            agg.max_per_root = agg.max_per_root.max(run);
-        }
-        agg
-    }
-
-    /// Combine aggregates of the same `(keyword, pattern)` from two shards.
-    /// Roots are disjoint across shards, so `max_per_root` combines by
-    /// `max` and everything else by sum/min/max.
-    pub(crate) fn merge(&mut self, other: &PatternAggregates) {
-        self.num_paths += other.num_paths;
-        self.max_per_root = self.max_per_root.max(other.max_per_root);
-        self.min_len = self.min_len.min(other.min_len);
-        self.max_len = self.max_len.max(other.max_len);
-        self.min_pr = self.min_pr.min(other.min_pr);
-        self.max_pr = self.max_pr.max(other.max_pr);
-        self.min_sim = self.min_sim.min(other.min_sim);
-        self.max_sim = self.max_sim.max(other.max_sim);
-    }
-}
+/// Per-`(keyword, path-pattern)` aggregates backing the bound — the
+/// stats the index caches per pattern at construction
+/// ([`patternkb_index::PatternPostingStats`]); the per-query posting
+/// rescan this type used to do was the largest fixed cost of a pruned
+/// query.
+pub type PatternAggregates = patternkb_index::PatternPostingStats;
 
 /// `x^z` picking the interval endpoint that maximizes the factor.
 #[inline]
@@ -213,24 +164,37 @@ pub(crate) struct SharedThreshold {
 }
 
 struct ThresholdInner {
-    /// Pattern key → accumulated lower bound (sum of per-shard partials
-    /// for `Sum`/`Count`, max for `Max`). One entry per pattern keeps the
-    /// k-th best sound.
-    entries: FxHashMap<Box<[u32]>, f64>,
+    /// Global combination index → accumulated lower bound (sum of
+    /// per-shard partials for `Sum`/`Count`, max for `Max`). Every shard
+    /// enumerates the same global list, so the index identifies a pattern
+    /// across shards without any key hashing. One entry per pattern keeps
+    /// the k-th best sound. Unused in single-worker mode.
+    entries: FxHashMap<u32, f64>,
+    /// Single-worker fast path: with one shard each pattern offers
+    /// exactly once, so a size-k min-heap of score bits (non-negative
+    /// floats order like their bit patterns) replaces the map and the
+    /// periodic k-th-best selection.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Whether the heap fast path is active.
+    single: bool,
     agg: Aggregation,
     scratch: Vec<f64>,
     /// Offers since construction; used to amortize the k-th-best
-    /// recomputation on many-pattern queries.
+    /// recomputation on many-pattern queries (map mode only).
     updates: u64,
 }
 
 impl SharedThreshold {
-    fn new(k: usize, agg: Aggregation) -> Self {
+    /// `single` = one shard worker: every pattern offers exactly once,
+    /// enabling the heap fast path.
+    fn new(k: usize, agg: Aggregation, single: bool) -> Self {
         SharedThreshold {
             k: k.max(1),
             tau: AtomicU64::new(TAU_UNSET),
             inner: Mutex::new(ThresholdInner {
                 entries: FxHashMap::default(),
+                heap: std::collections::BinaryHeap::new(),
+                single,
                 agg,
                 scratch: Vec::new(),
                 updates: 0,
@@ -248,17 +212,35 @@ impl SharedThreshold {
         }
     }
 
-    /// Fold one shard's partial lower bound for `key` in and republish the
-    /// k-th best entry. Values only grow, so the published threshold is
-    /// monotone non-decreasing and always ≤ the true k-th best final
-    /// score. The O(#patterns) k-th-best selection is amortized once the
-    /// table outgrows its small regime — a stale (lower) threshold only
-    /// prunes less, never wrongly.
-    fn offer(&self, key: &[u32], partial: f64) {
+    /// Fold one shard's partial lower bound for the pattern at global
+    /// combination index `combo` in and republish the k-th best entry.
+    /// Values only grow, so the published threshold is monotone
+    /// non-decreasing and always ≤ the true k-th best final score. The
+    /// O(#patterns) k-th-best selection is amortized once the table
+    /// outgrows its small regime — a stale (lower) threshold only prunes
+    /// less, never wrongly.
+    fn offer(&self, combo: u32, partial: f64) {
         debug_assert!(partial >= 0.0);
         let mut inner = self.inner.lock();
+        if inner.single {
+            // One offer per pattern: stream it through a size-k min-heap.
+            let bits = partial.to_bits();
+            if inner.heap.len() < self.k {
+                inner.heap.push(std::cmp::Reverse(bits));
+            } else if bits > inner.heap.peek().expect("k >= 1").0 {
+                inner.heap.pop();
+                inner.heap.push(std::cmp::Reverse(bits));
+            } else {
+                return;
+            }
+            if inner.heap.len() == self.k {
+                let kth = inner.heap.peek().expect("k >= 1").0;
+                self.tau.fetch_max(kth, Ordering::Relaxed);
+            }
+            return;
+        }
         let agg = inner.agg;
-        let entry = inner.entries.entry(key.into()).or_insert(0.0);
+        let entry = inner.entries.entry(combo).or_insert(0.0);
         match agg {
             Aggregation::Sum | Aggregation::Count => *entry += partial,
             Aggregation::Max => *entry = entry.max(partial),
@@ -286,84 +268,146 @@ impl SharedThreshold {
     }
 }
 
+/// The global combination lists of one root type, with every per-combo
+/// lookup pre-resolved into arrays parallel to the pattern lists. On the
+/// single-index-shard layout everything borrows straight from the word
+/// indexes' cached [`patternkb_index::PatternTypeGroup`]s — per-query
+/// setup is then O(root types), not O(patterns).
+struct TypeLists<'a> {
+    /// Per keyword: the type's pattern ids, ascending.
+    lists: Vec<std::borrow::Cow<'a, [PatternId]>>,
+    /// Per keyword: aggregates aligned with `lists` (global, cross-shard).
+    aggs: Vec<std::borrow::Cow<'a, [PatternAggregates]>>,
+    /// Single-index-shard fast path: per keyword, aligned with `lists`,
+    /// the pattern's pattern-first position — cached on the word index,
+    /// so the (only) worker never binary-searches patterns. `None` under
+    /// multi-shard layouts (positions are shard-specific there; each
+    /// worker resolves its own).
+    prims: Option<Vec<&'a [u32]>>,
+}
+
 /// One shard's pruned pass over the **global** combination list.
 struct ShardOutcome {
     dict: TreeDict,
-    /// Keys of combinations this shard pruned (they are provably outside
-    /// the global top-k, so the merge drops them everywhere). Only
-    /// recorded when several shards participate — with one shard a pruned
-    /// combination was never computed, so there is nothing to drop and no
-    /// reason to spend `O(pruned)` memory on the §4.1 adversarial case.
-    pruned_keys: Vec<Box<[u32]>>,
+    /// Flat arena of the keys this shard pruned, `m` ids per entry (they
+    /// are provably outside the global top-k, so the merge drops them
+    /// everywhere). Only recorded when several shards participate — with
+    /// one shard a pruned combination was never computed, so there is
+    /// nothing to drop and no reason to spend `O(pruned)` memory on the
+    /// §4.1 adversarial case.
+    pruned_keys: Vec<u32>,
     subtrees: usize,
     combos_pruned: usize,
     candidate_roots: usize,
 }
 
-#[allow(clippy::too_many_arguments)]
 fn pruned_shard(
     shard: &ShardContext<'_>,
     cfg: &SearchConfig,
-    types: &[TypeId],
-    global_lists: &FxHashMap<TypeId, Vec<Vec<PatternId>>>,
-    aggs: &[FxHashMap<PatternId, PatternAggregates>],
+    type_lists: &[TypeLists],
     threshold: &SharedThreshold,
     record_pruned: bool,
 ) -> ShardOutcome {
     let m = shard.m();
-    let mut dict = TreeDict::default();
-    let mut pruned_keys: Vec<Box<[u32]>> = Vec::new();
+    let mut dict = TreeDict::new(m);
+    let mut pruned_keys: Vec<u32> = Vec::new();
     let mut subtrees = 0usize;
     let mut combos_pruned = 0usize;
     let mut candidate_roots_seen: Vec<u32> = Vec::new();
 
     let mut combo = vec![0usize; m];
-    let mut chosen: Vec<PatternId> = vec![PatternId(0); m];
     let mut key: Vec<u32> = vec![0; m];
+    let mut prim_buf: Vec<usize> = vec![0; m];
     let mut chosen_aggs: Vec<&PatternAggregates> = Vec::with_capacity(m);
-    let mut root_lists: Vec<&[u32]> = Vec::with_capacity(m);
+    let mut cursors: Vec<patternkb_index::RunCursor<'_>> = Vec::with_capacity(m);
     let mut slices: Vec<&[Posting]> = Vec::with_capacity(m);
     let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
     let mut node_scratch: Vec<&[NodeId]> = Vec::with_capacity(m);
+    // Position of this combination in the global enumeration — the dense
+    // pattern id shared with every other shard and the threshold table.
+    let mut combo_idx: u32 = 0;
 
-    for c in types {
-        let lists = &global_lists[c];
+    for tl in type_lists {
+        let lists = &tl.lists;
         combo.iter_mut().for_each(|x| *x = 0);
+        // Pattern-first positions aligned with the type's global pattern
+        // lists (one binary search per (keyword, pattern) instead of one
+        // per combination/root) — or, on the single-shard layout, reused
+        // straight from the driver. `None`: the pattern has no postings
+        // in this shard, so every combination using it is locally empty.
+        let local_prims: Vec<Vec<Option<usize>>> = match &tl.prims {
+            Some(_) => Vec::new(),
+            None => lists
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    l.iter()
+                        .map(|&p| shard.words[i].pattern_primary(p))
+                        .collect()
+                })
+                .collect(),
+        };
 
         loop {
-            chosen_aggs.clear();
-            for i in 0..m {
-                chosen[i] = lists[i][combo[i]];
-                key[i] = chosen[i].0;
-                chosen_aggs.push(&aggs[i][&chosen[i]]);
-            }
-
-            // The pruning test: O(m), no index access, global bound vs the
-            // shared threshold.
+            // The pruning test: O(m), no index access, no hashing —
+            // global bound vs the shared threshold.
             let pruned = match threshold.kth() {
-                Some(kth) => combination_bound(&chosen_aggs, cfg) * SLACK < kth,
+                Some(kth) => {
+                    chosen_aggs.clear();
+                    for i in 0..m {
+                        chosen_aggs.push(&tl.aggs[i][combo[i]]);
+                    }
+                    combination_bound(&chosen_aggs, cfg) * SLACK < kth
+                }
                 None => false,
             };
+            let mut joinable = !pruned;
+            if joinable {
+                match &tl.prims {
+                    Some(prims) => {
+                        for i in 0..m {
+                            prim_buf[i] = prims[i][combo[i]] as usize;
+                        }
+                    }
+                    None => {
+                        for i in 0..m {
+                            match local_prims[i][combo[i]] {
+                                Some(prim) => prim_buf[i] = prim,
+                                None => {
+                                    joinable = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
             if pruned {
                 combos_pruned += 1;
                 if record_pruned {
-                    pruned_keys.push(key.as_slice().into());
+                    for i in 0..m {
+                        pruned_keys.push(lists[i][combo[i]].0);
+                    }
                 }
-            } else {
-                root_lists.clear();
+            } else if joinable {
+                cursors.clear();
                 for i in 0..m {
-                    root_lists.push(shard.words[i].roots_of_pattern(chosen[i]));
+                    cursors.push(shard.words[i].pattern_run_cursor(prim_buf[i]));
                 }
-                let roots = intersect_sorted(&root_lists);
-                if !roots.is_empty() {
-                    let group = dict.entry(key.as_slice().into()).or_default();
-                    for &r in &roots {
+                for i in 0..m {
+                    key[i] = lists[i][combo[i]].0;
+                }
+                // Intersection + join fused: leapfrog the run cursors by
+                // root; each common root hands over its posting slices.
+                let roots_before = candidate_roots_seen.len();
+                let mut group_id = None;
+                let seeks =
+                    patternkb_index::intersect_runs(&mut cursors, &mut slices, |r, tuple| {
                         let root = NodeId(r);
-                        slices.clear();
-                        for i in 0..m {
-                            slices.push(shard.words[i].paths_of_pattern_root(chosen[i], root));
-                        }
-                        subtrees += for_each_path_tuple(&slices, &mut scratch, |tuple| {
+                        let gid = *group_id.get_or_insert_with(|| dict.intern(&key));
+                        let group = dict.group_by_id_mut(gid);
+                        candidate_roots_seen.push(r);
+                        subtrees += for_each_path_tuple(tuple, &mut scratch, |tuple| {
                             if cfg.strict_trees {
                                 node_scratch.clear();
                                 for (i, p) in tuple.iter().enumerate() {
@@ -384,19 +428,22 @@ fn pruned_shard(
                                 ));
                             }
                         });
-                    }
-                    if group.acc.count == 0 && group.trees.is_empty() {
-                        dict.remove(key.as_slice());
-                    } else {
-                        candidate_roots_seen.extend_from_slice(&roots);
-                        if let Some(lower) =
-                            partial_lower_bound(&dict[key.as_slice()].acc, cfg.scoring.aggregation)
-                        {
-                            threshold.offer(&key, lower);
-                        }
+                    });
+                shard.counters.add_seeks(seeks);
+                if let Some(gid) = group_id {
+                    let group = dict.group(gid);
+                    if group.is_dead() {
+                        // Strict mode rejected every tuple: drop the roots
+                        // we optimistically recorded.
+                        candidate_roots_seen.truncate(roots_before);
+                    } else if let Some(lower) =
+                        partial_lower_bound(&group.acc, cfg.scoring.aggregation)
+                    {
+                        threshold.offer(combo_idx, lower);
                     }
                 }
             }
+            combo_idx += 1;
 
             // Odometer over pattern combos.
             let mut pos = m;
@@ -443,70 +490,131 @@ pub fn pattern_enum_pruned(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> Search
     // the global per-type combination lists they induce. Every shard
     // enumerates the same lists, so bounds and prune decisions are
     // mutually consistent.
-    let mut aggs: Vec<FxHashMap<PatternId, PatternAggregates>> = Vec::with_capacity(m);
-    for i in 0..m {
-        let mut map: FxHashMap<PatternId, PatternAggregates> = FxHashMap::default();
-        for s in 0..ctx.num_index_shards() {
-            let Some(w) = ctx.shard_word(s, i) else {
-                continue;
-            };
-            for p in w.patterns() {
-                let local = PatternAggregates::scan(w, p);
-                map.entry(p)
-                    .and_modify(|agg| agg.merge(&local))
-                    .or_insert(local);
+    // Per keyword, per root type: pattern lists with aggregates (and, in
+    // the single-index-shard layout, pattern positions + root ranges)
+    // resolved into arrays parallel to the lists. The single-shard path
+    // is hash-free: patterns are tagged with their root type, sorted, and
+    // grouped contiguously, with the cached per-pattern stats read
+    // straight off the word index.
+    let mut combos_tried = 0usize;
+    let type_lists: Vec<TypeLists<'_>> = if ctx.num_index_shards() == 1 {
+        // Everything borrows from the word indexes' cached type groups:
+        // walk keyword 0's groups (ascending by type) and binary-search
+        // the other keywords' group lists — O(types · m · log types) per
+        // query, with no per-pattern work at all.
+        use std::borrow::Cow;
+        let groups_per_kw: Vec<&[patternkb_index::PatternTypeGroup]> = (0..m)
+            .map(|i| {
+                ctx.shard_word(0, i)
+                    .expect("single index shard holds every query keyword")
+                    .pattern_type_groups(ctx.idx.patterns())
+            })
+            .collect();
+        let mut out = Vec::new();
+        'types: for g0 in groups_per_kw[0] {
+            let c = g0.root_type;
+            let mut lists: Vec<Cow<'_, [PatternId]>> = Vec::with_capacity(m);
+            let mut aggs: Vec<Cow<'_, [PatternAggregates]>> = Vec::with_capacity(m);
+            let mut prims: Vec<&[u32]> = Vec::with_capacity(m);
+            lists.push(Cow::Borrowed(&g0.patterns[..]));
+            aggs.push(Cow::Borrowed(&g0.stats[..]));
+            prims.push(&g0.prims[..]);
+            let mut prod = g0.patterns.len();
+            for groups in &groups_per_kw[1..] {
+                match groups.binary_search_by_key(&c, |g| g.root_type) {
+                    Ok(at) => {
+                        let g = &groups[at];
+                        prod = prod.saturating_mul(g.patterns.len());
+                        lists.push(Cow::Borrowed(&g.patterns[..]));
+                        aggs.push(Cow::Borrowed(&g.stats[..]));
+                        prims.push(&g.prims[..]);
+                    }
+                    Err(_) => continue 'types,
+                }
             }
+            combos_tried = combos_tried.saturating_add(prod);
+            out.push(TypeLists {
+                lists,
+                aggs,
+                prims: Some(prims),
+            });
         }
-        aggs.push(map);
-    }
-    let by_type: Vec<FxHashMap<TypeId, Vec<PatternId>>> = aggs
-        .iter()
-        .map(|map| {
-            let mut grouped: FxHashMap<TypeId, Vec<PatternId>> = FxHashMap::default();
+        out
+    } else {
+        type Grouped = FxHashMap<TypeId, (Vec<PatternId>, Vec<PatternAggregates>)>;
+        let mut grouped: Vec<Grouped> = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut map: FxHashMap<PatternId, PatternAggregates> = FxHashMap::default();
+            for s in 0..ctx.num_index_shards() {
+                let Some(w) = ctx.shard_word(s, i) else {
+                    continue;
+                };
+                for (j, p) in w.patterns().enumerate() {
+                    let local: PatternAggregates = w.pattern_stats()[j];
+                    map.entry(p)
+                        .and_modify(|agg| agg.merge(&local))
+                        .or_insert(local);
+                }
+            }
             let mut ids: Vec<PatternId> = map.keys().copied().collect();
             ids.sort_unstable_by_key(|p| p.0);
+            let mut by_type = Grouped::default();
             for p in ids {
-                grouped
+                let entry = by_type
                     .entry(ctx.idx.patterns().root_type(p))
-                    .or_default()
-                    .push(p);
+                    .or_insert_with(|| (Vec::new(), Vec::new()));
+                entry.0.push(p);
+                entry.1.push(map[&p]);
             }
-            grouped
-        })
-        .collect();
-    let types = crate::pattern_enum::common_types(&by_type);
-    let mut global_lists: FxHashMap<TypeId, Vec<Vec<PatternId>>> = FxHashMap::default();
-    let mut combos_tried = 0usize;
-    for &c in &types {
-        let lists: Vec<Vec<PatternId>> = by_type.iter().map(|map| map[&c].clone()).collect();
-        let mut prod = 1usize;
-        for l in &lists {
-            prod = prod.saturating_mul(l.len());
+            grouped.push(by_type);
         }
-        combos_tried = combos_tried.saturating_add(prod);
-        global_lists.insert(c, lists);
-    }
+        let types = crate::pattern_enum::common_types(&grouped);
+        types
+            .iter()
+            .map(|&c| {
+                let mut lists: Vec<std::borrow::Cow<'_, [PatternId]>> = Vec::with_capacity(m);
+                let mut resolved: Vec<std::borrow::Cow<'_, [PatternAggregates]>> =
+                    Vec::with_capacity(m);
+                for map in grouped.iter_mut() {
+                    let (l, a) = map.remove(&c).expect("common type present everywhere");
+                    lists.push(std::borrow::Cow::Owned(l));
+                    resolved.push(std::borrow::Cow::Owned(a));
+                }
+                let mut prod = 1usize;
+                for l in &lists {
+                    prod = prod.saturating_mul(l.len());
+                }
+                combos_tried = combos_tried.saturating_add(prod);
+                TypeLists {
+                    lists,
+                    aggs: resolved,
+                    prims: None,
+                }
+            })
+            .collect()
+    };
 
-    let threshold = SharedThreshold::new(cfg.k, cfg.scoring.aggregation);
+    let threshold = SharedThreshold::new(cfg.k, cfg.scoring.aggregation, ctx.shards.len() <= 1);
     let record_pruned = ctx.shards.len() > 1;
+    // Materialization is deferred: the enumeration pass only accumulates
+    // exact scores (`max_rows: 0`), and rows are re-joined afterwards for
+    // the k patterns that actually survive — most discovered patterns
+    // never surface, so building their rows (one allocation per path per
+    // subtree) was the single largest avoidable cost of this algorithm.
+    let lean_cfg = SearchConfig {
+        max_rows: 0,
+        ..cfg.clone()
+    };
     let locals = run_sharded(&ctx.shards, |shard| {
         (
-            pruned_shard(
-                shard,
-                cfg,
-                &types,
-                &global_lists,
-                &aggs,
-                &threshold,
-                record_pruned,
-            ),
+            pruned_shard(shard, &lean_cfg, &type_lists, &threshold, record_pruned),
             shard.shard,
         )
     });
 
     let mut per_shard = Vec::with_capacity(locals.len());
     let mut dicts = Vec::with_capacity(locals.len());
-    let mut all_pruned: Vec<Box<[u32]>> = Vec::new();
+    let mut all_pruned: Vec<u32> = Vec::new();
     let mut subtrees = 0usize;
     let mut combos_pruned = 0usize;
     let mut candidate_roots = 0usize;
@@ -526,24 +634,66 @@ pub fn pattern_enum_pruned(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> Search
         all_pruned.extend(outcome.pruned_keys);
         dicts.push(outcome.dict);
     }
-    let mut dict = merge_shard_dicts(dicts, cfg.max_rows);
+    let mut dict = merge_shard_dicts(dicts, m, cfg.max_rows);
     // A combination pruned in any shard is provably outside the top-k;
     // its partial groups from other shards must not surface with a
     // partial (understated) score.
-    for key in all_pruned {
-        dict.remove(&key);
+    for key in all_pruned.chunks_exact(m) {
+        dict.kill(key);
     }
 
     let patterns_found = dict.len();
-    let patterns: Vec<RankedPattern> = dict
+    let keys_interned = dict.keys_interned() as u64;
+    let key_arena_bytes = dict.arena_bytes() as u64;
+    // Two-stage selection so losers never get decoded: (1) rank all live
+    // patterns by exact score alone and keep everything at or above the
+    // k-th best (boundary ties included); (2) decode only those, apply
+    // the full `(score desc, encoded key asc)` order, truncate to k, and
+    // materialize rows for the survivors.
+    let mut entries: Vec<(f64, crate::intern::PatternKeyId)> = dict
+        .iter()
+        .map(|(id, _, group)| (group.acc.finish(cfg.scoring.aggregation), id))
+        .collect();
+    if entries.len() > cfg.k {
+        entries.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let kth = entries[cfg.k - 1].0;
+        entries.retain(|&(score, _)| score >= kth);
+    }
+    // (pattern, id-key, cached sort key): `RankedPattern::key()` allocates
+    // per call, so cache it once per candidate instead of per comparison.
+    let mut ranked: Vec<(RankedPattern, Vec<u32>, Vec<u32>)> = entries
         .into_iter()
-        .map(|(key, group)| RankedPattern {
-            pattern: ctx.decode_key(&key),
-            score: group.acc.finish(cfg.scoring.aggregation),
-            num_trees: group.acc.count as usize,
-            trees: group.trees,
+        .map(|(score, id)| {
+            let key = dict.key(id);
+            let group = dict.group(id);
+            let p = RankedPattern {
+                pattern: ctx.decode_key(key),
+                score,
+                num_trees: group.acc.count as usize,
+                trees: Vec::new(),
+            };
+            let sort_key = p.key();
+            (p, key.to_vec(), sort_key)
         })
         .collect();
+    ranked.sort_by(|a, b| {
+        b.0.score
+            .partial_cmp(&a.0.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.2.cmp(&b.2))
+    });
+    ranked.truncate(cfg.k);
+    let patterns: Vec<RankedPattern> = ranked
+        .into_iter()
+        .map(|(mut p, key, _)| {
+            p.trees = materialize_pattern_rows(ctx, cfg, &key);
+            p
+        })
+        .collect();
+
+    let mut hot = ctx.hot_stats();
+    hot.keys_interned = keys_interned;
+    hot.key_arena_bytes = key_arena_bytes;
     SearchResult {
         patterns,
         stats: QueryStats {
@@ -553,10 +703,64 @@ pub fn pattern_enum_pruned(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> Search
             combos_tried,
             combos_pruned,
             per_shard,
+            hot,
             elapsed: t0.elapsed(),
         },
     }
     .finalize(cfg.k)
+}
+
+/// Re-join one winning pattern's rows: walk the shards in ascending
+/// root-range order, leapfrog its per-keyword posting runs, and
+/// materialize the first `cfg.max_rows` accepted subtrees — exactly the
+/// rows an inline materialization would have kept.
+fn materialize_pattern_rows(
+    ctx: &QueryContext<'_>,
+    cfg: &SearchConfig,
+    key: &[u32],
+) -> Vec<crate::subtree::ValidSubtree> {
+    let m = ctx.m();
+    let mut trees = Vec::new();
+    let mut cursors: Vec<patternkb_index::RunCursor<'_>> = Vec::with_capacity(m);
+    let mut slices: Vec<&[Posting]> = Vec::with_capacity(m);
+    let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
+    let mut node_scratch: Vec<&[NodeId]> = Vec::with_capacity(m);
+    'shards: for shard in &ctx.shards {
+        if trees.len() >= cfg.max_rows {
+            break;
+        }
+        cursors.clear();
+        for i in 0..m {
+            match shard.words[i].pattern_primary(PatternId(key[i])) {
+                Some(prim) => cursors.push(shard.words[i].pattern_run_cursor(prim)),
+                None => continue 'shards,
+            }
+        }
+        let seeks = patternkb_index::intersect_runs(&mut cursors, &mut slices, |r, tuple| {
+            if trees.len() >= cfg.max_rows {
+                return;
+            }
+            let root = NodeId(r);
+            for_each_path_tuple(tuple, &mut scratch, |tuple| {
+                if trees.len() >= cfg.max_rows {
+                    return;
+                }
+                if cfg.strict_trees {
+                    node_scratch.clear();
+                    for (i, p) in tuple.iter().enumerate() {
+                        node_scratch.push(shard.words[i].nodes_of(p));
+                    }
+                    if !node_slices_form_tree(root, &node_scratch) {
+                        return;
+                    }
+                }
+                let score = cfg.scoring.tree_score_of(tuple);
+                trees.push(materialize_tree(&shard.words, root, tuple, score));
+            });
+        });
+        shard.counters.add_seeks(seeks);
+    }
+    trees
 }
 
 #[cfg(test)]
@@ -707,7 +911,8 @@ mod tests {
         let ctx = QueryContext::new(&g, &idx, &q).unwrap();
         let w = ctx.shards[0].words[0];
         for p in w.patterns() {
-            let agg = PatternAggregates::scan(w, p);
+            let prim = w.pattern_primary(p).expect("pattern present");
+            let agg: PatternAggregates = w.pattern_stats()[prim];
             let paths = w.paths_of_pattern(p);
             assert_eq!(agg.num_paths as usize, paths.len());
             let min_len = paths.iter().map(|x| x.score_len()).min().unwrap() as f64;
@@ -723,15 +928,50 @@ mod tests {
         // The same pattern offered from several "shards" counts once: the
         // threshold is the k-th best per-pattern total, not the k-th best
         // raw offer.
-        let t = SharedThreshold::new(2, Aggregation::Sum);
+        let t = SharedThreshold::new(2, Aggregation::Sum, false);
         assert_eq!(t.kth(), None);
-        t.offer(&[1], 10.0);
+        t.offer(1, 10.0);
         assert_eq!(t.kth(), None, "one pattern < k");
-        t.offer(&[1], 9.0); // same pattern, second shard
+        t.offer(1, 9.0); // same pattern (same global combo index), second shard
         assert_eq!(t.kth(), None, "still one distinct pattern");
-        t.offer(&[2], 5.0);
+        t.offer(2, 5.0);
         assert_eq!(t.kth(), Some(5.0), "2nd best of {{19, 5}}");
-        t.offer(&[3], 7.0);
+        t.offer(3, 7.0);
         assert_eq!(t.kth(), Some(7.0), "2nd best of {{19, 5, 7}}");
+    }
+
+    #[test]
+    fn hot_path_counters_are_populated() {
+        let (g, t, idx) = setup();
+        let q = Query::parse(&t, "database software company revenue").unwrap();
+        let ctx = QueryContext::new(&g, &idx, &q).unwrap();
+        let r = pattern_enum_pruned(&ctx, &SearchConfig::top(3));
+        assert!(
+            r.stats.hot.intersect_seeks > 0,
+            "gallop intersections must report their seeks: {:?}",
+            r.stats.hot
+        );
+        assert!(
+            r.stats.hot.keys_interned as usize >= r.stats.patterns,
+            "every discovered pattern was interned: {:?}",
+            r.stats.hot
+        );
+        assert!(r.stats.hot.key_arena_bytes > 0);
+        // The raw in-memory index never decodes posting blocks.
+        assert_eq!(r.stats.hot.blocks_decoded, 0);
+    }
+
+    #[test]
+    fn single_worker_heap_threshold_tracks_kth_best() {
+        let t = SharedThreshold::new(2, Aggregation::Sum, true);
+        assert_eq!(t.kth(), None);
+        t.offer(0, 10.0);
+        assert_eq!(t.kth(), None, "one offer < k");
+        t.offer(1, 5.0);
+        assert_eq!(t.kth(), Some(5.0));
+        t.offer(2, 7.0);
+        assert_eq!(t.kth(), Some(7.0), "2nd best of {{10, 5, 7}}");
+        t.offer(3, 1.0);
+        assert_eq!(t.kth(), Some(7.0), "low offers do not lower tau");
     }
 }

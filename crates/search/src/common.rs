@@ -1,6 +1,7 @@
 //! Shared machinery of the index-based algorithms: the sharded query
-//! context, sorted-list intersection, the `EXPANDROOT` subroutine of
-//! Algorithm 3, path-tuple products, and the shard-parallel driver.
+//! context, gallop intersection over sorted root lists, the `EXPANDROOT`
+//! subroutine of Algorithm 3, path-tuple products, and the shard-parallel
+//! driver.
 //!
 //! ## The shard layer
 //!
@@ -14,13 +15,52 @@
 //! roots are disjoint across shards and [`crate::score::ScoreAcc`] sums
 //! exactly, the merged answers are bit-identical to single-shard
 //! execution.
+//!
+//! ## The flattened data plane
+//!
+//! Two hot-loop costs of the original engine are gone:
+//!
+//! * **Intersections gallop.** `R = ∩ᵢ Roots(wᵢ)` and every per-
+//!   combination emptiness test run leapfrog intersection over seekable
+//!   cursors ([`patternkb_index::cursor`]) instead of binary-searching
+//!   each element of the shortest list; `stats.hot.intersect_seeks`
+//!   counts the work.
+//! * **Pattern keys intern.** [`TreeDict`] keys on a dense
+//!   [`PatternKeyId`] from a bump-arena [`KeyInterner`] instead of
+//!   hashing a freshly boxed `[u32]` per candidate; groups live in a flat
+//!   `Vec` and shard merge is an id remap + vector walk.
 
+use crate::intern::{KeyInterner, PatternKeyId};
 use crate::score::ScoreAcc;
 use crate::subtree::{node_slices_form_tree, TreePath, ValidSubtree};
 use crate::{Query, SearchConfig};
-use patternkb_graph::{FxHashMap, KnowledgeGraph, NodeId};
+use patternkb_graph::{KnowledgeGraph, NodeId};
+use patternkb_index::cursor as pcursor;
 use patternkb_index::{PathIndexes, PathPattern, PatternId, Posting, WordPathIndex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// Relaxed shared counters behind `stats.hot` — written from shard
+/// workers (hence atomic; contention is negligible at one add per
+/// intersection).
+#[derive(Debug, Default)]
+pub struct HotCounters {
+    /// Cursor seeks performed by gallop intersections.
+    pub intersect_seeks: AtomicU64,
+    /// Posting blocks decoded (compressed-tier cursors only; 0 when the
+    /// query is served from the raw index).
+    pub blocks_decoded: AtomicU64,
+}
+
+impl HotCounters {
+    /// Add `seeks` intersection seeks.
+    #[inline]
+    pub fn add_seeks(&self, seeks: u64) {
+        if seeks > 0 {
+            self.intersect_seeks.fetch_add(seeks, Ordering::Relaxed);
+        }
+    }
+}
 
 /// One shard's view of the query: the graph, the indexes, and one
 /// [`WordPathIndex`] per keyword, all restricted to the shard's root
@@ -34,6 +74,8 @@ pub struct ShardContext<'a> {
     pub shard: usize,
     /// Per-keyword word indexes within the shard, in query order.
     pub words: Vec<&'a WordPathIndex>,
+    /// This shard's hot-path counters.
+    pub counters: HotCounters,
     /// Memoized local `R = ∩ᵢ Roots(wᵢ)` (roots in this shard's range).
     roots: OnceLock<Vec<NodeId>>,
 }
@@ -49,8 +91,19 @@ impl<'a> ShardContext<'a> {
     pub fn candidate_roots(&self) -> &[NodeId] {
         self.roots.get_or_init(|| {
             let lists: Vec<&[u32]> = self.words.iter().map(|w| w.roots()).collect();
-            intersect_sorted(&lists).into_iter().map(NodeId).collect()
+            let mut out: Vec<u32> = Vec::new();
+            let mut seeks = 0u64;
+            pcursor::intersect_sorted_into(&lists, &mut out, Some(&mut seeks));
+            self.counters.add_seeks(seeks);
+            out.into_iter().map(NodeId).collect()
         })
+    }
+
+    /// Intersect sorted lists, ticking this shard's seek counter.
+    pub fn intersect_into(&self, lists: &[&[u32]], out: &mut Vec<u32>) {
+        let mut seeks = 0u64;
+        pcursor::intersect_sorted_into(lists, out, Some(&mut seeks));
+        self.counters.add_seeks(seeks);
     }
 }
 
@@ -63,6 +116,8 @@ pub struct QueryContext<'a> {
     /// One view per shard where **all** keywords have postings, in shard
     /// (= ascending root range) order. Algorithms fan out over these.
     pub shards: Vec<ShardContext<'a>>,
+    /// Context-level hot-path counters (relaxation intersections etc.).
+    pub counters: HotCounters,
     /// Number of keywords.
     m: usize,
     /// Per index shard, per keyword: the word's index in that shard, if
@@ -102,6 +157,7 @@ impl<'a> QueryContext<'a> {
                 idx,
                 shard: s,
                 words: words.iter().map(|w| w.expect("filtered")).collect(),
+                counters: HotCounters::default(),
                 roots: OnceLock::new(),
             })
             .collect();
@@ -109,6 +165,7 @@ impl<'a> QueryContext<'a> {
             g,
             idx,
             shards,
+            counters: HotCounters::default(),
             m,
             sparse,
             roots: OnceLock::new(),
@@ -122,16 +179,14 @@ impl<'a> QueryContext<'a> {
 
     /// `R = ∩ᵢ Roots(wᵢ)` — line 1 of Algorithm 3 — over the whole index:
     /// the per-shard intersections concatenated in shard order (ascending).
-    /// Computed once per context; repeat callers get a copy.
-    pub fn candidate_roots(&self) -> Vec<NodeId> {
-        self.roots
-            .get_or_init(|| {
-                self.shards
-                    .iter()
-                    .flat_map(|s| s.candidate_roots().iter().copied())
-                    .collect()
-            })
-            .clone()
+    /// Computed once per context; repeat callers get the memoized slice.
+    pub fn candidate_roots(&self) -> &[NodeId] {
+        self.roots.get_or_init(|| {
+            self.shards
+                .iter()
+                .flat_map(|s| s.candidate_roots().iter().copied())
+                .collect()
+        })
     }
 
     /// The word index of keyword `i` within index shard `s` (which may lack
@@ -146,23 +201,27 @@ impl<'a> QueryContext<'a> {
     }
 
     /// `|∩_{i ∈ mask} Roots(wᵢ)|` over all shards — the relaxation
-    /// primitive. Bits of `mask` select keywords.
+    /// primitive. Bits of `mask` select keywords. Counts through gallop
+    /// cursors without materializing the intersection.
     pub fn mask_roots(&self, mask: u32) -> usize {
         let selected: Vec<usize> = (0..self.m).filter(|i| mask & (1 << i) != 0).collect();
         if selected.is_empty() {
             return 0;
         }
+        let mut seeks = 0u64;
         let mut total = 0usize;
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(selected.len());
         'shards: for s in 0..self.sparse.len() {
-            let mut lists: Vec<&[u32]> = Vec::with_capacity(selected.len());
+            lists.clear();
             for &i in &selected {
                 match self.sparse[s][i] {
                     Some(w) => lists.push(w.roots()),
                     None => continue 'shards,
                 }
             }
-            total += intersect_sorted(&lists).len();
+            total += pcursor::intersect_count(&lists, Some(&mut seeks));
         }
+        self.counters.add_seeks(seeks);
         total
     }
 
@@ -195,6 +254,22 @@ impl<'a> QueryContext<'a> {
         key.iter()
             .map(|&p| self.idx.patterns().decode(PatternId(p)))
             .collect()
+    }
+
+    /// Snapshot of the hot-path counters across the context and all its
+    /// shards (the intersection/decode half of [`crate::result::QueryStats::hot`];
+    /// callers add the interner half from their merged dictionary).
+    pub fn hot_stats(&self) -> crate::result::HotPathStats {
+        let mut hot = crate::result::HotPathStats {
+            intersect_seeks: self.counters.intersect_seeks.load(Ordering::Relaxed),
+            blocks_decoded: self.counters.blocks_decoded.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        for s in &self.shards {
+            hot.intersect_seeks += s.counters.intersect_seeks.load(Ordering::Relaxed);
+            hot.blocks_decoded += s.counters.blocks_decoded.load(Ordering::Relaxed);
+        }
+        hot
     }
 }
 
@@ -244,29 +319,12 @@ where
     run_parallel(shards, kernel)
 }
 
-/// Intersect k sorted ascending `u32` slices. Starts from the shortest list
-/// and galloping-checks membership in the others, so the cost is near
-/// `O(min_len · k · log)`.
+/// Intersect k sorted ascending `u32` slices by leapfrog galloping
+/// ([`patternkb_index::cursor`]). Kept as the crate-level convenience;
+/// hot paths use [`ShardContext::intersect_into`] so the seek counter
+/// feeds `stats.hot`.
 pub fn intersect_sorted(lists: &[&[u32]]) -> Vec<u32> {
-    if lists.is_empty() {
-        return Vec::new();
-    }
-    let shortest = lists
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, l)| l.len())
-        .map(|(i, _)| i)
-        .expect("non-empty lists");
-    let mut out = Vec::with_capacity(lists[shortest].len());
-    'outer: for &x in lists[shortest] {
-        for (i, l) in lists.iter().enumerate() {
-            if i != shortest && l.binary_search(&x).is_err() {
-                continue 'outer;
-            }
-        }
-        out.push(x);
-    }
-    out
+    pcursor::intersect_sorted(lists)
 }
 
 /// A pattern's accumulated answer during enumeration.
@@ -289,32 +347,141 @@ impl PatternGroup {
         let room = max_rows.saturating_sub(self.trees.len());
         self.trees.extend(other.trees.into_iter().take(room));
     }
+
+    /// Whether the group holds no evidence (all candidate tuples rejected,
+    /// e.g. by strict-tree filtering). Dead groups are skipped by
+    /// [`TreeDict`] iteration and merging — the arena keeps their key, but
+    /// they never surface as answers.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.acc.count == 0 && self.trees.is_empty()
+    }
 }
 
 /// The `TreeDict` of Algorithm 3: tree-pattern key (one pattern id per
-/// keyword, flattened) → group.
-pub type TreeDict = FxHashMap<Box<[u32]>, PatternGroup>;
+/// keyword, flattened) → group — keyed by interned [`PatternKeyId`]s, with
+/// groups in a flat vector. Replaces the former
+/// `FxHashMap<Box<[u32]>, PatternGroup>`: one arena copy per **distinct**
+/// pattern instead of one heap allocation per candidate access.
+#[derive(Clone, Debug)]
+pub struct TreeDict {
+    interner: KeyInterner,
+    groups: Vec<PatternGroup>,
+}
 
-/// Merge per-shard tree dictionaries (in shard order) into one. The result
-/// is identical to what a single-shard pass over the concatenated root
-/// sequence would have produced: exact-sum accumulators merge exactly and
-/// tree rows concatenate in root order.
-pub fn merge_shard_dicts(dicts: Vec<TreeDict>, max_rows: usize) -> TreeDict {
-    let mut iter = dicts.into_iter();
-    let Some(mut merged) = iter.next() else {
-        return TreeDict::default();
-    };
-    for dict in iter {
-        for (key, group) in dict {
-            match merged.entry(key) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().merge(group, max_rows);
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(group);
-                }
+impl TreeDict {
+    /// An empty dictionary for keys of `m` pattern ids.
+    pub fn new(m: usize) -> Self {
+        TreeDict {
+            interner: KeyInterner::new(m),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Intern `key` and return its dense id (allocating an empty group for
+    /// fresh keys).
+    #[inline]
+    pub fn intern(&mut self, key: &[u32]) -> PatternKeyId {
+        let (id, fresh) = self.interner.intern_full(key);
+        if fresh {
+            self.groups.push(PatternGroup::default());
+        }
+        id
+    }
+
+    /// The group of `key`, interning it first.
+    #[inline]
+    pub fn group_mut(&mut self, key: &[u32]) -> &mut PatternGroup {
+        let id = self.intern(key);
+        &mut self.groups[id.0 as usize]
+    }
+
+    /// The group of an interned id.
+    #[inline]
+    pub fn group(&self, id: PatternKeyId) -> &PatternGroup {
+        &self.groups[id.0 as usize]
+    }
+
+    /// Mutable group of an interned id.
+    #[inline]
+    pub fn group_by_id_mut(&mut self, id: PatternKeyId) -> &mut PatternGroup {
+        &mut self.groups[id.0 as usize]
+    }
+
+    /// The key of an interned id.
+    #[inline]
+    pub fn key(&self, id: PatternKeyId) -> &[u32] {
+        self.interner.key(id)
+    }
+
+    /// Drop `key`'s accumulated evidence (used by the pruned merge: a
+    /// combination pruned in any shard is provably outside the top-k).
+    pub fn kill(&mut self, key: &[u32]) {
+        if let Some(id) = self.interner.get(key) {
+            self.groups[id.0 as usize] = PatternGroup::default();
+        }
+    }
+
+    /// Fold `group` into `key`'s entry.
+    pub fn fold(&mut self, key: &[u32], group: PatternGroup, max_rows: usize) {
+        self.group_mut(key).merge(group, max_rows);
+    }
+
+    /// Number of **live** (non-dead) groups.
+    pub fn len(&self) -> usize {
+        self.groups.iter().filter(|g| !g.is_dead()).count()
+    }
+
+    /// Whether no live group exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distinct keys interned (live or dead) — the alloc observability
+    /// counter.
+    pub fn keys_interned(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Bytes held by the key arena.
+    pub fn arena_bytes(&self) -> usize {
+        self.interner.arena_bytes()
+    }
+
+    /// Iterate `(id, key, group)` over live groups in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (PatternKeyId, &[u32], &PatternGroup)> {
+        self.interner
+            .iter()
+            .zip(&self.groups)
+            .filter(|(_, g)| !g.is_dead())
+            .map(|((id, key), g)| (id, key, g))
+    }
+
+    /// Consume into `(key, group)` pairs for live groups, in interning
+    /// order.
+    pub fn drain_live(self, mut f: impl FnMut(&[u32], PatternGroup)) {
+        let TreeDict { interner, groups } = self;
+        for ((_, key), group) in interner.iter().zip(groups) {
+            if !group.is_dead() {
+                f(key, group);
             }
         }
+    }
+}
+
+/// Merge per-shard tree dictionaries (in shard order) into one: re-intern
+/// each shard's **distinct** keys into the first dictionary (id remap),
+/// then merge groups by index — no per-posting rehash. The result is
+/// identical to what a single-shard pass over the concatenated root
+/// sequence would have produced: exact-sum accumulators merge exactly and
+/// tree rows concatenate in root order.
+pub fn merge_shard_dicts(dicts: Vec<TreeDict>, m: usize, max_rows: usize) -> TreeDict {
+    let mut iter = dicts.into_iter();
+    let Some(mut merged) = iter.next() else {
+        return TreeDict::new(m);
+    };
+    for dict in iter {
+        dict.drain_live(|key, group| merged.fold(key, group, max_rows));
     }
     merged
 }
@@ -333,7 +500,17 @@ pub fn for_each_path_tuple<'p>(
         return 0;
     }
     let m = slices.len();
-    let mut idx = vec![0usize; m];
+    // Odometer digits on the stack — this runs once per (combination,
+    // root) and must not allocate. Queries beyond 16 keywords fall back
+    // to the heap (the paper's workloads stop at 10).
+    let mut small = [0usize; 16];
+    let mut big: Vec<usize>;
+    let idx: &mut [usize] = if m <= 16 {
+        &mut small[..m]
+    } else {
+        big = vec![0usize; m];
+        &mut big
+    };
     scratch.clear();
     for s in slices {
         scratch.push(&s[0]);
@@ -416,7 +593,7 @@ pub fn expand_root(
             key[i] = pat.0;
             slices.push(paths);
         }
-        let group = dict.entry(key.as_slice().into()).or_default();
+        let group = dict.group_mut(&key);
         // Path product (line 9).
         total += for_each_path_tuple(&slices, &mut scratch, |tuple| {
             if cfg.strict_trees {
@@ -436,10 +613,8 @@ pub fn expand_root(
                     .push(materialize_tree(&ctx.words, r, tuple, score));
             }
         });
-        if group.acc.count == 0 && group.trees.is_empty() {
-            // Strict mode may have rejected every tuple; drop empty groups.
-            dict.remove(key.as_slice());
-        }
+        // Strict mode may have rejected every tuple; the group then stays
+        // dead and is skipped by iteration/merge.
 
         // Odometer over pattern combos.
         let mut pos = m;
@@ -532,25 +707,38 @@ mod tests {
     }
 
     #[test]
-    fn merge_shard_dicts_combines_groups() {
-        let key: Box<[u32]> = vec![1u32, 2].into();
-        let mut d1 = TreeDict::default();
-        let mut g1 = PatternGroup::default();
-        g1.acc.push(1.5);
-        d1.insert(key.clone(), g1);
-        let mut d2 = TreeDict::default();
-        let mut g2 = PatternGroup::default();
-        g2.acc.push(2.5);
-        d2.insert(key.clone(), g2);
-        let other: Box<[u32]> = vec![9u32].into();
-        let mut g3 = PatternGroup::default();
-        g3.acc.push(0.5);
-        d2.insert(other.clone(), g3);
+    fn tree_dict_interns_and_iterates_live_only() {
+        let mut d = TreeDict::new(2);
+        d.group_mut(&[1, 2]).acc.push(1.5);
+        d.intern(&[3, 4]); // stays dead — never iterated
+        d.group_mut(&[1, 2]).acc.push(0.5);
+        assert_eq!(d.keys_interned(), 2);
+        assert_eq!(d.len(), 1);
+        let live: Vec<Vec<u32>> = d.iter().map(|(_, k, _)| k.to_vec()).collect();
+        assert_eq!(live, vec![vec![1, 2]]);
+        let id = d.intern(&[1, 2]);
+        assert_eq!(d.group(id).acc.count, 2);
+        d.kill(&[1, 2]);
+        assert_eq!(d.len(), 0);
+    }
 
-        let merged = merge_shard_dicts(vec![d1, d2], 64);
+    #[test]
+    fn merge_shard_dicts_combines_groups() {
+        let key = [1u32, 2];
+        let mut d1 = TreeDict::new(2);
+        d1.group_mut(&key).acc.push(1.5);
+        let mut d2 = TreeDict::new(2);
+        d2.group_mut(&key).acc.push(2.5);
+        let other = [9u32, 9];
+        d2.group_mut(&other).acc.push(0.5);
+
+        let merged = merge_shard_dicts(vec![d1, d2], 2, 64);
         assert_eq!(merged.len(), 2);
-        assert_eq!(merged[&key].acc.count, 2);
-        assert_eq!(merged[&key].acc.sum(), 4.0);
-        assert_eq!(merged[&other].acc.count, 1);
+        let id = merged.interner.get(&key).expect("merged key");
+        assert_eq!(merged.group(id).acc.count, 2);
+        assert_eq!(merged.group(id).acc.sum(), 4.0);
+        let oid = merged.interner.get(&other).expect("other key");
+        assert_eq!(merged.group(oid).acc.count, 1);
+        assert!(merge_shard_dicts(vec![], 2, 4).is_empty());
     }
 }

@@ -9,16 +9,17 @@
 //!   group queries by #patterns / #subtrees).
 
 use crate::common::{run_sharded, QueryContext};
-use patternkb_graph::FxHashSet;
+use crate::intern::KeyInterner;
 
 /// Exact number of d-height tree patterns for the query (distinct
 /// per-keyword pattern-id tuples over all candidate roots). Shard-parallel
 /// with a cross-shard union of the per-shard key sets (pattern ids are
-/// global, so keys from different shards compare directly).
+/// global, so keys from different shards compare directly). Keys intern
+/// into bump arenas — no per-combination boxing.
 pub fn count_patterns(ctx: &QueryContext<'_>) -> u64 {
     let m = ctx.m();
-    let locals: Vec<FxHashSet<Box<[u32]>>> = run_sharded(&ctx.shards, |shard| {
-        let mut seen: FxHashSet<Box<[u32]>> = FxHashSet::default();
+    let mut locals: Vec<KeyInterner> = run_sharded(&ctx.shards, |shard| {
+        let mut seen = KeyInterner::new(m);
         let mut key: Vec<u32> = vec![0; m];
         for &r in shard.candidate_roots() {
             let runs: Vec<&[u32]> = shard.words.iter().map(|w| w.patterns_of_root(r)).collect();
@@ -28,9 +29,7 @@ pub fn count_patterns(ctx: &QueryContext<'_>) -> u64 {
                 for i in 0..m {
                     key[i] = runs[i][combo[i]];
                 }
-                if !seen.contains(key.as_slice()) {
-                    seen.insert(key.as_slice().into());
-                }
+                seen.intern(&key);
                 let mut pos = m;
                 let mut done = false;
                 loop {
@@ -52,9 +51,15 @@ pub fn count_patterns(ctx: &QueryContext<'_>) -> u64 {
         }
         seen
     });
-    let mut union: FxHashSet<Box<[u32]>> = FxHashSet::default();
+    if locals.is_empty() {
+        return 0;
+    }
+    // Union: re-intern each later shard's distinct keys into the first.
+    let mut union = locals.remove(0);
     for local in locals {
-        union.extend(local);
+        for (_, key) in local.iter() {
+            union.intern(key);
+        }
     }
     union.len() as u64
 }

@@ -92,6 +92,7 @@ pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod individual;
+pub mod intern;
 pub mod linear_enum;
 pub mod metrics;
 pub mod pattern_enum;
@@ -116,7 +117,7 @@ pub use error::Error;
 pub use plan::{PlannerConfig, QueryEstimate};
 pub use query::{ParseError, Query};
 pub use request::{AlgorithmChoice, CacheOutcome, SearchRequest, SearchResponse};
-pub use result::{QueryStats, RankedPattern, SearchResult, ShardStats};
+pub use result::{HotPathStats, QueryStats, RankedPattern, SearchResult, ShardStats};
 pub use score::{Aggregation, ScoringConfig};
 pub use subtree::{TreePath, ValidSubtree};
 pub use table::TableAnswer;

@@ -23,7 +23,7 @@ use std::time::Instant;
 pub fn linear_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
     let t0 = Instant::now();
     let locals = run_sharded(&ctx.shards, |shard| {
-        let mut dict = TreeDict::default();
+        let mut dict = TreeDict::new(shard.m());
         let mut subtrees = 0usize;
         for &r in shard.candidate_roots() {
             subtrees += expand_root(shard, cfg, r, &mut dict);
@@ -46,18 +46,21 @@ pub fn linear_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
         candidate_roots += local_roots;
         dicts.push(dict);
     }
-    let dict = merge_shard_dicts(dicts, cfg.max_rows);
+    let dict = merge_shard_dicts(dicts, ctx.m(), cfg.max_rows);
 
     let patterns_found = dict.len();
-    let patterns: Vec<RankedPattern> = dict
-        .into_iter()
-        .map(|(key, group)| RankedPattern {
-            pattern: ctx.decode_key(&key),
+    let mut hot = ctx.hot_stats();
+    hot.keys_interned = dict.keys_interned() as u64;
+    hot.key_arena_bytes = dict.arena_bytes() as u64;
+    let mut patterns: Vec<RankedPattern> = Vec::with_capacity(patterns_found);
+    dict.drain_live(|key, group| {
+        patterns.push(RankedPattern {
+            pattern: ctx.decode_key(key),
             score: group.acc.finish(cfg.scoring.aggregation),
             num_trees: group.acc.count as usize,
             trees: group.trees,
-        })
-        .collect();
+        });
+    });
     SearchResult {
         patterns,
         stats: QueryStats {
@@ -67,6 +70,7 @@ pub fn linear_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult {
             combos_tried: patterns_found,
             combos_pruned: 0,
             per_shard,
+            hot,
             elapsed: t0.elapsed(),
         },
     }

@@ -21,35 +21,18 @@
 //! the figure is comparable across shard counts.
 
 use crate::common::{
-    for_each_path_tuple, intersect_sorted, materialize_tree, merge_shard_dicts, run_sharded,
-    QueryContext, ShardContext, TreeDict,
+    for_each_path_tuple, materialize_tree, merge_shard_dicts, run_sharded, QueryContext,
+    ShardContext, TreeDict,
 };
 use crate::result::{QueryStats, RankedPattern, SearchResult, ShardStats};
 use crate::subtree::node_slices_form_tree;
 use crate::SearchConfig;
 use patternkb_graph::{FxHashMap, NodeId, TypeId};
-use patternkb_index::{PatternId, Posting, WordPathIndex};
+use patternkb_index::{PatternId, Posting};
 use std::time::Instant;
 
-/// Per-keyword patterns grouped by root type (`PatternsC(wᵢ)`, line 3).
-pub(crate) fn patterns_by_type(
-    idx: &patternkb_index::PathIndexes,
-    words: &[&WordPathIndex],
-) -> Vec<FxHashMap<TypeId, Vec<PatternId>>> {
-    words
-        .iter()
-        .map(|w| {
-            let mut map: FxHashMap<TypeId, Vec<PatternId>> = FxHashMap::default();
-            for p in w.patterns() {
-                map.entry(idx.patterns().root_type(p)).or_default().push(p);
-            }
-            map
-        })
-        .collect()
-}
-
 /// Root types present in *every* per-keyword map, in id order.
-pub(crate) fn common_types(by_type: &[FxHashMap<TypeId, Vec<PatternId>>]) -> Vec<TypeId> {
+pub(crate) fn common_types<V>(by_type: &[FxHashMap<TypeId, V>]) -> Vec<TypeId> {
     let mut types: Vec<TypeId> = by_type[0].keys().copied().collect();
     types.sort_unstable();
     types.retain(|c| by_type.iter().all(|map| map.contains_key(c)));
@@ -83,69 +66,98 @@ fn global_combo_count(ctx: &QueryContext<'_>) -> usize {
 
 /// One shard's `PATTERNENUM` pass: every nonempty local combination folded
 /// into a [`TreeDict`] keyed by the (global) pattern-id tuple.
+///
+/// The per-combination inner loop is **fused**: instead of materializing
+/// the root intersection and then re-searching each root's posting run,
+/// per-keyword [`patternkb_index::RunCursor`]s leapfrog by root and land
+/// on each common root's posting slices directly
+/// ([`patternkb_index::intersect_runs`]).
 fn pattern_enum_shard(shard: &ShardContext<'_>, cfg: &SearchConfig) -> (TreeDict, usize, Vec<u32>) {
     let m = shard.m();
-    let by_type = patterns_by_type(shard.idx, &shard.words);
-    let types = common_types(&by_type);
+    // Per keyword: patterns grouped by root type (`PatternsC(wᵢ)`,
+    // line 3) — cached on the word index, so per-query setup is
+    // O(root types), not O(patterns).
+    let groups_per_kw: Vec<&[patternkb_index::PatternTypeGroup]> = shard
+        .words
+        .iter()
+        .map(|w| w.pattern_type_groups(shard.idx.patterns()))
+        .collect();
 
-    let mut dict = TreeDict::default();
+    let mut dict = TreeDict::new(m);
     let mut subtrees = 0usize;
     let mut candidate_roots_seen: Vec<u32> = Vec::new();
 
     let mut combo = vec![0usize; m];
-    let mut chosen: Vec<PatternId> = vec![PatternId(0); m];
     let mut key: Vec<u32> = vec![0; m];
-    let mut root_lists: Vec<&[u32]> = Vec::with_capacity(m);
+    let mut lists: Vec<&[PatternId]> = Vec::with_capacity(m);
+    let mut prims: Vec<&[u32]> = Vec::with_capacity(m);
+    let mut cursors: Vec<patternkb_index::RunCursor<'_>> = Vec::with_capacity(m);
     let mut slices: Vec<&[Posting]> = Vec::with_capacity(m);
     let mut scratch: Vec<&Posting> = Vec::with_capacity(m);
     let mut node_scratch: Vec<&[NodeId]> = Vec::with_capacity(m);
 
-    for &c in &types {
-        let lists: Vec<&Vec<PatternId>> = by_type.iter().map(|map| &map[&c]).collect();
+    // Walk keyword 0's types (ascending); a type missing for any other
+    // keyword has no combinations.
+    'types: for g0 in groups_per_kw[0] {
+        let c = g0.root_type;
+        lists.clear();
+        prims.clear();
+        lists.push(&g0.patterns);
+        prims.push(&g0.prims);
+        for groups in &groups_per_kw[1..] {
+            match groups.binary_search_by_key(&c, |g| g.root_type) {
+                Ok(at) => {
+                    lists.push(&groups[at].patterns);
+                    prims.push(&groups[at].prims);
+                }
+                Err(_) => continue 'types,
+            }
+        }
         combo.iter_mut().for_each(|x| *x = 0);
 
         // Line 4: the pattern product for this root type.
         loop {
-            root_lists.clear();
             for i in 0..m {
-                chosen[i] = lists[i][combo[i]];
-                key[i] = chosen[i].0;
-                root_lists.push(shard.words[i].roots_of_pattern(chosen[i]));
+                key[i] = lists[i][combo[i]].0;
             }
-            // Line 5: candidate roots of this tree pattern (in-shard).
-            let roots = intersect_sorted(&root_lists);
-            if !roots.is_empty() {
-                // Lines 7–8: join paths at each shared root.
-                let group = dict.entry(key.as_slice().into()).or_default();
-                for &r in &roots {
-                    let root = NodeId(r);
-                    slices.clear();
-                    for i in 0..m {
-                        slices.push(shard.words[i].paths_of_pattern_root(chosen[i], root));
+            cursors.clear();
+            for i in 0..m {
+                cursors.push(shard.words[i].pattern_run_cursor(prims[i][combo[i]] as usize));
+            }
+            // Lines 5–8 fused: leapfrog the run cursors; every common
+            // root yields its posting slices for the path product.
+            let roots_before = candidate_roots_seen.len();
+            let mut group_id = None;
+            let seeks = patternkb_index::intersect_runs(&mut cursors, &mut slices, |r, tuple| {
+                let root = NodeId(r);
+                let gid = *group_id.get_or_insert_with(|| dict.intern(&key));
+                let group = dict.group_by_id_mut(gid);
+                candidate_roots_seen.push(r);
+                subtrees += for_each_path_tuple(tuple, &mut scratch, |tuple| {
+                    if cfg.strict_trees {
+                        node_scratch.clear();
+                        for (i, p) in tuple.iter().enumerate() {
+                            node_scratch.push(shard.words[i].nodes_of(p));
+                        }
+                        if !node_slices_form_tree(root, &node_scratch) {
+                            return;
+                        }
                     }
-                    subtrees += for_each_path_tuple(&slices, &mut scratch, |tuple| {
-                        if cfg.strict_trees {
-                            node_scratch.clear();
-                            for (i, p) in tuple.iter().enumerate() {
-                                node_scratch.push(shard.words[i].nodes_of(p));
-                            }
-                            if !node_slices_form_tree(root, &node_scratch) {
-                                return;
-                            }
-                        }
-                        let score = cfg.scoring.tree_score_of(tuple);
-                        group.acc.push(score);
-                        if group.trees.len() < cfg.max_rows {
-                            group
-                                .trees
-                                .push(materialize_tree(&shard.words, root, tuple, score));
-                        }
-                    });
-                }
-                if group.acc.count == 0 && group.trees.is_empty() {
-                    dict.remove(key.as_slice());
-                } else {
-                    candidate_roots_seen.extend_from_slice(&roots);
+                    let score = cfg.scoring.tree_score_of(tuple);
+                    group.acc.push(score);
+                    if group.trees.len() < cfg.max_rows {
+                        group
+                            .trees
+                            .push(materialize_tree(&shard.words, root, tuple, score));
+                    }
+                });
+            });
+            shard.counters.add_seeks(seeks);
+            if let Some(gid) = group_id {
+                if dict.group(gid).is_dead() {
+                    // Strict mode rejected every tuple: drop the roots we
+                    // optimistically recorded.
+                    candidate_roots_seen.truncate(roots_before);
                 }
             }
 
@@ -201,18 +213,21 @@ pub fn pattern_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult 
         candidate_roots += roots.len();
         dicts.push(dict);
     }
-    let dict = merge_shard_dicts(dicts, cfg.max_rows);
+    let dict = merge_shard_dicts(dicts, ctx.m(), cfg.max_rows);
 
     let patterns_found = dict.len();
-    let patterns: Vec<RankedPattern> = dict
-        .into_iter()
-        .map(|(key, group)| RankedPattern {
-            pattern: ctx.decode_key(&key),
+    let mut hot = ctx.hot_stats();
+    hot.keys_interned = dict.keys_interned() as u64;
+    hot.key_arena_bytes = dict.arena_bytes() as u64;
+    let mut patterns: Vec<RankedPattern> = Vec::with_capacity(patterns_found);
+    dict.drain_live(|key, group| {
+        patterns.push(RankedPattern {
+            pattern: ctx.decode_key(key),
             score: group.acc.finish(cfg.scoring.aggregation),
             num_trees: group.acc.count as usize,
             trees: group.trees,
-        })
-        .collect();
+        });
+    });
     SearchResult {
         patterns,
         stats: QueryStats {
@@ -222,6 +237,7 @@ pub fn pattern_enum(ctx: &QueryContext<'_>, cfg: &SearchConfig) -> SearchResult 
             combos_tried,
             combos_pruned: 0,
             per_shard,
+            hot,
             elapsed: t0.elapsed(),
         },
     }

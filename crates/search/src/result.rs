@@ -65,6 +65,37 @@ pub struct ShardStats {
     pub patterns: usize,
 }
 
+/// Data-plane counters of one execution: how much decode, intersection,
+/// and key-allocation work the hot path did. These make the flattened
+/// query plane observable — a perf regression shows up here before it
+/// shows up in `elapsed`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotPathStats {
+    /// Cursor seeks issued by gallop intersections (candidate roots,
+    /// per-combination emptiness tests, relaxation counts).
+    pub intersect_seeks: u64,
+    /// Posting blocks decoded through [`patternkb_index::blocks`] cursors
+    /// (0 when the query was served entirely from the raw in-memory
+    /// index).
+    pub blocks_decoded: u64,
+    /// Distinct tree-pattern keys interned across all dictionaries — the
+    /// number of key-arena allocations (the pre-interner engine paid one
+    /// boxed-slice allocation per candidate *access* instead).
+    pub keys_interned: u64,
+    /// Bytes held by the pattern-key arenas at the end of the search.
+    pub key_arena_bytes: u64,
+}
+
+impl HotPathStats {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &HotPathStats) {
+        self.intersect_seeks += other.intersect_seeks;
+        self.blocks_decoded += other.blocks_decoded;
+        self.keys_interned += other.keys_interned;
+        self.key_arena_bytes += other.key_arena_bytes;
+    }
+}
+
 /// Execution counters reported next to the answers (drives the §5 plots).
 #[derive(Clone, Debug, Default)]
 pub struct QueryStats {
@@ -87,6 +118,8 @@ pub struct QueryStats {
     /// partitions its candidate roots by the same bounds). Empty only for
     /// provably-empty queries, which never reach a shard worker.
     pub per_shard: Vec<ShardStats>,
+    /// Hot-path work counters (decode / intersect / alloc).
+    pub hot: HotPathStats,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }

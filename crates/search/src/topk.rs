@@ -158,7 +158,7 @@ pub fn linear_enum_topk(
             let mut subtrees = 0usize;
             for (&c, (roots, _)) in &part.by_type {
                 let rate = rates[&c];
-                let dict = dicts.entry(c).or_default();
+                let dict = dicts.entry(c).or_insert_with(|| TreeDict::new(shard.m()));
                 for &r in roots {
                     if rate >= 1.0 || root_sampled(samp.seed, r, rate) {
                         subtrees += expand_root(shard, cfg, r, dict);
@@ -186,6 +186,8 @@ pub fn linear_enum_topk(
     let candidate_roots: usize = per_shard.iter().map(|s| s.candidate_roots).sum();
     let mut subtrees_expanded: usize = per_shard.iter().map(|s| s.subtrees).sum();
     let mut patterns_seen = 0usize;
+    let mut keys_interned = 0u64;
+    let mut key_arena_bytes = 0u64;
     let mut global: Vec<RankedPattern> = Vec::new();
     let mut expansions = expansions;
 
@@ -195,19 +197,19 @@ pub fn linear_enum_topk(
         // Merge the shards' per-type dictionaries in shard order.
         let dicts: Vec<TreeDict> = expansions
             .iter_mut()
-            .map(|(d, _)| d.remove(&c).unwrap_or_default())
+            .map(|(d, _)| d.remove(&c).unwrap_or_else(|| TreeDict::new(ctx.m())))
             .collect();
-        let dict = merge_shard_dicts(dicts, cfg.max_rows);
+        let dict = merge_shard_dicts(dicts, ctx.m(), cfg.max_rows);
         patterns_seen += dict.len();
+        keys_interned += dict.keys_interned() as u64;
+        key_arena_bytes += dict.arena_bytes() as u64;
 
         // Lines 9–10: estimated scores; keep the partition's top-k.
-        let mut local: Vec<(Box<[u32]>, crate::common::PatternGroup, f64)> = dict
-            .into_iter()
-            .map(|(key, group)| {
-                let est = group.acc.finish_estimated(cfg.scoring.aggregation, rate);
-                (key, group, est)
-            })
-            .collect();
+        let mut local: Vec<(Vec<u32>, crate::common::PatternGroup, f64)> = Vec::new();
+        dict.drain_live(|key, group| {
+            let est = group.acc.finish_estimated(cfg.scoring.aggregation, rate);
+            local.push((key.to_vec(), group, est));
+        });
         local.sort_by(|a, b| {
             b.2.partial_cmp(&a.2)
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -256,6 +258,12 @@ pub fn linear_enum_topk(
         }
     }
 
+    let hot = {
+        let mut hot = ctx.hot_stats();
+        hot.keys_interned = keys_interned;
+        hot.key_arena_bytes = key_arena_bytes;
+        hot
+    };
     SearchResult {
         patterns: global,
         stats: QueryStats {
@@ -265,6 +273,7 @@ pub fn linear_enum_topk(
             combos_tried: patterns_seen,
             combos_pruned: 0,
             per_shard,
+            hot,
             elapsed: t0.elapsed(),
         },
     }
