@@ -248,8 +248,7 @@ impl SharedThreshold {
         }
         inner.updates += 1;
         let len = inner.entries.len();
-        let recompute =
-            len >= self.k && (len <= 64 || len == self.k || inner.updates.is_multiple_of(8));
+        let recompute = len >= self.k && (len <= 64 || len == self.k || inner.updates % 8 == 0);
         if recompute {
             let k = self.k;
             let ThresholdInner {

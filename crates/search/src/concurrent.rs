@@ -20,6 +20,15 @@
 //! contention is the pointer swap. Old snapshots are freed when their last
 //! reader drops them. [`SharedEngine::snapshot`] remains available for
 //! callers that need many queries against one consistent state.
+//!
+//! Two serving-lifecycle operations round this out:
+//!
+//! * [`SharedEngine::replace`] — **hot snapshot swap**: atomically swap in
+//!   a rebuilt/refreshed engine (bumping the *epoch*) while in-flight
+//!   queries finish on the old state;
+//! * [`SharedEngine::close`] — graceful shutdown: stop admitting new
+//!   responds (typed [`Error::Closed`]), then drain the in-flight ones.
+//!   Idempotent.
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::engine::SearchEngine;
@@ -39,6 +48,39 @@ pub struct SharedEngine {
     writer: Mutex<()>,
     /// Version-aware result cache consulted by [`Self::respond`].
     cache: QueryCache,
+    /// Admission gate: counts in-flight responds and flips closed on
+    /// [`Self::close`]. std primitives (not parking_lot) so the condvar
+    /// wait in `close` composes with the guard's `Drop` on panic unwinds.
+    gate: Gate,
+    /// Hot-swap epoch: +1 per [`Self::replace`] (whole-engine snapshot
+    /// swap), independent of the per-delta data version.
+    epoch: std::sync::atomic::AtomicU64,
+}
+
+/// Admission state: how many responds are in flight, and whether new ones
+/// are still admitted.
+struct Gate {
+    state: std::sync::Mutex<GateState>,
+    drained: std::sync::Condvar,
+}
+
+struct GateState {
+    closed: bool,
+    in_flight: usize,
+}
+
+/// RAII in-flight token: decrements the gate count (and wakes a pending
+/// [`SharedEngine::close`]) when the respond call ends, even by panic.
+struct InFlight<'a>(&'a Gate);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap();
+        st.in_flight -= 1;
+        if st.in_flight == 0 {
+            self.0.drained.notify_all();
+        }
+    }
 }
 
 impl SharedEngine {
@@ -57,7 +99,25 @@ impl SharedEngine {
             current: RwLock::new(Arc::new(engine)),
             writer: Mutex::new(()),
             cache: QueryCache::new(capacity),
+            gate: Gate {
+                state: std::sync::Mutex::new(GateState {
+                    closed: false,
+                    in_flight: 0,
+                }),
+                drained: std::sync::Condvar::new(),
+            },
+            epoch: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Register one in-flight respond, or refuse if the handle is closed.
+    fn enter(&self) -> Result<InFlight<'_>, Error> {
+        let mut st = self.gate.state.lock().unwrap();
+        if st.closed {
+            return Err(Error::Closed);
+        }
+        st.in_flight += 1;
+        Ok(InFlight(&self.gate))
     }
 
     /// Serve one request against the current state, through the built-in
@@ -69,7 +129,27 @@ impl SharedEngine {
     /// against the snapshot current at its start, and cached entries from
     /// older versions are rejected, never served.
     pub fn respond(&self, request: &SearchRequest) -> Result<SearchResponse, Error> {
+        let _token = self.enter()?;
         let snapshot = self.snapshot();
+        snapshot.respond_with_cache(request, Some(&self.cache))
+    }
+
+    /// [`Self::respond`] against a snapshot the caller already holds —
+    /// the micro-batching route: a serving worker takes one
+    /// [`Self::snapshot`] per admitted batch and answers every request of
+    /// the batch through it (and through the shared cache), paying the
+    /// swap-pointer read once instead of per request.
+    ///
+    /// The snapshot may be older than the current state (e.g. a
+    /// [`Self::replace`] landed mid-batch); answers stay internally
+    /// consistent with that snapshot, and cache entries are version-keyed
+    /// so the two epochs never mix.
+    pub fn respond_on(
+        &self,
+        snapshot: &SearchEngine,
+        request: &SearchRequest,
+    ) -> Result<SearchResponse, Error> {
+        let _token = self.enter()?;
         snapshot.respond_with_cache(request, Some(&self.cache))
     }
 
@@ -83,6 +163,50 @@ impl SharedEngine {
     /// The current data version (see [`SearchEngine::version`]).
     pub fn version(&self) -> u64 {
         self.current.read().version()
+    }
+
+    /// The hot-swap epoch: 0 at construction, +1 per [`Self::replace`].
+    /// Per-delta ingests ([`Self::apply_delta`]) bump [`Self::version`]
+    /// but not the epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Whether [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.gate.state.lock().unwrap().closed
+    }
+
+    /// Shut the handle down: stop admitting new [`Self::respond`] /
+    /// [`Self::respond_on`] calls (they return [`Error::Closed`] from now
+    /// on), then block until every in-flight respond has finished.
+    /// Idempotent — later calls return immediately once drained.
+    /// Snapshots already handed out stay valid; `close` only gates the
+    /// shared respond route.
+    pub fn close(&self) {
+        let mut st = self.gate.state.lock().unwrap();
+        st.closed = true;
+        while st.in_flight > 0 {
+            st = self.gate.drained.wait(st).unwrap();
+        }
+    }
+
+    /// Hot snapshot swap: atomically replace the whole engine with a
+    /// rebuilt/refreshed one while in-flight queries finish on the old
+    /// state. Returns the new epoch.
+    ///
+    /// The incoming engine's data version is rebased strictly above the
+    /// outgoing one, and the result cache is cleared, so entries computed
+    /// on the old state can never be served against the new one — even
+    /// when a concurrent respond races the swap and inserts afterwards
+    /// (its entry keeps the old version key, which no longer matches).
+    pub fn replace(&self, next: SearchEngine) -> u64 {
+        let _writing = self.writer.lock();
+        let mut next = next;
+        next.rebase_version(self.current.read().version());
+        *self.current.write() = Arc::new(next);
+        self.cache.clear();
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1
     }
 
     /// Cumulative hit/miss/eviction counters of the built-in cache.
@@ -278,6 +402,118 @@ mod tests {
         assert_eq!(s.version(), 5);
         let r = s.respond(&SearchRequest::text("vendor").k(100)).unwrap();
         assert_eq!(r.top().unwrap().num_trees, 5);
+    }
+
+    #[test]
+    fn close_stops_admitting_and_is_idempotent() {
+        let s = shared();
+        let req = SearchRequest::text("company revenue").k(10);
+        assert!(s.respond(&req).is_ok());
+        assert!(!s.is_closed());
+        s.close();
+        assert!(s.is_closed());
+        assert!(matches!(s.respond(&req), Err(Error::Closed)));
+        assert!(matches!(
+            s.respond_on(&s.snapshot(), &req),
+            Err(Error::Closed)
+        ));
+        // Second close returns immediately (idempotent, no deadlock).
+        s.close();
+        // Snapshots already handed out keep answering.
+        assert!(s.snapshot().respond(&req).is_ok());
+    }
+
+    #[test]
+    fn close_drains_in_flight_responders() {
+        let s = shared();
+        let served = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let req = SearchRequest::text("company revenue").k(10);
+                    loop {
+                        match s.respond(&req) {
+                            Ok(_) => {
+                                served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Err(Error::Closed) => break,
+                            Err(e) => panic!("unexpected error {e}"),
+                        }
+                    }
+                });
+            }
+            // Let the responders get going, then close under fire.
+            while served.load(std::sync::atomic::Ordering::Relaxed) < 8 {
+                std::thread::yield_now();
+            }
+            s.close();
+            // close() returned: nothing is in flight any more.
+            assert_eq!(s.gate.state.lock().unwrap().in_flight, 0);
+        });
+        assert!(served.load(std::sync::atomic::Ordering::Relaxed) >= 8);
+    }
+
+    #[test]
+    fn replace_bumps_epoch_and_invalidates_cache() {
+        let s = shared();
+        let req = SearchRequest::text("company revenue").k(10);
+        assert_eq!(s.respond(&req).unwrap().cache, CacheOutcome::Miss);
+        assert_eq!(s.respond(&req).unwrap().cache, CacheOutcome::Hit);
+        assert_eq!(s.epoch(), 0);
+
+        // Swap in a freshly rebuilt engine (same dataset, version 0 again).
+        let (g, _) = figure1();
+        let rebuilt = EngineBuilder::new().graph(g).threads(1).build().unwrap();
+        assert_eq!(rebuilt.version(), 0);
+        assert_eq!(s.replace(rebuilt), 1);
+        assert_eq!(s.epoch(), 1);
+        // The version was rebased past the old state's, so the pre-swap
+        // cache entry can never be served on the new epoch.
+        assert!(s.version() > 0);
+        let post = s.respond(&req).unwrap();
+        assert_eq!(post.cache, CacheOutcome::Miss);
+        assert!(!post.patterns.is_empty());
+    }
+
+    #[test]
+    fn replace_during_concurrent_responds_is_consistent() {
+        let s = shared();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let req = SearchRequest::text("company revenue").k(10);
+                    let mut seen = Vec::new();
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let r = s.respond(&req).unwrap();
+                        seen.push(r.patterns.len());
+                    }
+                    // Both epochs hold the same dataset: every answer is
+                    // from exactly one consistent state, never a blend.
+                    assert!(seen.iter().all(|&n| n == seen[0]));
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..3 {
+                    let (g, _) = figure1();
+                    let next = EngineBuilder::new().graph(g).threads(1).build().unwrap();
+                    s.replace(next);
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        assert_eq!(s.epoch(), 3);
+    }
+
+    #[test]
+    fn respond_on_shares_the_cache() {
+        let s = shared();
+        let req = SearchRequest::text("company revenue").k(10);
+        let snap = s.snapshot();
+        assert_eq!(s.respond_on(&snap, &req).unwrap().cache, CacheOutcome::Miss);
+        // The entry is visible to both routes.
+        assert_eq!(s.respond_on(&snap, &req).unwrap().cache, CacheOutcome::Hit);
+        assert_eq!(s.respond(&req).unwrap().cache, CacheOutcome::Hit);
     }
 
     #[test]

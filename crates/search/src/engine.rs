@@ -83,6 +83,16 @@ impl SearchEngine {
         self.version
     }
 
+    /// Rebase this engine's data version to be strictly newer than
+    /// `floor`. Used by [`crate::SharedEngine::replace`] so a freshly
+    /// rebuilt engine (version 0 again) can never collide with cache
+    /// entries computed on the state it replaces.
+    pub(crate) fn rebase_version(&mut self, floor: u64) {
+        if self.version <= floor {
+            self.version = floor + 1;
+        }
+    }
+
     /// Mutate the knowledge graph and incrementally refresh the indexes.
     ///
     /// The graph is replaced by `delta.apply(..)`, the text index is

@@ -35,6 +35,9 @@ pub enum Error {
     Io(std::io::Error),
     /// The engine builder was not given a graph source.
     MissingGraph,
+    /// The serving handle was closed ([`crate::SharedEngine::close`]);
+    /// no new queries are admitted.
+    Closed,
 }
 
 impl std::fmt::Display for Error {
@@ -53,6 +56,7 @@ impl std::fmt::Display for Error {
             Error::Delta(e) => write!(f, "graph mutation rejected: {e}"),
             Error::Io(e) => write!(f, "index persistence failed: {e}"),
             Error::MissingGraph => write!(f, "engine builder needs a graph (EngineBuilder::graph)"),
+            Error::Closed => write!(f, "engine is shutting down; no new queries admitted"),
         }
     }
 }
@@ -117,6 +121,7 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert_eq!(Error::EmptyQuery.to_string(), "empty query");
+        assert!(Error::Closed.to_string().contains("shutting down"));
         assert!(Error::MissingGraph.to_string().contains("graph"));
         assert!(Error::InvalidRequest("k must be >= 1".into())
             .to_string()

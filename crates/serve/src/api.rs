@@ -1,0 +1,444 @@
+//! The wire schema: JSON bodies mapping 1:1 onto [`SearchRequest`] /
+//! [`SearchResponse`].
+//!
+//! Requests are parsed *strictly*: unknown fields, wrong types, and
+//! out-of-range knobs are 400s naming the offending field — a typo'd knob
+//! must fail loudly, not silently run with defaults. The response schema
+//! mirrors [`SearchResponse`] minus the engine-internal types (patterns
+//! render through their table answers and display strings).
+//!
+//! See the README "Serving" section for the full field reference.
+
+use crate::json::{count, num, s, Json};
+use patternkb_search::topk::SamplingConfig;
+use patternkb_search::{
+    AlgorithmChoice, CacheOutcome, Error, SearchEngine, SearchRequest, SearchResponse,
+};
+use std::time::Duration;
+
+/// A parse/validation failure on the request body. Always a 400.
+#[derive(Debug)]
+pub struct ApiError {
+    /// Machine-readable error class.
+    pub kind: &'static str,
+    /// Human-readable description naming the offending field.
+    pub message: String,
+}
+
+impl ApiError {
+    fn new(kind: &'static str, message: impl Into<String>) -> Self {
+        ApiError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// A decoded `/search` body: the engine request plus the request-level
+/// deadline override (`timeout_ms`), which the server clamps to its own
+/// configured deadline.
+#[derive(Debug)]
+pub struct ParsedSearch {
+    /// The engine request.
+    pub request: SearchRequest,
+    /// Per-request deadline override.
+    pub timeout: Option<Duration>,
+}
+
+const FIELDS: [&str; 11] = [
+    "q",
+    "k",
+    "algorithm",
+    "max_rows",
+    "compose_tables",
+    "diversify",
+    "relax",
+    "explain",
+    "strict_trees",
+    "sampling",
+    "timeout_ms",
+];
+
+/// Parse a `/search` body.
+pub fn parse_search(body: &[u8]) -> Result<ParsedSearch, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new("bad_body", "request body is not UTF-8"))?;
+    let json =
+        Json::parse(text).map_err(|e| ApiError::new("bad_json", format!("malformed JSON: {e}")))?;
+    let Json::Obj(fields) = &json else {
+        return Err(ApiError::new(
+            "bad_body",
+            "request body must be a JSON object",
+        ));
+    };
+    for (key, _) in fields {
+        if !FIELDS.contains(&key.as_str()) {
+            return Err(ApiError::new(
+                "unknown_field",
+                format!("unknown field {key:?}; accepted: {}", FIELDS.join(", ")),
+            ));
+        }
+    }
+
+    let q = json
+        .get("q")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::new("missing_field", "field \"q\" (string) is required"))?;
+    let mut request = SearchRequest::text(q);
+
+    if let Some(v) = json.get("k") {
+        let k = v
+            .as_u64()
+            .filter(|&k| k >= 1)
+            .ok_or_else(|| ApiError::new("bad_field", "\"k\" must be a positive integer"))?;
+        request = request.k(k as usize);
+    }
+    if let Some(v) = json.get("algorithm") {
+        let name = v
+            .as_str()
+            .ok_or_else(|| ApiError::new("bad_field", "\"algorithm\" must be a string"))?;
+        let choice = match name {
+            "auto" => AlgorithmChoice::Auto,
+            "baseline" => AlgorithmChoice::Baseline,
+            "pattern_enum" => AlgorithmChoice::PatternEnum,
+            "pattern_enum_pruned" => AlgorithmChoice::PatternEnumPruned,
+            "linear_enum" => AlgorithmChoice::LinearEnum,
+            "linear_enum_topk" => AlgorithmChoice::LinearEnumTopK,
+            other => {
+                return Err(ApiError::new(
+                    "bad_field",
+                    format!(
+                        "unknown algorithm {other:?}; one of auto, baseline, pattern_enum, \
+                         pattern_enum_pruned, linear_enum, linear_enum_topk"
+                    ),
+                ))
+            }
+        };
+        request = request.algorithm(choice);
+    }
+    if let Some(v) = json.get("max_rows") {
+        let rows = v
+            .as_u64()
+            .ok_or_else(|| ApiError::new("bad_field", "\"max_rows\" must be an integer"))?;
+        request = request.max_rows(rows as usize);
+    }
+    if let Some(v) = json.get("compose_tables") {
+        let on = v
+            .as_bool()
+            .ok_or_else(|| ApiError::new("bad_field", "\"compose_tables\" must be a bool"))?;
+        request = request.compose_tables(on);
+    }
+    if let Some(v) = json.get("diversify") {
+        if !v.is_null() {
+            let lambda = v
+                .as_f64()
+                .filter(|l| (0.0..=1.0).contains(l))
+                .ok_or_else(|| {
+                    ApiError::new(
+                        "bad_field",
+                        "\"diversify\" must be a number in [0, 1] or null",
+                    )
+                })?;
+            request = request.diversify(lambda);
+        }
+    }
+    if let Some(v) = json.get("relax") {
+        let on = v
+            .as_bool()
+            .ok_or_else(|| ApiError::new("bad_field", "\"relax\" must be a bool"))?;
+        request = request.relax(on);
+    }
+    if let Some(v) = json.get("explain") {
+        let on = v
+            .as_bool()
+            .ok_or_else(|| ApiError::new("bad_field", "\"explain\" must be a bool"))?;
+        request = request.explain(on);
+    }
+    if let Some(v) = json.get("strict_trees") {
+        let on = v
+            .as_bool()
+            .ok_or_else(|| ApiError::new("bad_field", "\"strict_trees\" must be a bool"))?;
+        request = request.strict_trees(on);
+    }
+    if let Some(v) = json.get("sampling") {
+        if let Json::Obj(sub) = v {
+            for (key, _) in sub {
+                if !matches!(key.as_str(), "lambda" | "rho" | "seed") {
+                    return Err(ApiError::new(
+                        "unknown_field",
+                        format!("unknown field \"sampling.{key}\"; accepted: lambda, rho, seed"),
+                    ));
+                }
+            }
+        } else {
+            return Err(ApiError::new("bad_field", "\"sampling\" must be an object"));
+        }
+        let lambda = v
+            .get("lambda")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ApiError::new("bad_field", "\"sampling.lambda\" must be an integer"))?;
+        let rho = v
+            .get("rho")
+            .and_then(Json::as_f64)
+            .filter(|r| *r > 0.0 && *r <= 1.0)
+            .ok_or_else(|| {
+                ApiError::new("bad_field", "\"sampling.rho\" must be a number in (0, 1]")
+            })?;
+        let seed = v.get("seed").and_then(Json::as_u64).unwrap_or(42);
+        request = request.sampling(SamplingConfig::new(lambda, rho, seed));
+    }
+    let timeout = match json.get("timeout_ms") {
+        None => None,
+        Some(v) => Some(Duration::from_millis(
+            v.as_u64().filter(|&t| t >= 1).ok_or_else(|| {
+                ApiError::new("bad_field", "\"timeout_ms\" must be a positive integer")
+            })?,
+        )),
+    };
+
+    Ok(ParsedSearch { request, timeout })
+}
+
+/// Render a successful search as the response body. `engine` is the
+/// snapshot that answered (for vocabulary/graph rendering and its data
+/// version).
+pub fn render_response(engine: &SearchEngine, resp: &SearchResponse) -> Json {
+    let vocab = engine.text().vocab();
+    let query: Vec<Json> = resp
+        .query
+        .keywords
+        .iter()
+        .map(|&w| s(vocab.resolve(w)))
+        .collect();
+
+    let mut patterns = Vec::with_capacity(resp.patterns.len());
+    for (i, p) in resp.patterns.iter().enumerate() {
+        let mut entry = vec![
+            ("score".to_string(), num(p.score)),
+            ("num_trees".to_string(), count(p.num_trees as u64)),
+            ("display".to_string(), s(p.display(engine.graph()))),
+        ];
+        if let Some(table) = resp.tables.get(i) {
+            entry.push((
+                "columns".to_string(),
+                Json::Arr(table.columns.iter().map(|x| s(x.as_str())).collect()),
+            ));
+            entry.push((
+                "rows".to_string(),
+                Json::Arr(
+                    table
+                        .rows
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(|x| s(x.as_str())).collect()))
+                        .collect(),
+                ),
+            ));
+        }
+        patterns.push(Json::Obj(entry));
+    }
+
+    let stats = Json::Obj(vec![
+        (
+            "candidate_roots".to_string(),
+            count(resp.stats.candidate_roots as u64),
+        ),
+        ("subtrees".to_string(), count(resp.stats.subtrees as u64)),
+        ("patterns".to_string(), count(resp.stats.patterns as u64)),
+        (
+            "combos_tried".to_string(),
+            count(resp.stats.combos_tried as u64),
+        ),
+        (
+            "combos_pruned".to_string(),
+            count(resp.stats.combos_pruned as u64),
+        ),
+        (
+            "shards".to_string(),
+            count(resp.stats.per_shard.len() as u64),
+        ),
+    ]);
+
+    let mut fields = vec![
+        ("query".to_string(), Json::Arr(query)),
+        ("algorithm".to_string(), s(algorithm_name(resp))),
+        ("planned".to_string(), Json::Bool(resp.planned)),
+        (
+            "cache".to_string(),
+            s(match resp.cache {
+                CacheOutcome::Hit => "hit",
+                CacheOutcome::Miss => "miss",
+                CacheOutcome::Uncached => "uncached",
+            }),
+        ),
+        ("engine_version".to_string(), count(engine.version())),
+        (
+            "elapsed_us".to_string(),
+            count(resp.elapsed.as_micros() as u64),
+        ),
+        ("stats".to_string(), stats),
+        ("patterns".to_string(), Json::Arr(patterns)),
+    ];
+    if !resp.relaxations.is_empty() {
+        fields.push((
+            "relaxations".to_string(),
+            Json::Arr(
+                resp.relaxations
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            (
+                                "keywords".to_string(),
+                                Json::Arr(
+                                    r.keywords.iter().map(|&w| s(vocab.resolve(w))).collect(),
+                                ),
+                            ),
+                            (
+                                "candidate_roots".to_string(),
+                                count(r.candidate_roots as u64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(explain) = &resp.explain {
+        fields.push((
+            "explain".to_string(),
+            Json::Arr(explain.iter().map(|x| s(x.as_str())).collect()),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+fn algorithm_name(resp: &SearchResponse) -> &'static str {
+    use patternkb_search::Algorithm;
+    match resp.algorithm {
+        Algorithm::Baseline => "baseline",
+        Algorithm::PatternEnum => "pattern_enum",
+        Algorithm::PatternEnumPruned => "pattern_enum_pruned",
+        Algorithm::LinearEnum => "linear_enum",
+        Algorithm::LinearEnumTopK(_) => "linear_enum_topk",
+    }
+}
+
+/// The `{"error": …}` body for any failure.
+pub fn error_json(kind: &str, message: &str, extra: Vec<(String, Json)>) -> Json {
+    let mut err = vec![
+        ("kind".to_string(), s(kind)),
+        ("message".to_string(), s(message)),
+    ];
+    err.extend(extra);
+    Json::Obj(vec![("error".to_string(), Json::Obj(err))])
+}
+
+/// Map an engine [`Error`] to `(status, body)`.
+pub fn engine_error(e: &Error) -> (u16, Json) {
+    match e {
+        Error::EmptyQuery => (400, error_json("empty_query", &e.to_string(), vec![])),
+        Error::UnknownWords(words) => (
+            400,
+            error_json(
+                "unknown_words",
+                &e.to_string(),
+                vec![(
+                    "words".to_string(),
+                    Json::Arr(words.iter().map(|x| s(x.as_str())).collect()),
+                )],
+            ),
+        ),
+        Error::InvalidRequest(_) => (400, error_json("invalid_request", &e.to_string(), vec![])),
+        Error::Planner(_) => (400, error_json("planner", &e.to_string(), vec![])),
+        Error::Closed => (503, error_json("closed", &e.to_string(), vec![])),
+        _ => (500, error_json("internal", &e.to_string(), vec![])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_defaults() {
+        let p = parse_search(br#"{"q": "database company"}"#).unwrap();
+        match &p.request.input {
+            patternkb_search::request::QueryInput::Text(t) => {
+                assert_eq!(t, "database company")
+            }
+            other => panic!("expected text input, got {other:?}"),
+        }
+        assert_eq!(p.request.k, 100);
+        assert_eq!(p.request.algorithm, AlgorithmChoice::Auto);
+        assert!(p.timeout.is_none());
+    }
+
+    #[test]
+    fn full_request_parses() {
+        let p = parse_search(
+            br#"{"q":"a b","k":7,"algorithm":"linear_enum_topk","max_rows":3,
+                "compose_tables":false,"diversify":0.5,"relax":true,"explain":true,
+                "strict_trees":true,"sampling":{"lambda":1000,"rho":0.25,"seed":9},
+                "timeout_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(p.request.k, 7);
+        assert_eq!(p.request.algorithm, AlgorithmChoice::LinearEnumTopK);
+        assert_eq!(p.request.max_rows, 3);
+        assert!(!p.request.compose_tables);
+        assert_eq!(p.request.diversify, Some(0.5));
+        assert!(p.request.relax && p.request.explain && p.request.strict_trees);
+        assert_eq!(p.request.sampling.lambda, 1000);
+        assert_eq!(p.timeout, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn unknown_and_bad_fields_are_named() {
+        let e = parse_search(br#"{"q":"a","qq":1}"#).unwrap_err();
+        assert_eq!(e.kind, "unknown_field");
+        assert!(e.message.contains("qq"));
+
+        let e = parse_search(br#"{"k":5}"#).unwrap_err();
+        assert_eq!(e.kind, "missing_field");
+
+        for (body, field) in [
+            (&br#"{"q":"a","k":0}"#[..], "k"),
+            (br#"{"q":"a","k":-1}"#, "k"),
+            (br#"{"q":"a","algorithm":"quantum"}"#, "quantum"),
+            (br#"{"q":"a","diversify":1.5}"#, "diversify"),
+            (br#"{"q":"a","sampling":{"lambda":1,"rho":0}}"#, "rho"),
+            // Strictness reaches nested objects too: a typo'd seed must
+            // not silently fall back to the default.
+            (
+                br#"{"q":"a","sampling":{"lambda":1,"rho":0.5,"sed":7}}"#,
+                "sampling.sed",
+            ),
+            (br#"{"q":"a","sampling":7}"#, "sampling"),
+            (br#"{"q":"a","timeout_ms":0}"#, "timeout_ms"),
+            (br#"{"q":"a","relax":"yes"}"#, "relax"),
+        ] {
+            let e = parse_search(body).unwrap_err();
+            assert!(
+                e.message.contains(field),
+                "{field}: {} should name it",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed() {
+        assert_eq!(parse_search(b"{oops").unwrap_err().kind, "bad_json");
+        assert_eq!(parse_search(b"[1,2]").unwrap_err().kind, "bad_body");
+        assert_eq!(parse_search(&[0xff, 0xfe]).unwrap_err().kind, "bad_body");
+    }
+
+    #[test]
+    fn engine_errors_map_to_statuses() {
+        assert_eq!(engine_error(&Error::EmptyQuery).0, 400);
+        assert_eq!(engine_error(&Error::UnknownWords(vec!["x".into()])).0, 400);
+        assert_eq!(engine_error(&Error::Closed).0, 503);
+        let (code, body) = engine_error(&Error::UnknownWords(vec!["zebra".into()]));
+        assert_eq!(code, 400);
+        assert!(body.render().contains("zebra"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Server observability: atomic counters, a latency histogram, and the
+//! Prometheus text rendering behind `GET /metrics`.
+//!
+//! Everything on the request path is lock-free (`AtomicU64`); the only
+//! mutex guards the per-shard aggregates, touched once per *answered*
+//! search. Engine-side families (cache hit rate, epoch, data version) are
+//! read live from the [`SharedEngine`] at render time rather than
+//! mirrored, so they can never drift.
+
+use patternkb_search::{QueryStats, SharedEngine};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Histogram bucket upper bounds in seconds (Prometheus `le` labels),
+/// log-spaced from 250µs to 10s.
+pub const LATENCY_BOUNDS: [f64; 13] = [
+    0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 10.0,
+];
+
+/// Cumulative latency histogram (search requests answered 200).
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS.len()],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
+            if secs <= *bound {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.sum_micros
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        out.push_str(&format!(
+            "# HELP {name} Search request latency (successful requests).\n# TYPE {name} histogram\n"
+        ));
+        for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{bound}\"}} {}\n",
+                self.buckets[i].load(Ordering::Relaxed)
+            ));
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+        out.push_str(&format!(
+            "{name}_sum {}\n",
+            self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!("{name}_count {count}\n"));
+    }
+}
+
+/// Routes the request counter partitions on. Fixed set so the counter
+/// matrix stays atomic (no label-string allocation on the hot path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /search`
+    Search,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /admin/reload`
+    AdminReload,
+    /// `POST /admin/shutdown`
+    AdminShutdown,
+    /// Anything else (404s, bad requests, …).
+    Other,
+}
+
+const ROUTES: [(Route, &str); 6] = [
+    (Route::Search, "search"),
+    (Route::Healthz, "healthz"),
+    (Route::Metrics, "metrics"),
+    (Route::AdminReload, "admin_reload"),
+    (Route::AdminShutdown, "admin_shutdown"),
+    (Route::Other, "other"),
+];
+
+/// Status classes the counter matrix tracks per route — every code the
+/// server emits (`http::reason` is the superset to keep in sync).
+const CODES: [u16; 13] = [
+    200, 400, 404, 405, 408, 411, 413, 429, 431, 500, 501, 503, 505,
+];
+
+fn code_slot(code: u16) -> usize {
+    CODES.iter().position(|&c| c == code).unwrap_or_else(|| {
+        // Untracked codes fold into their class's generic slot.
+        let fallback = if code >= 500 { 500 } else { 400 };
+        CODES.iter().position(|&c| c == fallback).expect("in CODES")
+    })
+}
+
+/// Per-shard work aggregates accumulated across answered searches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardAgg {
+    /// Candidate roots routed to this shard.
+    pub candidate_roots: u64,
+    /// Valid subtrees enumerated by this shard.
+    pub subtrees: u64,
+}
+
+/// All server counters. One instance per [`crate::server::Server`].
+#[derive(Default)]
+pub struct ServerMetrics {
+    requests: [[AtomicU64; CODES.len()]; ROUTES.len()],
+    /// Latency of answered searches (queueing + execution + rendering).
+    pub latency: Histogram,
+    /// Current admission-queue depth.
+    pub queue_depth: AtomicU64,
+    /// Requests refused because the queue was full (429).
+    pub shed_queue_full: AtomicU64,
+    /// Requests dropped because their deadline expired in the queue (503).
+    pub shed_deadline: AtomicU64,
+    /// Worker batch pops.
+    pub batches: AtomicU64,
+    /// Requests served through those batches.
+    pub batched_requests: AtomicU64,
+    /// Successful hot snapshot swaps.
+    pub reloads: AtomicU64,
+    /// Failed reload attempts.
+    pub reload_failures: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: AtomicU64,
+    /// Currently open connections.
+    pub connections_active: AtomicU64,
+    /// Connections refused at accept because the connection cap was hit.
+    pub connections_refused: AtomicU64,
+    shards: Mutex<Vec<ShardAgg>>,
+}
+
+impl ServerMetrics {
+    /// Count one finished HTTP exchange.
+    pub fn record(&self, route: Route, code: u16) {
+        let r = ROUTES.iter().position(|(x, _)| *x == route).unwrap_or(5);
+        self.requests[r][code_slot(code)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests answered with `code` on `route` (test/diagnostics).
+    pub fn count(&self, route: Route, code: u16) -> u64 {
+        let r = ROUTES.iter().position(|(x, _)| *x == route).unwrap_or(5);
+        self.requests[r][code_slot(code)].load(Ordering::Relaxed)
+    }
+
+    /// Fold one answered search's per-shard stats into the aggregates.
+    pub fn record_shards(&self, stats: &QueryStats) {
+        let mut shards = self.shards.lock().unwrap();
+        for s in &stats.per_shard {
+            if s.shard >= shards.len() {
+                shards.resize(s.shard + 1, ShardAgg::default());
+            }
+            shards[s.shard].candidate_roots += s.candidate_roots as u64;
+            shards[s.shard].subtrees += s.subtrees as u64;
+        }
+    }
+
+    /// Render the Prometheus exposition text. `engine` supplies the live
+    /// cache/epoch/version families.
+    pub fn render(&self, engine: &SharedEngine) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str(
+            "# HELP patternkb_requests_total HTTP requests by route and status code.\n\
+             # TYPE patternkb_requests_total counter\n",
+        );
+        for (r, (_, route_name)) in ROUTES.iter().enumerate() {
+            for (c, code) in CODES.iter().enumerate() {
+                let n = self.requests[r][c].load(Ordering::Relaxed);
+                if n > 0 || (*route_name == "search" && matches!(code, 200 | 429 | 503)) {
+                    out.push_str(&format!(
+                        "patternkb_requests_total{{route=\"{route_name}\",code=\"{code}\"}} {n}\n"
+                    ));
+                }
+            }
+        }
+
+        self.latency
+            .render("patternkb_search_latency_seconds", &mut out);
+
+        out.push_str(
+            "# HELP patternkb_queue_depth Requests waiting in the admission queue.\n\
+             # TYPE patternkb_queue_depth gauge\n",
+        );
+        out.push_str(&format!(
+            "patternkb_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP patternkb_shed_total Requests shed by backpressure, by reason.\n\
+             # TYPE patternkb_shed_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_shed_total{{reason=\"queue_full\"}} {}\n",
+            self.shed_queue_full.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "patternkb_shed_total{{reason=\"deadline\"}} {}\n",
+            self.shed_deadline.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP patternkb_batches_total Worker micro-batch pops.\n\
+             # TYPE patternkb_batches_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_batches_total {}\n",
+            self.batches.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP patternkb_batched_requests_total Search requests served through batches.\n\
+             # TYPE patternkb_batched_requests_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_batched_requests_total {}\n",
+            self.batched_requests.load(Ordering::Relaxed)
+        ));
+
+        let cache = engine.cache_stats();
+        out.push_str(
+            "# HELP patternkb_cache_hits_total Result-cache hits.\n\
+             # TYPE patternkb_cache_hits_total counter\n",
+        );
+        out.push_str(&format!("patternkb_cache_hits_total {}\n", cache.hits));
+        out.push_str(
+            "# HELP patternkb_cache_misses_total Result-cache misses.\n\
+             # TYPE patternkb_cache_misses_total counter\n",
+        );
+        out.push_str(&format!("patternkb_cache_misses_total {}\n", cache.misses));
+        out.push_str(
+            "# HELP patternkb_cache_stale_total Entries rejected as version-stale.\n\
+             # TYPE patternkb_cache_stale_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_cache_stale_total {}\n",
+            cache.stale_rejections
+        ));
+        out.push_str(
+            "# HELP patternkb_cache_evictions_total Entries evicted by capacity.\n\
+             # TYPE patternkb_cache_evictions_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_cache_evictions_total {}\n",
+            cache.evictions
+        ));
+
+        out.push_str(
+            "# HELP patternkb_engine_epoch Hot-swap epoch (+1 per /admin/reload).\n\
+             # TYPE patternkb_engine_epoch gauge\n",
+        );
+        out.push_str(&format!("patternkb_engine_epoch {}\n", engine.epoch()));
+        out.push_str(
+            "# HELP patternkb_engine_version Data version of the serving snapshot.\n\
+             # TYPE patternkb_engine_version gauge\n",
+        );
+        out.push_str(&format!("patternkb_engine_version {}\n", engine.version()));
+        out.push_str(
+            "# HELP patternkb_reloads_total Successful hot snapshot swaps.\n\
+             # TYPE patternkb_reloads_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_reloads_total {}\n",
+            self.reloads.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP patternkb_reload_failures_total Failed reload attempts.\n\
+             # TYPE patternkb_reload_failures_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_reload_failures_total {}\n",
+            self.reload_failures.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP patternkb_connections_total Connections accepted.\n\
+             # TYPE patternkb_connections_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_connections_total {}\n",
+            self.connections_total.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP patternkb_connections_active Currently open connections.\n\
+             # TYPE patternkb_connections_active gauge\n",
+        );
+        out.push_str(&format!(
+            "patternkb_connections_active {}\n",
+            self.connections_active.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP patternkb_connections_refused_total Connections refused at the cap.\n\
+             # TYPE patternkb_connections_refused_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_connections_refused_total {}\n",
+            self.connections_refused.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP patternkb_shard_candidate_roots_total Candidate roots per index shard.\n\
+             # TYPE patternkb_shard_candidate_roots_total counter\n\
+             # HELP patternkb_shard_subtrees_total Valid subtrees enumerated per index shard.\n\
+             # TYPE patternkb_shard_subtrees_total counter\n",
+        );
+        for (i, agg) in self.shards.lock().unwrap().iter().enumerate() {
+            out.push_str(&format!(
+                "patternkb_shard_candidate_roots_total{{shard=\"{i}\"}} {}\n",
+                agg.candidate_roots
+            ));
+            out.push_str(&format!(
+                "patternkb_shard_subtrees_total{{shard=\"{i}\"}} {}\n",
+                agg.subtrees
+            ));
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(100)); // <= every bound
+        h.observe(Duration::from_millis(30)); // > 25ms bound
+        assert_eq!(h.count(), 2);
+        let mut out = String::new();
+        h.render("t", &mut out);
+        assert!(out.contains("t_bucket{le=\"0.00025\"} 1\n"));
+        assert!(out.contains("t_bucket{le=\"0.05\"} 2\n"));
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 2\n"));
+        assert!(out.contains("t_count 2\n"));
+    }
+
+    #[test]
+    fn request_matrix_counts() {
+        let m = ServerMetrics::default();
+        m.record(Route::Search, 200);
+        m.record(Route::Search, 200);
+        m.record(Route::Search, 429);
+        m.record(Route::Other, 404);
+        // Unknown 5xx folds into the 500 slot; unknown 4xx into 400.
+        m.record(Route::Search, 502);
+        assert_eq!(m.count(Route::Search, 200), 2);
+        assert_eq!(m.count(Route::Search, 429), 1);
+        assert_eq!(m.count(Route::Other, 404), 1);
+        assert_eq!(m.count(Route::Search, 500), 1);
+    }
+
+    #[test]
+    fn shard_aggregates_grow() {
+        use patternkb_search::ShardStats;
+        let m = ServerMetrics::default();
+        let stats = QueryStats {
+            per_shard: vec![
+                ShardStats {
+                    shard: 0,
+                    candidate_roots: 3,
+                    subtrees: 5,
+                    patterns: 1,
+                },
+                ShardStats {
+                    shard: 2,
+                    candidate_roots: 1,
+                    subtrees: 2,
+                    patterns: 1,
+                },
+            ],
+            ..QueryStats::default()
+        };
+        m.record_shards(&stats);
+        m.record_shards(&stats);
+        let shards = m.shards.lock().unwrap();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].candidate_roots, 6);
+        assert_eq!(shards[2].subtrees, 4);
+    }
+}

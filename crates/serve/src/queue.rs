@@ -1,0 +1,201 @@
+//! Bounded MPMC admission queue with batch pops (std `Mutex` + `Condvar`).
+//!
+//! The backpressure contract of the server lives here: producers
+//! (connection threads) *never block* — [`BoundedQueue::try_push`] either
+//! admits or refuses immediately so the caller can shed with a 429 while
+//! the queue is full. Consumers (workers) block for the *first* item and
+//! then drain up to a batch without further waiting, which is what makes
+//! micro-batching effective exactly when it matters (under load the queue
+//! is non-empty, so batches fill; when idle, batches of one keep latency
+//! flat).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// See the module docs.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    nonempty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` queued items (0 = always
+    /// full: every push sheds — useful for tests and drain-only modes).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity,
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// Admit `item`, or give it back immediately when the queue is full
+    /// or closed. `Ok` carries the queue depth after the push (for the
+    /// depth gauge).
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        self.nonempty.notify_one();
+        Ok(depth)
+    }
+
+    /// Pop up to `max` items: block up to `wait` for the first, then take
+    /// whatever else is queued without blocking. An empty vec means the
+    /// wait timed out (or the queue is closed and drained) — callers
+    /// should check [`Self::is_closed`] and loop.
+    pub fn pop_batch(&self, max: usize, wait: Duration) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.items.is_empty() && !inner.closed {
+            let (guard, _timeout) = self
+                .nonempty
+                .wait_timeout_while(inner, wait, |st| st.items.is_empty() && !st.closed)
+                .unwrap();
+            inner = guard;
+        }
+        let take = inner.items.len().min(max.max(1));
+        inner.items.drain(..take).collect()
+    }
+
+    /// Close the queue: further pushes fail, consumers drain what is left
+    /// and then stop blocking.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Whether [`Self::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.pop_batch(10, Duration::from_millis(1)), vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3));
+        // Zero capacity always sheds.
+        let zero: BoundedQueue<u32> = BoundedQueue::new(0);
+        assert_eq!(zero.try_push(9), Err(9));
+    }
+
+    #[test]
+    fn batch_pop_respects_max() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(4, Duration::from_millis(1)).len(), 4);
+        assert_eq!(q.len(), 6);
+        // max is clamped to at least one.
+        assert_eq!(q.pop_batch(0, Duration::from_millis(1)).len(), 1);
+    }
+
+    #[test]
+    fn pop_times_out_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let t0 = std::time::Instant::now();
+        assert!(q.pop_batch(4, Duration::from_millis(20)).is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn close_wakes_and_drains() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(7).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                let batch = q2.pop_batch(4, Duration::from_secs(5));
+                if batch.is_empty() {
+                    if q2.is_closed() {
+                        break;
+                    }
+                    continue;
+                }
+                got.extend(batch);
+            }
+            got
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(q.try_push(8), Err(8));
+        assert_eq!(h.join().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let total = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let total = Arc::clone(&total);
+            handles.push(std::thread::spawn(move || loop {
+                let batch = q.pop_batch(8, Duration::from_millis(50));
+                if batch.is_empty() && q.is_closed() {
+                    break;
+                }
+                total.fetch_add(batch.len(), std::sync::atomic::Ordering::Relaxed);
+            }));
+        }
+        let mut pushed = 0;
+        for i in 0..500 {
+            if q.try_push(i).is_ok() {
+                pushed += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Give consumers a moment to drain, then close.
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        q.close();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), pushed);
+    }
+}

@@ -1,4 +1,5 @@
-//! Interactive keyword-search shell over a knowledge base.
+//! Interactive keyword-search shell — and HTTP server — over a knowledge
+//! base.
 //!
 //! ```text
 //! patternkb-cli figure1                 # the paper's running example
@@ -6,6 +7,13 @@
 //! patternkb-cli imdb  [--movies N]      # synthetic IMDB-like KB
 //! patternkb-cli load  <graph.pkbg>      # a saved graph snapshot
 //!   options: --d <2..5>  --seed <u64>  --shards <n>  (0 = one per core)
+//!
+//! patternkb-cli serve <dataset…>        # HTTP server instead of a REPL
+//!   options: --addr <ip:port>  --workers <n>  --queue <slots>
+//!            --batch <max>  --deadline-ms <ms>  --max-body-bytes <n>
+//!   endpoints: POST /search, GET /healthz, GET /metrics,
+//!              POST /admin/reload (rebuilds the same dataset and
+//!              hot-swaps it), POST /admin/shutdown (graceful exit 0)
 //! ```
 //!
 //! Then type keyword queries; commands start with `:`
@@ -33,11 +41,14 @@ use std::io::{BufRead, Write};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_main(&args[1..]);
+    }
     let (graph, label) = match build_graph(&args) {
         Ok(pair) => pair,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: patternkb-cli figure1|wiki|imdb|load <file> [--d N] [--entities N] [--movies N] [--seed N]");
+            eprintln!("usage: patternkb-cli [serve] figure1|wiki|imdb|load <file> [--d N] [--entities N] [--movies N] [--seed N]");
             std::process::exit(2);
         }
     };
@@ -65,6 +76,77 @@ fn main() {
         engine.index()
     );
     repl(&engine);
+}
+
+/// Build the serving engine for a dataset spec (shared by boot and the
+/// `/admin/reload` hot-swap path, so a reload is a true rebuild).
+fn build_serve_engine(spec: &[String]) -> Result<SearchEngine, String> {
+    let (graph, _) = build_graph(spec)?;
+    let d = flag_value(spec, "--d").unwrap_or(3);
+    let shards = flag_value(spec, "--shards").unwrap_or(0);
+    EngineBuilder::new()
+        .graph(graph)
+        .synonyms(SynonymTable::default_english())
+        .height(d)
+        .shards(shards)
+        .build()
+        .map_err(|e| format!("cannot build engine: {e}"))
+}
+
+/// Translate `serve` flags into a [`patternkb::serve::ServeConfig`].
+fn serve_config(args: &[String]) -> patternkb::serve::ServeConfig {
+    let defaults = patternkb::serve::ServeConfig::default();
+    patternkb::serve::ServeConfig {
+        addr: flag_value(args, "--addr").unwrap_or_else(|| defaults.addr.clone()),
+        workers: flag_value(args, "--workers").unwrap_or(defaults.workers),
+        queue_capacity: flag_value(args, "--queue").unwrap_or(defaults.queue_capacity),
+        batch_max: flag_value(args, "--batch").unwrap_or(defaults.batch_max),
+        deadline: std::time::Duration::from_millis(
+            flag_value(args, "--deadline-ms").unwrap_or(defaults.deadline.as_millis() as u64),
+        ),
+        max_body_bytes: flag_value(args, "--max-body-bytes").unwrap_or(defaults.max_body_bytes),
+        ..defaults
+    }
+}
+
+/// The `serve` subcommand: boot the HTTP server over the dataset and run
+/// until `POST /admin/shutdown` drains it (then exit 0).
+fn serve_main(args: &[String]) -> ! {
+    let spec: Vec<String> = args.to_vec();
+    eprintln!(
+        "building engine for {:?} …",
+        spec.first().map(String::as_str).unwrap_or("figure1")
+    );
+    let t0 = std::time::Instant::now();
+    let engine = match build_serve_engine(&spec) {
+        Ok(engine) => engine,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: patternkb-cli serve figure1|wiki|imdb|load <file> [dataset flags] [--addr A] [--workers N] [--queue N] [--batch N] [--deadline-ms N] [--max-body-bytes N]");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "engine ready in {:.2}s ({} shard(s)); hot-swappable via POST /admin/reload",
+        t0.elapsed().as_secs_f64(),
+        engine.num_shards()
+    );
+    let shared = std::sync::Arc::new(SharedEngine::new(engine));
+    let reload_spec = spec.clone();
+    let reload: Box<patternkb::serve::ReloadFn> =
+        Box::new(move || build_serve_engine(&reload_spec));
+    let server = match patternkb::serve::Server::start(shared, Some(reload), serve_config(&spec)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            std::process::exit(2);
+        }
+    };
+    // The machine-readable boot line CI and loadgen wait for.
+    println!("listening on http://{}", server.local_addr());
+    server.join();
+    eprintln!("shutdown complete");
+    std::process::exit(0);
 }
 
 /// Session state mutated by `:commands`.
@@ -449,6 +531,51 @@ mod tests {
         assert_eq!(g.num_nodes(), 13);
         assert_eq!(label, "figure1");
         assert!(build_graph(&["marsian".to_string()]).is_err());
+    }
+
+    #[test]
+    fn serve_config_from_flags() {
+        let args: Vec<String> = [
+            "figure1",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "3",
+            "--queue",
+            "64",
+            "--batch",
+            "8",
+            "--deadline-ms",
+            "250",
+            "--max-body-bytes",
+            "4096",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = serve_config(&args);
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.queue_capacity, 64);
+        assert_eq!(cfg.batch_max, 8);
+        assert_eq!(cfg.deadline, std::time::Duration::from_millis(250));
+        assert_eq!(cfg.max_body_bytes, 4096);
+    }
+
+    #[test]
+    fn serve_config_defaults() {
+        let cfg = serve_config(&["figure1".to_string()]);
+        let defaults = patternkb::serve::ServeConfig::default();
+        assert_eq!(cfg.addr, defaults.addr);
+        assert_eq!(cfg.queue_capacity, defaults.queue_capacity);
+        assert_eq!(cfg.deadline, defaults.deadline);
+    }
+
+    #[test]
+    fn serve_engine_builds_for_figure1() {
+        let engine = build_serve_engine(&["figure1".to_string()]).unwrap();
+        assert_eq!(engine.d(), 3);
+        assert!(build_serve_engine(&["marsian".to_string()]).is_err());
     }
 
     #[test]

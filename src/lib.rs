@@ -59,6 +59,15 @@
 //! answers **bit-identical** to a single-shard engine;
 //! `response.stats.per_shard` reports how the work split.
 //!
+//! ## Serving over HTTP
+//!
+//! The [`serve`] crate (`patternkb-serve`, std-only) wraps the shared
+//! handle in a production HTTP server — fixed worker pool, bounded
+//! admission queue with 429/503 load shedding, request micro-batching,
+//! Prometheus `/metrics`, and `/admin/reload` hot snapshot swap. Boot it
+//! with `patternkb-cli serve <dataset>`; drive it with the `loadgen` bin
+//! from `patternkb-bench`. See the README's "Serving" section.
+//!
 //! ## Migrating from the pre-0.2 facade
 //!
 //! The deprecated `search_*`/`build*` shims were removed in 0.3 after
@@ -73,6 +82,7 @@ pub use patternkb_datagen as datagen;
 pub use patternkb_graph as graph;
 pub use patternkb_index as index;
 pub use patternkb_search as search;
+pub use patternkb_serve as serve;
 pub use patternkb_text as text;
 
 /// The items most applications need.
