@@ -7,9 +7,10 @@
 //!         [--entities N] [--movies N] [--seed N] [--d N]
 //!         [--mode closed|open] [--conns N] [--rate R]
 //!         [--duration-s S] [--k N] [--zipf-theta F] [--timeout-ms N]
-//!         [--json PATH]
+//!         [--write-rate W] [--json PATH]
 //!         [--min-ok N] [--max-errors N] [--max-p99-ms F]
 //!         [--max-shed N] [--min-429 N]
+//!         [--min-writes-ok N] [--max-write-errors N] [--max-write-conflicts N]
 //! ```
 //!
 //! * **Query mix**: the same deterministic generators the server builds
@@ -25,6 +26,12 @@
 //!   across the connections regardless of completions — measures latency
 //!   at an offered load (queueing shows up instead of hiding in the
 //!   closed loop's self-throttling).
+//! * **Mixed read/write** (`--write-rate W`): one writer connection
+//!   additionally issues `POST /admin/ingest` batches at W/s — entities
+//!   typed with the *dataset's own* first entity type and attribute (the
+//!   same datagen spec the server built from), so writes grow the live
+//!   graph the reads are querying. The report tracks write outcomes and
+//!   checks the returned engine version is monotone.
 //! * **Report**: one JSON object on stdout (and `--json PATH`):
 //!   counts by outcome, throughput, shed rate, p50/p90/p95/p99/max/mean.
 //! * **Gates**: the `--min-ok` / `--max-errors` / `--max-p99-ms` /
@@ -61,6 +68,7 @@ fn main() {
     let k: usize = flag(&args, "--k").unwrap_or(10);
     let theta: f64 = flag(&args, "--zipf-theta").unwrap_or(0.9);
     let timeout_ms: Option<u64> = flag(&args, "--timeout-ms");
+    let write_rate: f64 = flag(&args, "--write-rate").unwrap_or(0.0);
     let json_path: Option<String> = flag(&args, "--json");
 
     if !matches!(mode.as_str(), "closed" | "open") {
@@ -111,8 +119,26 @@ fn main() {
         None
     };
 
+    // Mixed read/write mode: the ingest batches type their entities with
+    // the dataset's own vocabulary (first entity type / first attribute),
+    // so the spec stays the single source of truth for reads and writes.
+    let write_spec = if write_rate > 0.0 {
+        match ingest_spec(&graph) {
+            Some(spec) => Some(spec),
+            None => {
+                eprintln!(
+                    "--write-rate needs a dataset with at least one entity type and attribute"
+                );
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
+    };
+
     let started = Instant::now();
     let mut tallies: Vec<Tally> = Vec::new();
+    let mut writes = WriteTally::default();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..conns {
@@ -131,8 +157,17 @@ fn main() {
                 )
             }));
         }
+        let writer = write_spec.as_ref().map(|(type_name, attr_name)| {
+            let addr = addr.as_str();
+            scope.spawn(move || {
+                run_writer(addr, type_name, attr_name, write_rate, started, duration)
+            })
+        });
         for h in handles {
             tallies.push(h.join().expect("connection thread"));
+        }
+        if let Some(w) = writer {
+            writes = w.join().expect("writer thread");
         }
     });
     let elapsed = started.elapsed();
@@ -143,7 +178,16 @@ fn main() {
     }
     total.latencies_us.sort_unstable();
 
-    let report = render_report(&mode, conns, &dataset, rate, elapsed, bodies.len(), &total);
+    let report = render_report(
+        &mode,
+        conns,
+        &dataset,
+        rate,
+        elapsed,
+        bodies.len(),
+        &total,
+        &writes,
+    );
     println!("{report}");
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, &report) {
@@ -181,6 +225,35 @@ fn main() {
         if total.shed_429 < min_429 {
             failures.push(format!("429s {} < --min-429 {min_429}", total.shed_429));
         }
+    }
+    if let Some(min_writes_ok) = flag::<u64>(&args, "--min-writes-ok") {
+        if writes.ok < min_writes_ok {
+            failures.push(format!(
+                "writes ok {} < --min-writes-ok {min_writes_ok}",
+                writes.ok
+            ));
+        }
+    }
+    if let Some(max_write_errors) = flag::<u64>(&args, "--max-write-errors") {
+        if writes.errors > max_write_errors {
+            failures.push(format!(
+                "write errors {} > --max-write-errors {max_write_errors}",
+                writes.errors
+            ));
+        }
+    }
+    if let Some(max_conflicts) = flag::<u64>(&args, "--max-write-conflicts") {
+        if writes.conflicts > max_conflicts {
+            failures.push(format!(
+                "write conflicts {} > --max-write-conflicts {max_conflicts}",
+                writes.conflicts
+            ));
+        }
+    }
+    if writes.sent > 0 && !writes.version_monotone {
+        // Not flag-gated: a version that ever went backwards is a
+        // correctness bug, never an acceptable load outcome.
+        failures.push("engine version went backwards across ingests".to_string());
     }
     if !failures.is_empty() {
         for f in &failures {
@@ -262,6 +335,125 @@ impl Tally {
         let idx = ((self.latencies_us.len() - 1) as f64 * q).round() as usize;
         self.latencies_us[idx] as f64 / 1e3
     }
+}
+
+/// The (entity type, attribute) the writer mints ingest batches with:
+/// the dataset's first non-text entity type and first attribute.
+fn ingest_spec(g: &KnowledgeGraph) -> Option<(String, String)> {
+    use patternkb_graph::{AttrId, TypeId};
+    if g.num_attrs() == 0 {
+        return None;
+    }
+    let t = (0..g.num_types() as u32)
+        .map(TypeId)
+        .find(|&t| !g.type_text(t).is_empty())?;
+    Some((
+        g.type_text(t).to_string(),
+        g.attr_text(AttrId(0)).to_string(),
+    ))
+}
+
+fn jstr(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+#[derive(Default)]
+struct WriteTally {
+    sent: u64,
+    ok: u64,
+    conflicts: u64,
+    errors: u64,
+    io_errors: u64,
+    last_version: u64,
+    version_monotone: bool,
+}
+
+/// One keep-alive writer connection issuing `POST /admin/ingest` batches
+/// at `rate`/s: a fresh entity plus one text attribute per batch. Batch
+/// names are referenced batch-locally, so repeated runs against one
+/// server never collide on ambiguous names.
+fn run_writer(
+    addr: &str,
+    type_name: &str,
+    attr_name: &str,
+    rate: f64,
+    started: Instant,
+    duration: Duration,
+) -> WriteTally {
+    let mut tally = WriteTally {
+        version_monotone: true,
+        ..WriteTally::default()
+    };
+    let interval = Duration::from_secs_f64(1.0 / rate.max(0.001));
+    let mut client: Option<Client> = None;
+    let mut next_send = Instant::now();
+    let mut seq = 0u64;
+    // Per-process nonce so consecutive CI legs against one server mint
+    // distinct names (names only need batch-local uniqueness, but
+    // distinct names keep /search assertions on fresh facts readable).
+    let nonce = std::process::id();
+    while started.elapsed() < duration {
+        let now = Instant::now();
+        if now < next_send {
+            std::thread::sleep(next_send - now);
+        }
+        next_send += interval;
+        let name = format!("loadgen vendor {nonce} {seq}");
+        let body = format!(
+            "{{\"mutations\":[{{\"op\":\"add_node\",\"type\":{},\"name\":{}}},\
+             {{\"op\":\"add_text_edge\",\"source\":{},\"attr\":{},\"value\":{}}}]}}",
+            jstr(type_name),
+            jstr(&name),
+            jstr(&name),
+            jstr(attr_name),
+            jstr(&format!("ingestmark {seq}"))
+        );
+        seq += 1;
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match Client::connect(addr) {
+                Ok(c) => client.insert(c),
+                Err(_) => {
+                    tally.io_errors += 1;
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+            },
+        };
+        tally.sent += 1;
+        match c.post("/admin/ingest", &body) {
+            Ok((200, reply)) => {
+                tally.ok += 1;
+                if let Some(v) = extract_version(&reply) {
+                    if v < tally.last_version {
+                        tally.version_monotone = false;
+                    }
+                    tally.last_version = v;
+                }
+            }
+            // 400/409 replies keep the connection alive (they are
+            // client-fixable outcomes, like search 4xxs); anything else
+            // closes it server-side.
+            Ok((409, _)) => tally.conflicts += 1,
+            Ok((400, _)) => tally.errors += 1,
+            Ok(_) => {
+                tally.errors += 1;
+                client = None;
+            }
+            Err(_) => {
+                tally.errors += 1;
+                client = None;
+            }
+        }
+    }
+    tally
+}
+
+/// Pull `"version":N` out of an ingest reply without a JSON parser.
+fn extract_version(body: &str) -> Option<u64> {
+    let rest = &body[body.find("\"version\":")? + "\"version\":".len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }
 
 fn run_connection(
@@ -348,8 +540,25 @@ impl Client {
     }
 
     fn post_search(&mut self, body: &str) -> std::io::Result<u16> {
+        // The reply body is discarded without the copy `post` pays —
+        // this is the measured hot loop.
+        self.request("/search", body, false)
+            .map(|(status, _)| status)
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request(path, body, true)
+            .map(|(status, reply)| (status, reply.unwrap_or_default()))
+    }
+
+    fn request(
+        &mut self,
+        path: &str,
+        body: &str,
+        capture_reply: bool,
+    ) -> std::io::Result<(u16, Option<String>)> {
         let head = format!(
-            "POST /search HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            "POST {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
             body.len()
         );
         self.stream.write_all(head.as_bytes())?;
@@ -400,11 +609,15 @@ impl Client {
             }
             self.buf.extend_from_slice(&chunk[..n]);
         }
+        let reply = capture_reply.then(|| {
+            String::from_utf8_lossy(&self.buf[body_start..body_start + content_length]).to_string()
+        });
         self.buf.drain(..body_start + content_length);
-        Ok(status)
+        Ok((status, reply))
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_report(
     mode: &str,
     conns: usize,
@@ -413,6 +626,7 @@ fn render_report(
     elapsed: Duration,
     pool: usize,
     t: &Tally,
+    w: &WriteTally,
 ) -> String {
     let secs = elapsed.as_secs_f64().max(1e-9);
     let shed = t.shed_429 + t.shed_503;
@@ -431,9 +645,23 @@ fn render_report(
          \"conns\": {conns},\n  \"offered_rate_rps\": {rate_field},\n  \"duration_s\": {secs:.3},\n  \
          \"queries_in_pool\": {pool},\n  \"sent\": {sent},\n  \"ok\": {ok},\n  \"shed_429\": {s429},\n  \
          \"shed_503\": {s503},\n  \"http_4xx\": {e4},\n  \"http_5xx\": {e5},\n  \"io_errors\": {io},\n  \
-         \"throughput_rps\": {rps:.2},\n  \"shed_rate\": {shed_rate:.4},\n  \"latency_ms\": {{\n    \
+         \"throughput_rps\": {rps:.2},\n  \"shed_rate\": {shed_rate:.4},\n  \"writes\": {{\n    \
+         \"sent\": {wsent},\n    \"ok\": {wok},\n    \"conflicts\": {wconf},\n    \
+         \"errors\": {werr},\n    \"io_errors\": {wio},\n    \"last_version\": {wver},\n    \
+         \"version_monotone\": {wmono}\n  }},\n  \"latency_ms\": {{\n    \
          \"mean\": {mean:.3},\n    \"p50\": {p50:.3},\n    \"p90\": {p90:.3},\n    \"p95\": {p95:.3},\n    \
          \"p99\": {p99:.3},\n    \"max\": {max:.3}\n  }}\n}}",
+        wsent = w.sent,
+        wok = w.ok,
+        wconf = w.conflicts,
+        werr = w.errors,
+        wio = w.io_errors,
+        wver = w.last_version,
+        wmono = if w.sent == 0 || w.version_monotone {
+            "true"
+        } else {
+            "false"
+        },
         sent = t.sent,
         ok = t.ok,
         s429 = t.shed_429,
@@ -494,11 +722,30 @@ mod tests {
             latencies_us: vec![500, 1000, 1500],
             ..Tally::default()
         };
-        let r = render_report("closed", 4, "figure1", 0.0, Duration::from_secs(2), 30, &t);
+        let w = WriteTally {
+            sent: 5,
+            ok: 4,
+            conflicts: 1,
+            last_version: 4,
+            version_monotone: true,
+            ..WriteTally::default()
+        };
+        let r = render_report(
+            "closed",
+            4,
+            "figure1",
+            0.0,
+            Duration::from_secs(2),
+            30,
+            &t,
+            &w,
+        );
         assert!(r.contains("\"ok\": 8"));
         assert!(r.contains("\"shed_429\": 2"));
         assert!(r.contains("\"shed_rate\": 0.2000"));
         assert!(r.contains("\"p99\": 1.500"));
+        assert!(r.contains("\"last_version\": 4"));
+        assert!(r.contains("\"version_monotone\": true"));
         // Balanced braces (hand-rolled JSON sanity).
         assert_eq!(
             r.matches('{').count(),
@@ -522,5 +769,24 @@ mod tests {
     fn graph_specs() {
         assert!(build_graph("figure1", &[], 42).is_ok());
         assert!(build_graph("venus", &[], 42).is_err());
+    }
+
+    #[test]
+    fn ingest_spec_picks_dataset_vocabulary() {
+        let g = patternkb_datagen::figure1().0;
+        let (type_name, attr_name) = ingest_spec(&g).unwrap();
+        assert!(!type_name.is_empty(), "TEXT_TYPE must be skipped");
+        assert!(g.type_by_text(&type_name).is_some());
+        assert!(g.attr_by_text(&attr_name).is_some());
+    }
+
+    #[test]
+    fn version_extraction_and_escaping() {
+        assert_eq!(
+            extract_version(r#"{"ok":true,"version":17,"affected_roots":3}"#),
+            Some(17)
+        );
+        assert_eq!(extract_version(r#"{"ok":true}"#), None);
+        assert_eq!(jstr(r#"a "b" \c"#), r#""a \"b\" \\c""#);
     }
 }

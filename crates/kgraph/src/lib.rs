@@ -36,6 +36,7 @@ pub mod import;
 pub mod interner;
 pub mod mutate;
 pub mod pagerank;
+pub mod resolve;
 pub mod snapshot;
 pub mod stats;
 pub mod subgraph;
@@ -46,4 +47,5 @@ pub use builder::GraphBuilder;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::KnowledgeGraph;
 pub use ids::{AttrId, NodeId, TypeId, WordId};
+pub use resolve::{NameResolver, ResolveError};
 pub use stats::GraphStats;

@@ -152,6 +152,19 @@ pub struct GraphDelta {
     text_nodes: FxHashMap<Box<str>, NodeId>,
 }
 
+impl std::fmt::Debug for GraphDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GraphDelta {{ base_nodes: {}, new_nodes: {}, added: {}, removed: {} }}",
+            self.base_nodes,
+            self.new_nodes.len(),
+            self.added.len(),
+            self.removed.len()
+        )
+    }
+}
+
 impl GraphDelta {
     /// An empty delta against `base`.
     pub fn new(base: &KnowledgeGraph) -> Self {

@@ -1,0 +1,130 @@
+//! Name → [`NodeId`] resolution for wire-level mutation batches.
+//!
+//! The serving layer's ingest endpoint addresses nodes by their *text*
+//! ("IBM", "US$ 57 billion") because clients do not know internal ids.
+//! Node texts are not unique in general — two entities may share a name,
+//! and an entity can share text with a plain-text value node — so
+//! resolution is explicit about ambiguity instead of silently picking one:
+//! an ambiguous name is an error the client fixes by sending the id.
+//!
+//! [`NameResolver`] builds the text → id table once per batch (one linear
+//! pass over the graph) so resolving each reference is a hash lookup, not
+//! a scan.
+
+use crate::fxhash::FxHashMap;
+use crate::graph::KnowledgeGraph;
+use crate::ids::NodeId;
+
+/// Why a name failed to resolve to a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No node carries this text.
+    NotFound(String),
+    /// More than one node carries this text; address it by id instead.
+    Ambiguous {
+        /// The ambiguous text.
+        name: String,
+        /// How many nodes share it.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::NotFound(name) => write!(f, "no node named {name:?}"),
+            ResolveError::Ambiguous { name, count } => write!(
+                f,
+                "{count} nodes named {name:?}; address the node by id instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+enum Slot {
+    Unique(NodeId),
+    Ambiguous(usize),
+}
+
+/// A text → [`NodeId`] table over one graph snapshot. See the module docs.
+pub struct NameResolver<'g> {
+    map: FxHashMap<&'g str, Slot>,
+}
+
+impl<'g> NameResolver<'g> {
+    /// Index every node (entities and plain-text value nodes alike) of
+    /// `g` by its text. One linear pass.
+    pub fn new(g: &'g KnowledgeGraph) -> Self {
+        let mut map: FxHashMap<&'g str, Slot> = crate::fxhash::map_with_capacity(g.num_nodes());
+        for v in g.nodes() {
+            map.entry(g.node_text(v))
+                .and_modify(|slot| {
+                    *slot = Slot::Ambiguous(match *slot {
+                        Slot::Unique(_) => 2,
+                        Slot::Ambiguous(n) => n + 1,
+                    })
+                })
+                .or_insert(Slot::Unique(v));
+        }
+        NameResolver { map }
+    }
+
+    /// The unique node named `name`, or a typed error ([`ResolveError`])
+    /// when the name is missing or shared by several nodes.
+    pub fn resolve(&self, name: &str) -> Result<NodeId, ResolveError> {
+        match self.map.get(name) {
+            Some(Slot::Unique(v)) => Ok(*v),
+            Some(Slot::Ambiguous(count)) => Err(ResolveError::Ambiguous {
+                name: name.to_string(),
+                count: *count,
+            }),
+            None => Err(ResolveError::NotFound(name.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn unique_names_resolve() {
+        let mut b = GraphBuilder::new();
+        let comp = b.add_type("Company");
+        let rev = b.add_attr("Revenue");
+        let ms = b.add_node(comp, "Microsoft");
+        b.add_text_edge(ms, rev, "US$ 77 billion");
+        let g = b.build();
+        let r = NameResolver::new(&g);
+        assert_eq!(r.resolve("Microsoft"), Ok(ms));
+        // Text value nodes are addressable too (remove_edge needs them).
+        let text_node = r.resolve("US$ 77 billion").unwrap();
+        assert!(g.is_text_node(text_node));
+    }
+
+    #[test]
+    fn missing_and_ambiguous_names_are_typed() {
+        let mut b = GraphBuilder::new();
+        let comp = b.add_type("Company");
+        b.add_node(comp, "Acme");
+        b.add_node(comp, "Acme");
+        b.add_node(comp, "Acme");
+        let g = b.build();
+        let r = NameResolver::new(&g);
+        assert_eq!(
+            r.resolve("Initech"),
+            Err(ResolveError::NotFound("Initech".into()))
+        );
+        match r.resolve("Acme") {
+            Err(ResolveError::Ambiguous { name, count }) => {
+                assert_eq!(name, "Acme");
+                assert_eq!(count, 3);
+            }
+            other => panic!("expected Ambiguous, got {other:?}"),
+        }
+        assert!(r.resolve("Acme").unwrap_err().to_string().contains("by id"));
+    }
+}

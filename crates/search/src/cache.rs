@@ -263,14 +263,32 @@ impl QueryCache {
         inner.clock += 1;
         let clock = inner.clock;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
-            // Evict the least recently used entry. Linear scan: capacities
-            // are small (hundreds) and eviction is off the hit path.
-            if let Some(victim) = inner
+            // Under capacity pressure, sweep version-stale corpses first:
+            // entries strictly older than the version being inserted can
+            // only ever be hit again by a snapshot that predates it (a
+            // transient respond_on batch), so they must not squat LRU
+            // slots and evict live entries. Strictly-older — not `!=` —
+            // so an old-snapshot insert never sweeps newer live entries.
+            // Linear scans: capacities are small (hundreds) and eviction
+            // is off the hit path.
+            let stale: Vec<CacheKey> = inner
+                .map
+                .iter()
+                .filter(|(_, e)| e.version < version)
+                .map(|(k, _)| k.clone())
+                .collect();
+            if !stale.is_empty() {
+                for k in &stale {
+                    inner.map.remove(k);
+                }
+                inner.stats.evictions += stale.len() as u64;
+            } else if let Some(victim) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
+                // No stale victims: fall back to plain LRU.
                 inner.map.remove(&victim);
                 inner.stats.evictions += 1;
             }
@@ -457,6 +475,78 @@ mod tests {
         let misses_before = cache.stats().misses;
         let _ = cache.get_or_compute(&e, &q2, &cfg, Algorithm::PatternEnum);
         assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn stale_corpses_are_evicted_before_live_entries() {
+        use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+        // Two coexisting states: e0 at version 0, e1 at version 1 — the
+        // respond_on micro-batching route really does insert at an old
+        // version while newer entries exist.
+        let e0 = engine();
+        let g = e0.graph();
+        let comp = g.type_by_text("Company").unwrap();
+        let mut d = GraphDelta::new(g);
+        d.add_node(comp, "Sybase").unwrap();
+        let (e1, _) = e0.with_delta(&d, PagerankMode::Frozen).unwrap();
+        assert_eq!((e0.version(), e1.version()), (0, 1));
+
+        let cache = QueryCache::new(4);
+        let cfg = SearchConfig::top(10);
+        let q = |text: &str| e0.parse(text).unwrap();
+        // Three live v1 entries…
+        for text in ["database", "company", "revenue"] {
+            let _ = cache.get_or_compute(&e1, &q(text), &cfg, Algorithm::PatternEnum);
+        }
+        // …then a v0 corpse inserted LAST (highest LRU stamp: plain LRU
+        // would protect it and evict the live "database" entry instead).
+        let _ = cache.get_or_compute(&e0, &q("software"), &cfg, Algorithm::PatternEnum);
+        assert_eq!(cache.len(), 4);
+
+        // Capacity pressure at v1: the corpse is swept, never a live one.
+        let _ = cache.get_or_compute(&e1, &q("microsoft"), &cfg, Algorithm::PatternEnum);
+        assert_eq!(cache.stats().evictions, 1);
+        let hits_before = cache.stats().hits;
+        for text in ["database", "company", "revenue", "microsoft"] {
+            let _ = cache.get_or_compute(&e1, &q(text), &cfg, Algorithm::PatternEnum);
+        }
+        assert_eq!(
+            cache.stats().hits,
+            hits_before + 4,
+            "every v1 entry survived while the v0 corpse was swept"
+        );
+        // The corpse is gone: re-querying it at v0 misses.
+        let misses_before = cache.stats().misses;
+        let _ = cache.get_or_compute(&e0, &q("software"), &cfg, Algorithm::PatternEnum);
+        assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn stale_sweep_frees_all_corpses_at_once() {
+        use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+        let e0 = engine();
+        let g = e0.graph();
+        let comp = g.type_by_text("Company").unwrap();
+        let mut d = GraphDelta::new(g);
+        d.add_node(comp, "Sybase").unwrap();
+        let (e1, _) = e0.with_delta(&d, PagerankMode::Frozen).unwrap();
+
+        // Fill the cache entirely with v0 entries, bump to v1, insert.
+        let cache = QueryCache::new(3);
+        let cfg = SearchConfig::top(10);
+        for text in ["database", "company", "revenue"] {
+            let _ =
+                cache.get_or_compute(&e0, &e0.parse(text).unwrap(), &cfg, Algorithm::PatternEnum);
+        }
+        let _ = cache.get_or_compute(
+            &e1,
+            &e1.parse("software").unwrap(),
+            &cfg,
+            Algorithm::PatternEnum,
+        );
+        // One insert swept every corpse, not just one LRU victim.
+        assert_eq!(cache.stats().evictions, 3);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -39,6 +39,45 @@ use patternkb_graph::mutate::{DeltaError, GraphDelta, PagerankMode};
 use patternkb_index::RefreshStats;
 use std::sync::Arc;
 
+/// What one [`SharedEngine::ingest_with`] call changed.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestOutcome {
+    /// The incremental refresh's work counters (affected roots, postings
+    /// kept/dropped/added, patterns interned).
+    pub stats: RefreshStats,
+    /// The data version now serving (strictly greater than before).
+    pub version: u64,
+}
+
+/// Why an [`SharedEngine::ingest_with`] call failed. `E` is the caller's
+/// delta-builder error (wire parse/resolution failures in the serving
+/// layer); the other variants are the engine's own refusals.
+#[derive(Debug)]
+pub enum IngestError<E> {
+    /// The handle was closed ([`SharedEngine::close`]); no new writes are
+    /// admitted. Maps to 503 on the serving surface.
+    Closed,
+    /// The caller's builder rejected the batch (nothing was mutated).
+    Build(E),
+    /// The built delta failed validation against its own base snapshot
+    /// (duplicate edge, removal of a missing edge, …). Never
+    /// [`DeltaError::BaseMismatch`]: the delta is built under the writer
+    /// lock, so the base cannot move between build and apply.
+    Delta(DeltaError),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for IngestError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Closed => write!(f, "engine is shutting down; ingest refused"),
+            IngestError::Build(e) => write!(f, "delta build failed: {e}"),
+            IngestError::Delta(e) => write!(f, "delta rejected: {e}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for IngestError<E> {}
+
 /// A queryable, mutable-by-swap handle shared across threads. Built by
 /// [`crate::EngineBuilder::build_shared`].
 pub struct SharedEngine {
@@ -218,8 +257,10 @@ impl SharedEngine {
     ///
     /// The delta must be built against [`Self::snapshot`]'s graph. If
     /// another ingest landed in between, the graphs no longer line up and
-    /// the delta is rejected by validation, so build deltas under your own
-    /// coordination or immediately before calling this.
+    /// the delta is rejected by validation ([`DeltaError::BaseMismatch`]) —
+    /// the caller must rebuild and retry. [`Self::ingest_with`] removes
+    /// that race entirely by building the delta under the writer lock;
+    /// prefer it for any concurrent write path.
     pub fn apply_delta(
         &self,
         delta: &GraphDelta,
@@ -231,6 +272,42 @@ impl SharedEngine {
         let (next, stats) = base.with_delta(delta, mode)?; // expensive, off the read lock
         *self.current.write() = Arc::new(next); // the only blocking moment
         Ok(stats)
+    }
+
+    /// The online write path: build a delta **against the latest snapshot,
+    /// under the writer lock**, apply it through the incremental index
+    /// refresh, and swap the result in — while readers keep serving the
+    /// old snapshot (the only read-side cost is the pointer swap).
+    ///
+    /// This closes [`Self::apply_delta`]'s check-then-act window: because
+    /// `build` runs with the writer mutex held, the snapshot it sees *is*
+    /// the apply base, so two racing ingests serialize — the second one's
+    /// `build` sees the first one's result — instead of one of them
+    /// failing [`DeltaError::BaseMismatch`] validation.
+    ///
+    /// `build` should therefore be quick (resolve names, assemble the
+    /// [`GraphDelta`]); the expensive part — the incremental refresh — also
+    /// runs under the writer lock but off the snapshot `RwLock`, so reads
+    /// never stall behind it. Returning `Err` from `build` abandons the
+    /// ingest with no state change.
+    pub fn ingest_with<E>(
+        &self,
+        mode: PagerankMode,
+        build: impl FnOnce(&SearchEngine) -> Result<GraphDelta, E>,
+    ) -> Result<IngestOutcome, IngestError<E>> {
+        let _writing = self.writer.lock();
+        if self.is_closed() {
+            return Err(IngestError::Closed);
+        }
+        // The base is pinned: no other writer can swap while we hold
+        // `writer`, so the delta `build` produces is applied to exactly
+        // the graph it was built against.
+        let base = self.snapshot();
+        let delta = build(&base).map_err(IngestError::Build)?;
+        let (next, stats) = base.with_delta(&delta, mode).map_err(IngestError::Delta)?;
+        let version = next.version();
+        *self.current.write() = Arc::new(next); // the only blocking moment
+        Ok(IngestOutcome { stats, version })
     }
 }
 
@@ -514,6 +591,102 @@ mod tests {
         // The entry is visible to both routes.
         assert_eq!(s.respond_on(&snap, &req).unwrap().cache, CacheOutcome::Hit);
         assert_eq!(s.respond(&req).unwrap().cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn ingest_with_builds_under_the_writer_lock() {
+        // Two threads ingest through `ingest_with` with NO retry loop:
+        // the delta is built against the locked base, so BaseMismatch is
+        // impossible and both land (serialized).
+        let s = shared();
+        std::thread::scope(|scope| {
+            for t in 0..2 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..3 {
+                        let outcome = s
+                            .ingest_with(PagerankMode::Frozen, |snap| {
+                                let g = snap.graph();
+                                let comp = g.type_by_text("Company").unwrap();
+                                let mut d = GraphDelta::new(g);
+                                d.add_node(comp, &format!("racer {t} entity {i}"))?;
+                                Ok::<_, DeltaError>(d)
+                            })
+                            .expect("serialized ingest cannot conflict");
+                        assert!(outcome.version >= 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.version(), 6);
+        let r = s
+            .respond(&SearchRequest::text("racer entity").k(100))
+            .unwrap();
+        assert_eq!(r.top().unwrap().num_trees, 6);
+    }
+
+    #[test]
+    fn ingest_with_surfaces_build_and_delta_errors() {
+        let s = shared();
+        // Builder refusal: nothing changes.
+        let err = s
+            .ingest_with(PagerankMode::Frozen, |_| Err::<GraphDelta, _>("nope"))
+            .unwrap_err();
+        assert!(matches!(err, IngestError::Build("nope")));
+        assert_eq!(s.version(), 0);
+        // Delta validation failure (remove of a missing edge): typed,
+        // state untouched.
+        let err = s
+            .ingest_with(PagerankMode::Frozen, |snap| {
+                let g = snap.graph();
+                let dev = g.attr_by_text("Developer").unwrap();
+                let mut d = GraphDelta::new(g);
+                // Reversed direction: not present in Figure 1.
+                d.remove_edge(patternkb_graph::NodeId(1), dev, patternkb_graph::NodeId(0))?;
+                Ok::<_, DeltaError>(d)
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::Delta(DeltaError::EdgeNotFound { .. })
+        ));
+        assert_eq!(s.version(), 0);
+    }
+
+    #[test]
+    fn ingest_with_refused_after_close() {
+        let s = shared();
+        s.close();
+        let err = s
+            .ingest_with(PagerankMode::Frozen, |snap| {
+                Ok::<_, DeltaError>(GraphDelta::new(snap.graph()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, IngestError::Closed));
+    }
+
+    #[test]
+    fn ingest_with_reports_refresh_stats_and_version() {
+        let s = shared();
+        let outcome = s
+            .ingest_with(PagerankMode::Frozen, |snap| {
+                let g = snap.graph();
+                let comp = g.type_by_text("Company").unwrap();
+                let rev = g.attr_by_text("Revenue").unwrap();
+                let mut d = GraphDelta::new(g);
+                let v = d.add_node(comp, "ingest vendor")?;
+                d.add_text_edge(v, rev, "US$ 1 million")?;
+                Ok::<_, DeltaError>(d)
+            })
+            .unwrap();
+        assert_eq!(outcome.version, 1);
+        assert_eq!(s.version(), 1);
+        assert!(outcome.stats.affected_roots > 0);
+        assert!(outcome.stats.postings_added > 0);
+        let r = s
+            .respond(&SearchRequest::text("vendor revenue").k(10))
+            .unwrap();
+        assert_eq!(r.top().unwrap().num_trees, 1);
     }
 
     #[test]

@@ -110,10 +110,11 @@ pub mod unified;
 
 pub use builder::EngineBuilder;
 pub use cache::QueryCache;
-pub use concurrent::SharedEngine;
+pub use concurrent::{IngestError, IngestOutcome, SharedEngine};
 pub use diversify::{diversify, DiversifyConfig};
 pub use engine::{Algorithm, SearchEngine};
 pub use error::Error;
+pub use patternkb_index::RefreshStats;
 pub use plan::{PlannerConfig, QueryEstimate};
 pub use query::{ParseError, Query};
 pub use request::{AlgorithmChoice, CacheOutcome, SearchRequest, SearchResponse};

@@ -1,5 +1,5 @@
 //! The wire schema: JSON bodies mapping 1:1 onto [`SearchRequest`] /
-//! [`SearchResponse`].
+//! [`SearchResponse`], plus the `/admin/ingest` mutation-batch format.
 //!
 //! Requests are parsed *strictly*: unknown fields, wrong types, and
 //! out-of-range knobs are 400s naming the offending field — a typo'd knob
@@ -7,12 +7,22 @@
 //! mirrors [`SearchResponse`] minus the engine-internal types (patterns
 //! render through their table answers and display strings).
 //!
-//! See the README "Serving" section for the full field reference.
+//! Ingest bodies are a batch of mutations addressing nodes by stable
+//! name or id; [`parse_ingest`] checks the shape (graph-free, so parse
+//! errors never hold the writer lock) and [`compile_delta`] resolves the
+//! references against one pinned snapshot into a
+//! [`patternkb_graph::mutate::GraphDelta`].
+//!
+//! See the README "Serving" and "Writes" sections for the full field
+//! reference.
 
 use crate::json::{count, num, s, Json};
+use patternkb_graph::mutate::{GraphDelta, PagerankMode};
+use patternkb_graph::{KnowledgeGraph, NameResolver, NodeId};
 use patternkb_search::topk::SamplingConfig;
 use patternkb_search::{
-    AlgorithmChoice, CacheOutcome, Error, SearchEngine, SearchRequest, SearchResponse,
+    AlgorithmChoice, CacheOutcome, Error, IngestOutcome, SearchEngine, SearchRequest,
+    SearchResponse,
 };
 use std::time::Duration;
 
@@ -33,6 +43,14 @@ impl ApiError {
         }
     }
 }
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
 
 /// A decoded `/search` body: the engine request plus the request-level
 /// deadline override (`timeout_ms`), which the server clamps to its own
@@ -197,6 +215,386 @@ pub fn parse_search(body: &[u8]) -> Result<ParsedSearch, ApiError> {
     };
 
     Ok(ParsedSearch { request, timeout })
+}
+
+// ---------------------------------------------------------------------
+// The ingest wire format (`POST /admin/ingest`).
+// ---------------------------------------------------------------------
+
+/// A wire-level node reference: a JSON string is a node *name* (resolved
+/// against the pinned snapshot, batch-added names first), a JSON integer
+/// is a raw [`NodeId`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeRef {
+    /// Address by node id (always unambiguous).
+    Id(u32),
+    /// Address by node text; must resolve to exactly one node.
+    Name(String),
+}
+
+impl std::fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeRef::Id(id) => write!(f, "#{id}"),
+            NodeRef::Name(name) => write!(f, "{name:?}"),
+        }
+    }
+}
+
+/// One mutation of an ingest batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Add an entity (`type` is interned if new); its `name` becomes
+    /// referenceable by later mutations of the same batch.
+    AddNode {
+        /// Entity type text.
+        type_name: String,
+        /// Node text (the batch-local reference name).
+        name: String,
+    },
+    /// Add an attribute edge between two existing-or-batch-added nodes.
+    AddEdge {
+        /// Edge source.
+        source: NodeRef,
+        /// Attribute type text (interned if new).
+        attr: String,
+        /// Edge target.
+        target: NodeRef,
+    },
+    /// Add an attribute whose value is plain text (creates/reuses the
+    /// dummy text node).
+    AddTextEdge {
+        /// Edge source.
+        source: NodeRef,
+        /// Attribute type text (interned if new).
+        attr: String,
+        /// The plain-text value.
+        value: String,
+    },
+    /// Remove an existing base-graph edge.
+    RemoveEdge {
+        /// Edge source.
+        source: NodeRef,
+        /// Attribute type text.
+        attr: String,
+        /// Edge target (plain-text values are addressed by their text).
+        target: NodeRef,
+    },
+}
+
+/// A decoded `/admin/ingest` body.
+#[derive(Clone, Debug)]
+pub struct IngestBatch {
+    /// The mutations, in order.
+    pub mutations: Vec<Mutation>,
+    /// How to refresh PageRank (`"frozen"` default, or `"recompute"`).
+    pub mode: PagerankMode,
+}
+
+const INGEST_FIELDS: [&str; 2] = ["mutations", "pagerank"];
+
+fn ref_field(v: &Json, path: &str) -> Result<NodeRef, ApiError> {
+    match v {
+        Json::Str(name) => Ok(NodeRef::Name(name.clone())),
+        Json::Num(_) => {
+            let id = v
+                .as_u64()
+                .filter(|&id| id <= u32::MAX as u64)
+                .ok_or_else(|| {
+                    ApiError::new("bad_field", format!("{path:?} must be a node id (u32)"))
+                })?;
+            Ok(NodeRef::Id(id as u32))
+        }
+        _ => Err(ApiError::new(
+            "bad_field",
+            format!("{path:?} must be a node name (string) or id (integer)"),
+        )),
+    }
+}
+
+fn str_field(m: &Json, path: &str, key: &str) -> Result<String, ApiError> {
+    m.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| {
+            ApiError::new(
+                "missing_field",
+                format!("field \"{path}.{key}\" (string) is required"),
+            )
+        })
+}
+
+fn node_ref_field(m: &Json, path: &str, key: &str) -> Result<NodeRef, ApiError> {
+    let v = m.get(key).ok_or_else(|| {
+        ApiError::new(
+            "missing_field",
+            format!("field \"{path}.{key}\" (name or id) is required"),
+        )
+    })?;
+    ref_field(v, &format!("{path}.{key}"))
+}
+
+fn check_fields(m: &[(String, Json)], path: &str, accepted: &[&str]) -> Result<(), ApiError> {
+    for (key, _) in m {
+        if !accepted.contains(&key.as_str()) {
+            return Err(ApiError::new(
+                "unknown_field",
+                format!(
+                    "unknown field \"{path}.{key}\"; accepted: {}",
+                    accepted.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parse a `/admin/ingest` body (shape only — node references are
+/// resolved later by [`compile_delta`] against the pinned snapshot).
+pub fn parse_ingest(body: &[u8]) -> Result<IngestBatch, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new("bad_body", "request body is not UTF-8"))?;
+    let json =
+        Json::parse(text).map_err(|e| ApiError::new("bad_json", format!("malformed JSON: {e}")))?;
+    let Json::Obj(fields) = &json else {
+        return Err(ApiError::new(
+            "bad_body",
+            "request body must be a JSON object",
+        ));
+    };
+    for (key, _) in fields {
+        if !INGEST_FIELDS.contains(&key.as_str()) {
+            return Err(ApiError::new(
+                "unknown_field",
+                format!(
+                    "unknown field {key:?}; accepted: {}",
+                    INGEST_FIELDS.join(", ")
+                ),
+            ));
+        }
+    }
+
+    let mode = match json.get("pagerank") {
+        None => PagerankMode::Frozen,
+        Some(v) => match v.as_str() {
+            Some("frozen") => PagerankMode::Frozen,
+            Some("recompute") => PagerankMode::Recompute,
+            _ => {
+                return Err(ApiError::new(
+                    "bad_field",
+                    "\"pagerank\" must be \"frozen\" or \"recompute\"",
+                ))
+            }
+        },
+    };
+
+    let items = json
+        .get("mutations")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| {
+            ApiError::new(
+                "missing_field",
+                "field \"mutations\" (non-empty array) is required",
+            )
+        })?;
+    if items.is_empty() {
+        return Err(ApiError::new(
+            "bad_field",
+            "\"mutations\" must not be empty",
+        ));
+    }
+
+    let mut mutations = Vec::with_capacity(items.len());
+    for (i, m) in items.iter().enumerate() {
+        let path = format!("mutations[{i}]");
+        let Json::Obj(obj) = m else {
+            return Err(ApiError::new(
+                "bad_field",
+                format!("\"{path}\" must be an object"),
+            ));
+        };
+        let op = m.get("op").and_then(Json::as_str).ok_or_else(|| {
+            ApiError::new(
+                "missing_field",
+                format!("field \"{path}.op\" (string) is required"),
+            )
+        })?;
+        let mutation = match op {
+            "add_node" => {
+                check_fields(obj, &path, &["op", "type", "name"])?;
+                Mutation::AddNode {
+                    type_name: str_field(m, &path, "type")?,
+                    name: str_field(m, &path, "name")?,
+                }
+            }
+            "add_edge" => {
+                check_fields(obj, &path, &["op", "source", "attr", "target"])?;
+                Mutation::AddEdge {
+                    source: node_ref_field(m, &path, "source")?,
+                    attr: str_field(m, &path, "attr")?,
+                    target: node_ref_field(m, &path, "target")?,
+                }
+            }
+            "add_text_edge" => {
+                check_fields(obj, &path, &["op", "source", "attr", "value"])?;
+                Mutation::AddTextEdge {
+                    source: node_ref_field(m, &path, "source")?,
+                    attr: str_field(m, &path, "attr")?,
+                    value: str_field(m, &path, "value")?,
+                }
+            }
+            "remove_edge" => {
+                check_fields(obj, &path, &["op", "source", "attr", "target"])?;
+                Mutation::RemoveEdge {
+                    source: node_ref_field(m, &path, "source")?,
+                    attr: str_field(m, &path, "attr")?,
+                    target: node_ref_field(m, &path, "target")?,
+                }
+            }
+            other => {
+                return Err(ApiError::new(
+                    "bad_field",
+                    format!(
+                        "unknown op {other:?} in \"{path}\"; one of add_node, add_edge, \
+                         add_text_edge, remove_edge"
+                    ),
+                ))
+            }
+        };
+        mutations.push(mutation);
+    }
+    Ok(IngestBatch { mutations, mode })
+}
+
+/// Resolve a batch's references against `g` and assemble the
+/// [`GraphDelta`]. Runs inside [`patternkb_search::SharedEngine::ingest_with`]'s
+/// builder, so `g` is pinned: the delta is guaranteed to apply to exactly
+/// this graph. Every failure is a 400-class [`ApiError`] naming the
+/// offending mutation.
+pub fn compile_delta(g: &KnowledgeGraph, batch: &IngestBatch) -> Result<GraphDelta, ApiError> {
+    // The resolver's text→id table costs a full graph pass, and this runs
+    // under the writer lock — build it only when a mutation actually
+    // addresses a node by name (id-only batches skip it entirely; the
+    // lock still pins the snapshot, so lazy construction is equivalent).
+    let mut resolver: Option<NameResolver<'_>> = None;
+    // Names minted by this batch's add_node ops, consulted before the
+    // snapshot so later mutations can reference them.
+    let mut local: std::collections::HashMap<&str, NodeId> = std::collections::HashMap::new();
+    let mut delta = GraphDelta::new(g);
+    fn resolve<'g>(
+        g: &'g KnowledgeGraph,
+        resolver: &mut Option<NameResolver<'g>>,
+        local: &std::collections::HashMap<&str, NodeId>,
+        r: &NodeRef,
+        path: String,
+    ) -> Result<NodeId, ApiError> {
+        match r {
+            NodeRef::Id(id) => Ok(NodeId(*id)),
+            NodeRef::Name(name) => {
+                if let Some(&v) = local.get(name.as_str()) {
+                    return Ok(v);
+                }
+                resolver
+                    .get_or_insert_with(|| NameResolver::new(g))
+                    .resolve(name)
+                    .map_err(|e| ApiError::new("unresolved_node", format!("{path}: {e}")))
+            }
+        }
+    }
+    for (i, m) in batch.mutations.iter().enumerate() {
+        let path = |field: &str| format!("mutations[{i}].{field}");
+        let mutated = match m {
+            Mutation::AddNode { type_name, name } => {
+                let t = delta.add_type(type_name);
+                let v = delta.add_node(t, name);
+                if let Ok(v) = v {
+                    if local.insert(name.as_str(), v).is_some() {
+                        return Err(ApiError::new(
+                            "duplicate_name",
+                            format!(
+                                "{}: {name:?} was already added by this batch; \
+                                 batch-local names must be unique",
+                                path("name")
+                            ),
+                        ));
+                    }
+                }
+                v.map(|_| ())
+            }
+            Mutation::AddEdge {
+                source,
+                attr,
+                target,
+            } => {
+                let s = resolve(g, &mut resolver, &local, source, path("source"))?;
+                let t = resolve(g, &mut resolver, &local, target, path("target"))?;
+                let a = delta.add_attr(attr);
+                delta.add_edge(s, a, t)
+            }
+            Mutation::AddTextEdge {
+                source,
+                attr,
+                value,
+            } => {
+                let s = resolve(g, &mut resolver, &local, source, path("source"))?;
+                let a = delta.add_attr(attr);
+                delta.add_text_edge(s, a, value).map(|_| ())
+            }
+            Mutation::RemoveEdge {
+                source,
+                attr,
+                target,
+            } => {
+                let s = resolve(g, &mut resolver, &local, source, path("source"))?;
+                let t = resolve(g, &mut resolver, &local, target, path("target"))?;
+                match g.attr_by_text(attr) {
+                    Some(a) => delta.remove_edge(s, a, t),
+                    None => {
+                        return Err(ApiError::new(
+                            "unresolved_attr",
+                            format!("{}: no attribute named {attr:?} exists", path("attr")),
+                        ))
+                    }
+                }
+            }
+        };
+        mutated.map_err(|e| ApiError::new("bad_mutation", format!("mutations[{i}]: {e}")))?;
+    }
+    Ok(delta)
+}
+
+/// Render a successful ingest as the response body.
+pub fn render_ingest(outcome: &IngestOutcome, elapsed: Duration) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("version".to_string(), count(outcome.version)),
+        (
+            "affected_roots".to_string(),
+            count(outcome.stats.affected_roots as u64),
+        ),
+        (
+            "stats".to_string(),
+            Json::Obj(vec![
+                (
+                    "postings_dropped".to_string(),
+                    count(outcome.stats.postings_dropped as u64),
+                ),
+                (
+                    "postings_kept".to_string(),
+                    count(outcome.stats.postings_kept as u64),
+                ),
+                (
+                    "postings_added".to_string(),
+                    count(outcome.stats.postings_added as u64),
+                ),
+                (
+                    "patterns_added".to_string(),
+                    count(outcome.stats.patterns_added as u64),
+                ),
+            ]),
+        ),
+        ("elapsed_us".to_string(), count(elapsed.as_micros() as u64)),
+    ])
 }
 
 /// Render a successful search as the response body. `engine` is the
@@ -430,6 +828,181 @@ mod tests {
         assert_eq!(parse_search(b"{oops").unwrap_err().kind, "bad_json");
         assert_eq!(parse_search(b"[1,2]").unwrap_err().kind, "bad_body");
         assert_eq!(parse_search(&[0xff, 0xfe]).unwrap_err().kind, "bad_body");
+    }
+
+    fn figure1_graph() -> KnowledgeGraph {
+        patternkb_datagen::figure1().0
+    }
+
+    #[test]
+    fn ingest_batch_parses_and_compiles() {
+        let batch = parse_ingest(
+            br#"{"mutations":[
+                {"op":"add_node","type":"Company","name":"Initech"},
+                {"op":"add_text_edge","source":"Initech","attr":"Revenue","value":"US$ 1 million"},
+                {"op":"add_edge","source":"SQL Server","attr":"Developer","target":"Initech"},
+                {"op":"remove_edge","source":"SQL Server","attr":"Developer","target":"Microsoft"}
+            ],"pagerank":"recompute"}"#,
+        )
+        .unwrap();
+        assert_eq!(batch.mutations.len(), 4);
+        assert_eq!(batch.mode, PagerankMode::Recompute);
+        assert_eq!(
+            batch.mutations[0],
+            Mutation::AddNode {
+                type_name: "Company".into(),
+                name: "Initech".into()
+            }
+        );
+
+        let g = figure1_graph();
+        let delta = compile_delta(&g, &batch).unwrap();
+        assert_eq!(delta.num_new_nodes(), 2); // Initech + the text value
+        assert_eq!(delta.num_added_edges(), 2);
+        assert_eq!(delta.num_removed_edges(), 1);
+        // The compiled delta actually applies.
+        let g2 = delta.apply(&g, PagerankMode::Recompute).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes() + 2);
+    }
+
+    #[test]
+    fn ingest_default_pagerank_is_frozen_and_ids_work() {
+        let batch = parse_ingest(
+            br#"{"mutations":[{"op":"add_edge","source":0,"attr":"Developer","target":1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(batch.mode, PagerankMode::Frozen);
+        assert_eq!(
+            batch.mutations[0],
+            Mutation::AddEdge {
+                source: NodeRef::Id(0),
+                attr: "Developer".into(),
+                target: NodeRef::Id(1),
+            }
+        );
+        // Duplicate of an existing edge (addressed purely by id): compile
+        // passes shape-wise, the delta itself reports it at apply time
+        // (409 on the wire).
+        let g = figure1_graph();
+        let e = g.edges().next().unwrap();
+        let batch = parse_ingest(
+            format!(
+                r#"{{"mutations":[{{"op":"add_edge","source":{},"attr":{:?},"target":{}}}]}}"#,
+                e.source.0,
+                g.attr_text(e.attr),
+                e.target.0
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let delta = compile_delta(&g, &batch).unwrap();
+        assert!(delta.apply(&g, PagerankMode::Frozen).is_err());
+    }
+
+    #[test]
+    fn ingest_parse_errors_name_the_field() {
+        for (body, needle) in [
+            (&br#"{"mutations":[]}"#[..], "mutations"),
+            (br#"{"mutations":[{"op":"warp"}]}"#, "warp"),
+            (
+                br#"{"mutations":[{"op":"add_node","type":"T"}]}"#,
+                "mutations[0].name",
+            ),
+            (
+                br#"{"mutations":[{"op":"add_node","type":"T","name":"x","extra":1}]}"#,
+                "mutations[0].extra",
+            ),
+            (
+                br#"{"mutations":[{"op":"add_edge","source":true,"attr":"A","target":1}]}"#,
+                "mutations[0].source",
+            ),
+            (
+                br#"{"mutations":[{"op":"add_node","type":"T","name":"x"}],"pagerank":"sometimes"}"#,
+                "pagerank",
+            ),
+            (br#"{"mutatons":[]}"#, "mutatons"),
+        ] {
+            let e = parse_ingest(body).unwrap_err();
+            assert!(
+                e.message.contains(needle),
+                "{needle}: {} should name it",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_compile_errors_are_typed() {
+        let g = figure1_graph();
+        // Unknown name.
+        let batch = parse_ingest(
+            br#"{"mutations":[{"op":"add_text_edge","source":"Hooli","attr":"Revenue","value":"x"}]}"#,
+        )
+        .unwrap();
+        let e = compile_delta(&g, &batch).unwrap_err();
+        assert_eq!(e.kind, "unresolved_node");
+        assert!(e.message.contains("Hooli"));
+        // Unknown attribute on remove (cannot possibly match an edge).
+        let batch = parse_ingest(
+            br#"{"mutations":[{"op":"remove_edge","source":"SQL Server","attr":"Frobnicates","target":"Microsoft"}]}"#,
+        )
+        .unwrap();
+        let e = compile_delta(&g, &batch).unwrap_err();
+        assert_eq!(e.kind, "unresolved_attr");
+        // Duplicate batch-local name.
+        let batch = parse_ingest(
+            br#"{"mutations":[
+                {"op":"add_node","type":"Company","name":"Twin"},
+                {"op":"add_node","type":"Company","name":"Twin"}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            compile_delta(&g, &batch).unwrap_err().kind,
+            "duplicate_name"
+        );
+        // Out-of-range id is caught at delta-build time.
+        let batch = parse_ingest(
+            br#"{"mutations":[{"op":"add_edge","source":9999,"attr":"Developer","target":0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(compile_delta(&g, &batch).unwrap_err().kind, "bad_mutation");
+    }
+
+    #[test]
+    fn ingest_batch_local_names_resolve_in_order() {
+        let g = figure1_graph();
+        let batch = parse_ingest(
+            br#"{"mutations":[
+                {"op":"add_node","type":"Software","name":"DB2"},
+                {"op":"add_node","type":"Company","name":"IBM"},
+                {"op":"add_edge","source":"DB2","attr":"Developer","target":"IBM"}
+            ]}"#,
+        )
+        .unwrap();
+        let delta = compile_delta(&g, &batch).unwrap();
+        assert_eq!(delta.num_new_nodes(), 2);
+        assert_eq!(delta.num_added_edges(), 1);
+        assert!(delta.apply(&g, PagerankMode::Frozen).is_ok());
+    }
+
+    #[test]
+    fn ingest_render_reports_version_and_stats() {
+        let outcome = IngestOutcome {
+            stats: patternkb_search::RefreshStats {
+                affected_roots: 3,
+                postings_dropped: 1,
+                postings_kept: 40,
+                postings_added: 7,
+                patterns_added: 2,
+            },
+            version: 5,
+        };
+        let body = render_ingest(&outcome, Duration::from_micros(1500)).render();
+        assert!(body.contains("\"version\":5"));
+        assert!(body.contains("\"affected_roots\":3"));
+        assert!(body.contains("\"postings_added\":7"));
+        assert!(body.contains("\"elapsed_us\":1500"));
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //! * **Observability** ([`metrics`]): `GET /metrics` in Prometheus text
 //!   format — request counts by route/status, a latency histogram, queue
 //!   depth, shed counts, cache hit rate, per-shard work, epoch/version.
+//! * **The online write path** ([`server`], [`api`]): `POST
+//!   /admin/ingest` accepts a JSON mutation batch (`add_node`,
+//!   `add_edge`, `add_text_edge`, `remove_edge` by stable names/ids),
+//!   compiles it into a [`patternkb_graph::mutate::GraphDelta`] and
+//!   applies it through
+//!   [`patternkb_search::SharedEngine::ingest_with`]'s incremental index
+//!   refresh — never a full rebuild, and reads keep serving the old
+//!   snapshot until the pointer swap. Racing ingests serialize.
 //! * **Lifecycle** ([`server`]): `POST /admin/reload` hot-swaps a
 //!   rebuilt engine ([`patternkb_search::SharedEngine::replace`]) while
 //!   in-flight queries finish on the old epoch; `POST /admin/shutdown`
@@ -36,6 +44,7 @@
 //! | POST   | `/search`         | One keyword query (JSON body)             |
 //! | GET    | `/healthz`        | Liveness (503 while draining)             |
 //! | GET    | `/metrics`        | Prometheus text exposition                |
+//! | POST   | `/admin/ingest`   | Online mutation batch (incremental)       |
 //! | POST   | `/admin/reload`   | Hot snapshot swap (rebuild + epoch bump)  |
 //! | POST   | `/admin/shutdown` | Graceful drain + stop                     |
 //!

@@ -8,9 +8,10 @@
 //! mirrored, so they can never drift.
 
 use patternkb_search::{QueryStats, SharedEngine};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Histogram bucket upper bounds in seconds (Prometheus `le` labels),
 /// log-spaced from 250µs to 10s.
@@ -45,10 +46,8 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    fn render(&self, name: &str, out: &mut String) {
-        out.push_str(&format!(
-            "# HELP {name} Search request latency (successful requests).\n# TYPE {name} histogram\n"
-        ));
+    fn render(&self, name: &str, help: &str, out: &mut String) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
         for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
             out.push_str(&format!(
                 "{name}_bucket{{le=\"{bound}\"}} {}\n",
@@ -77,25 +76,28 @@ pub enum Route {
     Metrics,
     /// `POST /admin/reload`
     AdminReload,
+    /// `POST /admin/ingest`
+    AdminIngest,
     /// `POST /admin/shutdown`
     AdminShutdown,
     /// Anything else (404s, bad requests, …).
     Other,
 }
 
-const ROUTES: [(Route, &str); 6] = [
+const ROUTES: [(Route, &str); 7] = [
     (Route::Search, "search"),
     (Route::Healthz, "healthz"),
     (Route::Metrics, "metrics"),
     (Route::AdminReload, "admin_reload"),
+    (Route::AdminIngest, "admin_ingest"),
     (Route::AdminShutdown, "admin_shutdown"),
     (Route::Other, "other"),
 ];
 
 /// Status classes the counter matrix tracks per route — every code the
 /// server emits (`http::reason` is the superset to keep in sync).
-const CODES: [u16; 13] = [
-    200, 400, 404, 405, 408, 411, 413, 429, 431, 500, 501, 503, 505,
+const CODES: [u16; 14] = [
+    200, 400, 404, 405, 408, 409, 411, 413, 429, 431, 500, 501, 503, 505,
 ];
 
 fn code_slot(code: u16) -> usize {
@@ -135,6 +137,16 @@ pub struct ServerMetrics {
     pub reloads: AtomicU64,
     /// Failed reload attempts.
     pub reload_failures: AtomicU64,
+    /// Mutation batches applied through `POST /admin/ingest`.
+    pub ingests: AtomicU64,
+    /// Ingest batches refused (parse/resolution 400s, conflicts, closed).
+    pub ingest_failures: AtomicU64,
+    /// Duration of applied ingests (delta compile + incremental refresh +
+    /// snapshot swap).
+    pub ingest_refresh: Histogram,
+    /// Recently drained (worker-served) request counts, for the
+    /// [`Self::retry_after_secs`] estimate.
+    drained: Mutex<VecDeque<(Instant, u64)>>,
     /// Connections accepted over the server's lifetime.
     pub connections_total: AtomicU64,
     /// Currently open connections.
@@ -147,14 +159,72 @@ pub struct ServerMetrics {
 impl ServerMetrics {
     /// Count one finished HTTP exchange.
     pub fn record(&self, route: Route, code: u16) {
-        let r = ROUTES.iter().position(|(x, _)| *x == route).unwrap_or(5);
+        let r = ROUTES
+            .iter()
+            .position(|(x, _)| *x == route)
+            .unwrap_or(ROUTES.len() - 1);
         self.requests[r][code_slot(code)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total requests answered with `code` on `route` (test/diagnostics).
     pub fn count(&self, route: Route, code: u16) -> u64 {
-        let r = ROUTES.iter().position(|(x, _)| *x == route).unwrap_or(5);
+        let r = ROUTES
+            .iter()
+            .position(|(x, _)| *x == route)
+            .unwrap_or(ROUTES.len() - 1);
         self.requests[r][code_slot(code)].load(Ordering::Relaxed)
+    }
+
+    /// How far back the drain-rate window looks.
+    const DRAIN_WINDOW: Duration = Duration::from_secs(5);
+
+    /// Note that a worker just drained `n` requests off the admission
+    /// queue (one call per batch pop).
+    pub fn note_drained(&self, n: u64) {
+        self.note_drained_at(Instant::now(), n);
+    }
+
+    fn note_drained_at(&self, now: Instant, n: u64) {
+        let mut window = self.drained.lock().unwrap();
+        window.push_back((now, n));
+        while let Some(&(t, _)) = window.front() {
+            if now.duration_since(t) > Self::DRAIN_WINDOW {
+                window.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The `Retry-After` value (seconds) derived from the live queue:
+    /// current depth ÷ recent drain throughput, clamped to `[1, 30]`.
+    /// Every shedding site emits this one estimate so they cannot drift.
+    ///
+    /// An empty queue retries in 1 s (shed was a transient spike); a
+    /// backlog with *no* recent drainage is the pessimistic 30 s (workers
+    /// stalled or all capacity busy on long queries).
+    pub fn retry_after_secs(&self) -> u64 {
+        self.retry_after_secs_at(Instant::now())
+    }
+
+    fn retry_after_secs_at(&self, now: Instant) -> u64 {
+        let depth = self.queue_depth.load(Ordering::Relaxed);
+        if depth == 0 {
+            return 1;
+        }
+        let drained: u64 = self
+            .drained
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(t, _)| now.duration_since(*t) <= Self::DRAIN_WINDOW)
+            .map(|&(_, n)| n)
+            .sum();
+        if drained == 0 {
+            return 30;
+        }
+        let rate = drained as f64 / Self::DRAIN_WINDOW.as_secs_f64();
+        ((depth as f64 / rate).ceil() as u64).clamp(1, 30)
     }
 
     /// Fold one answered search's per-shard stats into the aggregates.
@@ -189,8 +259,11 @@ impl ServerMetrics {
             }
         }
 
-        self.latency
-            .render("patternkb_search_latency_seconds", &mut out);
+        self.latency.render(
+            "patternkb_search_latency_seconds",
+            "Search request latency (successful requests).",
+            &mut out,
+        );
 
         out.push_str(
             "# HELP patternkb_queue_depth Requests waiting in the admission queue.\n\
@@ -285,6 +358,27 @@ impl ServerMetrics {
             "patternkb_reload_failures_total {}\n",
             self.reload_failures.load(Ordering::Relaxed)
         ));
+        out.push_str(
+            "# HELP patternkb_ingests_total Mutation batches applied via /admin/ingest.\n\
+             # TYPE patternkb_ingests_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_ingests_total {}\n",
+            self.ingests.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP patternkb_ingest_failures_total Ingest batches refused.\n\
+             # TYPE patternkb_ingest_failures_total counter\n",
+        );
+        out.push_str(&format!(
+            "patternkb_ingest_failures_total {}\n",
+            self.ingest_failures.load(Ordering::Relaxed)
+        ));
+        self.ingest_refresh.render(
+            "patternkb_ingest_refresh_seconds",
+            "Applied-ingest duration (delta compile + incremental refresh + swap).",
+            &mut out,
+        );
 
         out.push_str(
             "# HELP patternkb_connections_total Connections accepted.\n\
@@ -343,7 +437,7 @@ mod tests {
         h.observe(Duration::from_millis(30)); // > 25ms bound
         assert_eq!(h.count(), 2);
         let mut out = String::new();
-        h.render("t", &mut out);
+        h.render("t", "test histogram", &mut out);
         assert!(out.contains("t_bucket{le=\"0.00025\"} 1\n"));
         assert!(out.contains("t_bucket{le=\"0.05\"} 2\n"));
         assert!(out.contains("t_bucket{le=\"+Inf\"} 2\n"));
@@ -363,6 +457,41 @@ mod tests {
         assert_eq!(m.count(Route::Search, 429), 1);
         assert_eq!(m.count(Route::Other, 404), 1);
         assert_eq!(m.count(Route::Search, 500), 1);
+    }
+
+    #[test]
+    fn retry_after_derives_from_queue_and_drain_rate() {
+        let m = ServerMetrics::default();
+        let now = Instant::now();
+
+        // Empty queue: retry shortly no matter the drain history.
+        assert_eq!(m.retry_after_secs_at(now), 1);
+
+        // Backlog with nothing draining: pessimistic cap.
+        m.queue_depth.store(100, Ordering::Relaxed);
+        assert_eq!(m.retry_after_secs_at(now), 30);
+
+        // 50 drained in the 5s window → 10/s; 100 queued → 10s.
+        m.note_drained_at(now, 50);
+        assert_eq!(m.retry_after_secs_at(now), 10);
+
+        // Faster drainage shrinks the estimate, floored at 1.
+        m.note_drained_at(now, 950);
+        assert_eq!(m.retry_after_secs_at(now), 1);
+
+        // Entries age out of the window; backlog alone is capped at 30.
+        let later = now + Duration::from_secs(11);
+        m.note_drained_at(later, 0); // triggers expiry of old entries
+        assert_eq!(m.retry_after_secs_at(later), 30);
+    }
+
+    #[test]
+    fn retry_after_is_clamped() {
+        let m = ServerMetrics::default();
+        let now = Instant::now();
+        m.queue_depth.store(100_000, Ordering::Relaxed);
+        m.note_drained_at(now, 1);
+        assert_eq!(m.retry_after_secs_at(now), 30);
     }
 
     #[test]

@@ -30,6 +30,18 @@
 //! running the search. Under overload the queue length, not the latency
 //! tail, absorbs the excess.
 //!
+//! ## Writes
+//!
+//! `POST /admin/ingest` is the **online write path**: a JSON mutation
+//! batch is compiled into a [`patternkb_graph::mutate::GraphDelta`] and
+//! applied through [`SharedEngine::ingest_with`] — the delta is built
+//! against the snapshot pinned under the writer lock, refreshed
+//! incrementally (never a full rebuild), and swapped in while reads keep
+//! serving the old snapshot. Racing ingests serialize on the writer lock;
+//! racing reads never stall beyond the pointer swap. Runs on the
+//! connection thread (like reload), so the worker pool keeps answering
+//! queries throughout.
+//!
 //! ## Lifecycle
 //!
 //! `POST /admin/reload` rebuilds the engine through the caller-provided
@@ -43,7 +55,7 @@ use crate::http::{write_response, HttpError, HttpLimits, HttpReader, Request};
 use crate::json::{count, Json};
 use crate::metrics::{Route, ServerMetrics};
 use crate::queue::BoundedQueue;
-use patternkb_search::{SearchEngine, SearchRequest, SharedEngine};
+use patternkb_search::{IngestError, SearchEngine, SearchRequest, SharedEngine};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -75,6 +87,9 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Keep-alive connections idle longer than this are closed.
     pub idle_timeout: Duration,
+    /// Whether `POST /admin/ingest` (the online write path) is served.
+    /// Disabled servers answer it with 501.
+    pub enable_ingest: bool,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +103,7 @@ impl Default for ServeConfig {
             max_body_bytes: 1024 * 1024,
             max_connections: 256,
             idle_timeout: Duration::from_secs(30),
+            enable_ingest: true,
         }
     }
 }
@@ -253,6 +269,13 @@ impl Server {
     }
 }
 
+/// The one `Retry-After` header every shedding site emits: derived from
+/// the live queue (depth ÷ recent drain rate, clamped to `[1, 30]`) so
+/// the three 429/503 paths cannot drift apart.
+fn retry_after(shared: &Shared) -> (&'static str, String) {
+    ("retry-after", shared.metrics.retry_after_secs().to_string())
+}
+
 fn trigger_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return; // already triggered
@@ -290,7 +313,7 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
                 &mut stream,
                 503,
                 "application/json",
-                &[("retry-after", "1".to_string())],
+                &[retry_after(shared)],
                 body.as_bytes(),
                 false,
             );
@@ -345,6 +368,7 @@ fn worker_loop(shared: &Shared) {
             .metrics
             .batched_requests
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared.metrics.note_drained(batch.len() as u64);
         for job in batch {
             if Instant::now() >= job.deadline {
                 shared.metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
@@ -438,6 +462,7 @@ fn kind_of(status: u16) -> &'static str {
         404 => "not_found",
         405 => "method_not_allowed",
         408 => "timeout",
+        409 => "conflict",
         411 => "length_required",
         413 => "body_too_large",
         429 => "overloaded",
@@ -495,6 +520,7 @@ fn dispatch(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool {
                 && keep
         }
         ("POST", "/search") => handle_search(shared, request, w),
+        ("POST", "/admin/ingest") => handle_ingest(shared, request, w),
         ("POST", "/admin/reload") => handle_reload(shared, w, keep),
         ("POST", "/admin/shutdown") => {
             let body = Json::Obj(vec![
@@ -507,7 +533,11 @@ fn dispatch(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool {
             trigger_shutdown(shared);
             false
         }
-        (_, "/healthz" | "/metrics" | "/search" | "/admin/reload" | "/admin/shutdown") => {
+        (
+            _,
+            "/healthz" | "/metrics" | "/search" | "/admin/ingest" | "/admin/reload"
+            | "/admin/shutdown",
+        ) => {
             respond_error(
                 shared,
                 w,
@@ -577,7 +607,7 @@ fn handle_search(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool 
                 w,
                 429,
                 "application/json",
-                &[("retry-after", "1".to_string())],
+                &[retry_after(shared)],
                 body.as_bytes(),
                 keep,
             )
@@ -596,7 +626,7 @@ fn handle_search(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool 
         Ok(JobReply::Deadline) => (
             503,
             api::error_json("deadline", "request expired in the admission queue", vec![]).render(),
-            vec![("retry-after", "1".to_string())],
+            vec![retry_after(shared)],
         ),
         Err(_) => (
             500,
@@ -606,6 +636,90 @@ fn handle_search(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool 
     };
     shared.metrics.record(Route::Search, status);
     write_response(w, status, "application/json", &extra, body.as_bytes(), keep).is_ok() && keep
+}
+
+/// `POST /admin/ingest`: compile the mutation batch into a delta against
+/// the snapshot pinned by [`SharedEngine::ingest_with`]'s writer lock and
+/// apply it through the incremental refresh. Runs on the connection
+/// thread; racing ingests serialize on the writer lock, and reads keep
+/// serving the old snapshot until the pointer swap.
+fn handle_ingest(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool {
+    let keep = request.keep_alive;
+    if !shared.cfg.enable_ingest {
+        respond_error(
+            shared,
+            w,
+            Route::AdminIngest,
+            501,
+            "server booted without the ingest write path",
+        );
+        return false;
+    }
+    let batch = match api::parse_ingest(&request.body) {
+        Ok(batch) => batch,
+        Err(e) => {
+            shared
+                .metrics
+                .ingest_failures
+                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.record(Route::AdminIngest, 400);
+            let body = api::error_json(e.kind, &e.message, vec![]).render();
+            return write_response(w, 400, "application/json", &[], body.as_bytes(), keep).is_ok()
+                && keep;
+        }
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared
+            .metrics
+            .ingest_failures
+            .fetch_add(1, Ordering::Relaxed);
+        shared.metrics.record(Route::AdminIngest, 503);
+        let body = api::error_json("closed", "server is draining", vec![]).render();
+        let _ = write_response(w, 503, "application/json", &[], body.as_bytes(), false);
+        return false;
+    }
+
+    let t0 = Instant::now();
+    let applied = shared.engine.ingest_with(batch.mode, |snapshot| {
+        api::compile_delta(snapshot.graph(), &batch)
+    });
+    match applied {
+        Ok(outcome) => {
+            let elapsed = t0.elapsed();
+            shared.metrics.ingests.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.ingest_refresh.observe(elapsed);
+            shared.metrics.record(Route::AdminIngest, 200);
+            let body = api::render_ingest(&outcome, elapsed).render();
+            write_response(w, 200, "application/json", &[], body.as_bytes(), keep).is_ok() && keep
+        }
+        Err(e) => {
+            shared
+                .metrics
+                .ingest_failures
+                .fetch_add(1, Ordering::Relaxed);
+            // 400: the batch itself is invalid (unresolvable name, bad
+            // reference). 409: shape was fine but the graph disagrees
+            // (duplicate edge, removal of a missing edge) — retryable
+            // after re-reading state, so keep-alive survives like every
+            // other 4xx on this route. 503: racing shutdown (drop the
+            // connection; the server is going away).
+            let (status, body) = match &e {
+                IngestError::Build(api_err) => {
+                    (400, api::error_json(api_err.kind, &api_err.message, vec![]))
+                }
+                IngestError::Delta(delta_err) => (
+                    409,
+                    api::error_json("conflict", &delta_err.to_string(), vec![]),
+                ),
+                IngestError::Closed => (503, api::error_json("closed", &e.to_string(), vec![])),
+            };
+            shared.metrics.record(Route::AdminIngest, status);
+            let body = body.render();
+            let keep = keep && status != 503;
+            write_response(w, status, "application/json", &[], body.as_bytes(), keep).is_ok()
+                && keep
+        }
+    }
 }
 
 fn handle_reload(shared: &Shared, w: &mut TcpStream, keep: bool) -> bool {

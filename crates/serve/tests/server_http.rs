@@ -360,6 +360,227 @@ fn admin_shutdown_drains_gracefully() {
 }
 
 #[test]
+fn ingest_applies_online_while_reads_flow() {
+    let server = Server::start(shared_engine(), None, test_config()).unwrap();
+    let addr = server.local_addr();
+
+    // Readers hammer a query whose answer the ingest will change; every
+    // response must come from exactly one consistent snapshot.
+    let errors = std::sync::atomic::AtomicUsize::new(0);
+    let stop_flag = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let stop = &stop_flag;
+        let errors = &errors;
+        for _ in 0..2 {
+            scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (status, _, body) = search(
+                        addr,
+                        r#"{"q": "database software company revenue", "k": 9}"#,
+                    );
+                    if status != 200 {
+                        errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        continue;
+                    }
+                    let json = Json::parse(&body).unwrap();
+                    let top = &json.get("patterns").unwrap().as_arr().unwrap()[0];
+                    let rows = top.get("num_trees").unwrap().as_u64().unwrap();
+                    // 2 rows before the ingest lands, 3 after — never
+                    // anything else (no torn state).
+                    assert!(rows == 2 || rows == 3, "inconsistent row count {rows}");
+                }
+            });
+        }
+
+        // The DB2/IBM ingest from the paper's running example, by name.
+        let (status, _, body) = post(
+            addr,
+            "/admin/ingest",
+            r#"{"mutations":[
+                {"op":"add_node","type":"Software","name":"DB2"},
+                {"op":"add_node","type":"Company","name":"IBM"},
+                {"op":"add_edge","source":"DB2","attr":"Developer","target":"IBM"},
+                {"op":"add_edge","source":"DB2","attr":"Genre","target":"Relational database"},
+                {"op":"add_text_edge","source":"IBM","attr":"Revenue","value":"US$ 57 billion"}
+            ],"pagerank":"recompute"}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let json = Json::parse(&body).unwrap();
+        assert_eq!(json.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(json.get("version").unwrap().as_u64(), Some(1));
+        assert!(json.get("affected_roots").unwrap().as_u64().unwrap() > 0);
+        let stats = json.get("stats").unwrap();
+        assert!(stats.get("postings_added").unwrap().as_u64().unwrap() > 0);
+
+        // The new facts are queryable immediately after the 200.
+        let (status, _, body) = search(
+            addr,
+            r#"{"q": "database software company revenue", "k": 9}"#,
+        );
+        assert_eq!(status, 200);
+        let json = Json::parse(&body).unwrap();
+        let top = &json.get("patterns").unwrap().as_arr().unwrap()[0];
+        assert_eq!(top.get("num_trees").unwrap().as_u64(), Some(3));
+        assert_eq!(json.get("engine_version").unwrap().as_u64(), Some(1));
+
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(errors.load(std::sync::atomic::Ordering::Relaxed), 0);
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    for family in [
+        "patternkb_ingests_total 1",
+        "patternkb_ingest_failures_total 0",
+        "patternkb_ingest_refresh_seconds_count 1",
+        "patternkb_engine_version 1",
+    ] {
+        assert!(
+            metrics.contains(family),
+            "missing {family:?} in:\n{metrics}"
+        );
+    }
+
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn racing_ingests_both_succeed_serialized() {
+    let server = Server::start(shared_engine(), None, test_config()).unwrap();
+    let addr = server.local_addr();
+
+    // Two connection threads fire ingest batches concurrently with no
+    // retry logic: the writer lock serializes them, so both must land
+    // (never a BaseMismatch rejection).
+    std::thread::scope(|scope| {
+        for t in 0..2 {
+            scope.spawn(move || {
+                for i in 0..3 {
+                    let body = format!(
+                        r#"{{"mutations":[
+                            {{"op":"add_node","type":"Company","name":"racer {t} entity {i}"}},
+                            {{"op":"add_text_edge","source":"racer {t} entity {i}","attr":"Revenue","value":"US$ {t}{i} million"}}
+                        ]}}"#
+                    );
+                    let (status, _, reply) = post(addr, "/admin/ingest", &body);
+                    assert_eq!(status, 200, "racer {t} batch {i}: {reply}");
+                }
+            });
+        }
+    });
+    assert_eq!(server.engine().version(), 6);
+
+    // All six entities are queryable.
+    let (status, _, body) = search(addr, r#"{"q": "racer entity", "k": 100}"#);
+    assert_eq!(status, 200, "{body}");
+    let json = Json::parse(&body).unwrap();
+    let top = &json.get("patterns").unwrap().as_arr().unwrap()[0];
+    assert_eq!(top.get("num_trees").unwrap().as_u64(), Some(6));
+
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn ingest_errors_are_typed_400_409_501() {
+    let server = Server::start(shared_engine(), None, test_config()).unwrap();
+    let addr = server.local_addr();
+
+    // Unknown field: 400 naming it.
+    let (status, _, body) = post(addr, "/admin/ingest", r#"{"mutation":[]}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown_field") && body.contains("mutation"));
+
+    // Unresolvable name: 400 naming the mutation.
+    let (status, _, body) = post(
+        addr,
+        "/admin/ingest",
+        r#"{"mutations":[{"op":"add_text_edge","source":"Hooli","attr":"Revenue","value":"x"}]}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unresolved_node") && body.contains("Hooli"));
+
+    // Removing a non-existent edge: validation conflict → 409.
+    let (status, _, body) = post(
+        addr,
+        "/admin/ingest",
+        r#"{"mutations":[{"op":"remove_edge","source":"Microsoft","attr":"Developer","target":"SQL Server"}]}"#,
+    );
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("conflict"));
+
+    // Nothing landed.
+    assert_eq!(server.engine().version(), 0);
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("patternkb_ingests_total 0"));
+    assert!(metrics.contains("patternkb_ingest_failures_total 3"));
+    server.trigger_shutdown();
+    server.join();
+
+    // A server booted without the write path answers 501.
+    let cfg = ServeConfig {
+        enable_ingest: false,
+        ..test_config()
+    };
+    let server = Server::start(shared_engine(), None, cfg).unwrap();
+    let (status, _, body) = post(server.local_addr(), "/admin/ingest", r#"{"mutations":[]}"#);
+    assert_eq!(status, 501, "{body}");
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn closed_engine_maps_to_503_for_queries_and_ingests() {
+    // An embedder can close the shared engine while the HTTP front-end is
+    // still up (e.g. a shutdown race): both routes must answer with the
+    // typed 503, not a fall-through 500.
+    let engine = shared_engine();
+    let server = Server::start(Arc::clone(&engine), None, test_config()).unwrap();
+    let addr = server.local_addr();
+    engine.close();
+
+    let (status, _, body) = search(addr, r#"{"q": "company revenue"}"#);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"closed\""), "{body}");
+
+    let (status, _, body) = post(
+        addr,
+        "/admin/ingest",
+        r#"{"mutations":[{"op":"add_node","type":"Company","name":"latecomer"}]}"#,
+    );
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"closed\""), "{body}");
+
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn retry_after_is_a_single_derived_value() {
+    // All shedding sites emit the same derived header; with an idle
+    // queue the estimate is the 1s floor.
+    let cfg = ServeConfig {
+        queue_capacity: 0,
+        ..test_config()
+    };
+    let server = Server::start(shared_engine(), None, cfg).unwrap();
+    let addr = server.local_addr();
+    let (status, head, _) = search(addr, r#"{"q": "company revenue"}"#);
+    assert_eq!(status, 429);
+    let retry: u64 = head
+        .to_lowercase()
+        .lines()
+        .find_map(|l| l.strip_prefix("retry-after: ").map(str::to_string))
+        .expect("retry-after header present")
+        .trim()
+        .parse()
+        .expect("integer seconds");
+    assert!((1..=30).contains(&retry));
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
 fn per_request_timeout_is_clamped_and_applied() {
     // A generous server deadline, but the request asks for 1ms and the
     // queue is pre-expired by the zero-capacity... instead: use a normal

@@ -56,30 +56,33 @@ fn main() -> Result<(), Error> {
 
     // --- 3. ingest a new fact batch -------------------------------------
     // "IBM develops DB2, a relational database, revenue US$ 57 billion."
-    let snap = service.snapshot();
-    let g = snap.graph();
-    let soft = g.type_by_text("Software").unwrap();
-    let comp = g.type_by_text("Company").unwrap();
-    let model = g.type_by_text("Model").unwrap();
-    let dev = g.attr_by_text("Developer").unwrap();
-    let rev = g.attr_by_text("Revenue").unwrap();
-    let genre = g.attr_by_text("Genre").unwrap();
-    let mut delta = GraphDelta::new(g);
-    let db2 = delta.add_node(soft, "DB2").unwrap();
-    let ibm = delta.add_node(comp, "IBM").unwrap();
-    let rdb = delta.add_node(model, "Relational database").unwrap();
-    delta.add_edge(db2, dev, ibm).unwrap();
-    delta.add_edge(db2, genre, rdb).unwrap();
-    delta.add_text_edge(ibm, rev, "US$ 57 billion").unwrap();
-
-    let stats = service.apply_delta(&delta, PagerankMode::Recompute)?;
+    // `ingest_with` builds the delta against the snapshot pinned under
+    // the writer lock, so concurrent writers serialize instead of one of
+    // them failing validation — this is the same path `POST /admin/ingest`
+    // takes in the serving layer.
+    let outcome = service
+        .ingest_with(PagerankMode::Recompute, |snap| {
+            let g = snap.graph();
+            let soft = g.type_by_text("Software").unwrap();
+            let comp = g.type_by_text("Company").unwrap();
+            let model = g.type_by_text("Model").unwrap();
+            let dev = g.attr_by_text("Developer").unwrap();
+            let rev = g.attr_by_text("Revenue").unwrap();
+            let genre = g.attr_by_text("Genre").unwrap();
+            let mut delta = GraphDelta::new(g);
+            let db2 = delta.add_node(soft, "DB2")?;
+            let ibm = delta.add_node(comp, "IBM")?;
+            let rdb = delta.add_node(model, "Relational database")?;
+            delta.add_edge(db2, dev, ibm)?;
+            delta.add_edge(db2, genre, rdb)?;
+            delta.add_text_edge(ibm, rev, "US$ 57 billion")?;
+            Ok::<_, patternkb::graph::mutate::DeltaError>(delta)
+        })
+        .expect("ingest");
+    let stats = outcome.stats;
     println!(
-        "\ningest: +{} nodes, +{} edges  →  {} affected roots, {} postings kept, {} re-enumerated",
-        delta.num_new_nodes(),
-        delta.num_added_edges(),
-        stats.affected_roots,
-        stats.postings_kept,
-        stats.postings_added,
+        "\ningest: engine now at version {}  →  {} affected roots, {} postings kept, {} re-enumerated",
+        outcome.version, stats.affected_roots, stats.postings_kept, stats.postings_added,
     );
 
     // --- 4. same request: stale entry rejected, fresh row appears ------

@@ -11,7 +11,10 @@
 //! patternkb-cli serve <dataset…>        # HTTP server instead of a REPL
 //!   options: --addr <ip:port>  --workers <n>  --queue <slots>
 //!            --batch <max>  --deadline-ms <ms>  --max-body-bytes <n>
+//!            --no-ingest (disable the online write path)
 //!   endpoints: POST /search, GET /healthz, GET /metrics,
+//!              POST /admin/ingest (online mutation batch applied via
+//!              incremental index refresh — see README "Writes"),
 //!              POST /admin/reload (rebuilds the same dataset and
 //!              hot-swaps it), POST /admin/shutdown (graceful exit 0)
 //! ```
@@ -105,6 +108,7 @@ fn serve_config(args: &[String]) -> patternkb::serve::ServeConfig {
             flag_value(args, "--deadline-ms").unwrap_or(defaults.deadline.as_millis() as u64),
         ),
         max_body_bytes: flag_value(args, "--max-body-bytes").unwrap_or(defaults.max_body_bytes),
+        enable_ingest: !args.iter().any(|a| a == "--no-ingest"),
         ..defaults
     }
 }
@@ -122,20 +126,26 @@ fn serve_main(args: &[String]) -> ! {
         Ok(engine) => engine,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: patternkb-cli serve figure1|wiki|imdb|load <file> [dataset flags] [--addr A] [--workers N] [--queue N] [--batch N] [--deadline-ms N] [--max-body-bytes N]");
+            eprintln!("usage: patternkb-cli serve figure1|wiki|imdb|load <file> [dataset flags] [--addr A] [--workers N] [--queue N] [--batch N] [--deadline-ms N] [--max-body-bytes N] [--no-ingest]");
             std::process::exit(2);
         }
     };
+    let cfg = serve_config(&spec);
     eprintln!(
-        "engine ready in {:.2}s ({} shard(s)); hot-swappable via POST /admin/reload",
+        "engine ready in {:.2}s ({} shard(s)); hot-swappable via POST /admin/reload{}",
         t0.elapsed().as_secs_f64(),
-        engine.num_shards()
+        engine.num_shards(),
+        if cfg.enable_ingest {
+            ", writable via POST /admin/ingest"
+        } else {
+            "; ingest disabled (--no-ingest)"
+        }
     );
     let shared = std::sync::Arc::new(SharedEngine::new(engine));
     let reload_spec = spec.clone();
     let reload: Box<patternkb::serve::ReloadFn> =
         Box::new(move || build_serve_engine(&reload_spec));
-    let server = match patternkb::serve::Server::start(shared, Some(reload), serve_config(&spec)) {
+    let server = match patternkb::serve::Server::start(shared, Some(reload), cfg) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind: {e}");
@@ -560,6 +570,10 @@ mod tests {
         assert_eq!(cfg.batch_max, 8);
         assert_eq!(cfg.deadline, std::time::Duration::from_millis(250));
         assert_eq!(cfg.max_body_bytes, 4096);
+        assert!(cfg.enable_ingest, "ingest is on unless opted out");
+        let mut args = args;
+        args.push("--no-ingest".to_string());
+        assert!(!serve_config(&args).enable_ingest);
     }
 
     #[test]
