@@ -365,6 +365,11 @@ struct WriteTally {
     errors: u64,
     io_errors: u64,
     last_version: u64,
+    /// Highest engine version the server ever acknowledged with a 200.
+    /// Against a durable server this is the recovery floor: after a crash
+    /// and reboot, `patternkb_engine_version` must be ≥ this value (an
+    /// acked write is never lost).
+    acked_version_hwm: u64,
     version_monotone: bool,
 }
 
@@ -429,6 +434,7 @@ fn run_writer(
                         tally.version_monotone = false;
                     }
                     tally.last_version = v;
+                    tally.acked_version_hwm = tally.acked_version_hwm.max(v);
                 }
             }
             // 400/409 replies keep the connection alive (they are
@@ -648,6 +654,7 @@ fn render_report(
          \"throughput_rps\": {rps:.2},\n  \"shed_rate\": {shed_rate:.4},\n  \"writes\": {{\n    \
          \"sent\": {wsent},\n    \"ok\": {wok},\n    \"conflicts\": {wconf},\n    \
          \"errors\": {werr},\n    \"io_errors\": {wio},\n    \"last_version\": {wver},\n    \
+         \"acked_version_hwm\": {whwm},\n    \
          \"version_monotone\": {wmono}\n  }},\n  \"latency_ms\": {{\n    \
          \"mean\": {mean:.3},\n    \"p50\": {p50:.3},\n    \"p90\": {p90:.3},\n    \"p95\": {p95:.3},\n    \
          \"p99\": {p99:.3},\n    \"max\": {max:.3}\n  }}\n}}",
@@ -657,6 +664,7 @@ fn render_report(
         werr = w.errors,
         wio = w.io_errors,
         wver = w.last_version,
+        whwm = w.acked_version_hwm,
         wmono = if w.sent == 0 || w.version_monotone {
             "true"
         } else {
@@ -727,6 +735,7 @@ mod tests {
             ok: 4,
             conflicts: 1,
             last_version: 4,
+            acked_version_hwm: 4,
             version_monotone: true,
             ..WriteTally::default()
         };
@@ -745,6 +754,7 @@ mod tests {
         assert!(r.contains("\"shed_rate\": 0.2000"));
         assert!(r.contains("\"p99\": 1.500"));
         assert!(r.contains("\"last_version\": 4"));
+        assert!(r.contains("\"acked_version_hwm\": 4"));
         assert!(r.contains("\"version_monotone\": true"));
         // Balanced braces (hand-rolled JSON sanity).
         assert_eq!(

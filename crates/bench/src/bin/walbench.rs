@@ -1,0 +1,205 @@
+//! Write-ahead-log append microbenchmark: how much throughput each fsync
+//! policy sustains, and how much group commit recovers of the gap between
+//! `always` (one fsync per write) and `never` (no durability at all).
+//!
+//! ```text
+//! walbench [--records N] [--payload BYTES] [--appenders "1,8"]
+//!          [--json PATH] [--min-group-speedup F]
+//! ```
+//!
+//! Every appender thread mirrors the engine's write path exactly: version
+//! assignment and `Wal::append` are serialized under one mutex (file order
+//! must equal version order), while `Wal::sync` waits overlap freely —
+//! that overlap is what group commit batches into a single fsync. The
+//! headline number is `group_vs_always_speedup` at the highest appender
+//! count: concurrent durable writers amortizing fsyncs versus paying one
+//! each. `--min-group-speedup` turns that into a CI-style gate.
+//!
+//! This measures the WAL in isolation on purpose. End-to-end ingest
+//! throughput is apply-dominated (delta compile + incremental refresh);
+//! see the `serve-durable` CI leg and `loadgen` for that picture.
+
+use patternkb_wal::{FsyncPolicy, Wal, WalOptions};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+struct CaseResult {
+    policy: String,
+    appenders: usize,
+    records: u64,
+    elapsed: Duration,
+    fsyncs: u64,
+    fsync_mean_us: f64,
+    log_bytes: u64,
+}
+
+impl CaseResult {
+    fn appends_per_sec(&self) -> f64 {
+        self.records as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn run_case(
+    policy: FsyncPolicy,
+    appenders: usize,
+    records_per_appender: u64,
+    payload: &[u8],
+) -> CaseResult {
+    let dir = std::env::temp_dir().join(format!(
+        "patternkb_walbench_{}_{appenders}_{}",
+        policy,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let (wal, _) = Wal::open(dir.join("wal.log"), WalOptions { fsync: policy }).expect("open wal");
+
+    // Version assignment + append serialize (file order == version order),
+    // sync waits overlap — the same locking shape as SharedEngine's
+    // writer lock, so group commit sees realistic concurrency.
+    let version = Mutex::new(0u64);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..appenders {
+            scope.spawn(|| {
+                for _ in 0..records_per_appender {
+                    let ticket = {
+                        let mut v = version.lock().unwrap();
+                        *v += 1;
+                        wal.append(*v, payload).expect("append")
+                    };
+                    wal.sync(ticket).expect("sync");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let stats = wal.fsync_stats();
+    let result = CaseResult {
+        policy: policy.to_string(),
+        appenders,
+        records: appenders as u64 * records_per_appender,
+        elapsed,
+        fsyncs: stats.count,
+        fsync_mean_us: if stats.count == 0 {
+            0.0
+        } else {
+            stats.total_micros as f64 / stats.count as f64
+        },
+        log_bytes: wal.log_bytes(),
+    };
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let records: u64 = flag(&args, "--records").unwrap_or(400);
+    let payload_len: usize = flag(&args, "--payload").unwrap_or(256);
+    let appender_spec: String = flag(&args, "--appenders").unwrap_or_else(|| "1,8".to_string());
+    let json_path: Option<String> = flag(&args, "--json");
+    let min_speedup: Option<f64> = flag(&args, "--min-group-speedup");
+
+    let appender_counts: Vec<usize> = appender_spec
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    if appender_counts.is_empty() {
+        eprintln!("--appenders must be a comma list of positive counts, got {appender_spec:?}");
+        std::process::exit(2);
+    }
+    let payload = vec![0xA5u8; payload_len];
+
+    let policies = [
+        FsyncPolicy::Never,
+        FsyncPolicy::Group(Duration::from_millis(5)),
+        FsyncPolicy::Always,
+    ];
+    let mut results = Vec::new();
+    for &appenders in &appender_counts {
+        // Same total record count per case, split across the appenders,
+        // so rows are comparable within one appender count.
+        let per_appender = (records / appenders as u64).max(1);
+        for policy in policies {
+            let r = run_case(policy, appenders, per_appender, &payload);
+            eprintln!(
+                "[walbench] policy={:<10} appenders={} records={} {:>10.0} appends/s fsyncs={} (mean {:.0}us)",
+                r.policy,
+                r.appenders,
+                r.records,
+                r.appends_per_sec(),
+                r.fsyncs,
+                r.fsync_mean_us
+            );
+            results.push(r);
+        }
+    }
+
+    // Headline: at the highest concurrency, group commit vs one-fsync-per-
+    // append. >1 means batching recovered real throughput.
+    let top = *appender_counts.iter().max().unwrap();
+    let rate = |policy: &str| {
+        results
+            .iter()
+            .find(|r| r.appenders == top && r.policy == policy)
+            .map(|r| r.appends_per_sec())
+            .unwrap_or(0.0)
+    };
+    let group_rate = rate("group(5ms)");
+    let always_rate = rate("always");
+    let speedup = if always_rate > 0.0 {
+        group_rate / always_rate
+    } else {
+        0.0
+    };
+
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"appenders\": {}, \"records\": {}, \"elapsed_s\": {:.4}, \
+             \"appends_per_sec\": {:.1}, \"fsyncs\": {}, \"fsync_mean_us\": {:.1}, \"log_bytes\": {}}}",
+            r.policy,
+            r.appenders,
+            r.records,
+            r.elapsed.as_secs_f64(),
+            r.appends_per_sec(),
+            r.fsyncs,
+            r.fsync_mean_us,
+            r.log_bytes
+        ));
+    }
+    let report = format!(
+        "{{\n  \"bench\": \"wal_append\",\n  \"payload_bytes\": {payload_len},\n  \
+         \"group_vs_always_speedup\": {speedup:.2},\n  \"speedup_at_appenders\": {top},\n  \
+         \"cases\": [\n{rows}\n  ]\n}}"
+    );
+    println!("{report}");
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            eprintln!(
+                "[walbench] GATE FAILED: group_vs_always_speedup {speedup:.2} < --min-group-speedup {min}"
+            );
+            std::process::exit(1);
+        }
+    }
+}

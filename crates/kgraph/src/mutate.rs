@@ -23,6 +23,11 @@ use crate::fxhash::FxHashMap;
 use crate::graph::KnowledgeGraph;
 use crate::ids::{AttrId, Id, NodeId, TypeId};
 use crate::interner::Interner;
+use crate::snapshot::{Reader, SnapshotError};
+use bytes::{BufMut, BytesMut};
+
+const DELTA_MAGIC: &[u8; 4] = b"PKBD";
+const DELTA_VERSION: u32 = 1;
 
 /// How [`GraphDelta::apply`] fills the new graph's PageRank vector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,6 +144,7 @@ impl std::error::Error for DeltaError {}
 /// assert_eq!(g2.num_nodes(), base.num_nodes() + 2); // Oracle + text node
 /// assert_eq!(g2.node_text(ms), "Microsoft");        // ids preserved
 /// ```
+#[derive(Clone)]
 pub struct GraphDelta {
     base_nodes: usize,
     /// Clone of the base interner, possibly extended by `add_type`.
@@ -309,6 +315,147 @@ impl GraphDelta {
         dirty.sort_unstable();
         dirty.dedup();
         dirty
+    }
+
+    /// Number of base-graph nodes this delta was created against.
+    pub fn num_base_nodes(&self) -> usize {
+        self.base_nodes
+    }
+
+    /// Serialize the delta to a self-contained byte buffer.
+    ///
+    /// The encoding is the write-ahead-log payload format: little-endian,
+    /// length-prefixed, with the full type/attribute interners inlined so
+    /// a decoded delta replays against a reloaded base graph with ids
+    /// meaning exactly what they meant at append time.
+    ///
+    /// ```text
+    /// magic "PKBD" | u32 version | u32 base_nodes |
+    /// u32 ntypes | ntypes × str | u32 nattrs | nattrs × str |
+    /// u32 nnew | nnew × (u32 type, str text) |
+    /// u32 nadd | nadd × (u32 src, u32 attr, u32 dst) |
+    /// u32 nrem | nrem × (u32 src, u32 attr, u32 dst)
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(DELTA_MAGIC);
+        buf.put_u32_le(DELTA_VERSION);
+        buf.put_u32_le(self.base_nodes as u32);
+        let put_str = |buf: &mut BytesMut, s: &str| {
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        };
+        buf.put_u32_le(self.types.len() as u32);
+        for (_, s) in self.types.iter() {
+            put_str(&mut buf, s);
+        }
+        buf.put_u32_le(self.attrs.len() as u32);
+        for (_, s) in self.attrs.iter() {
+            put_str(&mut buf, s);
+        }
+        buf.put_u32_le(self.new_nodes.len() as u32);
+        for (t, text) in &self.new_nodes {
+            buf.put_u32_le(t.as_u32());
+            put_str(&mut buf, text);
+        }
+        for list in [&self.added, &self.removed] {
+            buf.put_u32_le(list.len() as u32);
+            for &(s, a, t) in list {
+                buf.put_u32_le(s.as_u32());
+                buf.put_u32_le(a.as_u32());
+                buf.put_u32_le(t.as_u32());
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Deserialize a delta previously produced by [`GraphDelta::encode`],
+    /// re-validating every id against the decoded interners and node
+    /// count (a corrupt buffer fails with a positioned [`SnapshotError`],
+    /// never a panic at apply time).
+    pub fn decode(data: &[u8]) -> Result<GraphDelta, SnapshotError> {
+        let mut r = Reader::new(data);
+        let mut magic = [0u8; 4];
+        r.take(&mut magic)?;
+        if &magic != DELTA_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != DELTA_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let base_nodes = r.u32()? as usize;
+
+        let mut types: Interner<TypeId> = Interner::new();
+        let ntypes = r.u32()? as usize;
+        for expected in 0..ntypes {
+            let text = r.str()?;
+            // Interners are sets: a duplicate string would silently remap
+            // every later id, so reject it as corruption.
+            if types.get_or_intern(&text).index() != expected {
+                return Err(r.bad_reference());
+            }
+        }
+        let mut attrs: Interner<AttrId> = Interner::new();
+        let nattrs = r.u32()? as usize;
+        for expected in 0..nattrs {
+            let text = r.str()?;
+            if attrs.get_or_intern(&text).index() != expected {
+                return Err(r.bad_reference());
+            }
+        }
+
+        let nnew = r.u32()? as usize;
+        let mut new_nodes: Vec<(TypeId, Box<str>)> = Vec::with_capacity(nnew);
+        let mut text_nodes: FxHashMap<Box<str>, NodeId> = FxHashMap::default();
+        for i in 0..nnew {
+            let t = r.u32()? as usize;
+            let text = r.str()?;
+            if t >= ntypes {
+                return Err(r.bad_reference());
+            }
+            let tid = TypeId::from_usize(t);
+            if tid == KnowledgeGraph::TEXT_TYPE {
+                // Rebuild the delta-local text dedup map (first id wins,
+                // mirroring `add_text_edge`).
+                text_nodes
+                    .entry(text.as_str().into())
+                    .or_insert_with(|| NodeId::from_usize(base_nodes + i));
+            }
+            new_nodes.push((tid, text.into()));
+        }
+
+        let total = base_nodes + nnew;
+        let edge_list = |r: &mut Reader| -> Result<Vec<(NodeId, AttrId, NodeId)>, SnapshotError> {
+            let n = r.u32()? as usize;
+            let mut list = Vec::with_capacity(n.min(r.remaining() / 12 + 1));
+            for _ in 0..n {
+                let s = r.u32()? as usize;
+                let a = r.u32()? as usize;
+                let t = r.u32()? as usize;
+                if s >= total || t >= total || a >= nattrs {
+                    return Err(r.bad_reference());
+                }
+                list.push((
+                    NodeId::from_usize(s),
+                    AttrId::from_usize(a),
+                    NodeId::from_usize(t),
+                ));
+            }
+            Ok(list)
+        };
+        let added = edge_list(&mut r)?;
+        let removed = edge_list(&mut r)?;
+
+        Ok(GraphDelta {
+            base_nodes,
+            types,
+            attrs,
+            new_nodes,
+            added,
+            removed,
+            text_nodes,
+        })
     }
 
     /// Validate the batch against `base` and freeze a new CSR graph.
@@ -652,5 +799,220 @@ mod tests {
         let g2 = d.apply(&g, PagerankMode::Frozen).unwrap();
         assert_eq!(g2.num_nodes(), g.num_nodes() + 1);
         assert!(g2.is_text_node(a));
+    }
+
+    #[test]
+    fn codec_roundtrip_applies_identically() {
+        let g = base();
+        let comp = g.type_by_text("Company").unwrap();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(&g);
+        let ora = d.add_node(comp, "Oracle Corp").unwrap();
+        let rev = d.add_attr("Revenue");
+        d.add_edge(NodeId(0), dev, ora).unwrap();
+        d.add_text_edge(ora, rev, "US$ 37 billion").unwrap();
+        d.remove_edge(NodeId(0), dev, NodeId(1)).unwrap();
+
+        let bytes = d.encode();
+        let d2 = GraphDelta::decode(&bytes).expect("decode");
+        assert_eq!(d2.encode(), bytes, "re-encode is byte-identical");
+        assert_eq!(d2.num_base_nodes(), d.num_base_nodes());
+        assert_eq!(d2.dirty_nodes(), d.dirty_nodes());
+
+        let a = d.apply(&g, PagerankMode::Frozen).unwrap();
+        let b = d2.apply(&g, PagerankMode::Frozen).unwrap();
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+        for v in a.nodes() {
+            assert_eq!(a.node_text(v), b.node_text(v));
+            assert_eq!(a.node_type(v), b.node_type(v));
+            assert_eq!(a.pagerank(v).to_bits(), b.pagerank(v).to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_rebuilds_text_dedup_map() {
+        let g = base();
+        let rev = g.attr_by_text("Revenue").unwrap();
+        let mut d = GraphDelta::new(&g);
+        let v = d.add_text_edge(NodeId(0), rev, "shared value").unwrap();
+        let mut d2 = GraphDelta::decode(&d.encode()).unwrap();
+        // Adding the same text through the decoded delta reuses the node.
+        let v2 = d2.add_text_edge(NodeId(1), rev, "shared value").unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn codec_rejects_garbage_and_bad_ids() {
+        assert_eq!(
+            GraphDelta::decode(b"xx").unwrap_err(),
+            SnapshotError::Truncated { offset: 0 }
+        );
+        assert_eq!(
+            GraphDelta::decode(b"XXXX\x01\x00\x00\x00").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+
+        let g = base();
+        let dev = g.attr_by_text("Developer").unwrap();
+        let mut d = GraphDelta::new(&g);
+        d.add_edge(NodeId(0), dev, NodeId(1)).unwrap();
+        let bytes = d.encode();
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            GraphDelta::decode(&bad_version).unwrap_err(),
+            SnapshotError::BadVersion(9)
+        );
+
+        // Corrupt the added edge's source id (last 12 bytes are the edge,
+        // preceded by the removed-list count trailing it).
+        let edge_src = bytes.len() - 4 - 12;
+        let mut bad_ref = bytes.clone();
+        bad_ref[edge_src..edge_src + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert!(matches!(
+            GraphDelta::decode(&bad_ref).unwrap_err(),
+            SnapshotError::BadReference { .. }
+        ));
+
+        // Any truncation errors out instead of panicking.
+        for cut in 0..bytes.len() {
+            assert!(GraphDelta::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+
+    /// One randomly generated mutation (ids are taken modulo the valid
+    /// ranges when applied, so every op is well-formed).
+    #[derive(Debug, Clone)]
+    enum Op {
+        AddType(String),
+        AddAttr(String),
+        AddNode(usize, String),
+        AddEdge(usize, usize, usize),
+        AddTextEdge(usize, usize, String),
+        RemoveEdge(usize),
+    }
+
+    fn base() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let ty = b.add_type("Thing");
+        let rel = b.add_attr("related to");
+        let nodes: Vec<_> = (0..6)
+            .map(|i| b.add_node(ty, &format!("entity number {i}")))
+            .collect();
+        for w in nodes.windows(2) {
+            b.add_edge(w[0], rel, w[1]);
+        }
+        b.build()
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            "[a-z]{1,6}".prop_map(Op::AddType),
+            "[a-z]{1,6}".prop_map(Op::AddAttr),
+            (any::<usize>(), "[a-z ]{1,12}").prop_map(|(t, s)| Op::AddNode(t, s)),
+            (any::<usize>(), any::<usize>(), any::<usize>())
+                .prop_map(|(s, a, t)| Op::AddEdge(s, a, t)),
+            (any::<usize>(), any::<usize>(), "[a-z ]{1,12}")
+                .prop_map(|(s, a, v)| Op::AddTextEdge(s, a, v)),
+            any::<usize>().prop_map(Op::RemoveEdge),
+        ]
+    }
+
+    fn build_delta(g: &KnowledgeGraph, ops: &[Op]) -> GraphDelta {
+        let base_edges: Vec<_> = g.edges().map(|e| (e.source, e.attr, e.target)).collect();
+        let mut d = GraphDelta::new(g);
+        for op in ops {
+            match op {
+                Op::AddType(s) => {
+                    d.add_type(s);
+                }
+                Op::AddAttr(s) => {
+                    d.add_attr(s);
+                }
+                Op::AddNode(t, s) => {
+                    let tid = TypeId::from_usize(1 + t % (d.types.len() - 1).max(1));
+                    d.add_node(tid, s).ok();
+                }
+                Op::AddEdge(s, a, t) => {
+                    let n = d.total_nodes();
+                    d.add_edge(
+                        NodeId::from_usize(s % n),
+                        AttrId::from_usize(a % d.attrs.len()),
+                        NodeId::from_usize(t % n),
+                    )
+                    .ok();
+                }
+                Op::AddTextEdge(s, a, v) => {
+                    let n = d.total_nodes();
+                    d.add_text_edge(
+                        NodeId::from_usize(s % n),
+                        AttrId::from_usize(a % d.attrs.len()),
+                        v,
+                    )
+                    .ok();
+                }
+                Op::RemoveEdge(i) => {
+                    let (s, a, t) = base_edges[i % base_edges.len()];
+                    d.remove_edge(s, a, t).ok();
+                }
+            }
+        }
+        d
+    }
+
+    proptest! {
+        /// encode → decode → encode is byte-identical, and when the
+        /// original delta applies cleanly the decoded one produces a
+        /// bit-identical graph.
+        #[test]
+        fn codec_roundtrip(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+            let g = base();
+            let d = build_delta(&g, &ops);
+            let bytes = d.encode();
+            let d2 = GraphDelta::decode(&bytes).expect("decode");
+            prop_assert_eq!(d2.encode(), bytes);
+            prop_assert_eq!(d2.num_base_nodes(), d.num_base_nodes());
+            prop_assert_eq!(d2.dirty_nodes(), d.dirty_nodes());
+
+            let a = d.apply(&g, PagerankMode::Frozen);
+            let b = d2.apply(&g, PagerankMode::Frozen);
+            match (a, b) {
+                (Ok(ga), Ok(gb)) => {
+                    prop_assert_eq!(ga.num_nodes(), gb.num_nodes());
+                    let ea: Vec<_> = ga.edges().collect();
+                    let eb: Vec<_> = gb.edges().collect();
+                    prop_assert_eq!(ea, eb);
+                    for v in ga.nodes() {
+                        prop_assert_eq!(ga.node_text(v), gb.node_text(v));
+                        prop_assert_eq!(ga.node_type(v), gb.node_type(v));
+                        prop_assert_eq!(ga.pagerank(v).to_bits(), gb.pagerank(v).to_bits());
+                    }
+                }
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                (a, b) => prop_assert!(false, "apply outcomes diverge: {:?} vs {:?}", a, b),
+            }
+        }
+
+        /// Decoding any truncated prefix fails with an error (never panics,
+        /// never fabricates a delta).
+        #[test]
+        fn truncated_prefixes_error(ops in proptest::collection::vec(op_strategy(), 1..20),
+                                    frac in 0.0f64..1.0) {
+            let g = base();
+            let bytes = build_delta(&g, &ops).encode();
+            let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+            prop_assert!(GraphDelta::decode(&bytes[..cut]).is_err());
+        }
     }
 }

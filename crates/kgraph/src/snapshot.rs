@@ -15,6 +15,13 @@
 //!
 //! where an interner is `u32 count | count × str` and `str` is
 //! `u32 len | bytes`.
+//!
+//! The module also owns the pieces every other binary codec in the stack
+//! shares: [`SnapshotError`] (decode failures carrying the byte offset
+//! where they happened) and [`Reader`] (a little-endian cursor that
+//! produces those errors). The index snapshot, the delta codec and the
+//! write-ahead log all decode through them, so a corrupt file anywhere
+//! reports the same actionable `<path>: … at byte N` shape.
 
 use crate::builder::GraphBuilder;
 use crate::graph::KnowledgeGraph;
@@ -25,50 +32,163 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 const MAGIC: &[u8; 4] = b"PKBG";
 const VERSION: u32 = 1;
 
-/// Errors from [`decode`].
-#[derive(Debug, PartialEq, Eq)]
+/// Errors from decoding any patternkb binary format ([`decode`], the index
+/// snapshot, the delta codec, WAL records).
+///
+/// Every data-dependent variant carries the absolute byte offset at which
+/// decoding failed, so a corrupt-file report pinpoints the damage instead
+/// of just naming the failure class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SnapshotError {
-    /// Input does not start with the `PKBG` magic.
+    /// Input does not start with the expected magic.
     BadMagic,
     /// Unknown format version.
     BadVersion(u32),
     /// Input ended early or a length prefix overruns the buffer.
-    Truncated,
+    Truncated {
+        /// Byte offset at which the input ran out.
+        offset: usize,
+    },
     /// A string was not valid UTF-8.
-    BadUtf8,
+    BadUtf8 {
+        /// Byte offset of the offending string's length prefix.
+        offset: usize,
+    },
     /// An id referenced an out-of-range interner slot or node.
-    BadReference,
+    BadReference {
+        /// Byte offset just past the record holding the bad id.
+        offset: usize,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SnapshotError::BadMagic => write!(f, "not a patternkb graph snapshot"),
+            SnapshotError::BadMagic => write!(f, "not a patternkb snapshot (bad magic)"),
             SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
-            SnapshotError::Truncated => write!(f, "snapshot is truncated"),
-            SnapshotError::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
-            SnapshotError::BadReference => write!(f, "snapshot contains out-of-range id"),
+            SnapshotError::Truncated { offset } => {
+                write!(f, "snapshot is truncated at byte {offset}")
+            }
+            SnapshotError::BadUtf8 { offset } => {
+                write!(f, "snapshot contains invalid UTF-8 at byte {offset}")
+            }
+            SnapshotError::BadReference { offset } => {
+                write!(f, "snapshot contains an out-of-range id near byte {offset}")
+            }
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
 
+/// Wrap a decode failure as [`std::io::ErrorKind::InvalidData`], prefixed
+/// with the file path — the one helper every IO call site (graph and index
+/// snapshots, WAL segments, checkpoints) uses so corrupt-file reports name
+/// the file *and* the byte offset.
+pub fn invalid_data(path: &std::path::Path, e: SnapshotError) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("{}: {e}", path.display()),
+    )
+}
+
+/// A little-endian decoding cursor that tracks its absolute byte offset
+/// and reports it in every error. Shared by all binary codecs in the
+/// workspace (graph/index snapshots, [`crate::mutate::GraphDelta`] bytes,
+/// WAL records).
+pub struct Reader {
+    buf: Bytes,
+    total: usize,
+}
+
+impl Reader {
+    /// A cursor over `data`, positioned at byte 0.
+    pub fn new(data: &[u8]) -> Self {
+        Reader {
+            buf: Bytes::copy_from_slice(data),
+            total: data.len(),
+        }
+    }
+
+    /// Absolute byte offset of the next unread byte.
+    pub fn offset(&self) -> usize {
+        self.total - self.buf.remaining()
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Fail with [`SnapshotError::Truncated`] unless `n` bytes remain.
+    pub fn need(&self, n: usize) -> Result<(), SnapshotError> {
+        if self.buf.remaining() < n {
+            Err(SnapshotError::Truncated {
+                offset: self.offset(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// A [`SnapshotError::BadReference`] at the current offset, for call
+    /// sites that validate an id they just read.
+    pub fn bad_reference(&self) -> SnapshotError {
+        SnapshotError::BadReference {
+            offset: self.offset(),
+        }
+    }
+
+    /// Read exactly `out.len()` bytes.
+    pub fn take(&mut self, out: &mut [u8]) -> Result<(), SnapshotError> {
+        self.need(out.len())?;
+        self.buf.copy_to_slice(out);
+        Ok(())
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Read a `u32 len | bytes` length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
+        let start = self.offset();
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let raw = self.buf.copy_to_bytes(len);
+        String::from_utf8(raw.to_vec()).map_err(|_| SnapshotError::BadUtf8 { offset: start })
+    }
+}
+
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
-}
-
-fn get_str(buf: &mut Bytes) -> Result<String, SnapshotError> {
-    if buf.remaining() < 4 {
-        return Err(SnapshotError::Truncated);
-    }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(SnapshotError::Truncated);
-    }
-    let raw = buf.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| SnapshotError::BadUtf8)
 }
 
 fn put_interner<I: Id>(buf: &mut BytesMut, interner: &Interner<I>) {
@@ -76,13 +196,6 @@ fn put_interner<I: Id>(buf: &mut BytesMut, interner: &Interner<I>) {
     for (_, s) in interner.iter() {
         put_str(buf, s);
     }
-}
-
-fn get_u32(buf: &mut Bytes) -> Result<u32, SnapshotError> {
-    if buf.remaining() < 4 {
-        return Err(SnapshotError::Truncated);
-    }
-    Ok(buf.get_u32_le())
 }
 
 /// Serialize `g` to a byte buffer.
@@ -115,32 +228,29 @@ pub fn encode(g: &KnowledgeGraph) -> Vec<u8> {
 
 /// Deserialize a graph previously produced by [`encode`].
 pub fn decode(data: &[u8]) -> Result<KnowledgeGraph, SnapshotError> {
-    let mut buf = Bytes::copy_from_slice(data);
-    if buf.remaining() < 8 {
-        return Err(SnapshotError::Truncated);
-    }
+    let mut r = Reader::new(data);
     let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    r.take(&mut magic)?;
     if &magic != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let version = buf.get_u32_le();
+    let version = r.u32()?;
     if version != VERSION {
         return Err(SnapshotError::BadVersion(version));
     }
 
-    let ntypes = get_u32(&mut buf)? as usize;
+    let ntypes = r.u32()? as usize;
     let mut type_texts = Vec::with_capacity(ntypes);
     for _ in 0..ntypes {
-        type_texts.push(get_str(&mut buf)?);
+        type_texts.push(r.str()?);
     }
     if type_texts.first().map(String::as_str) != Some("") {
-        return Err(SnapshotError::BadReference);
+        return Err(r.bad_reference());
     }
-    let nattrs = get_u32(&mut buf)? as usize;
+    let nattrs = r.u32()? as usize;
     let mut attr_texts = Vec::with_capacity(nattrs);
     for _ in 0..nattrs {
-        attr_texts.push(get_str(&mut buf)?);
+        attr_texts.push(r.str()?);
     }
 
     let mut b = GraphBuilder::new();
@@ -155,35 +265,29 @@ pub fn decode(data: &[u8]) -> Result<KnowledgeGraph, SnapshotError> {
         attr_ids.push(b.add_attr(a));
     }
 
-    let n = get_u32(&mut buf)? as usize;
+    let n = r.u32()? as usize;
     let mut node_ids = Vec::with_capacity(n);
     for _ in 0..n {
-        let t = get_u32(&mut buf)? as usize;
-        let text = get_str(&mut buf)?;
-        let &tid = type_ids.get(t).ok_or(SnapshotError::BadReference)?;
+        let t = r.u32()? as usize;
+        let text = r.str()?;
+        let &tid = type_ids.get(t).ok_or_else(|| r.bad_reference())?;
         node_ids.push(b.add_node(tid, &text));
     }
-    let m = get_u32(&mut buf)? as usize;
+    let m = r.u32()? as usize;
     for _ in 0..m {
-        let s = get_u32(&mut buf)? as usize;
-        let a = get_u32(&mut buf)? as usize;
-        let t = get_u32(&mut buf)? as usize;
-        let &src = node_ids.get(s).ok_or(SnapshotError::BadReference)?;
-        let &attr = attr_ids.get(a).ok_or(SnapshotError::BadReference)?;
-        let &dst = node_ids.get(t).ok_or(SnapshotError::BadReference)?;
+        let s = r.u32()? as usize;
+        let a = r.u32()? as usize;
+        let t = r.u32()? as usize;
+        let &src = node_ids.get(s).ok_or_else(|| r.bad_reference())?;
+        let &attr = attr_ids.get(a).ok_or_else(|| r.bad_reference())?;
+        let &dst = node_ids.get(t).ok_or_else(|| r.bad_reference())?;
         b.add_edge(src, attr, dst);
     }
     let mut g = b.build();
-    if buf.remaining() < 1 {
-        return Err(SnapshotError::Truncated);
-    }
-    if buf.get_u8() == 1 {
-        if buf.remaining() < 8 * n {
-            return Err(SnapshotError::Truncated);
-        }
+    if r.u8()? == 1 {
         let mut pr = Vec::with_capacity(n);
         for _ in 0..n {
-            pr.push(buf.get_f64_le());
+            pr.push(r.f64()?);
         }
         g.set_pagerank(pr);
     }
@@ -198,7 +302,7 @@ pub fn save(g: &KnowledgeGraph, path: &std::path::Path) -> std::io::Result<()> {
 /// Read a snapshot from `path`.
 pub fn load(path: &std::path::Path) -> std::io::Result<KnowledgeGraph> {
     let data = std::fs::read(path)?;
-    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    decode(&data).map_err(|e| invalid_data(path, e))
 }
 
 #[cfg(test)]
@@ -244,7 +348,11 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(decode(b"nope").unwrap_err(), SnapshotError::Truncated);
+        assert_eq!(
+            decode(b"np").unwrap_err(),
+            SnapshotError::Truncated { offset: 0 }
+        );
+        assert_eq!(decode(b"nope").unwrap_err(), SnapshotError::BadMagic);
         assert_eq!(
             decode(b"XXXX\x01\x00\x00\x00").unwrap_err(),
             SnapshotError::BadMagic
@@ -261,10 +369,30 @@ mod tests {
     #[test]
     fn rejects_truncation_anywhere() {
         let data = encode(&sample());
-        // Chop the buffer at a few places; decoding must error, not panic.
+        // Chop the buffer at a few places; decoding must error, not panic,
+        // and the reported offset must sit inside the surviving prefix.
         for cut in [5, 10, 20, data.len() / 2, data.len() - 1] {
-            assert!(decode(&data[..cut]).is_err(), "cut at {cut} should fail");
+            match decode(&data[..cut]) {
+                Err(SnapshotError::Truncated { offset }) => {
+                    assert!(offset <= cut, "offset {offset} beyond cut {cut}")
+                }
+                Err(_) => {}
+                Ok(_) => panic!("cut at {cut} should fail"),
+            }
         }
+    }
+
+    #[test]
+    fn errors_name_the_byte_offset() {
+        let e = SnapshotError::Truncated { offset: 17 };
+        assert!(e.to_string().contains("byte 17"), "{e}");
+        let path = std::path::Path::new("/data/broken.pkbg");
+        let io = invalid_data(path, e);
+        let msg = io.to_string();
+        assert!(
+            msg.contains("broken.pkbg") && msg.contains("byte 17"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -25,50 +25,25 @@
 //! missing shard header) remain readable and decode to a single-shard
 //! index, so a `shards = 1` deployment can swap binaries without
 //! rebuilding.
+//!
+//! Decode failures are the workspace-shared
+//! [`patternkb_graph::snapshot::SnapshotError`], carrying the byte offset
+//! of the damage; [`load`] additionally prefixes the file path.
 
 use crate::pattern::{PatternId, PatternSet};
 use crate::posting::Posting;
 use crate::word_index::{IndexShard, PathIndexes, WordPathIndex};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, BytesMut};
+use patternkb_graph::snapshot::{invalid_data, Reader};
 use patternkb_graph::{FxHashMap, NodeId, WordId};
+
+/// Decode failures, shared with the graph snapshot codec so every binary
+/// format in the stack reports offsets the same way.
+pub use patternkb_graph::snapshot::SnapshotError;
 
 const MAGIC: &[u8; 4] = b"PKBI";
 const VERSION: u32 = 2;
 const V1: u32 = 1;
-
-/// Errors from [`decode`].
-#[derive(Debug, PartialEq, Eq)]
-pub enum SnapshotError {
-    /// Input does not start with the `PKBI` magic.
-    BadMagic,
-    /// Unknown format version.
-    BadVersion(u32),
-    /// Input ended early or a length prefix overruns the buffer.
-    Truncated,
-    /// A posting referenced an out-of-range pattern or arena slot.
-    BadReference,
-}
-
-impl std::fmt::Display for SnapshotError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SnapshotError::BadMagic => write!(f, "not a patternkb index snapshot"),
-            SnapshotError::BadVersion(v) => write!(f, "unsupported index snapshot version {v}"),
-            SnapshotError::Truncated => write!(f, "index snapshot is truncated"),
-            SnapshotError::BadReference => write!(f, "index snapshot contains out-of-range id"),
-        }
-    }
-}
-
-impl std::error::Error for SnapshotError {}
-
-fn need(buf: &Bytes, n: usize) -> Result<(), SnapshotError> {
-    if buf.remaining() < n {
-        Err(SnapshotError::Truncated)
-    } else {
-        Ok(())
-    }
-}
 
 /// Serialize built indexes to a byte buffer.
 pub fn encode(idx: &PathIndexes) -> Vec<u8> {
@@ -122,91 +97,88 @@ pub fn encode(idx: &PathIndexes) -> Vec<u8> {
 /// sharded version-2 layout or a pre-shard version-1 snapshot (decoded as
 /// a single shard).
 pub fn decode(data: &[u8]) -> Result<PathIndexes, SnapshotError> {
-    let mut buf = Bytes::copy_from_slice(data);
-    need(&buf, 12)?;
+    let mut r = Reader::new(data);
     let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    r.take(&mut magic)?;
     if &magic != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let version = buf.get_u32_le();
+    let version = r.u32()?;
     if version != VERSION && version != V1 {
         return Err(SnapshotError::BadVersion(version));
     }
-    let d = buf.get_u32_le() as usize;
+    let d = r.u32()? as usize;
 
     let bounds: Vec<u32> = if version == V1 {
         vec![0, u32::MAX]
     } else {
-        need(&buf, 4)?;
-        let nshards = buf.get_u32_le() as usize;
+        let nshards = r.u32()? as usize;
         if nshards == 0 {
-            return Err(SnapshotError::BadReference);
+            return Err(r.bad_reference());
         }
-        need(&buf, 4 * (nshards + 1))?;
-        let bounds: Vec<u32> = (0..=nshards).map(|_| buf.get_u32_le()).collect();
+        r.need(4 * (nshards + 1))?;
+        let mut bounds = Vec::with_capacity(nshards + 1);
+        for _ in 0..=nshards {
+            bounds.push(r.u32()?);
+        }
         if bounds[0] != 0
             || *bounds.last().expect("non-empty") != u32::MAX
             || bounds.windows(2).any(|w| w[0] > w[1])
         {
-            return Err(SnapshotError::BadReference);
+            return Err(r.bad_reference());
         }
         bounds
     };
     let nshards = bounds.len() - 1;
 
-    need(&buf, 4)?;
-    let npatterns = buf.get_u32_le() as usize;
+    let npatterns = r.u32()? as usize;
     let mut patterns = PatternSet::new();
     let mut key = Vec::new();
     for expected in 0..npatterns {
-        need(&buf, 4)?;
-        let len = buf.get_u32_le() as usize;
-        need(&buf, 4 * len)?;
+        let len = r.u32()? as usize;
+        r.need(4 * len)?;
         key.clear();
         for _ in 0..len {
-            key.push(buf.get_u32_le());
+            key.push(r.u32()?);
         }
         let id = patterns.intern_key(&key);
         if id.0 as usize != expected {
             // Duplicate keys would permute ids and corrupt postings.
-            return Err(SnapshotError::BadReference);
+            return Err(r.bad_reference());
         }
     }
 
     let mut shards: Vec<IndexShard> = Vec::with_capacity(nshards);
     for s in 0..nshards {
         let (root_lo, root_hi) = (bounds[s], bounds[s + 1]);
-        need(&buf, 4)?;
-        let nwords = buf.get_u32_le() as usize;
+        let nwords = r.u32()? as usize;
         let mut words: FxHashMap<WordId, WordPathIndex> =
             patternkb_graph::fxhash::map_with_capacity(nwords);
         for _ in 0..nwords {
-            need(&buf, 8)?;
-            let w = WordId(buf.get_u32_le());
-            let arena_len = buf.get_u32_le() as usize;
-            need(&buf, 4 * arena_len + 4)?;
+            let w = WordId(r.u32()?);
+            let arena_len = r.u32()? as usize;
+            r.need(4 * arena_len + 4)?;
             let mut arena = Vec::with_capacity(arena_len);
             for _ in 0..arena_len {
-                arena.push(NodeId(buf.get_u32_le()));
+                arena.push(NodeId(r.u32()?));
             }
-            let nposts = buf.get_u32_le() as usize;
+            let nposts = r.u32()? as usize;
             let mut postings = Vec::with_capacity(nposts);
             for _ in 0..nposts {
-                need(&buf, 4 + 4 + 4 + 2 + 1 + 8 + 8)?;
-                let pattern = PatternId(buf.get_u32_le());
-                let root = NodeId(buf.get_u32_le());
-                let nodes_start = buf.get_u32_le();
-                let nodes_len = buf.get_u16_le();
-                let edge_terminal = buf.get_u8() != 0;
-                let pagerank = buf.get_f64_le();
-                let sim = buf.get_f64_le();
+                r.need(4 + 4 + 4 + 2 + 1 + 8 + 8)?;
+                let pattern = PatternId(r.u32()?);
+                let root = NodeId(r.u32()?);
+                let nodes_start = r.u32()?;
+                let nodes_len = r.u16()?;
+                let edge_terminal = r.u8()? != 0;
+                let pagerank = r.f64()?;
+                let sim = r.f64()?;
                 if pattern.0 as usize >= npatterns
                     || (nodes_start as usize + nodes_len as usize) > arena_len
                     || root.0 < root_lo
                     || (root_hi != u32::MAX && root.0 >= root_hi)
                 {
-                    return Err(SnapshotError::BadReference);
+                    return Err(r.bad_reference());
                 }
                 postings.push(Posting {
                     pattern,
@@ -233,7 +205,7 @@ pub fn save(idx: &PathIndexes, path: &std::path::Path) -> std::io::Result<()> {
 /// Read an index snapshot from `path`.
 pub fn load(path: &std::path::Path) -> std::io::Result<PathIndexes> {
     let data = std::fs::read(path)?;
-    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    decode(&data).map_err(|e| invalid_data(path, e))
 }
 
 #[cfg(test)]
@@ -376,12 +348,18 @@ mod tests {
         // their declared range.
         let bound1_offset = 4 + 4 + 4 + 4 + 4; // magic|version|d|nshards|bounds[0]
         data[bound1_offset..bound1_offset + 4].copy_from_slice(&0u32.to_le_bytes());
-        assert_eq!(decode(&data).unwrap_err(), SnapshotError::BadReference);
+        assert!(matches!(
+            decode(&data).unwrap_err(),
+            SnapshotError::BadReference { .. }
+        ));
     }
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(decode(b"xx").unwrap_err(), SnapshotError::Truncated);
+        assert_eq!(
+            decode(b"xx").unwrap_err(),
+            SnapshotError::Truncated { offset: 0 }
+        );
         assert_eq!(
             decode(b"XXXXaaaaaaaaaaaa").unwrap_err(),
             SnapshotError::BadMagic

@@ -24,13 +24,16 @@
 //! ```
 
 use crate::concurrent::SharedEngine;
+use crate::durability::{self, Durability, DurabilityOptions};
 use crate::engine::SearchEngine;
 use crate::error::Error;
 use crate::plan::PlannerConfig;
 use patternkb_graph::KnowledgeGraph;
 use patternkb_index::{build_indexes, BuildConfig};
 use patternkb_text::{Stemmer, SynonymTable, TextIndex};
-use std::path::PathBuf;
+use patternkb_wal::{checkpoint, FsyncPolicy, Wal, WalOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Builds a [`SearchEngine`] or [`SharedEngine`]. See the module docs.
 #[derive(Debug)]
@@ -44,6 +47,8 @@ pub struct EngineBuilder {
     planner: PlannerConfig,
     cache_capacity: usize,
     index_snapshot: Option<PathBuf>,
+    data_dir: Option<PathBuf>,
+    durability: DurabilityOptions,
 }
 
 impl Default for EngineBuilder {
@@ -68,6 +73,8 @@ impl EngineBuilder {
             planner: PlannerConfig::default(),
             cache_capacity: 256,
             index_snapshot: None,
+            data_dir: None,
+            durability: DurabilityOptions::default(),
         }
     }
 
@@ -134,6 +141,41 @@ impl EngineBuilder {
         self
     }
 
+    /// Boot durably from (and persist ingests into) `dir`: load the
+    /// newest checkpoint if one exists (skipping graph/index
+    /// construction), replay the write-ahead log tail past it, and attach
+    /// a [`Durability`] handle so every subsequent ingest is logged
+    /// before it is acked ([`SharedEngine::ingest_with`]). With no
+    /// checkpoint yet, the engine cold-builds from [`Self::graph`] as
+    /// usual and the directory is created. `build_shared` opens the log
+    /// read-write (truncating any torn tail); `build` replays it
+    /// read-only and leaves the files untouched.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Fsync policy for the write-ahead log (only meaningful with
+    /// [`Self::data_dir`]); default `group(5ms)`.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.durability.fsync = policy;
+        self
+    }
+
+    /// Checkpoint once the log exceeds this many bytes (with
+    /// [`Self::data_dir`]).
+    pub fn checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.durability.checkpoint_bytes = bytes;
+        self
+    }
+
+    /// Checkpoint once the log holds this many records (with
+    /// [`Self::data_dir`]).
+    pub fn checkpoint_records(mut self, records: u64) -> Self {
+        self.durability.checkpoint_records = records;
+        self
+    }
+
     fn validate(&self) -> Result<(), Error> {
         if self.graph.is_none() {
             return Err(Error::MissingGraph);
@@ -156,9 +198,26 @@ impl EngineBuilder {
         Ok(())
     }
 
-    /// Build the immutable engine.
+    /// Build the immutable engine. With [`Self::data_dir`], this is the
+    /// *read-only* durable boot: newest checkpoint + log replay, without
+    /// truncating the log or opening it for append.
     pub fn build(self) -> Result<SearchEngine, Error> {
         self.validate()?;
+        match self.data_dir.clone() {
+            None => self.build_cold(),
+            Some(dir) => {
+                let mut engine = self.boot_base(&dir)?;
+                let summary =
+                    patternkb_wal::replay(&dir.join(durability::WAL_FILE)).map_err(Error::Io)?;
+                durability::replay_records(&mut engine, &summary.records);
+                Ok(engine)
+            }
+        }
+    }
+
+    /// The cold path of [`Self::build`]: construct everything from the
+    /// given graph (or index snapshot), ignoring any data dir.
+    fn build_cold(self) -> Result<SearchEngine, Error> {
         let EngineBuilder {
             graph,
             synonyms,
@@ -179,12 +238,60 @@ impl EngineBuilder {
         Ok(SearchEngine::from_parts(graph, text, idx).with_planner(planner))
     }
 
+    /// Base state of a durable boot: the newest readable checkpoint in
+    /// `dir` (graph + index decoded, version restored), or a cold build
+    /// when the directory holds none.
+    fn boot_base(self, dir: &Path) -> Result<SearchEngine, Error> {
+        match checkpoint::load_latest(dir).map_err(Error::Io)? {
+            None => self.build_cold(),
+            Some((cp, path)) => {
+                let wrap = |e| Error::Io(patternkb_graph::snapshot::invalid_data(&path, e));
+                let graph = patternkb_graph::snapshot::decode(&cp.graph).map_err(wrap)?;
+                let idx = patternkb_index::snapshot::decode(&cp.index).map_err(wrap)?;
+                let text = TextIndex::build_with(&graph, self.synonyms, self.stemmer);
+                let mut engine =
+                    SearchEngine::from_parts(graph, text, idx).with_planner(self.planner);
+                if cp.version > 0 {
+                    engine.rebase_version(cp.version - 1);
+                }
+                Ok(engine)
+            }
+        }
+    }
+
     /// Build the concurrent serving handle: the engine behind a
     /// snapshot-swap pointer plus a version-aware result cache of
-    /// [`Self::cache_capacity`] entries.
+    /// [`Self::cache_capacity`] entries. With [`Self::data_dir`], boots
+    /// from the newest checkpoint plus the log tail (truncating any torn
+    /// or unreplayable suffix — a damaged log never refuses to boot) and
+    /// attaches the [`Durability`] handle driving the durable write path.
     pub fn build_shared(self) -> Result<SharedEngine, Error> {
+        self.validate()?;
         let capacity = self.cache_capacity;
-        Ok(SharedEngine::with_cache_capacity(self.build()?, capacity))
+        match self.data_dir.clone() {
+            None => Ok(SharedEngine::with_cache_capacity(
+                self.build_cold()?,
+                capacity,
+            )),
+            Some(dir) => {
+                std::fs::create_dir_all(&dir).map_err(Error::Io)?;
+                let opts = self.durability.clone();
+                let mut engine = self.boot_base(&dir)?;
+                let (wal, summary) = Wal::open(
+                    dir.join(durability::WAL_FILE),
+                    WalOptions { fsync: opts.fsync },
+                )
+                .map_err(Error::Io)?;
+                if let Some(offset) = durability::replay_records(&mut engine, &summary.records) {
+                    // A record that is CRC-intact but does not follow
+                    // (version gap, unreplayable delta): drop it and its
+                    // suffix — boot from what does replay.
+                    wal.truncate_to(offset).map_err(Error::Io)?;
+                }
+                let handle = Arc::new(Durability::new(wal, dir, opts));
+                Ok(SharedEngine::assemble(engine, capacity, Some(handle)))
+            }
+        }
     }
 }
 

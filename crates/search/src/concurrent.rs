@@ -31,6 +31,7 @@
 //!   Idempotent.
 
 use crate::cache::{CacheStats, QueryCache};
+use crate::durability::Durability;
 use crate::engine::SearchEngine;
 use crate::error::Error;
 use crate::request::{SearchRequest, SearchResponse};
@@ -64,6 +65,12 @@ pub enum IngestError<E> {
     /// [`DeltaError::BaseMismatch`]: the delta is built under the writer
     /// lock, so the base cannot move between build and apply.
     Delta(DeltaError),
+    /// The write-ahead log could not make the delta durable (append or
+    /// fsync failure). The delta is **not** visible to readers — a write
+    /// that was never durable must not be served. Only raised on handles
+    /// built with [`crate::EngineBuilder::data_dir`]; maps to 503 on the
+    /// serving surface.
+    Durability(std::io::Error),
 }
 
 impl<E: std::fmt::Display> std::fmt::Display for IngestError<E> {
@@ -72,6 +79,7 @@ impl<E: std::fmt::Display> std::fmt::Display for IngestError<E> {
             IngestError::Closed => write!(f, "engine is shutting down; ingest refused"),
             IngestError::Build(e) => write!(f, "delta build failed: {e}"),
             IngestError::Delta(e) => write!(f, "delta rejected: {e}"),
+            IngestError::Durability(e) => write!(f, "ingest not made durable: {e}"),
         }
     }
 }
@@ -94,6 +102,16 @@ pub struct SharedEngine {
     /// Hot-swap epoch: +1 per [`Self::replace`] (whole-engine snapshot
     /// swap), independent of the per-delta data version.
     epoch: std::sync::atomic::AtomicU64,
+    /// The newest *built* engine state, possibly not yet published: with
+    /// durability attached, an ingest builds on this tail (under the
+    /// writer lock), appends to the log, then publishes to `current` only
+    /// once durable. Letting the next ingest start from the unpublished
+    /// tail is what makes group commit actually batch — without it every
+    /// writer would hold the writer lock across its fsync wait.
+    pending: Mutex<Option<Arc<SearchEngine>>>,
+    /// The write-ahead log + checkpointer, when booted with
+    /// [`crate::EngineBuilder::data_dir`].
+    durability: Option<Arc<Durability>>,
 }
 
 /// Admission state: how many responds are in flight, and whether new ones
@@ -134,6 +152,16 @@ impl SharedEngine {
     /// Wrap a freshly built engine with an explicit result-cache capacity
     /// (entries; ≥ 1).
     pub fn with_cache_capacity(engine: SearchEngine, capacity: usize) -> Self {
+        Self::assemble(engine, capacity, None)
+    }
+
+    /// Wrap an engine with a durability handle attached (the
+    /// [`crate::EngineBuilder::data_dir`] route).
+    pub(crate) fn assemble(
+        engine: SearchEngine,
+        capacity: usize,
+        durability: Option<Arc<Durability>>,
+    ) -> Self {
         SharedEngine {
             current: RwLock::new(Arc::new(engine)),
             writer: Mutex::new(()),
@@ -146,7 +174,16 @@ impl SharedEngine {
                 drained: std::sync::Condvar::new(),
             },
             epoch: std::sync::atomic::AtomicU64::new(0),
+            pending: Mutex::new(None),
+            durability,
         }
+    }
+
+    /// The durability handle, when this engine was booted with
+    /// [`crate::EngineBuilder::data_dir`]. `None` means ingests are
+    /// memory-only (lost on restart).
+    pub fn durability(&self) -> Option<&Arc<Durability>> {
+        self.durability.as_ref()
     }
 
     /// Register one in-flight respond, or refuse if the handle is closed.
@@ -242,7 +279,14 @@ impl SharedEngine {
     pub fn replace(&self, next: SearchEngine) -> u64 {
         let _writing = self.writer.lock();
         let mut next = next;
-        next.rebase_version(self.current.read().version());
+        // The rebase floor includes the unpublished ingest tail (durable
+        // handles), so a swapped-in engine can never collide with a
+        // version already written to the log.
+        let mut floor = self.current.read().version();
+        if let Some(tail) = self.pending.lock().take() {
+            floor = floor.max(tail.version());
+        }
+        next.rebase_version(floor);
         *self.current.write() = Arc::new(next);
         self.cache.clear();
         self.epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1
@@ -253,61 +297,107 @@ impl SharedEngine {
         self.cache.stats()
     }
 
-    /// Ingest a delta: compute the post-delta engine off-lock, then swap.
-    ///
-    /// The delta must be built against [`Self::snapshot`]'s graph. If
-    /// another ingest landed in between, the graphs no longer line up and
-    /// the delta is rejected by validation ([`DeltaError::BaseMismatch`]) —
-    /// the caller must rebuild and retry. [`Self::ingest_with`] removes
-    /// that race entirely by building the delta under the writer lock;
-    /// prefer it for any concurrent write path.
+    /// Ingest a pre-built delta. Equivalent to [`Self::ingest_with`] with
+    /// a builder that just clones `delta` — so the delta must have been
+    /// built against the latest state. If another ingest landed in
+    /// between, the graphs no longer line up and the delta is rejected by
+    /// validation ([`DeltaError::BaseMismatch`], surfaced as
+    /// [`Error::Delta`]) — the caller must rebuild and retry.
+    /// [`Self::ingest_with`] removes that race entirely by building the
+    /// delta under the writer lock; prefer it for any concurrent write
+    /// path.
     pub fn apply_delta(
         &self,
         delta: &GraphDelta,
         mode: PagerankMode,
-    ) -> Result<RefreshStats, DeltaError> {
-        let _writing = self.writer.lock();
-        // Base state: the latest snapshot (stable while `writer` is held).
-        let base = self.snapshot();
-        let (next, stats) = base.with_delta(delta, mode)?; // expensive, off the read lock
-        *self.current.write() = Arc::new(next); // the only blocking moment
-        Ok(stats)
+    ) -> Result<RefreshStats, Error> {
+        match self.ingest_with(mode, |_| Ok::<_, std::convert::Infallible>(delta.clone())) {
+            Ok(outcome) => Ok(outcome.stats),
+            Err(IngestError::Build(never)) => match never {},
+            Err(IngestError::Delta(e)) => Err(Error::Delta(e)),
+            Err(IngestError::Closed) => Err(Error::Closed),
+            Err(IngestError::Durability(e)) => Err(Error::Durability(e)),
+        }
     }
 
-    /// The online write path: build a delta **against the latest snapshot,
+    /// The online write path: build a delta **against the latest state,
     /// under the writer lock**, apply it through the incremental index
     /// refresh, and swap the result in — while readers keep serving the
     /// old snapshot (the only read-side cost is the pointer swap).
     ///
-    /// This closes [`Self::apply_delta`]'s check-then-act window: because
-    /// `build` runs with the writer mutex held, the snapshot it sees *is*
-    /// the apply base, so two racing ingests serialize — the second one's
-    /// `build` sees the first one's result — instead of one of them
-    /// failing [`DeltaError::BaseMismatch`] validation.
+    /// Because `build` runs with the writer mutex held, the state it sees
+    /// *is* the apply base, so two racing ingests serialize — the second
+    /// one's `build` sees the first one's result — instead of one of them
+    /// failing [`DeltaError::BaseMismatch`] validation. `build` should
+    /// therefore be quick (resolve names, assemble the [`GraphDelta`]);
+    /// the expensive part — the incremental refresh — also runs under the
+    /// writer lock but off the snapshot `RwLock`, so reads never stall
+    /// behind it. Returning `Err` from `build` abandons the ingest with
+    /// no state change.
     ///
-    /// `build` should therefore be quick (resolve names, assemble the
-    /// [`GraphDelta`]); the expensive part — the incremental refresh — also
-    /// runs under the writer lock but off the snapshot `RwLock`, so reads
-    /// never stall behind it. Returning `Err` from `build` abandons the
-    /// ingest with no state change.
+    /// With durability attached ([`crate::EngineBuilder::data_dir`]) the
+    /// ordering is *log → durable → publish*: the compiled delta is
+    /// appended to the write-ahead log before any pointer moves, the call
+    /// acks only after the record is durable under the configured
+    /// [`patternkb_wal::FsyncPolicy`], and the state is published to
+    /// readers only then. The durability wait happens *outside* the
+    /// writer lock — the next ingest builds on the not-yet-published tail
+    /// meanwhile, so one shared fsync acks a whole batch (group commit).
+    /// On an append/fsync failure the log poisons itself and the
+    /// unpublished tail is abandoned: a delta that never became durable
+    /// is never visible.
     pub fn ingest_with<E>(
         &self,
         mode: PagerankMode,
         build: impl FnOnce(&SearchEngine) -> Result<GraphDelta, E>,
     ) -> Result<IngestOutcome, IngestError<E>> {
-        let _writing = self.writer.lock();
-        if self.is_closed() {
-            return Err(IngestError::Closed);
+        let (next, stats, ticket) = {
+            let _writing = self.writer.lock();
+            if self.is_closed() {
+                return Err(IngestError::Closed);
+            }
+            // The base is pinned: no other writer can move it while we
+            // hold `writer`. It is the newest *built* state — under
+            // durability possibly still waiting on its fsync — so the
+            // delta `build` produces is applied to exactly the graph it
+            // was built against.
+            let base = self
+                .pending
+                .lock()
+                .clone()
+                .unwrap_or_else(|| self.snapshot());
+            let delta = build(&base).map_err(IngestError::Build)?;
+            let (next, stats) = base.with_delta(&delta, mode).map_err(IngestError::Delta)?;
+            let next = Arc::new(next);
+            let ticket = match &self.durability {
+                Some(d) => Some(
+                    d.append(next.version(), mode, &delta)
+                        .map_err(IngestError::Durability)?,
+                ),
+                None => None,
+            };
+            *self.pending.lock() = Some(Arc::clone(&next));
+            (next, stats, ticket)
+        };
+        if let Some(ticket) = ticket {
+            let d = self.durability.as_ref().expect("ticket implies durability");
+            d.sync(ticket).map_err(IngestError::Durability)?;
         }
-        // The base is pinned: no other writer can swap while we hold
-        // `writer`, so the delta `build` produces is applied to exactly
-        // the graph it was built against.
-        let base = self.snapshot();
-        let delta = build(&base).map_err(IngestError::Build)?;
-        let (next, stats) = base.with_delta(&delta, mode).map_err(IngestError::Delta)?;
         let version = next.version();
-        *self.current.write() = Arc::new(next); // the only blocking moment
+        self.publish_if_newer(next);
+        if let Some(d) = &self.durability {
+            d.maybe_checkpoint(&self.snapshot());
+        }
         Ok(IngestOutcome { stats, version })
+    }
+
+    /// Publish `next` unless something newer (a later ingest whose fsync
+    /// completed first, or a hot swap) already landed.
+    fn publish_if_newer(&self, next: Arc<SearchEngine>) {
+        let mut cur = self.current.write();
+        if next.version() > cur.version() {
+            *cur = next;
+        }
     }
 }
 
@@ -448,7 +538,7 @@ mod tests {
         // The stale delta's node-count bookkeeping no longer matches:
         // a typed error, never a silent lost-update.
         let err = s.apply_delta(&stale, PagerankMode::Frozen).unwrap_err();
-        assert!(matches!(err, DeltaError::BaseMismatch { .. }));
+        assert!(matches!(err, Error::Delta(DeltaError::BaseMismatch { .. })));
         assert_eq!(s.version(), 1, "stale delta left the state untouched");
     }
 
@@ -708,7 +798,7 @@ mod tests {
                             d.add_node(comp, &format!("writer {t} entity {i}")).unwrap();
                             match s.apply_delta(&d, PagerankMode::Frozen) {
                                 Ok(_) => break,
-                                Err(DeltaError::BaseMismatch { .. }) => continue,
+                                Err(Error::Delta(DeltaError::BaseMismatch { .. })) => continue,
                                 Err(e) => panic!("unexpected delta error {e}"),
                             }
                         }

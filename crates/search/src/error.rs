@@ -33,6 +33,10 @@ pub enum Error {
     Delta(DeltaError),
     /// Persistence (index snapshot save/load) failed.
     Io(std::io::Error),
+    /// The write-ahead log could not make an ingest durable (append or
+    /// fsync failure). The delta was **not** applied — a write that is
+    /// not durable is never made visible.
+    Durability(std::io::Error),
     /// The engine builder was not given a graph source.
     MissingGraph,
     /// The serving handle was closed ([`crate::SharedEngine::close`]);
@@ -55,6 +59,7 @@ impl std::fmt::Display for Error {
             Error::Planner(msg) => write!(f, "planner misconfigured: {msg}"),
             Error::Delta(e) => write!(f, "graph mutation rejected: {e}"),
             Error::Io(e) => write!(f, "index persistence failed: {e}"),
+            Error::Durability(e) => write!(f, "ingest not made durable: {e}"),
             Error::MissingGraph => write!(f, "engine builder needs a graph (EngineBuilder::graph)"),
             Error::Closed => write!(f, "engine is shutting down; no new queries admitted"),
         }
@@ -66,6 +71,7 @@ impl std::error::Error for Error {
         match self {
             Error::Delta(e) => Some(e),
             Error::Io(e) => Some(e),
+            Error::Durability(e) => Some(e),
             _ => None,
         }
     }

@@ -88,6 +88,7 @@ pub mod common;
 pub mod concurrent;
 pub mod counting;
 pub mod diversify;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod explain;
@@ -112,9 +113,11 @@ pub use builder::EngineBuilder;
 pub use cache::QueryCache;
 pub use concurrent::{IngestError, IngestOutcome, SharedEngine};
 pub use diversify::{diversify, DiversifyConfig};
+pub use durability::{Durability, DurabilityMetrics, DurabilityOptions};
 pub use engine::{Algorithm, SearchEngine};
 pub use error::Error;
 pub use patternkb_index::RefreshStats;
+pub use patternkb_wal::{FsyncPolicy, FSYNC_BOUNDS};
 pub use plan::{PlannerConfig, QueryEstimate};
 pub use query::{ParseError, Query};
 pub use request::{AlgorithmChoice, CacheOutcome, SearchRequest, SearchResponse};

@@ -78,18 +78,21 @@ pub enum Route {
     AdminReload,
     /// `POST /admin/ingest`
     AdminIngest,
+    /// `POST /admin/checkpoint`
+    AdminCheckpoint,
     /// `POST /admin/shutdown`
     AdminShutdown,
     /// Anything else (404s, bad requests, …).
     Other,
 }
 
-const ROUTES: [(Route, &str); 7] = [
+const ROUTES: [(Route, &str); 8] = [
     (Route::Search, "search"),
     (Route::Healthz, "healthz"),
     (Route::Metrics, "metrics"),
     (Route::AdminReload, "admin_reload"),
     (Route::AdminIngest, "admin_ingest"),
+    (Route::AdminCheckpoint, "admin_checkpoint"),
     (Route::AdminShutdown, "admin_shutdown"),
     (Route::Other, "other"),
 ];
@@ -404,6 +407,73 @@ impl ServerMetrics {
             "patternkb_connections_refused_total {}\n",
             self.connections_refused.load(Ordering::Relaxed)
         ));
+
+        if let Some(durability) = engine.durability() {
+            let d = durability.metrics();
+            out.push_str(
+                "# HELP patternkb_wal_appended_total Delta records appended to the write-ahead log.\n\
+                 # TYPE patternkb_wal_appended_total counter\n",
+            );
+            out.push_str(&format!(
+                "patternkb_wal_appended_total {}\n",
+                d.appended_total
+            ));
+            out.push_str(
+                "# HELP patternkb_wal_bytes Current write-ahead log size (shrinks on checkpoint).\n\
+                 # TYPE patternkb_wal_bytes gauge\n",
+            );
+            out.push_str(&format!("patternkb_wal_bytes {}\n", d.log_bytes));
+            out.push_str(
+                "# HELP patternkb_wal_records Records currently in the write-ahead log.\n\
+                 # TYPE patternkb_wal_records gauge\n",
+            );
+            out.push_str(&format!("patternkb_wal_records {}\n", d.log_records));
+
+            let name = "patternkb_wal_fsync_seconds";
+            out.push_str(&format!(
+                "# HELP {name} Write-ahead log fsync latency (policy: {}).\n# TYPE {name} histogram\n",
+                d.fsync_policy
+            ));
+            for (i, bound) in patternkb_search::FSYNC_BOUNDS.iter().enumerate() {
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{bound}\"}} {}\n",
+                    d.fsync.buckets[i]
+                ));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", d.fsync.count));
+            out.push_str(&format!(
+                "{name}_sum {}\n",
+                d.fsync.total_micros as f64 / 1e6
+            ));
+            out.push_str(&format!("{name}_count {}\n", d.fsync.count));
+
+            out.push_str(
+                "# HELP patternkb_checkpoints_total Checkpoints completed since boot.\n\
+                 # TYPE patternkb_checkpoints_total counter\n",
+            );
+            out.push_str(&format!(
+                "patternkb_checkpoints_total {}\n",
+                d.checkpoints_total
+            ));
+            out.push_str(
+                "# HELP patternkb_checkpoint_failures_total Checkpoint attempts that failed.\n\
+                 # TYPE patternkb_checkpoint_failures_total counter\n",
+            );
+            out.push_str(&format!(
+                "patternkb_checkpoint_failures_total {}\n",
+                d.checkpoint_failures
+            ));
+            if let Some(age) = d.last_checkpoint_age {
+                out.push_str(
+                    "# HELP patternkb_checkpoint_age_seconds Time since the last completed checkpoint.\n\
+                     # TYPE patternkb_checkpoint_age_seconds gauge\n",
+                );
+                out.push_str(&format!(
+                    "patternkb_checkpoint_age_seconds {}\n",
+                    age.as_secs_f64()
+                ));
+            }
+        }
 
         out.push_str(
             "# HELP patternkb_shard_candidate_roots_total Candidate roots per index shard.\n\

@@ -522,6 +522,7 @@ fn dispatch(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool {
         ("POST", "/search") => handle_search(shared, request, w),
         ("POST", "/admin/ingest") => handle_ingest(shared, request, w),
         ("POST", "/admin/reload") => handle_reload(shared, w, keep),
+        ("POST", "/admin/checkpoint") => handle_checkpoint(shared, w, keep),
         ("POST", "/admin/shutdown") => {
             let body = Json::Obj(vec![
                 ("ok".to_string(), Json::Bool(true)),
@@ -536,7 +537,7 @@ fn dispatch(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool {
         (
             _,
             "/healthz" | "/metrics" | "/search" | "/admin/ingest" | "/admin/reload"
-            | "/admin/shutdown",
+            | "/admin/checkpoint" | "/admin/shutdown",
         ) => {
             respond_error(
                 shared,
@@ -701,8 +702,11 @@ fn handle_ingest(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool 
             // reference). 409: shape was fine but the graph disagrees
             // (duplicate edge, removal of a missing edge) — retryable
             // after re-reading state, so keep-alive survives like every
-            // other 4xx on this route. 503: racing shutdown (drop the
-            // connection; the server is going away).
+            // other 4xx on this route. 503 `closed`: racing shutdown.
+            // 503 `durability`: the WAL could not make the write durable;
+            // the delta was NOT applied and the log refuses further
+            // appends until the operator intervenes (restart). Both 503s
+            // drop the connection.
             let (status, body) = match &e {
                 IngestError::Build(api_err) => {
                     (400, api::error_json(api_err.kind, &api_err.message, vec![]))
@@ -712,6 +716,9 @@ fn handle_ingest(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool 
                     api::error_json("conflict", &delta_err.to_string(), vec![]),
                 ),
                 IngestError::Closed => (503, api::error_json("closed", &e.to_string(), vec![])),
+                IngestError::Durability(_) => {
+                    (503, api::error_json("durability", &e.to_string(), vec![]))
+                }
             };
             shared.metrics.record(Route::AdminIngest, status);
             let body = body.render();
@@ -722,7 +729,66 @@ fn handle_ingest(shared: &Shared, request: &Request, w: &mut TcpStream) -> bool 
     }
 }
 
+/// `POST /admin/checkpoint`: synchronously write a graph+index snapshot
+/// and truncate the write-ahead log behind it. Runs on the connection
+/// thread (like reload); racing ingests keep flowing — the checkpoint
+/// captures whichever published snapshot it pins.
+fn handle_checkpoint(shared: &Shared, w: &mut TcpStream, keep: bool) -> bool {
+    let Some(durability) = shared.engine.durability().cloned() else {
+        respond_error(
+            shared,
+            w,
+            Route::AdminCheckpoint,
+            501,
+            "server booted without a data dir; nothing to checkpoint",
+        );
+        return false;
+    };
+    let snapshot = shared.engine.snapshot();
+    match durability.checkpoint_now(&snapshot) {
+        Ok(path) => {
+            shared.metrics.record(Route::AdminCheckpoint, 200);
+            let body = Json::Obj(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("version".to_string(), count(snapshot.version())),
+                ("path".to_string(), Json::Str(path.display().to_string())),
+            ])
+            .render();
+            write_response(w, 200, "application/json", &[], body.as_bytes(), keep).is_ok() && keep
+        }
+        Err(e) => {
+            shared.metrics.record(Route::AdminCheckpoint, 500);
+            let body = api::error_json(
+                "checkpoint_failed",
+                &format!("checkpoint failed: {e}"),
+                vec![],
+            )
+            .render();
+            let _ = write_response(w, 500, "application/json", &[], body.as_bytes(), false);
+            false
+        }
+    }
+}
+
 fn handle_reload(shared: &Shared, w: &mut TcpStream, keep: bool) -> bool {
+    // A durable server's history lives in the write-ahead log; swapping in
+    // an engine built outside the log would fork that history (the next
+    // appended version could collide with one already on disk under a
+    // different delta). Restart-from-the-data-dir is the durable reload.
+    if shared.engine.durability().is_some() {
+        shared
+            .metrics
+            .reload_failures
+            .fetch_add(1, Ordering::Relaxed);
+        respond_error(
+            shared,
+            w,
+            Route::AdminReload,
+            409,
+            "reload would fork the write-ahead log; restart from the data dir instead",
+        );
+        return false;
+    }
     let Some(reload) = shared.reload.as_deref() else {
         respond_error(
             shared,

@@ -595,3 +595,205 @@ fn per_request_timeout_is_clamped_and_applied() {
     server.trigger_shutdown();
     server.join();
 }
+
+/// Fresh scratch directory for a durable-server test; removed on drop.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(name: &str) -> ScratchDir {
+        let dir =
+            std::env::temp_dir().join(format!("patternkb_serve_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn durable_engine(dir: &std::path::Path) -> Arc<SharedEngine> {
+    let (g, _) = patternkb_datagen::figure1();
+    Arc::new(
+        EngineBuilder::new()
+            .graph(g)
+            .threads(1)
+            .data_dir(dir)
+            .build_shared()
+            .unwrap(),
+    )
+}
+
+const DB2_BATCH: &str = r#"{"mutations":[
+    {"op":"add_node","type":"Software","name":"DB2"},
+    {"op":"add_node","type":"Company","name":"IBM"},
+    {"op":"add_edge","source":"DB2","attr":"Developer","target":"IBM"},
+    {"op":"add_edge","source":"DB2","attr":"Genre","target":"Relational database"},
+    {"op":"add_text_edge","source":"IBM","attr":"Revenue","value":"US$ 57 billion"}
+],"pagerank":"recompute"}"#;
+
+#[test]
+fn durable_server_acks_survive_reboot() {
+    let scratch = ScratchDir::new("reboot");
+    let server = Server::start(durable_engine(&scratch.0), None, test_config()).unwrap();
+    let addr = server.local_addr();
+
+    let (status, _, body) = post(addr, "/admin/ingest", DB2_BATCH);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        Json::parse(&body).unwrap().get("version").unwrap().as_u64(),
+        Some(1)
+    );
+
+    // The WAL families show up on /metrics once a durable write landed.
+    let (_, _, metrics) = get(addr, "/metrics");
+    for family in [
+        "patternkb_wal_appended_total 1",
+        "patternkb_wal_records 1",
+        "patternkb_wal_fsync_seconds_count",
+        "patternkb_checkpoints_total 0",
+    ] {
+        assert!(
+            metrics.contains(family),
+            "missing {family:?} in:\n{metrics}"
+        );
+    }
+
+    // Reload would fork the log's history: refused while durable.
+    let (status, _, body) = post(addr, "/admin/reload", "");
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("conflict"), "{body}");
+
+    // Capture the answer the live server gives, to compare after reboot.
+    let (status, _, before) = search(
+        addr,
+        r#"{"q": "database software company revenue", "k": 9}"#,
+    );
+    assert_eq!(status, 200, "{before}");
+
+    server.trigger_shutdown();
+    server.join();
+
+    // Reboot from the same directory: the acked version and its facts
+    // come back from checkpoint + log replay, not from the dataset spec.
+    let server = Server::start(durable_engine(&scratch.0), None, test_config()).unwrap();
+    let addr = server.local_addr();
+    assert_eq!(server.engine().version(), 1);
+    let (status, _, body) = search(
+        addr,
+        r#"{"q": "database software company revenue", "k": 9}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let json = Json::parse(&body).unwrap();
+    let top = &json.get("patterns").unwrap().as_arr().unwrap()[0];
+    assert_eq!(top.get("num_trees").unwrap().as_u64(), Some(3));
+    // The replayed engine answers exactly what the live one did (modulo
+    // the per-response cache marker and wall-clock timing).
+    let strip = |s: &str| -> String {
+        let s = s
+            .replace("\"cache\":\"miss\"", "")
+            .replace("\"cache\":\"hit\"", "");
+        match s.split_once("\"elapsed_us\":") {
+            Some((head, tail)) => {
+                let rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+                format!("{head}{rest}")
+            }
+            None => s,
+        }
+    };
+    assert_eq!(strip(&body), strip(&before));
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn admin_checkpoint_truncates_log_and_counts() {
+    let scratch = ScratchDir::new("checkpoint");
+    let server = Server::start(durable_engine(&scratch.0), None, test_config()).unwrap();
+    let addr = server.local_addr();
+
+    let (status, _, body) = post(addr, "/admin/ingest", DB2_BATCH);
+    assert_eq!(status, 200, "{body}");
+
+    let (status, _, body) = post(addr, "/admin/checkpoint", "");
+    assert_eq!(status, 200, "{body}");
+    let json = Json::parse(&body).unwrap();
+    assert_eq!(json.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(json.get("version").unwrap().as_u64(), Some(1));
+    let path = json.get("path").unwrap().as_str().unwrap().to_string();
+    assert!(std::path::Path::new(&path).exists(), "{path}");
+
+    // The log was rotated behind the checkpoint and the age gauge ticks.
+    let (_, _, metrics) = get(addr, "/metrics");
+    for family in [
+        "patternkb_checkpoints_total 1",
+        "patternkb_checkpoint_failures_total 0",
+        "patternkb_wal_records 0",
+        "patternkb_checkpoint_age_seconds",
+    ] {
+        assert!(
+            metrics.contains(family),
+            "missing {family:?} in:\n{metrics}"
+        );
+    }
+
+    server.trigger_shutdown();
+    server.join();
+
+    // Reboot answers from the checkpoint alone (empty tail).
+    let server = Server::start(durable_engine(&scratch.0), None, test_config()).unwrap();
+    assert_eq!(server.engine().version(), 1);
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn checkpoint_without_data_dir_is_501() {
+    let server = Server::start(shared_engine(), None, test_config()).unwrap();
+    let (status, _, body) = post(server.local_addr(), "/admin/checkpoint", "");
+    assert_eq!(status, 501, "{body}");
+    assert!(body.contains("not_implemented"), "{body}");
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn wal_failure_maps_to_distinct_503_and_is_never_visible() {
+    let scratch = ScratchDir::new("poison");
+    let server = Server::start(durable_engine(&scratch.0), None, test_config()).unwrap();
+    let addr = server.local_addr();
+
+    // Simulate the disk dying under the log: every later append must be
+    // refused, and a refused write must never become visible to reads.
+    let durability = server.engine().durability().expect("durable boot").clone();
+    durability.wal().poison("injected: disk gone");
+
+    let (status, _, body) = post(addr, "/admin/ingest", DB2_BATCH);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"durability\""), "{body}");
+    assert!(body.contains("injected: disk gone"), "{body}");
+
+    // Not applied: version unmoved, the fact is not queryable.
+    assert_eq!(server.engine().version(), 0);
+    let (status, _, body) = search(
+        addr,
+        r#"{"q": "database software company revenue", "k": 9}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let json = Json::parse(&body).unwrap();
+    let top = &json.get("patterns").unwrap().as_arr().unwrap()[0];
+    assert_eq!(top.get("num_trees").unwrap().as_u64(), Some(2));
+
+    // The failure is visible on /metrics as an ingest failure.
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains("patternkb_ingest_failures_total 1"),
+        "{metrics}"
+    );
+
+    server.trigger_shutdown();
+    server.join();
+}

@@ -96,6 +96,40 @@ fn build_serve_engine(spec: &[String]) -> Result<SearchEngine, String> {
         .map_err(|e| format!("cannot build engine: {e}"))
 }
 
+/// Build the durable serving handle for `--data-dir` boots: newest
+/// checkpoint plus write-ahead-log tail when the directory has state,
+/// the dataset spec only on first boot (and as the text/synonym source).
+fn build_serve_shared(spec: &[String], dir: &str) -> Result<SharedEngine, String> {
+    let (graph, _) = build_graph(spec)?;
+    let d = flag_value(spec, "--d").unwrap_or(3);
+    let shards = flag_value(spec, "--shards").unwrap_or(0);
+    let mut builder = EngineBuilder::new()
+        .graph(graph)
+        .synonyms(SynonymTable::default_english())
+        .height(d)
+        .shards(shards)
+        .data_dir(dir);
+    if let Some(raw) = spec
+        .iter()
+        .position(|a| a == "--fsync")
+        .and_then(|i| spec.get(i + 1))
+    {
+        let policy: patternkb::search::FsyncPolicy = raw
+            .parse()
+            .map_err(|e| format!("invalid --fsync {raw:?}: {e}"))?;
+        builder = builder.fsync(policy);
+    }
+    if let Some(bytes) = flag_value(spec, "--checkpoint-bytes") {
+        builder = builder.checkpoint_bytes(bytes);
+    }
+    if let Some(records) = flag_value(spec, "--checkpoint-records") {
+        builder = builder.checkpoint_records(records);
+    }
+    builder
+        .build_shared()
+        .map_err(|e| format!("cannot build engine: {e}"))
+}
+
 /// Translate `serve` flags into a [`patternkb::serve::ServeConfig`].
 fn serve_config(args: &[String]) -> patternkb::serve::ServeConfig {
     let defaults = patternkb::serve::ServeConfig::default();
@@ -121,27 +155,44 @@ fn serve_main(args: &[String]) -> ! {
         "building engine for {:?} …",
         spec.first().map(String::as_str).unwrap_or("figure1")
     );
+    let usage = "usage: patternkb-cli serve figure1|wiki|imdb|load <file> [dataset flags] [--addr A] [--workers N] [--queue N] [--batch N] [--deadline-ms N] [--max-body-bytes N] [--no-ingest] [--data-dir DIR] [--fsync always|group(5ms)|never] [--checkpoint-bytes N] [--checkpoint-records N]";
     let t0 = std::time::Instant::now();
-    let engine = match build_serve_engine(&spec) {
-        Ok(engine) => engine,
-        Err(msg) => {
-            eprintln!("{msg}");
-            eprintln!("usage: patternkb-cli serve figure1|wiki|imdb|load <file> [dataset flags] [--addr A] [--workers N] [--queue N] [--batch N] [--deadline-ms N] [--max-body-bytes N] [--no-ingest]");
-            std::process::exit(2);
-        }
+    let data_dir: Option<String> = flag_value(&spec, "--data-dir");
+    let shared = match &data_dir {
+        Some(dir) => match build_serve_shared(&spec, dir) {
+            Ok(shared) => shared,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+        },
+        None => match build_serve_engine(&spec) {
+            Ok(engine) => SharedEngine::new(engine),
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+        },
     };
     let cfg = serve_config(&spec);
     eprintln!(
-        "engine ready in {:.2}s ({} shard(s)); hot-swappable via POST /admin/reload{}",
+        "engine ready in {:.2}s ({} shard(s), version {}){}{}",
         t0.elapsed().as_secs_f64(),
-        engine.num_shards(),
+        shared.snapshot().num_shards(),
+        shared.version(),
+        match &data_dir {
+            Some(dir) => format!("; durable in {dir} (reload via restart)"),
+            None => "; hot-swappable via POST /admin/reload".to_string(),
+        },
         if cfg.enable_ingest {
             ", writable via POST /admin/ingest"
         } else {
             "; ingest disabled (--no-ingest)"
         }
     );
-    let shared = std::sync::Arc::new(SharedEngine::new(engine));
+    let shared = std::sync::Arc::new(shared);
     let reload_spec = spec.clone();
     let reload: Box<patternkb::serve::ReloadFn> =
         Box::new(move || build_serve_engine(&reload_spec));
