@@ -196,6 +196,14 @@ fn check_regression(baseline_path: &str, timings: &[JsonTiming]) {
     // Take the top-level calibration only — the committed baseline may
     // carry a historical `pre_change` section with its own calibration.
     let head = text.split("\"pre_change\"").next().unwrap_or(&text);
+    // A baseline with `"shards": 0` predates the resolved-count fix (the
+    // raw `--shards` sentinel leaked into the report); refuse it so stale
+    // baselines get regenerated rather than silently trusted.
+    let base_shards = json_number(head, "shards").unwrap_or(0.0);
+    if base_shards <= 0.0 {
+        eprintln!("baseline {baseline_path} records shards = {base_shards}; regenerate it (the report must carry the resolved shard count)");
+        std::process::exit(1);
+    }
     let base_cal = json_number(head, "calibration_ms").unwrap_or(0.0);
     let cur_cal = f64::from_bits(CALIBRATION_MS.load(std::sync::atomic::Ordering::Relaxed));
     if base_cal <= 0.0 || cur_cal <= 0.0 {
@@ -276,10 +284,7 @@ fn render_json(scale: Scale, timings: &[JsonTiming]) -> String {
     }
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    out.push_str(&format!(
-        "  \"shards\": {},\n",
-        SHARDS.load(std::sync::atomic::Ordering::Relaxed)
-    ));
+    out.push_str(&format!("  \"shards\": {},\n", resolved_shards()));
     out.push_str(&format!(
         "  \"available_parallelism\": {},\n",
         std::thread::available_parallelism()
@@ -309,6 +314,19 @@ fn render_json(scale: Scale, timings: &[JsonTiming]) -> String {
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// The shard count engines actually get: the `--shards` knob with the
+/// `0 = one per core` sentinel resolved to the host's available
+/// parallelism. The `--json` report records this (never the raw knob, so
+/// a default run no longer reports the nonsensical `"shards": 0`).
+fn resolved_shards() -> usize {
+    match SHARDS.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        n => n,
+    }
 }
 
 fn engine_for(g: KnowledgeGraph, d: usize) -> SearchEngine {
@@ -950,24 +968,27 @@ fn hotpath(report: &mut Report, scale: Scale, timings: &mut Vec<JsonTiming>) {
     let cal = calibrate();
     report.line(&format!("calibration workload: {cal:.1} ms"));
 
-    let mut push =
-        |report: &mut Report, algorithm: &str, durations: &[Duration], queries: usize| {
-            let eb = ErrorBar::of(durations).expect("non-empty");
-            let total_ms: f64 = durations.iter().map(|d| d.as_secs_f64() * 1e3).sum();
-            report.line(&format!(
-                "{algorithm}: total {total_ms:.2} ms, geo {:.4} ms over {} obs",
-                eb.geo_ms,
-                durations.len()
-            ));
-            timings.push(JsonTiming {
-                experiment: "hotpath",
-                dataset: "zipf-wiki".to_string(),
-                algorithm: algorithm.to_string(),
-                queries,
-                total_ms,
-                geo_ms: eb.geo_ms,
-            });
-        };
+    let mut push = |report: &mut Report,
+                    dataset: &str,
+                    algorithm: &str,
+                    durations: &[Duration],
+                    queries: usize| {
+        let eb = ErrorBar::of(durations).expect("non-empty");
+        let total_ms: f64 = durations.iter().map(|d| d.as_secs_f64() * 1e3).sum();
+        report.line(&format!(
+            "{algorithm}: total {total_ms:.2} ms, geo {:.4} ms over {} obs",
+            eb.geo_ms,
+            durations.len()
+        ));
+        timings.push(JsonTiming {
+            experiment: "hotpath",
+            dataset: dataset.to_string(),
+            algorithm: algorithm.to_string(),
+            queries,
+            total_ms,
+            geo_ms: eb.geo_ms,
+        });
+    };
 
     // --- 1. Intersection kernel: the engine's sorted-list intersection
     //     primitive over synthetic posting-style root lists (skewed sizes,
@@ -999,7 +1020,7 @@ fn hotpath(report: &mut Report, scale: Scale, timings: &mut Vec<JsonTiming>) {
         lists.iter().map(Vec::len).collect::<Vec<_>>(),
         matched
     ));
-    push(report, "intersect", &durations, 60);
+    push(report, "zipf-wiki", "intersect", &durations, 60);
 
     // --- 2. Posting decode: rebuild every word of the compressed tier.
     //     Pinned to one shard: every hotpath metric must be single-
@@ -1025,7 +1046,67 @@ fn hotpath(report: &mut Report, scale: Scale, timings: &mut Vec<JsonTiming>) {
         durations.push(t0.elapsed());
         assert_eq!(back.num_postings(), idx.num_postings());
     }
-    push(report, "decode", &durations, 5);
+    push(report, "zipf-wiki", "decode", &durations, 5);
+    match comp.encoding_mix() {
+        Ok(mix) => report.line(&format!("encoding mix: {mix}")),
+        Err(e) => report.line(&format!("encoding mix unavailable: {e}")),
+    }
+
+    // --- 2b. Per-codec decode microbench: identical root lists forced
+    //     through each of the three v4 encodings, streamed back with
+    //     `read_into` (the decoder the compressed tier actually uses).
+    //     Shapes chosen so every codec can represent them (strictly
+    //     ascending); the adaptive selector would pick differently per
+    //     list — that is exactly what this row isolates. ---
+    {
+        use patternkb_index::{BlockList, Encoding};
+        let mut rng = SmallRng::seed_from_u64(0xdec0de);
+        // A mix of shapes: sparse random (delta territory), long runs
+        // (rle territory) and dense ranges (bitmap territory).
+        let mut lists: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..8 {
+            let mut v: Vec<u32> = (0..20_000).map(|_| rng.gen_range(0..1u32 << 22)).collect();
+            v.sort_unstable();
+            v.dedup();
+            lists.push(v);
+        }
+        for i in 0..8u32 {
+            lists.push((i * 40_000..i * 40_000 + 20_000).collect());
+        }
+        for i in 0..8u32 {
+            let base = i * 60_000;
+            lists.push((base..base + 40_000).filter(|x| x % 3 != 0).collect());
+        }
+        for (enc, name) in [
+            (Encoding::Delta, "decode_delta"),
+            (Encoding::Rle, "decode_rle"),
+            (Encoding::Bitmap, "decode_bitmap"),
+        ] {
+            let mut bytes = Vec::new();
+            let mut total = 0usize;
+            for l in &lists {
+                BlockList::encode_as(l, enc)
+                    .expect("strictly ascending input fits every codec")
+                    .write(&mut bytes);
+                total += l.len();
+            }
+            let mut durations = Vec::new();
+            let mut scratch = Vec::new();
+            let mut out = Vec::with_capacity(total);
+            for _ in 0..20 {
+                out.clear();
+                let mut pos = 0usize;
+                let t0 = Instant::now();
+                for _ in 0..lists.len() {
+                    BlockList::read_into(&bytes, &mut pos, &mut scratch, &mut out)
+                        .expect("self-written stream decodes");
+                }
+                durations.push(t0.elapsed());
+                assert_eq!(out.len(), total);
+            }
+            push(report, "codec-micro", name, &durations, 20);
+        }
+    }
 
     // --- 3. End-to-end: pattern_enum_pruned over a fixed query batch on
     //     zipf-wiki (the acceptance workload). One shard (see above): the
@@ -1049,7 +1130,13 @@ fn hotpath(report: &mut Report, scale: Scale, timings: &mut Vec<JsonTiming>) {
             *slot = (*slot).min(r.stats.elapsed);
         }
     }
-    push(report, "pattern_enum_pruned", &best, queries.len());
+    push(
+        report,
+        "zipf-wiki",
+        "pattern_enum_pruned",
+        &best,
+        queries.len(),
+    );
 }
 
 // ------------------------------------------------------------------

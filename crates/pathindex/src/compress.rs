@@ -8,11 +8,13 @@
 //! demand:
 //!
 //! * postings are stored once, in pattern-first order, grouped by pattern;
-//! * each group's root column is a [`crate::blocks::BlockList`] —
-//!   128-entry delta + bitpacked blocks with per-block max-root skip
-//!   entries, decoded through a [`crate::blocks::BlockCursor`] one block
-//!   at a time (stream format v3; the older per-integer varint layout of
-//!   v2/v1 images still decodes);
+//! * each group's root column is an adaptively-encoded
+//!   [`crate::blocks::BlockList`]: the builder computes the exact
+//!   serialized size of delta + bitpack blocks, run-length runs, and a
+//!   dense bitmap, and keeps the smallest (stream format v4 — one codec
+//!   tag byte per list, followed by a per-block suffix score-bound
+//!   section; the untagged delta-only v3 layout and the per-integer
+//!   varint layout of v2/v1 images still decode);
 //! * pattern ids are delta-coded ([`crate::varint`]);
 //! * the leading path node is implicit (it equals the root);
 //! * the two cached scores stay as raw little-endian `f64`s, so a
@@ -56,9 +58,12 @@ impl std::error::Error for CompressError {}
 /// Stream layout of one word's compressed postings.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 enum StreamLayout {
-    /// v3: per group, the root column is a block-coded [`BlockList`]
-    /// followed by the posting payloads.
+    /// v4: per group, a tagged adaptively-encoded [`BlockList`] root
+    /// column and a suffix score-bound section, then the payloads.
     #[default]
+    Adaptive,
+    /// v3: per group, the root column is an untagged delta + bitpack
+    /// [`BlockList`] followed by the posting payloads.
     Blocked,
     /// v1/v2: roots delta + varint coded, interleaved with payloads.
     Interleaved,
@@ -73,7 +78,7 @@ pub struct CompressedWordIndex {
 }
 
 impl CompressedWordIndex {
-    /// Encode all postings of `widx` (pattern-first order, v3 blocked
+    /// Encode all postings of `widx` (pattern-first order, v4 adaptive
     /// layout).
     pub fn from_word_index(widx: &WordPathIndex) -> Self {
         let postings = widx.postings_pattern_first();
@@ -94,15 +99,29 @@ impl CompressedWordIndex {
         varint::put_u32(&mut bytes, groups.len() as u32);
         let mut prev_pat = 0u32;
         let mut roots: Vec<u32> = Vec::new();
-        for &(pat, lo, hi) in &groups {
+        for (gi, &(pat, lo, hi)) in groups.iter().enumerate() {
             varint::put_u32(&mut bytes, pat.0 - prev_pat);
             prev_pat = pat.0;
             varint::put_u32(&mut bytes, (hi - lo) as u32);
-            // Root column: non-decreasing within the group → block-coded
-            // with per-block max-root skip entries.
+            // Root column: non-decreasing within the group → the codec
+            // that serializes smallest wins (tag byte + payload).
             roots.clear();
             roots.extend(postings[lo..hi].iter().map(|p| p.root.0));
             BlockList::encode(&roots).write(&mut bytes);
+            // Suffix score-bound section (empty for short lists): the
+            // group order matches the pattern-first primary order, so
+            // `gi` indexes the word's bound tables directly.
+            let bounds = widx.pattern_block_bounds(gi);
+            varint::put_u32(&mut bytes, bounds.len() as u32);
+            for b in bounds {
+                varint::put_u32(&mut bytes, b.num_paths);
+                varint::put_u32(&mut bytes, b.max_per_root);
+                for v in [
+                    b.min_len, b.max_len, b.min_pr, b.max_pr, b.min_sim, b.max_sim,
+                ] {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
             // Payload column, in the same posting order.
             for p in &postings[lo..hi] {
                 let header = ((p.nodes_len as u32) << 1) | u32::from(p.edge_terminal);
@@ -120,7 +139,7 @@ impl CompressedWordIndex {
         CompressedWordIndex {
             bytes: bytes.into_boxed_slice(),
             num_postings: postings.len() as u32,
-            layout: StreamLayout::Blocked,
+            layout: StreamLayout::Adaptive,
         }
     }
 
@@ -143,22 +162,57 @@ impl CompressedWordIndex {
             let delta = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
             pat = if gi == 0 { delta } else { pat + delta };
             let count = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
-            // v3 carries the whole root column up front; v1/v2 interleave
-            // root deltas with the payloads.
-            if self.layout == StreamLayout::Blocked {
+            // v4/v3 carry the whole root column up front; v1/v2
+            // interleave root deltas with the payloads.
+            if self.layout != StreamLayout::Interleaved {
                 roots_scratch.clear();
-                let blocks =
-                    BlockList::read_into(buf, &mut pos, &mut skips_scratch, &mut roots_scratch)
-                        .ok_or(CompressError::Truncated)?;
+                let blocks = match self.layout {
+                    StreamLayout::Adaptive => {
+                        BlockList::read_into(buf, &mut pos, &mut skips_scratch, &mut roots_scratch)
+                    }
+                    _ => BlockList::read_into_untagged_delta(
+                        buf,
+                        &mut pos,
+                        &mut skips_scratch,
+                        &mut roots_scratch,
+                    ),
+                }
+                .ok_or(CompressError::Truncated)?;
                 if roots_scratch.len() != count as usize {
                     return Err(CompressError::Corrupt("root column count mismatch"));
                 }
                 blocks_decoded += blocks;
             }
+            if self.layout == StreamLayout::Adaptive {
+                // Validate and discard the suffix bound section — it is
+                // derived data, recomputed from the decoded postings by
+                // `WordPathIndex::new`, carried in the image so readers
+                // without the postings can still plan block skipping.
+                let nbounds =
+                    varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
+                if nbounds > count as usize {
+                    return Err(CompressError::Corrupt("bound table larger than group"));
+                }
+                for _ in 0..nbounds {
+                    varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?; // num_paths
+                    varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?; // max_per_root
+                    if pos + 48 > buf.len() {
+                        return Err(CompressError::Truncated);
+                    }
+                    for k in 0..6 {
+                        let at = pos + 8 * k;
+                        let v = f64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+                        if !v.is_finite() {
+                            return Err(CompressError::Corrupt("non-finite score bound"));
+                        }
+                    }
+                    pos += 48;
+                }
+            }
             let mut root = 0u32;
             for pi in 0..count {
                 root = match self.layout {
-                    StreamLayout::Blocked => roots_scratch[pi as usize],
+                    StreamLayout::Adaptive | StreamLayout::Blocked => roots_scratch[pi as usize],
                     StreamLayout::Interleaved => {
                         let rdelta =
                             varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
@@ -228,6 +282,72 @@ impl CompressedWordIndex {
     /// Resident bytes of the compressed stream.
     pub fn heap_bytes(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// How many pattern groups of this stream use each root-column codec,
+    /// indexed `[delta, rle, bitmap]`. Walks the stream framing without
+    /// materializing postings. v3 streams count every list as delta; v1/v2
+    /// streams carry no block lists and report all zeros.
+    pub fn encoding_counts(&self) -> Result<[u32; 3], CompressError> {
+        use crate::blocks::{TAG_BITMAP, TAG_DELTA, TAG_RLE};
+        let mut counts = [0u32; 3];
+        if self.layout == StreamLayout::Interleaved {
+            return Ok(counts);
+        }
+        let buf = &self.bytes;
+        let mut pos = 0usize;
+        let num_groups = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
+        let mut skips: Vec<(u32, u32, u32)> = Vec::new();
+        let mut roots: Vec<u32> = Vec::new();
+        for _ in 0..num_groups {
+            varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?; // pattern delta
+            let count = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+            roots.clear();
+            if self.layout == StreamLayout::Adaptive {
+                let slot = match BlockList::peek_tag(buf, pos) {
+                    Some(TAG_DELTA) => 0,
+                    Some(TAG_RLE) => 1,
+                    Some(TAG_BITMAP) => 2,
+                    _ => return Err(CompressError::Corrupt("unknown codec tag")),
+                };
+                counts[slot] += 1;
+                BlockList::read_into(buf, &mut pos, &mut skips, &mut roots)
+                    .ok_or(CompressError::Truncated)?;
+                let nbounds =
+                    varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
+                if nbounds > count as usize {
+                    return Err(CompressError::Corrupt("bound table larger than group"));
+                }
+                for _ in 0..nbounds {
+                    varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+                    varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+                    if pos + 48 > buf.len() {
+                        return Err(CompressError::Truncated);
+                    }
+                    pos += 48;
+                }
+            } else {
+                counts[0] += 1;
+                BlockList::read_into_untagged_delta(buf, &mut pos, &mut skips, &mut roots)
+                    .ok_or(CompressError::Truncated)?;
+            }
+            // Skip the payload column without materializing it.
+            for _ in 0..count {
+                let header = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+                let nodes_len = (header >> 1) as usize;
+                if nodes_len == 0 || nodes_len > crate::build::MAX_D + 1 {
+                    return Err(CompressError::Corrupt("path length out of range"));
+                }
+                for _ in 1..nodes_len {
+                    varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+                }
+                if pos + 16 > buf.len() {
+                    return Err(CompressError::Truncated);
+                }
+                pos += 16;
+            }
+        }
+        Ok(counts)
     }
 }
 
@@ -377,6 +497,23 @@ impl CompressedPathIndexes {
         self.heap_bytes() as f64 / idx.heap_bytes() as f64
     }
 
+    /// Per-codec posting-list counts across every word and shard — how
+    /// often the adaptive selector picked each encoding (walks the actual
+    /// streams via [`CompressedWordIndex::encoding_counts`], so the
+    /// answer reflects what is stored, not what a re-encode would pick).
+    pub fn encoding_mix(&self) -> Result<crate::stats::EncodingMix, CompressError> {
+        let mut mix = crate::stats::EncodingMix::default();
+        for shard in &self.shards {
+            for c in shard.values() {
+                let [d, r, b] = c.encoding_counts()?;
+                mix.delta += u64::from(d);
+                mix.rle += u64::from(r);
+                mix.bitmap += u64::from(b);
+            }
+        }
+        Ok(mix)
+    }
+
     /// Test/diagnostic hook: flip one byte of one word's stream (first
     /// shard containing it), returning `false` if the word is absent or
     /// empty. Used by failure-injection tests to prove corrupted streams
@@ -401,16 +538,20 @@ impl CompressedPathIndexes {
 // ---------------------------------------------------------------------
 
 const MAGIC: &[u8; 4] = b"PKBC";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
+const V3: u32 = 3;
 const V2: u32 = 2;
 const V1: u32 = 1;
 
 impl CompressedPathIndexes {
     /// Serialize to a versioned byte image. Typically ~4–5× smaller than
     /// the raw [`crate::snapshot`] image, since the posting payload *is*
-    /// the compressed stream. Version 3 block-codes each group's root
-    /// column ([`crate::blocks`]); version 2 (per-integer varint roots,
-    /// segment per shard) and version 1 (pre-shard) images still decode.
+    /// the compressed stream. Version 4 adaptively encodes each group's
+    /// root column ([`crate::blocks`]) and carries per-block suffix score
+    /// bounds; version 3 (untagged delta + bitpack lists), version 2
+    /// (per-integer varint roots, segment per shard) and version 1
+    /// (pre-shard) images still decode. `docs/FORMATS.md` is the
+    /// normative layout spec.
     pub fn encode(&self) -> Vec<u8> {
         use bytes::BufMut;
         let mut buf = Vec::with_capacity(self.heap_bytes() + 1024);
@@ -464,13 +605,13 @@ impl CompressedPathIndexes {
             return Err(CompressError::Corrupt("bad magic"));
         }
         let version = get_u32(&mut pos)?;
-        if version != VERSION && version != V2 && version != V1 {
+        if version != VERSION && version != V3 && version != V2 && version != V1 {
             return Err(CompressError::Corrupt("unsupported version"));
         }
-        let layout = if version == VERSION {
-            StreamLayout::Blocked
-        } else {
-            StreamLayout::Interleaved
+        let layout = match version {
+            VERSION => StreamLayout::Adaptive,
+            V3 => StreamLayout::Blocked,
+            _ => StreamLayout::Interleaved,
         };
         let d = get_u32(&mut pos)? as usize;
         if d == 0 || d > crate::build::MAX_D {
@@ -747,6 +888,47 @@ mod tests {
     }
 
     #[test]
+    fn encoding_counts_cover_every_group() {
+        let (g, t) = sample(200);
+        let idx = build_indexes(
+            &g,
+            &t,
+            &BuildConfig {
+                d: 3,
+                threads: 1,
+                shards: 1,
+            },
+        );
+        let comp = CompressedPathIndexes::compress(&idx);
+        for (w, widx) in idx.shards()[0].iter_words() {
+            let counts = comp.shards[0][&w].encoding_counts().expect("walks");
+            let groups = widx.patterns().count();
+            assert_eq!(
+                counts.iter().map(|&c| c as usize).sum::<usize>(),
+                groups,
+                "every group classified for word {w:?}"
+            );
+        }
+        // Legacy layouts: v3 is all-delta, v1/v2 have no block lists.
+        let w = t.lookup_word("alpha").unwrap();
+        let widx = idx.word(w).unwrap();
+        let v3 = CompressedWordIndex {
+            bytes: encode_blocked(widx).into_boxed_slice(),
+            num_postings: widx.len() as u32,
+            layout: StreamLayout::Blocked,
+        };
+        let counts = v3.encoding_counts().expect("v3 walks");
+        assert_eq!(counts[0] as usize, widx.patterns().count());
+        assert_eq!(counts[1] + counts[2], 0);
+        let v2 = CompressedWordIndex {
+            bytes: encode_interleaved(widx).into_boxed_slice(),
+            num_postings: widx.len() as u32,
+            layout: StreamLayout::Interleaved,
+        };
+        assert_eq!(v2.encoding_counts().expect("v2 walks"), [0, 0, 0]);
+    }
+
+    #[test]
     fn truncation_detected() {
         let (g, t) = sample(16);
         let idx = build_indexes(
@@ -997,7 +1179,47 @@ mod tests {
         bytes
     }
 
-    /// Assemble a legacy (v1 or v2) container image for `idx`.
+    /// The v3 stream layout: per group an **untagged** delta + bitpack
+    /// root column, no bound section (verbatim port of the v3 encoder,
+    /// kept only to manufacture legacy images for the compatibility
+    /// tests).
+    fn encode_blocked(widx: &WordPathIndex) -> Vec<u8> {
+        let postings = widx.postings_pattern_first();
+        let mut bytes: Vec<u8> = Vec::new();
+        let mut groups: Vec<(PatternId, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < postings.len() {
+            let pat = postings[i].pattern;
+            let start = i;
+            while i < postings.len() && postings[i].pattern == pat {
+                i += 1;
+            }
+            groups.push((pat, start, i));
+        }
+        varint::put_u32(&mut bytes, groups.len() as u32);
+        let mut prev_pat = 0u32;
+        let mut roots: Vec<u32> = Vec::new();
+        for &(pat, lo, hi) in &groups {
+            varint::put_u32(&mut bytes, pat.0 - prev_pat);
+            prev_pat = pat.0;
+            varint::put_u32(&mut bytes, (hi - lo) as u32);
+            roots.clear();
+            roots.extend(postings[lo..hi].iter().map(|p| p.root.0));
+            crate::blocks::DeltaList::encode(&roots).write(&mut bytes);
+            for p in &postings[lo..hi] {
+                let header = ((p.nodes_len as u32) << 1) | u32::from(p.edge_terminal);
+                varint::put_u32(&mut bytes, header);
+                for &v in &widx.nodes_of(p)[1..] {
+                    varint::put_u32(&mut bytes, v.0);
+                }
+                bytes.extend_from_slice(&p.pagerank.to_le_bytes());
+                bytes.extend_from_slice(&p.sim.to_le_bytes());
+            }
+        }
+        bytes
+    }
+
+    /// Assemble a legacy (v1, v2, or v3) container image for `idx`.
     fn legacy_image(idx: &PathIndexes, version: u32) -> Vec<u8> {
         use bytes::BufMut;
         let mut buf = Vec::new();
@@ -1025,7 +1247,11 @@ mod tests {
             words.sort_by_key(|(w, _)| *w);
             buf.put_u32_le(words.len() as u32);
             for (w, widx) in words {
-                let stream = encode_interleaved(widx);
+                let stream = if version >= 3 {
+                    encode_blocked(widx)
+                } else {
+                    encode_interleaved(widx)
+                };
                 buf.put_u32_le(w.0);
                 buf.put_u32_le(widx.len() as u32);
                 buf.put_u32_le(stream.len() as u32);
@@ -1036,9 +1262,9 @@ mod tests {
     }
 
     #[test]
-    fn v2_and_v1_legacy_images_still_decode() {
+    fn v3_v2_and_v1_legacy_images_still_decode() {
         let (g, t) = sample(60);
-        for (version, shards) in [(1u32, 1usize), (2, 1), (2, 3)] {
+        for (version, shards) in [(1u32, 1usize), (2, 1), (2, 3), (3, 1), (3, 3)] {
             let idx = build_indexes(
                 &g,
                 &t,
@@ -1064,9 +1290,9 @@ mod tests {
                     );
                 }
             }
-            // A legacy image decoded and re-encoded comes back as v3.
+            // A legacy image decoded and re-encoded comes back as v4.
             let reencoded = CompressedPathIndexes::compress(&back).encode();
-            assert_eq!(&reencoded[4..8], 3u32.to_le_bytes().as_slice());
+            assert_eq!(&reencoded[4..8], 4u32.to_le_bytes().as_slice());
             assert!(CompressedPathIndexes::decode(&reencoded).is_ok());
         }
     }

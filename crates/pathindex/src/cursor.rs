@@ -206,7 +206,8 @@ pub fn intersect_count(lists: &[&[u32]], seeks: Option<&mut u64>) -> usize {
     count
 }
 
-/// Fused intersection + join over per-keyword [`RunCursor`]s: leapfrog
+/// Fused intersection + join over per-keyword
+/// [`RunCursor`](crate::grouped::RunCursor)s: leapfrog
 /// the cursors by their run keys (roots), and for every **common** key
 /// call `f(key, slices)` with each cursor's matching posting run — the
 /// per-combination inner loop of `PATTERNENUM`, with zero per-match
@@ -216,6 +217,28 @@ pub fn intersect_runs<'a>(
     cursors: &mut [crate::grouped::RunCursor<'a>],
     slices: &mut Vec<&'a [crate::posting::Posting]>,
     mut f: impl FnMut(u32, &[&'a [crate::posting::Posting]]),
+) -> u64 {
+    intersect_runs_while(cursors, slices, |key, runs, _| {
+        f(key, runs);
+        std::ops::ControlFlow::Continue(())
+    })
+}
+
+/// [`intersect_runs`] with early exit: after each common key, `f` returns
+/// [`std::ops::ControlFlow`] — `Break(())` abandons the remainder of the
+/// intersection (the score-bounded search path breaks once the pattern's
+/// upper bound can no longer beat the shared top-k threshold). `f` also
+/// receives the cursor array read-only, so callers can inspect each
+/// cursor's [`crate::grouped::RunCursor::pos`]/`remaining` to index
+/// suffix score-bound tables. Returns the number of seeks performed.
+pub fn intersect_runs_while<'a>(
+    cursors: &mut [crate::grouped::RunCursor<'a>],
+    slices: &mut Vec<&'a [crate::posting::Posting]>,
+    mut f: impl FnMut(
+        u32,
+        &[&'a [crate::posting::Posting]],
+        &[crate::grouped::RunCursor<'a>],
+    ) -> std::ops::ControlFlow<()>,
 ) -> u64 {
     let mut seeks: u64 = 0;
     if cursors.is_empty() {
@@ -258,7 +281,9 @@ pub fn intersect_runs<'a>(
         for c in cursors.iter() {
             slices.push(c.postings());
         }
-        f(candidate, slices);
+        if f(candidate, slices, &*cursors).is_break() {
+            break 'round;
+        }
         match cursors[lead].advance() {
             Some(next) => candidate = next,
             None => break,

@@ -246,6 +246,15 @@ impl<'a> RunCursor<'a> {
     pub fn remaining(&self) -> usize {
         self.keys.len().saturating_sub(self.pos)
     }
+
+    /// Number of runs already consumed (the cursor's position in run
+    /// units). `pos / crate::blocks::BLOCK` is the run block the cursor
+    /// sits in — the index into a suffix score-bound table
+    /// ([`crate::word_index::WordPathIndex::pattern_block_bounds`]).
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
 }
 
 #[cfg(test)]

@@ -35,15 +35,15 @@ pub mod stats;
 pub mod varint;
 pub mod word_index;
 
-pub use blocks::{BlockCursor, BlockList, BLOCK};
+pub use blocks::{BlockCursor, BlockList, Encoding, BLOCK};
 pub use build::{build_indexes, BuildConfig};
 pub use compress::{CompressedPathIndexes, CompressedWordIndex};
-pub use cursor::{intersect_runs, SeekCursor, SliceCursor};
+pub use cursor::{intersect_runs, intersect_runs_while, SeekCursor, SliceCursor};
 pub use grouped::RunCursor;
 pub use incremental::{refresh_indexes, RefreshStats};
 pub use pattern::{PathPattern, PatternId, PatternSet};
 pub use posting::Posting;
-pub use stats::IndexStats;
+pub use stats::{EncodingMix, IndexStats};
 pub use word_index::{
     IndexShard, PathIndexes, PatternPostingStats, PatternTypeGroup, WordPathIndex,
 };

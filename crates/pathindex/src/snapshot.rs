@@ -26,6 +26,12 @@
 //! index, so a `shards = 1` deployment can swap binaries without
 //! rebuilding.
 //!
+//! This is the *raw* (`PKBI`) snapshot; the compressed (`PKBC`) image
+//! lives in [`crate::compress`]. The normative byte-level specification
+//! of both formats — and of every other persistent format in the stack —
+//! is `docs/FORMATS.md` at the repository root; change that document
+//! first when bumping a version.
+//!
 //! Decode failures are the workspace-shared
 //! [`patternkb_graph::snapshot::SnapshotError`], carrying the byte offset
 //! of the damage; [`load`] additionally prefixes the file path.

@@ -106,6 +106,11 @@ pub struct WordPathIndex {
     root_first: GroupedPostings,
     /// Per-pattern stats, aligned with `pattern_first.primary_keys()`.
     pattern_stats: Vec<PatternPostingStats>,
+    /// Per-pattern suffix score-bound tables, flat. Pattern `prim` owns
+    /// `bound_table[bound_start[prim] .. bound_start[prim + 1]]`; see
+    /// [`Self::pattern_block_bounds`].
+    bound_start: Vec<u32>,
+    bound_table: Vec<PatternPostingStats>,
     /// Lazy per-word grouping of patterns by root type (ascending type,
     /// ascending pattern within type) — a pure function of the postings
     /// and the pattern set, built on the first query touching the word so
@@ -125,13 +130,54 @@ impl WordPathIndex {
         let pattern_stats = (0..pattern_first.num_primary())
             .map(|i| PatternPostingStats::scan(pattern_first.group_postings(i)))
             .collect();
+        let (bound_start, bound_table) = Self::build_bound_tables(&pattern_first);
         WordPathIndex {
             arena,
             pattern_first,
             root_first,
             pattern_stats,
+            bound_start,
+            bound_table,
             type_groups: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Build the per-pattern suffix score-bound tables.
+    ///
+    /// A pattern's root-run cursor visits its `(root, paths)` runs in
+    /// ascending root order, [`crate::blocks::BLOCK`] runs per skip block.
+    /// For every pattern with **more** than one block of runs, entry `b` of
+    /// its table holds the [`PatternPostingStats`] of all postings in run
+    /// blocks `b..` (a *suffix* bound: once a cursor has consumed `b`
+    /// blocks, entry `b` bounds everything it can still produce). Patterns
+    /// that fit in one block get an empty table — callers fall back to the
+    /// whole-list [`Self::pattern_stats`].
+    fn build_bound_tables(pattern_first: &GroupedPostings) -> (Vec<u32>, Vec<PatternPostingStats>) {
+        let nprim = pattern_first.num_primary();
+        let mut start = Vec::with_capacity(nprim + 1);
+        start.push(0u32);
+        let mut table: Vec<PatternPostingStats> = Vec::new();
+        let mut blocks: Vec<PatternPostingStats> = Vec::new();
+        for i in 0..nprim {
+            if pattern_first.secondary_keys(i).len() > crate::blocks::BLOCK {
+                blocks.clear();
+                for (ri, (_, run)) in pattern_first.runs(i).enumerate() {
+                    let s = PatternPostingStats::scan(run);
+                    if ri % crate::blocks::BLOCK == 0 {
+                        blocks.push(s);
+                    } else {
+                        blocks.last_mut().expect("first run pushes").merge(&s);
+                    }
+                }
+                for b in (0..blocks.len() - 1).rev() {
+                    let next = blocks[b + 1];
+                    blocks[b].merge(&next);
+                }
+                table.extend_from_slice(&blocks);
+            }
+            start.push(table.len() as u32);
+        }
+        (start, table)
     }
 
     /// The node sequence of a posting.
@@ -238,6 +284,20 @@ impl WordPathIndex {
         })
     }
 
+    /// The suffix score-bound table of pattern `prim` (an index from
+    /// [`Self::pattern_primary`]).
+    ///
+    /// Entry `b` bounds every posting from run block `b` onward — all
+    /// `(root, paths)` runs the pattern's run cursor yields once `b *`
+    /// [`crate::blocks::BLOCK`] runs have been consumed. Empty when the
+    /// pattern has at most one block of runs; callers then fall back to
+    /// the whole-list entry of [`Self::pattern_stats`].
+    pub fn pattern_block_bounds(&self, prim: usize) -> &[PatternPostingStats] {
+        let lo = self.bound_start[prim] as usize;
+        let hi = self.bound_start[prim + 1] as usize;
+        &self.bound_table[lo..hi]
+    }
+
     /// A seekable `(root, paths)` run cursor over pattern `prim` (an index
     /// from [`Self::pattern_primary`]) — the fused-join view of
     /// `Roots(w, P)` + `Paths(w, P, r)`.
@@ -318,7 +378,9 @@ impl WordPathIndex {
         self.arena.len() * 4
             + self.pattern_first.heap_bytes()
             + self.root_first.heap_bytes()
-            + self.pattern_stats.len() * std::mem::size_of::<PatternPostingStats>()
+            + (self.pattern_stats.len() + self.bound_table.len())
+                * std::mem::size_of::<PatternPostingStats>()
+            + self.bound_start.len() * 4
     }
 }
 
@@ -603,6 +665,44 @@ mod tests {
         assert_eq!(s.min_len, 2.0);
         assert_eq!(s.max_len, 2.0);
         assert_eq!(idx.pattern_at(prim), PatternId(2));
+    }
+
+    #[test]
+    fn block_bounds_are_suffix_stats() {
+        use crate::blocks::BLOCK;
+        // Pattern 1: 2.5 blocks of single-posting runs with descending
+        // pagerank, so every suffix entry tightens. Pattern 2: one run.
+        let nruns = BLOCK * 2 + BLOCK / 2;
+        let mut postings = Vec::new();
+        for r in 0..nruns as u32 {
+            let mut p = posting(1, r, 0, 1);
+            p.pagerank = 1000.0 - r as f64;
+            postings.push(p);
+        }
+        postings.push(posting(2, 0, 0, 2));
+        let idx = WordPathIndex::new(postings, vec![NodeId(0), NodeId(1)]);
+
+        let small = idx.pattern_primary(PatternId(2)).unwrap();
+        assert!(idx.pattern_block_bounds(small).is_empty());
+
+        let prim = idx.pattern_primary(PatternId(1)).unwrap();
+        let bounds = idx.pattern_block_bounds(prim);
+        assert_eq!(bounds.len(), 3);
+        // Entry 0 covers everything: identical to the whole-list stats.
+        assert_eq!(bounds[0], idx.pattern_stats()[prim]);
+        for b in 0..bounds.len() {
+            // Suffix b holds the remaining runs...
+            assert_eq!(bounds[b].num_paths as usize, nruns - b * BLOCK);
+            // ...whose best pagerank is that of the first remaining run.
+            assert_eq!(bounds[b].max_pr, 1000.0 - (b * BLOCK) as f64);
+            assert_eq!(bounds[b].min_pr, 1000.0 - (nruns - 1) as f64);
+        }
+        // Suffixes only shrink: each entry is contained in the previous.
+        for w in bounds.windows(2) {
+            assert!(w[1].num_paths <= w[0].num_paths);
+            assert!(w[1].max_pr <= w[0].max_pr);
+            assert!(w[1].max_per_root <= w[0].max_per_root);
+        }
     }
 
     #[test]

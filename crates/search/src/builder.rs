@@ -36,6 +36,23 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Builds a [`SearchEngine`] or [`SharedEngine`]. See the module docs.
+///
+/// ```
+/// use patternkb_search::{EngineBuilder, SearchRequest};
+///
+/// let (graph, _) = patternkb_datagen::figure1();
+/// let engine = EngineBuilder::new()
+///     .graph(graph)
+///     .height(3)   // index height d
+///     .shards(2)   // root-range shards (answers are bit-identical)
+///     .threads(1)  // build parallelism
+///     .build()
+///     .unwrap();
+/// let response = engine
+///     .respond(&SearchRequest::text("database software company").k(5))
+///     .unwrap();
+/// assert!(!response.patterns.is_empty());
+/// ```
 #[derive(Debug)]
 pub struct EngineBuilder {
     graph: Option<KnowledgeGraph>,

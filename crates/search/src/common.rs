@@ -50,6 +50,11 @@ pub struct HotCounters {
     /// Posting blocks decoded (compressed-tier cursors only; 0 when the
     /// query is served from the raw index).
     pub blocks_decoded: AtomicU64,
+    /// Run blocks the pruned enumerator abandoned without scanning,
+    /// because a suffix score bound proved they could not reach the
+    /// shared top-k threshold (see
+    /// [`crate::SearchConfig::block_skipping`]).
+    pub blocks_skipped: AtomicU64,
 }
 
 impl HotCounters {
@@ -263,11 +268,13 @@ impl<'a> QueryContext<'a> {
         let mut hot = crate::result::HotPathStats {
             intersect_seeks: self.counters.intersect_seeks.load(Ordering::Relaxed),
             blocks_decoded: self.counters.blocks_decoded.load(Ordering::Relaxed),
+            blocks_skipped: self.counters.blocks_skipped.load(Ordering::Relaxed),
             ..Default::default()
         };
         for s in &self.shards {
             hot.intersect_seeks += s.counters.intersect_seeks.load(Ordering::Relaxed);
             hot.blocks_decoded += s.counters.blocks_decoded.load(Ordering::Relaxed);
+            hot.blocks_skipped += s.counters.blocks_skipped.load(Ordering::Relaxed);
         }
         hot
     }

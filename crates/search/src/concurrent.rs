@@ -346,6 +346,32 @@ impl SharedEngine {
     /// On an append/fsync failure the log poisons itself and the
     /// unpublished tail is abandoned: a delta that never became durable
     /// is never visible.
+    ///
+    /// ```
+    /// use patternkb_graph::mutate::{DeltaError, GraphDelta, PagerankMode};
+    /// use patternkb_search::EngineBuilder;
+    ///
+    /// let (graph, _) = patternkb_datagen::figure1();
+    /// let shared = EngineBuilder::new()
+    ///     .graph(graph)
+    ///     .height(2)
+    ///     .threads(1)
+    ///     .build_shared()
+    ///     .unwrap();
+    /// let before = shared.version();
+    /// let outcome = shared
+    ///     .ingest_with(PagerankMode::Frozen, |snap| {
+    ///         // `snap` is the pinned base: resolve against it, then
+    ///         // assemble the delta.
+    ///         let mut d = GraphDelta::new(snap.graph());
+    ///         let company = d.add_type("Company");
+    ///         d.add_node(company, "Initech")?;
+    ///         Ok::<_, DeltaError>(d)
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(outcome.version, before + 1);
+    /// assert_eq!(shared.version(), outcome.version);
+    /// ```
     pub fn ingest_with<E>(
         &self,
         mode: PagerankMode,

@@ -78,6 +78,10 @@ pub struct HotPathStats {
     /// (0 when the query was served entirely from the raw in-memory
     /// index).
     pub blocks_decoded: u64,
+    /// Run blocks the pruned enumerator abandoned unscanned because a
+    /// suffix score bound proved they could not beat the shared top-k
+    /// threshold ([`crate::SearchConfig::block_skipping`]).
+    pub blocks_skipped: u64,
     /// Distinct tree-pattern keys interned across all dictionaries — the
     /// number of key-arena allocations (the pre-interner engine paid one
     /// boxed-slice allocation per candidate *access* instead).
@@ -91,6 +95,7 @@ impl HotPathStats {
     pub fn add(&mut self, other: &HotPathStats) {
         self.intersect_seeks += other.intersect_seeks;
         self.blocks_decoded += other.blocks_decoded;
+        self.blocks_skipped += other.blocks_skipped;
         self.keys_interned += other.keys_interned;
         self.key_arena_bytes += other.key_arena_bytes;
     }
