@@ -55,9 +55,11 @@ impl std::fmt::Display for CompressError {
 
 impl std::error::Error for CompressError {}
 
-/// Stream layout of one word's compressed postings.
+/// Stream layout of one word's compressed postings. Crate-visible so the
+/// storage-backed snapshot tier ([`crate::storage`]) can decode the same
+/// adaptive streams directly from mapped bytes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-enum StreamLayout {
+pub(crate) enum StreamLayout {
     /// v4: per group, a tagged adaptively-encoded [`BlockList`] root
     /// column and a suffix score-bound section, then the payloads.
     #[default]
@@ -146,122 +148,13 @@ impl CompressedWordIndex {
     /// Decode back into a queryable [`WordPathIndex`]. Returns the blocks
     /// decoded alongside (0 for legacy interleaved streams).
     pub fn decode_counted(&self) -> Result<(WordPathIndex, u64), CompressError> {
-        let mut postings: Vec<Posting> = Vec::with_capacity(self.num_postings as usize);
-        let mut arena: Vec<NodeId> = Vec::new();
-        let buf = &self.bytes;
-        let mut pos = 0usize;
-        let mut blocks_decoded = 0u64;
+        decode_stream(&self.bytes, self.num_postings, self.layout)
+    }
 
-        let num_groups = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
-        let mut pat = 0u32;
-        // Reused across groups: skip-table and root-column scratch for the
-        // in-place block decode (no per-group allocation).
-        let mut skips_scratch: Vec<(u32, u32, u32)> = Vec::new();
-        let mut roots_scratch: Vec<u32> = Vec::new();
-        for gi in 0..num_groups {
-            let delta = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
-            pat = if gi == 0 { delta } else { pat + delta };
-            let count = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
-            // v4/v3 carry the whole root column up front; v1/v2
-            // interleave root deltas with the payloads.
-            if self.layout != StreamLayout::Interleaved {
-                roots_scratch.clear();
-                let blocks = match self.layout {
-                    StreamLayout::Adaptive => {
-                        BlockList::read_into(buf, &mut pos, &mut skips_scratch, &mut roots_scratch)
-                    }
-                    _ => BlockList::read_into_untagged_delta(
-                        buf,
-                        &mut pos,
-                        &mut skips_scratch,
-                        &mut roots_scratch,
-                    ),
-                }
-                .ok_or(CompressError::Truncated)?;
-                if roots_scratch.len() != count as usize {
-                    return Err(CompressError::Corrupt("root column count mismatch"));
-                }
-                blocks_decoded += blocks;
-            }
-            if self.layout == StreamLayout::Adaptive {
-                // Validate and discard the suffix bound section — it is
-                // derived data, recomputed from the decoded postings by
-                // `WordPathIndex::new`, carried in the image so readers
-                // without the postings can still plan block skipping.
-                let nbounds =
-                    varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
-                if nbounds > count as usize {
-                    return Err(CompressError::Corrupt("bound table larger than group"));
-                }
-                for _ in 0..nbounds {
-                    varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?; // num_paths
-                    varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?; // max_per_root
-                    if pos + 48 > buf.len() {
-                        return Err(CompressError::Truncated);
-                    }
-                    for k in 0..6 {
-                        let at = pos + 8 * k;
-                        let v = f64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
-                        if !v.is_finite() {
-                            return Err(CompressError::Corrupt("non-finite score bound"));
-                        }
-                    }
-                    pos += 48;
-                }
-            }
-            let mut root = 0u32;
-            for pi in 0..count {
-                root = match self.layout {
-                    StreamLayout::Adaptive | StreamLayout::Blocked => roots_scratch[pi as usize],
-                    StreamLayout::Interleaved => {
-                        let rdelta =
-                            varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
-                        if pi == 0 {
-                            rdelta
-                        } else {
-                            root + rdelta
-                        }
-                    }
-                };
-                let header = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
-                let edge_terminal = header & 1 == 1;
-                let nodes_len = (header >> 1) as usize;
-                if nodes_len == 0 || nodes_len > crate::build::MAX_D + 1 {
-                    return Err(CompressError::Corrupt("path length out of range"));
-                }
-                let start = arena.len() as u32;
-                arena.push(NodeId(root));
-                for _ in 1..nodes_len {
-                    let v = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
-                    arena.push(NodeId(v));
-                }
-                if pos + 16 > buf.len() {
-                    return Err(CompressError::Truncated);
-                }
-                let pagerank = f64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
-                let sim = f64::from_le_bytes(buf[pos + 8..pos + 16].try_into().unwrap());
-                pos += 16;
-                if !pagerank.is_finite() || !sim.is_finite() {
-                    return Err(CompressError::Corrupt("non-finite cached score"));
-                }
-                postings.push(Posting {
-                    pattern: PatternId(pat),
-                    root: NodeId(root),
-                    nodes_start: start,
-                    nodes_len: nodes_len as u16,
-                    edge_terminal,
-                    pagerank,
-                    sim,
-                });
-            }
-        }
-        if postings.len() != self.num_postings as usize {
-            return Err(CompressError::Corrupt("posting count mismatch"));
-        }
-        if pos != buf.len() {
-            return Err(CompressError::Corrupt("trailing bytes"));
-        }
-        Ok((WordPathIndex::new(postings, arena), blocks_decoded))
+    /// The raw stream bytes (used by the v5 storage tier, which embeds
+    /// per-word adaptive streams verbatim in its offset-table layout).
+    pub(crate) fn stream_bytes(&self) -> &[u8] {
+        &self.bytes
     }
 
     /// Decode back into a queryable [`WordPathIndex`].
@@ -349,6 +242,135 @@ impl CompressedWordIndex {
         }
         Ok(counts)
     }
+}
+
+/// Decode one word's compressed posting stream from a borrowed byte
+/// slice. This is the shared stream decoder behind both the heap tier
+/// ([`CompressedWordIndex::decode_counted`], which owns its bytes) and the
+/// storage-backed v5 tier ([`crate::storage`], which borrows the stream
+/// in place from a mapped snapshot). Returns the rebuilt index plus the
+/// number of skip blocks decoded (0 for legacy interleaved streams).
+///
+/// The stream must span `buf` exactly: trailing bytes are an error, so a
+/// wrong length prefix in a container can never be silently absorbed.
+pub(crate) fn decode_stream(
+    buf: &[u8],
+    num_postings: u32,
+    layout: StreamLayout,
+) -> Result<(WordPathIndex, u64), CompressError> {
+    let mut postings: Vec<Posting> = Vec::with_capacity(num_postings as usize);
+    let mut arena: Vec<NodeId> = Vec::new();
+    let mut pos = 0usize;
+    let mut blocks_decoded = 0u64;
+
+    let num_groups = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
+    let mut pat = 0u32;
+    // Reused across groups: skip-table and root-column scratch for the
+    // in-place block decode (no per-group allocation).
+    let mut skips_scratch: Vec<(u32, u32, u32)> = Vec::new();
+    let mut roots_scratch: Vec<u32> = Vec::new();
+    for gi in 0..num_groups {
+        let delta = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+        pat = if gi == 0 { delta } else { pat + delta };
+        let count = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+        // v4/v3 carry the whole root column up front; v1/v2
+        // interleave root deltas with the payloads.
+        if layout != StreamLayout::Interleaved {
+            roots_scratch.clear();
+            let blocks = match layout {
+                StreamLayout::Adaptive => {
+                    BlockList::read_into(buf, &mut pos, &mut skips_scratch, &mut roots_scratch)
+                }
+                _ => BlockList::read_into_untagged_delta(
+                    buf,
+                    &mut pos,
+                    &mut skips_scratch,
+                    &mut roots_scratch,
+                ),
+            }
+            .ok_or(CompressError::Truncated)?;
+            if roots_scratch.len() != count as usize {
+                return Err(CompressError::Corrupt("root column count mismatch"));
+            }
+            blocks_decoded += blocks;
+        }
+        if layout == StreamLayout::Adaptive {
+            // Validate and discard the suffix bound section — it is
+            // derived data, recomputed from the decoded postings by
+            // `WordPathIndex::new`, carried in the image so readers
+            // without the postings can still plan block skipping.
+            let nbounds = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)? as usize;
+            if nbounds > count as usize {
+                return Err(CompressError::Corrupt("bound table larger than group"));
+            }
+            for _ in 0..nbounds {
+                varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?; // num_paths
+                varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?; // max_per_root
+                if pos + 48 > buf.len() {
+                    return Err(CompressError::Truncated);
+                }
+                for k in 0..6 {
+                    let at = pos + 8 * k;
+                    let v = f64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+                    if !v.is_finite() {
+                        return Err(CompressError::Corrupt("non-finite score bound"));
+                    }
+                }
+                pos += 48;
+            }
+        }
+        let mut root = 0u32;
+        for pi in 0..count {
+            root = match layout {
+                StreamLayout::Adaptive | StreamLayout::Blocked => roots_scratch[pi as usize],
+                StreamLayout::Interleaved => {
+                    let rdelta = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+                    if pi == 0 {
+                        rdelta
+                    } else {
+                        root + rdelta
+                    }
+                }
+            };
+            let header = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+            let edge_terminal = header & 1 == 1;
+            let nodes_len = (header >> 1) as usize;
+            if nodes_len == 0 || nodes_len > crate::build::MAX_D + 1 {
+                return Err(CompressError::Corrupt("path length out of range"));
+            }
+            let start = arena.len() as u32;
+            arena.push(NodeId(root));
+            for _ in 1..nodes_len {
+                let v = varint::get_u32(buf, &mut pos).ok_or(CompressError::Truncated)?;
+                arena.push(NodeId(v));
+            }
+            if pos + 16 > buf.len() {
+                return Err(CompressError::Truncated);
+            }
+            let pagerank = f64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+            let sim = f64::from_le_bytes(buf[pos + 8..pos + 16].try_into().unwrap());
+            pos += 16;
+            if !pagerank.is_finite() || !sim.is_finite() {
+                return Err(CompressError::Corrupt("non-finite cached score"));
+            }
+            postings.push(Posting {
+                pattern: PatternId(pat),
+                root: NodeId(root),
+                nodes_start: start,
+                nodes_len: nodes_len as u16,
+                edge_terminal,
+                pagerank,
+                sim,
+            });
+        }
+    }
+    if postings.len() != num_postings as usize {
+        return Err(CompressError::Corrupt("posting count mismatch"));
+    }
+    if pos != buf.len() {
+        return Err(CompressError::Corrupt("trailing bytes"));
+    }
+    Ok((WordPathIndex::new(postings, arena), blocks_decoded))
 }
 
 /// All per-word compressed streams plus the (uncompressed — it is tiny)
@@ -693,7 +715,7 @@ impl CompressedPathIndexes {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::build::{build_indexes, BuildConfig};
     use patternkb_graph::{GraphBuilder, KnowledgeGraph};
@@ -1220,7 +1242,8 @@ mod tests {
     }
 
     /// Assemble a legacy (v1, v2, or v3) container image for `idx`.
-    fn legacy_image(idx: &PathIndexes, version: u32) -> Vec<u8> {
+    /// Shared with the `storage` tests' v1–v5 decode matrix.
+    pub(crate) fn legacy_image(idx: &PathIndexes, version: u32) -> Vec<u8> {
         use bytes::BufMut;
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);

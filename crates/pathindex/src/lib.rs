@@ -32,6 +32,7 @@ pub mod pattern;
 pub mod posting;
 pub mod snapshot;
 pub mod stats;
+pub mod storage;
 pub mod varint;
 pub mod word_index;
 
@@ -44,6 +45,7 @@ pub use incremental::{refresh_indexes, RefreshStats};
 pub use pattern::{PathPattern, PatternId, PatternSet};
 pub use posting::Posting;
 pub use stats::{EncodingMix, IndexStats};
+pub use storage::{IndexStorage, StorageBackend};
 pub use word_index::{
     IndexShard, PathIndexes, PatternPostingStats, PatternTypeGroup, WordPathIndex,
 };

@@ -101,8 +101,14 @@ pub fn encode(idx: &PathIndexes) -> Vec<u8> {
 
 /// Deserialize indexes previously produced by [`encode`] — either the
 /// sharded version-2 layout or a pre-shard version-1 snapshot (decoded as
-/// a single shard).
+/// a single shard). A v5 (`PKB5`) container is recognized by magic and
+/// fully decoded onto the heap tier, so every deployment can read every
+/// snapshot generation; opening v5 *without* decoding is
+/// [`crate::storage::open_mapped`].
 pub fn decode(data: &[u8]) -> Result<PathIndexes, SnapshotError> {
+    if crate::storage::is_v5(data) {
+        return crate::storage::decode_v5(data);
+    }
     let mut r = Reader::new(data);
     let mut magic = [0u8; 4];
     r.take(&mut magic)?;

@@ -387,44 +387,89 @@ impl WordPathIndex {
 /// One root-range segment of the index: the per-word indexes for every
 /// posting whose root lies in the shard's range. Shards share the global
 /// [`PatternSet`], so pattern ids are comparable across shards.
-#[derive(Default)]
+///
+/// Where the per-word indexes physically live is behind
+/// [`crate::storage::IndexStorage`]: the heap tier owns fully decoded
+/// structures, the mapped tier borrows a v5 snapshot region and decodes
+/// words on first touch. Query code is oblivious — it only ever sees
+/// `&WordPathIndex` borrows.
 pub struct IndexShard {
-    words: FxHashMap<WordId, WordPathIndex>,
+    storage: Box<dyn crate::storage::IndexStorage>,
+}
+
+impl Default for IndexShard {
+    fn default() -> Self {
+        IndexShard {
+            storage: Box::new(crate::storage::HeapStorage::default()),
+        }
+    }
 }
 
 impl IndexShard {
     pub(crate) fn new(words: FxHashMap<WordId, WordPathIndex>) -> Self {
-        IndexShard { words }
+        IndexShard {
+            storage: Box::new(crate::storage::HeapStorage::new(words)),
+        }
+    }
+
+    /// Wrap an arbitrary storage backend (the mapped tier's entry point).
+    pub(crate) fn from_storage(storage: Box<dyn crate::storage::IndexStorage>) -> Self {
+        IndexShard { storage }
+    }
+
+    /// Which storage tier backs this shard.
+    pub fn storage_backend(&self) -> crate::storage::StorageBackend {
+        self.storage.backend()
     }
 
     /// The per-word index for `w` within this shard; `None` when no root in
     /// the shard's range reaches the word.
     pub fn word(&self, w: WordId) -> Option<&WordPathIndex> {
-        self.words.get(&w)
+        self.storage.word(w)
     }
 
-    /// Iterate all `(word, index)` pairs of this shard.
+    /// Whether this shard has postings for `w` (never decodes).
+    pub fn contains(&self, w: WordId) -> bool {
+        self.storage.contains(w)
+    }
+
+    /// All word ids with postings in this shard, ascending.
+    pub fn word_ids(&self) -> Vec<WordId> {
+        self.storage.word_ids()
+    }
+
+    /// Iterate all `(word, index)` pairs of this shard, in ascending word
+    /// order. On the mapped tier this decodes every word it visits (the
+    /// materialization path used by incremental refresh); words whose
+    /// streams are damaged are skipped here — queries surface them as
+    /// typed errors via [`PathIndexes::prepare_words`] instead.
     pub fn iter_words(&self) -> impl Iterator<Item = (WordId, &WordPathIndex)> {
-        self.words.iter().map(|(&w, idx)| (w, idx))
+        self.storage
+            .word_ids()
+            .into_iter()
+            .filter_map(move |w| self.storage.word(w).map(|idx| (w, idx)))
     }
 
     /// Number of words with postings in this shard.
     pub fn num_words(&self) -> usize {
-        self.words.len()
+        self.storage.num_words()
     }
 
     /// Total postings in this shard.
     pub fn num_postings(&self) -> usize {
-        self.words.values().map(WordPathIndex::len).sum()
+        self.storage.num_postings()
     }
 
-    /// Approximate resident bytes of this shard.
+    /// Approximate resident bytes of this shard (for the mapped tier:
+    /// only what has been decoded so far, not the snapshot file).
     pub fn heap_bytes(&self) -> usize {
-        self.words
-            .values()
-            .map(WordPathIndex::heap_bytes)
-            .sum::<usize>()
-            + self.words.len() * 48
+        self.storage.heap_bytes()
+    }
+
+    /// Ensure `w` is decoded and usable, surfacing a damaged mapped
+    /// stream as its typed error. No-op on the heap tier.
+    pub fn prepare(&self, w: WordId) -> Result<(), patternkb_graph::snapshot::SnapshotError> {
+        self.storage.prepare(w)
     }
 }
 
@@ -520,7 +565,7 @@ impl PathIndexes {
     /// occurs within distance `d` of any root (which, since every node is a
     /// root of its own trivial path, means the word is absent from the KB).
     pub fn has_word(&self, w: WordId) -> bool {
-        self.shards.iter().any(|s| s.words.contains_key(&w))
+        self.shards.iter().any(|s| s.contains(w))
     }
 
     /// Iterate `(shard, index)` for every shard containing `w`, in shard
@@ -534,11 +579,7 @@ impl PathIndexes {
 
     /// All distinct word ids with postings, ascending.
     pub fn word_ids(&self) -> Vec<WordId> {
-        let mut ids: Vec<WordId> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.words.keys().copied())
-            .collect();
+        let mut ids: Vec<WordId> = self.shards.iter().flat_map(|s| s.word_ids()).collect();
         ids.sort_unstable();
         ids.dedup();
         ids
@@ -554,7 +595,8 @@ impl PathIndexes {
         self.shards.iter().map(IndexShard::num_postings).sum()
     }
 
-    /// Approximate resident bytes of everything.
+    /// Approximate resident bytes of everything (for the mapped tier:
+    /// only what has been decoded so far, not the snapshot file).
     pub fn heap_bytes(&self) -> usize {
         self.patterns.heap_bytes()
             + self
@@ -562,6 +604,38 @@ impl PathIndexes {
                 .iter()
                 .map(IndexShard::heap_bytes)
                 .sum::<usize>()
+    }
+
+    /// Which storage tier backs the shards. Mixed tiers never occur in
+    /// practice (a snapshot opens whole); if they did, any mapped shard
+    /// makes the answer [`crate::storage::StorageBackend::Mmap`].
+    pub fn storage_backend(&self) -> crate::storage::StorageBackend {
+        if self
+            .shards
+            .iter()
+            .any(|s| s.storage_backend() == crate::storage::StorageBackend::Mmap)
+        {
+            crate::storage::StorageBackend::Mmap
+        } else {
+            crate::storage::StorageBackend::Heap
+        }
+    }
+
+    /// Ensure every listed word is decoded in every shard that holds it,
+    /// surfacing the first damaged mapped stream as its typed error
+    /// (with the byte offset of the damage). Queries call this up front
+    /// so corruption is reported, not silently treated as a missing
+    /// word. No-op on the heap tier.
+    pub fn prepare_words(
+        &self,
+        words: &[WordId],
+    ) -> Result<(), patternkb_graph::snapshot::SnapshotError> {
+        for &w in words {
+            for s in &self.shards {
+                s.prepare(w)?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -29,7 +29,7 @@ use crate::engine::SearchEngine;
 use crate::error::Error;
 use crate::plan::PlannerConfig;
 use patternkb_graph::KnowledgeGraph;
-use patternkb_index::{build_indexes, BuildConfig};
+use patternkb_index::{build_indexes, BuildConfig, StorageBackend};
 use patternkb_text::{Stemmer, SynonymTable, TextIndex};
 use patternkb_wal::{checkpoint, FsyncPolicy, Wal, WalOptions};
 use std::path::{Path, PathBuf};
@@ -64,6 +64,7 @@ pub struct EngineBuilder {
     planner: PlannerConfig,
     cache_capacity: usize,
     index_snapshot: Option<PathBuf>,
+    storage: StorageBackend,
     data_dir: Option<PathBuf>,
     durability: DurabilityOptions,
 }
@@ -90,6 +91,7 @@ impl EngineBuilder {
             planner: PlannerConfig::default(),
             cache_capacity: 256,
             index_snapshot: None,
+            storage: StorageBackend::Heap,
             data_dir: None,
             durability: DurabilityOptions::default(),
         }
@@ -155,6 +157,22 @@ impl EngineBuilder {
     /// stored height overrides [`Self::height`].
     pub fn index_snapshot(mut self, path: impl Into<PathBuf>) -> Self {
         self.index_snapshot = Some(path.into());
+        self
+    }
+
+    /// Which storage tier serves the path indexes.
+    ///
+    /// * [`StorageBackend::Heap`] (default): snapshots are fully decoded
+    ///   at load time; indexes built from the graph are heap-resident by
+    ///   nature.
+    /// * [`StorageBackend::Mmap`]: a **v5** [`Self::index_snapshot`] (or
+    ///   v5 checkpoint blob under [`Self::data_dir`]) is mapped read-only
+    ///   and per-word decode is deferred to first query touch — boot cost
+    ///   and resident memory stop scaling with index size. Answers are
+    ///   bit-identical to the heap tier. Pre-v5 snapshots fall back to
+    ///   the heap tier (they have no offset table to map).
+    pub fn storage(mut self, storage: StorageBackend) -> Self {
+        self.storage = storage;
         self
     }
 
@@ -244,15 +262,35 @@ impl EngineBuilder {
             shards,
             planner,
             index_snapshot,
+            storage,
             ..
         } = self;
         let graph = graph.expect("validated above");
         let text = TextIndex::build_with(&graph, synonyms, stemmer);
-        let idx = match index_snapshot {
-            Some(path) => patternkb_index::snapshot::load(&path)?,
-            None => build_indexes(&graph, &text, &BuildConfig { d, threads, shards }),
+        let (idx, load_time) = match index_snapshot {
+            Some(path) => {
+                let t0 = std::time::Instant::now();
+                // The mapped tier needs a v5 offset table; earlier
+                // snapshot generations can only be decoded, so they fall
+                // back to the heap tier regardless of the knob.
+                let idx = match storage {
+                    StorageBackend::Mmap if file_is_v5(&path)? => {
+                        patternkb_index::storage::open_mapped(&path)?
+                    }
+                    _ => patternkb_index::snapshot::load(&path)?,
+                };
+                (idx, Some(t0.elapsed()))
+            }
+            None => (
+                build_indexes(&graph, &text, &BuildConfig { d, threads, shards }),
+                None,
+            ),
         };
-        Ok(SearchEngine::from_parts(graph, text, idx).with_planner(planner))
+        let mut engine = SearchEngine::from_parts(graph, text, idx).with_planner(planner);
+        if let Some(took) = load_time {
+            engine = engine.with_snapshot_load(took);
+        }
+        Ok(engine)
     }
 
     /// Base state of a durable boot: the newest readable checkpoint in
@@ -262,12 +300,24 @@ impl EngineBuilder {
         match checkpoint::load_latest(dir).map_err(Error::Io)? {
             None => self.build_cold(),
             Some((cp, path)) => {
+                let t0 = std::time::Instant::now();
                 let wrap = |e| Error::Io(patternkb_graph::snapshot::invalid_data(&path, e));
                 let graph = patternkb_graph::snapshot::decode(&cp.graph).map_err(wrap)?;
-                let idx = patternkb_index::snapshot::decode(&cp.index).map_err(wrap)?;
+                // Checkpoints written since v5 carry the index as a v5
+                // container: under the mapped tier the blob is *opened*
+                // (lexicon parse only), not decoded — the durable-boot
+                // fast path. Pre-v5 checkpoint blobs decode as before.
+                let idx = if self.storage == StorageBackend::Mmap
+                    && patternkb_index::storage::is_v5(&cp.index)
+                {
+                    patternkb_index::storage::open_bytes(cp.index).map_err(wrap)?
+                } else {
+                    patternkb_index::snapshot::decode(&cp.index).map_err(wrap)?
+                };
                 let text = TextIndex::build_with(&graph, self.synonyms, self.stemmer);
-                let mut engine =
-                    SearchEngine::from_parts(graph, text, idx).with_planner(self.planner);
+                let mut engine = SearchEngine::from_parts(graph, text, idx)
+                    .with_planner(self.planner)
+                    .with_snapshot_load(t0.elapsed());
                 if cp.version > 0 {
                     engine.rebase_version(cp.version - 1);
                 }
@@ -309,6 +359,20 @@ impl EngineBuilder {
                 Ok(SharedEngine::assemble(engine, capacity, Some(handle)))
             }
         }
+    }
+}
+
+/// Sniff a snapshot file's 4-byte magic without reading the body (the
+/// whole point of the mapped tier is not to).
+fn file_is_v5(path: &Path) -> Result<bool, Error> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path).map_err(Error::Io)?;
+    let mut magic = [0u8; 4];
+    match f.read_exact(&mut magic) {
+        Ok(()) => Ok(patternkb_index::storage::is_v5(&magic)),
+        // Shorter than any magic: not v5; the fallback loader will
+        // report the truncation with the file path attached.
+        Err(_) => Ok(false),
     }
 }
 

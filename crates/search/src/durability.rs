@@ -316,7 +316,11 @@ fn write_checkpoint(wal: &Wal, dir: &Path, engine: &SearchEngine) -> std::io::Re
     let cp = Checkpoint {
         version: engine.version(),
         graph: patternkb_graph::snapshot::encode(engine.graph()),
-        index: patternkb_index::snapshot::encode(engine.index()),
+        // The index blob is a v5 container: a mapped-tier boot *opens*
+        // it (lexicon parse only) instead of decoding it, and a heap
+        // boot still decodes it via `snapshot::decode`'s magic dispatch.
+        // Checkpoints written before v5 (PKBI blobs) stay readable.
+        index: patternkb_index::storage::encode_v5(engine.index()),
     };
     let path = checkpoint::write(dir, &cp)?;
     wal.rotate(cp.version)?;

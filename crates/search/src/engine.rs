@@ -57,6 +57,10 @@ pub struct SearchEngine {
     /// Default planner thresholds for [`AlgorithmChoice::Auto`] routing;
     /// set by [`crate::EngineBuilder::planner`], overridable per request.
     planner: PlannerConfig,
+    /// How long loading/opening the index snapshot took at build time
+    /// (`None` when the index was built from the graph instead). Carried
+    /// across deltas so `/metrics` keeps reporting the boot cost.
+    snapshot_load: Option<std::time::Duration>,
 }
 
 impl SearchEngine {
@@ -69,6 +73,7 @@ impl SearchEngine {
             idx,
             version: 0,
             planner: PlannerConfig::default(),
+            snapshot_load: None,
         }
     }
 
@@ -76,6 +81,27 @@ impl SearchEngine {
     pub(crate) fn with_planner(mut self, planner: PlannerConfig) -> Self {
         self.planner = planner;
         self
+    }
+
+    /// Record how long the index snapshot took to load/open (builder
+    /// plumbing; feeds boot observability).
+    pub(crate) fn with_snapshot_load(mut self, took: std::time::Duration) -> Self {
+        self.snapshot_load = Some(took);
+        self
+    }
+
+    /// Which storage tier backs the path indexes right now. Ingest
+    /// materializes, so an engine booted on the mapped tier reports
+    /// [`patternkb_index::StorageBackend::Heap`] after its first applied
+    /// delta — the metric tracks reality, not the boot flag.
+    pub fn storage_backend(&self) -> patternkb_index::StorageBackend {
+        self.idx.storage_backend()
+    }
+
+    /// How long loading/opening the index snapshot took at build time;
+    /// `None` when the index was built from the graph.
+    pub fn snapshot_load_time(&self) -> Option<std::time::Duration> {
+        self.snapshot_load
     }
 
     /// The current data version: 0 after build, +1 per applied delta.
@@ -145,6 +171,7 @@ impl SearchEngine {
                 idx: new_idx,
                 version: self.version + 1,
                 planner: self.planner.clone(),
+                snapshot_load: self.snapshot_load,
             },
             stats,
         ))
@@ -219,6 +246,13 @@ impl SearchEngine {
             QueryInput::Parsed(q) if q.is_empty() => return Err(Error::EmptyQuery),
             QueryInput::Parsed(q) => q.clone(),
         };
+
+        // On the mapped tier the per-word decode is deferred to first
+        // touch; force it here so a damaged stream surfaces as a typed
+        // error instead of the word silently contributing no postings.
+        self.idx
+            .prepare_words(&query.keywords)
+            .map_err(Error::Snapshot)?;
 
         let cfg = SearchConfig {
             k: request.k,

@@ -37,6 +37,12 @@ pub enum Error {
     /// fsync failure). The delta was **not** applied — a write that is
     /// not durable is never made visible.
     Durability(std::io::Error),
+    /// A storage-backed (mmap) index stream needed by this query is
+    /// damaged: the deferred per-word decode failed with a typed snapshot
+    /// error carrying the byte offset of the corruption. The engine
+    /// refuses to answer from a partial index rather than silently
+    /// treating the word as absent.
+    Snapshot(patternkb_graph::snapshot::SnapshotError),
     /// The engine builder was not given a graph source.
     MissingGraph,
     /// The serving handle was closed ([`crate::SharedEngine::close`]);
@@ -60,6 +66,7 @@ impl std::fmt::Display for Error {
             Error::Delta(e) => write!(f, "graph mutation rejected: {e}"),
             Error::Io(e) => write!(f, "index persistence failed: {e}"),
             Error::Durability(e) => write!(f, "ingest not made durable: {e}"),
+            Error::Snapshot(e) => write!(f, "mapped index stream is damaged: {e}"),
             Error::MissingGraph => write!(f, "engine builder needs a graph (EngineBuilder::graph)"),
             Error::Closed => write!(f, "engine is shutting down; no new queries admitted"),
         }
@@ -72,6 +79,7 @@ impl std::error::Error for Error {
             Error::Delta(e) => Some(e),
             Error::Io(e) => Some(e),
             Error::Durability(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
             _ => None,
         }
     }

@@ -1,0 +1,369 @@
+//! The mapped (v5, decode-on-first-touch) storage tier is
+//! **bit-identical** to the heap tier.
+//!
+//! Every algorithm (baseline, `PATTERNENUM`, pruned `PATTERNENUM` — both
+//! against each other and against the exact enumerator, `LINEARENUM`,
+//! `LINEARENUM-TOPK` exact and sampled, unified ranking, individual
+//! subtrees) must return exactly the same answers — same patterns, same
+//! score **bits**, same order, same materialized rows — whether the
+//! postings are served from fully decoded heap structures or read in
+//! place from a v5 container with per-word decode deferred to first
+//! touch. Exercised on the paper's Figure-1 graph, on the Zipf-skewed
+//! synthetic Wiki KB, across shard counts, and through a proptest sweep
+//! over random Zipf graphs and queries; the engine-level suite also pins
+//! heap/mmap equality end to end through `EngineBuilder::storage`.
+
+use patternkb_datagen::figure1;
+use patternkb_datagen::queries::QueryGenerator;
+use patternkb_datagen::wiki::{wiki, WikiConfig};
+use patternkb_graph::KnowledgeGraph;
+use patternkb_index::storage::{encode_v5, open_bytes};
+use patternkb_index::{build_indexes, BuildConfig, PathIndexes, StorageBackend};
+use patternkb_search::baseline::baseline;
+use patternkb_search::bound::pattern_enum_pruned;
+use patternkb_search::common::QueryContext;
+use patternkb_search::individual::top_individual;
+use patternkb_search::linear_enum::linear_enum;
+use patternkb_search::pattern_enum::pattern_enum;
+use patternkb_search::topk::{linear_enum_topk, SamplingConfig};
+use patternkb_search::unified::{unified_ranking, UnifiedConfig};
+use patternkb_search::{Query, SearchConfig, SearchResult};
+use patternkb_text::{SynonymTable, TextIndex};
+
+fn heap_index(g: &KnowledgeGraph, t: &TextIndex, d: usize, shards: usize) -> PathIndexes {
+    build_indexes(
+        g,
+        t,
+        &BuildConfig {
+            d,
+            threads: 1,
+            shards,
+        },
+    )
+}
+
+/// Round-trip a built index through the v5 container onto the mapped
+/// tier: same postings, storage-resident, decode deferred.
+fn mapped_index(idx: &PathIndexes) -> PathIndexes {
+    let mapped = open_bytes(encode_v5(idx)).expect("v5 opens");
+    assert_eq!(mapped.storage_backend(), StorageBackend::Mmap);
+    mapped
+}
+
+/// Assert two results are identical to the bit: patterns, order, scores,
+/// tree counts, and materialized rows.
+fn assert_identical(a: &SearchResult, b: &SearchResult, label: &str) {
+    assert_eq!(a.patterns.len(), b.patterns.len(), "{label}: result size");
+    for (x, y) in a.patterns.iter().zip(&b.patterns) {
+        assert_eq!(x.key(), y.key(), "{label}: pattern identity/order");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{label}: score bits ({} vs {})",
+            x.score,
+            y.score
+        );
+        assert_eq!(x.num_trees, y.num_trees, "{label}: |trees(P)|");
+        assert_eq!(x.trees.len(), y.trees.len(), "{label}: materialized rows");
+        for (ta, tb) in x.trees.iter().zip(&y.trees) {
+            assert_eq!(ta.root, tb.root, "{label}: row root");
+            assert_eq!(ta.score.to_bits(), tb.score.to_bits(), "{label}: row score");
+            assert_eq!(ta.paths.len(), tb.paths.len(), "{label}: row paths");
+            for (pa, pb) in ta.paths.iter().zip(&tb.paths) {
+                assert_eq!(pa.nodes, pb.nodes, "{label}: row path nodes");
+                assert_eq!(pa.edge_terminal, pb.edge_terminal, "{label}: row kind");
+            }
+        }
+    }
+    assert_eq!(a.stats.subtrees, b.stats.subtrees, "{label}: subtree count");
+    assert_eq!(
+        a.stats.candidate_roots, b.stats.candidate_roots,
+        "{label}: candidate roots"
+    );
+}
+
+/// Run every algorithm on the heap index and its mapped round-trip and
+/// demand bit-identical output, including pruned-vs-exact *within* the
+/// mapped tier.
+fn check_backends(g: &KnowledgeGraph, t: &TextIndex, d: usize, shards: usize, q: &Query, k: usize) {
+    let heap = heap_index(g, t, d, shards);
+    let mapped = mapped_index(&heap);
+    let cfg = SearchConfig::top(k);
+
+    let Some(hctx) = QueryContext::new(g, &heap, q) else {
+        assert!(
+            QueryContext::new(g, &mapped, q).is_none(),
+            "unanswerable on heap must be unanswerable on mmap"
+        );
+        return;
+    };
+    let mctx = QueryContext::new(g, &mapped, q).expect("answerable stays answerable");
+    let label = |algo: &str| format!("{algo} shards={shards} k={k}");
+
+    assert_identical(
+        &linear_enum(&hctx, &cfg),
+        &linear_enum(&mctx, &cfg),
+        &label("linear_enum"),
+    );
+    let h_pe = pattern_enum(&hctx, &cfg);
+    let m_pe = pattern_enum(&mctx, &cfg);
+    assert_identical(&h_pe, &m_pe, &label("pattern_enum"));
+    // Pruned vs pruned across tiers, and pruned vs exact on the mapped
+    // tier (score-bound block skipping reads bounds from mapped bytes).
+    let h_pruned = pattern_enum_pruned(&hctx, &cfg);
+    let m_pruned = pattern_enum_pruned(&mctx, &cfg);
+    for (refr, got, what) in [
+        (&h_pruned, &m_pruned, "pruned heap vs mmap"),
+        (&m_pe, &m_pruned, "exact vs pruned on mmap"),
+    ] {
+        assert_eq!(refr.patterns.len(), got.patterns.len(), "{what}");
+        for (x, y) in refr.patterns.iter().zip(&got.patterns) {
+            assert_eq!(x.key(), y.key(), "{}: {what}", label("pattern_enum_pruned"));
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "{what}");
+            assert_eq!(x.num_trees, y.num_trees, "{what}");
+        }
+    }
+    assert_identical(
+        &linear_enum_topk(&hctx, &cfg, &SamplingConfig::exact()),
+        &linear_enum_topk(&mctx, &cfg, &SamplingConfig::exact()),
+        &label("linear_enum_topk[exact]"),
+    );
+    assert_identical(
+        &linear_enum_topk(&hctx, &cfg, &SamplingConfig::new(0, 0.5, 13)),
+        &linear_enum_topk(&mctx, &cfg, &SamplingConfig::new(0, 0.5, 13)),
+        &label("linear_enum_topk[rho=0.5]"),
+    );
+    assert_identical(
+        &baseline(g, t, q, &cfg, d, heap.bounds()),
+        &baseline(g, t, q, &cfg, d, mapped.bounds()),
+        &label("baseline"),
+    );
+
+    let h_trees = top_individual(&hctx, &cfg, k);
+    let m_trees = top_individual(&mctx, &cfg, k);
+    assert_eq!(h_trees.len(), m_trees.len(), "{}", label("top_individual"));
+    for (a, b) in h_trees.iter().zip(&m_trees) {
+        assert_eq!(a.tree.root, b.tree.root, "{}", label("top_individual"));
+        assert_eq!(a.tree.score.to_bits(), b.tree.score.to_bits());
+        assert_eq!(a.pattern_key, b.pattern_key);
+    }
+
+    let h_unified = unified_ranking(&hctx, &cfg, &UnifiedConfig { blend: 1.0, k });
+    let m_unified = unified_ranking(&mctx, &cfg, &UnifiedConfig { blend: 1.0, k });
+    assert_eq!(h_unified.len(), m_unified.len(), "{}", label("unified"));
+    for (a, b) in h_unified.iter().zip(&m_unified) {
+        assert_eq!(a.is_pattern(), b.is_pattern(), "{}", label("unified"));
+        assert_eq!(a.score().to_bits(), b.score().to_bits());
+    }
+}
+
+#[test]
+fn figure1_all_algorithms_heap_vs_mmap() {
+    let (g, _) = figure1();
+    let t = TextIndex::build(&g, SynonymTable::new());
+    for query in [
+        "database software company revenue",
+        "database company",
+        "revenue",
+        "bill gates",
+        "software",
+        "oracle gates", // unanswerable multi-keyword
+    ] {
+        let q = Query::parse(&t, query).unwrap();
+        for shards in [1usize, 3] {
+            for k in [1, 3, 100] {
+                check_backends(&g, &t, 3, shards, &q, k);
+            }
+        }
+    }
+}
+
+#[test]
+fn zipf_dataset_all_algorithms_heap_vs_mmap() {
+    let g = wiki(&WikiConfig::tiny(5));
+    let t = TextIndex::build(&g, SynonymTable::new());
+    let mut qg = QueryGenerator::new(&g, &t, 3, 17);
+    let mut checked = 0;
+    for m in [1usize, 2, 3] {
+        for _ in 0..3 {
+            let Some(spec) = qg.anchored(m) else { continue };
+            let q = Query::from_ids(spec.keywords);
+            check_backends(&g, &t, 3, 2, &q, 10);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 5, "zipf generator produced too few queries");
+}
+
+#[test]
+fn engine_builder_storage_mmap_end_to_end() {
+    use patternkb_search::{EngineBuilder, SearchRequest};
+
+    let (g, _) = figure1();
+    let reference = EngineBuilder::new()
+        .graph(g)
+        .threads(1)
+        .shards(2)
+        .build()
+        .unwrap();
+    let dir = std::env::temp_dir().join("patternkb_storage_equivalence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("figure1.pkb5");
+    patternkb_index::storage::save_v5(reference.index(), &path).unwrap();
+
+    let (g, _) = figure1();
+    let mmap_engine = EngineBuilder::new()
+        .graph(g)
+        .index_snapshot(&path)
+        .storage(StorageBackend::Mmap)
+        .build()
+        .unwrap();
+    assert_eq!(mmap_engine.storage_backend(), StorageBackend::Mmap);
+    assert!(mmap_engine.snapshot_load_time().is_some());
+
+    let (g, _) = figure1();
+    let heap_engine = EngineBuilder::new()
+        .graph(g)
+        .index_snapshot(&path)
+        .build()
+        .unwrap();
+    assert_eq!(heap_engine.storage_backend(), StorageBackend::Heap);
+    std::fs::remove_file(&path).ok();
+
+    for query in [
+        "database software company revenue",
+        "bill gates",
+        "software",
+    ] {
+        let req = SearchRequest::text(query).k(50);
+        let a = reference.respond(&req).unwrap();
+        let b = mmap_engine.respond(&req).unwrap();
+        let c = heap_engine.respond(&req).unwrap();
+        for other in [&b, &c] {
+            assert_eq!(a.patterns.len(), other.patterns.len(), "{query}");
+            for (x, y) in a.patterns.iter().zip(&other.patterns) {
+                assert_eq!(x.key(), y.key(), "{query}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "{query}");
+            }
+        }
+    }
+}
+
+/// Durable boot: a checkpoint's index blob is a v5 container, so a
+/// `--storage mmap` boot opens it without decoding; heap boots decode
+/// the same blob; and a legacy checkpoint whose blob is a raw PKBI
+/// image still boots on either setting (falling back to heap decode).
+#[test]
+fn durable_boot_takes_the_v5_checkpoint_fast_path() {
+    use patternkb_search::{EngineBuilder, SearchRequest};
+
+    let dir = std::env::temp_dir().join(format!(
+        "patternkb_storage_boot_test_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mk = || {
+        let (g, _) = figure1();
+        EngineBuilder::new()
+            .graph(g)
+            .threads(1)
+            .shards(2)
+            .data_dir(&dir)
+    };
+    {
+        let shared = mk().build_shared().unwrap();
+        let d = shared.durability().expect("durable boot");
+        d.checkpoint_now(&shared.snapshot()).unwrap();
+    }
+    let (cp, _) = patternkb_wal::checkpoint::load_latest(&dir)
+        .unwrap()
+        .expect("checkpoint written");
+    assert_eq!(&cp.index[..4], b"PKB5", "checkpoints carry v5 index blobs");
+
+    let answers = |shared: &patternkb_search::SharedEngine| {
+        ["database software company revenue", "bill gates"].map(|q| {
+            let r = shared.respond(&SearchRequest::text(q).k(20)).unwrap();
+            r.patterns
+                .iter()
+                .map(|p| (p.key().to_vec(), p.score.to_bits()))
+                .collect::<Vec<_>>()
+        })
+    };
+
+    let heap_boot = mk().build_shared().unwrap();
+    assert_eq!(heap_boot.snapshot().storage_backend(), StorageBackend::Heap);
+    let mmap_boot = mk().storage(StorageBackend::Mmap).build_shared().unwrap();
+    let booted = mmap_boot.snapshot();
+    assert_eq!(booted.storage_backend(), StorageBackend::Mmap);
+    assert!(booted.snapshot_load_time().is_some());
+    assert_eq!(answers(&heap_boot), answers(&mmap_boot));
+    drop((heap_boot, mmap_boot));
+
+    // Rewrite the checkpoint with a pre-v5 raw PKBI index blob: both
+    // boot settings must still come up (mmap falls back to decoding).
+    let reference = {
+        let (g, _) = figure1();
+        EngineBuilder::new()
+            .graph(g)
+            .threads(1)
+            .shards(2)
+            .build()
+            .unwrap()
+    };
+    let legacy = patternkb_wal::checkpoint::Checkpoint {
+        version: cp.version,
+        graph: cp.graph.clone(),
+        index: patternkb_index::snapshot::encode(reference.index()),
+    };
+    patternkb_wal::checkpoint::write(&dir, &legacy).unwrap();
+    let legacy_mmap_boot = mk().storage(StorageBackend::Mmap).build_shared().unwrap();
+    assert_eq!(
+        legacy_mmap_boot.snapshot().storage_backend(),
+        StorageBackend::Heap,
+        "pre-v5 checkpoint blobs decode onto the heap tier"
+    );
+    let legacy_heap_boot = mk().build_shared().unwrap();
+    assert_eq!(answers(&legacy_heap_boot), answers(&legacy_mmap_boot));
+    drop((legacy_heap_boot, legacy_mmap_boot));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random Zipf graphs × random queries: the mapped tier stays
+        /// bit-identical to the heap tier for every algorithm, including
+        /// the pruned-vs-exact cross-check on mapped bytes.
+        #[test]
+        fn mmap_equals_heap(
+            seed in 0u64..1000,
+            query_seed in 0u64..1000,
+            m in 1usize..4,
+            shards in prop_oneof![Just(1usize), Just(2), Just(5)],
+            k in prop_oneof![Just(1usize), Just(5), Just(50)],
+        ) {
+            let g = wiki(&WikiConfig {
+                entities: 120,
+                types: 6,
+                attrs_per_type: 3,
+                attr_pool: 6,
+                vocab: 40,
+                avg_degree: 3.0,
+                value_pool: 15,
+                seed,
+                ..WikiConfig::default()
+            });
+            let t = TextIndex::build(&g, SynonymTable::new());
+            let mut qg = QueryGenerator::new(&g, &t, 2, query_seed);
+            if let Some(spec) = qg.anchored(m) {
+                let q = Query::from_ids(spec.keywords);
+                check_backends(&g, &t, 2, shards, &q, k);
+            }
+        }
+    }
+}

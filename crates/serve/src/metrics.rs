@@ -335,6 +335,35 @@ impl ServerMetrics {
             cache.evictions
         ));
 
+        // Storage families are read live from the serving snapshot, so an
+        // ingest that materializes a mapped index (mmap → heap) is
+        // reflected on the next scrape.
+        let snapshot = engine.snapshot();
+        let backend = snapshot.storage_backend();
+        out.push_str(
+            "# HELP patternkb_storage_backend Storage tier serving the path indexes (1 = active).\n\
+             # TYPE patternkb_storage_backend gauge\n",
+        );
+        for candidate in [
+            patternkb_search::StorageBackend::Heap,
+            patternkb_search::StorageBackend::Mmap,
+        ] {
+            out.push_str(&format!(
+                "patternkb_storage_backend{{backend=\"{candidate}\"}} {}\n",
+                u8::from(candidate == backend)
+            ));
+        }
+        if let Some(load) = snapshot.snapshot_load_time() {
+            out.push_str(
+                "# HELP patternkb_snapshot_load_seconds Index snapshot load/open time at boot.\n\
+                 # TYPE patternkb_snapshot_load_seconds gauge\n",
+            );
+            out.push_str(&format!(
+                "patternkb_snapshot_load_seconds {}\n",
+                load.as_secs_f64()
+            ));
+        }
+
         out.push_str(
             "# HELP patternkb_engine_epoch Hot-swap epoch (+1 per /admin/reload).\n\
              # TYPE patternkb_engine_epoch gauge\n",

@@ -128,6 +128,8 @@ fn search_healthz_metrics_happy_path() {
         "patternkb_batches_total",
         "patternkb_shard_subtrees_total",
         "patternkb_connections_active",
+        "patternkb_storage_backend{backend=\"heap\"} 1",
+        "patternkb_storage_backend{backend=\"mmap\"} 0",
     ] {
         assert!(
             metrics.contains(family),
@@ -137,6 +139,54 @@ fn search_healthz_metrics_happy_path() {
 
     server.trigger_shutdown();
     server.join();
+}
+
+/// Booting from a v5 snapshot on the mapped tier flips the
+/// `patternkb_storage_backend` gauge and exposes the load time.
+#[test]
+fn metrics_report_mmap_backend_and_snapshot_load_time() {
+    use patternkb_search::StorageBackend;
+
+    let dir = std::env::temp_dir().join(format!("patternkb_serve_mmap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("figure1.pkb5");
+    let engine = figure1_engine();
+    patternkb_index::storage::save_v5(engine.index(), &path).unwrap();
+
+    let (g, _) = patternkb_datagen::figure1();
+    let shared = Arc::new(
+        EngineBuilder::new()
+            .graph(g)
+            .threads(1)
+            .index_snapshot(&path)
+            .storage(StorageBackend::Mmap)
+            .build_shared()
+            .unwrap(),
+    );
+    let server = Server::start(shared, None, test_config()).unwrap();
+    let addr = server.local_addr();
+
+    let (status, _, body) = search(
+        addr,
+        r#"{"q": "database software company revenue", "k": 5}"#,
+    );
+    assert_eq!(status, 200, "body: {body}");
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    for family in [
+        "patternkb_storage_backend{backend=\"mmap\"} 1",
+        "patternkb_storage_backend{backend=\"heap\"} 0",
+        "patternkb_snapshot_load_seconds",
+    ] {
+        assert!(
+            metrics.contains(family),
+            "missing {family:?} in:\n{metrics}"
+        );
+    }
+
+    server.trigger_shutdown();
+    server.join();
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

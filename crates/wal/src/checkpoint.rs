@@ -4,12 +4,18 @@
 //! File layout (little endian):
 //!
 //! ```text
-//! magic "PKBC" | u32 format_version (1)
+//! magic "PKBK" | u32 format_version (1)
 //! u64 engine_version
 //! u64 graph_len  | graph_len bytes  (kgraph snapshot encoding)
 //! u64 index_len  | index_len bytes  (pathindex snapshot encoding)
 //! u32 crc        (CRC-32 of everything between the header and the crc)
 //! ```
+//!
+//! Historical note: checkpoints originally opened with `PKBC`, the
+//! same magic as the compressed path-index image — the collision
+//! docs/FORMATS.md warns about. The writer now emits `PKBK`; the
+//! decoder accepts both forever, so existing checkpoint files keep
+//! loading unchanged.
 //!
 //! Writes go through a temp file + `fsync` + `rename` + directory
 //! `fsync`, so a crash leaves either the old set of checkpoints or the
@@ -23,7 +29,10 @@ use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 4] = b"PKBC";
+const MAGIC: &[u8; 4] = b"PKBK";
+/// The pre-0.3 checkpoint magic, shared with the compressed index image
+/// by historical accident. Read support is permanent; never written.
+const LEGACY_MAGIC: &[u8; 4] = b"PKBC";
 const FORMAT_VERSION: u32 = 1;
 const SUFFIX: &str = ".pkbc";
 
@@ -62,7 +71,7 @@ impl Checkpoint {
         let mut r = Reader::new(data);
         let mut magic = [0u8; 4];
         r.take(&mut magic)?;
-        if &magic != MAGIC {
+        if &magic != MAGIC && &magic != LEGACY_MAGIC {
             return Err(SnapshotError::BadMagic);
         }
         let format = r.u32()?;
@@ -266,6 +275,21 @@ mod tests {
             Checkpoint::decode(&flipped),
             Err(SnapshotError::BadReference { .. })
         ));
+    }
+
+    #[test]
+    fn legacy_pkbc_magic_still_decodes() {
+        // Checkpoints written before the PKBK magic switch open with
+        // "PKBC"; they must load forever. Rewrite the magic in place —
+        // it sits outside the CRC-covered body, so nothing else moves.
+        let cp = sample(33);
+        let mut old = cp.encode();
+        assert_eq!(&old[..4], b"PKBK", "writer emits the fresh magic");
+        old[..4].copy_from_slice(b"PKBC");
+        assert_eq!(Checkpoint::decode(&old).unwrap(), cp);
+        // Anything else is still rejected.
+        old[..4].copy_from_slice(b"PKBX");
+        assert_eq!(Checkpoint::decode(&old), Err(SnapshotError::BadMagic));
     }
 
     #[test]

@@ -12,11 +12,21 @@
 //!   options: --addr <ip:port>  --workers <n>  --queue <slots>
 //!            --batch <max>  --deadline-ms <ms>  --max-body-bytes <n>
 //!            --no-ingest (disable the online write path)
+//!            --index-snapshot <file> (boot from a saved index snapshot)
+//!            --storage heap|mmap (map a v5 snapshot instead of decoding
+//!            it; see README "Storage backends")
 //!   endpoints: POST /search, GET /healthz, GET /metrics,
 //!              POST /admin/ingest (online mutation batch applied via
 //!              incremental index refresh — see README "Writes"),
-//!              POST /admin/reload (rebuilds the same dataset and
-//!              hot-swaps it), POST /admin/shutdown (graceful exit 0)
+//!              POST /admin/reload (rebuilds the same dataset — or, with
+//!              --index-snapshot, re-opens the snapshot file: swap the
+//!              file, reload, and the server remaps it — and hot-swaps
+//!              it), POST /admin/shutdown (graceful exit 0)
+//!
+//! patternkb-cli snapshot <dataset…> --out <file> [--format v5|raw]
+//!   build a dataset's indexes once and write them as a snapshot file —
+//!   v5 (default) is the offset-table container `--storage mmap` boots
+//!   from without decoding; raw is the fully-decoded PKBI image.
 //! ```
 //!
 //! Then type keyword queries; commands start with `:`
@@ -46,6 +56,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         serve_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("snapshot") {
+        snapshot_main(&args[1..]);
     }
     let (graph, label) = match build_graph(&args) {
         Ok(pair) => pair,
@@ -81,17 +94,40 @@ fn main() {
     repl(&engine);
 }
 
+/// Parse the `--storage heap|mmap` flag (default heap), loudly rejecting
+/// unknown tiers instead of silently falling back.
+fn parse_storage(spec: &[String]) -> Result<patternkb::search::StorageBackend, String> {
+    match spec
+        .iter()
+        .position(|a| a == "--storage")
+        .and_then(|i| spec.get(i + 1))
+    {
+        None => Ok(patternkb::search::StorageBackend::Heap),
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| format!("invalid --storage {raw:?}: {e}")),
+    }
+}
+
 /// Build the serving engine for a dataset spec (shared by boot and the
-/// `/admin/reload` hot-swap path, so a reload is a true rebuild).
+/// `/admin/reload` hot-swap path). Without `--index-snapshot` a reload is
+/// a true rebuild; with it, a reload re-opens the snapshot file — so
+/// swapping the file on disk and POSTing /admin/reload is a full index
+/// swap (under `--storage mmap`, an mmap remap with no decode).
 fn build_serve_engine(spec: &[String]) -> Result<SearchEngine, String> {
     let (graph, _) = build_graph(spec)?;
     let d = flag_value(spec, "--d").unwrap_or(3);
     let shards = flag_value(spec, "--shards").unwrap_or(0);
-    EngineBuilder::new()
+    let mut builder = EngineBuilder::new()
         .graph(graph)
         .synonyms(SynonymTable::default_english())
         .height(d)
         .shards(shards)
+        .storage(parse_storage(spec)?);
+    if let Some(path) = flag_value::<String>(spec, "--index-snapshot") {
+        builder = builder.index_snapshot(path);
+    }
+    builder
         .build()
         .map_err(|e| format!("cannot build engine: {e}"))
 }
@@ -108,6 +144,7 @@ fn build_serve_shared(spec: &[String], dir: &str) -> Result<SharedEngine, String
         .synonyms(SynonymTable::default_english())
         .height(d)
         .shards(shards)
+        .storage(parse_storage(spec)?)
         .data_dir(dir);
     if let Some(raw) = spec
         .iter()
@@ -128,6 +165,50 @@ fn build_serve_shared(spec: &[String], dir: &str) -> Result<SharedEngine, String
     builder
         .build_shared()
         .map_err(|e| format!("cannot build engine: {e}"))
+}
+
+/// The `snapshot` subcommand body: build a dataset's indexes once and
+/// write them to `--out` (v5 container by default — what
+/// `serve --storage mmap --index-snapshot` boots from instantly).
+fn run_snapshot(args: &[String]) -> Result<String, String> {
+    let (graph, label) = build_graph(args)?;
+    let out: String = flag_value(args, "--out").ok_or("snapshot needs --out <file>")?;
+    let format: String = flag_value(args, "--format").unwrap_or_else(|| "v5".to_string());
+    let d = flag_value(args, "--d").unwrap_or(3);
+    let shards = flag_value(args, "--shards").unwrap_or(0);
+    let engine = EngineBuilder::new()
+        .graph(graph)
+        .synonyms(SynonymTable::default_english())
+        .height(d)
+        .shards(shards)
+        .build()
+        .map_err(|e| format!("cannot build engine: {e}"))?;
+    let path = std::path::Path::new(&out);
+    match format.as_str() {
+        "v5" => patternkb::index::storage::save_v5(engine.index(), path),
+        "raw" => patternkb::index::snapshot::save(engine.index(), path),
+        other => return Err(format!("unknown --format {other:?} (v5|raw)")),
+    }
+    .map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "wrote {format} snapshot of {label} to {out}: {:?}",
+        engine.index()
+    ))
+}
+
+/// The `snapshot` subcommand: write a dataset's index snapshot and exit.
+fn snapshot_main(args: &[String]) -> ! {
+    match run_snapshot(args) {
+        Ok(msg) => {
+            println!("{msg}");
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: patternkb-cli snapshot figure1|wiki|imdb|load <file> --out <file> [--format v5|raw] [--d N] [--shards N] [dataset flags]");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Translate `serve` flags into a [`patternkb::serve::ServeConfig`].
@@ -155,7 +236,7 @@ fn serve_main(args: &[String]) -> ! {
         "building engine for {:?} …",
         spec.first().map(String::as_str).unwrap_or("figure1")
     );
-    let usage = "usage: patternkb-cli serve figure1|wiki|imdb|load <file> [dataset flags] [--addr A] [--workers N] [--queue N] [--batch N] [--deadline-ms N] [--max-body-bytes N] [--no-ingest] [--data-dir DIR] [--fsync always|group(5ms)|never] [--checkpoint-bytes N] [--checkpoint-records N]";
+    let usage = "usage: patternkb-cli serve figure1|wiki|imdb|load <file> [dataset flags] [--addr A] [--workers N] [--queue N] [--batch N] [--deadline-ms N] [--max-body-bytes N] [--no-ingest] [--index-snapshot FILE] [--storage heap|mmap] [--data-dir DIR] [--fsync always|group(5ms)|never] [--checkpoint-bytes N] [--checkpoint-records N]";
     let t0 = std::time::Instant::now();
     let data_dir: Option<String> = flag_value(&spec, "--data-dir");
     let shared = match &data_dir {
@@ -177,11 +258,17 @@ fn serve_main(args: &[String]) -> ! {
         },
     };
     let cfg = serve_config(&spec);
+    let boot = shared.snapshot();
     eprintln!(
-        "engine ready in {:.2}s ({} shard(s), version {}){}{}",
+        "engine ready in {:.2}s ({} shard(s), version {}, storage {}{}){}{}",
         t0.elapsed().as_secs_f64(),
-        shared.snapshot().num_shards(),
+        boot.num_shards(),
         shared.version(),
+        boot.storage_backend(),
+        match boot.snapshot_load_time() {
+            Some(took) => format!(", snapshot loaded in {:.3}s", took.as_secs_f64()),
+            None => String::new(),
+        },
         match &data_dir {
             Some(dir) => format!("; durable in {dir} (reload via restart)"),
             None => "; hot-swappable via POST /admin/reload".to_string(),
@@ -641,6 +728,81 @@ mod tests {
         let engine = build_serve_engine(&["figure1".to_string()]).unwrap();
         assert_eq!(engine.d(), 3);
         assert!(build_serve_engine(&["marsian".to_string()]).is_err());
+    }
+
+    #[test]
+    fn storage_flag_parses_and_rejects() {
+        use patternkb::search::StorageBackend;
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_storage(&to_args(&["figure1"])).unwrap(),
+            StorageBackend::Heap
+        );
+        assert_eq!(
+            parse_storage(&to_args(&["figure1", "--storage", "mmap"])).unwrap(),
+            StorageBackend::Mmap
+        );
+        assert!(parse_storage(&to_args(&["figure1", "--storage", "disk"]))
+            .unwrap_err()
+            .contains("--storage"));
+    }
+
+    #[test]
+    fn snapshot_subcommand_writes_v5_and_serve_maps_it() {
+        let dir = std::env::temp_dir().join("patternkb_cli_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("figure1.pkb5");
+        let args: Vec<String> = ["figure1", "--out", out.to_str().unwrap(), "--shards", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let msg = run_snapshot(&args).unwrap();
+        assert!(msg.contains("v5"), "{msg}");
+
+        // The written file boots on the mapped tier and answers queries.
+        let spec: Vec<String> = [
+            "figure1",
+            "--index-snapshot",
+            out.to_str().unwrap(),
+            "--storage",
+            "mmap",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let engine = build_serve_engine(&spec).unwrap();
+        assert_eq!(
+            engine.storage_backend(),
+            patternkb::search::StorageBackend::Mmap
+        );
+        assert!(engine.snapshot_load_time().is_some());
+        let resp = engine
+            .respond(&SearchRequest::text("database software company revenue"))
+            .unwrap();
+        assert_eq!(resp.patterns.len(), 9);
+
+        // Same file under the heap tier: full decode, same answers.
+        let spec_heap: Vec<String> = ["figure1", "--index-snapshot", out.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let heap = build_serve_engine(&spec_heap).unwrap();
+        assert_eq!(
+            heap.storage_backend(),
+            patternkb::search::StorageBackend::Heap
+        );
+        let resp_heap = heap
+            .respond(&SearchRequest::text("database software company revenue"))
+            .unwrap();
+        for (a, b) in resp.patterns.iter().zip(&resp_heap.patterns) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        std::fs::remove_file(&out).ok();
+        assert!(
+            run_snapshot(&["figure1".to_string()]).is_err(),
+            "--out required"
+        );
     }
 
     #[test]
